@@ -1,0 +1,202 @@
+// Package focc_test holds the top-level benchmark harness: one benchmark
+// family per table/figure in the paper's evaluation. Each benchmark reports
+// wall-clock ns/op for the interpreter plus a "sim-ms/op" metric — the
+// simulated request-processing time under the cost model in
+// internal/interp/cycles.go, which is what reproduces the paper's slowdown
+// shapes (see EXPERIMENTS.md).
+//
+//	go test -bench=. -benchmem
+package focc_test
+
+import (
+	"testing"
+
+	"focc/fo"
+	"focc/internal/harness"
+	"focc/internal/interp"
+	"focc/internal/servers"
+	"focc/internal/servers/apache"
+	"focc/internal/servers/mc"
+	"focc/internal/servers/mutt"
+	"focc/internal/servers/pine"
+	"focc/internal/servers/sendmail"
+)
+
+// benchModes are the two versions the paper's performance figures compare.
+var benchModes = []fo.Mode{fo.Standard, fo.FailureOblivious}
+
+// benchFigure runs one paper figure: every named request under Standard and
+// FailureOblivious instances.
+func benchFigure(b *testing.B, srv servers.Server, names []string) {
+	reqs := srv.LegitRequests()
+	if len(reqs) < len(names) {
+		b.Fatalf("server %s has %d requests, need %d", srv.Name(), len(reqs), len(names))
+	}
+	for i, name := range names {
+		req := reqs[i]
+		for _, mode := range benchModes {
+			b.Run(name+"/"+mode.String(), func(b *testing.B) {
+				inst, err := srv.New(mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp := inst.Handle(req); resp.Crashed() {
+					b.Fatalf("warm-up crashed: %v", resp.Err)
+				}
+				start := inst.Cycles()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if resp := inst.Handle(req); resp.Crashed() {
+						b.Fatalf("request crashed: %v", resp.Err)
+					}
+				}
+				b.StopTimer()
+				cycles := inst.Cycles() - start
+				simMs := interp.SimSeconds(cycles) * 1e3 / float64(b.N)
+				b.ReportMetric(simMs, "sim-ms/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Pine reproduces Figure 2 (Pine: Read, Compose, Move).
+func BenchmarkFig2Pine(b *testing.B) {
+	benchFigure(b, pine.NewServer(), []string{"Read", "Compose", "Move"})
+}
+
+// BenchmarkFig3Apache reproduces Figure 3 (Apache: Small 5 KB page, Large
+// 830 KB file).
+func BenchmarkFig3Apache(b *testing.B) {
+	benchFigure(b, apache.NewServer(), []string{"Small", "Large"})
+}
+
+// BenchmarkFig4Sendmail reproduces Figure 4 (Sendmail: Recv/Send ×
+// Small/Large).
+func BenchmarkFig4Sendmail(b *testing.B) {
+	benchFigure(b, sendmail.NewServer(), []string{"RecvSmall", "RecvLarge", "SendSmall", "SendLarge"})
+}
+
+// BenchmarkFig5MC reproduces Figure 5 (Midnight Commander: Copy, Move,
+// MkDir, Delete).
+func BenchmarkFig5MC(b *testing.B) {
+	benchFigure(b, mc.NewServer(), []string{"Copy", "Move", "MkDir", "Delete"})
+}
+
+// BenchmarkFig6Mutt reproduces Figure 6 (Mutt: Read, Move).
+func BenchmarkFig6Mutt(b *testing.B) {
+	benchFigure(b, mutt.NewServer(), []string{"Read", "Move"})
+}
+
+// BenchmarkApacheAttackThroughput reproduces the §4.3.2 experiment: the
+// pool is flooded with attack requests (three per legitimate fetch) and the
+// benchmark unit is one legitimate home-page fetch. The Standard and
+// BoundsCheck versions pay child-restart overhead per attack; the Failure
+// Oblivious version does not — its ns/op is the highest throughput, which
+// the paper reports as roughly 5.7x Bounds Check and 4.8x Standard.
+func BenchmarkApacheAttackThroughput(b *testing.B) {
+	srv := apache.NewServer()
+	for _, mode := range harness.Modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			pool, err := harness.NewChildPool(srv, mode, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			legit := srv.LegitRequests()[0]
+			attack := srv.AttackRequest()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for a := 0; a < 3; a++ {
+					if _, err := pool.Handle(attack); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := pool.Handle(legit); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pool.Restarts)/float64(b.N), "restarts/op")
+		})
+	}
+}
+
+// BenchmarkResilienceMatrix measures the cost of running the full §4.*.2
+// security matrix (5 servers × 3 versions, attack + probe each).
+func BenchmarkResilienceMatrix(b *testing.B) {
+	srvs := []servers.Server{
+		pine.NewServer(), apache.NewServer(), sendmail.NewServer(),
+		mc.NewServer(), mutt.NewServer(),
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := harness.ResilienceMatrix(srvs, harness.Modes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationValueSequence benchmarks the §3 ablation's surviving
+// configuration: the Midnight-Commander-style sentinel scan running off the
+// end of its buffer under the paper's small-integer sequence. (The all-zeros
+// generator hangs — demonstrated by TestValueSequenceTermination — so it
+// cannot be benchmarked.)
+func BenchmarkAblationValueSequence(b *testing.B) {
+	const src = `
+int scan(void) {
+	char buf[8];
+	int i = 0;
+	buf[0] = 'a';
+	while (buf[i] != '/')
+		i++;
+	return i;
+}
+`
+	prog, err := fo.Compile("scan.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.FailureOblivious})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if res := m.Call("scan"); res.Outcome != fo.OutcomeOK {
+			b.Fatalf("scan: %v", res.Outcome)
+		}
+	}
+}
+
+// BenchmarkPolicyOverhead is the DESIGN.md ablation of the access-policy
+// dispatch itself: a pure pointer-chasing C loop under each policy.
+func BenchmarkPolicyOverhead(b *testing.B) {
+	const src = `
+char buf[4096];
+int churn(int n) {
+	int i, x = 0;
+	for (i = 0; i < n; i++)
+		x += buf[i & 4095];
+	return x;
+}
+`
+	prog, err := fo.Compile("churn.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious, fo.Boundless, fo.Redirect} {
+		b.Run(mode.String(), func(b *testing.B) {
+			m, err := prog.NewMachine(fo.MachineConfig{Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if res := m.Call("churn", fo.Int(1024)); res.Outcome != fo.OutcomeOK {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}

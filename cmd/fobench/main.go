@@ -1,0 +1,224 @@
+// Command fobench regenerates the paper's evaluation tables and figures:
+//
+//	fobench -experiment all            # everything below
+//	fobench -experiment fig2           # Pine request times (Figure 2)
+//	fobench -experiment fig3           # Apache request times (Figure 3)
+//	fobench -experiment fig4           # Sendmail request times (Figure 4)
+//	fobench -experiment fig5           # Midnight Commander times (Figure 5)
+//	fobench -experiment fig6           # Mutt request times (Figure 6)
+//	fobench -experiment throughput     # Apache attack throughput (§4.3.2)
+//	fobench -experiment resilience     # security & resilience matrix (§4.*.2)
+//	fobench -experiment variants       # boundless / redirect variants (§5.1)
+//	fobench -experiment soak           # stability runs (§4.*.4)
+//	fobench -experiment propagation    # error propagation distance (§1.2)
+//	fobench -experiment ablation       # manufactured-value sequence (§3)
+//
+// Absolute times are from the Go interpreter, not the paper's 2004 testbed;
+// the slowdown and ratio *shapes* are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"focc/fo"
+	"focc/internal/harness"
+	"focc/internal/servers"
+	"focc/internal/servers/apache"
+	"focc/internal/servers/mc"
+	"focc/internal/servers/mutt"
+	"focc/internal/servers/pine"
+	"focc/internal/servers/sendmail"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	reps := flag.Int("reps", harness.DefaultReps, "repetitions per request")
+	soakN := flag.Int("soak-n", 200, "requests per soak run")
+	wall := flag.Bool("wall", false, "measure figures in wall-clock time instead of simulated cycles")
+	flag.Parse()
+	clock := harness.SimClock
+	if *wall {
+		clock = harness.WallClock
+	}
+	if err := runClock(*experiment, *reps, *soakN, clock); err != nil {
+		fmt.Fprintln(os.Stderr, "fobench:", err)
+		os.Exit(1)
+	}
+}
+
+func allServers() []servers.Server {
+	return []servers.Server{
+		pine.NewServer(),
+		apache.NewServer(),
+		sendmail.NewServer(),
+		mc.NewServer(),
+		mutt.NewServer(),
+	}
+}
+
+func run(experiment string, reps, soakN int) error {
+	return runClock(experiment, reps, soakN, harness.SimClock)
+}
+
+func runClock(experiment string, reps, soakN int, clock harness.Clock) error {
+	all := experiment == "all"
+	type fig struct {
+		id    string
+		title string
+		srv   servers.Server
+		names []string
+	}
+	figures := []fig{
+		{"fig2", "Figure 2: Request Processing Times for Pine (ms)",
+			pine.NewServer(), []string{"Read", "Compose", "Move"}},
+		{"fig3", "Figure 3: Request Processing Times for Apache (ms)",
+			apache.NewServer(), []string{"Small", "Large"}},
+		{"fig4", "Figure 4: Request Processing Times for Sendmail (ms)",
+			sendmail.NewServer(), []string{"Recv Small", "Recv Large", "Send Small", "Send Large"}},
+		{"fig5", "Figure 5: Request Processing Times for Midnight Commander (ms)",
+			mc.NewServer(), []string{"Copy", "Move", "MkDir", "Delete"}},
+		{"fig6", "Figure 6: Request Processing Times for Mutt (ms)",
+			mutt.NewServer(), []string{"Read", "Move"}},
+	}
+	ran := false
+	for _, f := range figures {
+		if !all && experiment != f.id {
+			continue
+		}
+		ran = true
+		reqs := f.srv.LegitRequests()[:len(f.names)]
+		rows, err := harness.PerfTableClock(f.srv, f.names, reqs, reps, clock)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.id, err)
+		}
+		fmt.Println(harness.FormatPerfTable(f.title, rows))
+	}
+
+	if all || experiment == "throughput" {
+		ran = true
+		fmt.Println("Apache throughput under attack (paper §4.3.2; FO reported ~5.7x Bounds, ~4.8x Standard)")
+		var rows []harness.ThroughputResult
+		for _, mode := range harness.Modes {
+			r, err := harness.AttackThroughput(apache.NewServer(), mode, 4, 50, 3)
+			if err != nil {
+				return fmt.Errorf("throughput %v: %w", mode, err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println(harness.FormatThroughput(rows))
+	}
+
+	if all || experiment == "resilience" {
+		ran = true
+		fmt.Println("Security & resilience matrix (paper §4.2.2, §4.3.2, §4.4.2, §4.5.2, §4.6.2)")
+		rows, err := harness.ResilienceMatrix(allServers(), harness.Modes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatResilience(rows))
+	}
+
+	if all || experiment == "variants" {
+		ran = true
+		fmt.Println("Variants: boundless memory blocks and redirect-into-bounds (paper §5.1)")
+		rows, err := harness.ResilienceMatrix(allServers(), harness.VariantModes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatResilience(rows))
+	}
+
+	if all || experiment == "soak" {
+		ran = true
+		fmt.Println("Stability soak: requests with periodic attacks (paper §4.*.4)")
+		fmt.Printf("%-10s %-18s %-9s %-8s %-8s %-9s %s\n",
+			"Server", "Version", "Requests", "Attacks", "Crashes", "Restarts", "Errors logged")
+		for _, srv := range allServers() {
+			for _, mode := range []fo.Mode{fo.BoundsCheck, fo.FailureOblivious} {
+				res, err := harness.Soak(srv, mode, soakN, 7)
+				if err != nil {
+					return fmt.Errorf("soak %s/%v: %w", srv.Name(), mode, err)
+				}
+				fmt.Printf("%-10s %-18s %-9d %-8d %-8d %-9d %d\n",
+					srv.Name(), mode, res.Requests, res.Attacks,
+					res.Crashes, res.Restarts, res.ErrorEvents)
+			}
+		}
+		fmt.Println()
+	}
+
+	if all || experiment == "propagation" {
+		ran = true
+		fmt.Println("Error propagation distance (paper §1.2: attacked vs clean twin, responses compared)")
+		var rows []harness.PropagationResult
+		for _, mk := range []func() servers.Server{
+			func() servers.Server { return pine.NewServer() },
+			func() servers.Server { return apache.NewServer() },
+			func() servers.Server { return sendmail.NewServer() },
+			func() servers.Server { return mc.NewServer() },
+			func() servers.Server { return mutt.NewServer() },
+		} {
+			r, err := harness.ErrorPropagation(mk, 12)
+			if err != nil {
+				return fmt.Errorf("propagation: %w", err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println(harness.FormatPropagation(rows))
+	}
+
+	if all || experiment == "ablation" {
+		ran = true
+		if err := ablation(); err != nil {
+			return err
+		}
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+// ablation compares the paper's small-integer manufactured-value sequence
+// against a naive all-zeros generator on the Midnight Commander sentinel
+// scan from §3: a loop searching past the end of a buffer for '/'.
+func ablation() error {
+	fmt.Println("Ablation: manufactured-value sequence (paper §3, Midnight Commander '/'-scan)")
+	const src = `
+int scan(void) {
+	char buf[8];
+	int i = 0;
+	buf[0] = 'a';
+	while (buf[i] != '/')
+		i++;
+	return i;
+}
+int main(void) { return scan(); }
+`
+	prog, err := fo.Compile("scan.c", src)
+	if err != nil {
+		return err
+	}
+	type genCase struct {
+		name string
+		gen  fo.ValueGenerator
+	}
+	for _, gc := range []genCase{
+		{"small-int sequence (paper)", fo.NewSmallIntGenerator()},
+		{"all zeros (naive)", fo.NewZeroGenerator()},
+	} {
+		m, err := prog.NewMachine(fo.MachineConfig{
+			Mode: fo.FailureOblivious, Gen: gc.gen, MaxSteps: 2_000_000,
+		})
+		if err != nil {
+			return err
+		}
+		res := m.Run()
+		fmt.Printf("  %-28s -> outcome %-8s (steps %d)\n", gc.name, res.Outcome, res.Steps)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// The full "all" run is exercised by CI scripts; tests cover each
+// experiment selector with small parameters.
+
+func TestExperimentSelectors(t *testing.T) {
+	for _, exp := range []string{"fig3", "fig6", "resilience", "variants", "ablation"} {
+		if err := run(exp, 2, 20); err != nil {
+			t.Errorf("experiment %q: %v", exp, err)
+		}
+	}
+}
+
+func TestSoakExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	if err := run("soak", 2, 20); err != nil {
+		t.Errorf("soak: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("nope", 2, 10); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "prog.c")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const overflowProg = `
+int main(void) {
+	int i; /* before buf so the overrun cannot clobber the loop counter */
+	char buf[4];
+	for (i = 0; i < 32; i++)
+		buf[i] = 'A';
+	return 0;
+}
+`
+
+func TestRunExitCodes(t *testing.T) {
+	ok := writeTemp(t, "int main(void){ return 5; }")
+	if code := run(ok, "standard", false, false, 0); code != 5 {
+		t.Errorf("standard exit = %d, want 5", code)
+	}
+	bad := writeTemp(t, overflowProg)
+	if code := run(bad, "standard", false, false, 0); code != 2 {
+		t.Errorf("crashing standard run = %d, want 2", code)
+	}
+	if code := run(bad, "bounds", false, false, 0); code != 2 {
+		t.Errorf("bounds run = %d, want 2", code)
+	}
+	if code := run(bad, "oblivious", true, false, 0); code != 0 {
+		t.Errorf("oblivious run = %d, want 0", code)
+	}
+	if code := run(bad, "boundless", false, false, 0); code != 0 {
+		t.Errorf("boundless run = %d, want 0", code)
+	}
+}
+
+func TestRunExitBuiltinPropagates(t *testing.T) {
+	p := writeTemp(t, "int main(void){ exit(7); return 0; }")
+	if code := run(p, "oblivious", false, false, 0); code != 7 {
+		t.Errorf("exit(7) run = %d", code)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if code := run("/does/not/exist.c", "oblivious", false, false, 0); code != 1 {
+		t.Errorf("missing file = %d, want 1", code)
+	}
+	p := writeTemp(t, "int main(void){ return 0; }")
+	if code := run(p, "no-such-mode", false, false, 0); code != 1 {
+		t.Errorf("bad mode = %d, want 1", code)
+	}
+	broken := writeTemp(t, "int main( {")
+	if code := run(broken, "oblivious", false, false, 0); code != 1 {
+		t.Errorf("compile error = %d, want 1", code)
+	}
+}
+
+func TestZeroGeneratorHangsScanners(t *testing.T) {
+	p := writeTemp(t, `
+int main(void) {
+	char buf[2];
+	int i = 0;
+	buf[0] = 'a';
+	while (buf[i] != '/')
+		i++;
+	return 0;
+}`)
+	// The paper's sequence terminates the scan...
+	if code := run(p, "oblivious", false, false, 100000); code != 0 {
+		t.Errorf("small-int run = %d, want 0", code)
+	}
+	// ...the naive all-zeros generator hangs (exhausts the step budget).
+	if code := run(p, "oblivious", false, true, 100000); code != 2 {
+		t.Errorf("zero-gen run = %d, want 2 (hang)", code)
+	}
+}
+
+func TestDumpAST(t *testing.T) {
+	p := writeTemp(t, "int g; int main(void){ return g; }")
+	if code := dump(p); code != 0 {
+		t.Errorf("dump = %d", code)
+	}
+	if code := dump("/no/such.c"); code != 1 {
+		t.Errorf("dump missing = %d", code)
+	}
+	broken := writeTemp(t, "int (")
+	if code := dump(broken); code != 1 {
+		t.Errorf("dump broken = %d", code)
+	}
+}

@@ -1,0 +1,105 @@
+// Logparser: a syslog-style parsing daemon whose field extractor has an
+// off-by-one size calculation (it forgets the NUL when the priority tag is
+// maximal). The example streams the paper's §3 memory-error log live to
+// stderr while the daemon keeps working, and then contrasts plain
+// failure-oblivious execution with the §5.1 boundless-memory-blocks
+// variant: boundless preserves the clipped byte, so the parsed hostname
+// comes back complete.
+//
+//	go run ./examples/logparser
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"focc/fo"
+)
+
+const parserSrc = `
+#include <string.h>
+#include <stdio.h>
+
+char hostname[64];
+char message[256];
+int  parsed = 0;
+
+/* Parse "<PRI>host text...". BUG: the host buffer is sized for the
+   longest hostname seen in testing, not the longest legal one. */
+int parse_line(const char *line)
+{
+	char host[8];               /* too small for legal 9-char hostnames */
+	int i = 0, h = 0;
+	if (line[i] != '<')
+		return -1;
+	while (line[i] != '\0' && line[i] != '>')
+		i++;
+	if (line[i] == '\0')
+		return -1;
+	i++;
+	while (line[i] != '\0' && line[i] != ' ') {
+		host[h++] = line[i++];  /* unchecked: overruns on long hostnames */
+	}
+	host[h] = '\0';
+	if (line[i] == ' ')
+		i++;
+	snprintf(hostname, sizeof(hostname), "%s", host);
+	snprintf(message, sizeof(message), "%s", &line[i]);
+	parsed++;
+	return 0;
+}
+`
+
+func runDaemon(mode fo.Mode, stream bool) {
+	fmt.Printf("=== %s parser ===\n", mode)
+	prog, err := fo.Compile("logparser.c", parserSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := fo.NewEventLog(0)
+	if stream {
+		logger.Stream = os.Stderr
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: mode, Log: logger})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := []string{
+		"<13>web01 GET /index.html 200",
+		"<13>db-primary connection pool exhausted", // 10-char host: overflows
+		"<13>cache9 hit ratio 0.93",
+	}
+	for _, line := range lines {
+		res := m.Call("parse_line", m.NewCString(line))
+		if res.Outcome != fo.OutcomeOK {
+			fmt.Printf("  %-45q -> DAEMON DIED (%s)\n", line, res.Outcome)
+			return
+		}
+		host := readGlobal(m, "hostname")
+		msg := readGlobal(m, "message")
+		fmt.Printf("  %-45q -> host=%-12q msg=%q\n", line, host, msg)
+	}
+	fmt.Printf("  %s\n\n", logger.Summary())
+}
+
+func readGlobal(m *fo.Machine, name string) string {
+	u, ok := m.GlobalUnit(name)
+	if !ok {
+		return ""
+	}
+	s, _ := m.ReadCString(fo.UnitPointer(u), 256)
+	return s
+}
+
+func main() {
+	// Bounds Check: the long hostname kills the daemon.
+	runDaemon(fo.BoundsCheck, false)
+	// Failure Oblivious: overflowing writes are discarded; the daemon
+	// keeps parsing (hostname truncated); events stream to stderr.
+	runDaemon(fo.FailureOblivious, true)
+	// Boundless memory blocks (§5.1): the clipped bytes live in the side
+	// hash table and read back intact — the size-calculation error is
+	// effectively eliminated.
+	runDaemon(fo.Boundless, false)
+}

@@ -1,0 +1,117 @@
+// Mailserver: a Sendmail-style mail gateway whose address parser contains
+// the paper's §4.4 prescan vulnerability (an unchecked store of a quoting
+// backslash, reachable through char→int sign extension). The gateway
+// processes a mixed stream of legitimate deliveries and attack messages
+// under the Bounds Check and Failure Oblivious versions, showing the
+// paper's availability argument: terminating at the first memory error
+// denies service, executing through it keeps the mail flowing.
+//
+//	go run ./examples/mailserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"focc/fo"
+)
+
+const gatewaySrc = `
+#include <string.h>
+#include <stdio.h>
+
+#define PSBUFSIZE 96
+#define MAXNAME   64
+
+char last_rcpt[MAXNAME];
+int  delivered = 0;
+
+/* Address prescan with the sendmail 8.11.6 bug mechanism: the store of a
+   quoting backslash is not covered by the space check. */
+static int prescan(const char *addr, char *buf, int bufsize)
+{
+	const char *p = addr;
+	char *q = buf;
+	int c = -1;
+	int done = 0;
+	while (!done) {
+		if (c != -1 && c != '\\') {
+			if (q >= &buf[bufsize - 2])
+				return -1;
+			*q++ = (char) c;
+		}
+		c = *p++;
+		if (c == '\0') { done = 1; c = -1; }
+		if (c == '\\') {
+			*q++ = '\\';            /* BUG: unchecked */
+			c = *p++;
+			if (c == '\0') { done = 1; c = -1; }
+		}
+	}
+	*q = '\0';
+	return (int)(q - buf);
+}
+
+/* Deliver one message. Returns an SMTP-ish status code. */
+int deliver(const char *rcpt, const char *body)
+{
+	char pvpbuf[PSBUFSIZE];
+	int len = prescan(rcpt, pvpbuf, (int)(sizeof(pvpbuf)));
+	if (len < 0 || len >= MAXNAME)
+		return 553;                 /* anticipated: address too long */
+	strcpy(last_rcpt, pvpbuf);
+	delivered++;
+	return 250;
+}
+`
+
+func main() {
+	prog, err := fo.Compile("gateway.c", gatewaySrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type mail struct {
+		rcpt, body string
+	}
+	var stream []mail
+	for i := 0; i < 12; i++ {
+		if i%4 == 3 {
+			// The paper's attack address: alternating '\' and 0xFF.
+			stream = append(stream, mail{strings.Repeat("\\\xff", 300), "exploit"})
+		} else {
+			stream = append(stream, mail{fmt.Sprintf("user%d@example.org", i), "hello"})
+		}
+	}
+
+	for _, mode := range []fo.Mode{fo.BoundsCheck, fo.FailureOblivious} {
+		fmt.Printf("=== %s gateway ===\n", mode)
+		logger := fo.NewEventLog(0)
+		m, err := prog.NewMachine(fo.MachineConfig{Mode: mode, Log: logger})
+		if err != nil {
+			log.Fatal(err)
+		}
+		accepted, rejected, lost := 0, 0, 0
+		for i, msg := range stream {
+			if m.Dead() {
+				lost++
+				continue
+			}
+			res := m.Call("deliver", m.NewCString(msg.rcpt), m.NewCString(msg.body))
+			switch {
+			case res.Outcome != fo.OutcomeOK:
+				fmt.Printf("  mail %2d: PROCESS DIED (%s)\n", i, res.Outcome)
+				lost++
+			case res.Value.I == 250:
+				accepted++
+			default:
+				fmt.Printf("  mail %2d: rejected with %d (anticipated error path)\n",
+					i, res.Value.I)
+				rejected++
+			}
+		}
+		fmt.Printf("  accepted %d, rejected %d, lost %d — %s\n\n",
+			accepted, rejected, lost, logger.Summary())
+	}
+}

@@ -1,0 +1,99 @@
+// Quickstart: compile one vulnerable C program and execute it under the
+// three versions the paper compares — Standard (unsafe), Bounds Check
+// (CRED: terminate at the first memory error), and Failure Oblivious
+// (discard invalid writes, manufacture values for invalid reads).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"focc/fo"
+)
+
+// src is a tiny "server": it copies a request into a fixed-size stack
+// buffer without checking the length (the canonical buffer overrun), then
+// answers based on the first byte.
+const src = `
+#include <string.h>
+#include <stdio.h>
+
+char answer[64];
+
+int handle(const char *request)
+{
+	char buf[16];
+	int i = 0;
+	/* BUG: no bounds check while copying the request. */
+	while (request[i] != '\0') {
+		buf[i] = request[i];
+		i++;
+	}
+	buf[i] = '\0';
+	if (buf[0] == 'p')
+		snprintf(answer, sizeof(answer), "pong (%d bytes)", i);
+	else
+		snprintf(answer, sizeof(answer), "unknown request");
+	return i;
+}
+`
+
+func main() {
+	prog, err := fo.Compile("quickstart.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	requests := []string{
+		"ping", // legitimate
+		"ping-AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA", // attack: overflows buf
+		"ping", // does the server still work afterwards?
+	}
+
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		fmt.Printf("=== %s version ===\n", mode)
+		logger := fo.NewEventLog(0)
+		m, err := prog.NewMachine(fo.MachineConfig{
+			Mode: mode,
+			Out:  os.Stdout,
+			Log:  logger,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, req := range requests {
+			res := m.Call("handle", m.NewCString(req))
+			switch res.Outcome {
+			case fo.OutcomeOK:
+				ans, _ := m.ReadCString(answerPtr(m), 64)
+				fmt.Printf("  %-14q -> %s\n", trunc(req), ans)
+			default:
+				fmt.Printf("  %-14q -> PROCESS DIED: %s (%v)\n",
+					trunc(req), res.Outcome, res.Err)
+			}
+			if m.Dead() {
+				fmt.Println("  (process is gone; remaining requests are never served)")
+				break
+			}
+		}
+		fmt.Printf("  memory-error log: %s\n\n", logger.Summary())
+	}
+}
+
+func answerPtr(m *fo.Machine) fo.Value {
+	u, ok := m.GlobalUnit("answer")
+	if !ok {
+		log.Fatal("no answer global")
+	}
+	return fo.UnitPointer(u)
+}
+
+func trunc(s string) string {
+	if len(s) > 12 {
+		return s[:9] + "..."
+	}
+	return s
+}

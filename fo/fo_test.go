@@ -1,0 +1,588 @@
+package fo_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"focc/fo"
+	"focc/internal/cc/token"
+	"focc/internal/interp"
+)
+
+// run compiles src and runs main under mode, returning the result and
+// captured program output.
+func run(t *testing.T, src string, mode fo.Mode) (fo.Result, string) {
+	t.Helper()
+	var out bytes.Buffer
+	res, err := fo.Run("test.c", src, mode, fo.MachineConfig{Out: &out})
+	if err != nil {
+		t.Fatalf("compile/run: %v", err)
+	}
+	return res, out.String()
+}
+
+func TestHelloWorld(t *testing.T) {
+	src := `
+#include <stdio.h>
+int main(void) {
+	printf("hello %s %d\n", "world", 42);
+	return 0;
+}
+`
+	res, out := run(t, src, fo.Standard)
+	if res.Outcome != fo.OutcomeOK {
+		t.Fatalf("outcome = %v (%v), want ok", res.Outcome, res.Err)
+	}
+	if res.Value.I != 0 {
+		t.Errorf("exit value = %d, want 0", res.Value.I)
+	}
+	if out != "hello world 42\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main(void) {
+	int i, sum = 0;
+	for (i = 0; i < 10; i++) sum += fib(i);
+	/* fib: 0 1 1 2 3 5 8 13 21 34 -> 88 */
+	return sum;
+}
+`
+	res, _ := run(t, src, fo.Standard)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 88 {
+		t.Fatalf("got outcome=%v value=%d err=%v, want ok/88", res.Outcome, res.Value.I, res.Err)
+	}
+}
+
+const heapOverflowSrc = `
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+	char *a = malloc(8);
+	char *b = malloc(8);
+	int i;
+	/* Overflow a: 8 in bounds + enough to reach b's header. */
+	for (i = 0; i < 24; i++) a[i] = 'A';
+	strcpy(b, "ok");
+	free(a);
+	free(b);
+	return 0;
+}
+`
+
+func TestHeapOverflowStandardCorrupts(t *testing.T) {
+	res, _ := run(t, heapOverflowSrc, fo.Standard)
+	if res.Outcome != fo.OutcomeHeapCorruption && res.Outcome != fo.OutcomeSegfault {
+		t.Fatalf("standard outcome = %v (%v), want heap corruption or segfault", res.Outcome, res.Err)
+	}
+}
+
+func TestHeapOverflowBoundsTerminates(t *testing.T) {
+	res, _ := run(t, heapOverflowSrc, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeMemErrorTermination {
+		t.Fatalf("bounds outcome = %v (%v), want memory-error termination", res.Outcome, res.Err)
+	}
+}
+
+func TestHeapOverflowObliviousContinues(t *testing.T) {
+	var out bytes.Buffer
+	log := fo.NewEventLog(0)
+	prog, err := fo.Compile("test.c", heapOverflowSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{
+		Mode: fo.FailureOblivious, Out: &out, Log: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 0 {
+		t.Fatalf("oblivious outcome = %v (%v), want ok", res.Outcome, res.Err)
+	}
+	if log.InvalidWrites() == 0 {
+		t.Errorf("expected discarded writes in the log, got %s", log.Summary())
+	}
+}
+
+const stackSmashSrc = `
+void vulnerable(void) {
+	int i; /* declared below buf in the frame, so the overrun cannot clobber it */
+	char buf[8];
+	for (i = 0; i < 64; i++) buf[i] = 0x41;
+}
+int main(void) {
+	vulnerable();
+	return 0;
+}
+`
+
+func TestStackSmashStandard(t *testing.T) {
+	res, _ := run(t, stackSmashSrc, fo.Standard)
+	if res.Outcome != fo.OutcomeStackSmash && res.Outcome != fo.OutcomeSegfault {
+		t.Fatalf("outcome = %v (%v), want stack smash or segfault", res.Outcome, res.Err)
+	}
+}
+
+func TestStackSmashObliviousSurvives(t *testing.T) {
+	res, _ := run(t, stackSmashSrc, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK {
+		t.Fatalf("outcome = %v (%v), want ok", res.Outcome, res.Err)
+	}
+}
+
+func TestManufacturedReadsTerminateScan(t *testing.T) {
+	// A scan loop that runs past the end of its buffer looking for '/'
+	// (the Midnight Commander pattern from paper §3). The manufactured
+	// sequence eventually produces '/' (47), so the loop exits.
+	src := `
+int main(void) {
+	char buf[4];
+	int i = 0;
+	buf[0] = 'a'; buf[1] = 'b'; buf[2] = 'c'; buf[3] = 'd';
+	while (buf[i] != '/') i++;
+	return i;
+}
+`
+	res, _ := run(t, src, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK {
+		t.Fatalf("outcome = %v (%v), want ok", res.Outcome, res.Err)
+	}
+	if res.Value.I < 4 {
+		t.Errorf("loop exited inside the buffer (i=%d)?", res.Value.I)
+	}
+}
+
+func TestStringsAndPointers(t *testing.T) {
+	src := `
+#include <string.h>
+#include <stdlib.h>
+int main(void) {
+	char buf[32];
+	char *p;
+	strcpy(buf, "hello");
+	strcat(buf, ", world");
+	if (strcmp(buf, "hello, world") != 0) return 1;
+	if (strlen(buf) != 12) return 2;
+	p = strchr(buf, 'w');
+	if (p == NULL) return 3;
+	if (p - buf != 7) return 4;
+	p = strdup(buf);
+	if (strncmp(p, buf, 12) != 0) return 5;
+	free(p);
+	return 0;
+}
+`
+	res, _ := run(t, src, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 0 {
+		t.Fatalf("outcome=%v value=%d err=%v", res.Outcome, res.Value.I, res.Err)
+	}
+}
+
+func TestStructsAndTypedefs(t *testing.T) {
+	src := `
+typedef struct point { int x; int y; } point_t;
+struct rect { point_t a; point_t b; };
+int area(struct rect *r) {
+	return (r->b.x - r->a.x) * (r->b.y - r->a.y);
+}
+int main(void) {
+	struct rect r;
+	r.a.x = 1; r.a.y = 2;
+	r.b.x = 5; r.b.y = 7;
+	return area(&r);
+}
+`
+	res, _ := run(t, src, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 20 {
+		t.Fatalf("outcome=%v value=%d err=%v, want 20", res.Outcome, res.Value.I, res.Err)
+	}
+}
+
+func TestGotoAndSwitch(t *testing.T) {
+	src := `
+int classify(int c) {
+	switch (c) {
+	case 0: return 10;
+	case 1:
+	case 2: return 20;
+	default: break;
+	}
+	return 30;
+}
+int parse(int n) {
+	int acc = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i == 7) goto bail;
+		acc += classify(i);
+	}
+	return acc;
+bail:
+	return -acc;
+}
+int main(void) { return parse(10) == -(10+20+20+30+30+30+30) ? 0 : 1; }
+`
+	res, _ := run(t, src, fo.Standard)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 0 {
+		t.Fatalf("outcome=%v value=%d err=%v", res.Outcome, res.Value.I, res.Err)
+	}
+}
+
+func TestSignExtensionPlainChar(t *testing.T) {
+	// Plain char is signed (the Sendmail attack depends on this).
+	src := `
+int main(void) {
+	char c = 0xFF;
+	int i = c;
+	return i == -1 ? 0 : 1;
+}
+`
+	res, _ := run(t, src, fo.Standard)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 0 {
+		t.Fatalf("outcome=%v value=%d err=%v", res.Outcome, res.Value.I, res.Err)
+	}
+}
+
+func TestCompileErrorsAreReported(t *testing.T) {
+	_, err := fo.Compile("bad.c", "int main(void) { return undeclared; }")
+	if err == nil {
+		t.Fatal("expected a compile error")
+	}
+	if !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNullDereference(t *testing.T) {
+	src := `
+int main(void) {
+	int *p = 0;
+	return *p;
+}
+`
+	res, _ := run(t, src, fo.Standard)
+	if res.Outcome != fo.OutcomeSegfault {
+		t.Fatalf("standard: outcome=%v, want segfault", res.Outcome)
+	}
+	res, _ = run(t, src, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeMemErrorTermination {
+		t.Fatalf("bounds: outcome=%v, want termination", res.Outcome)
+	}
+	res, _ = run(t, src, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK {
+		t.Fatalf("oblivious: outcome=%v (%v), want ok", res.Outcome, res.Err)
+	}
+}
+
+func TestCompileWithIncludesAndDefines(t *testing.T) {
+	src := `
+#include "myproj.h"
+int main(void) { return ANSWER + helper(); }
+`
+	prog, err := fo.CompileWith("t.c", src, fo.CompileOptions{
+		Includes: map[string]string{
+			"myproj.h": "static int helper(void) { return 2; }\n",
+		},
+		Defines: map[string]string{"ANSWER": "40"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.BoundsCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 42 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestStandardHeadersProvideNULLAndSizeT(t *testing.T) {
+	src := `
+#include <stdlib.h>
+#include <limits.h>
+int main(void) {
+	size_t n = 3;
+	char *p = NULL;
+	if (p != NULL) return 1;
+	if (INT_MAX != 2147483647) return 2;
+	if (CHAR_MIN != -128) return 3;
+	return (int) n;
+}
+`
+	res, _ := run(t, src, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 3 {
+		t.Fatalf("res = %v %d (%v)", res.Outcome, res.Value.I, res.Err)
+	}
+}
+
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious, fo.Boundless, fo.Redirect} {
+		got, err := fo.ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := fo.ParseMode("bogus"); err == nil {
+		t.Error("want error for bogus mode")
+	}
+}
+
+func TestCompileErrorStagesAndUnwrap(t *testing.T) {
+	_, err := fo.Compile("t.c", "#include \"missing.h\"\n")
+	ce, ok := err.(*fo.CompileError)
+	if !ok || ce.Stage != "preprocess" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ce.Unwrap()) == 0 {
+		t.Error("Unwrap returned nothing")
+	}
+	_, err = fo.Compile("t.c", "int f( {")
+	if ce, ok = err.(*fo.CompileError); !ok || ce.Stage != "parse" {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = fo.Compile("t.c", "int main(void){ return nope; }")
+	if ce, ok = err.(*fo.CompileError); !ok || ce.Stage != "analyze" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrIsMemError(t *testing.T) {
+	res, _ := run(t, "int main(void){ int *p = 0; return *p; }", fo.BoundsCheck)
+	if !fo.ErrIsMemError(res.Err) {
+		t.Errorf("ErrIsMemError(%v) = false", res.Err)
+	}
+	res, _ = run(t, "int main(void){ int *p = 0; return *p; }", fo.Standard)
+	if fo.ErrIsMemError(res.Err) {
+		t.Errorf("segfault misclassified as MemError")
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	prog, err := fo.Compile("name.c", "int main(void){ return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name() != "name.c" {
+		t.Errorf("Name() = %q", prog.Name())
+	}
+	if prog.Sema() == nil || len(prog.Sema().Funcs) != 1 {
+		t.Error("Sema() incomplete")
+	}
+}
+
+func TestBoundlessEliminatesSizeCalculationErrors(t *testing.T) {
+	// Paper §5.1: with boundless memory blocks, "if the program logic is
+	// otherwise acceptable, the program will execute acceptably" — data
+	// written past the end is read back intact.
+	src := `
+#include <stdlib.h>
+int main(void) {
+	char *buf = malloc(4);          /* too small */
+	int i, ok = 1;
+	for (i = 0; i < 16; i++)
+		buf[i] = (char)('a' + i);   /* writes 4..15 are out of bounds */
+	for (i = 0; i < 16; i++)
+		if (buf[i] != (char)('a' + i))
+			ok = 0;
+	return ok;
+}
+`
+	res, _ := run(t, src, fo.Boundless)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 1 {
+		t.Fatalf("boundless: %v value=%d (%v)", res.Outcome, res.Value.I, res.Err)
+	}
+	// Under plain failure-oblivious the read-back of the discarded tail
+	// manufactures values instead; ok stays 0 in practice.
+	res, _ = run(t, src, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK {
+		t.Fatalf("oblivious: %v", res.Outcome)
+	}
+}
+
+func TestRedirectReturnsConsistentInUnitData(t *testing.T) {
+	// Paper §5.1: redirect "may help related sets of out of bounds reads
+	// return consistent values from properly initialized data units."
+	src := `
+int main(void) {
+	char buf[4];
+	buf[0] = 'w'; buf[1] = 'x'; buf[2] = 'y'; buf[3] = 'z';
+	/* reads at 4..7 wrap to 0..3 */
+	if (buf[4] != 'w') return 1;
+	if (buf[5] != 'x') return 2;
+	if (buf[7] != 'z') return 3;
+	return 0;
+}
+`
+	res, _ := run(t, src, fo.Redirect)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 0 {
+		t.Fatalf("redirect: %v value=%d (%v)", res.Outcome, res.Value.I, res.Err)
+	}
+}
+
+func TestEventLogStreamViaConfig(t *testing.T) {
+	var stream bytes.Buffer
+	logger := fo.NewEventLog(0)
+	logger.Stream = &stream
+	prog, err := fo.Compile("t.c", `
+int main(void) {
+	char buf[2];
+	buf[5] = 'x';
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.FailureOblivious, Log: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != fo.OutcomeOK {
+		t.Fatal(res.Err)
+	}
+	if !strings.Contains(stream.String(), "invalid write") ||
+		!strings.Contains(stream.String(), "t.c:4") {
+		t.Errorf("stream = %q", stream.String())
+	}
+}
+
+func TestCustomBuiltinOverride(t *testing.T) {
+	prog, err := fo.Compile("t.c", `
+int hostvalue(void);
+int main(void) { return hostvalue(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{
+		Mode: fo.Standard,
+		Builtins: map[string]interp.BuiltinFunc{
+			"hostvalue": func(m *fo.Machine, _ token.Pos, _ []fo.Value) fo.Value {
+				return fo.Int(1234)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 1234 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMissingBuiltinFailsAtCallTime(t *testing.T) {
+	prog, err := fo.Compile("t.c", `
+int nowhere(void);
+int main(void) { return nowhere(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != fo.OutcomeRuntimeError {
+		t.Fatalf("res = %v, want runtime error (unresolved symbol)", res.Outcome)
+	}
+}
+
+// Compilation-pipeline benchmarks (substrate performance).
+func BenchmarkCompileSmall(b *testing.B) {
+	src := "int add(int a, int b) { return a + b; }\nint main(void) { return add(1, 2); }"
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if _, err := fo.Compile("bench.c", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMachineCreation(b *testing.B) {
+	prog, err := fo.Compile("bench.c", `
+char buffer[65536];
+int main(void) { return 0; }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := prog.NewMachine(fo.MachineConfig{Mode: fo.FailureOblivious}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallOverhead(b *testing.B) {
+	prog, err := fo.Compile("bench.c", "int id(int x) { return x; }")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.FailureOblivious})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if res := m.Call("id", fo.Int(int64(n))); res.Outcome != fo.OutcomeOK {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+func TestConcurrentMachinesShareOneProgram(t *testing.T) {
+	// Machines are single-threaded, but one compiled Program must be
+	// safely shared by machines running on different goroutines (the
+	// Apache pool pattern). Run with -race.
+	prog, err := fo.Compile("t.c", `
+#include <string.h>
+char out[64];
+int work(int seed) {
+	char buf[32];
+	int i;
+	for (i = 0; i < 31; i++)
+		buf[i] = (char)('a' + (seed + i) % 26);
+	buf[31] = '\0';
+	strcpy(out, buf);
+	return (int) strlen(out);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int) {
+			m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.FailureOblivious})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 50; i++ {
+				res := m.Call("work", fo.Int(int64(seed+i)))
+				if res.Outcome != fo.OutcomeOK || res.Value.I != 31 {
+					errs <- res.Err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

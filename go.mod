@@ -1,0 +1,3 @@
+module focc
+
+go 1.24

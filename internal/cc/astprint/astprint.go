@@ -1,0 +1,235 @@
+// Package astprint renders focc ASTs as an indented tree, with resolved
+// types when the tree has been through semantic analysis. It backs the
+// `focc -dump-ast` developer tool.
+package astprint
+
+import (
+	"fmt"
+	"io"
+
+	"focc/internal/cc/ast"
+)
+
+// File prints every declaration in the translation unit.
+func File(w io.Writer, f *ast.File) {
+	p := printer{w: w}
+	fmt.Fprintf(w, "File %s\n", f.Name)
+	for _, d := range f.Decls {
+		p.decl(d, 1)
+	}
+}
+
+// Node prints a single node (declaration, statement, or expression).
+func Node(w io.Writer, n ast.Node) {
+	p := printer{w: w}
+	switch v := n.(type) {
+	case ast.Decl:
+		p.decl(v, 0)
+	case ast.Stmt:
+		p.stmt(v, 0)
+	case ast.Expr:
+		p.expr(v, 0)
+	default:
+		fmt.Fprintf(w, "<%T>\n", n)
+	}
+}
+
+type printer struct {
+	w io.Writer
+}
+
+func (p *printer) line(depth int, format string, args ...any) {
+	for i := 0; i < depth; i++ {
+		io.WriteString(p.w, "  ")
+	}
+	fmt.Fprintf(p.w, format, args...)
+	io.WriteString(p.w, "\n")
+}
+
+func (p *printer) decl(d ast.Decl, depth int) {
+	switch n := d.(type) {
+	case *ast.VarDecl:
+		p.line(depth, "VarDecl %s : %s", n.Name, n.T)
+		if n.Init != nil {
+			p.expr(n.Init, depth+1)
+		}
+	case *ast.FuncDecl:
+		kind := "FuncDecl"
+		if n.Body == nil {
+			kind = "FuncProto"
+		}
+		p.line(depth, "%s %s : %s (frame %d bytes)", kind, n.Name, n.T, n.FrameSize)
+		for _, sym := range n.Locals {
+			p.line(depth+1, "local %s : %s @%d", sym.Name, sym.Type, sym.FrameOff)
+		}
+		if n.Body != nil {
+			p.stmt(n.Body, depth+1)
+		}
+	default:
+		p.line(depth, "<decl %T>", d)
+	}
+}
+
+func (p *printer) stmt(s ast.Stmt, depth int) {
+	switch n := s.(type) {
+	case *ast.Block:
+		p.line(depth, "Block")
+		for _, st := range n.Stmts {
+			p.stmt(st, depth+1)
+		}
+	case *ast.ExprStmt:
+		p.line(depth, "ExprStmt")
+		p.expr(n.X, depth+1)
+	case *ast.DeclStmt:
+		p.line(depth, "DeclStmt")
+		for _, vd := range n.Decls {
+			p.decl(vd, depth+1)
+		}
+	case *ast.If:
+		p.line(depth, "If")
+		p.expr(n.Cond, depth+1)
+		p.stmt(n.Then, depth+1)
+		if n.Else != nil {
+			p.line(depth, "Else")
+			p.stmt(n.Else, depth+1)
+		}
+	case *ast.While:
+		p.line(depth, "While")
+		p.expr(n.Cond, depth+1)
+		p.stmt(n.Body, depth+1)
+	case *ast.DoWhile:
+		p.line(depth, "DoWhile")
+		p.stmt(n.Body, depth+1)
+		p.expr(n.Cond, depth+1)
+	case *ast.For:
+		p.line(depth, "For")
+		if n.Init != nil {
+			p.stmt(n.Init, depth+1)
+		}
+		if n.Cond != nil {
+			p.expr(n.Cond, depth+1)
+		}
+		if n.Post != nil {
+			p.expr(n.Post, depth+1)
+		}
+		p.stmt(n.Body, depth+1)
+	case *ast.Switch:
+		p.line(depth, "Switch (default@%d, %d cases)", n.DefaultIdx, len(n.Cases))
+		p.expr(n.Cond, depth+1)
+		p.stmt(n.Body, depth+1)
+	case *ast.CaseLabel:
+		if n.IsDefault {
+			p.line(depth, "Default:")
+		} else {
+			p.line(depth, "Case %d:", n.FoldedVal)
+		}
+	case *ast.Break:
+		p.line(depth, "Break")
+	case *ast.Continue:
+		p.line(depth, "Continue")
+	case *ast.Return:
+		p.line(depth, "Return")
+		if n.X != nil {
+			p.expr(n.X, depth+1)
+		}
+	case *ast.Goto:
+		p.line(depth, "Goto %s", n.Label)
+	case *ast.Labeled:
+		p.line(depth, "Label %s:", n.Name)
+		p.stmt(n.Stmt, depth+1)
+	case *ast.Empty:
+		p.line(depth, "Empty")
+	default:
+		p.line(depth, "<stmt %T>", s)
+	}
+}
+
+// typeSuffix renders the annotated type, if any.
+func typeSuffix(e ast.Expr) string {
+	if t := e.Type(); t != nil {
+		return " : " + t.String()
+	}
+	return ""
+}
+
+func (p *printer) expr(e ast.Expr, depth int) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		p.line(depth, "Int %d%s", n.Val, typeSuffix(n))
+	case *ast.StringLit:
+		p.line(depth, "String %q (lit #%d)", n.Val, n.LitIndex)
+	case *ast.Ident:
+		storage := ""
+		if n.Sym != nil {
+			switch n.Sym.Storage {
+			case ast.StorageGlobal:
+				storage = " [global]"
+			case ast.StorageLocal:
+				storage = fmt.Sprintf(" [local @%d]", n.Sym.FrameOff)
+			case ast.StorageParam:
+				storage = fmt.Sprintf(" [param @%d]", n.Sym.FrameOff)
+			case ast.StorageFunc:
+				storage = " [func]"
+			}
+		}
+		p.line(depth, "Ident %s%s%s", n.Name, typeSuffix(n), storage)
+	case *ast.Unary:
+		p.line(depth, "Unary %s%s", n.Op, typeSuffix(n))
+		p.expr(n.X, depth+1)
+	case *ast.Postfix:
+		p.line(depth, "Postfix %s%s", n.Op, typeSuffix(n))
+		p.expr(n.X, depth+1)
+	case *ast.Binary:
+		p.line(depth, "Binary %s%s", n.Op, typeSuffix(n))
+		p.expr(n.X, depth+1)
+		p.expr(n.Y, depth+1)
+	case *ast.Assign:
+		p.line(depth, "Assign %s%s", n.Op, typeSuffix(n))
+		p.expr(n.LHS, depth+1)
+		p.expr(n.RHS, depth+1)
+	case *ast.Cond:
+		p.line(depth, "Cond ?:%s", typeSuffix(n))
+		p.expr(n.C, depth+1)
+		p.expr(n.Then, depth+1)
+		p.expr(n.Else, depth+1)
+	case *ast.Call:
+		builtin := ""
+		if n.Fun.Sym != nil && n.Fun.Sym.Builtin {
+			builtin = " [builtin]"
+		}
+		p.line(depth, "Call %s%s%s", n.Fun.Name, typeSuffix(n), builtin)
+		for _, a := range n.Args {
+			p.expr(a, depth+1)
+		}
+	case *ast.Index:
+		p.line(depth, "Index%s", typeSuffix(n))
+		p.expr(n.X, depth+1)
+		p.expr(n.Idx, depth+1)
+	case *ast.Member:
+		op := "."
+		if n.Arrow {
+			op = "->"
+		}
+		p.line(depth, "Member %s%s (offset %d)%s", op, n.Name, n.Field.Offset, typeSuffix(n))
+		p.expr(n.X, depth+1)
+	case *ast.SizeofExpr:
+		p.line(depth, "SizeofExpr")
+		p.expr(n.X, depth+1)
+	case *ast.SizeofType:
+		p.line(depth, "SizeofType %s", n.Of)
+	case *ast.Cast:
+		p.line(depth, "Cast -> %s", n.To)
+		p.expr(n.X, depth+1)
+	case *ast.Comma:
+		p.line(depth, "Comma%s", typeSuffix(n))
+		p.expr(n.X, depth+1)
+		p.expr(n.Y, depth+1)
+	case *ast.InitList:
+		p.line(depth, "InitList (%d elems)%s", len(n.Elems), typeSuffix(n))
+		for _, el := range n.Elems {
+			p.expr(el, depth+1)
+		}
+	default:
+		p.line(depth, "<expr %T>", e)
+	}
+}

@@ -1,0 +1,121 @@
+package astprint_test
+
+import (
+	"strings"
+	"testing"
+
+	"focc/internal/cc/astprint"
+	"focc/internal/cc/parser"
+	"focc/internal/cc/sema"
+	"focc/internal/libc"
+)
+
+const sample = `
+struct pt { int x; int y; };
+int g = 5;
+char *msg = "hi";
+int dist(struct pt *p) {
+	int d;
+	d = p->x * p->x + p->y * p->y;
+	return d;
+}
+int main(void) {
+	struct pt q;
+	int arr[3] = { 1, 2 };
+	int i;
+	q.x = 3; q.y = 4;
+	for (i = 0; i < 3; i++)
+		arr[i] += i;
+	switch (g) {
+	case 5: break;
+	default: g = (int) 0;
+	}
+	while (g > 0) g--;
+	do { g++; } while (0);
+	if (g) goto done;
+done:
+	return dist(&q) + arr[0] + (g ? 1 : 2) + sizeof(int);
+}
+`
+
+func dump(t *testing.T) string {
+	t.Helper()
+	f, errs := parser.ParseString("s.c", sample)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	if _, errs := sema.Analyze(f, libc.Prototypes()); len(errs) > 0 {
+		t.Fatalf("analyze: %v", errs[0])
+	}
+	var sb strings.Builder
+	astprint.File(&sb, f)
+	return sb.String()
+}
+
+func TestDumpContainsEveryConstruct(t *testing.T) {
+	out := dump(t)
+	for _, want := range []string{
+		"File s.c",
+		"VarDecl g : int",
+		"VarDecl msg : char*",
+		`String "hi"`,
+		"FuncDecl dist",
+		"frame",
+		"local d : int",
+		"Member ->x (offset 0) : int",
+		"Binary + : int",
+		"Assign = : int",
+		"Return",
+		"FuncDecl main",
+		"InitList (2 elems)",
+		"For",
+		"Postfix ++",
+		"Switch",
+		"Case 5:",
+		"Default:",
+		"While",
+		"DoWhile",
+		"Goto done",
+		"Label done:",
+		"Cast -> int",
+		"Cond ?: : int",
+		"Call dist",
+		"Unary & : struct pt*",
+		"Index : int",
+		"Ident g : int [global]",
+		"[param @0]",
+		"Break",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q\n--- dump ---\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpSingleNode(t *testing.T) {
+	f, errs := parser.ParseString("s.c", "int x = 1 + 2;")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	var sb strings.Builder
+	astprint.Node(&sb, f.Decls[0])
+	if !strings.Contains(sb.String(), "VarDecl x : int") {
+		t.Errorf("node dump = %q", sb.String())
+	}
+}
+
+func TestDumpBuiltinCallAnnotated(t *testing.T) {
+	f, errs := parser.ParseString("s.c", `
+int main(void) { return (int) strlen("abc"); }`)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if _, errs := sema.Analyze(f, libc.Prototypes()); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	var sb strings.Builder
+	astprint.File(&sb, f)
+	if !strings.Contains(sb.String(), "Call strlen : unsigned long [builtin]") {
+		t.Errorf("dump = %q", sb.String())
+	}
+}

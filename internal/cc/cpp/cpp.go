@@ -1,0 +1,748 @@
+// Package cpp implements the minimal C preprocessor used by focc: comment
+// stripping, line continuations, object-like and function-like #define,
+// #undef, #ifdef/#ifndef/#if/#else/#endif with defined(), #include from a
+// virtual header filesystem, and #error.
+//
+// The output is a []token.Line preserving original file/line positions, which
+// the lexer consumes directly. The # and ## macro operators are not
+// supported (the focc dialect does not need them).
+package cpp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"focc/internal/cc/token"
+)
+
+// Options configures preprocessing.
+type Options struct {
+	// Includes is a virtual filesystem for #include: name -> contents.
+	// Both #include "x.h" and #include <x.h> look up the same map.
+	Includes map[string]string
+	// Defines predefines object-like macros (value may be empty).
+	Defines map[string]string
+	// MaxIncludeDepth bounds nested includes; 0 means the default (16).
+	MaxIncludeDepth int
+}
+
+// Error is a preprocessing error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type macro struct {
+	params   []string // nil for object-like
+	funcLike bool
+	body     string
+}
+
+type pp struct {
+	opt    Options
+	macros map[string]macro
+	out    []token.Line
+	errs   []error
+}
+
+// Preprocess runs the preprocessor over src (named file for positions) and
+// returns the expanded, line-mapped output.
+func Preprocess(file, src string, opt Options) ([]token.Line, []error) {
+	p := &pp{opt: opt, macros: map[string]macro{}}
+	if p.opt.MaxIncludeDepth == 0 {
+		p.opt.MaxIncludeDepth = 16
+	}
+	for name, val := range opt.Defines {
+		p.macros[name] = macro{body: val}
+	}
+	p.file(file, src, 0)
+	return p.out, p.errs
+}
+
+func (p *pp) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// condState tracks one #if/#ifdef nesting level.
+type condState struct {
+	active    bool // this branch is being emitted
+	taken     bool // some branch at this level has been taken
+	sawElse   bool
+	parentOff bool // an enclosing level is inactive
+}
+
+func (p *pp) file(file, src string, depth int) {
+	if depth > p.opt.MaxIncludeDepth {
+		p.errorf(token.Pos{File: file, Line: 1, Col: 1}, "#include nesting too deep")
+		return
+	}
+	lines := logicalLines(file, stripComments(src))
+	var conds []condState
+
+	activeNow := func() bool {
+		for _, c := range conds {
+			if !c.active || c.parentOff {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, ln := range lines {
+		trimmed := strings.TrimSpace(ln.Text)
+		pos := token.Pos{File: ln.File, Line: ln.N, Col: 1}
+		if strings.HasPrefix(trimmed, "#") {
+			dir, rest := splitDirective(trimmed[1:])
+			switch dir {
+			case "ifdef", "ifndef":
+				name := strings.TrimSpace(rest)
+				_, defined := p.macros[name]
+				want := defined
+				if dir == "ifndef" {
+					want = !defined
+				}
+				conds = append(conds, condState{
+					active: want, taken: want, parentOff: !activeNow(),
+				})
+			case "if":
+				v := p.evalCond(pos, rest)
+				conds = append(conds, condState{
+					active: v, taken: v, parentOff: !activeNow(),
+				})
+			case "else":
+				if len(conds) == 0 {
+					p.errorf(pos, "#else without #if")
+					continue
+				}
+				c := &conds[len(conds)-1]
+				if c.sawElse {
+					p.errorf(pos, "duplicate #else")
+				}
+				c.sawElse = true
+				c.active = !c.taken
+				c.taken = true
+			case "endif":
+				if len(conds) == 0 {
+					p.errorf(pos, "#endif without #if")
+					continue
+				}
+				conds = conds[:len(conds)-1]
+			case "define":
+				if activeNow() {
+					p.define(pos, rest)
+				}
+			case "undef":
+				if activeNow() {
+					delete(p.macros, strings.TrimSpace(rest))
+				}
+			case "include":
+				if activeNow() {
+					p.include(pos, rest, depth)
+				}
+			case "error":
+				if activeNow() {
+					p.errorf(pos, "#error %s", strings.TrimSpace(rest))
+				}
+			case "pragma":
+				// Ignored.
+			case "":
+				// Null directive.
+			default:
+				if activeNow() {
+					p.errorf(pos, "unknown directive #%s", dir)
+				}
+			}
+			continue
+		}
+		if !activeNow() {
+			continue
+		}
+		expanded := p.expand(pos, ln.Text, nil)
+		p.out = append(p.out, token.Line{File: ln.File, N: ln.N, Text: expanded})
+	}
+	if len(conds) != 0 {
+		p.errorf(token.Pos{File: file, Line: len(lines), Col: 1}, "unterminated #if")
+	}
+}
+
+// splitDirective splits "define FOO 1" into ("define", " FOO 1").
+func splitDirective(s string) (string, string) {
+	s = strings.TrimLeft(s, " \t")
+	i := 0
+	for i < len(s) && s[i] >= 'a' && s[i] <= 'z' {
+		i++
+	}
+	return s[:i], s[i:]
+}
+
+func (p *pp) define(pos token.Pos, rest string) {
+	rest = strings.TrimLeft(rest, " \t")
+	i := 0
+	for i < len(rest) && isIdentByte(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		p.errorf(pos, "#define requires a macro name")
+		return
+	}
+	name := rest[:i]
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "(") {
+		// Function-like: parameters up to the matching ).
+		end := strings.IndexByte(rest, ')')
+		if end < 0 {
+			p.errorf(pos, "#define %s: missing ) in parameter list", name)
+			return
+		}
+		var params []string
+		inner := strings.TrimSpace(rest[1:end])
+		if inner != "" {
+			for _, prm := range strings.Split(inner, ",") {
+				params = append(params, strings.TrimSpace(prm))
+			}
+		}
+		p.macros[name] = macro{params: params, funcLike: true, body: strings.TrimSpace(rest[end+1:])}
+		return
+	}
+	p.macros[name] = macro{body: strings.TrimSpace(rest)}
+}
+
+func (p *pp) include(pos token.Pos, rest string, depth int) {
+	rest = strings.TrimSpace(rest)
+	var name string
+	switch {
+	case strings.HasPrefix(rest, `"`):
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			p.errorf(pos, "#include: unterminated file name")
+			return
+		}
+		name = rest[1 : 1+end]
+	case strings.HasPrefix(rest, "<"):
+		end := strings.IndexByte(rest, '>')
+		if end < 0 {
+			p.errorf(pos, "#include: unterminated file name")
+			return
+		}
+		name = rest[1:end]
+	default:
+		p.errorf(pos, "#include expects \"file\" or <file>")
+		return
+	}
+	src, ok := p.opt.Includes[name]
+	if !ok {
+		p.errorf(pos, "#include: %q not found", name)
+		return
+	}
+	p.file(name, src, depth+1)
+}
+
+// evalCond evaluates a #if condition: integer literals, defined(NAME),
+// defined NAME, !, &&, ||, comparisons (== != < <= > >=), additive and
+// multiplicative arithmetic, parentheses, and expanded object-like macros.
+func (p *pp) evalCond(pos token.Pos, s string) bool {
+	e := condEval{pp: p, pos: pos, s: s}
+	v := e.orExpr()
+	e.skipWS()
+	if e.i < len(e.s) && !e.failed {
+		p.errorf(pos, "#if: trailing characters %q", e.s[e.i:])
+	}
+	return v != 0
+}
+
+type condEval struct {
+	pp     *pp
+	pos    token.Pos
+	s      string
+	i      int
+	failed bool
+}
+
+func (e *condEval) skipWS() {
+	for e.i < len(e.s) && (e.s[e.i] == ' ' || e.s[e.i] == '\t') {
+		e.i++
+	}
+}
+
+func (e *condEval) orExpr() int64 {
+	v := e.andExpr()
+	for {
+		e.skipWS()
+		if strings.HasPrefix(e.s[e.i:], "||") {
+			e.i += 2
+			w := e.andExpr()
+			if v != 0 || w != 0 {
+				v = 1
+			} else {
+				v = 0
+			}
+			continue
+		}
+		return v
+	}
+}
+
+func (e *condEval) andExpr() int64 {
+	v := e.cmpExpr()
+	for {
+		e.skipWS()
+		if strings.HasPrefix(e.s[e.i:], "&&") {
+			e.i += 2
+			w := e.cmpExpr()
+			if v != 0 && w != 0 {
+				v = 1
+			} else {
+				v = 0
+			}
+			continue
+		}
+		return v
+	}
+}
+
+func (e *condEval) cmpExpr() int64 {
+	v := e.addExpr()
+	for {
+		e.skipWS()
+		rest := e.s[e.i:]
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case strings.HasPrefix(rest, "=="):
+			e.i += 2
+			v = b2i(v == e.addExpr())
+		case strings.HasPrefix(rest, "!="):
+			e.i += 2
+			v = b2i(v != e.addExpr())
+		case strings.HasPrefix(rest, "<="):
+			e.i += 2
+			v = b2i(v <= e.addExpr())
+		case strings.HasPrefix(rest, ">="):
+			e.i += 2
+			v = b2i(v >= e.addExpr())
+		case strings.HasPrefix(rest, "<") && !strings.HasPrefix(rest, "<<"):
+			e.i++
+			v = b2i(v < e.addExpr())
+		case strings.HasPrefix(rest, ">") && !strings.HasPrefix(rest, ">>"):
+			e.i++
+			v = b2i(v > e.addExpr())
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) addExpr() int64 {
+	v := e.mulExpr()
+	for {
+		e.skipWS()
+		if e.i >= len(e.s) {
+			return v
+		}
+		switch e.s[e.i] {
+		case '+':
+			e.i++
+			v += e.mulExpr()
+		case '-':
+			e.i++
+			v -= e.mulExpr()
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) mulExpr() int64 {
+	v := e.unary()
+	for {
+		e.skipWS()
+		if e.i >= len(e.s) {
+			return v
+		}
+		switch e.s[e.i] {
+		case '*':
+			e.i++
+			v *= e.unary()
+		case '/':
+			e.i++
+			if d := e.unary(); d != 0 {
+				v /= d
+			} else {
+				e.fail("division by zero in #if")
+			}
+		case '%':
+			e.i++
+			if d := e.unary(); d != 0 {
+				v %= d
+			} else {
+				e.fail("modulo by zero in #if")
+			}
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) unary() int64 {
+	e.skipWS()
+	if e.i < len(e.s) && e.s[e.i] == '!' {
+		e.i++
+		if e.unary() == 0 {
+			return 1
+		}
+		return 0
+	}
+	if e.i < len(e.s) && e.s[e.i] == '(' {
+		e.i++
+		v := e.orExpr()
+		e.skipWS()
+		if e.i < len(e.s) && e.s[e.i] == ')' {
+			e.i++
+		} else {
+			e.fail("missing )")
+		}
+		return v
+	}
+	return e.primary()
+}
+
+func (e *condEval) fail(msg string) {
+	if !e.failed {
+		e.pp.errorf(e.pos, "#if: %s", msg)
+		e.failed = true
+	}
+}
+
+func (e *condEval) primary() int64 {
+	e.skipWS()
+	if e.i >= len(e.s) {
+		e.fail("unexpected end of condition")
+		return 0
+	}
+	c := e.s[e.i]
+	if c >= '0' && c <= '9' {
+		j := e.i
+		for j < len(e.s) && isIdentByte(e.s[j], false) {
+			j++
+		}
+		v, err := strconv.ParseInt(strings.TrimRight(e.s[e.i:j], "uUlL"), 0, 64)
+		if err != nil {
+			e.fail("bad integer in condition")
+		}
+		e.i = j
+		return v
+	}
+	if isIdentByte(c, true) {
+		j := e.i
+		for j < len(e.s) && isIdentByte(e.s[j], false) {
+			j++
+		}
+		name := e.s[e.i:j]
+		e.i = j
+		if name == "defined" {
+			e.skipWS()
+			paren := false
+			if e.i < len(e.s) && e.s[e.i] == '(' {
+				paren = true
+				e.i++
+				e.skipWS()
+			}
+			k := e.i
+			for k < len(e.s) && isIdentByte(e.s[k], k == e.i) {
+				k++
+			}
+			arg := e.s[e.i:k]
+			e.i = k
+			if paren {
+				e.skipWS()
+				if e.i < len(e.s) && e.s[e.i] == ')' {
+					e.i++
+				} else {
+					e.fail("defined: missing )")
+				}
+			}
+			if _, ok := e.pp.macros[arg]; ok {
+				return 1
+			}
+			return 0
+		}
+		// Expand object-like macro to an integer if possible; undefined
+		// identifiers evaluate to 0 as in standard C.
+		if m, ok := e.pp.macros[name]; ok && !m.funcLike {
+			if v, err := strconv.ParseInt(strings.TrimSpace(m.body), 0, 64); err == nil {
+				return v
+			}
+		}
+		return 0
+	}
+	e.fail(fmt.Sprintf("unexpected character %q", c))
+	e.i++
+	return 0
+}
+
+func isIdentByte(c byte, first bool) bool {
+	if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// expand performs macro expansion on one line of text. active guards
+// against recursive expansion of the same macro.
+func (p *pp) expand(pos token.Pos, text string, active map[string]bool) string {
+	var sb strings.Builder
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '"' || c == '\'':
+			// Copy string/char literal verbatim.
+			q := c
+			sb.WriteByte(c)
+			i++
+			for i < len(text) {
+				sb.WriteByte(text[i])
+				if text[i] == '\\' && i+1 < len(text) {
+					i++
+					sb.WriteByte(text[i])
+					i++
+					continue
+				}
+				if text[i] == q {
+					i++
+					break
+				}
+				i++
+			}
+		case isIdentByte(c, true):
+			j := i
+			for j < len(text) && isIdentByte(text[j], false) {
+				j++
+			}
+			name := text[i:j]
+			m, ok := p.macros[name]
+			if !ok || active[name] {
+				sb.WriteString(name)
+				i = j
+				continue
+			}
+			if !m.funcLike {
+				sb.WriteString(p.withActive(pos, m.body, active, name))
+				i = j
+				continue
+			}
+			// Function-like: require '(' (possibly after spaces).
+			k := j
+			for k < len(text) && (text[k] == ' ' || text[k] == '\t') {
+				k++
+			}
+			if k >= len(text) || text[k] != '(' {
+				sb.WriteString(name)
+				i = j
+				continue
+			}
+			args, end, err := splitArgs(text, k)
+			if err != nil {
+				p.errorf(pos, "macro %s: %v", name, err)
+				sb.WriteString(name)
+				i = j
+				continue
+			}
+			if len(args) == 1 && len(m.params) == 0 && strings.TrimSpace(args[0]) == "" {
+				args = nil
+			}
+			if len(args) != len(m.params) {
+				p.errorf(pos, "macro %s expects %d arguments, got %d",
+					name, len(m.params), len(args))
+				sb.WriteString(name)
+				i = j
+				continue
+			}
+			// Expand arguments first (standard C ordering), then
+			// substitute into the body, then rescan.
+			expArgs := make(map[string]string, len(args))
+			for ai, a := range args {
+				expArgs[m.params[ai]] = p.expand(pos, strings.TrimSpace(a), active)
+			}
+			body := substituteParams(m.body, expArgs)
+			sb.WriteString(p.withActive(pos, body, active, name))
+			i = end
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return sb.String()
+}
+
+func (p *pp) withActive(pos token.Pos, body string, active map[string]bool, name string) string {
+	na := make(map[string]bool, len(active)+1)
+	for k := range active {
+		na[k] = true
+	}
+	na[name] = true
+	return p.expand(pos, body, na)
+}
+
+// splitArgs parses a macro argument list starting at the '(' at text[open];
+// it returns the raw argument texts and the index just past the ')'.
+func splitArgs(text string, open int) ([]string, int, error) {
+	depth := 0
+	var args []string
+	start := open + 1
+	i := open
+	for i < len(text) {
+		c := text[i]
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				args = append(args, text[start:i])
+				return args, i + 1, nil
+			}
+		case ',':
+			if depth == 1 {
+				args = append(args, text[start:i])
+				start = i + 1
+			}
+		case '"', '\'':
+			q := c
+			i++
+			for i < len(text) {
+				if text[i] == '\\' {
+					i++
+				} else if text[i] == q {
+					break
+				}
+				i++
+			}
+		}
+		i++
+	}
+	return nil, i, fmt.Errorf("unterminated argument list")
+}
+
+// substituteParams replaces parameter identifiers in a macro body with
+// argument text, respecting identifier boundaries and string literals.
+func substituteParams(body string, args map[string]string) string {
+	var sb strings.Builder
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		switch {
+		case c == '"' || c == '\'':
+			q := c
+			sb.WriteByte(c)
+			i++
+			for i < len(body) {
+				sb.WriteByte(body[i])
+				if body[i] == '\\' && i+1 < len(body) {
+					i++
+					sb.WriteByte(body[i])
+					i++
+					continue
+				}
+				if body[i] == q {
+					i++
+					break
+				}
+				i++
+			}
+		case isIdentByte(c, true):
+			j := i
+			for j < len(body) && isIdentByte(body[j], false) {
+				j++
+			}
+			word := body[i:j]
+			if rep, ok := args[word]; ok {
+				sb.WriteString(rep)
+			} else {
+				sb.WriteString(word)
+			}
+			i = j
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return sb.String()
+}
+
+// stripComments removes // and /* */ comments, preserving newlines so line
+// numbers survive, and leaving string/char literals intact.
+func stripComments(src string) string {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '"' || c == '\'':
+			q := c
+			sb.WriteByte(c)
+			i++
+			for i < len(src) && src[i] != '\n' {
+				sb.WriteByte(src[i])
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+					sb.WriteByte(src[i])
+					i++
+					continue
+				}
+				if src[i] == q {
+					i++
+					break
+				}
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			sb.WriteByte(' ')
+			for i < len(src) {
+				if src[i] == '*' && i+1 < len(src) && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				if src[i] == '\n' {
+					sb.WriteByte('\n')
+				}
+				i++
+			}
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return sb.String()
+}
+
+// logicalLines splits source into lines, joining backslash-continued lines
+// (the joined line keeps the first physical line's number).
+func logicalLines(file, src string) []token.Line {
+	phys := token.SplitLines(file, src)
+	var out []token.Line
+	for i := 0; i < len(phys); i++ {
+		ln := phys[i]
+		text := ln.Text
+		for strings.HasSuffix(strings.TrimRight(text, " \t"), "\\") && i+1 < len(phys) {
+			t := strings.TrimRight(text, " \t")
+			text = t[:len(t)-1] + phys[i+1].Text
+			i++
+		}
+		out = append(out, token.Line{File: ln.File, N: ln.N, Text: text})
+	}
+	return out
+}

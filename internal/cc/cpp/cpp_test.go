@@ -1,0 +1,285 @@
+package cpp
+
+import (
+	"strings"
+	"testing"
+
+	"focc/internal/cc/token"
+)
+
+func expand(t *testing.T, src string, opt Options) string {
+	t.Helper()
+	lines, errs := Preprocess("t.c", src, opt)
+	if len(errs) > 0 {
+		t.Fatalf("preprocess: %v", errs[0])
+	}
+	var sb strings.Builder
+	for _, ln := range lines {
+		sb.WriteString(ln.Text)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func ppErr(t *testing.T, src string, opt Options) []error {
+	t.Helper()
+	_, errs := Preprocess("t.c", src, opt)
+	return errs
+}
+
+func TestObjectMacro(t *testing.T) {
+	out := expand(t, "#define N 10\nint a[N];\n", Options{})
+	if !strings.Contains(out, "int a[10];") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestMacroWordBoundaries(t *testing.T) {
+	out := expand(t, "#define N 10\nint NN = N; int xN;\n", Options{})
+	if !strings.Contains(out, "int NN = 10; int xN;") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestMacroNotExpandedInStrings(t *testing.T) {
+	out := expand(t, "#define N 10\nchar *s = \"N is N\"; char c = 'N';\n", Options{})
+	if !strings.Contains(out, `"N is N"`) || !strings.Contains(out, "'N'") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFunctionMacro(t *testing.T) {
+	out := expand(t, "#define MAX(a, b) ((a) > (b) ? (a) : (b))\nx = MAX(1, y+2);\n", Options{})
+	if !strings.Contains(out, "x = ((1) > (y+2) ? (1) : (y+2));") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFunctionMacroNestedParens(t *testing.T) {
+	out := expand(t, "#define ID(x) x\ny = ID(f(a, b));\n", Options{})
+	if !strings.Contains(out, "y = f(a, b);") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFunctionMacroWithoutParensIsNotExpanded(t *testing.T) {
+	out := expand(t, "#define F(x) x\nint F;\n", Options{})
+	if !strings.Contains(out, "int F;") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestNestedMacroExpansion(t *testing.T) {
+	out := expand(t, "#define A B\n#define B 3\nx = A;\n", Options{})
+	if !strings.Contains(out, "x = 3;") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRecursiveMacroDoesNotLoop(t *testing.T) {
+	out := expand(t, "#define X X\ny = X;\n", Options{})
+	if !strings.Contains(out, "y = X;") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestUndef(t *testing.T) {
+	out := expand(t, "#define N 1\n#undef N\nx = N;\n", Options{})
+	if !strings.Contains(out, "x = N;") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIfdef(t *testing.T) {
+	src := "#define YES 1\n#ifdef YES\na\n#else\nb\n#endif\n#ifdef NO\nc\n#else\nd\n#endif\n"
+	out := expand(t, src, Options{})
+	if !strings.Contains(out, "a") || strings.Contains(out, "b") ||
+		strings.Contains(out, "c") || !strings.Contains(out, "d") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIfndefGuardIdiom(t *testing.T) {
+	hdr := "#ifndef H\n#define H\nint decl;\n#endif\n"
+	src := "#include \"h.h\"\n#include \"h.h\"\n"
+	out := expand(t, src, Options{Includes: map[string]string{"h.h": hdr}})
+	if strings.Count(out, "int decl;") != 1 {
+		t.Errorf("guard failed: %q", out)
+	}
+}
+
+func TestIfExpression(t *testing.T) {
+	cases := map[string]bool{
+		"#if 1\nx\n#endif\n":                           true,
+		"#if 0\nx\n#endif\n":                           false,
+		"#define A 1\n#if defined(A)\nx\n#endif\n":     true,
+		"#if defined(NOPE)\nx\n#endif\n":               false,
+		"#if !defined(NOPE)\nx\n#endif\n":              true,
+		"#define A 1\n#if defined A && 1\nx\n#endif\n": true,
+		"#if 0 || 1\nx\n#endif\n":                      true,
+		"#define V 3\n#if V\nx\n#endif\n":              true,
+		"#if UNDEFINED\nx\n#endif\n":                   false,
+		"#if (1) && (0)\nx\n#endif\n":                  false,
+	}
+	for src, want := range cases {
+		out := expand(t, src, Options{})
+		got := strings.Contains(out, "x")
+		if got != want {
+			t.Errorf("%q: emitted=%v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestNestedConditionals(t *testing.T) {
+	src := "#if 1\n#if 0\na\n#else\nb\n#endif\n#else\n#if 1\nc\n#endif\n#endif\n"
+	out := expand(t, src, Options{})
+	if strings.Contains(out, "a") || !strings.Contains(out, "b") || strings.Contains(out, "c") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestInactiveBranchSkipsDirectives(t *testing.T) {
+	src := "#if 0\n#define BAD 1\n#error should not fire\n#endif\nx = BAD;\n"
+	out := expand(t, src, Options{})
+	if !strings.Contains(out, "x = BAD;") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIncludePositions(t *testing.T) {
+	lines, errs := Preprocess("main.c", "#include <h.h>\nafter;\n",
+		Options{Includes: map[string]string{"h.h": "included;\n"}})
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	var foundInc, foundAfter bool
+	for _, ln := range lines {
+		if strings.Contains(ln.Text, "included") {
+			foundInc = true
+			if ln.File != "h.h" || ln.N != 1 {
+				t.Errorf("included line pos = %s:%d", ln.File, ln.N)
+			}
+		}
+		if strings.Contains(ln.Text, "after") {
+			foundAfter = true
+			if ln.File != "main.c" || ln.N != 2 {
+				t.Errorf("after line pos = %s:%d", ln.File, ln.N)
+			}
+		}
+	}
+	if !foundInc || !foundAfter {
+		t.Error("missing expected lines")
+	}
+}
+
+func TestIncludeDepthLimit(t *testing.T) {
+	errs := ppErr(t, "#include \"self.h\"\n",
+		Options{Includes: map[string]string{"self.h": "#include \"self.h\"\n"}})
+	if len(errs) == 0 {
+		t.Error("expected include-depth error")
+	}
+}
+
+func TestMissingInclude(t *testing.T) {
+	if errs := ppErr(t, "#include \"nope.h\"\n", Options{}); len(errs) == 0 {
+		t.Error("expected missing-include error")
+	}
+}
+
+func TestErrorDirective(t *testing.T) {
+	errs := ppErr(t, "#error custom message\n", Options{})
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "custom message") {
+		t.Errorf("errs = %v", errs)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	out := expand(t, "#define LONG 1 + \\\n 2\nx = LONG;\n", Options{})
+	if !strings.Contains(out, "x = 1 +  2;") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCommentStripping(t *testing.T) {
+	out := expand(t, "a /* hidden */ b // tail\nc\n", Options{})
+	if strings.Contains(out, "hidden") || strings.Contains(out, "tail") {
+		t.Errorf("out = %q", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") || !strings.Contains(out, "c") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCommentInsideStringKept(t *testing.T) {
+	out := expand(t, "char *s = \"/* not a comment */\";\n", Options{})
+	if !strings.Contains(out, "/* not a comment */") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPredefines(t *testing.T) {
+	out := expand(t, "x = FOO;\n", Options{Defines: map[string]string{"FOO": "7"}})
+	if !strings.Contains(out, "x = 7;") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestWrongArgCount(t *testing.T) {
+	errs := ppErr(t, "#define F(a, b) a+b\nx = F(1);\n", Options{})
+	if len(errs) == 0 {
+		t.Error("expected arity error")
+	}
+}
+
+func TestUnterminatedIf(t *testing.T) {
+	if errs := ppErr(t, "#if 1\nx\n", Options{}); len(errs) == 0 {
+		t.Error("expected unterminated-#if error")
+	}
+}
+
+func TestElseWithoutIf(t *testing.T) {
+	if errs := ppErr(t, "#else\n", Options{}); len(errs) == 0 {
+		t.Error("expected #else error")
+	}
+}
+
+func TestLineNumbersPreserved(t *testing.T) {
+	lines, errs := Preprocess("t.c", "#define A 1\n\nx = A;\n", Options{})
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	for _, ln := range lines {
+		if strings.Contains(ln.Text, "x =") && ln.N != 3 {
+			t.Errorf("x line number = %d, want 3", ln.N)
+		}
+	}
+	_ = token.Pos{}
+}
+
+func TestIfComparisonAndArithmetic(t *testing.T) {
+	cases := map[string]bool{
+		"#define V 3\n#if V == 3\nx\n#endif\n":                  true,
+		"#define V 3\n#if V != 3\nx\n#endif\n":                  false,
+		"#define V 3\n#if V >= 2 && V < 10\nx\n#endif\n":        true,
+		"#if 2 + 2 == 4\nx\n#endif\n":                           true,
+		"#if 3 * 3 > 8\nx\n#endif\n":                            true,
+		"#if 10 / 3 == 3\nx\n#endif\n":                          true,
+		"#if 10 % 3 == 1\nx\n#endif\n":                          true,
+		"#if 5 - 7 < 0\nx\n#endif\n":                            true,
+		"#if 1 <= 0\nx\n#endif\n":                               false,
+		"#define A 2\n#define B 3\n#if A * B == 6\nx\n#endif\n": true,
+	}
+	for src, want := range cases {
+		out := expand(t, src, Options{})
+		got := strings.Contains(out, "x")
+		if got != want {
+			t.Errorf("%q: emitted=%v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestIfDivisionByZeroIsError(t *testing.T) {
+	if errs := ppErr(t, "#if 1 / 0\nx\n#endif\n", Options{}); len(errs) == 0 {
+		t.Error("expected division-by-zero error")
+	}
+}

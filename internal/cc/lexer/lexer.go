@@ -1,0 +1,412 @@
+// Package lexer tokenizes focc C-dialect source text. It consumes the
+// line-mapped output of the preprocessor (or raw source split by
+// token.SplitLines) so every token carries its original source position.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"focc/internal/cc/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer tokenizes a sequence of source lines.
+type Lexer struct {
+	lines []token.Line
+	li    int    // current line index
+	text  string // current line text
+	off   int    // byte offset within text
+	errs  []error
+}
+
+// New returns a Lexer over preprocessed source lines.
+func New(lines []token.Line) *Lexer {
+	l := &Lexer{lines: lines}
+	if len(lines) > 0 {
+		l.text = lines[0].Text
+	}
+	return l
+}
+
+// NewString returns a Lexer over raw, unpreprocessed source.
+func NewString(file, src string) *Lexer {
+	return New(token.SplitLines(file, src))
+}
+
+// Errors returns all lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+// All tokenizes the entire input and returns the tokens, excluding the
+// trailing EOF, along with any errors.
+func (l *Lexer) All() ([]token.Token, []error) {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	return toks, l.errs
+}
+
+func (l *Lexer) pos() token.Pos {
+	if l.li >= len(l.lines) {
+		if n := len(l.lines); n > 0 {
+			last := l.lines[n-1]
+			return token.Pos{File: last.File, Line: last.N, Col: len(last.Text) + 1}
+		}
+		return token.Pos{Line: 1, Col: 1}
+	}
+	ln := l.lines[l.li]
+	return token.Pos{File: ln.File, Line: ln.N, Col: l.off + 1}
+}
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+// advanceLine moves to the next source line.
+func (l *Lexer) advanceLine() bool {
+	l.li++
+	l.off = 0
+	if l.li >= len(l.lines) {
+		l.text = ""
+		return false
+	}
+	l.text = l.lines[l.li].Text
+	return true
+}
+
+// skipSpace skips whitespace and comments, crossing line boundaries.
+func (l *Lexer) skipSpace() bool {
+	for {
+		for l.off < len(l.text) {
+			c := l.text[l.off]
+			switch {
+			case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+				l.off++
+			case c == '/' && l.off+1 < len(l.text) && l.text[l.off+1] == '/':
+				l.off = len(l.text)
+			case c == '/' && l.off+1 < len(l.text) && l.text[l.off+1] == '*':
+				if !l.skipBlockComment() {
+					return false
+				}
+			default:
+				return true
+			}
+		}
+		if l.li >= len(l.lines) || !l.advanceLine() {
+			return false
+		}
+	}
+}
+
+func (l *Lexer) skipBlockComment() bool {
+	start := l.pos()
+	l.off += 2
+	for {
+		if i := strings.Index(l.text[l.off:], "*/"); i >= 0 {
+			l.off += i + 2
+			return true
+		}
+		if !l.advanceLine() {
+			l.errorf(start, "unterminated block comment")
+			return false
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	if !l.skipSpace() {
+		return token.Token{Kind: token.EOF, Pos: l.pos()}
+	}
+	p := l.pos()
+	c := l.text[l.off]
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(p)
+	case isDigit(c):
+		return l.lexNumber(p)
+	case c == '\'':
+		return l.lexChar(p)
+	case c == '"':
+		return l.lexString(p)
+	}
+	return l.lexOperator(p)
+}
+
+func (l *Lexer) lexIdent(p token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.text) && isIdentCont(l.text[l.off]) {
+		l.off++
+	}
+	text := l.text[start:l.off]
+	if k, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: k, Pos: p, Text: text}
+	}
+	return token.Token{Kind: token.Ident, Pos: p, Text: text}
+}
+
+func (l *Lexer) lexNumber(p token.Pos) token.Token {
+	start := l.off
+	base := 10
+	if l.text[l.off] == '0' && l.off+1 < len(l.text) &&
+		(l.text[l.off+1] == 'x' || l.text[l.off+1] == 'X') {
+		base = 16
+		l.off += 2
+	} else if l.text[l.off] == '0' {
+		base = 8
+		l.off++
+	}
+	digStart := l.off
+	for l.off < len(l.text) {
+		c := l.text[l.off]
+		if isDigit(c) ||
+			(base == 16 && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))) {
+			l.off++
+			continue
+		}
+		break
+	}
+	digits := l.text[digStart:l.off]
+	if base == 8 && digits == "" {
+		// Plain "0".
+		base = 10
+		digits = "0"
+	}
+	if base == 16 && digits == "" {
+		l.errorf(p, "hexadecimal literal requires digits")
+		digits = "0"
+	}
+	var val uint64
+	overflow := false
+	for i := 0; i < len(digits); i++ {
+		d := uint64(hexVal(digits[i]))
+		if base == 8 && d > 7 {
+			l.errorf(p, "invalid digit %q in octal literal", digits[i])
+		}
+		nv := val*uint64(base) + d
+		if nv < val {
+			overflow = true
+		}
+		val = nv
+	}
+	if overflow {
+		l.errorf(p, "integer literal overflows 64 bits")
+	}
+	var unsigned, long bool
+	for l.off < len(l.text) {
+		switch l.text[l.off] {
+		case 'u', 'U':
+			unsigned = true
+			l.off++
+		case 'l', 'L':
+			long = true
+			l.off++
+		default:
+			goto done
+		}
+	}
+done:
+	if l.off < len(l.text) && isIdentCont(l.text[l.off]) {
+		l.errorf(p, "invalid character %q in integer literal", l.text[l.off])
+		for l.off < len(l.text) && isIdentCont(l.text[l.off]) {
+			l.off++
+		}
+	}
+	return token.Token{
+		Kind: token.IntLit, Pos: p, Text: l.text[start:l.off],
+		Val: int64(val), Unsigned: unsigned, Long: long,
+	}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return 0
+}
+
+// lexEscape decodes an escape sequence after the backslash has been seen.
+// l.off points at the character following the backslash.
+func (l *Lexer) lexEscape(p token.Pos) byte {
+	if l.off >= len(l.text) {
+		l.errorf(p, "unterminated escape sequence")
+		return 0
+	}
+	c := l.text[l.off]
+	l.off++
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		v := int(c - '0')
+		for i := 0; i < 2 && l.off < len(l.text); i++ {
+			d := l.text[l.off]
+			if d < '0' || d > '7' {
+				break
+			}
+			v = v*8 + int(d-'0')
+			l.off++
+		}
+		return byte(v)
+	case 'x':
+		v := 0
+		n := 0
+		for l.off < len(l.text) {
+			d := l.text[l.off]
+			if !isDigit(d) && !(d >= 'a' && d <= 'f') && !(d >= 'A' && d <= 'F') {
+				break
+			}
+			v = v*16 + hexVal(d)
+			l.off++
+			n++
+		}
+		if n == 0 {
+			l.errorf(p, "\\x requires hex digits")
+		}
+		return byte(v)
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	case 'a':
+		return 7
+	case 'b':
+		return 8
+	case 'f':
+		return 12
+	case 'v':
+		return 11
+	case '?':
+		return '?'
+	default:
+		l.errorf(p, "unknown escape sequence \\%c", c)
+		return c
+	}
+}
+
+func (l *Lexer) lexChar(p token.Pos) token.Token {
+	l.off++ // consume '
+	if l.off >= len(l.text) {
+		l.errorf(p, "unterminated character literal")
+		return token.Token{Kind: token.CharLit, Pos: p, Text: "''"}
+	}
+	var v byte
+	if l.text[l.off] == '\\' {
+		l.off++
+		v = l.lexEscape(p)
+	} else {
+		v = l.text[l.off]
+		l.off++
+	}
+	if l.off >= len(l.text) || l.text[l.off] != '\'' {
+		l.errorf(p, "unterminated character literal")
+	} else {
+		l.off++
+	}
+	return token.Token{Kind: token.CharLit, Pos: p, Text: fmt.Sprintf("'%c'", v), Val: int64(v)}
+}
+
+func (l *Lexer) lexString(p token.Pos) token.Token {
+	l.off++ // consume "
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.text) {
+			l.errorf(p, "unterminated string literal")
+			break
+		}
+		c := l.text[l.off]
+		if c == '"' {
+			l.off++
+			break
+		}
+		if c == '\\' {
+			l.off++
+			sb.WriteByte(l.lexEscape(p))
+			continue
+		}
+		sb.WriteByte(c)
+		l.off++
+	}
+	// Adjacent string literal concatenation: "a" "b" == "ab".
+	save := l.li
+	saveOff := l.off
+	saveText := l.text
+	if l.skipSpace() && l.off < len(l.text) && l.text[l.off] == '"' {
+		next := l.lexString(l.pos())
+		sb.WriteString(next.Text)
+	} else {
+		l.li, l.off = save, saveOff
+		l.text = saveText
+	}
+	return token.Token{Kind: token.StringLit, Pos: p, Text: sb.String()}
+}
+
+// operator table ordered so longer spellings are tried first.
+var operators = []struct {
+	text string
+	kind token.Kind
+}{
+	{"...", token.Ellipsis},
+	{"<<=", token.ShlEq}, {">>=", token.ShrEq},
+	{"->", token.Arrow}, {"++", token.Inc}, {"--", token.Dec},
+	{"<<", token.Shl}, {">>", token.Shr},
+	{"<=", token.Le}, {">=", token.Ge}, {"==", token.EqEq}, {"!=", token.NotEq},
+	{"&&", token.AndAnd}, {"||", token.OrOr},
+	{"+=", token.PlusEq}, {"-=", token.MinusEq}, {"*=", token.StarEq},
+	{"/=", token.SlashEq}, {"%=", token.PercentEq},
+	{"&=", token.AmpEq}, {"|=", token.PipeEq}, {"^=", token.CaretEq},
+	{"(", token.LParen}, {")", token.RParen},
+	{"{", token.LBrace}, {"}", token.RBrace},
+	{"[", token.LBracket}, {"]", token.RBracket},
+	{";", token.Semi}, {",", token.Comma}, {".", token.Dot},
+	{"+", token.Plus}, {"-", token.Minus}, {"*", token.Star},
+	{"/", token.Slash}, {"%", token.Percent},
+	{"&", token.Amp}, {"|", token.Pipe}, {"^", token.Caret},
+	{"~", token.Tilde}, {"!", token.Bang},
+	{"?", token.Question}, {":", token.Colon},
+	{"<", token.Lt}, {">", token.Gt}, {"=", token.Assign},
+}
+
+func (l *Lexer) lexOperator(p token.Pos) token.Token {
+	rest := l.text[l.off:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op.text) {
+			l.off += len(op.text)
+			return token.Token{Kind: op.kind, Pos: p, Text: op.text}
+		}
+	}
+	l.errorf(p, "unexpected character %q", l.text[l.off])
+	l.off++
+	return l.Next()
+}

@@ -1,0 +1,212 @@
+package lexer
+
+import (
+	"testing"
+
+	"focc/internal/cc/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := NewString("t.c", src).All()
+	if len(errs) > 0 {
+		t.Fatalf("lex %q: %v", src, errs[0])
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func one(t *testing.T, src string) token.Token {
+	t.Helper()
+	toks, errs := NewString("t.c", src).All()
+	if len(errs) > 0 {
+		t.Fatalf("lex %q: %v", src, errs[0])
+	}
+	if len(toks) != 1 {
+		t.Fatalf("lex %q: got %d tokens, want 1", src, len(toks))
+	}
+	return toks[0]
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "int foo while return unsigned charlie")
+	want := []token.Kind{token.KwInt, token.Ident, token.KwWhile,
+		token.KwReturn, token.KwUnsigned, token.Ident}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntLiterals(t *testing.T) {
+	cases := []struct {
+		src      string
+		val      int64
+		unsigned bool
+		long     bool
+	}{
+		{"0", 0, false, false},
+		{"42", 42, false, false},
+		{"0x2A", 42, false, false},
+		{"0X2a", 42, false, false},
+		{"052", 42, false, false},
+		{"42U", 42, true, false},
+		{"42L", 42, false, true},
+		{"42UL", 42, true, true},
+		{"42lu", 42, true, true},
+		{"0xffffffff", 0xffffffff, false, false},
+		{"9223372036854775807", 1<<63 - 1, false, false},
+	}
+	for _, c := range cases {
+		tok := one(t, c.src)
+		if tok.Kind != token.IntLit || tok.Val != c.val ||
+			tok.Unsigned != c.unsigned || tok.Long != c.long {
+			t.Errorf("%q -> %+v, want val=%d u=%v l=%v", c.src, tok, c.val, c.unsigned, c.long)
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	cases := map[string]int64{
+		`'a'`:    'a',
+		`'\n'`:   '\n',
+		`'\t'`:   '\t',
+		`'\0'`:   0,
+		`'\\'`:   '\\',
+		`'\''`:   '\'',
+		`'\x41'`: 'A',
+		`'\101'`: 'A',
+		`' '`:    ' ',
+	}
+	for src, want := range cases {
+		tok := one(t, src)
+		if tok.Kind != token.CharLit || tok.Val != want {
+			t.Errorf("%s -> kind=%v val=%d, want CharLit %d", src, tok.Kind, tok.Val, want)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	cases := map[string]string{
+		`"hello"`:        "hello",
+		`"a\nb"`:         "a\nb",
+		`"tab\there"`:    "tab\there",
+		`"q\"uote"`:      `q"uote`,
+		`"\x41\102"`:     "AB",
+		`""`:             "",
+		`"con" "cat"`:    "concat",
+		"\"a\" \n \"b\"": "ab", // concatenation across lines
+	}
+	for src, want := range cases {
+		tok := one(t, src)
+		if tok.Kind != token.StringLit || tok.Text != want {
+			t.Errorf("%s -> kind=%v text=%q, want %q", src, tok.Kind, tok.Text, want)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "<<= >>= ... -> ++ -- << >> <= >= == != && || += -= *= /= %= &= |= ^= ( ) { } [ ] ; , . + - * / % & | ^ ~ ! ? : < > ="
+	want := []token.Kind{
+		token.ShlEq, token.ShrEq, token.Ellipsis, token.Arrow, token.Inc,
+		token.Dec, token.Shl, token.Shr, token.Le, token.Ge, token.EqEq,
+		token.NotEq, token.AndAnd, token.OrOr, token.PlusEq, token.MinusEq,
+		token.StarEq, token.SlashEq, token.PercentEq, token.AmpEq,
+		token.PipeEq, token.CaretEq, token.LParen, token.RParen,
+		token.LBrace, token.RBrace, token.LBracket, token.RBracket,
+		token.Semi, token.Comma, token.Dot, token.Plus, token.Minus,
+		token.Star, token.Slash, token.Percent, token.Amp, token.Pipe,
+		token.Caret, token.Tilde, token.Bang, token.Question, token.Colon,
+		token.Lt, token.Gt, token.Assign,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaximalMunch(t *testing.T) {
+	// a+++b must lex as a ++ + b.
+	got := kinds(t, "a+++b")
+	want := []token.Kind{token.Ident, token.Inc, token.Plus, token.Ident}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // line comment\nb /* block */ c /* multi\nline */ d")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.Ident}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, errs := NewString("f.c", "int x;\n  y = 2;").All()
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if p := toks[0].Pos; p.File != "f.c" || p.Line != 1 || p.Col != 1 {
+		t.Errorf("first token pos = %v", p)
+	}
+	// "y" is on line 2 col 3.
+	if p := toks[3].Pos; p.Line != 2 || p.Col != 3 {
+		t.Errorf("y pos = %v", p)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{
+		"'a",                         // unterminated char
+		`"abc`,                       // unterminated string
+		"/* comment",                 // unterminated block comment
+		"0x",                         // hex without digits
+		"089",                        // bad octal digit
+		"@",                          // stray character
+		"123abc",                     // junk after number
+		`'\q'`,                       // unknown escape
+		"99999999999999999999999999", // overflow
+	} {
+		_, errs := NewString("t.c", src).All()
+		if len(errs) == 0 {
+			t.Errorf("lex %q: expected an error", src)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := NewString("t.c", "x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next after end = %v, want EOF", tok)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if token.Ident.String() != "identifier" {
+		t.Errorf("Ident.String() = %q", token.Ident.String())
+	}
+	if token.PlusEq.String() != "+=" {
+		t.Errorf("PlusEq.String() = %q", token.PlusEq.String())
+	}
+	if token.Kind(9999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

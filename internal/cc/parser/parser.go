@@ -1,0 +1,1161 @@
+// Package parser implements a recursive-descent parser for the focc C
+// dialect. The parser resolves type syntax (typedefs, struct/enum tags,
+// array sizes) during the parse, because C's grammar requires knowing which
+// identifiers name types; identifier *uses* in expressions are resolved
+// later by the semantic analyzer.
+package parser
+
+import (
+	"fmt"
+
+	"focc/internal/cc/ast"
+	"focc/internal/cc/lexer"
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parser parses one translation unit.
+type Parser struct {
+	toks   []token.Token
+	i      int
+	errs   []error
+	scopes []*scope
+	file   *ast.File
+	// EnumConsts accumulates file-scope enum constants for the semantic
+	// analyzer.
+	enumConsts map[string]int64
+}
+
+type scope struct {
+	typedefs map[string]*types.Type
+	tags     map[string]*types.Type
+}
+
+// Parse tokenizes and parses preprocessed source lines.
+func Parse(name string, lines []token.Line) (*ast.File, []error) {
+	lx := lexer.New(lines)
+	toks, lexErrs := lx.All()
+	p := &Parser{
+		toks:       toks,
+		errs:       append([]error{}, lexErrs...),
+		enumConsts: map[string]int64{},
+		file:       &ast.File{Name: name},
+	}
+	p.pushScope()
+	p.parseFile()
+	p.file.EnumConsts = p.enumConsts
+	if len(p.errs) > 0 {
+		return p.file, p.errs
+	}
+	return p.file, nil
+}
+
+// ParseString parses raw (already preprocessed or preprocessor-free) source.
+func ParseString(name, src string) (*ast.File, []error) {
+	return Parse(name, token.SplitLines(name, src))
+}
+
+// bailout is panicked on unrecoverable parse errors inside one declaration;
+// parseFile recovers and resynchronizes.
+type bailout struct{}
+
+func (p *Parser) pushScope() {
+	p.scopes = append(p.scopes, &scope{
+		typedefs: map[string]*types.Type{},
+		tags:     map[string]*types.Type{},
+	})
+}
+
+func (p *Parser) popScope() { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *Parser) lookupTypedef(name string) *types.Type {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if t, ok := p.scopes[i].typedefs[name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+func (p *Parser) lookupTag(name string) *types.Type {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if t, ok := p.scopes[i].tags[name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+func (p *Parser) cur() token.Token {
+	if p.i < len(p.toks) {
+		return p.toks[p.i]
+	}
+	if n := len(p.toks); n > 0 {
+		return token.Token{Kind: token.EOF, Pos: p.toks[n-1].Pos}
+	}
+	return token.Token{Kind: token.EOF}
+}
+
+func (p *Parser) peek(n int) token.Token {
+	if p.i+n < len(p.toks) {
+		return p.toks[p.i+n]
+	}
+	return token.Token{Kind: token.EOF}
+}
+
+func (p *Parser) next() token.Token {
+	t := p.cur()
+	p.i++
+	return t
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	panic(bailout{})
+}
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// sync skips tokens until just past the next ; at brace depth zero, or past
+// a closing } that returns to depth zero.
+func (p *Parser) sync() {
+	depth := 0
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.LBrace:
+			depth++
+		case token.RBrace:
+			depth--
+			if depth <= 0 {
+				p.next()
+				return
+			}
+		case token.Semi:
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseFile() {
+	for !p.at(token.EOF) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(bailout); !ok {
+						panic(r)
+					}
+					p.sync()
+				}
+			}()
+			p.parseTopDecl()
+		}()
+	}
+}
+
+// --- Declarations ---
+
+type declSpec struct {
+	base      *types.Type
+	isTypedef bool
+	isStatic  bool
+	isExtern  bool
+	pos       token.Pos
+}
+
+// isTypeStart reports whether the token at offset n begins a type.
+func (p *Parser) isTypeStart(n int) bool {
+	t := p.peek(n)
+	switch t.Kind {
+	case token.KwVoid, token.KwChar, token.KwShort, token.KwInt, token.KwLong,
+		token.KwSigned, token.KwUnsigned, token.KwStruct, token.KwUnion,
+		token.KwEnum, token.KwConst, token.KwTypedef, token.KwStatic,
+		token.KwExtern:
+		return true
+	case token.Ident:
+		return p.lookupTypedef(t.Text) != nil
+	}
+	return false
+}
+
+// parseDeclSpec parses declaration specifiers into a base type plus storage
+// flags.
+func (p *Parser) parseDeclSpec() declSpec {
+	ds := declSpec{pos: p.cur().Pos}
+	var (
+		sawVoid, sawChar, sawShort, sawInt bool
+		longCount                          int
+		sawSigned, sawUnsigned             bool
+		explicit                           *types.Type
+	)
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case token.KwConst:
+			p.next() // const is accepted and ignored
+		case token.KwStatic:
+			ds.isStatic = true
+			p.next()
+		case token.KwExtern:
+			ds.isExtern = true
+			p.next()
+		case token.KwTypedef:
+			ds.isTypedef = true
+			p.next()
+		case token.KwVoid:
+			sawVoid = true
+			p.next()
+		case token.KwChar:
+			sawChar = true
+			p.next()
+		case token.KwShort:
+			sawShort = true
+			p.next()
+		case token.KwInt:
+			sawInt = true
+			p.next()
+		case token.KwLong:
+			longCount++
+			p.next()
+		case token.KwSigned:
+			sawSigned = true
+			p.next()
+		case token.KwUnsigned:
+			sawUnsigned = true
+			p.next()
+		case token.KwStruct:
+			explicit = p.parseStructSpec()
+		case token.KwUnion:
+			p.errorf(t.Pos, "union is not supported by the focc dialect")
+			panic(bailout{})
+		case token.KwEnum:
+			explicit = p.parseEnumSpec()
+		case token.Ident:
+			if explicit == nil && !sawVoid && !sawChar && !sawShort &&
+				!sawInt && longCount == 0 && !sawSigned && !sawUnsigned {
+				if td := p.lookupTypedef(t.Text); td != nil {
+					explicit = td
+					p.next()
+					continue
+				}
+			}
+			goto done
+		default:
+			goto done
+		}
+	}
+done:
+	switch {
+	case explicit != nil:
+		ds.base = explicit
+	case sawVoid:
+		ds.base = types.VoidType
+	case sawChar:
+		switch {
+		case sawUnsigned:
+			ds.base = types.UCharType
+		case sawSigned:
+			ds.base = types.SCharType
+		default:
+			ds.base = types.CharType
+		}
+	case sawShort:
+		if sawUnsigned {
+			ds.base = types.UShortType
+		} else {
+			ds.base = types.ShortType
+		}
+	case longCount > 0:
+		if sawUnsigned {
+			ds.base = types.ULongType
+		} else {
+			ds.base = types.LongType
+		}
+	case sawInt || sawSigned:
+		if sawUnsigned {
+			ds.base = types.UIntType
+		} else {
+			ds.base = types.IntType
+		}
+	case sawUnsigned:
+		ds.base = types.UIntType
+	default:
+		p.errorf(ds.pos, "expected type specifier, found %s", p.cur())
+		panic(bailout{})
+	}
+	return ds
+}
+
+func (p *Parser) parseStructSpec() *types.Type {
+	p.expect(token.KwStruct)
+	var tag string
+	if p.at(token.Ident) {
+		tag = p.next().Text
+	}
+	var st *types.Type
+	if tag != "" {
+		if existing := p.lookupTag(tag); existing != nil && existing.Kind == types.Struct {
+			st = existing
+		}
+	}
+	if st == nil {
+		st = &types.Type{Kind: types.Struct, Rec: &types.StructInfo{Name: tag}}
+		if tag != "" {
+			p.scopes[len(p.scopes)-1].tags[tag] = st
+		}
+	}
+	if !p.at(token.LBrace) {
+		if tag == "" {
+			p.errorf(p.cur().Pos, "anonymous struct requires a body")
+			panic(bailout{})
+		}
+		return st
+	}
+	if st.Rec.Complete {
+		// Redefinition in an inner scope: make a fresh type.
+		st = &types.Type{Kind: types.Struct, Rec: &types.StructInfo{Name: tag}}
+		if tag != "" {
+			p.scopes[len(p.scopes)-1].tags[tag] = st
+		}
+	}
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		ds := p.parseDeclSpec()
+		for {
+			name, ft := p.parseDeclarator(ds.base)
+			if name == "" {
+				p.errorf(p.cur().Pos, "struct field requires a name")
+			}
+			if ft.Kind == types.Func {
+				p.errorf(p.cur().Pos, "struct field cannot have function type")
+			}
+			st.Rec.Fields = append(st.Rec.Fields, types.Field{Name: name, Type: ft})
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Semi)
+	}
+	p.expect(token.RBrace)
+	st.Rec.Layout()
+	return st
+}
+
+func (p *Parser) parseEnumSpec() *types.Type {
+	pos := p.expect(token.KwEnum).Pos
+	var tag string
+	if p.at(token.Ident) {
+		tag = p.next().Text
+	}
+	var et *types.Type
+	if tag != "" {
+		if existing := p.lookupTag(tag); existing != nil && existing.Kind == types.Enum {
+			et = existing
+		}
+	}
+	if et == nil {
+		et = &types.Type{Kind: types.Enum, En: &types.EnumInfo{Name: tag}}
+		if tag != "" {
+			p.scopes[len(p.scopes)-1].tags[tag] = et
+		}
+	}
+	if !p.at(token.LBrace) {
+		return et
+	}
+	if len(p.scopes) != 1 {
+		p.errorf(pos, "enum definitions are only supported at file scope")
+	}
+	p.expect(token.LBrace)
+	next := int64(0)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		nameTok := p.expect(token.Ident)
+		val := next
+		if p.accept(token.Assign) {
+			e := p.parseCondExpr()
+			v, ok := p.evalConst(e)
+			if !ok {
+				p.errorf(e.Pos(), "enum value must be a constant expression")
+			}
+			val = v
+		}
+		et.En.Constants = append(et.En.Constants, types.EnumConst{Name: nameTok.Text, Value: val})
+		p.enumConsts[nameTok.Text] = val
+		next = val + 1
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	p.expect(token.RBrace)
+	return et
+}
+
+// parseDeclarator parses pointer stars, a name (or nothing, for abstract
+// declarators), and array/function suffixes, producing the declared type.
+func (p *Parser) parseDeclarator(base *types.Type) (string, *types.Type) {
+	t := base
+	for p.accept(token.Star) {
+		t = types.PointerTo(t)
+		for p.accept(token.KwConst) {
+		}
+	}
+	var name string
+	if p.at(token.Ident) {
+		name = p.next().Text
+	}
+	return name, p.parseDeclSuffix(t)
+}
+
+func (p *Parser) parseDeclSuffix(t *types.Type) *types.Type {
+	// Collect array dimensions left-to-right, then apply right-to-left.
+	var dims []int
+	for {
+		switch {
+		case p.at(token.LBracket):
+			p.next()
+			if p.accept(token.RBracket) {
+				dims = append(dims, -1)
+				continue
+			}
+			e := p.parseCondExpr()
+			n, ok := p.evalConst(e)
+			if !ok || n < 0 {
+				p.errorf(e.Pos(), "array size must be a non-negative constant expression")
+				n = 0
+			}
+			p.expect(token.RBracket)
+			dims = append(dims, int(n))
+		case p.at(token.LParen):
+			fn := p.parseParamList()
+			fn.Ret = t
+			ft := &types.Type{Kind: types.Func, Fn: fn}
+			for i := len(dims) - 1; i >= 0; i-- {
+				p.errorf(p.cur().Pos, "array of functions is not supported")
+				_ = i
+				break
+			}
+			return ft
+		default:
+			for i := len(dims) - 1; i >= 0; i-- {
+				t = types.ArrayOf(t, dims[i])
+			}
+			return t
+		}
+	}
+}
+
+func (p *Parser) parseParamList() *types.FuncInfo {
+	p.expect(token.LParen)
+	fn := &types.FuncInfo{}
+	if p.accept(token.RParen) {
+		return fn
+	}
+	if p.at(token.KwVoid) && p.peek(1).Kind == token.RParen {
+		p.next()
+		p.next()
+		return fn
+	}
+	for {
+		if p.accept(token.Ellipsis) {
+			fn.Variadic = true
+			break
+		}
+		ds := p.parseDeclSpec()
+		name, t := p.parseDeclarator(ds.base)
+		// Parameters of array type decay to pointers.
+		t = t.Decay()
+		fn.Params = append(fn.Params, types.Param{Name: name, Type: t})
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	p.expect(token.RParen)
+	return fn
+}
+
+func (p *Parser) parseTopDecl() {
+	ds := p.parseDeclSpec()
+	if ds.isTypedef {
+		for {
+			name, t := p.parseDeclarator(ds.base)
+			if name == "" {
+				p.errorf(ds.pos, "typedef requires a name")
+			} else {
+				p.scopes[len(p.scopes)-1].typedefs[name] = t
+			}
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Semi)
+		return
+	}
+	// Bare "struct X {...};" or "enum {...};".
+	if p.accept(token.Semi) {
+		return
+	}
+	name, t := p.parseDeclarator(ds.base)
+	if t.Kind == types.Func {
+		if p.at(token.LBrace) {
+			fd := &ast.FuncDecl{Name: name, T: t}
+			fd.P = ds.pos
+			fd.Body = p.parseBlock()
+			p.file.Decls = append(p.file.Decls, fd)
+			return
+		}
+		// Prototype.
+		fd := &ast.FuncDecl{Name: name, T: t}
+		fd.P = ds.pos
+		p.file.Decls = append(p.file.Decls, fd)
+		if p.accept(token.Comma) {
+			p.errorf(p.cur().Pos, "multiple declarators after a function prototype are not supported")
+		}
+		p.expect(token.Semi)
+		return
+	}
+	// Variable declaration list.
+	for {
+		vd := &ast.VarDecl{Name: name, T: t}
+		vd.P = ds.pos
+		if p.accept(token.Assign) {
+			vd.Init = p.parseInitializer()
+		}
+		if name == "" {
+			p.errorf(ds.pos, "declaration requires a name")
+		}
+		p.file.Decls = append(p.file.Decls, vd)
+		if !p.accept(token.Comma) {
+			break
+		}
+		name, t = p.parseDeclarator(ds.base)
+	}
+	p.expect(token.Semi)
+}
+
+func (p *Parser) parseInitializer() ast.Expr {
+	if p.at(token.LBrace) {
+		pos := p.next().Pos
+		il := &ast.InitList{}
+		il.P = pos
+		for !p.at(token.RBrace) && !p.at(token.EOF) {
+			il.Elems = append(il.Elems, p.parseInitializer())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RBrace)
+		return il
+	}
+	return p.parseAssignExpr()
+}
+
+// --- Statements ---
+
+func (p *Parser) parseBlock() *ast.Block {
+	b := &ast.Block{}
+	b.P = p.expect(token.LBrace).Pos
+	p.pushScope()
+	defer p.popScope()
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.Semi:
+		p.next()
+		s := &ast.Empty{}
+		s.P = t.Pos
+		return s
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwDo:
+		return p.parseDoWhile()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwSwitch:
+		return p.parseSwitch()
+	case token.KwCase, token.KwDefault:
+		return p.parseCaseLabel()
+	case token.KwBreak:
+		p.next()
+		p.expect(token.Semi)
+		s := &ast.Break{}
+		s.P = t.Pos
+		return s
+	case token.KwContinue:
+		p.next()
+		p.expect(token.Semi)
+		s := &ast.Continue{}
+		s.P = t.Pos
+		return s
+	case token.KwReturn:
+		p.next()
+		s := &ast.Return{}
+		s.P = t.Pos
+		if !p.at(token.Semi) {
+			s.X = p.parseExpr()
+		}
+		p.expect(token.Semi)
+		return s
+	case token.KwGoto:
+		p.next()
+		lbl := p.expect(token.Ident)
+		p.expect(token.Semi)
+		s := &ast.Goto{Label: lbl.Text}
+		s.P = t.Pos
+		return s
+	case token.Ident:
+		// Label: "name: stmt".
+		if p.peek(1).Kind == token.Colon {
+			name := p.next().Text
+			p.next() // colon
+			s := &ast.Labeled{Name: name}
+			s.P = t.Pos
+			if p.at(token.RBrace) {
+				e := &ast.Empty{}
+				e.P = p.cur().Pos
+				s.Stmt = e
+			} else {
+				s.Stmt = p.parseStmt()
+			}
+			return s
+		}
+	}
+	if p.isTypeStart(0) {
+		return p.parseDeclStmt()
+	}
+	e := p.parseExpr()
+	p.expect(token.Semi)
+	s := &ast.ExprStmt{X: e}
+	s.P = t.Pos
+	return s
+}
+
+func (p *Parser) parseDeclStmt() ast.Stmt {
+	pos := p.cur().Pos
+	ds := p.parseDeclSpec()
+	if ds.isTypedef {
+		for {
+			name, t := p.parseDeclarator(ds.base)
+			if name == "" {
+				p.errorf(ds.pos, "typedef requires a name")
+			} else {
+				p.scopes[len(p.scopes)-1].typedefs[name] = t
+			}
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Semi)
+		s := &ast.Empty{}
+		s.P = pos
+		return s
+	}
+	if ds.isStatic {
+		p.errorf(pos, "static local variables are not supported by the focc dialect")
+	}
+	st := &ast.DeclStmt{}
+	st.P = pos
+	if p.accept(token.Semi) {
+		// "struct X {...};" inside a block.
+		return st
+	}
+	for {
+		name, t := p.parseDeclarator(ds.base)
+		vd := &ast.VarDecl{Name: name, T: t}
+		vd.P = pos
+		if p.accept(token.Assign) {
+			vd.Init = p.parseInitializer()
+		}
+		if name == "" {
+			p.errorf(pos, "declaration requires a name")
+		}
+		st.Decls = append(st.Decls, vd)
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	p.expect(token.Semi)
+	return st
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	pos := p.expect(token.KwIf).Pos
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	s := &ast.If{Cond: cond}
+	s.P = pos
+	s.Then = p.parseStmt()
+	if p.accept(token.KwElse) {
+		s.Else = p.parseStmt()
+	}
+	return s
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	pos := p.expect(token.KwWhile).Pos
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	s := &ast.While{Cond: cond}
+	s.P = pos
+	s.Body = p.parseStmt()
+	return s
+}
+
+func (p *Parser) parseDoWhile() ast.Stmt {
+	pos := p.expect(token.KwDo).Pos
+	s := &ast.DoWhile{}
+	s.P = pos
+	s.Body = p.parseStmt()
+	p.expect(token.KwWhile)
+	p.expect(token.LParen)
+	s.Cond = p.parseExpr()
+	p.expect(token.RParen)
+	p.expect(token.Semi)
+	return s
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	pos := p.expect(token.KwFor).Pos
+	p.expect(token.LParen)
+	p.pushScope()
+	defer p.popScope()
+	s := &ast.For{}
+	s.P = pos
+	if !p.at(token.Semi) {
+		if p.isTypeStart(0) {
+			s.Init = p.parseDeclStmt()
+		} else {
+			e := p.parseExpr()
+			p.expect(token.Semi)
+			es := &ast.ExprStmt{X: e}
+			es.P = e.Pos()
+			s.Init = es
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(token.Semi) {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	if !p.at(token.RParen) {
+		s.Post = p.parseExpr()
+	}
+	p.expect(token.RParen)
+	s.Body = p.parseStmt()
+	return s
+}
+
+func (p *Parser) parseSwitch() ast.Stmt {
+	pos := p.expect(token.KwSwitch).Pos
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	s := &ast.Switch{Cond: cond, DefaultIdx: -1}
+	s.P = pos
+	if !p.at(token.LBrace) {
+		p.errorf(p.cur().Pos, "switch body must be a block")
+		panic(bailout{})
+	}
+	s.Body = p.parseBlock()
+	return s
+}
+
+func (p *Parser) parseCaseLabel() ast.Stmt {
+	t := p.next()
+	s := &ast.CaseLabel{IsDefault: t.Kind == token.KwDefault}
+	s.P = t.Pos
+	if !s.IsDefault {
+		s.Val = p.parseCondExpr()
+	}
+	p.expect(token.Colon)
+	return s
+}
+
+// --- Expressions ---
+
+func (p *Parser) parseExpr() ast.Expr {
+	e := p.parseAssignExpr()
+	for p.at(token.Comma) {
+		pos := p.next().Pos
+		y := p.parseAssignExpr()
+		c := &ast.Comma{X: e, Y: y}
+		c.P = pos
+		e = c
+	}
+	return e
+}
+
+func isAssignOp(k token.Kind) bool {
+	switch k {
+	case token.Assign, token.PlusEq, token.MinusEq, token.StarEq,
+		token.SlashEq, token.PercentEq, token.AmpEq, token.PipeEq,
+		token.CaretEq, token.ShlEq, token.ShrEq:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseCondExpr()
+	if isAssignOp(p.cur().Kind) {
+		op := p.next()
+		rhs := p.parseAssignExpr()
+		a := &ast.Assign{Op: op.Kind, LHS: lhs, RHS: rhs}
+		a.P = op.Pos
+		return a
+	}
+	return lhs
+}
+
+func (p *Parser) parseCondExpr() ast.Expr {
+	c := p.parseBinaryExpr(1)
+	if p.at(token.Question) {
+		pos := p.next().Pos
+		then := p.parseExpr()
+		p.expect(token.Colon)
+		els := p.parseCondExpr()
+		e := &ast.Cond{C: c, Then: then, Else: els}
+		e.P = pos
+		return e
+	}
+	return c
+}
+
+// binPrec returns the precedence of a binary operator, or 0.
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.OrOr:
+		return 1
+	case token.AndAnd:
+		return 2
+	case token.Pipe:
+		return 3
+	case token.Caret:
+		return 4
+	case token.Amp:
+		return 5
+	case token.EqEq, token.NotEq:
+		return 6
+	case token.Lt, token.Gt, token.Le, token.Ge:
+		return 7
+	case token.Shl, token.Shr:
+		return 8
+	case token.Plus, token.Minus:
+		return 9
+	case token.Star, token.Slash, token.Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) ast.Expr {
+	lhs := p.parseCastExpr()
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return lhs
+		}
+		op := p.next()
+		rhs := p.parseBinaryExpr(prec + 1)
+		b := &ast.Binary{Op: op.Kind, X: lhs, Y: rhs}
+		b.P = op.Pos
+		lhs = b
+	}
+}
+
+func (p *Parser) parseCastExpr() ast.Expr {
+	if p.at(token.LParen) && p.isTypeStart(1) {
+		pos := p.next().Pos
+		t := p.parseTypeName()
+		p.expect(token.RParen)
+		x := p.parseCastExpr()
+		c := &ast.Cast{To: t, X: x}
+		c.P = pos
+		return c
+	}
+	return p.parseUnaryExpr()
+}
+
+// parseTypeName parses an abstract type (for casts and sizeof).
+func (p *Parser) parseTypeName() *types.Type {
+	ds := p.parseDeclSpec()
+	name, t := p.parseDeclarator(ds.base)
+	if name != "" {
+		p.errorf(ds.pos, "type name must be abstract (no identifier)")
+	}
+	return t
+}
+
+func (p *Parser) parseUnaryExpr() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.Plus, token.Minus, token.Bang, token.Tilde, token.Star, token.Amp:
+		p.next()
+		x := p.parseCastExpr()
+		u := &ast.Unary{Op: t.Kind, X: x}
+		u.P = t.Pos
+		return u
+	case token.Inc, token.Dec:
+		p.next()
+		x := p.parseUnaryExpr()
+		u := &ast.Unary{Op: t.Kind, X: x}
+		u.P = t.Pos
+		return u
+	case token.KwSizeof:
+		p.next()
+		if p.at(token.LParen) && p.isTypeStart(1) {
+			p.next()
+			ty := p.parseTypeName()
+			p.expect(token.RParen)
+			s := &ast.SizeofType{Of: ty}
+			s.P = t.Pos
+			return s
+		}
+		x := p.parseUnaryExpr()
+		s := &ast.SizeofExpr{X: x}
+		s.P = t.Pos
+		return s
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *Parser) parsePostfixExpr() ast.Expr {
+	e := p.parsePrimaryExpr()
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case token.LBracket:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			n := &ast.Index{X: e, Idx: idx}
+			n.P = t.Pos
+			e = n
+		case token.LParen:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				p.errorf(t.Pos, "only direct calls of named functions are supported")
+				panic(bailout{})
+			}
+			p.next()
+			call := &ast.Call{Fun: id}
+			call.P = t.Pos
+			if !p.at(token.RParen) {
+				for {
+					call.Args = append(call.Args, p.parseAssignExpr())
+					if !p.accept(token.Comma) {
+						break
+					}
+				}
+			}
+			p.expect(token.RParen)
+			e = call
+		case token.Dot, token.Arrow:
+			p.next()
+			name := p.expect(token.Ident)
+			n := &ast.Member{X: e, Name: name.Text, Arrow: t.Kind == token.Arrow}
+			n.P = t.Pos
+			e = n
+		case token.Inc, token.Dec:
+			p.next()
+			n := &ast.Postfix{Op: t.Kind, X: e}
+			n.P = t.Pos
+			e = n
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.IntLit, token.CharLit:
+		p.next()
+		e := &ast.IntLit{Val: t.Val}
+		e.P = t.Pos
+		if t.Kind == token.IntLit {
+			switch {
+			case t.Unsigned && t.Long:
+				e.SetType(types.ULongType)
+			case t.Long:
+				e.SetType(types.LongType)
+			case t.Unsigned:
+				e.SetType(types.UIntType)
+			}
+		}
+		return e
+	case token.StringLit:
+		p.next()
+		e := &ast.StringLit{Val: t.Text}
+		e.P = t.Pos
+		return e
+	case token.Ident:
+		p.next()
+		e := &ast.Ident{Name: t.Text}
+		e.P = t.Pos
+		return e
+	case token.LParen:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RParen)
+		return e
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	panic(bailout{})
+}
+
+// --- Parse-time constant evaluation (array sizes, enum values) ---
+
+// evalConst evaluates an integer constant expression at parse time. Only
+// literals, enum constants seen so far, sizeof, casts to integer types, and
+// pure arithmetic are supported.
+func (p *Parser) evalConst(e ast.Expr) (int64, bool) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return n.Val, true
+	case *ast.Ident:
+		if v, ok := p.enumConsts[n.Name]; ok {
+			return v, true
+		}
+		return 0, false
+	case *ast.SizeofType:
+		return int64(n.Of.Size()), true
+	case *ast.SizeofExpr:
+		return 0, false // sizeof(expr) needs sema types; unsupported here
+	case *ast.Cast:
+		v, ok := p.evalConst(n.X)
+		if !ok || !n.To.IsInteger() {
+			return 0, false
+		}
+		return types.Truncate(n.To, v), true
+	case *ast.Unary:
+		v, ok := p.evalConst(n.X)
+		if !ok {
+			return 0, false
+		}
+		switch n.Op {
+		case token.Minus:
+			return -v, true
+		case token.Plus:
+			return v, true
+		case token.Tilde:
+			return ^v, true
+		case token.Bang:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *ast.Cond:
+		c, ok := p.evalConst(n.C)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return p.evalConst(n.Then)
+		}
+		return p.evalConst(n.Else)
+	case *ast.Binary:
+		x, ok1 := p.evalConst(n.X)
+		y, ok2 := p.evalConst(n.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return evalConstBinary(n.Op, x, y)
+	}
+	return 0, false
+}
+
+func evalConstBinary(op token.Kind, x, y int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case token.Plus:
+		return x + y, true
+	case token.Minus:
+		return x - y, true
+	case token.Star:
+		return x * y, true
+	case token.Slash:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case token.Percent:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case token.Shl:
+		return x << uint64(y&63), true
+	case token.Shr:
+		return x >> uint64(y&63), true
+	case token.Amp:
+		return x & y, true
+	case token.Pipe:
+		return x | y, true
+	case token.Caret:
+		return x ^ y, true
+	case token.Lt:
+		return b2i(x < y), true
+	case token.Gt:
+		return b2i(x > y), true
+	case token.Le:
+		return b2i(x <= y), true
+	case token.Ge:
+		return b2i(x >= y), true
+	case token.EqEq:
+		return b2i(x == y), true
+	case token.NotEq:
+		return b2i(x != y), true
+	case token.AndAnd:
+		return b2i(x != 0 && y != 0), true
+	case token.OrOr:
+		return b2i(x != 0 || y != 0), true
+	}
+	return 0, false
+}

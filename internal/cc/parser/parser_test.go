@@ -1,0 +1,529 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"focc/internal/cc/ast"
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, errs := ParseString("t.c", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	return f
+}
+
+func parseErrs(t *testing.T, src string) []error {
+	t.Helper()
+	_, errs := ParseString("t.c", src)
+	return errs
+}
+
+func firstFunc(t *testing.T, f *ast.File) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	t.Fatal("no function declaration")
+	return nil
+}
+
+func TestSimpleFunction(t *testing.T) {
+	f := parse(t, "int main(void) { return 0; }")
+	fd := firstFunc(t, f)
+	if fd.Name != "main" {
+		t.Errorf("name = %q", fd.Name)
+	}
+	if fd.T.Fn.Ret.Kind != types.Int || len(fd.T.Fn.Params) != 0 {
+		t.Errorf("type = %s", fd.T)
+	}
+	if fd.Body == nil || len(fd.Body.Stmts) != 1 {
+		t.Errorf("body = %+v", fd.Body)
+	}
+}
+
+func TestDeclaratorTypes(t *testing.T) {
+	cases := map[string]string{
+		"int x;":              "int",
+		"char *p;":            "char*",
+		"unsigned char **pp;": "unsigned char**",
+		"long a[3];":          "long[3]",
+		"char b[2][5];":       "char[2][5]",
+		"const char *s;":      "char*",
+		"unsigned long n;":    "unsigned long",
+		"signed char sc;":     "signed char",
+		"short s1;":           "short",
+		"unsigned short s2;":  "unsigned short",
+		"unsigned u;":         "unsigned int",
+		"long long big;":      "long",
+		"void *vp;":           "void*",
+		"int *arr[4];":        "int*[4]",
+	}
+	for src, want := range cases {
+		f := parse(t, src)
+		vd, ok := f.Decls[0].(*ast.VarDecl)
+		if !ok {
+			t.Fatalf("%q: not a VarDecl", src)
+		}
+		if got := vd.T.String(); got != want {
+			t.Errorf("%q -> %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestMultipleDeclarators(t *testing.T) {
+	f := parse(t, "int a, *b, c[4];")
+	if len(f.Decls) != 3 {
+		t.Fatalf("got %d decls", len(f.Decls))
+	}
+	wants := []string{"int", "int*", "int[4]"}
+	for i, want := range wants {
+		vd := f.Decls[i].(*ast.VarDecl)
+		if vd.T.String() != want {
+			t.Errorf("decl %d type = %s, want %s", i, vd.T, want)
+		}
+	}
+}
+
+func TestTypedef(t *testing.T) {
+	f := parse(t, "typedef unsigned long size_t; size_t n; typedef char *str; str s;")
+	if vd := f.Decls[0].(*ast.VarDecl); vd.T.String() != "unsigned long" {
+		t.Errorf("size_t resolved to %s", vd.T)
+	}
+	if vd := f.Decls[1].(*ast.VarDecl); vd.T.String() != "char*" {
+		t.Errorf("str resolved to %s", vd.T)
+	}
+}
+
+func TestStructDeclaration(t *testing.T) {
+	f := parse(t, `
+struct point { int x; int y; };
+struct point p;
+struct point *pp;
+struct list { struct list *next; int v; };
+`)
+	vd := f.Decls[0].(*ast.VarDecl)
+	if vd.T.Kind != types.Struct || vd.T.Rec.Name != "point" {
+		t.Fatalf("p type = %s", vd.T)
+	}
+	if vd.T.Size() != 8 {
+		t.Errorf("struct point size = %d", vd.T.Size())
+	}
+	if len(vd.T.Rec.Fields) != 2 || vd.T.Rec.Fields[1].Offset != 4 {
+		t.Errorf("fields = %+v", vd.T.Rec.Fields)
+	}
+}
+
+func TestSelfReferentialStruct(t *testing.T) {
+	f := parse(t, "struct node { struct node *next; int v; }; struct node n;")
+	vd := f.Decls[0].(*ast.VarDecl)
+	next := vd.T.Rec.Fields[0]
+	if !next.Type.IsPointer() || next.Type.Elem.Rec != vd.T.Rec {
+		t.Errorf("self reference broken: %s", next.Type)
+	}
+}
+
+func TestAnonymousStructTag(t *testing.T) {
+	f := parse(t, "struct { int a; } x;")
+	vd := f.Decls[0].(*ast.VarDecl)
+	if vd.T.Kind != types.Struct || len(vd.T.Rec.Fields) != 1 {
+		t.Errorf("anon struct = %s", vd.T)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	f := parse(t, "enum color { RED, GREEN = 5, BLUE }; int x[BLUE];")
+	if f.EnumConsts["RED"] != 0 || f.EnumConsts["GREEN"] != 5 || f.EnumConsts["BLUE"] != 6 {
+		t.Errorf("enum consts = %v", f.EnumConsts)
+	}
+	vd := f.Decls[0].(*ast.VarDecl)
+	if vd.T.String() != "int[6]" {
+		t.Errorf("x type = %s (enum constant in array size)", vd.T)
+	}
+}
+
+func TestConstantArraySizes(t *testing.T) {
+	cases := map[string]string{
+		"char a[4*2+1];":        "char[9]",
+		"char b[1 << 4];":       "char[16]",
+		"char c[sizeof(long)];": "char[8]",
+		"char d[10/2 - 1];":     "char[4]",
+		"char e[1 ? 3 : 5];":    "char[3]",
+		"char f[(2|1) & ~0];":   "char[3]",
+	}
+	for src, want := range cases {
+		f := parse(t, src)
+		vd := f.Decls[0].(*ast.VarDecl)
+		if vd.T.String() != want {
+			t.Errorf("%q -> %s, want %s", src, vd.T, want)
+		}
+	}
+}
+
+func TestFunctionParams(t *testing.T) {
+	f := parse(t, "int add(int a, char *b, long c[]);")
+	fd := firstFunc(t, f)
+	ps := fd.T.Fn.Params
+	if len(ps) != 3 {
+		t.Fatalf("params = %d", len(ps))
+	}
+	if ps[0].Type.Kind != types.Int || ps[0].Name != "a" {
+		t.Errorf("param 0 = %+v", ps[0])
+	}
+	if ps[2].Type.String() != "long*" {
+		t.Errorf("array param should decay: %s", ps[2].Type)
+	}
+}
+
+func TestVariadicPrototype(t *testing.T) {
+	f := parse(t, "int printf(const char *fmt, ...);")
+	fd := firstFunc(t, f)
+	if !fd.T.Fn.Variadic {
+		t.Error("variadic flag not set")
+	}
+}
+
+// exprOf parses "int f(void){ return EXPR; }" and returns the expression.
+func exprOf(t *testing.T, expr string) ast.Expr {
+	t.Helper()
+	f := parse(t, "int f(int a, int b, int c) { return "+expr+"; }")
+	fd := firstFunc(t, f)
+	ret := fd.Body.Stmts[0].(*ast.Return)
+	return ret.X
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b * c parses as a + (b*c)
+	e := exprOf(t, "a + b * c")
+	bin := e.(*ast.Binary)
+	if bin.Op != token.Plus {
+		t.Fatalf("top op = %v", bin.Op)
+	}
+	if inner, ok := bin.Y.(*ast.Binary); !ok || inner.Op != token.Star {
+		t.Errorf("rhs = %T", bin.Y)
+	}
+
+	// a << b + c parses as a << (b+c)
+	e = exprOf(t, "a << b + c")
+	if bin := e.(*ast.Binary); bin.Op != token.Shl {
+		t.Errorf("top op = %v, want <<", bin.Op)
+	}
+
+	// a == b & c parses as (a==b) & c? No: & binds tighter than ==? In C,
+	// == binds tighter than &.
+	e = exprOf(t, "a & b == c")
+	if bin := e.(*ast.Binary); bin.Op != token.Amp {
+		t.Errorf("top op = %v, want & (== binds tighter)", bin.Op)
+	}
+
+	// ternary right-assoc: a ? b : c ? a : b
+	e = exprOf(t, "a ? b : c ? a : b")
+	cond := e.(*ast.Cond)
+	if _, ok := cond.Else.(*ast.Cond); !ok {
+		t.Errorf("else branch = %T, want nested Cond", cond.Else)
+	}
+
+	// assignment right-assoc: a = b = c
+	f := parse(t, "void f(void) { int a, b, c; a = b = c; }")
+	fd := firstFunc(t, f)
+	es := fd.Body.Stmts[1].(*ast.ExprStmt)
+	asn := es.X.(*ast.Assign)
+	if _, ok := asn.RHS.(*ast.Assign); !ok {
+		t.Errorf("rhs = %T, want Assign", asn.RHS)
+	}
+}
+
+func TestUnaryAndPostfix(t *testing.T) {
+	e := exprOf(t, "-a")
+	if u := e.(*ast.Unary); u.Op != token.Minus {
+		t.Errorf("op = %v", u.Op)
+	}
+	e = exprOf(t, "*&a")
+	u := e.(*ast.Unary)
+	if u.Op != token.Star {
+		t.Fatalf("op = %v", u.Op)
+	}
+	if inner := u.X.(*ast.Unary); inner.Op != token.Amp {
+		t.Errorf("inner = %v", inner.Op)
+	}
+	e = exprOf(t, "a++")
+	if p := e.(*ast.Postfix); p.Op != token.Inc {
+		t.Errorf("postfix = %v", p.Op)
+	}
+	e = exprOf(t, "++a")
+	if u := e.(*ast.Unary); u.Op != token.Inc {
+		t.Errorf("prefix = %v", u.Op)
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	e := exprOf(t, "(int) a")
+	if c, ok := e.(*ast.Cast); !ok || c.To.Kind != types.Int {
+		t.Errorf("got %T", e)
+	}
+	e = exprOf(t, "(a)")
+	if _, ok := e.(*ast.Ident); !ok {
+		t.Errorf("got %T, want Ident", e)
+	}
+	e = exprOf(t, "(char *) a")
+	if c := e.(*ast.Cast); c.To.String() != "char*" {
+		t.Errorf("cast to %s", c.To)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	e := exprOf(t, "sizeof(int)")
+	if s, ok := e.(*ast.SizeofType); !ok || s.Of.Kind != types.Int {
+		t.Errorf("got %T", e)
+	}
+	e = exprOf(t, "sizeof a")
+	if _, ok := e.(*ast.SizeofExpr); !ok {
+		t.Errorf("got %T", e)
+	}
+	e = exprOf(t, "sizeof(a)")
+	if _, ok := e.(*ast.SizeofExpr); !ok {
+		t.Errorf("sizeof(expr) got %T", e)
+	}
+}
+
+func TestMemberAndIndex(t *testing.T) {
+	f := parse(t, `
+struct p { int x; };
+int f(struct p *q, struct p v, int *arr) {
+	return q->x + v.x + arr[3];
+}`)
+	fd := firstFunc(t, f)
+	ret := fd.Body.Stmts[0].(*ast.Return)
+	outer := ret.X.(*ast.Binary)
+	inner := outer.X.(*ast.Binary)
+	if m := inner.X.(*ast.Member); !m.Arrow || m.Name != "x" {
+		t.Errorf("q->x = %+v", m)
+	}
+	if m := inner.Y.(*ast.Member); m.Arrow || m.Name != "x" {
+		t.Errorf("v.x = %+v", m)
+	}
+	if _, ok := outer.Y.(*ast.Index); !ok {
+		t.Errorf("arr[3] = %T", outer.Y)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	f := parse(t, `
+void f(int n) {
+	int i;
+	if (n) { n = 1; } else n = 2;
+	while (n) n--;
+	do { n++; } while (n < 3);
+	for (i = 0; i < 10; i++) continue;
+	for (;;) break;
+	switch (n) {
+	case 1: break;
+	case 2:
+	default: break;
+	}
+	goto done;
+done:
+	return;
+}`)
+	fd := firstFunc(t, f)
+	kinds := []string{}
+	for _, s := range fd.Body.Stmts {
+		switch s.(type) {
+		case *ast.DeclStmt:
+			kinds = append(kinds, "decl")
+		case *ast.If:
+			kinds = append(kinds, "if")
+		case *ast.While:
+			kinds = append(kinds, "while")
+		case *ast.DoWhile:
+			kinds = append(kinds, "do")
+		case *ast.For:
+			kinds = append(kinds, "for")
+		case *ast.Switch:
+			kinds = append(kinds, "switch")
+		case *ast.Goto:
+			kinds = append(kinds, "goto")
+		case *ast.Labeled:
+			kinds = append(kinds, "label")
+		default:
+			kinds = append(kinds, "?")
+		}
+	}
+	want := "decl if while do for for switch goto label"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Errorf("stmts = %q, want %q", got, want)
+	}
+}
+
+func TestForWithDeclaration(t *testing.T) {
+	f := parse(t, "void f(void) { for (int i = 0; i < 3; i++) ; }")
+	fd := firstFunc(t, f)
+	loop := fd.Body.Stmts[0].(*ast.For)
+	if _, ok := loop.Init.(*ast.DeclStmt); !ok {
+		t.Errorf("for init = %T", loop.Init)
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	f := parse(t, `
+int a = 5;
+int arr[3] = { 1, 2, 3 };
+char s[] = "hi";
+char *p = "world";
+struct q { int x; int y; };
+struct q v = { 7, 8 };
+int m[2][2] = { {1,2}, {3,4} };
+`)
+	if vd := f.Decls[1].(*ast.VarDecl); vd.Init == nil {
+		t.Error("array init missing")
+	} else if il, ok := vd.Init.(*ast.InitList); !ok || len(il.Elems) != 3 {
+		t.Errorf("array init = %T", vd.Init)
+	}
+	if vd := f.Decls[2].(*ast.VarDecl); vd.T.Len != -1 {
+		t.Errorf("char s[] parsed len = %d (completed in sema)", vd.T.Len)
+	}
+}
+
+func TestCommaExpression(t *testing.T) {
+	f := parse(t, "void f(void) { int a, b; a = 1, b = 2; }")
+	fd := firstFunc(t, f)
+	es := fd.Body.Stmts[1].(*ast.ExprStmt)
+	if _, ok := es.X.(*ast.Comma); !ok {
+		t.Errorf("got %T, want Comma", es.X)
+	}
+}
+
+func TestCallArgsAreAssignExprs(t *testing.T) {
+	// Commas in call args separate arguments, not comma-exprs.
+	f := parse(t, "int g(int a, int b); int f(void) { return g(1, 2); }")
+	var call *ast.Call
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ret := fd.Body.Stmts[0].(*ast.Return)
+		call = ret.X.(*ast.Call)
+	}
+	if call == nil || len(call.Args) != 2 {
+		t.Fatalf("call = %+v", call)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int;x",                     // junk
+		"int f( { }",                // bad params
+		"union u { int x; } v;",     // unsupported union
+		"int a[-1];",                // negative size
+		"int x = ;",                 // missing initializer
+		"void f(void) { if (x }",    // bad if
+		"void f(void) { return 1 }", // missing semicolon
+		"int (*fp)(void);",          // function pointers unsupported
+	}
+	for _, src := range cases {
+		if errs := parseErrs(t, src); len(errs) == 0 {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// After an error the parser should still see later declarations.
+	f, errs := ParseString("t.c", "int bad( { };\nint good;\n")
+	if len(errs) == 0 {
+		t.Fatal("expected errors")
+	}
+	found := false
+	for _, d := range f.Decls {
+		if vd, ok := d.(*ast.VarDecl); ok && vd.Name == "good" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("parser did not recover to parse the next declaration")
+	}
+}
+
+func TestIndexSwapIdiom(t *testing.T) {
+	// 3[arr] is legal C.
+	f := parse(t, "int f(int *arr) { return 3[arr]; }")
+	fd := firstFunc(t, f)
+	ret := fd.Body.Stmts[0].(*ast.Return)
+	if _, ok := ret.X.(*ast.Index); !ok {
+		t.Errorf("got %T", ret.X)
+	}
+}
+
+func TestStaticLocalsRejected(t *testing.T) {
+	if errs := parseErrs(t, "void f(void) { static int x; }"); len(errs) == 0 {
+		t.Error("static locals should be diagnosed")
+	}
+	// static at file scope stays fine.
+	if _, errs := ParseString("t.c", "static int g; static int f(void) { return g; }"); len(errs) != 0 {
+		t.Errorf("file-scope static rejected: %v", errs[0])
+	}
+}
+
+func TestParseEdgeCases(t *testing.T) {
+	// Dangling else binds to the nearest if.
+	f := parse(t, "void f(int a, int b) { if (a) if (b) a = 1; else a = 2; }")
+	fd := firstFunc(t, f)
+	outer := fd.Body.Stmts[0].(*ast.If)
+	if outer.Else != nil {
+		t.Error("else bound to the outer if")
+	}
+	inner := outer.Then.(*ast.If)
+	if inner.Else == nil {
+		t.Error("else not bound to the inner if")
+	}
+
+	// Empty statement bodies.
+	parse(t, "void f(void) { while (0); for (;;) break; if (1); }")
+
+	// Nested labeled statements.
+	f = parse(t, "void f(void) { a: b: ; goto a; }")
+	fd = firstFunc(t, f)
+	l := fd.Body.Stmts[0].(*ast.Labeled)
+	if l.Name != "a" {
+		t.Errorf("outer label = %q", l.Name)
+	}
+	if inner, ok := l.Stmt.(*ast.Labeled); !ok || inner.Name != "b" {
+		t.Errorf("inner label = %v", l.Stmt)
+	}
+
+	// Label immediately before a closing brace.
+	parse(t, "void f(void) { goto end; end: }")
+}
+
+func TestEnumInsideFunctionRejected(t *testing.T) {
+	if errs := parseErrs(t, "void f(void) { enum { Q = 1 }; }"); len(errs) == 0 {
+		t.Error("function-scope enum definitions should be diagnosed")
+	}
+}
+
+func TestSizeofPrecedence(t *testing.T) {
+	// sizeof binds tighter than binary operators: sizeof(int) * 2.
+	e := exprOf(t, "sizeof(int) * 2")
+	bin := e.(*ast.Binary)
+	if bin.Op != token.Star {
+		t.Fatalf("top = %v", bin.Op)
+	}
+	if _, ok := bin.X.(*ast.SizeofType); !ok {
+		t.Errorf("lhs = %T", bin.X)
+	}
+}
+
+func TestCharLiteralInCase(t *testing.T) {
+	f := parse(t, `void f(int c) { switch (c) { case 'x': break; } }`)
+	fd := firstFunc(t, f)
+	sw := fd.Body.Stmts[0].(*ast.Switch)
+	_ = sw
+}

@@ -1,0 +1,216 @@
+// Package token defines the lexical tokens of the focc C dialect and the
+// source positions attached to every token, AST node, and diagnostic.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Punctuation kinds are named after their spelling; keyword
+// kinds after the keyword.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit    // 123, 0x1f, 077, 1L, 1U
+	CharLit   // 'a', '\n'
+	StringLit // "abc"
+
+	// Keywords.
+	KwBreak
+	KwCase
+	KwChar
+	KwConst
+	KwContinue
+	KwDefault
+	KwDo
+	KwElse
+	KwEnum
+	KwExtern
+	KwFor
+	KwGoto
+	KwIf
+	KwInt
+	KwLong
+	KwReturn
+	KwShort
+	KwSigned
+	KwSizeof
+	KwStatic
+	KwStruct
+	KwSwitch
+	KwTypedef
+	KwUnion
+	KwUnsigned
+	KwVoid
+	KwWhile
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Dot      // .
+	Arrow    // ->
+	Ellipsis // ...
+
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	Pipe       // |
+	Caret      // ^
+	Tilde      // ~
+	Bang       // !
+	Question   // ?
+	Colon      // :
+	Shl        // <<
+	Shr        // >>
+	Lt         // <
+	Gt         // >
+	Le         // <=
+	Ge         // >=
+	EqEq       // ==
+	NotEq      // !=
+	AndAnd     // &&
+	OrOr       // ||
+	Inc        // ++
+	Dec        // --
+	Assign     // =
+	PlusEq     // +=
+	MinusEq    // -=
+	StarEq     // *=
+	SlashEq    // /=
+	PercentEq  // %=
+	AmpEq      // &=
+	PipeEq     // |=
+	CaretEq    // ^=
+	ShlEq      // <<=
+	ShrEq      // >>=
+	numOfKinds // sentinel; keep last
+)
+
+var kindNames = map[Kind]string{
+	EOF:       "EOF",
+	Ident:     "identifier",
+	IntLit:    "integer literal",
+	CharLit:   "character literal",
+	StringLit: "string literal",
+
+	KwBreak: "break", KwCase: "case", KwChar: "char", KwConst: "const",
+	KwContinue: "continue", KwDefault: "default", KwDo: "do", KwElse: "else",
+	KwEnum: "enum", KwExtern: "extern", KwFor: "for", KwGoto: "goto",
+	KwIf: "if", KwInt: "int", KwLong: "long", KwReturn: "return",
+	KwShort: "short", KwSigned: "signed", KwSizeof: "sizeof",
+	KwStatic: "static", KwStruct: "struct", KwSwitch: "switch",
+	KwTypedef: "typedef", KwUnion: "union", KwUnsigned: "unsigned",
+	KwVoid: "void", KwWhile: "while",
+
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Arrow: "->", Ellipsis: "...",
+
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Question: "?", Colon: ":", Shl: "<<", Shr: ">>",
+	Lt: "<", Gt: ">", Le: "<=", Ge: ">=", EqEq: "==", NotEq: "!=",
+	AndAnd: "&&", OrOr: "||", Inc: "++", Dec: "--",
+	Assign: "=", PlusEq: "+=", MinusEq: "-=", StarEq: "*=",
+	SlashEq: "/=", PercentEq: "%=", AmpEq: "&=", PipeEq: "|=",
+	CaretEq: "^=", ShlEq: "<<=", ShrEq: ">>=",
+}
+
+// String returns a human-readable name for the kind ("identifier", "+=", …).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"break": KwBreak, "case": KwCase, "char": KwChar, "const": KwConst,
+	"continue": KwContinue, "default": KwDefault, "do": KwDo, "else": KwElse,
+	"enum": KwEnum, "extern": KwExtern, "for": KwFor, "goto": KwGoto,
+	"if": KwIf, "int": KwInt, "long": KwLong, "return": KwReturn,
+	"short": KwShort, "signed": KwSigned, "sizeof": KwSizeof,
+	"static": KwStatic, "struct": KwStruct, "switch": KwSwitch,
+	"typedef": KwTypedef, "union": KwUnion, "unsigned": KwUnsigned,
+	"void": KwVoid, "while": KwWhile,
+}
+
+// Pos is a source position: file name, 1-based line, 1-based column.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries real location information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "<unknown>"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // raw spelling for Ident/IntLit/CharLit; decoded value for StringLit
+	Val  int64  // decoded value for IntLit and CharLit
+	// Unsigned reports that an integer literal carried a U suffix or does
+	// not fit in int64-signed range for its base.
+	Unsigned bool
+	// Long reports that an integer literal carried an L suffix.
+	Long bool
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, CharLit:
+		return t.Text
+	case StringLit:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Line is one line of (possibly preprocessed) source text together with the
+// original location it came from. The preprocessor emits a []Line and the
+// lexer consumes it, so positions survive macro expansion and #include.
+type Line struct {
+	File string
+	N    int // 1-based original line number
+	Text string
+}
+
+// SplitLines turns raw source text into a []Line for direct lexing without
+// preprocessing.
+func SplitLines(file, src string) []Line {
+	var lines []Line
+	start := 0
+	n := 1
+	for i := 0; i <= len(src); i++ {
+		if i == len(src) || src[i] == '\n' {
+			lines = append(lines, Line{File: file, N: n, Text: src[start:i]})
+			start = i + 1
+			n++
+		}
+	}
+	return lines
+}

@@ -1,0 +1,69 @@
+package token
+
+import "testing"
+
+func TestPos(t *testing.T) {
+	p := Pos{File: "a.c", Line: 3, Col: 7}
+	if !p.IsValid() {
+		t.Error("valid pos reported invalid")
+	}
+	if p.String() != "a.c:3:7" {
+		t.Errorf("String() = %q", p.String())
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos reported valid")
+	}
+	if (Pos{}).String() != "<unknown>" {
+		t.Errorf("zero pos String() = %q", (Pos{}).String())
+	}
+	if (Pos{Line: 2, Col: 1}).String() != "2:1" {
+		t.Errorf("fileless pos = %q", (Pos{Line: 2, Col: 1}).String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: Ident, Text: "foo"}, "foo"},
+		{Token{Kind: IntLit, Text: "42"}, "42"},
+		{Token{Kind: StringLit, Text: "hi"}, `"hi"`},
+		{Token{Kind: Plus, Text: "+"}, "+"},
+		{Token{Kind: KwWhile, Text: "while"}, "while"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.tok.Kind, got, c.want)
+		}
+	}
+}
+
+func TestKeywordsTableComplete(t *testing.T) {
+	// Every keyword kind must round-trip through the Keywords map.
+	for spelling, kind := range Keywords {
+		if kind.String() != spelling {
+			t.Errorf("keyword %q has kind name %q", spelling, kind.String())
+		}
+	}
+	if len(Keywords) != 27 {
+		t.Errorf("keyword count = %d", len(Keywords))
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	lines := SplitLines("f.c", "a\nb\n\nc")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	wants := []string{"a", "b", "", "c"}
+	for i, w := range wants {
+		if lines[i].Text != w || lines[i].N != i+1 || lines[i].File != "f.c" {
+			t.Errorf("line %d = %+v, want text %q", i, lines[i], w)
+		}
+	}
+	// Empty source still yields one (empty) line.
+	if got := SplitLines("f.c", ""); len(got) != 1 || got[0].Text != "" {
+		t.Errorf("empty split = %+v", got)
+	}
+}

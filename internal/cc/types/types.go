@@ -1,0 +1,438 @@
+// Package types models the focc C dialect type system: integer types of
+// four widths (signed and unsigned), void, pointers, arrays, structs, enums,
+// and function types, together with size/alignment rules (LP64: char=1,
+// short=2, int=4, long=8, pointer=8) and the usual arithmetic conversions.
+package types
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Kind discriminates the type representations.
+type Kind int
+
+const (
+	Invalid Kind = iota
+	Void
+	Char  // plain char: signed in focc, like x86 Linux
+	SChar // signed char
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long // also long long and size_t/ssize_t width
+	ULong
+	Ptr
+	Array
+	Struct
+	Func
+	Enum // represented as int at runtime
+)
+
+// Type is an immutable C type. Types are compared with Same, not ==,
+// because struct types are identified by their Info pointer.
+type Type struct {
+	Kind Kind
+	Elem *Type // Ptr: pointee; Array: element
+	Len  int   // Array: element count (-1 for incomplete arrays)
+	Rec  *StructInfo
+	Fn   *FuncInfo
+	En   *EnumInfo
+
+	// ptrTo memoizes PointerTo(t) so the interpreter's hot array-decay
+	// path performs no allocations. Racy duplicate initialization is
+	// benign: types are compared with Same, not ==.
+	ptrTo atomic.Pointer[Type]
+}
+
+// StructInfo describes a struct layout.
+type StructInfo struct {
+	Name   string // tag; may be empty
+	Fields []Field
+	size   uint64
+	align  uint64
+	// Complete reports whether the body has been seen.
+	Complete bool
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset uint64
+}
+
+// FieldByName returns the field with the given name.
+func (s *StructInfo) FieldByName(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// FuncInfo describes a function type.
+type FuncInfo struct {
+	Ret      *Type
+	Params   []Param
+	Variadic bool
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// EnumInfo describes an enum type.
+type EnumInfo struct {
+	Name      string
+	Constants []EnumConst
+}
+
+// EnumConst is one enumerator.
+type EnumConst struct {
+	Name  string
+	Value int64
+}
+
+// Singleton basic types. These are shared; never mutate them.
+var (
+	VoidType   = &Type{Kind: Void}
+	CharType   = &Type{Kind: Char}
+	SCharType  = &Type{Kind: SChar}
+	UCharType  = &Type{Kind: UChar}
+	ShortType  = &Type{Kind: Short}
+	UShortType = &Type{Kind: UShort}
+	IntType    = &Type{Kind: Int}
+	UIntType   = &Type{Kind: UInt}
+	LongType   = &Type{Kind: Long}
+	ULongType  = &Type{Kind: ULong}
+)
+
+// PointerTo returns the type *t (memoized per pointee).
+func PointerTo(t *Type) *Type {
+	if t == nil {
+		return &Type{Kind: Ptr}
+	}
+	if p := t.ptrTo.Load(); p != nil {
+		return p
+	}
+	p := &Type{Kind: Ptr, Elem: t}
+	t.ptrTo.Store(p)
+	return p
+}
+
+// ArrayOf returns the type t[n]; n == -1 denotes an incomplete array.
+func ArrayOf(t *Type, n int) *Type { return &Type{Kind: Array, Elem: t, Len: n} }
+
+// PointerSize is the byte size of pointers in the simulated machine.
+const PointerSize = 8
+
+// Size returns the byte size of t. Incomplete types have size 0.
+func (t *Type) Size() uint64 {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Char, SChar, UChar:
+		return 1
+	case Short, UShort:
+		return 2
+	case Int, UInt, Enum:
+		return 4
+	case Long, ULong:
+		return 8
+	case Ptr:
+		return PointerSize
+	case Array:
+		if t.Len < 0 {
+			return 0
+		}
+		return uint64(t.Len) * t.Elem.Size()
+	case Struct:
+		return t.Rec.size
+	}
+	return 0
+}
+
+// Align returns the byte alignment of t.
+func (t *Type) Align() uint64 {
+	switch t.Kind {
+	case Array:
+		return t.Elem.Align()
+	case Struct:
+		if t.Rec.align == 0 {
+			return 1
+		}
+		return t.Rec.align
+	case Void:
+		return 1
+	default:
+		s := t.Size()
+		if s == 0 {
+			return 1
+		}
+		return s
+	}
+}
+
+// Layout computes field offsets, size, and alignment of a struct from its
+// fields, and marks it complete.
+func (s *StructInfo) Layout() {
+	var off, align uint64 = 0, 1
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		a := f.Type.Align()
+		if a > align {
+			align = a
+		}
+		off = roundUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+	}
+	s.size = roundUp(off, align)
+	s.align = align
+	s.Complete = true
+}
+
+func roundUp(n, a uint64) uint64 {
+	if a == 0 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// IsInteger reports whether t is an integer (or enum) type.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case Char, SChar, UChar, Short, UShort, Int, UInt, Long, ULong, Enum:
+		return true
+	}
+	return false
+}
+
+// IsSigned reports whether an integer type is signed. Plain char is signed
+// in focc (matching x86 Linux, which the Sendmail sign-extension bug relies
+// on).
+func (t *Type) IsSigned() bool {
+	switch t.Kind {
+	case Char, SChar, Short, Int, Long, Enum:
+		return true
+	}
+	return false
+}
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t.Kind == Ptr }
+
+// IsArray reports whether t is an array type.
+func (t *Type) IsArray() bool { return t.Kind == Array }
+
+// IsScalar reports whether t is usable in a boolean context.
+func (t *Type) IsScalar() bool { return t.IsInteger() || t.IsPointer() }
+
+// IsVoid reports whether t is void.
+func (t *Type) IsVoid() bool { return t.Kind == Void }
+
+// IsVoidPtr reports whether t is void*.
+func (t *Type) IsVoidPtr() bool { return t.Kind == Ptr && t.Elem.Kind == Void }
+
+// Decay returns the pointer type an array decays to, or t unchanged.
+func (t *Type) Decay() *Type {
+	if t.Kind == Array {
+		return PointerTo(t.Elem)
+	}
+	return t
+}
+
+// Same reports structural identity of two types (structs by identity of
+// their StructInfo).
+func Same(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Ptr:
+		return Same(a.Elem, b.Elem)
+	case Array:
+		return a.Len == b.Len && Same(a.Elem, b.Elem)
+	case Struct:
+		return a.Rec == b.Rec
+	case Enum:
+		return a.En == b.En
+	case Func:
+		if a.Fn.Variadic != b.Fn.Variadic || len(a.Fn.Params) != len(b.Fn.Params) {
+			return false
+		}
+		if !Same(a.Fn.Ret, b.Fn.Ret) {
+			return false
+		}
+		for i := range a.Fn.Params {
+			if !Same(a.Fn.Params[i].Type, b.Fn.Params[i].Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Promote applies the integer promotions: types narrower than int become
+// int (all their values fit).
+func Promote(t *Type) *Type {
+	switch t.Kind {
+	case Char, SChar, UChar, Short, UShort, Enum:
+		return IntType
+	case UInt, Int, Long, ULong:
+		return t
+	}
+	return t
+}
+
+// rank orders integer types for the usual arithmetic conversions.
+func rank(t *Type) int {
+	switch t.Kind {
+	case Int, UInt:
+		return 1
+	case Long, ULong:
+		return 2
+	}
+	return 0
+}
+
+// UsualArith returns the common type of a binary arithmetic expression per
+// the usual arithmetic conversions (integer-only dialect).
+func UsualArith(a, b *Type) *Type {
+	a, b = Promote(a), Promote(b)
+	if Same(a, b) {
+		return a
+	}
+	ra, rb := rank(a), rank(b)
+	if ra == rb {
+		// Same rank, one unsigned: result is the unsigned one.
+		if !a.IsSigned() {
+			return a
+		}
+		return b
+	}
+	hi, lo := a, b
+	if rb > ra {
+		hi, lo = b, a
+	}
+	if hi.IsSigned() && !lo.IsSigned() && rank(hi) > rank(lo) {
+		// Signed type can represent all values of the lower-rank
+		// unsigned type (long vs uint in LP64).
+		return hi
+	}
+	if !hi.IsSigned() {
+		return hi
+	}
+	return hi
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Invalid:
+		return "<invalid>"
+	case Void:
+		return "void"
+	case Char:
+		return "char"
+	case SChar:
+		return "signed char"
+	case UChar:
+		return "unsigned char"
+	case Short:
+		return "short"
+	case UShort:
+		return "unsigned short"
+	case Int:
+		return "int"
+	case UInt:
+		return "unsigned int"
+	case Long:
+		return "long"
+	case ULong:
+		return "unsigned long"
+	case Ptr:
+		return t.Elem.String() + "*"
+	case Array:
+		// Render dimensions outermost-first, as C spells them.
+		base := t
+		var dims strings.Builder
+		for base.Kind == Array {
+			if base.Len < 0 {
+				dims.WriteString("[]")
+			} else {
+				fmt.Fprintf(&dims, "[%d]", base.Len)
+			}
+			base = base.Elem
+		}
+		return base.String() + dims.String()
+	case Struct:
+		if t.Rec.Name != "" {
+			return "struct " + t.Rec.Name
+		}
+		return "struct <anonymous>"
+	case Enum:
+		if t.En != nil && t.En.Name != "" {
+			return "enum " + t.En.Name
+		}
+		return "enum"
+	case Func:
+		var sb strings.Builder
+		sb.WriteString(t.Fn.Ret.String())
+		sb.WriteString(" (")
+		for i, p := range t.Fn.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Type.String())
+		}
+		if t.Fn.Variadic {
+			if len(t.Fn.Params) > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("...")
+		}
+		sb.WriteString(")")
+		return sb.String()
+	}
+	return "<unknown>"
+}
+
+// Truncate reduces v to the value it would have when stored in integer type
+// t and re-read (sign- or zero-extending to int64).
+func Truncate(t *Type, v int64) int64 {
+	switch t.Size() {
+	case 1:
+		if t.IsSigned() {
+			return int64(int8(v))
+		}
+		return int64(uint8(v))
+	case 2:
+		if t.IsSigned() {
+			return int64(int16(v))
+		}
+		return int64(uint16(v))
+	case 4:
+		if t.IsSigned() {
+			return int64(int32(v))
+		}
+		return int64(uint32(v))
+	default:
+		return v
+	}
+}

@@ -1,0 +1,293 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size uint64
+	}{
+		{VoidType, 0}, {CharType, 1}, {SCharType, 1}, {UCharType, 1},
+		{ShortType, 2}, {UShortType, 2}, {IntType, 4}, {UIntType, 4},
+		{LongType, 8}, {ULongType, 8},
+		{PointerTo(CharType), 8},
+		{ArrayOf(IntType, 10), 40},
+		{ArrayOf(ArrayOf(CharType, 3), 4), 12},
+		{ArrayOf(IntType, -1), 0}, // incomplete
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.size {
+			t.Errorf("Size(%s) = %d, want %d", c.t, got, c.size)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	// struct { char c; int i; char d; long l; }
+	si := &StructInfo{Name: "s", Fields: []Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+		{Name: "d", Type: CharType},
+		{Name: "l", Type: LongType},
+	}}
+	si.Layout()
+	st := &Type{Kind: Struct, Rec: si}
+	wantOffsets := []uint64{0, 4, 8, 16}
+	for i, f := range si.Fields {
+		if f.Offset != wantOffsets[i] {
+			t.Errorf("field %s offset = %d, want %d", f.Name, f.Offset, wantOffsets[i])
+		}
+	}
+	if st.Size() != 24 {
+		t.Errorf("struct size = %d, want 24", st.Size())
+	}
+	if st.Align() != 8 {
+		t.Errorf("struct align = %d, want 8", st.Align())
+	}
+}
+
+func TestEmptyStructLayout(t *testing.T) {
+	si := &StructInfo{Name: "empty"}
+	si.Layout()
+	st := &Type{Kind: Struct, Rec: si}
+	if st.Size() != 0 || st.Align() != 1 {
+		t.Errorf("empty struct size=%d align=%d", st.Size(), st.Align())
+	}
+}
+
+func TestFieldByName(t *testing.T) {
+	si := &StructInfo{Fields: []Field{{Name: "x", Type: IntType}}}
+	si.Layout()
+	if _, ok := si.FieldByName("x"); !ok {
+		t.Error("x not found")
+	}
+	if _, ok := si.FieldByName("y"); ok {
+		t.Error("y should not exist")
+	}
+}
+
+func TestSignedness(t *testing.T) {
+	signed := []*Type{CharType, SCharType, ShortType, IntType, LongType}
+	unsigned := []*Type{UCharType, UShortType, UIntType, ULongType}
+	for _, ty := range signed {
+		if !ty.IsSigned() {
+			t.Errorf("%s should be signed", ty)
+		}
+	}
+	for _, ty := range unsigned {
+		if ty.IsSigned() {
+			t.Errorf("%s should be unsigned", ty)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !PointerTo(VoidType).IsVoidPtr() {
+		t.Error("void* not detected")
+	}
+	if PointerTo(IntType).IsVoidPtr() {
+		t.Error("int* is not void*")
+	}
+	if !ArrayOf(CharType, 4).IsArray() || !IntType.IsInteger() ||
+		!PointerTo(IntType).IsScalar() || !VoidType.IsVoid() {
+		t.Error("basic predicates broken")
+	}
+	if ArrayOf(CharType, 4).IsScalar() {
+		t.Error("array is not scalar")
+	}
+}
+
+func TestDecay(t *testing.T) {
+	at := ArrayOf(IntType, 5)
+	dt := at.Decay()
+	if !dt.IsPointer() || dt.Elem.Kind != Int {
+		t.Errorf("decay(%s) = %s", at, dt)
+	}
+	if IntType.Decay() != IntType {
+		t.Error("non-array decay should be identity")
+	}
+}
+
+func TestSame(t *testing.T) {
+	if !Same(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("identical pointer types differ")
+	}
+	if Same(PointerTo(IntType), PointerTo(UIntType)) {
+		t.Error("int* == unsigned* ?")
+	}
+	if !Same(ArrayOf(CharType, 3), ArrayOf(CharType, 3)) {
+		t.Error("identical arrays differ")
+	}
+	if Same(ArrayOf(CharType, 3), ArrayOf(CharType, 4)) {
+		t.Error("arrays of different length equal")
+	}
+	s1 := &Type{Kind: Struct, Rec: &StructInfo{Name: "a"}}
+	s2 := &Type{Kind: Struct, Rec: &StructInfo{Name: "a"}}
+	if Same(s1, s2) {
+		t.Error("distinct struct infos should differ")
+	}
+	if !Same(s1, s1) {
+		t.Error("struct not same as itself")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	for _, ty := range []*Type{CharType, SCharType, UCharType, ShortType, UShortType} {
+		if Promote(ty) != IntType {
+			t.Errorf("Promote(%s) = %s, want int", ty, Promote(ty))
+		}
+	}
+	for _, ty := range []*Type{IntType, UIntType, LongType, ULongType} {
+		if Promote(ty) != ty {
+			t.Errorf("Promote(%s) changed", ty)
+		}
+	}
+}
+
+func TestUsualArith(t *testing.T) {
+	cases := []struct{ a, b, want *Type }{
+		{IntType, IntType, IntType},
+		{CharType, CharType, IntType},
+		{IntType, UIntType, UIntType},
+		{UIntType, LongType, LongType}, // LP64: long holds all uint values
+		{LongType, ULongType, ULongType},
+		{IntType, LongType, LongType},
+		{UCharType, ShortType, IntType},
+	}
+	for _, c := range cases {
+		if got := UsualArith(c.a, c.b); !Same(got, c.want) {
+			t.Errorf("UsualArith(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+		// Symmetry.
+		if got := UsualArith(c.b, c.a); !Same(got, c.want) {
+			t.Errorf("UsualArith(%s, %s) = %s, want %s", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		in   int64
+		want int64
+	}{
+		{CharType, 0xFF, -1},
+		{CharType, 0x41, 0x41},
+		{UCharType, 0xFF, 255},
+		{UCharType, 0x1FF, 255},
+		{ShortType, 0xFFFF, -1},
+		{UShortType, 0xFFFF, 65535},
+		{IntType, 0xFFFFFFFF, -1},
+		{UIntType, 0xFFFFFFFF, 4294967295},
+		{IntType, 1 << 33, 0},
+		{LongType, -5, -5},
+		{ULongType, -5, -5}, // 64-bit: representation unchanged
+	}
+	for _, c := range cases {
+		if got := Truncate(c.t, c.in); got != c.want {
+			t.Errorf("Truncate(%s, %#x) = %d, want %d", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]*Type{
+		"int":           IntType,
+		"unsigned long": ULongType,
+		"char*":         PointerTo(CharType),
+		"int[4]":        ArrayOf(IntType, 4),
+		"char*[2]":      ArrayOf(PointerTo(CharType), 2),
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	fn := &Type{Kind: Func, Fn: &FuncInfo{Ret: IntType,
+		Params: []Param{{Type: PointerTo(CharType)}}, Variadic: true}}
+	if got := fn.String(); got != "int (char*, ...)" {
+		t.Errorf("func String() = %q", got)
+	}
+}
+
+// Property: Truncate is idempotent for every integer type.
+func TestTruncateIdempotent(t *testing.T) {
+	allInts := []*Type{CharType, SCharType, UCharType, ShortType, UShortType,
+		IntType, UIntType, LongType, ULongType}
+	f := func(v int64, pick uint8) bool {
+		ty := allInts[int(pick)%len(allInts)]
+		once := Truncate(ty, v)
+		return Truncate(ty, once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncating to a signed type always yields a value within the
+// type's range.
+func TestTruncateRange(t *testing.T) {
+	f := func(v int64) bool {
+		c := Truncate(CharType, v)
+		s := Truncate(ShortType, v)
+		i := Truncate(IntType, v)
+		return c >= -128 && c <= 127 &&
+			s >= -32768 && s <= 32767 &&
+			i >= -2147483648 && i <= 2147483647
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UsualArith never returns a type narrower than int, and is
+// commutative.
+func TestUsualArithProperties(t *testing.T) {
+	allInts := []*Type{CharType, SCharType, UCharType, ShortType, UShortType,
+		IntType, UIntType, LongType, ULongType}
+	f := func(a, b uint8) bool {
+		x := allInts[int(a)%len(allInts)]
+		y := allInts[int(b)%len(allInts)]
+		r := UsualArith(x, y)
+		return r.Size() >= 4 && Same(r, UsualArith(y, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: struct layout respects alignment and monotone offsets.
+func TestStructLayoutProperties(t *testing.T) {
+	allTys := []*Type{CharType, ShortType, IntType, LongType, PointerTo(CharType)}
+	f := func(picks []uint8) bool {
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		si := &StructInfo{}
+		for i, p := range picks {
+			si.Fields = append(si.Fields, Field{
+				Name: string(rune('a' + i)),
+				Type: allTys[int(p)%len(allTys)],
+			})
+		}
+		si.Layout()
+		st := &Type{Kind: Struct, Rec: si}
+		var prevEnd uint64
+		for _, fl := range si.Fields {
+			if fl.Offset%fl.Type.Align() != 0 {
+				return false // misaligned
+			}
+			if fl.Offset < prevEnd {
+				return false // overlap
+			}
+			prevEnd = fl.Offset + fl.Type.Size()
+		}
+		return st.Size() >= prevEnd && st.Size()%st.Align() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

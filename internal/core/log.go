@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"focc/internal/cc/token"
+)
+
+// Event records one attempt by the program to commit a memory error
+// (paper §3: "our compiler can optionally augment the generated code to
+// produce a log containing information about the program's attempts to
+// commit memory errors").
+type Event struct {
+	Pos   token.Pos
+	Write bool
+	Addr  uint64
+	Size  int
+	Unit  string // provenance data unit name, if any
+	// Victim names the unit the access would actually have touched
+	// (from the object-table lookup), if any.
+	Victim string
+	// Manufactured is the value supplied for an invalid read.
+	Manufactured int64
+	// Boundless marks accesses served by the boundless side store.
+	Boundless bool
+	// Redirected marks accesses wrapped back into the unit.
+	Redirected bool
+}
+
+func (e Event) String() string {
+	op := "invalid read"
+	if e.Write {
+		op = "invalid write (discarded)"
+	}
+	u := e.Unit
+	if u == "" {
+		u = "<no unit>"
+	}
+	s := fmt.Sprintf("%s: %s of %d bytes at 0x%x (unit %s)", e.Pos, op, e.Size, e.Addr, u)
+	if e.Victim != "" && e.Victim != e.Unit {
+		s += fmt.Sprintf(", would have touched %s", e.Victim)
+	}
+	if !e.Write {
+		s += fmt.Sprintf(", manufactured value %d", e.Manufactured)
+	}
+	if e.Boundless {
+		s += " [boundless]"
+	}
+	if e.Redirected {
+		s += " [redirected]"
+	}
+	return s
+}
+
+// EventLog accumulates memory-error events. It keeps exact counters and a
+// bounded window of the most recent events. A nil stream means events are
+// only counted and buffered.
+type EventLog struct {
+	limit  int
+	events []Event
+	start  int // ring start when full
+
+	reads  uint64
+	writes uint64
+	denied uint64 // bounds-check terminations
+
+	Stream io.Writer // optional live event stream
+}
+
+// DefaultLogLimit bounds the retained event window.
+const DefaultLogLimit = 1024
+
+// NewEventLog returns a log retaining up to limit recent events
+// (DefaultLogLimit if limit <= 0).
+func NewEventLog(limit int) *EventLog {
+	if limit <= 0 {
+		limit = DefaultLogLimit
+	}
+	return &EventLog{limit: limit}
+}
+
+func (l *EventLog) add(e Event) {
+	if l == nil {
+		return
+	}
+	if e.Write {
+		l.writes++
+	} else {
+		l.reads++
+	}
+	l.push(e)
+}
+
+// addDenied records an access the BoundsCheck policy rejected fatally.
+func (l *EventLog) addDenied(e Event) {
+	if l == nil {
+		return
+	}
+	l.denied++
+	l.push(e)
+}
+
+func (l *EventLog) push(e Event) {
+	if l.Stream != nil {
+		fmt.Fprintln(l.Stream, e.String())
+	}
+	if len(l.events) < l.limit {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.start] = e
+	l.start = (l.start + 1) % l.limit
+}
+
+// InvalidReads returns the number of invalid reads continued through.
+func (l *EventLog) InvalidReads() uint64 { return l.reads }
+
+// InvalidWrites returns the number of invalid writes discarded (or stored
+// boundlessly / redirected).
+func (l *EventLog) InvalidWrites() uint64 { return l.writes }
+
+// Denied returns the number of accesses rejected fatally by BoundsCheck.
+func (l *EventLog) Denied() uint64 { return l.denied }
+
+// Total returns the total number of memory-error events.
+func (l *EventLog) Total() uint64 { return l.reads + l.writes + l.denied }
+
+// Recent returns the retained window of events, oldest first.
+func (l *EventLog) Recent() []Event {
+	if l.start == 0 {
+		out := make([]Event, len(l.events))
+		copy(out, l.events)
+		return out
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.start:]...)
+	out = append(out, l.events[:l.start]...)
+	return out
+}
+
+// Reset clears counters and the retained window.
+func (l *EventLog) Reset() {
+	l.events = l.events[:0]
+	l.start = 0
+	l.reads, l.writes, l.denied = 0, 0, 0
+}
+
+// Summary renders a one-line summary of the log.
+func (l *EventLog) Summary() string {
+	return fmt.Sprintf("memory errors: %d invalid reads, %d invalid writes, %d denied",
+		l.reads, l.writes, l.denied)
+}
+
+// AddExternal records an event originating outside the accessor (e.g. the
+// allocator discarding an invalid free under the failure-oblivious policy).
+func (l *EventLog) AddExternal(e Event) { l.add(e) }

@@ -1,0 +1,544 @@
+// Package core implements failure-oblivious computing: the checking code
+// and the continuation code the paper's compiler inserts around every
+// memory access. The five access policies correspond to the paper's
+// compilation modes:
+//
+//   - Standard: no checks; raw address-space semantics (unsafe C).
+//   - BoundsCheck: CRED semantics — terminate with a memory error at the
+//     first invalid access (paper's "Bounds Check" version).
+//   - FailureOblivious: discard invalid writes, manufacture a value
+//     sequence for invalid reads, keep executing (paper §1.1, §3).
+//   - Boundless: store invalid writes in a hash table keyed by
+//     (data unit, offset) and return them for matching invalid reads
+//     (paper §5.1, "boundless memory blocks").
+//   - Redirect: wrap out-of-bounds offsets back into the accessed data
+//     unit (paper §5.1, "redirects out of bounds accesses back into the
+//     accessed data unit at an appropriate offset").
+package core
+
+import (
+	"fmt"
+
+	"focc/internal/cc/token"
+	"focc/internal/mem"
+)
+
+// Mode selects the compilation/execution mode.
+type Mode int
+
+// Modes.
+const (
+	Standard Mode = iota
+	BoundsCheck
+	FailureOblivious
+	Boundless
+	Redirect
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Standard:
+		return "standard"
+	case BoundsCheck:
+		return "bounds-check"
+	case FailureOblivious:
+		return "failure-oblivious"
+	case Boundless:
+		return "boundless"
+	case Redirect:
+		return "redirect"
+	case TxTerm:
+		return "tx-term"
+	}
+	return "unknown-mode"
+}
+
+// ParseMode parses a mode name as accepted by the CLIs.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "standard", "std":
+		return Standard, nil
+	case "bounds", "bounds-check", "cred":
+		return BoundsCheck, nil
+	case "oblivious", "failure-oblivious", "fo":
+		return FailureOblivious, nil
+	case "boundless":
+		return Boundless, nil
+	case "redirect":
+		return Redirect, nil
+	case "txterm", "tx-term":
+		return TxTerm, nil
+	}
+	return Standard, fmt.Errorf("unknown mode %q (want standard, bounds, oblivious, boundless, redirect, or txterm)", s)
+}
+
+// Pointer is a runtime pointer value: an address plus the provenance data
+// unit it was derived from (CRED-style; provenance survives out-of-bounds
+// arithmetic so the check happens at dereference time).
+type Pointer struct {
+	Addr uint64
+	Prov *mem.Unit
+}
+
+// MemError is the error the BoundsCheck mode terminates with — the paper's
+// safe-C compiler "exits with an error message when it detects a memory
+// error".
+type MemError struct {
+	Pos   token.Pos
+	Write bool
+	Addr  uint64
+	Size  int
+	Unit  string // provenance unit name, if any
+	Cause string
+}
+
+func (e *MemError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	u := e.Unit
+	if u == "" {
+		u = "<no data unit>"
+	}
+	return fmt.Sprintf("%s: memory error: out of bounds %s of %d bytes at 0x%x (unit %s): %s",
+		e.Pos, op, e.Size, e.Addr, u, e.Cause)
+}
+
+// Accessor is the memory access path the interpreter routes every C-level
+// load and store through. Checking code and continuation code live behind
+// this interface.
+type Accessor interface {
+	// Mode identifies the policy.
+	Mode() Mode
+	// Load reads len(buf) bytes at p. It returns the provenance of a
+	// pointer value loaded from memory (when one is known) and an error
+	// only when the policy terminates the program (BoundsCheck) or the
+	// simulated hardware faults (Standard).
+	Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error)
+	// Store writes data at p. prov is the provenance of the value being
+	// stored when it is a pointer (nil otherwise).
+	Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error
+}
+
+// inBounds reports whether an access of n bytes at p lies entirely within
+// the live provenance unit.
+func inBounds(p Pointer, n int) bool {
+	u := p.Prov
+	if u == nil || u.Dead {
+		return false
+	}
+	return p.Addr >= u.Base && p.Addr+uint64(n) <= u.End()
+}
+
+// unitName is a diagnostic helper.
+func unitName(u *mem.Unit) string {
+	if u == nil {
+		return ""
+	}
+	return u.Name
+}
+
+// table is the Jones–Kelly object-table lookup every *checked* access
+// performs — exactly as the CRED implementation consults its object table
+// on each checked dereference. This lookup is where the safe-compilation
+// overhead the paper reports comes from; its result also names the unit an
+// out-of-bounds access would actually have touched, which the event log
+// reports as the would-be victim.
+type table struct{ as *mem.AddressSpace }
+
+func (t table) lookup(addr uint64) *mem.Unit { return t.as.FindUnit(addr) }
+
+// --- Standard (unsafe) ---
+
+type standardAccessor struct {
+	as *mem.AddressSpace
+}
+
+// NewStandard returns the unsafe Standard-mode accessor. In-bounds accesses
+// take a direct path (uninstrumented code performs no lookups); everything
+// else resolves by raw address through the address space, where it corrupts
+// whatever it lands on.
+func NewStandard(as *mem.AddressSpace) Accessor { return &standardAccessor{as: as} }
+
+func (a *standardAccessor) Mode() Mode { return Standard }
+
+func (a *standardAccessor) Load(p Pointer, buf []byte, _ token.Pos) (*mem.Unit, error) {
+	if inBounds(p, len(buf)) {
+		off := p.Addr - p.Prov.Base
+		copy(buf, p.Prov.Data[off:])
+		if len(buf) == 8 {
+			return p.Prov.GetShadow(off), nil
+		}
+		return nil, nil
+	}
+	if f := a.as.RawRead(p.Addr, buf); f != nil {
+		return nil, f
+	}
+	// Best-effort provenance for pointer loads that land inside one unit.
+	if len(buf) == 8 {
+		if u := a.as.FindUnit(p.Addr); u != nil {
+			return u.GetShadow(p.Addr - u.Base), nil
+		}
+	}
+	return nil, nil
+}
+
+func (a *standardAccessor) Store(p Pointer, data []byte, prov *mem.Unit, _ token.Pos) error {
+	if inBounds(p, len(data)) && !p.Prov.ReadOnly {
+		off := p.Addr - p.Prov.Base
+		copy(p.Prov.Data[off:], data)
+		if prov != nil && len(data) == 8 {
+			p.Prov.SetShadow(off, prov)
+		} else {
+			p.Prov.ClearShadowRange(off, uint64(len(data)))
+		}
+		return nil
+	}
+	if f := a.as.RawWrite(p.Addr, data); f != nil {
+		return f
+	}
+	if prov != nil && len(data) == 8 {
+		if u := a.as.FindUnit(p.Addr); u != nil {
+			u.SetShadow(p.Addr-u.Base, prov)
+		}
+	}
+	return nil
+}
+
+// --- BoundsCheck (CRED) ---
+
+type boundsAccessor struct {
+	table
+	log *EventLog
+}
+
+// NewBoundsCheck returns the CRED-style accessor: first invalid access
+// terminates the program with a MemError.
+func NewBoundsCheck(as *mem.AddressSpace, log *EventLog) Accessor {
+	return &boundsAccessor{table: table{as: as}, log: log}
+}
+
+func (a *boundsAccessor) Mode() Mode { return BoundsCheck }
+
+func describeOOB(p Pointer, n int) string {
+	switch {
+	case p.Addr == 0:
+		return "null pointer dereference"
+	case p.Prov == nil:
+		return "pointer with no valid data unit"
+	case p.Prov.Dead:
+		return "access to freed or popped data unit"
+	default:
+		return fmt.Sprintf("offset %d outside unit of %d bytes",
+			int64(p.Addr-p.Prov.Base), p.Prov.Size)
+	}
+}
+
+func (a *boundsAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
+	victim := a.lookup(p.Addr)
+	if !inBounds(p, len(buf)) {
+		a.log.addDenied(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
+			Unit: unitName(p.Prov), Victim: unitName(victim)})
+		return nil, &MemError{Pos: pos, Addr: p.Addr, Size: len(buf),
+			Unit: unitName(p.Prov), Cause: describeOOB(p, len(buf))}
+	}
+	off := p.Addr - p.Prov.Base
+	copy(buf, p.Prov.Data[off:])
+	if len(buf) == 8 {
+		return p.Prov.GetShadow(off), nil
+	}
+	return nil, nil
+}
+
+func (a *boundsAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
+	victim := a.lookup(p.Addr)
+	if !inBounds(p, len(data)) || p.Prov.ReadOnly {
+		cause := describeOOB(p, len(data))
+		if inBounds(p, len(data)) && p.Prov.ReadOnly {
+			cause = "write to read-only data unit"
+		}
+		a.log.addDenied(Event{Pos: pos, Write: true, Addr: p.Addr,
+			Size: len(data), Unit: unitName(p.Prov), Victim: unitName(victim)})
+		return &MemError{Pos: pos, Write: true, Addr: p.Addr,
+			Size: len(data), Unit: unitName(p.Prov), Cause: cause}
+	}
+	off := p.Addr - p.Prov.Base
+	copy(p.Prov.Data[off:], data)
+	if prov != nil && len(data) == 8 {
+		p.Prov.SetShadow(off, prov)
+	} else {
+		p.Prov.ClearShadowRange(off, uint64(len(data)))
+	}
+	return nil
+}
+
+// --- FailureOblivious ---
+
+type obliviousAccessor struct {
+	table
+	gen ValueGenerator
+	log *EventLog
+}
+
+// NewFailureOblivious returns the paper's failure-oblivious accessor:
+// invalid writes are discarded, invalid reads return values from gen, and
+// every event is logged (paper §3).
+func NewFailureOblivious(as *mem.AddressSpace, gen ValueGenerator, log *EventLog) Accessor {
+	return &obliviousAccessor{table: table{as: as}, gen: gen, log: log}
+}
+
+func (a *obliviousAccessor) Mode() Mode { return FailureOblivious }
+
+func (a *obliviousAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
+	victim := a.lookup(p.Addr)
+	if !inBounds(p, len(buf)) {
+		v := a.gen.Next(len(buf))
+		putLE(buf, v)
+		a.log.add(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
+			Unit: unitName(p.Prov), Victim: unitName(victim), Manufactured: v})
+		return nil, nil
+	}
+	off := p.Addr - p.Prov.Base
+	copy(buf, p.Prov.Data[off:])
+	if len(buf) == 8 {
+		return p.Prov.GetShadow(off), nil
+	}
+	return nil, nil
+}
+
+func (a *obliviousAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
+	victim := a.lookup(p.Addr)
+	if !inBounds(p, len(data)) || p.Prov.ReadOnly {
+		// Continuation code: discard the write.
+		a.log.add(Event{Pos: pos, Write: true, Addr: p.Addr,
+			Size: len(data), Unit: unitName(p.Prov), Victim: unitName(victim)})
+		return nil
+	}
+	off := p.Addr - p.Prov.Base
+	copy(p.Prov.Data[off:], data)
+	if prov != nil && len(data) == 8 {
+		p.Prov.SetShadow(off, prov)
+	} else {
+		p.Prov.ClearShadowRange(off, uint64(len(data)))
+	}
+	return nil
+}
+
+// --- Boundless memory blocks (paper §5.1) ---
+
+type sideKey struct {
+	unit mem.UnitID
+	off  int64
+}
+
+type boundlessAccessor struct {
+	table
+	gen   ValueGenerator
+	log   *EventLog
+	side  map[sideKey]byte
+	sideP map[sideKey]*mem.Unit // provenance of pointer values in the side store
+}
+
+// NewBoundless returns the boundless-memory-blocks accessor: out-of-bounds
+// writes are stored in a hash table indexed by data unit and offset, and
+// out-of-bounds reads return the stored values (manufacturing values only
+// for never-written locations).
+func NewBoundless(as *mem.AddressSpace, gen ValueGenerator, log *EventLog) Accessor {
+	return &boundlessAccessor{
+		table: table{as: as},
+		gen:   gen, log: log,
+		side:  map[sideKey]byte{},
+		sideP: map[sideKey]*mem.Unit{},
+	}
+}
+
+func (a *boundlessAccessor) Mode() Mode { return Boundless }
+
+func (a *boundlessAccessor) keyAt(p Pointer, i int) sideKey {
+	if p.Prov == nil {
+		return sideKey{unit: 0, off: int64(p.Addr) + int64(i)}
+	}
+	return sideKey{unit: p.Prov.ID, off: int64(p.Addr-p.Prov.Base) + int64(i)}
+}
+
+func (a *boundlessAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
+	a.lookup(p.Addr)
+	if !inBounds(p, len(buf)) {
+		all := true
+		for i := range buf {
+			if b, ok := a.side[a.keyAt(p, i)]; ok {
+				buf[i] = b
+			} else {
+				all = false
+				buf[i] = 0
+			}
+		}
+		var v int64
+		if !all {
+			// Never-written out-of-bounds location: manufacture.
+			v = a.gen.Next(len(buf))
+			for i := range buf {
+				if _, ok := a.side[a.keyAt(p, i)]; !ok {
+					buf[i] = byte(v >> (8 * uint(i)))
+				}
+			}
+		}
+		a.log.add(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
+			Unit: unitName(p.Prov), Manufactured: v, Boundless: all})
+		if all && len(buf) == 8 {
+			return a.sideP[a.keyAt(p, 0)], nil
+		}
+		return nil, nil
+	}
+	off := p.Addr - p.Prov.Base
+	copy(buf, p.Prov.Data[off:])
+	if len(buf) == 8 {
+		return p.Prov.GetShadow(off), nil
+	}
+	return nil, nil
+}
+
+func (a *boundlessAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
+	a.lookup(p.Addr)
+	if !inBounds(p, len(data)) || (p.Prov != nil && p.Prov.ReadOnly) {
+		for i, b := range data {
+			a.side[a.keyAt(p, i)] = b
+		}
+		if len(data) == 8 {
+			if prov != nil {
+				a.sideP[a.keyAt(p, 0)] = prov
+			} else {
+				delete(a.sideP, a.keyAt(p, 0))
+			}
+		}
+		a.log.add(Event{Pos: pos, Write: true, Addr: p.Addr,
+			Size: len(data), Unit: unitName(p.Prov), Boundless: true})
+		return nil
+	}
+	off := p.Addr - p.Prov.Base
+	copy(p.Prov.Data[off:], data)
+	if prov != nil && len(data) == 8 {
+		p.Prov.SetShadow(off, prov)
+	} else {
+		p.Prov.ClearShadowRange(off, uint64(len(data)))
+	}
+	return nil
+}
+
+// --- Redirect into bounds (paper §5.1) ---
+
+type redirectAccessor struct {
+	table
+	gen ValueGenerator
+	log *EventLog
+}
+
+// NewRedirect returns the redirect-into-bounds accessor: out-of-bounds
+// offsets wrap modulo the unit size, so related out-of-bounds reads see
+// consistent values from properly initialized data. Accesses with no live
+// unit fall back to failure-oblivious behaviour.
+func NewRedirect(as *mem.AddressSpace, gen ValueGenerator, log *EventLog) Accessor {
+	return &redirectAccessor{table: table{as: as}, gen: gen, log: log}
+}
+
+func (a *redirectAccessor) Mode() Mode { return Redirect }
+
+func (a *redirectAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
+	a.lookup(p.Addr)
+	if inBounds(p, len(buf)) {
+		off := p.Addr - p.Prov.Base
+		copy(buf, p.Prov.Data[off:])
+		if len(buf) == 8 {
+			return p.Prov.GetShadow(off), nil
+		}
+		return nil, nil
+	}
+	u := p.Prov
+	if u == nil || u.Dead || u.Size == 0 {
+		v := a.gen.Next(len(buf))
+		putLE(buf, v)
+		a.log.add(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
+			Unit: unitName(u), Manufactured: v})
+		return nil, nil
+	}
+	for i := range buf {
+		off := wrapOffset(p.Addr+uint64(i)-u.Base, u.Size)
+		buf[i] = u.Data[off]
+	}
+	a.log.add(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
+		Unit: u.Name, Redirected: true})
+	return nil, nil
+}
+
+func (a *redirectAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
+	a.lookup(p.Addr)
+	if inBounds(p, len(data)) && !p.Prov.ReadOnly {
+		off := p.Addr - p.Prov.Base
+		copy(p.Prov.Data[off:], data)
+		if prov != nil && len(data) == 8 {
+			p.Prov.SetShadow(off, prov)
+		} else {
+			p.Prov.ClearShadowRange(off, uint64(len(data)))
+		}
+		return nil
+	}
+	u := p.Prov
+	if u == nil || u.Dead || u.ReadOnly || u.Size == 0 {
+		a.log.add(Event{Pos: pos, Write: true, Addr: p.Addr,
+			Size: len(data), Unit: unitName(u)})
+		return nil
+	}
+	for i, b := range data {
+		off := wrapOffset(p.Addr+uint64(i)-u.Base, u.Size)
+		u.Data[off] = b
+	}
+	u.ClearShadowRange(0, u.Size)
+	a.log.add(Event{Pos: pos, Write: true, Addr: p.Addr,
+		Size: len(data), Unit: u.Name, Redirected: true})
+	return nil
+}
+
+// wrapOffset maps an arbitrary (possibly negative, i.e. huge unsigned)
+// offset into [0, size).
+func wrapOffset(off, size uint64) uint64 {
+	s := int64(size)
+	o := int64(off) % s
+	if o < 0 {
+		o += s
+	}
+	return uint64(o)
+}
+
+// putLE stores the low len(buf) bytes of v little-endian.
+func putLE(buf []byte, v int64) {
+	for i := range buf {
+		buf[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// New returns an accessor for the given mode. gen and log may be nil, in
+// which case the paper's small-integer generator and a fresh log are used.
+func New(mode Mode, as *mem.AddressSpace, gen ValueGenerator, log *EventLog) Accessor {
+	if gen == nil {
+		gen = NewSmallIntGenerator()
+	}
+	if log == nil {
+		log = NewEventLog(0)
+	}
+	switch mode {
+	case Standard:
+		return NewStandard(as)
+	case BoundsCheck:
+		return NewBoundsCheck(as, log)
+	case FailureOblivious:
+		return NewFailureOblivious(as, gen, log)
+	case Boundless:
+		return NewBoundless(as, gen, log)
+	case Redirect:
+		return NewRedirect(as, gen, log)
+	case TxTerm:
+		return NewTxTerm(as, log)
+	}
+	panic(fmt.Sprintf("core.New: unknown mode %d", mode))
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"focc/internal/cc/token"
+	"focc/internal/mem"
+)
+
+var testPos = token.Pos{File: "test.c", Line: 1, Col: 1}
+
+// fixture builds an address space with one 16-byte heap unit filled with
+// 0..15 and returns pointers to it.
+func fixture(t *testing.T) (*mem.AddressSpace, *mem.Unit) {
+	t.Helper()
+	as := mem.New()
+	u, fault := as.Malloc(16)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	for i := range u.Data {
+		u.Data[i] = byte(i)
+	}
+	return as, u
+}
+
+func ptr(u *mem.Unit, off int64) Pointer {
+	return Pointer{Addr: u.Base + uint64(off), Prov: u}
+}
+
+func TestParseMode(t *testing.T) {
+	good := map[string]Mode{
+		"standard": Standard, "std": Standard,
+		"bounds": BoundsCheck, "cred": BoundsCheck, "bounds-check": BoundsCheck,
+		"oblivious": FailureOblivious, "fo": FailureOblivious,
+		"failure-oblivious": FailureOblivious,
+		"boundless":         Boundless,
+		"redirect":          Redirect,
+	}
+	for s, want := range good {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMode("nonsense"); err == nil {
+		t.Error("expected error for unknown mode")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m := Standard; m <= TxTerm; m++ {
+		if strings.Contains(m.String(), "unknown") {
+			t.Errorf("mode %d has no name", m)
+		}
+		// Round trip.
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v failed: %v %v", m, back, err)
+		}
+	}
+}
+
+func TestInBoundsLoadStoreAllPolicies(t *testing.T) {
+	for m := Standard; m <= TxTerm; m++ {
+		as, u := fixture(t)
+		acc := New(m, as, nil, nil)
+		var buf [4]byte
+		if _, err := acc.Load(ptr(u, 4), buf[:], testPos); err != nil {
+			t.Fatalf("%v: load: %v", m, err)
+		}
+		if !bytes.Equal(buf[:], []byte{4, 5, 6, 7}) {
+			t.Errorf("%v: load = %v", m, buf)
+		}
+		if err := acc.Store(ptr(u, 8), []byte{9, 9}, nil, testPos); err != nil {
+			t.Fatalf("%v: store: %v", m, err)
+		}
+		if u.Data[8] != 9 || u.Data[9] != 9 {
+			t.Errorf("%v: store not applied", m)
+		}
+	}
+}
+
+func TestBoundsCheckTerminates(t *testing.T) {
+	as, u := fixture(t)
+	log := NewEventLog(0)
+	acc := NewBoundsCheck(as, log)
+	var buf [1]byte
+	_, err := acc.Load(ptr(u, 16), buf[:], testPos)
+	me, ok := err.(*MemError)
+	if !ok {
+		t.Fatalf("err = %v, want MemError", err)
+	}
+	if me.Write || me.Addr != u.Base+16 {
+		t.Errorf("MemError = %+v", me)
+	}
+	if err := acc.Store(ptr(u, -1), []byte{1}, nil, testPos); err == nil {
+		t.Error("negative-offset store not rejected")
+	}
+	if log.Denied() != 2 {
+		t.Errorf("denied = %d, want 2", log.Denied())
+	}
+	if !strings.Contains(me.Error(), "out of bounds") {
+		t.Errorf("error text = %q", me.Error())
+	}
+}
+
+func TestObliviousDiscardsAndManufactures(t *testing.T) {
+	as, u := fixture(t)
+	log := NewEventLog(0)
+	acc := NewFailureOblivious(as, NewSmallIntGenerator(), log)
+	// Discarded write.
+	if err := acc.Store(ptr(u, 100), []byte{0xAA}, nil, testPos); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	for _, b := range u.Data {
+		if b == 0xAA {
+			t.Fatal("discarded write leaked into the unit")
+		}
+	}
+	// Manufactured reads follow the sequence 0, 1, 2, 0, 1, 3 …
+	want := []int64{0, 1, 2, 0, 1, 3}
+	for i, w := range want {
+		var buf [1]byte
+		if _, err := acc.Load(ptr(u, 100), buf[:], testPos); err != nil {
+			t.Fatal(err)
+		}
+		if int64(buf[0]) != w {
+			t.Errorf("manufactured value %d = %d, want %d", i, buf[0], w)
+		}
+	}
+	if log.InvalidWrites() != 1 || log.InvalidReads() != 6 {
+		t.Errorf("log = %s", log.Summary())
+	}
+}
+
+func TestObliviousNeedsTableForVictims(t *testing.T) {
+	as, u := fixture(t)
+	other, _ := as.Malloc(16)
+	log := NewEventLog(0)
+	acc := New(FailureOblivious, as, nil, log)
+	// Write far past u so it would land inside `other`.
+	off := int64(other.Base+4) - int64(u.Base)
+	if err := acc.Store(ptr(u, off), []byte{1}, nil, testPos); err != nil {
+		t.Fatal(err)
+	}
+	ev := log.Recent()
+	if len(ev) != 1 || ev[0].Victim == "" {
+		t.Errorf("event = %+v, want a victim unit", ev)
+	}
+}
+
+func TestObliviousWriteToReadOnlyDiscarded(t *testing.T) {
+	as := mem.New()
+	lit := as.InternLiteral("const\x00")
+	acc := New(FailureOblivious, as, nil, nil)
+	if err := acc.Store(Pointer{Addr: lit.Base, Prov: lit}, []byte{'x'}, nil, testPos); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	if lit.Data[0] != 'c' {
+		t.Error("read-only data modified")
+	}
+}
+
+func TestObliviousDeadUnit(t *testing.T) {
+	as, u := fixture(t)
+	as.Free(u.Base)
+	acc := New(FailureOblivious, as, nil, nil)
+	var buf [1]byte
+	if _, err := acc.Load(ptr(u, 0), buf[:], testPos); err != nil {
+		t.Fatalf("UAF load: %v", err)
+	}
+	if err := acc.Store(ptr(u, 0), []byte{1}, nil, testPos); err != nil {
+		t.Fatalf("UAF store: %v", err)
+	}
+}
+
+func TestBoundlessRoundTrip(t *testing.T) {
+	as, u := fixture(t)
+	acc := New(Boundless, as, nil, nil)
+	// Out-of-bounds write is stored...
+	if err := acc.Store(ptr(u, 40), []byte{0xBE, 0xEF}, nil, testPos); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the matching read returns it.
+	var buf [2]byte
+	if _, err := acc.Load(ptr(u, 40), buf[:], testPos); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xBE || buf[1] != 0xEF {
+		t.Errorf("boundless read = %v", buf)
+	}
+	// The unit's real data is untouched.
+	for _, b := range u.Data {
+		if b == 0xBE {
+			t.Fatal("boundless write leaked into the unit")
+		}
+	}
+	// A different offset manufactures instead.
+	if _, err := acc.Load(ptr(u, 80), buf[:], testPos); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundlessDistinguishesUnits(t *testing.T) {
+	// Two units; OOB offset 20 of unit A must not alias in-bounds data of
+	// unit B even when the virtual addresses coincide.
+	as := mem.New()
+	a, _ := as.Malloc(16)
+	b, _ := as.Malloc(64)
+	acc := New(Boundless, as, nil, nil)
+	// a+off lands inside b.
+	off := int64(b.Base+8) - int64(a.Base)
+	if err := acc.Store(ptr(a, off), []byte{0x77}, nil, testPos); err != nil {
+		t.Fatal(err)
+	}
+	if b.Data[8] == 0x77 {
+		t.Error("boundless store corrupted the neighbouring unit")
+	}
+	var buf [1]byte
+	if _, err := acc.Load(ptr(a, off), buf[:], testPos); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x77 {
+		t.Errorf("boundless read = %d, want 0x77", buf[0])
+	}
+}
+
+func TestRedirectWraps(t *testing.T) {
+	as, u := fixture(t)
+	acc := New(Redirect, as, nil, nil)
+	// Reading at offset 17 wraps to offset 1.
+	var buf [1]byte
+	if _, err := acc.Load(ptr(u, 17), buf[:], testPos); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != u.Data[1] {
+		t.Errorf("redirect read = %d, want %d", buf[0], u.Data[1])
+	}
+	// Writing at offset -2 wraps to offset 14.
+	if err := acc.Store(ptr(u, -2), []byte{0xCC}, nil, testPos); err != nil {
+		t.Fatal(err)
+	}
+	if u.Data[14] != 0xCC {
+		t.Errorf("redirect write landed at %v", u.Data)
+	}
+}
+
+func TestRedirectNoUnitFallsBack(t *testing.T) {
+	as, _ := fixture(t)
+	acc := New(Redirect, as, NewSmallIntGenerator(), nil)
+	var buf [1]byte
+	if _, err := acc.Load(Pointer{Addr: 0, Prov: nil}, buf[:], testPos); err != nil {
+		t.Fatalf("null load under redirect: %v", err)
+	}
+}
+
+func TestStandardRawSemantics(t *testing.T) {
+	as, u := fixture(t)
+	next, _ := as.Malloc(16) // adjacent block (after a's header)
+	acc := NewStandard(as)
+	// In-bounds through provenance.
+	if err := acc.Store(ptr(u, 0), []byte{0x11}, nil, testPos); err != nil {
+		t.Fatal(err)
+	}
+	if u.Data[0] != 0x11 {
+		t.Error("in-bounds standard store failed")
+	}
+	// Out-of-bounds resolves by address and corrupts the neighbour's
+	// header region — the heap becomes corrupted.
+	gap := int64(next.Base) - int64(u.Base) - 8
+	if err := acc.Store(ptr(u, gap), []byte{0xFF}, nil, testPos); err != nil {
+		t.Fatal(err)
+	}
+	if !as.HeapCorrupted() {
+		t.Error("standard OOB write into header did not corrupt heap")
+	}
+	// Unmapped faults.
+	if err := acc.Store(Pointer{Addr: 0x10, Prov: nil}, []byte{1}, nil, testPos); err == nil {
+		t.Error("standard write to unmapped should fault")
+	}
+}
+
+func TestPointerShadowThroughPolicies(t *testing.T) {
+	for _, m := range []Mode{Standard, BoundsCheck, FailureOblivious, Boundless, Redirect} {
+		as, u := fixture(t)
+		target, _ := as.Malloc(8)
+		acc := New(m, as, nil, nil)
+		// Store a pointer value (8 bytes) with provenance.
+		pv := make([]byte, 8)
+		for i := range pv {
+			pv[i] = byte(target.Base >> (8 * uint(i)))
+		}
+		if err := acc.Store(ptr(u, 0), pv, target, testPos); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		var buf [8]byte
+		prov, err := acc.Load(ptr(u, 0), buf[:], testPos)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if prov != target {
+			t.Errorf("%v: loaded provenance = %v, want target", m, prov)
+		}
+		// Overwrite one byte with non-pointer data: provenance is gone.
+		if err := acc.Store(ptr(u, 3), []byte{0}, nil, testPos); err != nil {
+			t.Fatal(err)
+		}
+		prov, _ = acc.Load(ptr(u, 0), buf[:], testPos)
+		if prov == target {
+			t.Errorf("%v: stale provenance survived a partial overwrite", m)
+		}
+	}
+}
+
+// Property: wrapOffset always lands inside [0, size).
+func TestWrapOffsetProperty(t *testing.T) {
+	f := func(off uint64, size uint16) bool {
+		s := uint64(size)%1024 + 1
+		w := wrapOffset(off, s)
+		return w < s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the small-int generator emits only values in [0, 255], hits 0
+// and 1 with double frequency, and eventually emits every byte value.
+func TestSmallIntGeneratorProperties(t *testing.T) {
+	g := NewSmallIntGenerator()
+	seen := map[int64]int{}
+	const n = 3 * 254 * 2 // two full cycles
+	for i := 0; i < n; i++ {
+		v := g.Next(1)
+		if v < 0 || v > 255 {
+			t.Fatalf("value %d out of range", v)
+		}
+		seen[v]++
+	}
+	for b := int64(0); b <= 255; b++ {
+		if seen[b] == 0 {
+			t.Errorf("value %d never emitted", b)
+		}
+	}
+	if seen[0] <= seen[2] || seen[1] <= seen[2] {
+		t.Errorf("0 (%d) and 1 (%d) should be more frequent than 2 (%d)",
+			seen[0], seen[1], seen[2])
+	}
+	g.Reset()
+	if g.Next(1) != 0 || g.Next(1) != 1 || g.Next(1) != 2 {
+		t.Error("Reset did not restart the sequence")
+	}
+}
+
+func TestZeroAndConstGenerators(t *testing.T) {
+	z := ZeroGenerator{}
+	for i := 0; i < 5; i++ {
+		if z.Next(4) != 0 {
+			t.Fatal("zero generator emitted non-zero")
+		}
+	}
+	c := ConstGenerator{V: 42}
+	if c.Next(1) != 42 {
+		t.Error("const generator wrong")
+	}
+	z.Reset()
+	c.Reset()
+}
+
+func TestEventLogRing(t *testing.T) {
+	log := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		log.add(Event{Addr: uint64(i)})
+	}
+	recent := log.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d events", len(recent))
+	}
+	if recent[0].Addr != 6 || recent[3].Addr != 9 {
+		t.Errorf("ring order = %v", recent)
+	}
+	if log.InvalidReads() != 10 {
+		t.Errorf("reads = %d", log.InvalidReads())
+	}
+	log.Reset()
+	if log.Total() != 0 || len(log.Recent()) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestEventLogStream(t *testing.T) {
+	var sb strings.Builder
+	log := NewEventLog(0)
+	log.Stream = &sb
+	log.add(Event{Pos: testPos, Write: true, Addr: 0x42, Size: 1, Unit: "buf"})
+	if !strings.Contains(sb.String(), "invalid write") ||
+		!strings.Contains(sb.String(), "buf") {
+		t.Errorf("stream = %q", sb.String())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Pos: testPos, Addr: 0x10, Size: 2, Unit: "u", Manufactured: 7}
+	if !strings.Contains(e.String(), "manufactured value 7") {
+		t.Errorf("event = %q", e.String())
+	}
+	e = Event{Pos: testPos, Write: true, Addr: 0x10, Size: 2, Unit: "u",
+		Victim: "other", Boundless: true}
+	s := e.String()
+	if !strings.Contains(s, "discarded") || !strings.Contains(s, "other") ||
+		!strings.Contains(s, "boundless") {
+		t.Errorf("event = %q", s)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *EventLog
+	l.add(Event{})       // must not panic
+	l.addDenied(Event{}) // must not panic
+}
+
+func TestTxTermRaisesFuncAbort(t *testing.T) {
+	as, u := fixture(t)
+	log := NewEventLog(0)
+	acc := NewTxTerm(as, log)
+	var buf [1]byte
+	_, err := acc.Load(ptr(u, 99), buf[:], testPos)
+	fa, ok := err.(*FuncAbort)
+	if !ok || fa.Write {
+		t.Fatalf("err = %v, want read FuncAbort", err)
+	}
+	err = acc.Store(ptr(u, 99), []byte{1}, nil, testPos)
+	if fa, ok = err.(*FuncAbort); !ok || !fa.Write {
+		t.Fatalf("err = %v, want write FuncAbort", err)
+	}
+	if !strings.Contains(fa.Error(), "terminating enclosing function") {
+		t.Errorf("error text = %q", fa.Error())
+	}
+	if log.Total() != 2 {
+		t.Errorf("log total = %d", log.Total())
+	}
+	// In-bounds accesses behave normally.
+	if err := acc.Store(ptr(u, 0), []byte{7}, nil, testPos); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Load(ptr(u, 0), buf[:], testPos); err != nil || buf[0] != 7 {
+		t.Fatalf("in-bounds load = %v %d", err, buf[0])
+	}
+}

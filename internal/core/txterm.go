@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"focc/internal/cc/token"
+	"focc/internal/mem"
+)
+
+// TxTerm is the transactional-function-termination policy the paper
+// compares against in §5.2 (Sidiroglou, Giovanidis, Keromytis): when a
+// memory error is detected, the *enclosing function* is terminated
+// immediately and execution continues after the corresponding call site.
+// It is implemented here as a sixth policy so the comparison the paper
+// cites ("the program can continue on to execute acceptably after the
+// premature function termination") can be reproduced on the same servers.
+const TxTerm Mode = Redirect + 1
+
+// FuncAbort is the control signal the TxTerm policy raises on an invalid
+// access. The interpreter catches it at the enclosing function boundary,
+// pops the frame, and returns a zero value to the caller.
+type FuncAbort struct {
+	Pos   token.Pos
+	Write bool
+	Addr  uint64
+}
+
+func (e *FuncAbort) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("%s: invalid %s at 0x%x: terminating enclosing function",
+		e.Pos, op, e.Addr)
+}
+
+type txTermAccessor struct {
+	table
+	log *EventLog
+}
+
+// NewTxTerm returns the transactional-function-termination accessor.
+func NewTxTerm(as *mem.AddressSpace, log *EventLog) Accessor {
+	return &txTermAccessor{table: table{as: as}, log: log}
+}
+
+func (a *txTermAccessor) Mode() Mode { return TxTerm }
+
+func (a *txTermAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
+	victim := a.lookup(p.Addr)
+	if !inBounds(p, len(buf)) {
+		a.log.add(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
+			Unit: unitName(p.Prov), Victim: unitName(victim)})
+		return nil, &FuncAbort{Pos: pos, Addr: p.Addr}
+	}
+	off := p.Addr - p.Prov.Base
+	copy(buf, p.Prov.Data[off:])
+	if len(buf) == 8 {
+		return p.Prov.GetShadow(off), nil
+	}
+	return nil, nil
+}
+
+func (a *txTermAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
+	victim := a.lookup(p.Addr)
+	if !inBounds(p, len(data)) || p.Prov.ReadOnly {
+		a.log.add(Event{Pos: pos, Write: true, Addr: p.Addr,
+			Size: len(data), Unit: unitName(p.Prov), Victim: unitName(victim)})
+		return &FuncAbort{Pos: pos, Write: true, Addr: p.Addr}
+	}
+	off := p.Addr - p.Prov.Base
+	copy(p.Prov.Data[off:], data)
+	if prov != nil && len(data) == 8 {
+		p.Prov.SetShadow(off, prov)
+	} else {
+		p.Prov.ClearShadowRange(off, uint64(len(data)))
+	}
+	return nil
+}

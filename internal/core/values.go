@@ -1,0 +1,72 @@
+package core
+
+// ValueGenerator produces the sequence of manufactured values returned for
+// invalid reads (paper §3). Implementations need not be safe for concurrent
+// use; each program instance owns one generator.
+type ValueGenerator interface {
+	// Next returns the next manufactured value for a read of size bytes.
+	Next(size int) int64
+	// Reset restarts the sequence.
+	Reset()
+}
+
+// SmallIntGenerator is the paper's production sequence: it iterates through
+// all small integers, returning 0 and 1 more frequently than other values
+// because they are the most commonly loaded values in programs [59]. The
+// emitted sequence is 0, 1, 2, 0, 1, 3, 0, 1, 4, … 0, 1, 255, then repeats
+// from 2. Cycling through all byte values guarantees that loops searching
+// past a buffer for a sentinel character (Midnight Commander's '/' scan,
+// paper §3) eventually see it and terminate.
+type SmallIntGenerator struct {
+	phase int   // 0 -> 0, 1 -> 1, 2 -> k
+	k     int64 // next "other" small integer
+}
+
+// NewSmallIntGenerator returns the paper's manufactured-value sequence.
+func NewSmallIntGenerator() *SmallIntGenerator {
+	return &SmallIntGenerator{k: 2}
+}
+
+// Next returns the next value in the sequence.
+func (g *SmallIntGenerator) Next(int) int64 {
+	switch g.phase {
+	case 0:
+		g.phase = 1
+		return 0
+	case 1:
+		g.phase = 2
+		return 1
+	default:
+		g.phase = 0
+		v := g.k
+		g.k++
+		if g.k > 255 {
+			g.k = 2
+		}
+		return v
+	}
+}
+
+// Reset restarts the sequence from the beginning.
+func (g *SmallIntGenerator) Reset() { g.phase = 0; g.k = 2 }
+
+// ZeroGenerator always manufactures zero. It is the naive strategy the
+// paper warns against: a loop that scans for a non-zero sentinel past the
+// end of a buffer never terminates (the Midnight Commander hang). It exists
+// for the value-sequence ablation experiment.
+type ZeroGenerator struct{}
+
+// Next returns 0.
+func (ZeroGenerator) Next(int) int64 { return 0 }
+
+// Reset is a no-op.
+func (ZeroGenerator) Reset() {}
+
+// ConstGenerator always manufactures the same value; useful in tests.
+type ConstGenerator struct{ V int64 }
+
+// Next returns the configured constant.
+func (g ConstGenerator) Next(int) int64 { return g.V }
+
+// Reset is a no-op.
+func (ConstGenerator) Reset() {}

@@ -1,0 +1,270 @@
+// Package harness drives the paper's evaluation: request-processing time
+// measurements (means ± standard deviations over repeated requests, as in
+// Figures 2–6), the security/resilience matrix (§4.*.2), the Apache
+// throughput-under-attack experiment (§4.3.2), and the stability soak runs
+// (§4.*.4).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"focc/fo"
+	"focc/internal/interp"
+	"focc/internal/servers"
+)
+
+// Sample summarizes repeated time measurements.
+type Sample struct {
+	MeanMs  float64
+	StdevPc float64 // standard deviation as a percentage of the mean
+	N       int
+}
+
+func (s Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.1f%%", s.MeanMs, s.StdevPc)
+}
+
+// summarize computes mean and relative stdev of durations in milliseconds.
+func summarize(durs []time.Duration) Sample {
+	n := len(durs)
+	if n == 0 {
+		return Sample{}
+	}
+	var sum float64
+	for _, d := range durs {
+		sum += d.Seconds() * 1000
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, d := range durs {
+		diff := d.Seconds()*1000 - mean
+		ss += diff * diff
+	}
+	stdev := 0.0
+	if n > 1 {
+		stdev = math.Sqrt(ss / float64(n-1))
+	}
+	pc := 0.0
+	if mean > 0 {
+		pc = stdev / mean * 100
+	}
+	return Sample{MeanMs: mean, StdevPc: pc, N: n}
+}
+
+// DefaultReps is the per-request repetition count ("we performed each
+// request at least twenty times").
+const DefaultReps = 20
+
+// Clock selects the time base for request measurements.
+type Clock int
+
+// Clocks.
+const (
+	// SimClock measures simulated milliseconds under the interp cost
+	// model — the interpreter's wall-clock dilation would otherwise
+	// flatten the checking overhead the paper measures; see
+	// internal/interp/cycles.go. This is the default for the figures.
+	SimClock Clock = iota
+	// WallClock measures host wall-clock time of the interpreter itself.
+	WallClock
+)
+
+// TimeRequest measures the request-processing time of req on inst over
+// reps repetitions (with one untimed warm-up), under the given clock.
+func TimeRequest(inst servers.Instance, req servers.Request, reps int, clock Clock) (Sample, error) {
+	if reps <= 0 {
+		reps = DefaultReps
+	}
+	if resp := inst.Handle(req); resp.Crashed() {
+		return Sample{}, fmt.Errorf("warm-up request crashed: %v", resp.Err)
+	}
+	durs := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		beforeCycles := inst.Cycles()
+		beforeWall := time.Now()
+		resp := inst.Handle(req)
+		if clock == WallClock {
+			durs = append(durs, time.Since(beforeWall))
+		} else {
+			cycles := inst.Cycles() - beforeCycles
+			durs = append(durs, time.Duration(interp.SimSeconds(cycles)*float64(time.Second)))
+		}
+		if resp.Crashed() {
+			return Sample{}, fmt.Errorf("request %d crashed: %v", i, resp.Err)
+		}
+	}
+	return summarize(durs), nil
+}
+
+// PerfRow is one line of a Figure 2–6 style table.
+type PerfRow struct {
+	Request  string
+	Standard Sample
+	Failure  Sample
+	Slowdown float64
+}
+
+// PerfTable measures every named request under Standard and
+// FailureOblivious instances of srv, mirroring the paper's figures
+// (simulated clock). Use PerfTableClock for wall-clock measurements.
+func PerfTable(srv servers.Server, names []string, reqs []servers.Request, reps int) ([]PerfRow, error) {
+	return PerfTableClock(srv, names, reqs, reps, SimClock)
+}
+
+// PerfTableClock is PerfTable with an explicit time base.
+func PerfTableClock(srv servers.Server, names []string, reqs []servers.Request, reps int, clock Clock) ([]PerfRow, error) {
+	if len(names) != len(reqs) {
+		return nil, fmt.Errorf("names/requests length mismatch")
+	}
+	rows := make([]PerfRow, 0, len(reqs))
+	for i, req := range reqs {
+		std, err := srv.New(fo.Standard)
+		if err != nil {
+			return nil, err
+		}
+		obl, err := srv.New(fo.FailureOblivious)
+		if err != nil {
+			return nil, err
+		}
+		sStd, err := TimeRequest(std, req, reps, clock)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s standard: %w", srv.Name(), names[i], err)
+		}
+		sObl, err := TimeRequest(obl, req, reps, clock)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s oblivious: %w", srv.Name(), names[i], err)
+		}
+		slow := 0.0
+		if sStd.MeanMs > 0 {
+			slow = sObl.MeanMs / sStd.MeanMs
+		}
+		rows = append(rows, PerfRow{
+			Request: names[i], Standard: sStd, Failure: sObl, Slowdown: slow,
+		})
+	}
+	return rows, nil
+}
+
+// FormatPerfTable renders rows in the paper's figure layout.
+func FormatPerfTable(title string, rows []PerfRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-12s %-18s %-18s %s\n", "Request", "Standard", "Failure Oblivious", "Slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-18s %-18s %.2f\n",
+			r.Request, r.Standard, r.Failure, r.Slowdown)
+	}
+	return sb.String()
+}
+
+// ResilienceRow is one cell group of the security/resilience matrix.
+type ResilienceRow struct {
+	Server        string
+	Mode          fo.Mode
+	AttackOutcome fo.Outcome
+	// PostAttackOK reports whether a legitimate request succeeded on the
+	// same instance after the attack.
+	PostAttackOK bool
+	// ErrorsLogged is the number of memory errors the instance logged.
+	ErrorsLogged uint64
+}
+
+// Modes are the paper's three compared versions.
+var Modes = []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious}
+
+// VariantModes are the §5.1 variants.
+var VariantModes = []fo.Mode{fo.Boundless, fo.Redirect}
+
+// ResilienceMatrix submits each server's documented attack under each mode
+// and then probes the same instance with a legitimate request.
+func ResilienceMatrix(srvs []servers.Server, modes []fo.Mode) ([]ResilienceRow, error) {
+	var rows []ResilienceRow
+	for _, srv := range srvs {
+		for _, mode := range modes {
+			inst, err := srv.New(mode)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", srv.Name(), mode, err)
+			}
+			attackResp := inst.Handle(srv.AttackRequest())
+			post := false
+			if inst.Alive() {
+				legit := srv.LegitRequests()
+				if len(legit) > 0 {
+					resp := inst.Handle(legit[0])
+					post = resp.OK()
+				}
+			}
+			rows = append(rows, ResilienceRow{
+				Server:        srv.Name(),
+				Mode:          mode,
+				AttackOutcome: attackResp.Outcome,
+				PostAttackOK:  post,
+				ErrorsLogged:  inst.Log().Total(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatResilience renders the matrix.
+func FormatResilience(rows []ResilienceRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-18s %-26s %-12s %s\n",
+		"Server", "Version", "Attack outcome", "Post-attack", "Errors logged")
+	for _, r := range rows {
+		post := "server dead"
+		if r.PostAttackOK {
+			post = "serving"
+		}
+		fmt.Fprintf(&sb, "%-10s %-18s %-26s %-12s %d\n",
+			r.Server, r.Mode, r.AttackOutcome, post, r.ErrorsLogged)
+	}
+	return sb.String()
+}
+
+// SoakResult summarizes a stability run.
+type SoakResult struct {
+	Requests    int
+	Attacks     int
+	Crashes     int
+	Restarts    int
+	ErrorEvents uint64
+}
+
+// Soak runs n requests against srv under mode, interleaving the attack
+// request every attackEvery requests (paper §4.*.4 stability methodology).
+// Crashed instances are replaced, counting a restart.
+func Soak(srv servers.Server, mode fo.Mode, n, attackEvery int) (SoakResult, error) {
+	inst, err := srv.New(mode)
+	if err != nil {
+		return SoakResult{}, err
+	}
+	legit := srv.LegitRequests()
+	var res SoakResult
+	var events uint64
+	for i := 0; i < n; i++ {
+		var req servers.Request
+		if attackEvery > 0 && i%attackEvery == attackEvery-1 {
+			req = srv.AttackRequest()
+			res.Attacks++
+		} else {
+			req = legit[i%len(legit)]
+		}
+		resp := inst.Handle(req)
+		res.Requests++
+		if resp.Crashed() {
+			res.Crashes++
+			events += inst.Log().Total()
+			inst, err = srv.New(mode)
+			if err != nil {
+				return res, err
+			}
+			res.Restarts++
+		}
+	}
+	res.ErrorEvents = events + inst.Log().Total()
+	return res, nil
+}

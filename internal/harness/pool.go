@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+// ChildPool models Apache's regenerating pool of child processes: requests
+// are handed to children round-robin, and a child that dies (segfault under
+// Standard, memory-error termination under BoundsCheck) is replaced by a
+// freshly created process — at real instance-creation cost, which is
+// exactly the overhead the paper attributes the Standard/BoundsCheck
+// throughput loss to (§4.3.2).
+type ChildPool struct {
+	srv      servers.Server
+	mode     fo.Mode
+	children []servers.Instance
+	next     int
+
+	// Restarts counts children replaced after crashing.
+	Restarts int
+}
+
+// NewChildPool creates a pool of n children.
+func NewChildPool(srv servers.Server, mode fo.Mode, n int) (*ChildPool, error) {
+	if n <= 0 {
+		n = 4
+	}
+	p := &ChildPool{srv: srv, mode: mode}
+	for i := 0; i < n; i++ {
+		inst, err := srv.New(mode)
+		if err != nil {
+			return nil, err
+		}
+		p.children = append(p.children, inst)
+	}
+	return p, nil
+}
+
+// Handle dispatches one request to the pool, replacing the child first if a
+// previous request killed it.
+func (p *ChildPool) Handle(req servers.Request) (servers.Response, error) {
+	i := p.next
+	p.next = (p.next + 1) % len(p.children)
+	if !p.children[i].Alive() {
+		inst, err := p.srv.New(p.mode)
+		if err != nil {
+			return servers.Response{}, err
+		}
+		p.children[i] = inst
+		p.Restarts++
+	}
+	return p.children[i].Handle(req), nil
+}
+
+// ThroughputResult is one row of the §4.3.2 throughput experiment.
+type ThroughputResult struct {
+	Mode       fo.Mode
+	LegitDone  int
+	Attacks    int
+	Restarts   int
+	Elapsed    time.Duration
+	Throughput float64 // legitimate requests per second
+}
+
+// AttackThroughput measures legitimate-request throughput while the pool is
+// being flooded with attack requests: between consecutive legitimate
+// fetches, attacksPerLegit attack requests arrive (the paper used several
+// machines to load the server with attack requests while one client
+// repeatedly fetched the project home page).
+func AttackThroughput(srv servers.Server, mode fo.Mode, poolSize, legitN, attacksPerLegit int) (ThroughputResult, error) {
+	pool, err := NewChildPool(srv, mode, poolSize)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	legit := srv.LegitRequests()[0]
+	attack := srv.AttackRequest()
+	res := ThroughputResult{Mode: mode}
+	start := time.Now()
+	for i := 0; i < legitN; i++ {
+		for a := 0; a < attacksPerLegit; a++ {
+			if _, err := pool.Handle(attack); err != nil {
+				return res, err
+			}
+			res.Attacks++
+		}
+		resp, err := pool.Handle(legit)
+		if err != nil {
+			return res, err
+		}
+		if resp.Crashed() {
+			// A legit request landed on a child the attack killed in
+			// Standard mode before the crash was observed; it is lost
+			// (the real client would retry). Count it as not done.
+			continue
+		}
+		res.LegitDone++
+	}
+	res.Elapsed = time.Since(start)
+	res.Restarts = pool.Restarts
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.LegitDone) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// FormatThroughput renders §4.3.2-style results with ratios relative to the
+// FailureOblivious row (which the paper reports as roughly 5.7x the Bounds
+// Check version and 4.8x the Standard version).
+func FormatThroughput(rows []ThroughputResult) string {
+	var foThroughput float64
+	for _, r := range rows {
+		if r.Mode == fo.FailureOblivious {
+			foThroughput = r.Throughput
+		}
+	}
+	out := fmt.Sprintf("%-18s %-12s %-10s %-12s %s\n",
+		"Version", "Legit req/s", "Restarts", "Legit done", "FO speedup")
+	for _, r := range rows {
+		ratio := "1.0"
+		if r.Throughput > 0 && foThroughput > 0 && r.Mode != fo.FailureOblivious {
+			ratio = fmt.Sprintf("%.1f", foThroughput/r.Throughput)
+		}
+		out += fmt.Sprintf("%-18s %-12.1f %-10d %-12d %s\n",
+			r.Mode, r.Throughput, r.Restarts, r.LegitDone, ratio)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+// PropagationResult measures the paper's §1.2 explanation for why
+// failure-oblivious computing works: servers have short error propagation
+// distances — a memory error in the computation for one request has little
+// or no effect on subsequent requests.
+type PropagationResult struct {
+	Server string
+	// ErrorsDuringAttack is the number of memory errors the attack
+	// request provoked (must be > 0 for the experiment to be meaningful).
+	ErrorsDuringAttack uint64
+	// Distance is the number of subsequent legitimate requests whose
+	// responses differed from a never-attacked twin instance before the
+	// two converged. 0 means the attack's effects never escaped its own
+	// request — the paper's claim for all five servers.
+	Distance int
+	// Probes is how many legitimate requests were compared.
+	Probes int
+	// Diverged lists the indexes of differing probes (diagnostic).
+	Diverged []int
+}
+
+// ErrorPropagation runs the attack against a failure-oblivious instance,
+// then replays an identical stream of legitimate requests against both the
+// attacked instance and a clean twin, comparing responses pairwise. newSrv
+// must build a fresh, isolated server (instances of one server may share
+// host-side state such as a filesystem, which would make the comparison
+// measure state divergence rather than error propagation).
+func ErrorPropagation(newSrv func() servers.Server, probes int) (PropagationResult, error) {
+	srvA, srvB := newSrv(), newSrv()
+	res := PropagationResult{Server: srvA.Name()}
+	attacked, err := srvA.New(fo.FailureOblivious)
+	if err != nil {
+		return res, err
+	}
+	clean, err := srvB.New(fo.FailureOblivious)
+	if err != nil {
+		return res, err
+	}
+	attackResp := attacked.Handle(srvA.AttackRequest())
+	if attackResp.Crashed() {
+		return res, fmt.Errorf("attack crashed the failure-oblivious instance: %v", attackResp.Err)
+	}
+	res.ErrorsDuringAttack = attacked.Log().Total()
+
+	legit := srvA.LegitRequests()
+	last := -1
+	for i := 0; i < probes; i++ {
+		req := legit[i%len(legit)]
+		a := attacked.Handle(req)
+		c := clean.Handle(req)
+		res.Probes++
+		if a.Crashed() || c.Crashed() {
+			return res, fmt.Errorf("probe %d crashed (attacked=%v clean=%v)", i, a.Outcome, c.Outcome)
+		}
+		if a.Status != c.Status || a.Body != c.Body {
+			res.Diverged = append(res.Diverged, i)
+			last = i
+		}
+	}
+	res.Distance = last + 1
+	return res, nil
+}
+
+// FormatPropagation renders the experiment.
+func FormatPropagation(rows []PropagationResult) string {
+	out := fmt.Sprintf("%-10s %-22s %-10s %s\n",
+		"Server", "Errors during attack", "Probes", "Propagation distance")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s %-22d %-10d %d\n",
+			r.Server, r.ErrorsDuringAttack, r.Probes, r.Distance)
+	}
+	return out
+}

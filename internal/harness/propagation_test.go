@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+func TestErrorPropagationIsZero(t *testing.T) {
+	// Paper §1.2: "localized errors in the computation for one request
+	// tend to have little or no effect on the computations for subsequent
+	// requests." For all five servers the measured distance must be zero.
+	for _, newSrv := range serverMakers() {
+		res, err := ErrorPropagation(newSrv, 12)
+		if err != nil {
+			t.Fatalf("%s: %v", newSrv().Name(), err)
+		}
+		if res.ErrorsDuringAttack == 0 {
+			t.Errorf("%s: attack provoked no memory errors; experiment vacuous", res.Server)
+		}
+		if res.Distance != 0 {
+			t.Errorf("%s: propagation distance = %d (diverged at %v), want 0",
+				res.Server, res.Distance, res.Diverged)
+		}
+	}
+}
+
+func TestFormatPropagation(t *testing.T) {
+	out := FormatPropagation([]PropagationResult{
+		{Server: "mutt", ErrorsDuringAttack: 80, Probes: 12, Distance: 0},
+	})
+	if !strings.Contains(out, "mutt") || !strings.Contains(out, "80") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+// randRequest builds a random (often malformed) request for a server —
+// arbitrary bytes in the argument and payload positions.
+func randRequest(rng *rand.Rand, srv servers.Server) servers.Request {
+	ops := map[string][]string{
+		"pine":     {"index", "read", "compose", "move"},
+		"apache":   {"GET"},
+		"sendmail": {"helo", "mail", "rcpt", "data", "send", "recv", "wakeup"},
+		"mc":       {"open-tgz", "config", "copy", "move", "mkdir", "delete"},
+		"mutt":     {"select", "read", "move"},
+	}
+	randBytes := func(max int) string {
+		n := rng.Intn(max)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		// Requests are C strings; embedded NULs just truncate.
+		return strings.ReplaceAll(string(b), "\x00", "\x01")
+	}
+	choices := ops[srv.Name()]
+	return servers.Request{
+		Op:      choices[rng.Intn(len(choices))],
+		Arg:     randBytes(200),
+		Payload: randBytes(400),
+	}
+}
+
+func TestFailureObliviousNeverCrashesOnRandomInput(t *testing.T) {
+	// The paper's security claim, as a fuzz property: no input — however
+	// malformed — can crash the failure-oblivious version (nor the §5.1
+	// variants, nor the §5.2 comparison policy).
+	rng := rand.New(rand.NewSource(2004))
+	modes := []fo.Mode{fo.FailureOblivious, fo.Boundless, fo.Redirect, fo.TxTerm}
+	for _, srv := range allServers() {
+		for _, mode := range modes {
+			inst, err := srv.New(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 40
+			if testing.Short() {
+				n = 10
+			}
+			for i := 0; i < n; i++ {
+				req := randRequest(rng, srv)
+				resp := inst.Handle(req)
+				if resp.Crashed() {
+					t.Fatalf("%s/%v: random request %d (op %q) crashed: %v",
+						srv.Name(), mode, i, req.Op, resp.Err)
+				}
+			}
+			if !inst.Alive() {
+				t.Errorf("%s/%v: instance died during fuzzing", srv.Name(), mode)
+			}
+		}
+	}
+}

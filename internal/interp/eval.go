@@ -1,0 +1,788 @@
+package interp
+
+import (
+	"focc/internal/cc/ast"
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+	"focc/internal/core"
+	"focc/internal/mem"
+)
+
+// ctrl is the control-flow signal returned by statement execution.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+	ctrlGoto
+)
+
+// lval is an evaluated lvalue. Direct accesses to named variables are
+// "trusted": they are statically in bounds, so — like a real safe-C
+// compiler — no dynamic check is emitted for them. Every pointer
+// dereference and array index goes through the policy.
+type lval struct {
+	p       core.Pointer
+	t       *types.Type
+	trusted bool
+}
+
+// --- Statements ---
+
+func (m *Machine) execBlock(b *ast.Block) ctrl {
+	i := 0
+	for i < len(b.Stmts) {
+		c := m.execStmt(b.Stmts[i])
+		if c == ctrlGoto {
+			if idx, ok := findLabel(b.Stmts, m.gotoLabel); ok {
+				i = idx
+				continue
+			}
+			return c
+		}
+		if c != ctrlNone {
+			return c
+		}
+		i++
+	}
+	return ctrlNone
+}
+
+// findLabel locates `label:` among the top-level statements of a block.
+func findLabel(stmts []ast.Stmt, label string) (int, bool) {
+	for i, s := range stmts {
+		l, ok := s.(*ast.Labeled)
+		for ok {
+			if l.Name == label {
+				return i, true
+			}
+			l, ok = l.Stmt.(*ast.Labeled)
+		}
+	}
+	return 0, false
+}
+
+func (m *Machine) execStmt(s ast.Stmt) ctrl {
+	m.step()
+	switch n := s.(type) {
+	case *ast.Empty:
+		return ctrlNone
+	case *ast.Block:
+		return m.execBlock(n)
+	case *ast.ExprStmt:
+		m.evalExpr(n.X)
+		return ctrlNone
+	case *ast.DeclStmt:
+		for _, vd := range n.Decls {
+			m.execLocalDecl(vd)
+		}
+		return ctrlNone
+	case *ast.If:
+		if m.evalExpr(n.Cond).Truthy() {
+			return m.execStmt(n.Then)
+		}
+		if n.Else != nil {
+			return m.execStmt(n.Else)
+		}
+		return ctrlNone
+	case *ast.While:
+		for m.evalExpr(n.Cond).Truthy() {
+			m.step()
+			switch c := m.execStmt(n.Body); c {
+			case ctrlBreak:
+				return ctrlNone
+			case ctrlContinue, ctrlNone:
+			default:
+				return c
+			}
+		}
+		return ctrlNone
+	case *ast.DoWhile:
+		for {
+			m.step()
+			switch c := m.execStmt(n.Body); c {
+			case ctrlBreak:
+				return ctrlNone
+			case ctrlContinue, ctrlNone:
+			default:
+				return c
+			}
+			if !m.evalExpr(n.Cond).Truthy() {
+				return ctrlNone
+			}
+		}
+	case *ast.For:
+		if n.Init != nil {
+			m.execStmt(n.Init)
+		}
+		for n.Cond == nil || m.evalExpr(n.Cond).Truthy() {
+			m.step()
+			switch c := m.execStmt(n.Body); c {
+			case ctrlBreak:
+				return ctrlNone
+			case ctrlContinue, ctrlNone:
+			default:
+				return c
+			}
+			if n.Post != nil {
+				m.evalExpr(n.Post)
+			}
+		}
+		return ctrlNone
+	case *ast.Switch:
+		return m.execSwitch(n)
+	case *ast.CaseLabel:
+		return ctrlNone
+	case *ast.Break:
+		return ctrlBreak
+	case *ast.Continue:
+		return ctrlContinue
+	case *ast.Return:
+		if n.X != nil {
+			m.retVal = m.evalExpr(n.X)
+		} else {
+			m.retVal = Value{}
+		}
+		return ctrlReturn
+	case *ast.Goto:
+		m.gotoLabel = n.Label
+		return ctrlGoto
+	case *ast.Labeled:
+		return m.execStmt(n.Stmt)
+	}
+	m.failf(s.Pos(), "unsupported statement %T", s)
+	return ctrlNone
+}
+
+func (m *Machine) execSwitch(n *ast.Switch) ctrl {
+	cond := m.evalExpr(n.Cond)
+	start := n.DefaultIdx
+	for _, c := range n.Cases {
+		if c.Val == cond.I {
+			start = c.Idx
+			break
+		}
+	}
+	if start < 0 {
+		return ctrlNone
+	}
+	stmts := n.Body.Stmts
+	i := start
+	for i < len(stmts) {
+		c := m.execStmt(stmts[i])
+		switch c {
+		case ctrlBreak:
+			return ctrlNone
+		case ctrlGoto:
+			if idx, ok := findLabel(stmts, m.gotoLabel); ok {
+				i = idx
+				continue
+			}
+			return c
+		case ctrlNone:
+			i++
+		default:
+			return c
+		}
+	}
+	return ctrlNone
+}
+
+func (m *Machine) execLocalDecl(vd *ast.VarDecl) {
+	sym := vd.Sym
+	u := m.frame.Local(sym.FrameOff)
+	if u == nil {
+		m.failf(vd.Pos(), "internal: no frame slot for %q", sym.Name)
+	}
+	if vd.Init == nil {
+		// Uninitialized locals keep whatever bytes the stack arena holds
+		// (realistically stale) — this is the Midnight Commander bug's
+		// precondition.
+		return
+	}
+	switch init := vd.Init.(type) {
+	case *ast.InitList:
+		m.zeroFill(u, 0, sym.Type.Size())
+		m.initLocalAggregate(u, 0, sym.Type, init)
+	case *ast.StringLit:
+		if sym.Type.Kind == types.Array {
+			m.zeroFill(u, 0, sym.Type.Size())
+			lit := m.literals[init.LitIndex]
+			n := uint64(len(lit.Data))
+			if n > sym.Type.Size() {
+				n = sym.Type.Size()
+			}
+			copy(u.Data[:n], lit.Data[:n])
+			return
+		}
+		v := m.evalExpr(init)
+		m.storeRaw(u, 0, sym.Type, m.convert(v, sym.Type, vd.Pos()))
+	default:
+		v := m.evalExpr(init)
+		m.storeRaw(u, 0, sym.Type, m.convert(v, sym.Type, vd.Pos()))
+	}
+}
+
+func (m *Machine) zeroFill(u *mem.Unit, off, n uint64) {
+	for i := off; i < off+n; i++ {
+		u.Data[i] = 0
+	}
+	u.ClearShadowRange(off, n)
+}
+
+func (m *Machine) initLocalAggregate(u *mem.Unit, off uint64, t *types.Type, il *ast.InitList) {
+	switch t.Kind {
+	case types.Array:
+		es := t.Elem.Size()
+		for i, e := range il.Elems {
+			m.initLocalElem(u, off+uint64(i)*es, t.Elem, e)
+		}
+	case types.Struct:
+		for i, e := range il.Elems {
+			if i >= len(t.Rec.Fields) {
+				break
+			}
+			f := t.Rec.Fields[i]
+			m.initLocalElem(u, off+f.Offset, f.Type, e)
+		}
+	default:
+		if len(il.Elems) == 1 {
+			m.initLocalElem(u, off, t, il.Elems[0])
+		}
+	}
+}
+
+func (m *Machine) initLocalElem(u *mem.Unit, off uint64, t *types.Type, e ast.Expr) {
+	if nested, ok := e.(*ast.InitList); ok {
+		m.initLocalAggregate(u, off, t, nested)
+		return
+	}
+	if s, ok := e.(*ast.StringLit); ok && t.Kind == types.Array {
+		lit := m.literals[s.LitIndex]
+		n := uint64(len(lit.Data))
+		if n > t.Size() {
+			n = t.Size()
+		}
+		copy(u.Data[off:off+n], lit.Data[:n])
+		return
+	}
+	v := m.evalExpr(e)
+	m.storeRaw(u, off, t, m.convert(v, t, e.Pos()))
+}
+
+// --- Expressions ---
+
+func (m *Machine) evalExpr(e ast.Expr) Value {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return Value{T: n.Type(), I: n.Val}
+	case *ast.StringLit:
+		u := m.literals[n.LitIndex]
+		return Value{
+			T:   types.PointerTo(types.CharType),
+			Ptr: core.Pointer{Addr: u.Base, Prov: u},
+		}
+	case *ast.Ident:
+		return m.evalIdent(n)
+	case *ast.Unary:
+		return m.evalUnary(n)
+	case *ast.Postfix:
+		lv := m.evalLvalue(n.X)
+		old := m.loadLval(lv, n.Pos())
+		delta := int64(1)
+		if n.Op == token.Dec {
+			delta = -1
+		}
+		m.storeLval(lv, m.addDelta(old, delta, n.Pos()), n.Pos())
+		return old
+	case *ast.Binary:
+		return m.evalBinary(n)
+	case *ast.Assign:
+		return m.evalAssign(n)
+	case *ast.Cond:
+		if m.evalExpr(n.C).Truthy() {
+			return m.convert(m.evalExpr(n.Then), n.Type(), n.Pos())
+		}
+		return m.convert(m.evalExpr(n.Else), n.Type(), n.Pos())
+	case *ast.Call:
+		return m.evalCall(n)
+	case *ast.Index, *ast.Member:
+		lv := m.evalLvalue(e)
+		if lv.t.IsArray() {
+			return m.decayLval(lv)
+		}
+		return m.loadLval(lv, e.Pos())
+	case *ast.Cast:
+		return m.convert(m.evalExpr(n.X), n.To, n.Pos())
+	case *ast.Comma:
+		m.evalExpr(n.X)
+		return m.evalExpr(n.Y)
+	}
+	m.failf(e.Pos(), "unsupported expression %T", e)
+	return Value{}
+}
+
+func (m *Machine) decayLval(lv lval) Value {
+	return Value{
+		T:   types.PointerTo(lv.t.Elem),
+		Ptr: lv.p,
+	}
+}
+
+func (m *Machine) evalIdent(n *ast.Ident) Value {
+	sym := n.Sym
+	if sym == nil {
+		m.failf(n.Pos(), "unresolved identifier %q", n.Name)
+	}
+	lv := m.lvalOfSym(sym, n.Pos())
+	if sym.Type.IsArray() {
+		return m.decayLval(lv)
+	}
+	if sym.Type.Kind == types.Func {
+		m.failf(n.Pos(), "function %q used as a value (function pointers are unsupported)", n.Name)
+	}
+	return m.loadLval(lv, n.Pos())
+}
+
+func (m *Machine) lvalOfSym(sym *ast.Symbol, pos token.Pos) lval {
+	switch sym.Storage {
+	case ast.StorageLocal, ast.StorageParam:
+		u := m.frame.Local(sym.FrameOff)
+		if u == nil {
+			m.failf(pos, "internal: no frame slot for %q", sym.Name)
+		}
+		return lval{
+			p:       core.Pointer{Addr: u.Base, Prov: u},
+			t:       sym.Type,
+			trusted: true,
+		}
+	case ast.StorageGlobal:
+		u := m.globals[sym.GlobalIdx]
+		return lval{
+			p:       core.Pointer{Addr: u.Base, Prov: u},
+			t:       sym.Type,
+			trusted: true,
+		}
+	}
+	m.failf(pos, "symbol %q is not addressable", sym.Name)
+	return lval{}
+}
+
+func (m *Machine) evalLvalue(e ast.Expr) lval {
+	switch n := e.(type) {
+	case *ast.Ident:
+		if n.Sym == nil {
+			m.failf(n.Pos(), "unresolved identifier %q", n.Name)
+		}
+		return m.lvalOfSym(n.Sym, n.Pos())
+	case *ast.Unary:
+		if n.Op != token.Star {
+			m.failf(n.Pos(), "expression is not an lvalue")
+		}
+		v := m.evalExpr(n.X)
+		return lval{p: v.Ptr, t: n.Type()}
+	case *ast.Index:
+		base := m.evalExpr(n.X) // arrays decay here
+		idx := m.evalExpr(n.Idx)
+		es := n.Type().Size()
+		addr := base.Ptr.Addr + uint64(idx.I)*es
+		return lval{
+			p: core.Pointer{Addr: addr, Prov: base.Ptr.Prov},
+			t: n.Type(),
+		}
+	case *ast.Member:
+		if n.Arrow {
+			v := m.evalExpr(n.X)
+			return lval{
+				p: core.Pointer{Addr: v.Ptr.Addr + n.Field.Offset, Prov: v.Ptr.Prov},
+				t: n.Field.Type,
+			}
+		}
+		base := m.evalLvalue(n.X)
+		return lval{
+			p:       core.Pointer{Addr: base.p.Addr + n.Field.Offset, Prov: base.p.Prov},
+			t:       n.Field.Type,
+			trusted: base.trusted,
+		}
+	case *ast.StringLit:
+		u := m.literals[n.LitIndex]
+		return lval{p: core.Pointer{Addr: u.Base, Prov: u}, t: n.Type()}
+	}
+	m.failf(e.Pos(), "expression is not an lvalue (%T)", e)
+	return lval{}
+}
+
+// loadLval reads through an lvalue; trusted (named variable) accesses skip
+// the policy, exactly like uninstrumented direct accesses in a safe-C
+// compiler.
+func (m *Machine) loadLval(lv lval, pos token.Pos) Value {
+	if lv.trusted {
+		return m.loadRaw(lv.p.Prov, lv.p.Addr-lv.p.Prov.Base, lv.t)
+	}
+	return m.loadValue(lv.p, lv.t, pos)
+}
+
+func (m *Machine) storeLval(lv lval, v Value, pos token.Pos) {
+	v = m.convert(v, lv.t, pos)
+	if lv.trusted {
+		m.storeRaw(lv.p.Prov, lv.p.Addr-lv.p.Prov.Base, lv.t, v)
+		return
+	}
+	m.storeValue(lv.p, lv.t, v, pos)
+}
+
+// loadRaw reads a typed value directly from a unit (trusted access).
+func (m *Machine) loadRaw(u *mem.Unit, off uint64, t *types.Type) Value {
+	m.simCycles += AccessCycles
+	size := t.Size()
+	switch {
+	case t.IsPointer():
+		addr := uint64(decodeLE(u.Data[off:off+8], false))
+		prov := u.GetShadow(off)
+		if prov == nil && addr != 0 {
+			prov = m.as.FindUnit(addr)
+		}
+		return Value{T: t, Ptr: core.Pointer{Addr: addr, Prov: prov}}
+	case t.Kind == types.Struct:
+		b := make([]byte, size)
+		copy(b, u.Data[off:off+size])
+		return Value{T: t, Bytes: b}
+	default:
+		return Value{T: t, I: decodeLE(u.Data[off:off+size], t.IsSigned())}
+	}
+}
+
+// addDelta adds delta to an integer or steps a pointer by delta elements.
+func (m *Machine) addDelta(v Value, delta int64, pos token.Pos) Value {
+	if v.T.IsPointer() {
+		es := int64(v.T.Elem.Size())
+		if es == 0 {
+			es = 1
+		}
+		return Value{T: v.T, Ptr: core.Pointer{
+			Addr: v.Ptr.Addr + uint64(delta*es), Prov: v.Ptr.Prov,
+		}}
+	}
+	return Value{T: v.T, I: types.Truncate(v.T, v.I+delta)}
+}
+
+func (m *Machine) evalUnary(n *ast.Unary) Value {
+	switch n.Op {
+	case token.Minus:
+		v := m.evalExpr(n.X)
+		return Value{T: n.Type(), I: types.Truncate(n.Type(), -v.I)}
+	case token.Plus:
+		v := m.evalExpr(n.X)
+		return Value{T: n.Type(), I: types.Truncate(n.Type(), v.I)}
+	case token.Tilde:
+		v := m.evalExpr(n.X)
+		return Value{T: n.Type(), I: types.Truncate(n.Type(), ^v.I)}
+	case token.Bang:
+		v := m.evalExpr(n.X)
+		if v.Truthy() {
+			return Value{T: types.IntType, I: 0}
+		}
+		return Value{T: types.IntType, I: 1}
+	case token.Star:
+		v := m.evalExpr(n.X)
+		if n.Type().IsArray() {
+			return Value{T: types.PointerTo(n.Type().Elem), Ptr: v.Ptr}
+		}
+		return m.loadValue(v.Ptr, n.Type(), n.Pos())
+	case token.Amp:
+		lv := m.evalLvalue(n.X)
+		return Value{T: n.Type(), Ptr: lv.p}
+	case token.Inc, token.Dec:
+		lv := m.evalLvalue(n.X)
+		old := m.loadLval(lv, n.Pos())
+		delta := int64(1)
+		if n.Op == token.Dec {
+			delta = -1
+		}
+		nv := m.addDelta(old, delta, n.Pos())
+		m.storeLval(lv, nv, n.Pos())
+		return nv
+	}
+	m.failf(n.Pos(), "unsupported unary operator %s", n.Op)
+	return Value{}
+}
+
+func (m *Machine) evalBinary(n *ast.Binary) Value {
+	switch n.Op {
+	case token.AndAnd:
+		if !m.evalExpr(n.X).Truthy() {
+			return Value{T: types.IntType, I: 0}
+		}
+		if m.evalExpr(n.Y).Truthy() {
+			return Value{T: types.IntType, I: 1}
+		}
+		return Value{T: types.IntType, I: 0}
+	case token.OrOr:
+		if m.evalExpr(n.X).Truthy() {
+			return Value{T: types.IntType, I: 1}
+		}
+		if m.evalExpr(n.Y).Truthy() {
+			return Value{T: types.IntType, I: 1}
+		}
+		return Value{T: types.IntType, I: 0}
+	}
+	x := m.evalExpr(n.X)
+	y := m.evalExpr(n.Y)
+	return m.binaryOp(n.Op, x, y, n.Type(), n.Pos())
+}
+
+// binaryOp computes a (non-short-circuit) binary operation with C
+// semantics; rt is the annotated result type.
+func (m *Machine) binaryOp(op token.Kind, x, y Value, rt *types.Type, pos token.Pos) Value {
+	xPtr := x.T != nil && x.T.IsPointer()
+	yPtr := y.T != nil && y.T.IsPointer()
+	switch op {
+	case token.Plus:
+		switch {
+		case xPtr && !yPtr:
+			return m.ptrAdd(x, y.I)
+		case !xPtr && yPtr:
+			return m.ptrAdd(y, x.I)
+		}
+	case token.Minus:
+		switch {
+		case xPtr && yPtr:
+			es := int64(x.T.Elem.Size())
+			if es == 0 {
+				es = 1
+			}
+			return Value{T: types.LongType, I: (int64(x.Ptr.Addr) - int64(y.Ptr.Addr)) / es}
+		case xPtr:
+			return m.ptrAdd(x, -y.I)
+		}
+	}
+	if isComparison(op) {
+		return m.compare(op, x, y)
+	}
+	// Pure integer arithmetic in the common type rt.
+	xv := m.convert(x, rt, pos).I
+	yv := m.convert(y, rt, pos).I
+	signed := rt.IsSigned()
+	var r int64
+	switch op {
+	case token.Plus:
+		r = xv + yv
+	case token.Minus:
+		r = xv - yv
+	case token.Star:
+		r = xv * yv
+	case token.Slash:
+		if yv == 0 {
+			m.failf(pos, "division by zero")
+		}
+		if signed {
+			r = xv / yv
+		} else {
+			r = int64(uint64(xv) / uint64(yv))
+		}
+	case token.Percent:
+		if yv == 0 {
+			m.failf(pos, "modulo by zero")
+		}
+		if signed {
+			r = xv % yv
+		} else {
+			r = int64(uint64(xv) % uint64(yv))
+		}
+	case token.Amp:
+		r = xv & yv
+	case token.Pipe:
+		r = xv | yv
+	case token.Caret:
+		r = xv ^ yv
+	case token.Shl:
+		r = xv << uint64(m.shiftCount(y))
+	case token.Shr:
+		if signed {
+			r = xv >> uint64(m.shiftCount(y))
+		} else {
+			width := rt.Size() * 8
+			ux := uint64(xv) & (^uint64(0) >> (64 - width))
+			r = int64(ux >> uint64(m.shiftCount(y)))
+		}
+	default:
+		m.failf(pos, "unsupported binary operator %s", op)
+	}
+	return Value{T: rt, I: types.Truncate(rt, r)}
+}
+
+func (m *Machine) shiftCount(v Value) int64 { return v.I & 63 }
+
+func (m *Machine) ptrAdd(p Value, delta int64) Value {
+	es := int64(p.T.Elem.Size())
+	if es == 0 {
+		es = 1
+	}
+	return Value{T: p.T, Ptr: core.Pointer{
+		Addr: p.Ptr.Addr + uint64(delta*es), Prov: p.Ptr.Prov,
+	}}
+}
+
+func isComparison(op token.Kind) bool {
+	switch op {
+	case token.Lt, token.Gt, token.Le, token.Ge, token.EqEq, token.NotEq:
+		return true
+	}
+	return false
+}
+
+func (m *Machine) compare(op token.Kind, x, y Value) Value {
+	b2v := func(b bool) Value {
+		if b {
+			return Value{T: types.IntType, I: 1}
+		}
+		return Value{T: types.IntType, I: 0}
+	}
+	xPtr := x.T != nil && (x.T.IsPointer())
+	yPtr := y.T != nil && (y.T.IsPointer())
+	if xPtr || yPtr {
+		var xa, ya uint64
+		if xPtr {
+			xa = x.Ptr.Addr
+		} else {
+			xa = uint64(x.I)
+		}
+		if yPtr {
+			ya = y.Ptr.Addr
+		} else {
+			ya = uint64(y.I)
+		}
+		switch op {
+		case token.Lt:
+			return b2v(xa < ya)
+		case token.Gt:
+			return b2v(xa > ya)
+		case token.Le:
+			return b2v(xa <= ya)
+		case token.Ge:
+			return b2v(xa >= ya)
+		case token.EqEq:
+			return b2v(xa == ya)
+		case token.NotEq:
+			return b2v(xa != ya)
+		}
+	}
+	ct := types.UsualArith(promoteType(x.T), promoteType(y.T))
+	xv := types.Truncate(ct, x.I)
+	yv := types.Truncate(ct, y.I)
+	if ct.IsSigned() {
+		switch op {
+		case token.Lt:
+			return b2v(xv < yv)
+		case token.Gt:
+			return b2v(xv > yv)
+		case token.Le:
+			return b2v(xv <= yv)
+		case token.Ge:
+			return b2v(xv >= yv)
+		case token.EqEq:
+			return b2v(xv == yv)
+		case token.NotEq:
+			return b2v(xv != yv)
+		}
+	}
+	ux, uy := uint64(xv), uint64(yv)
+	switch op {
+	case token.Lt:
+		return b2v(ux < uy)
+	case token.Gt:
+		return b2v(ux > uy)
+	case token.Le:
+		return b2v(ux <= uy)
+	case token.Ge:
+		return b2v(ux >= uy)
+	case token.EqEq:
+		return b2v(ux == uy)
+	case token.NotEq:
+		return b2v(ux != uy)
+	}
+	return b2v(false)
+}
+
+func promoteType(t *types.Type) *types.Type {
+	if t == nil || !t.IsInteger() {
+		return types.LongType
+	}
+	return types.Promote(t)
+}
+
+var compoundOps = map[token.Kind]token.Kind{
+	token.PlusEq:    token.Plus,
+	token.MinusEq:   token.Minus,
+	token.StarEq:    token.Star,
+	token.SlashEq:   token.Slash,
+	token.PercentEq: token.Percent,
+	token.AmpEq:     token.Amp,
+	token.PipeEq:    token.Pipe,
+	token.CaretEq:   token.Caret,
+	token.ShlEq:     token.Shl,
+	token.ShrEq:     token.Shr,
+}
+
+func (m *Machine) evalAssign(n *ast.Assign) Value {
+	if n.Op == token.Assign {
+		v := m.evalExpr(n.RHS)
+		lv := m.evalLvalue(n.LHS)
+		v = m.convert(v, lv.t, n.Pos())
+		m.storeLval(lv, v, n.Pos())
+		return v
+	}
+	op, ok := compoundOps[n.Op]
+	if !ok {
+		m.failf(n.Pos(), "unsupported assignment operator %s", n.Op)
+	}
+	lv := m.evalLvalue(n.LHS)
+	cur := m.loadLval(lv, n.Pos())
+	rhs := m.evalExpr(n.RHS)
+	// The arithmetic happens in the usual common type, then converts back.
+	var rt *types.Type
+	if cur.T.IsPointer() {
+		rt = cur.T
+	} else if op == token.Shl || op == token.Shr {
+		rt = types.Promote(cur.T)
+	} else {
+		rt = types.UsualArith(promoteType(cur.T), promoteType(rhs.T))
+	}
+	res := m.binaryOp(op, cur, rhs, rt, n.Pos())
+	res = m.convert(res, lv.t, n.Pos())
+	m.storeLval(lv, res, n.Pos())
+	return res
+}
+
+func (m *Machine) evalCall(n *ast.Call) Value {
+	m.step()
+	sym := n.Fun.Sym
+	if sym == nil {
+		m.failf(n.Pos(), "unresolved function %q", n.Fun.Name)
+	}
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v := m.evalExpr(a)
+		// Default argument promotions for values; arrays decayed by eval.
+		args[i] = v
+	}
+	if sym.Builtin {
+		impl, ok := m.builtins[sym.Name]
+		if !ok {
+			m.failf(n.Pos(), "builtin %q has no host implementation", sym.Name)
+		}
+		v := impl(m, n.Pos(), args)
+		ret := sym.Type.Fn.Ret
+		if ret.IsVoid() {
+			return Value{T: types.VoidType}
+		}
+		return m.convert(v, ret, n.Pos())
+	}
+	if sym.FuncIdx < 0 || sym.FuncIdx >= len(m.prog.Funcs) {
+		m.failf(n.Pos(), "function %q has no body", sym.Name)
+	}
+	fd := m.prog.Funcs[sym.FuncIdx]
+	return m.callFunction(fd, args, n.Pos())
+}

@@ -1,0 +1,943 @@
+package interp_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"focc/internal/cc/cpp"
+	"focc/internal/cc/parser"
+	"focc/internal/cc/sema"
+	"focc/internal/core"
+	"focc/internal/interp"
+	"focc/internal/libc"
+)
+
+// compile builds a program from raw source (no preprocessor; tests that
+// need macros go through the fo package instead).
+func compile(t *testing.T, src string) *sema.Program {
+	t.Helper()
+	f, errs := parser.ParseString("t.c", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	prog, errs := sema.Analyze(f, libc.Prototypes())
+	if len(errs) > 0 {
+		t.Fatalf("analyze: %v", errs[0])
+	}
+	return prog
+}
+
+// runMain compiles and runs main() under the given mode, returning the
+// result and captured output.
+func runMain(t *testing.T, src string, mode core.Mode) (interp.Result, string) {
+	t.Helper()
+	prog := compile(t, src)
+	var out bytes.Buffer
+	m, err := interp.New(prog, interp.Config{
+		Mode: mode, Out: &out, Builtins: libc.Builtins(),
+	})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	return m.Run(), out.String()
+}
+
+// expectMain runs main() in BoundsCheck mode (so any memory slip is loud)
+// and asserts the return value.
+func expectMain(t *testing.T, src string, want int64) {
+	t.Helper()
+	res, _ := runMain(t, src, core.BoundsCheck)
+	if res.Outcome != interp.OutcomeOK {
+		t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	if res.Value.I != want {
+		t.Fatalf("main() = %d, want %d", res.Value.I, want)
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 3", 3},
+		{"-10 / 3", -3}, // C truncates toward zero
+		{"10 % 3", 1},
+		{"-10 % 3", -1},
+		{"1 << 10", 1024},
+		{"-8 >> 1", -4}, // arithmetic shift for signed
+		{"0xF0 | 0x0F", 0xFF},
+		{"0xFF & 0x0F", 0x0F},
+		{"0xFF ^ 0x0F", 0xF0},
+		{"~0", -1},
+		{"!5", 0},
+		{"!0", 1},
+		{"5 > 3", 1},
+		{"3 >= 4", 0},
+		{"2 == 2", 1},
+		{"2 != 2", 0},
+		{"1 && 0", 0},
+		{"1 || 0", 1},
+		{"1 ? 10 : 20", 10},
+		{"0 ? 10 : 20", 20},
+		{"(2, 5)", 5},
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf("int main(void) { return %s; }", c.expr)
+		expectMain(t, src, c.want)
+	}
+}
+
+func TestUnsignedSemantics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		// Unsigned division.
+		{"int main(void){ unsigned int a = 0xFFFFFFFF; return a / 2 == 0x7FFFFFFF; }", 1},
+		// Unsigned comparison: -1 as unsigned is the max value.
+		{"int main(void){ unsigned int a = 3; return a < -1; }", 1},
+		// Logical shift for unsigned.
+		{"int main(void){ unsigned int a = 0x80000000; return (a >> 31) == 1; }", 1},
+		// Overflow wraps.
+		{"int main(void){ unsigned char c = 255; c++; return c; }", 0},
+		// Signed char wraps to negative.
+		{"int main(void){ char c = 127; c++; return c == -128; }", 1},
+		// int multiplication truncates to 32 bits.
+		{"int main(void){ int a = 1000000; return a * a == -727379968; }", 1},
+		// unsigned long survives.
+		{"int main(void){ unsigned long a = 1000000; return a * a == 1000000000000UL; }", 1},
+	}
+	for _, c := range cases {
+		expectMain(t, c.src, c.want)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	expectMain(t, `
+int calls = 0;
+int bump(void) { calls++; return 1; }
+int main(void) {
+	int a = 0 && bump();
+	int b = 1 || bump();
+	int c = 1 && bump();
+	return calls * 100 + a * 10 + b + c;
+}`, 102)
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int x = 10;
+	x += 5; if (x != 15) return 1;
+	x -= 3; if (x != 12) return 2;
+	x *= 2; if (x != 24) return 3;
+	x /= 5; if (x != 4) return 4;
+	x %= 3; if (x != 1) return 5;
+	x <<= 4; if (x != 16) return 6;
+	x >>= 2; if (x != 4) return 7;
+	x |= 3; if (x != 7) return 8;
+	x &= 5; if (x != 5) return 9;
+	x ^= 1; if (x != 4) return 10;
+	return 0;
+}`, 0)
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int i = 5;
+	int a = i++;
+	int b = ++i;
+	int c = i--;
+	int d = --i;
+	/* a=5 i=6; b=7 i=7; c=7 i=6; d=5 i=5 */
+	return a * 1000 + b * 100 + c * 10 + d;
+}`, 5775)
+}
+
+func TestPointerArithmeticAndComparison(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int arr[5];
+	int *p = arr;
+	int *q = &arr[4];
+	int i;
+	for (i = 0; i < 5; i++) arr[i] = i * i;
+	if (q - p != 4) return 1;
+	if (*(p + 2) != 4) return 2;
+	if (p >= q) return 3;
+	p++;
+	if (*p != 1) return 4;
+	p += 3;
+	if (p != q) return 5;
+	return 0;
+}`, 0)
+}
+
+func TestPointerIncrementWalk(t *testing.T) {
+	expectMain(t, `
+int sum(const char *s) {
+	int total = 0;
+	while (*s)
+		total += *s++;
+	return total;
+}
+int main(void) { return sum("abc"); }`, 'a'+'b'+'c')
+}
+
+func TestMultiDimensionalArrays(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int m[3][4];
+	int i, j, sum = 0;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 4; j++)
+			m[i][j] = i * 10 + j;
+	for (i = 0; i < 3; i++)
+		sum += m[i][i];
+	return sum; /* 0 + 11 + 22 */
+}`, 33)
+}
+
+func TestStructSemantics(t *testing.T) {
+	expectMain(t, `
+struct inner { char tag; long v; };
+struct outer { int id; struct inner in; int arr[3]; };
+int main(void) {
+	struct outer o;
+	struct outer copy;
+	o.id = 7;
+	o.in.tag = 'x';
+	o.in.v = 1000;
+	o.arr[2] = 5;
+	copy = o;           /* struct assignment copies bytes */
+	o.arr[2] = 9;       /* does not affect the copy */
+	if (copy.id != 7) return 1;
+	if (copy.in.tag != 'x') return 2;
+	if (copy.in.v != 1000) return 3;
+	if (copy.arr[2] != 5) return 4;
+	return 0;
+}`, 0)
+}
+
+func TestStructPointerAccess(t *testing.T) {
+	expectMain(t, `
+struct node { int v; struct node *next; };
+int main(void) {
+	struct node a, b;
+	a.v = 1; a.next = &b;
+	b.v = 2; b.next = 0;
+	return a.next->v;
+}`, 2)
+}
+
+func TestStructByValueCall(t *testing.T) {
+	expectMain(t, `
+struct pair { int a; int b; };
+int sum(struct pair p) { p.a = 99; return p.a + p.b; }
+int main(void) {
+	struct pair p;
+	p.a = 3; p.b = 4;
+	if (sum(p) != 103) return 1;
+	return p.a; /* callee modified a copy */
+}`, 3)
+}
+
+func TestRecursionDeep(t *testing.T) {
+	expectMain(t, `
+int sum(int n) { return n == 0 ? 0 : n + sum(n - 1); }
+int main(void) { return sum(100); }`, 5050)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	expectMain(t, `
+int scalar = 42;
+int arr[4] = { 1, 2, 3 };          /* partial: rest zero */
+char msg[] = "hey";
+char *ptr = "world";
+struct cfg { int a; char b; } conf = { 9, 'z' };
+int matrix[2][2] = { {1, 2}, {3, 4} };
+int main(void) {
+	if (scalar != 42) return 1;
+	if (arr[0] != 1 || arr[2] != 3 || arr[3] != 0) return 2;
+	if (msg[0] != 'h' || msg[3] != 0) return 3;
+	if (ptr[4] != 'd') return 4;
+	if (conf.a != 9 || conf.b != 'z') return 5;
+	if (matrix[1][0] != 3) return 6;
+	return 0;
+}`, 0)
+}
+
+func TestLocalInitializers(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int arr[5] = { 10, 20 };       /* partial zero-fill */
+	char buf[8] = "ab";
+	struct p { int x; int y; } v = { 1 };
+	if (arr[1] != 20 || arr[4] != 0) return 1;
+	if (buf[0] != 'a' || buf[2] != 0 || buf[7] != 0) return 2;
+	if (v.x != 1 || v.y != 0) return 3;
+	return 0;
+}`, 0)
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	expectMain(t, `
+int classify(int c) {
+	int acc = 0;
+	switch (c) {
+	case 1:
+		acc += 1;
+	case 2:
+		acc += 2;
+		break;
+	case 3:
+		acc += 100;
+		break;
+	default:
+		acc = -1;
+	}
+	return acc;
+}
+int main(void) {
+	if (classify(1) != 3) return 1;   /* falls through 1 -> 2 */
+	if (classify(2) != 2) return 2;
+	if (classify(3) != 100) return 3;
+	if (classify(9) != -1) return 4;
+	return 0;
+}`, 0)
+}
+
+func TestSwitchWithoutDefaultSkips(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int x = 5;
+	switch (x) { case 1: return 1; case 2: return 2; }
+	return 42;
+}`, 42)
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int i = 0, acc = 0;
+again:
+	acc += i;
+	i++;
+	if (i < 5) goto again;
+	if (acc != 10) goto bad;
+	return 0;
+bad:
+	return 1;
+}`, 0)
+}
+
+func TestGotoOutOfNestedLoops(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int i, j, hits = 0;
+	for (i = 0; i < 10; i++) {
+		for (j = 0; j < 10; j++) {
+			hits++;
+			if (i == 2 && j == 3) goto out;
+		}
+	}
+out:
+	return hits; /* 10 + 10 + 4 */
+}`, 24)
+}
+
+func TestBreakContinueInterplay(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int i, acc = 0;
+	for (i = 0; i < 10; i++) {
+		if (i % 2) continue;
+		if (i == 8) break;
+		acc += i; /* 0+2+4+6 */
+	}
+	while (1) { break; }
+	do { acc += 1; } while (0);
+	return acc;
+}`, 13)
+}
+
+func TestUninitializedLocalsAreStale(t *testing.T) {
+	// A popped frame's writes are visible to the next frame's
+	// uninitialized locals (deliberate realism).
+	expectMain(t, `
+void dirty(void) {
+	int x = 12345;
+	x = x; /* keep it */
+}
+int peek(void) {
+	int y; /* uninitialized: occupies the same slot dirty()'s x did */
+	return y;
+}
+int main(void) {
+	dirty();
+	return peek() == 12345;
+}`, 1)
+}
+
+func TestDivisionByZeroFaults(t *testing.T) {
+	res, _ := runMain(t, "int main(void){ int z = 0; return 4 / z; }", core.Standard)
+	if res.Outcome != interp.OutcomeRuntimeError {
+		t.Errorf("outcome = %v, want runtime error", res.Outcome)
+	}
+	res, _ = runMain(t, "int main(void){ int z = 0; return 4 % z; }", core.FailureOblivious)
+	if res.Outcome != interp.OutcomeRuntimeError {
+		t.Errorf("mod outcome = %v", res.Outcome)
+	}
+}
+
+func TestHangDetection(t *testing.T) {
+	prog := compile(t, "int main(void){ for(;;); }")
+	m, err := interp.New(prog, interp.Config{MaxSteps: 10000, Builtins: libc.Builtins()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != interp.OutcomeHang {
+		t.Fatalf("outcome = %v, want hang", res.Outcome)
+	}
+	if !m.Dead() {
+		t.Error("machine should be dead after a hang")
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	res, out := runMain(t, `
+int main(void) {
+	printf("before\n");
+	exit(3);
+	printf("after\n");
+	return 0;
+}`, core.Standard)
+	if res.Outcome != interp.OutcomeExit || res.ExitCode != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	if out != "before\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCharSignExtensionThroughPointer(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	char buf[2];
+	int c;
+	buf[0] = (char) 0xFF;
+	c = buf[0];
+	return c == -1;
+}`, 1)
+}
+
+func TestUnsignedCharNoSignExtension(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	unsigned char buf[1];
+	buf[0] = 0xFF;
+	return buf[0] == 255;
+}`, 1)
+}
+
+func TestCastsIntPtrRoundTrip(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int x = 77;
+	long addr = (long) &x;
+	int *p = (int *) addr;
+	return *p;
+}`, 77)
+}
+
+func TestVoidFunctionAndEmptyReturn(t *testing.T) {
+	expectMain(t, `
+int g;
+void set(int v) { g = v; return; }
+int main(void) { set(31); return g; }`, 31)
+}
+
+func TestCallByNameFromHost(t *testing.T) {
+	prog := compile(t, "int twice(int x) { return 2 * x; }")
+	m, err := interp.New(prog, interp.Config{Builtins: libc.Builtins()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Call("twice", interp.Int(21))
+	if res.Outcome != interp.OutcomeOK || res.Value.I != 42 {
+		t.Fatalf("res = %+v", res)
+	}
+	res = m.Call("missing")
+	if res.Outcome != interp.OutcomeRuntimeError {
+		t.Errorf("missing function outcome = %v", res.Outcome)
+	}
+}
+
+func TestDeadMachineRefusesCalls(t *testing.T) {
+	prog := compile(t, `
+int boom(void) { int *p = 0; return *p; }
+int fine(void) { return 1; }`)
+	m, _ := interp.New(prog, interp.Config{Builtins: libc.Builtins()})
+	if res := m.Call("boom"); !res.Outcome.Crashed() {
+		t.Fatalf("boom = %v", res.Outcome)
+	}
+	if res := m.Call("fine"); res.Outcome != interp.OutcomeRuntimeError {
+		t.Errorf("call on dead machine = %v", res.Outcome)
+	}
+}
+
+func TestNewCStringAndReadCString(t *testing.T) {
+	prog := compile(t, "int id(int x) { return x; }")
+	m, _ := interp.New(prog, interp.Config{Builtins: libc.Builtins()})
+	v := m.NewCString("round trip")
+	s, err := m.ReadCString(v, 100)
+	if err != nil || s != "round trip" {
+		t.Fatalf("ReadCString = %q, %v", s, err)
+	}
+}
+
+func TestStackDepthExhaustion(t *testing.T) {
+	prog := compile(t, `
+int forever(int n) { return forever(n + 1); }
+int main(void) { return forever(0); }`)
+	m, _ := interp.New(prog, interp.Config{
+		StackSize: 16 * 1024, Builtins: libc.Builtins(),
+	})
+	res := m.Run()
+	if res.Outcome != interp.OutcomeStackOverflow {
+		t.Fatalf("outcome = %v, want stack overflow", res.Outcome)
+	}
+}
+
+func TestSimCyclesMonotone(t *testing.T) {
+	prog := compile(t, "int work(void){ int i, s = 0; for (i = 0; i < 100; i++) s += i; return s; }")
+	m, _ := interp.New(prog, interp.Config{Builtins: libc.Builtins()})
+	before := m.SimCycles()
+	m.Call("work")
+	mid := m.SimCycles()
+	m.Call("work")
+	after := m.SimCycles()
+	if !(before < mid && mid < after) {
+		t.Errorf("cycles not monotone: %d %d %d", before, mid, after)
+	}
+	if after-mid < 100 {
+		t.Errorf("second call cost %d cycles, suspiciously low", after-mid)
+	}
+}
+
+func TestCheckedModeCostsMore(t *testing.T) {
+	src := `
+char buf[512];
+int churn(void) {
+	int i, s = 0;
+	for (i = 0; i < 512; i++) { buf[i] = (char) i; s += buf[i]; }
+	return s;
+}`
+	cost := func(mode core.Mode) uint64 {
+		prog := compile(t, src)
+		m, _ := interp.New(prog, interp.Config{Mode: mode, Builtins: libc.Builtins()})
+		m.Call("churn")
+		return m.SimCycles()
+	}
+	std, fob := cost(core.Standard), cost(core.FailureOblivious)
+	if fob <= std {
+		t.Errorf("checked cycles (%d) should exceed standard (%d)", fob, std)
+	}
+	ratio := float64(fob) / float64(std)
+	if ratio < 1.5 || ratio > 12 {
+		t.Errorf("access-dense slowdown = %.2f, want within the paper's 1.5-12x band", ratio)
+	}
+}
+
+// compileWithCPP builds a program from source that needs the preprocessor.
+func compileWithCPP(t *testing.T, src string) *sema.Program {
+	t.Helper()
+	prelude := "#ifndef _P\n#define _P\n#define NULL ((void*)0)\ntypedef unsigned long size_t;\n#endif\n"
+	lines, errs := cpp.Preprocess("t.c", src, cpp.Options{
+		Includes: map[string]string{
+			"string.h": prelude,
+			"stdio.h":  prelude,
+			"stdlib.h": prelude,
+			"ctype.h":  prelude,
+		},
+	})
+	if len(errs) > 0 {
+		t.Fatalf("cpp: %v", errs[0])
+	}
+	f, perrs := parser.Parse("t.c", lines)
+	if len(perrs) > 0 {
+		t.Fatalf("parse: %v", perrs[0])
+	}
+	prog, serrs := sema.Analyze(f, libc.Prototypes())
+	if len(serrs) > 0 {
+		t.Fatalf("analyze: %v", serrs[0])
+	}
+	return prog
+}
+
+func TestTxTermTerminatesEnclosingFunction(t *testing.T) {
+	// Paper §5.2: on a memory error, terminate the enclosing function and
+	// continue after the call site.
+	src := `
+int side = 0;
+int victim(void) {
+	char buf[4];
+	side = 1;
+	buf[10] = 'x';   /* aborts victim() here */
+	side = 2;        /* never reached */
+	return 99;
+}
+int main(void) {
+	int r = victim();       /* returns 0 after the abort */
+	return side * 100 + r;  /* 100 + 0 */
+}`
+	res, _ := runMain(t, src, core.TxTerm)
+	if res.Outcome != interp.OutcomeOK {
+		t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	if res.Value.I != 100 {
+		t.Fatalf("main = %d, want 100 (side=1, victim aborted with 0)", res.Value.I)
+	}
+}
+
+func TestTxTermAbortInNestedCallee(t *testing.T) {
+	// The *innermost* enclosing function terminates; its caller keeps
+	// running (including the rest of its own statements).
+	src := `
+int deep(void) {
+	char b[2];
+	b[5] = 1;      /* abort deep() */
+	return 7;
+}
+int mid(void) {
+	int v = deep();  /* 0 */
+	return v + 3;    /* mid itself continues */
+}
+int main(void) { return mid(); }`
+	res, _ := runMain(t, src, core.TxTerm)
+	if res.Outcome != interp.OutcomeOK || res.Value.I != 3 {
+		t.Fatalf("res = %v %d (%v)", res.Outcome, res.Value.I, res.Err)
+	}
+}
+
+func TestTxTermCleanProgramUnaffected(t *testing.T) {
+	res, _ := runMain(t, "int f(int x){ return x*2; } int main(void){ return f(21); }", core.TxTerm)
+	if res.Outcome != interp.OutcomeOK || res.Value.I != 42 {
+		t.Fatalf("res = %v %d", res.Outcome, res.Value.I)
+	}
+}
+
+func TestOOBPointerComparisonIsLegalInAllModes(t *testing.T) {
+	// Paper §4.1: Pine and Midnight Commander use out-of-bounds pointers
+	// in pointer inequality comparisons, which crippled the (Jones–Kelly
+	// style) Bounds Check compiler until the authors rewrote the code.
+	// focc checks at *dereference* (CRED semantics), so merely forming
+	// and comparing an out-of-bounds pointer is legal in every mode.
+	src := `
+int main(void) {
+	char buf[8];
+	char *p = buf;
+	char *limit = &buf[8];       /* one past the end: legal */
+	char *way_past = buf + 100;  /* far out of bounds: formed, never dereferenced */
+	int n = 0;
+	while (p < limit) {
+		*p = 'x';
+		p++;
+		n++;
+	}
+	if (way_past > limit) n += 100;
+	return n;
+}`
+	for _, mode := range []core.Mode{core.Standard, core.BoundsCheck, core.FailureOblivious} {
+		res, _ := runMain(t, src, mode)
+		if res.Outcome != interp.OutcomeOK || res.Value.I != 108 {
+			t.Errorf("%v: res = %v %d (%v)", mode, res.Outcome, res.Value.I, res.Err)
+		}
+	}
+}
+
+func TestSizeofArrayIsFullSize(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	char buf[24];
+	int arr[5];
+	if (sizeof(buf) != 24) return 1;
+	if (sizeof(arr) != 20) return 2;
+	if (sizeof("hello") != 6) return 3;   /* includes the NUL */
+	if (sizeof(char *) != 8) return 4;
+	if (sizeof(unsigned short) != 2) return 5;
+	return 0;
+}`, 0)
+}
+
+func TestConversionChains(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	long big = 0x1234567890ABCDEFL;
+	int i = (int) big;          /* 0x90ABCDEF -> negative */
+	short s = (short) i;        /* 0xCDEF -> negative */
+	char c = (char) s;          /* 0xEF -> negative */
+	unsigned char u = (unsigned char) c;
+	if (i != (int) 0x90ABCDEF) return 1;
+	if (s != (short) 0xCDEF) return 2;
+	if (c != (char) 0xEF) return 3;
+	if (u != 0xEF) return 4;
+	/* widening back sign-extends signed, zero-extends unsigned */
+	if ((long) c != -17) return 5;
+	if ((long) u != 239) return 6;
+	return 0;
+}`, 0)
+}
+
+func TestUnaryMinusOnUnsigned(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	unsigned int u = 1;
+	unsigned int v = -u;        /* wraps to UINT_MAX */
+	return v == 0xFFFFFFFF;
+}`, 1)
+}
+
+func TestChainedDerefAssignment(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int a, b, c;
+	int *pa = &a, *pb = &b, *pc = &c;
+	*pa = *pb = *pc = 9;
+	return a + b + c;
+}`, 27)
+}
+
+func TestNestedTernary(t *testing.T) {
+	expectMain(t, `
+int grade(int score) {
+	return score >= 90 ? 4 : score >= 80 ? 3 : score >= 70 ? 2 : score >= 60 ? 1 : 0;
+}
+int main(void) {
+	return grade(95) * 10000 + grade(85) * 1000 + grade(75) * 100 + grade(65) * 10 + grade(10);
+}`, 43210)
+}
+
+func TestAddressOfMemberAndElement(t *testing.T) {
+	expectMain(t, `
+struct s { int a; int b; };
+int main(void) {
+	struct s v;
+	int arr[4];
+	int *pb = &v.b;
+	int *p2 = &arr[2];
+	*pb = 5;
+	*p2 = 7;
+	return v.b * 10 + arr[2];
+}`, 57)
+}
+
+func TestPointerToPointer(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int x = 3;
+	int *p = &x;
+	int **pp = &p;
+	**pp = 8;
+	return x;
+}`, 8)
+}
+
+func TestArrayOfStructs(t *testing.T) {
+	expectMain(t, `
+struct kv { char key[8]; int val; };
+struct kv table[4];
+int main(void) {
+	int i, sum = 0;
+	for (i = 0; i < 4; i++) {
+		table[i].key[0] = (char)('a' + i);
+		table[i].val = i * i;
+	}
+	for (i = 0; i < 4; i++) {
+		if (table[i].key[0] != 'a' + i) return -1;
+		sum += table[i].val;
+	}
+	return sum;
+}`, 14)
+}
+
+func TestStructFieldAliasing(t *testing.T) {
+	// Writing one field must not disturb its neighbours.
+	expectMain(t, `
+struct mix { char c1; long l; char c2; int i; };
+int main(void) {
+	struct mix m;
+	m.c1 = 1; m.l = -1; m.c2 = 3; m.i = 4;
+	m.l = 0x1122334455667788L;
+	if (m.c1 != 1 || m.c2 != 3 || m.i != 4) return 1;
+	m.c2 = 9;
+	if (m.l != 0x1122334455667788L) return 2;
+	return 0;
+}`, 0)
+}
+
+func TestEmptyFunctionBodyAndParams(t *testing.T) {
+	expectMain(t, `
+void nop(void) {}
+int main(void) { nop(); nop(); return 0; }`, 0)
+}
+
+func TestForWithCommaPost(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	int i, j, acc = 0;
+	for (i = 0, j = 10; i < j; i++, j--)
+		acc++;
+	return acc;
+}`, 5)
+}
+
+func TestIntegerLiteralTypes(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	/* 0x80000000 does not fit in int -> promoted literal semantics */
+	long big = 4294967296L;     /* 2^32 */
+	if (big >> 32 != 1) return 1;
+	if (0xFFFFFFFFu + 1u != 0) return 2;  /* unsigned int wraps */
+	return 0;
+}`, 0)
+}
+
+func TestModByNegativeAndMinInt(t *testing.T) {
+	expectMain(t, `
+int main(void) {
+	if (7 % -2 != 1) return 1;    /* sign follows dividend in C */
+	if (-7 % 2 != -1) return 2;
+	if (-7 / -2 != 3) return 3;
+	return 0;
+}`, 0)
+}
+
+func TestNestedLocalInitializers(t *testing.T) {
+	expectMain(t, `
+struct pt { int x; int y; };
+int main(void) {
+	int m[2][3] = { {1, 2, 3}, {4, 5} };
+	struct pt pts[2] = { {10, 20}, {30, 40} };
+	char strs[2][4] = { "ab", "cd" };
+	if (m[0][2] != 3 || m[1][1] != 5 || m[1][2] != 0) return 1;
+	if (pts[0].y != 20 || pts[1].x != 30) return 2;
+	if (strs[0][0] != 'a' || strs[1][1] != 'd' || strs[0][3] != 0) return 3;
+	return 0;
+}`, 0)
+}
+
+func TestHostAPIHelpers(t *testing.T) {
+	prog := compile(t, `
+char banner[32] = "greetings";
+char *msg = "interned";
+int id(int x) { return x; }`)
+	m, err := interp.New(prog, interp.Config{
+		Mode: core.FailureOblivious, Builtins: libc.Builtins(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode() != core.FailureOblivious {
+		t.Errorf("Mode = %v", m.Mode())
+	}
+	if m.Accessor() == nil {
+		t.Error("nil accessor")
+	}
+	u, ok := m.GlobalUnit("banner")
+	if !ok {
+		t.Fatal("banner global missing")
+	}
+	s, err := m.ReadCString(interp.UnitPointer(u), 32)
+	if err != nil || s != "greetings" {
+		t.Errorf("banner = %q, %v", s, err)
+	}
+	if _, ok := m.GlobalUnit("nope"); ok {
+		t.Error("found nonexistent global")
+	}
+	lp := m.LiteralPointer(0)
+	if lp.Ptr.Addr == 0 {
+		t.Error("literal pointer null")
+	}
+	res := m.Call("id", interp.Long(7))
+	if res.Outcome != interp.OutcomeOK || res.Value.I != 7 {
+		t.Errorf("id = %+v", res)
+	}
+	if m.Steps() == 0 {
+		t.Error("steps not counted")
+	}
+	hs := m.HostState()
+	hs["k"] = 1
+	if m.HostState()["k"] != 1 {
+		t.Error("host state not persistent")
+	}
+	if interp.SimSeconds(2_800_000_000) != 1.0 {
+		t.Errorf("SimSeconds(2.8e9) = %v", interp.SimSeconds(2_800_000_000))
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	v := interp.Int(5)
+	if !v.Truthy() || v.IsNull() == false {
+		// Int has a zero pointer, so IsNull is true; Truthy uses I.
+	}
+	if !interp.Int(1).Truthy() || interp.Int(0).Truthy() {
+		t.Error("int truthiness wrong")
+	}
+	if interp.Long(-1).I != -1 {
+		t.Error("Long constructor wrong")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o := interp.OutcomeOK; o <= interp.OutcomeRuntimeError; o++ {
+		if o.String() == "unknown" {
+			t.Errorf("outcome %d has no name", int(o))
+		}
+	}
+	if interp.OutcomeOK.Crashed() || interp.OutcomeExit.Crashed() {
+		t.Error("ok/exit misclassified as crash")
+	}
+	if !interp.OutcomeSegfault.Crashed() {
+		t.Error("segfault not a crash")
+	}
+}
+
+func TestResultClassification(t *testing.T) {
+	cases := []struct {
+		src  string
+		want interp.Outcome
+	}{
+		{"int main(void){ int *p = (int *) 16; return *p; }", interp.OutcomeSegfault},
+		{`int eat(int depth) { char pad[2048]; pad[0] = (char) depth; return eat(depth + 1) + pad[0]; }
+		  int main(void){ return eat(0); }`, interp.OutcomeStackOverflow},
+	}
+	for _, c := range cases {
+		res, _ := runMain(t, c.src, core.Standard)
+		if res.Outcome != c.want {
+			t.Errorf("%q -> %v, want %v", c.src[:40], res.Outcome, c.want)
+		}
+	}
+}
+
+func TestMallocReturnsNullOnExhaustion(t *testing.T) {
+	src := `
+int main(void) {
+	for (;;) {
+		char *p = malloc(16 * 1024 * 1024);
+		if (p == 0) return 1;
+		p[0] = 'x';
+	}
+}`
+	res, _ := runMain(t, src, core.Standard)
+	if res.Outcome != interp.OutcomeOK || res.Value.I != 1 {
+		t.Errorf("res = %v %d, want malloc to return NULL on exhaustion",
+			res.Outcome, res.Value.I)
+	}
+}

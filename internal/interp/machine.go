@@ -1,0 +1,772 @@
+// Package interp executes analyzed focc programs in a simulated address
+// space, routing every C-level load and store through a core.Accessor — the
+// pluggable checking + continuation code that implements the paper's
+// compilation modes.
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"focc/internal/cc/ast"
+	"focc/internal/cc/sema"
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+	"focc/internal/core"
+	"focc/internal/mem"
+)
+
+// Value is a runtime value: an integer (I, sign-extended to 64 bits), a
+// pointer (Ptr), or a struct (Bytes).
+type Value struct {
+	T     *types.Type
+	I     int64
+	Ptr   core.Pointer
+	Bytes []byte // struct-by-value payload
+}
+
+// Int returns an int Value.
+func Int(v int64) Value { return Value{T: types.IntType, I: v} }
+
+// Long returns a long Value.
+func Long(v int64) Value { return Value{T: types.LongType, I: v} }
+
+// IsNull reports whether a pointer value is null.
+func (v Value) IsNull() bool { return v.Ptr.Addr == 0 }
+
+// Truthy reports C truthiness.
+func (v Value) Truthy() bool {
+	if v.T != nil && v.T.IsPointer() {
+		return v.Ptr.Addr != 0
+	}
+	return v.I != 0
+}
+
+// BuiltinFunc is a host-provided (libc) function. Builtins receive the call
+// site position so memory errors inside libc are attributed to the caller.
+type BuiltinFunc func(m *Machine, pos token.Pos, args []Value) Value
+
+// Outcome classifies how an execution ended.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeOK: the call completed normally.
+	OutcomeOK Outcome = iota
+	// OutcomeSegfault: simulated SIGSEGV (Standard mode).
+	OutcomeSegfault
+	// OutcomeHeapCorruption: allocator abort on smashed headers.
+	OutcomeHeapCorruption
+	// OutcomeStackSmash: clobbered canary detected at return.
+	OutcomeStackSmash
+	// OutcomeBadFree: free() of an invalid pointer.
+	OutcomeBadFree
+	// OutcomeMemErrorTermination: the BoundsCheck policy exited with a
+	// memory error message (the paper's safe-C behaviour).
+	OutcomeMemErrorTermination
+	// OutcomeHang: the step budget was exhausted (infinite loop).
+	OutcomeHang
+	// OutcomeExit: the program called exit().
+	OutcomeExit
+	// OutcomeStackOverflow: stack arena exhausted.
+	OutcomeStackOverflow
+	// OutcomeOOM: heap region exhausted.
+	OutcomeOOM
+	// OutcomeRuntimeError: other fatal runtime error (division by zero,
+	// missing function, internal limits).
+	OutcomeRuntimeError
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeSegfault:
+		return "segfault"
+	case OutcomeHeapCorruption:
+		return "heap-corruption"
+	case OutcomeStackSmash:
+		return "stack-smash"
+	case OutcomeBadFree:
+		return "bad-free"
+	case OutcomeMemErrorTermination:
+		return "memory-error-termination"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeExit:
+		return "exit"
+	case OutcomeStackOverflow:
+		return "stack-overflow"
+	case OutcomeOOM:
+		return "out-of-memory"
+	case OutcomeRuntimeError:
+		return "runtime-error"
+	}
+	return "unknown"
+}
+
+// Crashed reports whether the outcome represents abnormal termination.
+func (o Outcome) Crashed() bool { return o != OutcomeOK && o != OutcomeExit }
+
+// Result is the outcome of a Run or Call.
+type Result struct {
+	Outcome  Outcome
+	Value    Value // return value when Outcome is OutcomeOK
+	ExitCode int   // when Outcome is OutcomeExit
+	Err      error // detail for abnormal outcomes
+	Steps    uint64
+}
+
+// Config configures a Machine.
+type Config struct {
+	Mode core.Mode
+	// Gen supplies manufactured values; nil means the paper's
+	// small-integer sequence.
+	Gen core.ValueGenerator
+	// Log receives memory-error events; nil allocates a fresh log.
+	Log *core.EventLog
+	// Out receives program output (printf); nil discards it.
+	Out io.Writer
+	// MaxSteps bounds interpreter steps per Call; 0 means DefaultMaxSteps.
+	MaxSteps uint64
+	// StackSize overrides the stack arena size.
+	StackSize uint64
+	// Builtins are the host (libc) functions.
+	Builtins map[string]BuiltinFunc
+}
+
+// DefaultMaxSteps is the per-call step budget used to detect hangs.
+const DefaultMaxSteps = 50_000_000
+
+// Machine executes one program instance.
+type Machine struct {
+	prog *sema.Program
+	as   *mem.AddressSpace
+	acc  core.Accessor
+	log  *core.EventLog
+	out  io.Writer
+
+	globals  []*mem.Unit
+	literals []*mem.Unit
+	builtins map[string]BuiltinFunc
+
+	steps     uint64
+	maxSteps  uint64
+	simCycles uint64
+	checked   bool // mode performs per-access checks
+
+	// retVal / gotoLabel / frame carry control-flow and frame state
+	// during execution.
+	retVal    Value
+	gotoLabel string
+	frame     *mem.Frame
+
+	specCache map[*ast.FuncDecl][]mem.LocalSpec
+	hostState map[string]any
+
+	// scratch stages scalar loads/stores so the hot access path performs
+	// no allocations (the interpreter is single-threaded per machine).
+	scratch  [8]byte
+	scratch2 [8]byte
+
+	dead bool // a previous Call crashed; the process is gone
+}
+
+// panics used for non-local exits inside the evaluator.
+type (
+	execPanic struct{ err error }
+	exitPanic struct{ code int }
+	hangPanic struct{}
+)
+
+// runtimeErr is a fatal runtime error that is not a memory fault.
+type runtimeErr struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *runtimeErr) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// New creates a machine for prog and performs program startup (global and
+// literal layout plus initializers).
+func New(prog *sema.Program, cfg Config) (*Machine, error) {
+	stackSize := cfg.StackSize
+	if stackSize == 0 {
+		stackSize = mem.DefaultStackSize
+	}
+	as := mem.NewWithStack(stackSize)
+	log := cfg.Log
+	if log == nil {
+		log = core.NewEventLog(0)
+	}
+	gen := cfg.Gen
+	if gen == nil {
+		gen = core.NewSmallIntGenerator()
+	}
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	m := &Machine{
+		prog:     prog,
+		as:       as,
+		acc:      core.New(cfg.Mode, as, gen, log),
+		log:      log,
+		out:      out,
+		builtins: cfg.Builtins,
+		maxSteps: maxSteps,
+		checked:  cfg.Mode != core.Standard,
+	}
+	m.literals = make([]*mem.Unit, len(prog.Literals))
+	for i, s := range prog.Literals {
+		m.literals[i] = as.InternLiteral(s)
+	}
+	m.globals = make([]*mem.Unit, len(prog.Globals))
+	for i, g := range prog.Globals {
+		size := g.T.Size()
+		if size == 0 {
+			size = 1
+		}
+		m.globals[i] = as.AllocGlobal(g.Name, size)
+	}
+	for i, g := range prog.Globals {
+		if g.Init != nil {
+			if err := m.initGlobal(m.globals[i], g.T, g.Init); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// AddressSpace exposes the simulated memory (for libc and tests).
+func (m *Machine) AddressSpace() *mem.AddressSpace { return m.as }
+
+// Accessor exposes the active memory policy (for libc).
+func (m *Machine) Accessor() core.Accessor { return m.acc }
+
+// Mode returns the machine's execution mode.
+func (m *Machine) Mode() core.Mode { return m.acc.Mode() }
+
+// Log returns the memory-error event log.
+func (m *Machine) Log() *core.EventLog { return m.log }
+
+// Out returns the program output writer.
+func (m *Machine) Out() io.Writer { return m.out }
+
+// Steps returns the steps consumed by the last Call.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Dead reports whether a previous call crashed this machine ("process").
+func (m *Machine) Dead() bool { return m.dead }
+
+// initGlobal writes a constant initializer into a global unit at startup
+// (trusted, no policy involved).
+func (m *Machine) initGlobal(u *mem.Unit, t *types.Type, init ast.Expr) error {
+	return m.writeInit(u, 0, t, init)
+}
+
+func (m *Machine) writeInit(u *mem.Unit, off uint64, t *types.Type, init ast.Expr) error {
+	switch iv := init.(type) {
+	case *ast.IntLit:
+		putLEBytes(u.Data[off:off+t.Size()], iv.Val)
+		return nil
+	case *ast.StringLit:
+		lit := m.literals[iv.LitIndex]
+		if t.Kind == types.Array {
+			copy(u.Data[off:off+t.Size()], lit.Data)
+			return nil
+		}
+		// char *p = "s": store the literal's address.
+		putLEBytes(u.Data[off:off+8], int64(lit.Base))
+		u.SetShadow(off, lit)
+		return nil
+	case *ast.InitList:
+		switch t.Kind {
+		case types.Array:
+			es := t.Elem.Size()
+			for i, e := range iv.Elems {
+				if err := m.writeInit(u, off+uint64(i)*es, t.Elem, e); err != nil {
+					return err
+				}
+			}
+			return nil
+		case types.Struct:
+			for i, e := range iv.Elems {
+				if i >= len(t.Rec.Fields) {
+					break
+				}
+				f := t.Rec.Fields[i]
+				if err := m.writeInit(u, off+f.Offset, f.Type, e); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			if len(iv.Elems) == 1 {
+				return m.writeInit(u, off, t, iv.Elems[0])
+			}
+		}
+	}
+	return fmt.Errorf("unsupported global initializer at %s", init.Pos())
+}
+
+func putLEBytes(buf []byte, v int64) {
+	for i := range buf {
+		buf[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// Run executes main() and returns its result.
+func (m *Machine) Run() Result { return m.Call("main") }
+
+// Call invokes a named C function with the given argument values. The step
+// counter is reset per call. After a crash the machine is dead and further
+// calls return the crash outcome immediately (the "process" is gone).
+func (m *Machine) Call(name string, args ...Value) (res Result) {
+	if m.dead {
+		return Result{Outcome: OutcomeRuntimeError,
+			Err: fmt.Errorf("machine is dead (previous call crashed)")}
+	}
+	m.steps = 0
+	defer func() {
+		res.Steps = m.steps
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch p := r.(type) {
+		case exitPanic:
+			res = Result{Outcome: OutcomeExit, ExitCode: p.code}
+		case hangPanic:
+			res = Result{Outcome: OutcomeHang,
+				Err: fmt.Errorf("step budget of %d exhausted (infinite loop?)", m.maxSteps)}
+			m.dead = true
+		case execPanic:
+			res = Result{Outcome: classify(p.err), Err: p.err}
+			if res.Outcome.Crashed() {
+				m.dead = true
+			}
+		default:
+			panic(r)
+		}
+		res.Steps = m.steps
+	}()
+
+	fd, ok := m.prog.FuncMap[name]
+	if !ok {
+		return Result{Outcome: OutcomeRuntimeError,
+			Err: fmt.Errorf("no function %q in program", name)}
+	}
+	v := m.callFunction(fd, args, token.Pos{File: "<host>", Line: 1, Col: 1})
+	return Result{Outcome: OutcomeOK, Value: v}
+}
+
+func classify(err error) Outcome {
+	switch e := err.(type) {
+	case *mem.Fault:
+		switch e.Kind {
+		case mem.FaultSegv:
+			return OutcomeSegfault
+		case mem.FaultHeapCorrupt:
+			return OutcomeHeapCorruption
+		case mem.FaultStackSmash:
+			return OutcomeStackSmash
+		case mem.FaultBadFree:
+			return OutcomeBadFree
+		case mem.FaultStackOverflow:
+			return OutcomeStackOverflow
+		case mem.FaultOOM:
+			return OutcomeOOM
+		}
+		return OutcomeSegfault
+	case *core.MemError:
+		return OutcomeMemErrorTermination
+	case *runtimeErr:
+		return OutcomeRuntimeError
+	}
+	return OutcomeRuntimeError
+}
+
+// fail aborts execution with err.
+func (m *Machine) fail(err error) {
+	panic(execPanic{err: err})
+}
+
+// failf aborts with a runtime error.
+func (m *Machine) failf(pos token.Pos, format string, args ...any) {
+	m.fail(&runtimeErr{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Exit terminates the program with the given status (used by libc exit()).
+func (m *Machine) Exit(code int) { panic(exitPanic{code: code}) }
+
+// step consumes interpreter budget and detects hangs.
+func (m *Machine) step() {
+	m.steps++
+	m.simCycles += StepCycles
+	if m.steps > m.maxSteps {
+		panic(hangPanic{})
+	}
+}
+
+// callFunction pushes a frame, binds parameters, executes the body, and
+// pops the frame (detecting canary smashes at return, like a real epilogue).
+func (m *Machine) callFunction(fd *ast.FuncDecl, args []Value, pos token.Pos) Value {
+	m.step()
+	if len(args) != len(fd.Params) {
+		m.failf(pos, "call of %q with %d args (want %d)", fd.Name, len(args), len(fd.Params))
+	}
+	frame, fault := m.as.PushFrame(fd.Name, fd.FrameSize, m.localSpecs(fd))
+	if fault != nil {
+		m.fail(fault)
+	}
+	for i, p := range fd.Params {
+		v := m.convert(args[i], p.Type, pos)
+		m.storeRaw(frame.Local(p.FrameOff), 0, p.Type, v)
+	}
+	savedRet, savedFrame := m.retVal, m.frame
+	m.retVal = Value{}
+	m.frame = frame
+	ctl := m.execBody(fd)
+	if ctl == ctrlGoto {
+		m.failf(fd.Body.Pos(), "goto label %q not found on execution path", m.gotoLabel)
+	}
+	ret := m.retVal
+	m.retVal, m.frame = savedRet, savedFrame
+	if fault := m.as.PopFrame(frame); fault != nil {
+		// Stack smash detected when the function returns — only
+		// possible in Standard mode; checked modes never let writes
+		// reach the canary.
+		m.fail(fault)
+	}
+	retT := fd.T.Fn.Ret
+	if retT.IsVoid() {
+		return Value{T: types.VoidType}
+	}
+	if ret.T == nil {
+		// Fell off the end without a return value: indeterminate in C;
+		// supply 0.
+		return Value{T: retT}
+	}
+	return m.convert(ret, retT, pos)
+}
+
+// localSpecs derives (and caches) the per-local data-unit layout of a
+// function's frame from its analyzed symbols.
+func (m *Machine) localSpecs(fd *ast.FuncDecl) []mem.LocalSpec {
+	if specs, ok := m.specCache[fd]; ok {
+		return specs
+	}
+	specs := make([]mem.LocalSpec, 0, len(fd.Locals))
+	for _, sym := range fd.Locals {
+		size := sym.Type.Size()
+		if size == 0 {
+			size = 1
+		}
+		specs = append(specs, mem.LocalSpec{
+			Name: sym.Name, Off: sym.FrameOff, Size: size,
+		})
+	}
+	if m.specCache == nil {
+		m.specCache = map[*ast.FuncDecl][]mem.LocalSpec{}
+	}
+	m.specCache[fd] = specs
+	return specs
+}
+
+// execBody runs a function body, implementing the TxTerm policy's
+// function-boundary recovery: a FuncAbort raised anywhere inside this
+// function (including in its callees' argument evaluation) terminates the
+// function with a zero return value and lets the caller continue — the
+// transactional function termination of the paper's §5.2 comparison.
+func (m *Machine) execBody(fd *ast.FuncDecl) (ctl ctrl) {
+	if m.acc.Mode() != core.TxTerm {
+		return m.execBlock(fd.Body)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ep, ok := r.(execPanic)
+		if !ok {
+			panic(r)
+		}
+		if _, isAbort := ep.err.(*core.FuncAbort); isAbort {
+			m.retVal = Value{}
+			ctl = ctrlReturn
+			return
+		}
+		panic(r)
+	}()
+	return m.execBlock(fd.Body)
+}
+
+// storeRaw writes a value directly into a unit (trusted compiler-generated
+// store: parameter binding, local init zero-fill).
+func (m *Machine) storeRaw(u *mem.Unit, off uint64, t *types.Type, v Value) {
+	m.simCycles += AccessCycles
+	size := t.Size()
+	switch {
+	case t.IsPointer():
+		putLEBytes(u.Data[off:off+8], int64(v.Ptr.Addr))
+		u.SetShadow(off, v.Ptr.Prov)
+	case t.Kind == types.Struct:
+		copy(u.Data[off:off+size], v.Bytes)
+		u.ClearShadowRange(off, size)
+	default:
+		putLEBytes(u.Data[off:off+size], v.I)
+		u.ClearShadowRange(off, size)
+	}
+}
+
+// --- Checked memory primitives shared with libc ---
+
+// LoadBytes performs a policy-checked read of n bytes at p.
+func (m *Machine) LoadBytes(p core.Pointer, buf []byte, pos token.Pos) {
+	m.chargeAccess(len(buf))
+	if _, err := m.acc.Load(p, buf, pos); err != nil {
+		m.fail(err)
+	}
+}
+
+// StoreBytes performs a policy-checked write at p.
+func (m *Machine) StoreBytes(p core.Pointer, data []byte, pos token.Pos) {
+	m.chargeAccess(len(data))
+	if err := m.acc.Store(p, data, nil, pos); err != nil {
+		m.fail(err)
+	}
+}
+
+// loadValue reads a typed value through the policy.
+func (m *Machine) loadValue(p core.Pointer, t *types.Type, pos token.Pos) Value {
+	size := t.Size()
+	if size == 0 {
+		m.failf(pos, "load of zero-sized type %s", t)
+	}
+	if t.Kind == types.Struct {
+		buf := make([]byte, size)
+		m.LoadBytes(p, buf, pos)
+		return Value{T: t, Bytes: buf}
+	}
+	m.chargeAccess(int(size))
+	buf := m.scratch[:size]
+	prov, err := m.acc.Load(p, buf, pos)
+	if err != nil {
+		m.fail(err)
+	}
+	if t.IsPointer() {
+		addr := uint64(decodeLE(buf, false))
+		if prov == nil && addr != 0 {
+			// Jones–Kelly object-table recovery for pointers whose
+			// shadow provenance was lost (e.g. copied bytewise).
+			prov = m.as.FindUnit(addr)
+		}
+		return Value{T: t, Ptr: core.Pointer{Addr: addr, Prov: prov}}
+	}
+	return Value{T: t, I: decodeLE(buf, t.IsSigned())}
+}
+
+// storeValue writes a typed value through the policy.
+func (m *Machine) storeValue(p core.Pointer, t *types.Type, v Value, pos token.Pos) {
+	size := t.Size()
+	if t.Kind == types.Struct {
+		if err := m.acc.Store(p, v.Bytes, nil, pos); err != nil {
+			m.fail(err)
+		}
+		return
+	}
+	m.chargeAccess(int(size))
+	buf := m.scratch2[:size]
+	var prov *mem.Unit
+	if t.IsPointer() {
+		putLEBytes(buf, int64(v.Ptr.Addr))
+		prov = v.Ptr.Prov
+	} else {
+		putLEBytes(buf, v.I)
+	}
+	if err := m.acc.Store(p, buf, prov, pos); err != nil {
+		m.fail(err)
+	}
+}
+
+func decodeLE(buf []byte, signed bool) int64 {
+	var v uint64
+	for i := len(buf) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	if signed {
+		shift := uint(64 - 8*len(buf))
+		return int64(v<<shift) >> shift
+	}
+	return int64(v)
+}
+
+// convert coerces a value to type t with C conversion semantics.
+func (m *Machine) convert(v Value, t *types.Type, pos token.Pos) Value {
+	if t.Kind == types.Invalid {
+		return v
+	}
+	switch {
+	case t.Kind == types.Struct:
+		if v.T == nil || v.T.Kind != types.Struct {
+			m.failf(pos, "cannot convert %s to %s", v.T, t)
+		}
+		return Value{T: t, Bytes: v.Bytes}
+	case t.IsPointer():
+		if v.T != nil && (v.T.IsPointer() || v.T.IsArray()) {
+			return Value{T: t, Ptr: v.Ptr}
+		}
+		// Integer to pointer: recover provenance via the object table.
+		addr := uint64(v.I)
+		var prov *mem.Unit
+		if addr != 0 {
+			prov = m.as.FindUnit(addr)
+		}
+		return Value{T: t, Ptr: core.Pointer{Addr: addr, Prov: prov}}
+	case t.IsInteger():
+		if v.T != nil && v.T.IsPointer() {
+			return Value{T: t, I: types.Truncate(t, int64(v.Ptr.Addr))}
+		}
+		return Value{T: t, I: types.Truncate(t, v.I)}
+	case t.IsVoid():
+		return Value{T: types.VoidType}
+	}
+	m.failf(pos, "unsupported conversion to %s", t)
+	return Value{}
+}
+
+// --- Host convenience API (drivers, examples) ---
+
+// Malloc allocates a heap block and returns a pointer value to it.
+func (m *Machine) Malloc(size uint64) Value {
+	u, fault := m.as.Malloc(size)
+	if fault != nil {
+		m.fail(fault)
+	}
+	return Value{
+		T:   types.PointerTo(types.VoidType),
+		Ptr: core.Pointer{Addr: u.Base, Prov: u},
+	}
+}
+
+// NewCString allocates a heap buffer holding s plus a NUL and returns a
+// char* value.
+func (m *Machine) NewCString(s string) Value {
+	u, fault := m.as.Malloc(uint64(len(s)) + 1)
+	if fault != nil {
+		m.fail(fault)
+	}
+	copy(u.Data, s)
+	u.Data[len(s)] = 0
+	return Value{
+		T:   types.PointerTo(types.CharType),
+		Ptr: core.Pointer{Addr: u.Base, Prov: u},
+	}
+}
+
+// ReadCString reads a NUL-terminated string at p directly from the address
+// space (host-side, unchecked), bounded by max bytes.
+func (m *Machine) ReadCString(v Value, max int) (string, error) {
+	p := v.Ptr
+	if p.Addr == 0 {
+		return "", fmt.Errorf("null pointer")
+	}
+	var out []byte
+	for i := 0; i < max; i++ {
+		var b [1]byte
+		if f := m.as.RawRead(p.Addr+uint64(i), b[:]); f != nil {
+			return string(out), f
+		}
+		if b[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, b[0])
+	}
+	return string(out), fmt.Errorf("unterminated string after %d bytes", max)
+}
+
+// GlobalUnit returns the memory unit of a named global variable.
+func (m *Machine) GlobalUnit(name string) (*mem.Unit, bool) {
+	for i, g := range m.prog.Globals {
+		if g.Name == name {
+			return m.globals[i], true
+		}
+	}
+	return nil, false
+}
+
+// LiteralPointer returns a char* value for literal table index i.
+func (m *Machine) LiteralPointer(i int) Value {
+	u := m.literals[i]
+	return Value{
+		T:   types.PointerTo(types.CharType),
+		Ptr: core.Pointer{Addr: u.Base, Prov: u},
+	}
+}
+
+// Fail aborts execution with err, as if the simulated process faulted. It
+// is exported for libc builtins.
+func (m *Machine) Fail(err error) { m.fail(err) }
+
+// NoteInvalidFree records a discarded invalid free/realloc in the event log
+// (failure-oblivious continuation for allocator misuse).
+func (m *Machine) NoteInvalidFree(pos token.Pos, p core.Pointer) {
+	m.log.AddExternal(core.Event{
+		Pos: pos, Write: true, Addr: p.Addr, Size: 0,
+		Unit: "free(invalid)",
+	})
+}
+
+// LoadPointer performs a checked load of a pointer value at p.
+func (m *Machine) LoadPointer(p core.Pointer, pos token.Pos) core.Pointer {
+	v := m.loadValue(p, types.PointerTo(types.VoidType), pos)
+	return v.Ptr
+}
+
+// StorePointer performs a checked store of a pointer value at p.
+func (m *Machine) StorePointer(p core.Pointer, v core.Pointer, pos token.Pos) {
+	m.storeValue(p, types.PointerTo(types.VoidType),
+		Value{T: types.PointerTo(types.VoidType), Ptr: v}, pos)
+}
+
+// LoadByte performs a checked single-byte load without allocating.
+func (m *Machine) LoadByte(p core.Pointer, pos token.Pos) byte {
+	m.chargeAccess(1)
+	buf := m.scratch[:1]
+	if _, err := m.acc.Load(p, buf, pos); err != nil {
+		m.fail(err)
+	}
+	return buf[0]
+}
+
+// StoreByte performs a checked single-byte store without allocating.
+func (m *Machine) StoreByte(p core.Pointer, b byte, pos token.Pos) {
+	m.chargeAccess(1)
+	m.scratch2[0] = b
+	if err := m.acc.Store(p, m.scratch2[:1], nil, pos); err != nil {
+		m.fail(err)
+	}
+}
+
+// UnitPointer returns a char* value addressing the start of unit u.
+func UnitPointer(u *mem.Unit) Value {
+	return Value{
+		T:   types.PointerTo(types.CharType),
+		Ptr: core.Pointer{Addr: u.Base, Prov: u},
+	}
+}
+
+// HostState returns a per-machine bag for host-side builtin state (libc's
+// rand seed, driver caches). Lazily allocated.
+func (m *Machine) HostState() map[string]any {
+	if m.hostState == nil {
+		m.hostState = map[string]any{}
+	}
+	return m.hostState
+}

@@ -1,0 +1,251 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"focc/internal/core"
+	"focc/internal/interp"
+	"focc/internal/libc"
+)
+
+// Differential test: random integer expressions are rendered to C, executed
+// by the interpreter, and compared against a Go reference evaluator that
+// implements C's int (32-bit, wrapping) semantics.
+
+type exprGen struct {
+	rng *rand.Rand
+	sb  strings.Builder
+}
+
+// genExpr emits a random expression of bounded depth and returns its value
+// under the reference semantics for variable values a, b, c.
+func (g *exprGen) genExpr(depth int, a, b, c int32) int32 {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			v := int32(g.rng.Intn(201) - 100)
+			if v < 0 {
+				fmt.Fprintf(&g.sb, "(%d)", v)
+			} else {
+				fmt.Fprintf(&g.sb, "%d", v)
+			}
+			return v
+		case 1:
+			g.sb.WriteString("a")
+			return a
+		case 2:
+			g.sb.WriteString("b")
+			return b
+		default:
+			g.sb.WriteString("c")
+			return c
+		}
+	}
+	switch g.rng.Intn(14) {
+	case 0:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(" + ")
+		y := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		return x + y
+	case 1:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(" - ")
+		y := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		return x - y
+	case 2:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(" * ")
+		y := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		return x * y
+	case 3:
+		// Division by a non-zero constant only.
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		d := int32(g.rng.Intn(9) + 1)
+		fmt.Fprintf(&g.sb, " / %d)", d)
+		return x / d
+	case 4:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		d := int32(g.rng.Intn(9) + 1)
+		fmt.Fprintf(&g.sb, " %% %d)", d)
+		return x % d
+	case 5:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(" & ")
+		y := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		return x & y
+	case 6:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(" | ")
+		y := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		return x | y
+	case 7:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(" ^ ")
+		y := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		return x ^ y
+	case 8:
+		// Shift by a small constant.
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		s := uint(g.rng.Intn(6))
+		fmt.Fprintf(&g.sb, " << %d)", s)
+		return x << s
+	case 9:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		s := uint(g.rng.Intn(6))
+		fmt.Fprintf(&g.sb, " >> %d)", s)
+		return x >> s
+	case 10:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(" < ")
+		y := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		if x < y {
+			return 1
+		}
+		return 0
+	case 11:
+		g.sb.WriteString("(")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(" == ")
+		y := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		if x == y {
+			return 1
+		}
+		return 0
+	case 12:
+		g.sb.WriteString("(-")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		return -x
+	default:
+		g.sb.WriteString("(~")
+		x := g.genExpr(depth-1, a, b, c)
+		g.sb.WriteString(")")
+		return ^x
+	}
+}
+
+func TestRandomExpressionsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040612)) // deterministic
+	const trials = 250
+	for i := 0; i < trials; i++ {
+		a := int32(rng.Intn(2001) - 1000)
+		b := int32(rng.Intn(2001) - 1000)
+		c := int32(rng.Intn(2001) - 1000)
+		g := &exprGen{rng: rng}
+		want := g.genExpr(4, a, b, c)
+		src := fmt.Sprintf("int f(int a, int b, int c) { return %s; }", g.sb.String())
+		prog := compile(t, src)
+		m, err := interp.New(prog, interp.Config{
+			Mode: core.BoundsCheck, Builtins: libc.Builtins(),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v\nsrc: %s", i, err, src)
+		}
+		res := m.Call("f", interp.Int(int64(a)), interp.Int(int64(b)), interp.Int(int64(c)))
+		if res.Outcome != interp.OutcomeOK {
+			t.Fatalf("trial %d: outcome %v (%v)\nsrc: %s", i, res.Outcome, res.Err, src)
+		}
+		if res.Value.I != int64(want) {
+			t.Fatalf("trial %d: f(%d,%d,%d) = %d, want %d\nsrc: %s",
+				i, a, b, c, res.Value.I, want, src)
+		}
+	}
+}
+
+// Differential test for the C string functions against Go references,
+// through the checked access path with random contents.
+func TestRandomStringOpsMatchReference(t *testing.T) {
+	const src = `
+#include <string.h>
+char dst[512];
+unsigned long do_strlen(const char *s) { return strlen(s); }
+int do_strcmp(const char *a, const char *b) { return strcmp(a, b); }
+char *do_strcpy(const char *s) { strcpy(dst, s); return dst; }
+char *do_strcat(const char *a, const char *b) {
+	strcpy(dst, a);
+	strcat(dst, b);
+	return dst;
+}
+char *do_strchr(const char *s, int c) { return strchr(s, c); }
+`
+	prog := compileWithCPP(t, src)
+	m, err := interp.New(prog, interp.Config{
+		Mode: core.BoundsCheck, Builtins: libc.Builtins(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	randStr := func(max int) string {
+		n := rng.Intn(max)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(94) + 33) // printable, no NUL
+		}
+		return string(b)
+	}
+	for i := 0; i < 150; i++ {
+		s1 := randStr(60)
+		s2 := randStr(60)
+
+		res := m.Call("do_strlen", m.NewCString(s1))
+		if res.Outcome != interp.OutcomeOK || res.Value.I != int64(len(s1)) {
+			t.Fatalf("strlen(%q) = %v/%d", s1, res.Outcome, res.Value.I)
+		}
+
+		res = m.Call("do_strcmp", m.NewCString(s1), m.NewCString(s2))
+		sign := func(v int64) int {
+			switch {
+			case v < 0:
+				return -1
+			case v > 0:
+				return 1
+			}
+			return 0
+		}
+		if sign(res.Value.I) != sign(int64(strings.Compare(s1, s2))) {
+			t.Fatalf("strcmp(%q, %q) = %d", s1, s2, res.Value.I)
+		}
+
+		res = m.Call("do_strcat", m.NewCString(s1), m.NewCString(s2))
+		got, err := m.ReadCString(res.Value, 512)
+		if err != nil || got != s1+s2 {
+			t.Fatalf("strcat(%q, %q) = %q, %v", s1, s2, got, err)
+		}
+
+		if len(s1) > 0 {
+			ch := s1[rng.Intn(len(s1))]
+			res = m.Call("do_strchr", m.NewCString(s1), interp.Int(int64(ch)))
+			got, err := m.ReadCString(res.Value, 512)
+			if err != nil {
+				t.Fatalf("strchr read: %v", err)
+			}
+			idx := strings.IndexByte(s1, ch)
+			if got != s1[idx:] {
+				t.Fatalf("strchr(%q, %q) = %q, want %q", s1, ch, got, s1[idx:])
+			}
+		}
+	}
+}

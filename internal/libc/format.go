@@ -1,0 +1,161 @@
+package libc
+
+import (
+	"fmt"
+	"strconv"
+
+	"focc/internal/cc/token"
+	"focc/internal/core"
+	"focc/internal/interp"
+)
+
+// formatC implements the printf-family format engine over checked memory.
+// Supported verbs: %d %i %u %x %X %o %c %s %p %% with optional '-', '0',
+// width, precision, and l/ll/z length modifiers (which are size-irrelevant
+// here because argument values are already 64-bit).
+func formatC(m *interp.Machine, pos token.Pos, fmtPtr core.Pointer, args []interp.Value) []byte {
+	n := cstrlen(m, fmtPtr, pos)
+	f := loadN(m, fmtPtr, n, pos)
+	var out []byte
+	argi := 0
+	nextArg := func() interp.Value {
+		if argi < len(args) {
+			v := args[argi]
+			argi++
+			return v
+		}
+		return interp.Int(0)
+	}
+	i := 0
+	for i < len(f) {
+		c := f[i]
+		if c != '%' {
+			out = append(out, c)
+			i++
+			continue
+		}
+		i++
+		if i >= len(f) {
+			out = append(out, '%')
+			break
+		}
+		// Flags.
+		leftAlign, zeroPad := false, false
+		for i < len(f) {
+			switch f[i] {
+			case '-':
+				leftAlign = true
+				i++
+				continue
+			case '0':
+				zeroPad = true
+				i++
+				continue
+			}
+			break
+		}
+		// Width.
+		width := 0
+		for i < len(f) && f[i] >= '0' && f[i] <= '9' {
+			width = width*10 + int(f[i]-'0')
+			i++
+		}
+		// Precision.
+		prec := -1
+		if i < len(f) && f[i] == '.' {
+			i++
+			prec = 0
+			for i < len(f) && f[i] >= '0' && f[i] <= '9' {
+				prec = prec*10 + int(f[i]-'0')
+				i++
+			}
+		}
+		// Length modifiers (ignored; values are 64-bit already).
+		for i < len(f) && (f[i] == 'l' || f[i] == 'z' || f[i] == 'h') {
+			i++
+		}
+		if i >= len(f) {
+			break
+		}
+		verb := f[i]
+		i++
+		var piece string
+		switch verb {
+		case '%':
+			piece = "%"
+		case 'd', 'i':
+			piece = strconv.FormatInt(nextArg().I, 10)
+		case 'u':
+			piece = strconv.FormatUint(uint64(nextArg().I), 10)
+		case 'x':
+			piece = strconv.FormatUint(uint64(nextArg().I), 16)
+		case 'X':
+			piece = fmt.Sprintf("%X", uint64(nextArg().I))
+		case 'o':
+			piece = strconv.FormatUint(uint64(nextArg().I), 8)
+		case 'c':
+			piece = string([]byte{byte(nextArg().I)})
+		case 'p':
+			v := nextArg()
+			addr := v.Ptr.Addr
+			if v.T == nil || !v.T.IsPointer() {
+				addr = uint64(v.I)
+			}
+			piece = fmt.Sprintf("0x%x", addr)
+		case 's':
+			v := nextArg()
+			p := v.Ptr
+			if p.Addr == 0 {
+				piece = "(null)"
+				break
+			}
+			sl := cstrlen(m, p, pos)
+			if prec >= 0 && int64(prec) < sl {
+				sl = int64(prec)
+			}
+			piece = string(loadN(m, p, sl, pos))
+		default:
+			piece = "%" + string(verb)
+		}
+		if verb != 's' && prec > len(piece) && verb != '%' && verb != 'c' {
+			// Numeric precision pads with leading zeros.
+			sign := ""
+			if len(piece) > 0 && piece[0] == '-' {
+				sign, piece = "-", piece[1:]
+			}
+			for len(piece) < prec {
+				piece = "0" + piece
+			}
+			piece = sign + piece
+		}
+		out = appendPadded(out, piece, width, leftAlign, zeroPad && !leftAlign && verb != 's')
+	}
+	return out
+}
+
+func appendPadded(out []byte, s string, width int, left, zero bool) []byte {
+	pad := width - len(s)
+	if pad <= 0 {
+		return append(out, s...)
+	}
+	padByte := byte(' ')
+	if zero {
+		padByte = '0'
+	}
+	if left {
+		out = append(out, s...)
+		for i := 0; i < pad; i++ {
+			out = append(out, ' ')
+		}
+		return out
+	}
+	if zero && len(s) > 0 && s[0] == '-' {
+		out = append(out, '-')
+		s = s[1:]
+		pad = width - 1 - len(s)
+	}
+	for i := 0; i < pad; i++ {
+		out = append(out, padByte)
+	}
+	return append(out, s...)
+}

@@ -1,0 +1,892 @@
+// Package libc implements the C standard-library subset the focc runtime
+// provides to interpreted programs. Every byte a libc routine touches on
+// behalf of the program goes through the machine's active access policy, so
+// a strcat that overruns its destination is detected (and discarded,
+// stored boundlessly, redirected, or fatal) exactly as if the loop had been
+// written in C — this is how the paper's instrumented libc wrappers behave.
+package libc
+
+import (
+	"fmt"
+
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+	"focc/internal/core"
+	"focc/internal/interp"
+	"focc/internal/mem"
+)
+
+// maxScan bounds unterminated-string scans inside libc so a lost NUL cannot
+// spin forever (the interpreter's step budget covers C-level loops; this
+// covers host-side loops).
+const maxScan = 1 << 20
+
+var (
+	tVoid    = types.VoidType
+	tChar    = types.CharType
+	tInt     = types.IntType
+	tUInt    = types.UIntType
+	tLong    = types.LongType
+	tULong   = types.ULongType
+	tCharP   = types.PointerTo(types.CharType)
+	tVoidP   = types.PointerTo(types.VoidType)
+	tVoidPP  = types.PointerTo(types.PointerTo(types.VoidType))
+	tCharPP  = types.PointerTo(types.PointerTo(types.CharType))
+	tConstCP = tCharP
+)
+
+func proto(ret *types.Type, variadic bool, params ...*types.Type) *types.Type {
+	fi := &types.FuncInfo{Ret: ret, Variadic: variadic}
+	for i, p := range params {
+		fi.Params = append(fi.Params, types.Param{Name: fmt.Sprintf("a%d", i), Type: p})
+	}
+	return &types.Type{Kind: types.Func, Fn: fi}
+}
+
+// Prototypes returns the C type of every provided builtin, keyed by name.
+// The semantic analyzer uses this to type-check calls.
+func Prototypes() map[string]*types.Type {
+	return map[string]*types.Type{
+		"malloc":  proto(tVoidP, false, tULong),
+		"calloc":  proto(tVoidP, false, tULong, tULong),
+		"realloc": proto(tVoidP, false, tVoidP, tULong),
+		"free":    proto(tVoid, false, tVoidP),
+
+		"memcpy":  proto(tVoidP, false, tVoidP, tVoidP, tULong),
+		"memmove": proto(tVoidP, false, tVoidP, tVoidP, tULong),
+		"memset":  proto(tVoidP, false, tVoidP, tInt, tULong),
+		"memcmp":  proto(tInt, false, tVoidP, tVoidP, tULong),
+
+		"strlen":  proto(tULong, false, tConstCP),
+		"strcpy":  proto(tCharP, false, tCharP, tConstCP),
+		"strncpy": proto(tCharP, false, tCharP, tConstCP, tULong),
+		"strcat":  proto(tCharP, false, tCharP, tConstCP),
+		"strncat": proto(tCharP, false, tCharP, tConstCP, tULong),
+		"strcmp":  proto(tInt, false, tConstCP, tConstCP),
+		"strncmp": proto(tInt, false, tConstCP, tConstCP, tULong),
+		"strchr":  proto(tCharP, false, tConstCP, tInt),
+		"strrchr": proto(tCharP, false, tConstCP, tInt),
+		"strstr":  proto(tCharP, false, tConstCP, tConstCP),
+		"strdup":  proto(tCharP, false, tConstCP),
+
+		"atoi":   proto(tInt, false, tConstCP),
+		"atol":   proto(tLong, false, tConstCP),
+		"abs":    proto(tInt, false, tInt),
+		"labs":   proto(tLong, false, tLong),
+		"strtol": proto(tLong, false, tConstCP, tCharPP, tInt),
+		"rand":   proto(tInt, false),
+		"srand":  proto(tVoid, false, tUInt),
+
+		"memchr":      proto(tVoidP, false, tVoidP, tInt, tULong),
+		"strcasecmp":  proto(tInt, false, tConstCP, tConstCP),
+		"strncasecmp": proto(tInt, false, tConstCP, tConstCP, tULong),
+		"strspn":      proto(tULong, false, tConstCP, tConstCP),
+		"strcspn":     proto(tULong, false, tConstCP, tConstCP),
+		"bzero":       proto(tVoid, false, tVoidP, tULong),
+
+		"isalpha":  proto(tInt, false, tInt),
+		"isxdigit": proto(tInt, false, tInt),
+		"isdigit":  proto(tInt, false, tInt),
+		"isalnum":  proto(tInt, false, tInt),
+		"isspace":  proto(tInt, false, tInt),
+		"isupper":  proto(tInt, false, tInt),
+		"islower":  proto(tInt, false, tInt),
+		"isprint":  proto(tInt, false, tInt),
+		"toupper":  proto(tInt, false, tInt),
+		"tolower":  proto(tInt, false, tInt),
+
+		"printf":   proto(tInt, true, tConstCP),
+		"sprintf":  proto(tInt, true, tCharP, tConstCP),
+		"snprintf": proto(tInt, true, tCharP, tULong, tConstCP),
+		"puts":     proto(tInt, false, tConstCP),
+		"putchar":  proto(tInt, false, tInt),
+
+		"exit":  proto(tVoid, false, tInt),
+		"abort": proto(tVoid, false),
+
+		// Mutt's allocation wrappers (paper Figure 1).
+		"safe_malloc":  proto(tVoidP, false, tULong),
+		"safe_realloc": proto(tVoid, false, tVoidPP, tULong),
+		"safe_free":    proto(tVoid, false, tVoidPP),
+	}
+}
+
+// Builtins returns the host implementations, keyed by name.
+func Builtins() map[string]interp.BuiltinFunc {
+	return map[string]interp.BuiltinFunc{
+		"malloc":  biMalloc,
+		"calloc":  biCalloc,
+		"realloc": biRealloc,
+		"free":    biFree,
+
+		"memcpy":  biMemcpy,
+		"memmove": biMemcpy, // simulated memory copies via host buffer: always move-safe
+		"memset":  biMemset,
+		"memcmp":  biMemcmp,
+
+		"strlen":  biStrlen,
+		"strcpy":  biStrcpy,
+		"strncpy": biStrncpy,
+		"strcat":  biStrcat,
+		"strncat": biStrncat,
+		"strcmp":  biStrcmp,
+		"strncmp": biStrncmp,
+		"strchr":  biStrchr,
+		"strrchr": biStrrchr,
+		"strstr":  biStrstr,
+		"strdup":  biStrdup,
+
+		"atoi":   biAtoi,
+		"atol":   biAtoi,
+		"abs":    biAbs,
+		"labs":   biAbs,
+		"strtol": biStrtol,
+		"rand":   biRand,
+		"srand":  biSrand,
+
+		"memchr":      biMemchr,
+		"strcasecmp":  biStrcasecmp,
+		"strncasecmp": biStrncasecmp,
+		"strspn":      biStrspn,
+		"strcspn":     biStrcspn,
+		"bzero":       biBzero,
+
+		"isalpha": ctype(func(c byte) bool {
+			return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+		}),
+		"isdigit": ctype(func(c byte) bool { return c >= '0' && c <= '9' }),
+		"isalnum": ctype(func(c byte) bool {
+			return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		}),
+		"isspace": ctype(func(c byte) bool {
+			return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+		}),
+		"isupper": ctype(func(c byte) bool { return c >= 'A' && c <= 'Z' }),
+		"islower": ctype(func(c byte) bool { return c >= 'a' && c <= 'z' }),
+		"isprint": ctype(func(c byte) bool { return c >= 0x20 && c < 0x7f }),
+		"isxdigit": ctype(func(c byte) bool {
+			return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+		}),
+		"toupper": biToupper,
+		"tolower": biTolower,
+
+		"printf":   biPrintf,
+		"sprintf":  biSprintf,
+		"snprintf": biSnprintf,
+		"puts":     biPuts,
+		"putchar":  biPutchar,
+
+		"exit":  biExit,
+		"abort": biAbort,
+
+		"safe_malloc":  biSafeMalloc,
+		"safe_realloc": biSafeRealloc,
+		"safe_free":    biSafeFree,
+	}
+}
+
+// --- access helpers ---
+
+func off(p core.Pointer, i int64) core.Pointer {
+	return core.Pointer{Addr: p.Addr + uint64(i), Prov: p.Prov}
+}
+
+// inBoundsSpan returns how many of n bytes starting at p are inside the
+// live provenance unit.
+func inBoundsSpan(p core.Pointer, n int64) int64 {
+	u := p.Prov
+	if u == nil || u.Dead || p.Addr < u.Base || p.Addr >= u.End() {
+		return 0
+	}
+	avail := int64(u.End() - p.Addr)
+	if avail > n {
+		return avail - (avail - n) // min(avail, n)
+	}
+	return avail
+}
+
+// loadN reads n bytes at p: the in-bounds prefix as one checked bulk access,
+// the out-of-bounds tail byte-by-byte so each byte gets its own
+// continuation-code treatment (manufactured values, logging).
+func loadN(m *interp.Machine, p core.Pointer, n int64, pos token.Pos) []byte {
+	buf := make([]byte, n)
+	k := inBoundsSpan(p, n)
+	if k > 0 {
+		m.LoadBytes(p, buf[:k], pos)
+	}
+	for i := k; i < n; i++ {
+		m.LoadBytes(off(p, i), buf[i:i+1], pos)
+	}
+	return buf
+}
+
+// storeN writes data at p with the same in-bounds/out-of-bounds split.
+func storeN(m *interp.Machine, p core.Pointer, data []byte, pos token.Pos) {
+	n := int64(len(data))
+	k := inBoundsSpan(p, n)
+	if ro := p.Prov; ro != nil && ro.ReadOnly {
+		k = 0
+	}
+	if k > 0 {
+		m.StoreBytes(p, data[:k], pos)
+	}
+	for i := k; i < n; i++ {
+		m.StoreBytes(off(p, i), data[i:i+1], pos)
+	}
+}
+
+func loadByte(m *interp.Machine, p core.Pointer, pos token.Pos) byte {
+	return m.LoadByte(p, pos)
+}
+
+func storeByte(m *interp.Machine, p core.Pointer, b byte, pos token.Pos) {
+	m.StoreByte(p, b, pos)
+}
+
+func charP(p core.Pointer) interp.Value {
+	return interp.Value{T: tCharP, Ptr: p}
+}
+
+func voidP(p core.Pointer) interp.Value {
+	return interp.Value{T: tVoidP, Ptr: p}
+}
+
+// cstrlen finds the NUL terminator via checked loads.
+func cstrlen(m *interp.Machine, p core.Pointer, pos token.Pos) int64 {
+	for i := int64(0); i < maxScan; i++ {
+		if loadByte(m, off(p, i), pos) == 0 {
+			return i
+		}
+	}
+	return maxScan
+}
+
+// --- allocation ---
+
+// guestMalloc allocates for C code with real malloc semantics: exhaustion
+// returns NULL (the program can handle it); allocator-detected corruption
+// aborts, as glibc does.
+func guestMalloc(m *interp.Machine, size uint64) interp.Value {
+	u, fault := m.AddressSpace().Malloc(size)
+	if fault != nil {
+		if fault.Kind == mem.FaultOOM {
+			return voidP(core.Pointer{})
+		}
+		m.Fail(fault)
+	}
+	return voidP(core.Pointer{Addr: u.Base, Prov: u})
+}
+
+func biMalloc(m *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	return guestMalloc(m, uint64(args[0].I))
+}
+
+func biCalloc(m *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	n := uint64(args[0].I) * uint64(args[1].I)
+	return guestMalloc(m, n) // focc heap blocks are zeroed
+}
+
+// heapBlockOf validates that v points at the base of a live heap block.
+func heapBlockOf(m *interp.Machine, v interp.Value) *mem.Unit {
+	u := m.AddressSpace().FindUnit(v.Ptr.Addr)
+	if u == nil || u.Kind != mem.KindHeap || u.Dead || u.Base != v.Ptr.Addr {
+		return nil
+	}
+	return u
+}
+
+func biRealloc(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	p := args[0]
+	size := uint64(args[1].I)
+	if p.Ptr.Addr == 0 {
+		return m.Malloc(size)
+	}
+	old := heapBlockOf(m, p)
+	if old == nil {
+		return freeInvalid(m, pos, p, "realloc")
+	}
+	nv := guestMalloc(m, size)
+	if nv.Ptr.Addr == 0 {
+		return nv // out of memory: the old block stays valid
+	}
+	n := old.Size
+	if n > size {
+		n = size
+	}
+	copy(nv.Ptr.Prov.Data[:n], old.Data[:n])
+	doFree(m, pos, p)
+	return nv
+}
+
+// freeInvalid handles free/realloc of an invalid pointer according to the
+// active policy: Standard and BoundsCheck treat it as fatal; the
+// failure-oblivious family discards the operation and logs it.
+func freeInvalid(m *interp.Machine, pos token.Pos, p interp.Value, what string) interp.Value {
+	switch m.Mode() {
+	case core.Standard:
+		m.Fail(&mem.Fault{Kind: mem.FaultBadFree, Addr: p.Ptr.Addr, Msg: what})
+	case core.BoundsCheck:
+		m.Fail(&core.MemError{Pos: pos, Write: true, Addr: p.Ptr.Addr,
+			Size: 0, Unit: "", Cause: what + " of invalid pointer"})
+	default:
+		// Discard the invalid operation; continue executing.
+		m.NoteInvalidFree(pos, p.Ptr)
+	}
+	return voidP(core.Pointer{})
+}
+
+func doFree(m *interp.Machine, pos token.Pos, p interp.Value) {
+	if f := m.AddressSpace().Free(p.Ptr.Addr); f != nil {
+		freeInvalid(m, pos, p, "free")
+	}
+}
+
+func biFree(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	p := args[0]
+	if p.Ptr.Addr == 0 {
+		return interp.Value{T: tVoid}
+	}
+	if heapBlockOf(m, p) == nil {
+		return freeInvalid(m, pos, p, "free")
+	}
+	doFree(m, pos, p)
+	return interp.Value{T: tVoid}
+}
+
+// --- mem* ---
+
+func biMemcpy(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	dst, src := args[0], args[1]
+	n := args[2].I
+	if n > 0 {
+		buf := loadN(m, src.Ptr, n, pos)
+		storeN(m, dst.Ptr, buf, pos)
+	}
+	return voidP(dst.Ptr)
+}
+
+func biMemset(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	dst := args[0]
+	c := byte(args[1].I)
+	n := args[2].I
+	if n > 0 {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = c
+		}
+		storeN(m, dst.Ptr, buf, pos)
+	}
+	return voidP(dst.Ptr)
+}
+
+func biMemcmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	n := args[2].I
+	a := loadN(m, args[0].Ptr, n, pos)
+	b := loadN(m, args[1].Ptr, n, pos)
+	for i := int64(0); i < n; i++ {
+		if a[i] != b[i] {
+			return interp.Int(int64(a[i]) - int64(b[i]))
+		}
+	}
+	return interp.Int(0)
+}
+
+// --- str* ---
+
+func biStrlen(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	return interp.Value{T: tULong, I: cstrlen(m, args[0].Ptr, pos)}
+}
+
+func biStrcpy(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	dst, src := args[0].Ptr, args[1].Ptr
+	for i := int64(0); i < maxScan; i++ {
+		b := loadByte(m, off(src, i), pos)
+		storeByte(m, off(dst, i), b, pos)
+		if b == 0 {
+			break
+		}
+	}
+	return charP(dst)
+}
+
+func biStrncpy(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	dst, src := args[0].Ptr, args[1].Ptr
+	n := args[2].I
+	var i int64
+	for i = 0; i < n; i++ {
+		b := loadByte(m, off(src, i), pos)
+		storeByte(m, off(dst, i), b, pos)
+		if b == 0 {
+			i++
+			break
+		}
+	}
+	for ; i < n; i++ {
+		storeByte(m, off(dst, i), 0, pos)
+	}
+	return charP(dst)
+}
+
+func biStrcat(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	dst, src := args[0].Ptr, args[1].Ptr
+	dlen := cstrlen(m, dst, pos)
+	for i := int64(0); i < maxScan; i++ {
+		b := loadByte(m, off(src, i), pos)
+		storeByte(m, off(dst, dlen+i), b, pos)
+		if b == 0 {
+			break
+		}
+	}
+	return charP(dst)
+}
+
+func biStrncat(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	dst, src := args[0].Ptr, args[1].Ptr
+	n := args[2].I
+	dlen := cstrlen(m, dst, pos)
+	var i int64
+	for i = 0; i < n; i++ {
+		b := loadByte(m, off(src, i), pos)
+		if b == 0 {
+			break
+		}
+		storeByte(m, off(dst, dlen+i), b, pos)
+	}
+	storeByte(m, off(dst, dlen+i), 0, pos)
+	return charP(dst)
+}
+
+func biStrcmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	a, b := args[0].Ptr, args[1].Ptr
+	for i := int64(0); i < maxScan; i++ {
+		ca := loadByte(m, off(a, i), pos)
+		cb := loadByte(m, off(b, i), pos)
+		if ca != cb {
+			return interp.Int(int64(ca) - int64(cb))
+		}
+		if ca == 0 {
+			return interp.Int(0)
+		}
+	}
+	return interp.Int(0)
+}
+
+func biStrncmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	a, b := args[0].Ptr, args[1].Ptr
+	n := args[2].I
+	for i := int64(0); i < n; i++ {
+		ca := loadByte(m, off(a, i), pos)
+		cb := loadByte(m, off(b, i), pos)
+		if ca != cb {
+			return interp.Int(int64(ca) - int64(cb))
+		}
+		if ca == 0 {
+			return interp.Int(0)
+		}
+	}
+	return interp.Int(0)
+}
+
+func biStrchr(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	p := args[0].Ptr
+	c := byte(args[1].I)
+	for i := int64(0); i < maxScan; i++ {
+		b := loadByte(m, off(p, i), pos)
+		if b == c {
+			return charP(off(p, i))
+		}
+		if b == 0 {
+			break
+		}
+	}
+	return charP(core.Pointer{})
+}
+
+func biStrrchr(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	p := args[0].Ptr
+	c := byte(args[1].I)
+	found := core.Pointer{}
+	for i := int64(0); i < maxScan; i++ {
+		b := loadByte(m, off(p, i), pos)
+		if b == c {
+			found = off(p, i)
+		}
+		if b == 0 {
+			break
+		}
+	}
+	return charP(found)
+}
+
+func biStrstr(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	hay, needle := args[0].Ptr, args[1].Ptr
+	nlen := cstrlen(m, needle, pos)
+	if nlen == 0 {
+		return charP(hay)
+	}
+	nb := loadN(m, needle, nlen, pos)
+	hlen := cstrlen(m, hay, pos)
+	for i := int64(0); i+nlen <= hlen; i++ {
+		match := true
+		for j := int64(0); j < nlen; j++ {
+			if loadByte(m, off(hay, i+j), pos) != nb[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return charP(off(hay, i))
+		}
+	}
+	return charP(core.Pointer{})
+}
+
+func biStrdup(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	src := args[0].Ptr
+	n := cstrlen(m, src, pos)
+	nv := guestMalloc(m, uint64(n)+1)
+	if nv.Ptr.Addr == 0 {
+		return charP(core.Pointer{})
+	}
+	b := loadN(m, src, n, pos)
+	copy(nv.Ptr.Prov.Data, b)
+	nv.Ptr.Prov.Data[n] = 0
+	return charP(nv.Ptr)
+}
+
+// --- conversions / math ---
+
+func biAtoi(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	p := args[0].Ptr
+	i := int64(0)
+	for isSpaceByte(loadByte(m, off(p, i), pos)) {
+		i++
+	}
+	neg := false
+	switch loadByte(m, off(p, i), pos) {
+	case '-':
+		neg = true
+		i++
+	case '+':
+		i++
+	}
+	var v int64
+	for {
+		c := loadByte(m, off(p, i), pos)
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + int64(c-'0')
+		i++
+	}
+	if neg {
+		v = -v
+	}
+	return interp.Long(v)
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+}
+
+func biAbs(_ *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	v := args[0].I
+	if v < 0 {
+		v = -v
+	}
+	return interp.Long(v)
+}
+
+// --- ctype ---
+
+func ctype(pred func(byte) bool) interp.BuiltinFunc {
+	return func(_ *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+		c := args[0].I
+		if c < 0 || c > 255 {
+			return interp.Int(0)
+		}
+		if pred(byte(c)) {
+			return interp.Int(1)
+		}
+		return interp.Int(0)
+	}
+}
+
+func biToupper(_ *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	c := args[0].I
+	if c >= 'a' && c <= 'z' {
+		c -= 32
+	}
+	return interp.Int(c)
+}
+
+func biTolower(_ *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	c := args[0].I
+	if c >= 'A' && c <= 'Z' {
+		c += 32
+	}
+	return interp.Int(c)
+}
+
+// --- stdio ---
+
+func biPrintf(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	out := formatC(m, pos, args[0].Ptr, args[1:])
+	n, _ := m.Out().Write(out)
+	return interp.Int(int64(n))
+}
+
+func biSprintf(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	out := formatC(m, pos, args[1].Ptr, args[2:])
+	out = append(out, 0)
+	storeN(m, args[0].Ptr, out, pos)
+	return interp.Int(int64(len(out) - 1))
+}
+
+func biSnprintf(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	limit := args[1].I
+	out := formatC(m, pos, args[2].Ptr, args[3:])
+	full := int64(len(out))
+	if limit > 0 {
+		if full >= limit {
+			out = out[:limit-1]
+		}
+		out = append(out, 0)
+		storeN(m, args[0].Ptr, out, pos)
+	}
+	return interp.Int(full)
+}
+
+func biPuts(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	n := cstrlen(m, args[0].Ptr, pos)
+	b := loadN(m, args[0].Ptr, n, pos)
+	b = append(b, '\n')
+	m.Out().Write(b)
+	return interp.Int(n + 1)
+}
+
+func biPutchar(m *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	m.Out().Write([]byte{byte(args[0].I)})
+	return interp.Int(args[0].I)
+}
+
+// --- process ---
+
+func biExit(m *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	m.Exit(int(args[0].I))
+	return interp.Value{T: tVoid}
+}
+
+func biAbort(m *interp.Machine, pos token.Pos, _ []interp.Value) interp.Value {
+	m.Fail(&mem.Fault{Kind: mem.FaultSegv, Addr: 0, Msg: "abort() called"})
+	return interp.Value{T: tVoid}
+}
+
+// --- Mutt's wrappers (paper §2 / Figure 1) ---
+
+func biSafeMalloc(m *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	// Mutt's safe_malloc exits on exhaustion instead of returning NULL.
+	v := guestMalloc(m, uint64(args[0].I))
+	if v.Ptr.Addr == 0 {
+		m.Exit(1)
+	}
+	return v
+}
+
+func biSafeRealloc(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	pp := args[0].Ptr
+	cur := m.LoadPointer(pp, pos)
+	nv := biRealloc(m, pos, []interp.Value{voidP(cur), args[1]})
+	m.StorePointer(pp, nv.Ptr, pos)
+	return interp.Value{T: tVoid}
+}
+
+func biSafeFree(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	pp := args[0].Ptr
+	cur := m.LoadPointer(pp, pos)
+	if cur.Addr != 0 {
+		biFree(m, pos, []interp.Value{voidP(cur)})
+	}
+	m.StorePointer(pp, core.Pointer{}, pos)
+	return interp.Value{T: tVoid}
+}
+
+// --- additional string/stdlib routines ---
+
+func biMemchr(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	p := args[0].Ptr
+	c := byte(args[1].I)
+	n := args[2].I
+	for i := int64(0); i < n; i++ {
+		if loadByte(m, off(p, i), pos) == c {
+			return voidP(off(p, i))
+		}
+	}
+	return voidP(core.Pointer{})
+}
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 32
+	}
+	return c
+}
+
+func biStrcasecmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	a, b := args[0].Ptr, args[1].Ptr
+	for i := int64(0); i < maxScan; i++ {
+		ca := lowerByte(loadByte(m, off(a, i), pos))
+		cb := lowerByte(loadByte(m, off(b, i), pos))
+		if ca != cb {
+			return interp.Int(int64(ca) - int64(cb))
+		}
+		if ca == 0 {
+			return interp.Int(0)
+		}
+	}
+	return interp.Int(0)
+}
+
+func biStrncasecmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	a, b := args[0].Ptr, args[1].Ptr
+	n := args[2].I
+	for i := int64(0); i < n; i++ {
+		ca := lowerByte(loadByte(m, off(a, i), pos))
+		cb := lowerByte(loadByte(m, off(b, i), pos))
+		if ca != cb {
+			return interp.Int(int64(ca) - int64(cb))
+		}
+		if ca == 0 {
+			return interp.Int(0)
+		}
+	}
+	return interp.Int(0)
+}
+
+// spanSet reads the accept/reject set for strspn/strcspn.
+func spanSet(m *interp.Machine, p core.Pointer, pos token.Pos) map[byte]bool {
+	set := map[byte]bool{}
+	n := cstrlen(m, p, pos)
+	for _, b := range loadN(m, p, n, pos) {
+		set[b] = true
+	}
+	return set
+}
+
+func biStrspn(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	set := spanSet(m, args[1].Ptr, pos)
+	p := args[0].Ptr
+	var i int64
+	for i = 0; i < maxScan; i++ {
+		b := loadByte(m, off(p, i), pos)
+		if b == 0 || !set[b] {
+			break
+		}
+	}
+	return interp.Value{T: tULong, I: i}
+}
+
+func biStrcspn(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	set := spanSet(m, args[1].Ptr, pos)
+	p := args[0].Ptr
+	var i int64
+	for i = 0; i < maxScan; i++ {
+		b := loadByte(m, off(p, i), pos)
+		if b == 0 || set[b] {
+			break
+		}
+	}
+	return interp.Value{T: tULong, I: i}
+}
+
+func biBzero(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	n := args[1].I
+	if n > 0 {
+		storeN(m, args[0].Ptr, make([]byte, n), pos)
+	}
+	return interp.Value{T: tVoid}
+}
+
+// biStrtol implements strtol with bases 0 and 2..36 and an optional end
+// pointer.
+func biStrtol(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	p := args[0].Ptr
+	base := args[2].I
+	i := int64(0)
+	for isSpaceByte(loadByte(m, off(p, i), pos)) {
+		i++
+	}
+	neg := false
+	switch loadByte(m, off(p, i), pos) {
+	case '-':
+		neg = true
+		i++
+	case '+':
+		i++
+	}
+	if base == 0 {
+		if loadByte(m, off(p, i), pos) == '0' {
+			nxt := loadByte(m, off(p, i+1), pos)
+			if nxt == 'x' || nxt == 'X' {
+				base = 16
+				i += 2
+			} else {
+				base = 8
+				i++
+			}
+		} else {
+			base = 10
+		}
+	} else if base == 16 {
+		if loadByte(m, off(p, i), pos) == '0' {
+			nxt := loadByte(m, off(p, i+1), pos)
+			if nxt == 'x' || nxt == 'X' {
+				i += 2
+			}
+		}
+	}
+	digit := func(c byte) int64 {
+		switch {
+		case c >= '0' && c <= '9':
+			return int64(c - '0')
+		case c >= 'a' && c <= 'z':
+			return int64(c-'a') + 10
+		case c >= 'A' && c <= 'Z':
+			return int64(c-'A') + 10
+		}
+		return -1
+	}
+	var v int64
+	for {
+		d := digit(loadByte(m, off(p, i), pos))
+		if d < 0 || d >= base {
+			break
+		}
+		v = v*base + d
+		i++
+	}
+	if neg {
+		v = -v
+	}
+	if args[1].Ptr.Addr != 0 {
+		m.StorePointer(args[1].Ptr, off(p, i), pos)
+	}
+	return interp.Long(v)
+}
+
+// Deterministic libc rand(): a linear congruential generator whose state
+// lives in the machine's host-state bag (per "process", like real libc).
+func biSrand(m *interp.Machine, _ token.Pos, args []interp.Value) interp.Value {
+	m.HostState()["libc.rand"] = uint32(args[0].I)
+	return interp.Value{T: tVoid}
+}
+
+func biRand(m *interp.Machine, _ token.Pos, _ []interp.Value) interp.Value {
+	seed, _ := m.HostState()["libc.rand"].(uint32)
+	if seed == 0 {
+		seed = 1
+	}
+	seed = seed*1103515245 + 12345
+	m.HostState()["libc.rand"] = seed
+	return interp.Int(int64(seed>>1) & 0x7fffffff)
+}

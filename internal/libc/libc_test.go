@@ -1,0 +1,553 @@
+package libc_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"focc/fo"
+)
+
+// run compiles and runs main() under mode, returning result and output.
+func run(t *testing.T, src string, mode fo.Mode) (fo.Result, string) {
+	t.Helper()
+	var out bytes.Buffer
+	res, err := fo.Run("t.c", src, mode, fo.MachineConfig{Out: &out})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res, out.String()
+}
+
+// expect runs main() under BoundsCheck and asserts its return value.
+func expect(t *testing.T, src string, want int64) {
+	t.Helper()
+	res, out := run(t, src, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeOK {
+		t.Fatalf("outcome = %v (%v), output %q", res.Outcome, res.Err, out)
+	}
+	if res.Value.I != want {
+		t.Fatalf("main() = %d, want %d (output %q)", res.Value.I, want, out)
+	}
+}
+
+func TestMallocFreeRealloc(t *testing.T) {
+	expect(t, `
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+	char *p = malloc(10);
+	char *q;
+	if (p == NULL) return 1;
+	strcpy(p, "abc");
+	q = realloc(p, 100);
+	if (q == NULL) return 2;
+	if (strcmp(q, "abc") != 0) return 3;  /* contents preserved */
+	free(q);
+	q = realloc(NULL, 5);                 /* realloc(NULL) == malloc */
+	if (q == NULL) return 4;
+	free(q);
+	free(NULL);                           /* no-op */
+	return 0;
+}`, 0)
+}
+
+func TestCallocZeroes(t *testing.T) {
+	expect(t, `
+#include <stdlib.h>
+int main(void) {
+	int *p = calloc(4, sizeof(int));
+	int i, sum = 0;
+	for (i = 0; i < 4; i++) sum += p[i];
+	free(p);
+	return sum;
+}`, 0)
+}
+
+func TestMemFunctions(t *testing.T) {
+	expect(t, `
+#include <string.h>
+int main(void) {
+	char a[16], b[16];
+	memset(a, 'x', 16);
+	if (a[0] != 'x' || a[15] != 'x') return 1;
+	memcpy(b, a, 16);
+	if (memcmp(a, b, 16) != 0) return 2;
+	b[7] = 'y';
+	if (memcmp(a, b, 16) >= 0) return 3; /* 'x' < 'y' */
+	if (memcmp(a, b, 7) != 0) return 4;
+	memmove(a, a, 16);
+	return 0;
+}`, 0)
+}
+
+func TestStringFamily(t *testing.T) {
+	expect(t, `
+#include <string.h>
+int main(void) {
+	char buf[64];
+	char *p;
+	if (strlen("") != 0) return 1;
+	if (strlen("four") != 4) return 2;
+	strcpy(buf, "hello");
+	strncpy(&buf[5], " world!!", 6);
+	buf[11] = '\0';
+	if (strcmp(buf, "hello world") != 0) return 3;
+	strcpy(buf, "abc");
+	strncat(buf, "defgh", 2);
+	if (strcmp(buf, "abcde") != 0) return 4;
+	if (strncmp("abcdef", "abcxyz", 3) != 0) return 5;
+	if (strncmp("abcdef", "abcxyz", 4) >= 0) return 6;
+	p = strrchr("a/b/c", '/');
+	if (p == NULL || strcmp(p, "/c") != 0) return 7;
+	p = strstr("finding a needle here", "needle");
+	if (p == NULL || strncmp(p, "needle", 6) != 0) return 8;
+	if (strstr("abc", "zzz") != NULL) return 9;
+	if (strchr("abc", 'z') != NULL) return 10;
+	p = strchr("abc", '\0');
+	if (p == NULL) return 11;             /* strchr finds the NUL */
+	return 0;
+}`, 0)
+}
+
+func TestStrdup(t *testing.T) {
+	expect(t, `
+#include <string.h>
+#include <stdlib.h>
+int main(void) {
+	char *d = strdup("copy me");
+	int ok = strcmp(d, "copy me") == 0;
+	free(d);
+	return ok;
+}`, 1)
+}
+
+func TestAtoiAbs(t *testing.T) {
+	expect(t, `
+#include <stdlib.h>
+int main(void) {
+	if (atoi("123") != 123) return 1;
+	if (atoi("  -45x") != -45) return 2;
+	if (atoi("+7") != 7) return 3;
+	if (atoi("junk") != 0) return 4;
+	if (abs(-9) != 9 || abs(4) != 4) return 5;
+	if (labs(-10L) != 10) return 6;
+	return 0;
+}`, 0)
+}
+
+func TestCtype(t *testing.T) {
+	expect(t, `
+#include <ctype.h>
+int main(void) {
+	if (!isalpha('a') || !isalpha('Z') || isalpha('1')) return 1;
+	if (!isdigit('7') || isdigit('x')) return 2;
+	if (!isalnum('a') || !isalnum('7') || isalnum('-')) return 3;
+	if (!isspace(' ') || !isspace('\t') || !isspace('\n') || isspace('.')) return 4;
+	if (!isupper('Q') || isupper('q')) return 5;
+	if (!islower('q') || islower('Q')) return 6;
+	if (!isprint(' ') || isprint('\n')) return 7;
+	if (toupper('a') != 'A' || toupper('A') != 'A' || toupper('1') != '1') return 8;
+	if (tolower('A') != 'a' || tolower('a') != 'a') return 9;
+	return 0;
+}`, 0)
+}
+
+func TestPrintfFormats(t *testing.T) {
+	res, out := run(t, `
+#include <stdio.h>
+int main(void) {
+	printf("%d|%i|%u|%x|%X|%o|%c|%s|%%|\n", -5, 6, 7U, 255, 255, 8, 'Q', "str");
+	printf("[%5d][%-5d][%05d]\n", 42, 42, 42);
+	printf("%ld %lu %zu\n", 100000000000L, 3UL, (unsigned long)9);
+	printf("%.3d %.2s\n", 7, "abcdef");
+	printf("%s\n", (char*)0);
+	return 0;
+}`, fo.Standard)
+	if res.Outcome != fo.OutcomeOK {
+		t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	want := "-5|6|7|ff|FF|10|Q|str|%|\n" +
+		"[   42][42   ][00042]\n" +
+		"100000000000 3 9\n" +
+		"007 ab\n" +
+		"(null)\n"
+	if out != want {
+		t.Errorf("printf output:\n got %q\nwant %q", out, want)
+	}
+}
+
+func TestSprintfAndSnprintf(t *testing.T) {
+	expect(t, `
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+	char buf[64];
+	int n = sprintf(buf, "%s=%d", "x", 42);
+	if (n != 4) return 1;
+	if (strcmp(buf, "x=42") != 0) return 2;
+	n = snprintf(buf, 4, "%s", "longer than four");
+	if (n != 16) return 3;              /* returns the full length */
+	if (strcmp(buf, "lon") != 0) return 4; /* truncated with NUL */
+	n = snprintf(buf, sizeof(buf), "ok %d", 5);
+	if (n != 4 || strcmp(buf, "ok 5") != 0) return 5;
+	return 0;
+}`, 0)
+}
+
+func TestPutsPutchar(t *testing.T) {
+	_, out := run(t, `
+#include <stdio.h>
+int main(void) {
+	puts("line");
+	putchar('x');
+	putchar('\n');
+	return 0;
+}`, fo.Standard)
+	if out != "line\nx\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSprintfOverflowIsCaught(t *testing.T) {
+	src := `
+#include <stdio.h>
+int main(void) {
+	char tiny[4];
+	sprintf(tiny, "%s", "way too long for tiny");
+	return 0;
+}`
+	res, _ := run(t, src, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds outcome = %v, want termination", res.Outcome)
+	}
+	res, _ = run(t, src, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK {
+		t.Errorf("oblivious outcome = %v (%v), want ok", res.Outcome, res.Err)
+	}
+}
+
+func TestStrcpyOverflowPerMode(t *testing.T) {
+	src := `
+#include <string.h>
+#include <stdlib.h>
+int main(void) {
+	char *a = malloc(4);
+	char *b = malloc(64);
+	strcpy(b, "this string is much longer than a");
+	strcpy(a, b);
+	return 0;
+}`
+	res, _ := run(t, src, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds = %v", res.Outcome)
+	}
+	res, _ = run(t, src, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK {
+		t.Errorf("oblivious = %v (%v)", res.Outcome, res.Err)
+	}
+	res, _ = run(t, src, fo.Standard)
+	if !res.Outcome.Crashed() {
+		t.Errorf("standard = %v, want crash (heap corruption)", res.Outcome)
+	}
+}
+
+func TestInvalidFreePerMode(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int ok = 0;
+int main(void) {
+	char *p = malloc(8);
+	free(p + 2);     /* interior pointer: invalid free */
+	ok = 1;
+	free(p);
+	return ok;
+}`
+	res, _ := run(t, src, fo.Standard)
+	if !res.Outcome.Crashed() {
+		t.Errorf("standard invalid free = %v, want crash", res.Outcome)
+	}
+	res, _ = run(t, src, fo.BoundsCheck)
+	if res.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds invalid free = %v", res.Outcome)
+	}
+	res, _ = run(t, src, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 1 {
+		t.Errorf("oblivious invalid free = %v value=%d", res.Outcome, res.Value.I)
+	}
+}
+
+func TestDoubleFreeObliviousContinues(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int main(void) {
+	char *p = malloc(8);
+	free(p);
+	free(p);
+	return 7;
+}`
+	res, _ := run(t, src, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 7 {
+		t.Errorf("oblivious double free = %v", res.Outcome)
+	}
+	res, _ = run(t, src, fo.Standard)
+	if !res.Outcome.Crashed() {
+		t.Errorf("standard double free = %v, want crash", res.Outcome)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	res, _ := run(t, `
+int main(void) { abort(); return 0; }`, fo.Standard)
+	if !res.Outcome.Crashed() {
+		t.Errorf("abort outcome = %v", res.Outcome)
+	}
+}
+
+func TestSafeWrappers(t *testing.T) {
+	expect(t, `
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+	char *buf = safe_malloc(8);
+	strcpy(buf, "hi");
+	safe_realloc((void **)&buf, 64);
+	if (strcmp(buf, "hi") != 0) return 1;
+	safe_free((void **)&buf);
+	if (buf != NULL) return 2;   /* safe_free nulls the pointer */
+	safe_free((void **)&buf);    /* double safe_free is a no-op */
+	return 0;
+}`, 0)
+}
+
+func TestStrlenThroughManufacturedValues(t *testing.T) {
+	// strlen on an unterminated buffer: under FailureOblivious the scan
+	// runs off the end and terminates on a manufactured 0.
+	src := `
+#include <string.h>
+#include <stdlib.h>
+int main(void) {
+	char *p = malloc(4);
+	p[0] = 'a'; p[1] = 'b'; p[2] = 'c'; p[3] = 'd'; /* no NUL */
+	return (int) strlen(p);
+}`
+	res, _ := run(t, src, fo.FailureOblivious)
+	if res.Outcome != fo.OutcomeOK {
+		t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	if res.Value.I < 4 {
+		t.Errorf("strlen = %d, want >= 4", res.Value.I)
+	}
+}
+
+// Differential check of sprintf %d against Go for a sweep of values.
+func TestSprintfNumbersMatchGo(t *testing.T) {
+	prog, err := fo.Compile("t.c", `
+#include <stdio.h>
+char buf[64];
+int fmt_one(long v) { return sprintf(buf, "%ld", v); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.BoundsCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40), 1<<63 - 1, -(1 << 62)}
+	for _, v := range vals {
+		res := m.Call("fmt_one", fo.Value{T: nil, I: v})
+		if res.Outcome != fo.OutcomeOK {
+			t.Fatalf("fmt_one(%d): %v", v, res.Err)
+		}
+		u, _ := m.GlobalUnit("buf")
+		got, _ := m.ReadCString(fo.UnitPointer(u), 64)
+		want := fmt.Sprintf("%d", v)
+		if got != want {
+			t.Errorf("sprintf(%%ld, %d) = %q, want %q", v, got, want)
+		}
+		if int(res.Value.I) != len(want) {
+			t.Errorf("sprintf return = %d, want %d", res.Value.I, len(want))
+		}
+	}
+	_ = strings.Repeat
+}
+
+func TestStrtol(t *testing.T) {
+	expect(t, `
+#include <stdlib.h>
+int main(void) {
+	char *end;
+	if (strtol("123", NULL, 10) != 123) return 1;
+	if (strtol("  -42junk", &end, 10) != -42) return 2;
+	if (*end != 'j') return 3;
+	if (strtol("ff", NULL, 16) != 255) return 4;
+	if (strtol("0xff", NULL, 16) != 255) return 5;
+	if (strtol("0x1A", NULL, 0) != 26) return 6;
+	if (strtol("077", NULL, 0) != 63) return 7;
+	if (strtol("101", NULL, 2) != 5) return 8;
+	if (strtol("z", NULL, 36) != 35) return 9;
+	return 0;
+}`, 0)
+}
+
+func TestMemchrAndSpans(t *testing.T) {
+	expect(t, `
+#include <string.h>
+int main(void) {
+	const char *s = "hello world";
+	char *p = memchr(s, 'o', 11);
+	if (p == NULL || p - s != 4) return 1;
+	if (memchr(s, 'z', 11) != NULL) return 2;
+	if (memchr(s, 'd', 5) != NULL) return 3;  /* out of the n range */
+	if (strspn("abcde", "abc") != 3) return 4;
+	if (strspn("xyz", "abc") != 0) return 5;
+	if (strcspn("abcde", "dz") != 3) return 6;
+	if (strcspn("abc", "xyz") != 3) return 7;
+	return 0;
+}`, 0)
+}
+
+func TestCaseInsensitiveCompare(t *testing.T) {
+	expect(t, `
+#include <string.h>
+int main(void) {
+	if (strcasecmp("Hello", "hELLO") != 0) return 1;
+	if (strcasecmp("abc", "abd") >= 0) return 2;
+	if (strncasecmp("HelloX", "hELLOY", 5) != 0) return 3;
+	if (strncasecmp("aBc", "abD", 3) >= 0) return 4;
+	return 0;
+}`, 0)
+}
+
+func TestBzero(t *testing.T) {
+	expect(t, `
+#include <string.h>
+int main(void) {
+	char buf[8];
+	int i, sum = 0;
+	memset(buf, 'x', sizeof(buf));
+	bzero(buf, sizeof(buf));
+	for (i = 0; i < 8; i++) sum += buf[i];
+	return sum;
+}`, 0)
+}
+
+func TestRandDeterministic(t *testing.T) {
+	expect(t, `
+#include <stdlib.h>
+int main(void) {
+	int a, b;
+	srand(7);
+	a = rand();
+	srand(7);
+	b = rand();
+	if (a != b) return 1;           /* same seed, same sequence */
+	if (a < 0) return 2;            /* non-negative */
+	if (rand() == rand()) return 3; /* sequence advances */
+	return 0;
+}`, 0)
+}
+
+func TestIsxdigit(t *testing.T) {
+	expect(t, `
+#include <ctype.h>
+int main(void) {
+	if (!isxdigit('0') || !isxdigit('9') || !isxdigit('a') ||
+	    !isxdigit('F') || isxdigit('g') || isxdigit(' ')) return 1;
+	return 0;
+}`, 0)
+}
+
+func TestAllocationExhaustionSemantics(t *testing.T) {
+	// Real malloc semantics: exhaustion returns NULL; realloc failure
+	// leaves the old block valid; strdup propagates NULL.
+	expect(t, `
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+	char *keep = malloc(16);
+	char *p;
+	strcpy(keep, "still here");
+	/* Exhaust the heap region. */
+	for (;;) {
+		p = malloc(32 * 1024 * 1024);
+		if (p == NULL)
+			break;
+	}
+	if (realloc(keep, 64 * 1024 * 1024) != NULL) return 1;
+	if (strcmp(keep, "still here") != 0) return 2;  /* old block intact */
+	if (malloc(32 * 1024 * 1024) != NULL) return 3; /* still exhausted at that size */
+	return 0;
+}`, 0)
+}
+
+// Differential property: the printf engine's %d/%u/%x with widths and
+// flags matches Go's fmt for a sweep of values and formats.
+func TestPrintfWidthsMatchGo(t *testing.T) {
+	prog, err := fo.Compile("t.c", `
+#include <stdio.h>
+char buf[128];
+int fmt_d(long v, const char *f)  { return sprintf(buf, f, v); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.BoundsCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func() string {
+		u, _ := m.GlobalUnit("buf")
+		s, _ := m.ReadCString(fo.UnitPointer(u), 128)
+		return s
+	}
+	type cs struct{ cFmt, goFmt string }
+	formats := []cs{
+		{"%d", "%d"}, {"%5d", "%5d"}, {"%-5d", "%-5d"}, {"%05d", "%05d"},
+		{"%12d", "%12d"}, {"%012d", "%012d"},
+		{"%x", "%x"}, {"%8x", "%8x"}, {"%08x", "%08x"},
+	}
+	values := []int64{0, 1, -1, 7, -42, 100000, -99999, 1 << 31}
+	for _, f := range formats {
+		for _, v := range values {
+			if strings.Contains(f.cFmt, "x") && v < 0 {
+				continue // %x of negative differs (we print 64-bit, C prints 32/64 by length)
+			}
+			res := m.Call("fmt_d", fo.Value{I: v}, m.NewCString(f.cFmt))
+			if res.Outcome != fo.OutcomeOK {
+				t.Fatalf("sprintf(%q, %d): %v", f.cFmt, v, res.Err)
+			}
+			want := fmt.Sprintf(f.goFmt, v)
+			if got := read(); got != want {
+				t.Errorf("sprintf(%q, %d) = %q, want %q", f.cFmt, v, got, want)
+			}
+		}
+	}
+}
+
+// The boundless side store must round-trip arbitrary offsets and payloads
+// through C code, not just through the accessor API.
+func TestBoundlessRoundTripFromC(t *testing.T) {
+	expect2 := func(src string, mode fo.Mode, want int64) {
+		t.Helper()
+		res, _ := run(t, src, mode)
+		if res.Outcome != fo.OutcomeOK || res.Value.I != want {
+			t.Errorf("%v: got %v/%d, want %d (%v)", mode, res.Outcome, res.Value.I, want, res.Err)
+		}
+	}
+	src := `
+#include <stdlib.h>
+int main(void) {
+	char *p = malloc(3);
+	int i, ok = 1;
+	for (i = 0; i < 40; i++)
+		p[i] = (char)(i * 3);
+	for (i = 0; i < 40; i++)
+		if (p[i] != (char)(i * 3))
+			ok = 0;
+	return ok;
+}`
+	expect2(src, fo.Boundless, 1)
+}

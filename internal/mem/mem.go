@@ -1,0 +1,576 @@
+// Package mem implements the simulated address space the focc runtime
+// executes in: data units (every global, string literal, heap block, and
+// stack frame is one unit), an object table mapping addresses to units (the
+// Jones–Kelly table the paper's checking scheme is built on), a contiguous
+// stack arena with per-frame canaries, and a bump-allocated heap with block
+// headers.
+//
+// The layout is deliberately realistic in the ways the paper's evaluation
+// depends on: in the unsafe Standard mode, out-of-bounds writes really do
+// land in neighbouring heap blocks, heap block headers, stack canaries, or
+// unmapped gaps — producing heap corruption aborts, stack smashes, and
+// segmentation violations mechanically rather than by assertion.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Region base addresses. Gaps between regions are unmapped.
+const (
+	LiteralBase = 0x1000_0000
+	GlobalBase  = 0x2000_0000
+	HeapBase    = 0x4000_0000
+	StackTop    = 0x7fff_0000 // stack occupies [StackTop-StackSize, StackTop)
+)
+
+// DefaultStackSize is the size of the stack arena unless overridden.
+const DefaultStackSize = 1 << 20
+
+// heapHeaderSize is the size of the allocator metadata block that precedes
+// every heap allocation (magic + size), as in a real malloc implementation.
+const heapHeaderSize = 16
+
+// heapMagic marks an intact heap block header.
+const heapMagic = 0x4d414c4c4f433031 // "MALLOC01"
+
+// canarySize is the size of the stack guard between frames.
+const canarySize = 8
+
+// canaryMagic is the intact stack canary value.
+const canaryMagic = 0xdeadc0dedeadc0de
+
+// UnitKind classifies data units.
+type UnitKind int
+
+// Unit kinds.
+const (
+	KindGlobal UnitKind = iota
+	KindLiteral
+	KindHeap
+	KindHeapHeader
+	KindStack
+	KindStackGuard
+)
+
+func (k UnitKind) String() string {
+	switch k {
+	case KindGlobal:
+		return "global"
+	case KindLiteral:
+		return "literal"
+	case KindHeap:
+		return "heap"
+	case KindHeapHeader:
+		return "heap-header"
+	case KindStack:
+		return "stack"
+	case KindStackGuard:
+		return "stack-guard"
+	}
+	return "unknown"
+}
+
+// UnitID identifies a data unit for the lifetime of an address space.
+type UnitID uint64
+
+// Unit is one data unit: a struct, array, variable, heap block, or stack
+// frame. Bounds checks are performed against units.
+type Unit struct {
+	ID       UnitID
+	Kind     UnitKind
+	Name     string // diagnostic: variable name, "malloc(64)", function name
+	Base     uint64
+	Size     uint64
+	Dead     bool // freed heap block or popped frame
+	ReadOnly bool
+	Data     []byte
+
+	// shadow maps an in-unit byte offset to the provenance unit of a
+	// pointer value stored at that offset. Nil until first pointer store.
+	shadow map[uint64]*Unit
+}
+
+// End returns one past the last byte of the unit.
+func (u *Unit) End() uint64 { return u.Base + u.Size }
+
+// Contains reports whether addr lies within the unit.
+func (u *Unit) Contains(addr uint64) bool { return addr >= u.Base && addr < u.End() }
+
+// FaultKind classifies simulated hardware/runtime faults.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultSegv is a simulated SIGSEGV: access to unmapped memory or a
+	// write to read-only memory.
+	FaultSegv FaultKind = iota
+	// FaultHeapCorrupt is the allocator detecting smashed block headers
+	// (glibc's "malloc(): corrupted" abort).
+	FaultHeapCorrupt
+	// FaultStackSmash is a clobbered stack canary detected at function
+	// return.
+	FaultStackSmash
+	// FaultBadFree is free() of a pointer that is not a live heap block.
+	FaultBadFree
+	// FaultStackOverflow is exhaustion of the stack arena.
+	FaultStackOverflow
+	// FaultOOM is exhaustion of the heap region.
+	FaultOOM
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSegv:
+		return "segmentation violation"
+	case FaultHeapCorrupt:
+		return "heap corruption detected"
+	case FaultStackSmash:
+		return "stack smashing detected"
+	case FaultBadFree:
+		return "invalid free"
+	case FaultStackOverflow:
+		return "stack overflow"
+	case FaultOOM:
+		return "out of memory"
+	}
+	return "fault"
+}
+
+// Fault is a simulated fatal memory fault.
+type Fault struct {
+	Kind FaultKind
+	Addr uint64
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	if f.Msg != "" {
+		return fmt.Sprintf("%s at 0x%x: %s", f.Kind, f.Addr, f.Msg)
+	}
+	return fmt.Sprintf("%s at 0x%x", f.Kind, f.Addr)
+}
+
+// Stats counts address-space activity.
+type Stats struct {
+	Mallocs     uint64
+	Frees       uint64
+	FramesPush  uint64
+	FramesPop   uint64
+	HeapBytes   uint64
+	GlobalBytes uint64
+}
+
+// AddressSpace is the simulated process memory.
+type AddressSpace struct {
+	nextID UnitID
+
+	literals   []*Unit // ascending Base
+	literalCur uint64
+	globals    []*Unit // ascending Base
+	globalCur  uint64
+	heap       []*Unit // ascending Base; includes header units
+	heapCur    uint64
+
+	stackArena []byte
+	stackBase  uint64  // address of stackArena[0]
+	sp         uint64  // current stack pointer (grows down)
+	lowWater   uint64  // lowest sp ever (memory below stays "mapped")
+	stack      []*Unit // live frames+guards, push order (descending Base)
+
+	heapCorrupted bool
+	stats         Stats
+
+	// internTable dedups string literals.
+	internTable map[string]*Unit
+}
+
+// New creates an address space with the default stack size.
+func New() *AddressSpace { return NewWithStack(DefaultStackSize) }
+
+// NewWithStack creates an address space with the given stack arena size.
+func NewWithStack(stackSize uint64) *AddressSpace {
+	as := &AddressSpace{
+		literalCur:  LiteralBase,
+		globalCur:   GlobalBase,
+		heapCur:     HeapBase,
+		stackArena:  make([]byte, stackSize),
+		stackBase:   StackTop - stackSize,
+		sp:          StackTop,
+		lowWater:    StackTop,
+		internTable: map[string]*Unit{},
+	}
+	return as
+}
+
+// Stats returns a snapshot of allocation counters.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// HeapCorrupted reports whether any write has landed in a heap block header.
+func (as *AddressSpace) HeapCorrupted() bool { return as.heapCorrupted }
+
+func (as *AddressSpace) newUnit(kind UnitKind, name string, base, size uint64, data []byte) *Unit {
+	as.nextID++
+	return &Unit{ID: as.nextID, Kind: kind, Name: name, Base: base, Size: size, Data: data}
+}
+
+func roundUp(n, a uint64) uint64 { return (n + a - 1) / a * a }
+
+// AllocGlobal allocates a zeroed global data unit.
+func (as *AddressSpace) AllocGlobal(name string, size uint64) *Unit {
+	if size == 0 {
+		size = 1
+	}
+	base := roundUp(as.globalCur, 16)
+	u := as.newUnit(KindGlobal, name, base, size, make([]byte, size))
+	as.globalCur = base + size
+	as.globals = append(as.globals, u)
+	as.stats.GlobalBytes += size
+	return u
+}
+
+// InternLiteral allocates (or reuses) a read-only unit holding data. String
+// literals use this with a trailing NUL already appended.
+func (as *AddressSpace) InternLiteral(data string) *Unit {
+	if u, ok := as.internTable[data]; ok {
+		return u
+	}
+	size := uint64(len(data))
+	if size == 0 {
+		size = 1
+	}
+	base := roundUp(as.literalCur, 8)
+	buf := make([]byte, size)
+	copy(buf, data)
+	u := as.newUnit(KindLiteral, fmt.Sprintf("%q", truncForName(data)), base, size, buf)
+	u.ReadOnly = true
+	as.literalCur = base + size
+	as.literals = append(as.literals, u)
+	as.internTable[data] = u
+	return u
+}
+
+func truncForName(s string) string {
+	const max = 16
+	if len(s) > max {
+		return s[:max] + "…"
+	}
+	return s
+}
+
+// heapLimit is the exclusive upper bound of the heap region.
+const heapLimit = 0x7000_0000
+
+// Malloc allocates a heap block preceded by a header unit, both contiguous
+// with the previous allocation so overruns behave realistically.
+func (as *AddressSpace) Malloc(size uint64) (*Unit, *Fault) {
+	if as.heapCorrupted {
+		return nil, &Fault{Kind: FaultHeapCorrupt, Addr: as.heapCur,
+			Msg: "malloc(): corrupted block header"}
+	}
+	if size == 0 {
+		size = 1
+	}
+	base := roundUp(as.heapCur, 16)
+	if base+heapHeaderSize+size >= heapLimit {
+		return nil, &Fault{Kind: FaultOOM, Addr: base}
+	}
+	hdr := as.newUnit(KindHeapHeader, "malloc-header", base, heapHeaderSize,
+		make([]byte, heapHeaderSize))
+	binary.LittleEndian.PutUint64(hdr.Data[0:8], heapMagic)
+	binary.LittleEndian.PutUint64(hdr.Data[8:16], size)
+	blk := as.newUnit(KindHeap, fmt.Sprintf("malloc(%d)", size),
+		base+heapHeaderSize, size, make([]byte, size))
+	as.heapCur = blk.End()
+	as.heap = append(as.heap, hdr, blk)
+	as.stats.Mallocs++
+	as.stats.HeapBytes += size
+	return blk, nil
+}
+
+// Free releases a heap block. The pointer must be the base of a live heap
+// block, as with C free().
+func (as *AddressSpace) Free(addr uint64) *Fault {
+	u := as.FindUnit(addr)
+	if u == nil || u.Kind != KindHeap || u.Base != addr {
+		return &Fault{Kind: FaultBadFree, Addr: addr}
+	}
+	if u.Dead {
+		return &Fault{Kind: FaultBadFree, Addr: addr, Msg: "double free"}
+	}
+	// Check this block's header integrity, as glibc does lazily.
+	hdr := as.FindUnit(addr - heapHeaderSize)
+	if hdr != nil && hdr.Kind == KindHeapHeader {
+		if binary.LittleEndian.Uint64(hdr.Data[0:8]) != heapMagic {
+			as.heapCorrupted = true
+			return &Fault{Kind: FaultHeapCorrupt, Addr: addr,
+				Msg: "free(): corrupted block header"}
+		}
+		hdr.Dead = true
+	}
+	u.Dead = true
+	as.stats.Frees++
+	return nil
+}
+
+// LocalSpec describes one local variable (or parameter) slot inside a
+// frame, at a byte offset from the frame base.
+type LocalSpec struct {
+	Name string
+	Off  uint64
+	Size uint64
+}
+
+// Frame is one pushed stack frame. Every local variable is its own data
+// unit (the Jones–Kelly granularity), aliasing the shared stack arena, so
+// an overflow of one stack buffer into a neighbouring local is an
+// out-of-bounds access even though the bytes are adjacent.
+type Frame struct {
+	Base   uint64
+	Size   uint64
+	guard  *Unit
+	locals []*Unit
+	byOff  map[uint64]*Unit
+	prevSP uint64
+}
+
+// Local returns the data unit of the local declared at frame offset off.
+func (f *Frame) Local(off uint64) *Unit { return f.byOff[off] }
+
+// PushFrame allocates a stack frame of the given size with a canary guard
+// between it and the caller's frame, and one data unit per local.
+func (as *AddressSpace) PushFrame(fnName string, size uint64, locals []LocalSpec) (*Frame, *Fault) {
+	size = roundUp(size, 8)
+	if size == 0 {
+		size = 8
+	}
+	need := size + canarySize
+	if as.sp < as.stackBase+need {
+		return nil, &Fault{Kind: FaultStackOverflow, Addr: as.sp}
+	}
+	prevSP := as.sp
+	guardBase := as.sp - canarySize
+	frameBase := guardBase - size
+	as.sp = frameBase
+	if as.sp < as.lowWater {
+		as.lowWater = as.sp
+	}
+	gOff := guardBase - as.stackBase
+	guard := as.newUnit(KindStackGuard, "canary:"+fnName, guardBase, canarySize,
+		as.stackArena[gOff:gOff+canarySize])
+	binary.LittleEndian.PutUint64(guard.Data, canaryMagic)
+	f := &Frame{
+		Base:   frameBase,
+		Size:   size,
+		guard:  guard,
+		prevSP: prevSP,
+		byOff:  make(map[uint64]*Unit, len(locals)),
+	}
+	// Register units in descending base order so as.stack stays strictly
+	// descending (guard is highest, then locals top-down).
+	as.stack = append(as.stack, guard)
+	for i := len(locals) - 1; i >= 0; i-- {
+		sp := locals[i]
+		sz := sp.Size
+		if sz == 0 {
+			sz = 1
+		}
+		base := frameBase + sp.Off
+		aOff := base - as.stackBase
+		u := as.newUnit(KindStack, sp.Name+" ("+fnName+")", base, sz,
+			as.stackArena[aOff:aOff+sz])
+		f.locals = append(f.locals, u)
+		f.byOff[sp.Off] = u
+		as.stack = append(as.stack, u)
+	}
+	as.stats.FramesPush++
+	return f, nil
+}
+
+// PopFrame releases the most recent frame. It returns a FaultStackSmash if
+// the canary was clobbered (only meaningful for the unsafe Standard mode —
+// checked modes never let a write reach the canary).
+func (as *AddressSpace) PopFrame(f *Frame) *Fault {
+	n := len(f.locals) + 1
+	if len(as.stack) < n || as.stack[len(as.stack)-n] != f.guard {
+		// Mis-nested pop; treat as internal error.
+		return &Fault{Kind: FaultSegv, Addr: f.Base, Msg: "mis-nested frame pop"}
+	}
+	smashed := binary.LittleEndian.Uint64(f.guard.Data) != canaryMagic
+	for _, u := range f.locals {
+		u.Dead = true
+		u.shadow = nil
+	}
+	f.guard.Dead = true
+	as.stack = as.stack[:len(as.stack)-n]
+	as.sp = f.prevSP
+	as.stats.FramesPop++
+	if smashed {
+		return &Fault{Kind: FaultStackSmash, Addr: f.guard.Base,
+			Msg: "canary of " + f.guard.Name}
+	}
+	return nil
+}
+
+// FindUnit returns the unit containing addr (live or dead), or nil for
+// unmapped addresses. Guard and header units are returned too.
+func (as *AddressSpace) FindUnit(addr uint64) *Unit {
+	switch {
+	case addr >= LiteralBase && addr < GlobalBase:
+		return findAsc(as.literals, addr)
+	case addr >= GlobalBase && addr < HeapBase:
+		return findAsc(as.globals, addr)
+	case addr >= HeapBase && addr < heapLimit:
+		return findAsc(as.heap, addr)
+	case addr >= as.stackBase && addr < StackTop:
+		return as.findStack(addr)
+	}
+	return nil
+}
+
+func findAsc(units []*Unit, addr uint64) *Unit {
+	i := sort.Search(len(units), func(i int) bool { return units[i].End() > addr })
+	if i < len(units) && units[i].Contains(addr) {
+		return units[i]
+	}
+	return nil
+}
+
+func (as *AddressSpace) findStack(addr uint64) *Unit {
+	// as.stack is strictly descending in Base, so scanning from the end
+	// visits units in ascending base order, starting with the most
+	// recent frame (the most likely target).
+	for i := len(as.stack) - 1; i >= 0; i-- {
+		u := as.stack[i]
+		if u.Contains(addr) {
+			return u
+		}
+		if u.Base > addr {
+			return nil // remaining units are even higher
+		}
+	}
+	return nil
+}
+
+// stackMapped reports whether addr is in the touched part of the stack
+// arena (which stays accessible like real stack memory even after frames
+// pop).
+func (as *AddressSpace) stackMapped(addr uint64) bool {
+	return addr >= as.lowWater && addr < StackTop
+}
+
+// RawRead reads n bytes starting at addr with no bounds checking — the
+// Standard (unsafe) semantics. Unmapped bytes fault.
+func (as *AddressSpace) RawRead(addr uint64, buf []byte) *Fault {
+	n := uint64(len(buf))
+	for n > 0 {
+		if as.stackMapped(addr) {
+			off := addr - as.stackBase
+			avail := StackTop - addr
+			c := n
+			if c > avail {
+				c = avail
+			}
+			copy(buf[uint64(len(buf))-n:], as.stackArena[off:off+c])
+			addr += c
+			n -= c
+			continue
+		}
+		u := as.FindUnit(addr)
+		if u == nil {
+			return &Fault{Kind: FaultSegv, Addr: addr, Msg: "read of unmapped memory"}
+		}
+		off := addr - u.Base
+		c := n
+		if avail := u.Size - off; c > avail {
+			c = avail
+		}
+		copy(buf[uint64(len(buf))-n:], u.Data[off:off+c])
+		addr += c
+		n -= c
+	}
+	return nil
+}
+
+// RawWrite writes bytes starting at addr with no bounds checking — the
+// Standard (unsafe) semantics. Writes into heap headers mark the heap
+// corrupted; writes into stack canaries clobber them (detected at frame
+// pop); writes to read-only literals or unmapped memory fault immediately.
+func (as *AddressSpace) RawWrite(addr uint64, data []byte) *Fault {
+	n := uint64(len(data))
+	for n > 0 {
+		if as.stackMapped(addr) {
+			// Guard units alias the arena, so writes that reach a
+			// canary clobber it in place; PopFrame detects that.
+			off := addr - as.stackBase
+			avail := StackTop - addr
+			c := n
+			if c > avail {
+				c = avail
+			}
+			copy(as.stackArena[off:off+c], data[uint64(len(data))-n:])
+			addr += c
+			n -= c
+			continue
+		}
+		u := as.FindUnit(addr)
+		if u == nil {
+			return &Fault{Kind: FaultSegv, Addr: addr, Msg: "write to unmapped memory"}
+		}
+		if u.ReadOnly {
+			return &Fault{Kind: FaultSegv, Addr: addr, Msg: "write to read-only memory"}
+		}
+		off := addr - u.Base
+		c := n
+		if avail := u.Size - off; c > avail {
+			c = avail
+		}
+		copy(u.Data[off:off+c], data[uint64(len(data))-n:])
+		if u.Kind == KindHeapHeader {
+			as.heapCorrupted = true
+		}
+		u.clearShadowRange(off, c)
+		addr += c
+		n -= c
+	}
+	return nil
+}
+
+// --- Provenance shadow (pointer stores) ---
+
+// SetShadow records that the pointer stored at the given in-unit offset has
+// provenance prov.
+func (u *Unit) SetShadow(off uint64, prov *Unit) {
+	if u.shadow == nil {
+		u.shadow = map[uint64]*Unit{}
+	}
+	u.shadow[off] = prov
+}
+
+// GetShadow returns the provenance of a pointer loaded from the given
+// offset, or nil.
+func (u *Unit) GetShadow(off uint64) *Unit {
+	if u.shadow == nil {
+		return nil
+	}
+	return u.shadow[off]
+}
+
+// clearShadowRange invalidates shadow entries overlapping [off, off+n).
+func (u *Unit) clearShadowRange(off, n uint64) {
+	if len(u.shadow) == 0 {
+		return
+	}
+	lo := uint64(0)
+	if off >= 7 {
+		lo = off - 7
+	}
+	for a := lo; a < off+n; a++ {
+		delete(u.shadow, a)
+	}
+}
+
+// ClearShadowRange is the exported form used by checked stores.
+func (u *Unit) ClearShadowRange(off, n uint64) { u.clearShadowRange(off, n) }

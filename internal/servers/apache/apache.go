@@ -1,0 +1,349 @@
+// Package apache models Apache 2.0.47's mod_rewrite vulnerability [1]: the
+// rewrite engine holds pairs of capture offsets in a stack buffer with room
+// for ten captures, but the matcher writes the offsets of every capture the
+// configured pattern defines. A rewrite rule with more than ten captures
+// plus a URL that matches it make Apache write beyond the end of the
+// buffer. Because the substitution language only references $0..$9, the
+// failure-oblivious version — which discards the out-of-bounds offset
+// writes — produces exactly the right output (paper §4.3.2).
+package apache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+
+	"focc/fo"
+	"focc/internal/cc/token"
+	"focc/internal/interp"
+	"focc/internal/servers"
+)
+
+// Source is the Apache model's C code, including a small backtracking
+// pattern matcher with captures (pattern syntax: literal characters, '*'
+// matches any run, '(' ')' delimit non-nested captures).
+const Source = `
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+
+#define AP_MAX_REG_MATCH 10
+#define RX_MAXGROUPS 32
+
+struct regmatch { int rm_so; int rm_eo; };
+
+char rewritten_uri[512];
+char response_buf[1048576];
+int  response_len = 0;
+char file_buf[1048576];
+
+/* host: read a file from the document root. Returns size or -1. */
+int http_read_file(const char *path, char *buf, int bufsize);
+
+/* Backtracking matcher. Writes the offsets of group g into m[g+1] — with
+   no bound on g, which is the vulnerability: the caller's array only has
+   room for AP_MAX_REG_MATCH entries. */
+static int rx_rec(const char *pat, int pi, const char *str, int si,
+                  int *gopen, struct regmatch *m)
+{
+	int c = pat[pi];
+	int j, g;
+	if (c == '\0')
+		return str[si] == '\0';
+	if (c == '(') {
+		g = 0;
+		for (j = 0; j < pi; j++)
+			if (pat[j] == '(')
+				g++;
+		gopen[g] = si;
+		return rx_rec(pat, pi + 1, str, si, gopen, m);
+	}
+	if (c == ')') {
+		g = 0;
+		for (j = 0; j < pi; j++)
+			if (pat[j] == ')')
+				g++;
+		m[g + 1].rm_so = gopen[g];   /* unbounded store: the bug */
+		m[g + 1].rm_eo = si;
+		return rx_rec(pat, pi + 1, str, si, gopen, m);
+	}
+	if (c == '*') {
+		int end = si;
+		for (;;) {
+			if (rx_rec(pat, pi + 1, str, end, gopen, m))
+				return 1;
+			if (str[end] == '\0')
+				return 0;
+			end++;
+		}
+	}
+	if (str[si] == c)
+		return rx_rec(pat, pi + 1, str, si + 1, gopen, m);
+	return 0;
+}
+
+static int ap_regexec(const char *pat, const char *str, struct regmatch *pmatch)
+{
+	int gopen[RX_MAXGROUPS];
+	int i, ngroups = 0;
+	for (i = 0; pat[i] != '\0'; i++)
+		if (pat[i] == '(')
+			ngroups++;
+	if (!rx_rec(pat, 0, str, 0, gopen, pmatch))
+		return -1;
+	pmatch[0].rm_so = 0;
+	pmatch[0].rm_eo = (int) strlen(str);
+	return ngroups;
+}
+
+/* Apply one rewrite rule. Modeled on apply_rewrite_rule: the regmatch
+   buffer has room for ten captures; patterns may define more. */
+int apache_try_rewrite(const char *uri, const char *pattern, const char *subst)
+{
+	struct regmatch regmatch[AP_MAX_REG_MATCH];
+	int n, i, o = 0;
+	n = ap_regexec(pattern, uri, regmatch);
+	if (n < 0)
+		return 0;
+	for (i = 0; subst[i] != '\0' && o < (int)(sizeof(rewritten_uri)) - 1; i++) {
+		if (subst[i] == '$' && subst[i+1] >= '0' && subst[i+1] <= '9') {
+			int g = subst[i+1] - '0';
+			int j;
+			for (j = regmatch[g].rm_so;
+			     j < regmatch[g].rm_eo && o < (int)(sizeof(rewritten_uri)) - 1;
+			     j++)
+				rewritten_uri[o++] = uri[j];
+			i++;
+			continue;
+		}
+		rewritten_uri[o++] = subst[i];
+	}
+	rewritten_uri[o] = '\0';
+	return 1;
+}
+
+unsigned int mime_hash[8192];
+
+/* Child-process initialization: build the module lookup tables a child
+   constructs after fork (this is the process-management overhead that
+   makes restart-per-attack expensive for the Standard and Bounds Check
+   versions in the paper's throughput experiment, section 4.3.2). */
+int apache_child_init(void)
+{
+	unsigned int x = 12345;
+	int i;
+	for (i = 0; i < (int)(sizeof(mime_hash) / sizeof(mime_hash[0])); i++) {
+		x = x * 1103515245u + 12345u;
+		mime_hash[i] = x;
+	}
+	return 0;
+}
+
+/* Serve a static file: bulk copy dominated (Figure 3 workloads). */
+int apache_serve(const char *path)
+{
+	int n, hl;
+	n = http_read_file(path, file_buf, (int)(sizeof(file_buf)));
+	if (n < 0) {
+		response_len = snprintf(response_buf, sizeof(response_buf),
+			"HTTP/1.1 404 Not Found\r\nContent-Length: 13\r\n\r\n404 not found");
+		return 404;
+	}
+	hl = snprintf(response_buf, sizeof(response_buf),
+		"HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", n);
+	memcpy(&response_buf[hl], file_buf, (size_t) n);
+	response_len = hl + n;
+	return 200;
+}
+`
+
+var (
+	compileOnce sync.Once
+	prog        *fo.Program
+	compileErr  error
+)
+
+// Program returns the compiled Apache program.
+func Program() (*fo.Program, error) {
+	compileOnce.Do(func() {
+		prog, compileErr = fo.Compile("apache.c", Source)
+	})
+	return prog, compileErr
+}
+
+// Rule is one configured rewrite rule.
+type Rule struct {
+	Pattern string
+	Subst   string
+}
+
+// VulnerableRule returns a rewrite rule whose pattern defines ngroups
+// captures — more than the ten the offset buffer can hold when
+// ngroups > 9 (regmatch[0] holds the whole match).
+func VulnerableRule(ngroups int) Rule {
+	var pat, subst strings.Builder
+	pat.WriteString("/api")
+	for i := 0; i < ngroups; i++ {
+		pat.WriteString("/(*)")
+	}
+	subst.WriteString("/v2/$1/$2")
+	return Rule{Pattern: pat.String(), Subst: subst.String()}
+}
+
+// Server is the Apache model: a compiled program plus configuration (the
+// rewrite rules and the virtual document root).
+type Server struct {
+	Rules   []Rule
+	DocRoot map[string]string
+}
+
+// NewServer returns an Apache server configured with a benign rewrite rule,
+// the vulnerable many-captures rule, and the Figure 3 document root (a
+// 5 KByte home page and an 830 KByte file).
+func NewServer() *Server {
+	return &Server{
+		Rules: []Rule{
+			{Pattern: "/old/(*)", Subst: "/pages/$1"},
+			VulnerableRule(16),
+		},
+		DocRoot: map[string]string{
+			"/index.html":  strings.Repeat("<p>project home page</p>\n", 256)[:5*1024],
+			"/pages/a":     "page A",
+			"/v2/x/x":      "api v2 endpoint",
+			"/files/big":   strings.Repeat("0123456789abcdef", 830*1024/16),
+			"/files/small": strings.Repeat("x", 512),
+		},
+	}
+}
+
+// Name implements servers.Server.
+func (s *Server) Name() string { return "apache" }
+
+// Instance is one Apache child process.
+type Instance struct {
+	servers.Base
+	srv *Server
+}
+
+// New implements servers.Server: it creates one child process.
+func (s *Server) New(mode fo.Mode) (servers.Instance, error) {
+	p, err := Program()
+	if err != nil {
+		return nil, err
+	}
+	log := fo.NewEventLog(0)
+	m, err := p.NewMachine(fo.MachineConfig{
+		Mode: mode,
+		Log:  log,
+		Builtins: map[string]interp.BuiltinFunc{
+			"http_read_file": s.readFile,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res := m.Call("apache_child_init"); res.Outcome != fo.OutcomeOK {
+		return nil, fmt.Errorf("apache child init: %v (%v)", res.Outcome, res.Err)
+	}
+	return &Instance{
+		Base: servers.Base{ServerName: "apache", M: m, EvLog: log},
+		srv:  s,
+	}, nil
+}
+
+// readFile is the host (filesystem) side of apache_serve.
+func (s *Server) readFile(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	path, err := m.ReadCString(args[0], 4096)
+	if err != nil {
+		return interp.Int(-1)
+	}
+	content, ok := s.DocRoot[path]
+	if !ok {
+		return interp.Int(-1)
+	}
+	n := int(args[2].I)
+	if len(content) > n {
+		content = content[:n]
+	}
+	// The kernel writes the file into the caller's buffer; charge the
+	// simulated clock for the device + copy work (identical in every
+	// mode, which is what amortizes the checking overhead away on
+	// I/O-dominated requests — paper §4.7).
+	m.AddressSpace().RawWrite(args[1].Ptr.Addr, []byte(content))
+	m.ChargeCycles(uint64(len(content))/8 + 50_000)
+	return interp.Int(int64(len(content)))
+}
+
+// Handle implements servers.Instance. Op "GET" serves req.Arg as a URI.
+func (inst *Instance) Handle(req servers.Request) servers.Response {
+	if req.Op != "GET" {
+		return servers.Response{Outcome: fo.OutcomeOK, Status: 400, Body: "bad request"}
+	}
+	uri := req.Arg
+	path := uri
+	for _, r := range inst.srv.Rules {
+		u := inst.M.NewCString(uri)
+		pat := inst.M.NewCString(r.Pattern)
+		sub := inst.M.NewCString(r.Subst)
+		res := inst.M.Call("apache_try_rewrite", u, pat, sub)
+		if res.Outcome != fo.OutcomeOK {
+			return servers.Response{Outcome: res.Outcome, Err: res.Err}
+		}
+		if res.Value.I == 1 {
+			rw, err := inst.M.ReadCString(inst.globalPtr("rewritten_uri"), 511)
+			if err == nil {
+				path = rw
+			}
+			break
+		}
+	}
+	res := inst.M.Call("apache_serve", inst.M.NewCString(path))
+	if res.Outcome != fo.OutcomeOK {
+		return servers.Response{Outcome: res.Outcome, Err: res.Err}
+	}
+	return servers.Response{
+		Outcome: fo.OutcomeOK,
+		Status:  int(res.Value.I),
+		Body:    inst.responseBody(),
+	}
+}
+
+func (inst *Instance) globalPtr(name string) fo.Value {
+	u, _ := inst.M.GlobalUnit(name)
+	return interp.UnitPointer(u)
+}
+
+func (inst *Instance) responseBody() string {
+	buf, ok := inst.M.GlobalUnit("response_buf")
+	if !ok {
+		return ""
+	}
+	lenU, ok := inst.M.GlobalUnit("response_len")
+	if !ok {
+		return ""
+	}
+	n := int(int32(binary.LittleEndian.Uint32(lenU.Data[:4])))
+	if n < 0 || n > len(buf.Data) {
+		n = 0
+	}
+	return string(buf.Data[:n])
+}
+
+// LegitRequests implements servers.Server (the Figure 3 workloads).
+func (s *Server) LegitRequests() []servers.Request {
+	return []servers.Request{
+		{Op: "GET", Arg: "/index.html"}, // Small: the 5KB home page
+		{Op: "GET", Arg: "/files/big"},  // Large: the 830KB file
+	}
+}
+
+// AttackRequest implements servers.Server: a URI matching the configured
+// sixteen-capture rule.
+func (s *Server) AttackRequest() servers.Request {
+	parts := make([]string, 16)
+	for i := range parts {
+		parts[i] = "x"
+	}
+	return servers.Request{Op: "GET", Arg: "/api/" + strings.Join(parts, "/")}
+}

@@ -1,0 +1,126 @@
+package apache
+
+import (
+	"strings"
+	"testing"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+func newInstance(t *testing.T, mode fo.Mode) servers.Instance {
+	t.Helper()
+	inst, err := NewServer().New(mode)
+	if err != nil {
+		t.Fatalf("New(%v): %v", mode, err)
+	}
+	return inst
+}
+
+func TestCompiles(t *testing.T) {
+	if _, err := Program(); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestServeHomePage(t *testing.T) {
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		inst := newInstance(t, mode)
+		resp := inst.Handle(servers.Request{Op: "GET", Arg: "/index.html"})
+		if !resp.OK() || resp.Status != 200 {
+			t.Errorf("%v: GET /index.html = %v", mode, resp)
+			continue
+		}
+		if !strings.HasPrefix(resp.Body, "HTTP/1.1 200 OK\r\n") {
+			t.Errorf("%v: bad response prefix %.40q", mode, resp.Body)
+		}
+		if !strings.Contains(resp.Body, "project home page") {
+			t.Errorf("%v: body missing content", mode)
+		}
+	}
+}
+
+func TestServeLargeFile(t *testing.T) {
+	inst := newInstance(t, fo.FailureOblivious)
+	resp := inst.Handle(servers.Request{Op: "GET", Arg: "/files/big"})
+	if !resp.OK() || resp.Status != 200 {
+		t.Fatalf("GET big = %v", resp)
+	}
+	if len(resp.Body) < 830*1024 {
+		t.Errorf("large body = %d bytes, want >= 830KB", len(resp.Body))
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	inst := newInstance(t, fo.BoundsCheck)
+	resp := inst.Handle(servers.Request{Op: "GET", Arg: "/nope"})
+	if !resp.OK() || resp.Status != 404 {
+		t.Errorf("GET /nope = %v, want 404", resp)
+	}
+}
+
+func TestBenignRewrite(t *testing.T) {
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		inst := newInstance(t, mode)
+		resp := inst.Handle(servers.Request{Op: "GET", Arg: "/old/a"})
+		if !resp.OK() || resp.Status != 200 {
+			t.Errorf("%v: GET /old/a = %v, want rewritten 200", mode, resp)
+			continue
+		}
+		if !strings.Contains(resp.Body, "page A") {
+			t.Errorf("%v: rewrite served wrong content: %.60q", mode, resp.Body)
+		}
+	}
+}
+
+func TestAttackOutcomesPerMode(t *testing.T) {
+	srv := NewServer()
+	attack := srv.AttackRequest()
+
+	std := newInstance(t, fo.Standard)
+	resp := std.Handle(attack)
+	if resp.Outcome != fo.OutcomeStackSmash && resp.Outcome != fo.OutcomeSegfault {
+		t.Errorf("standard: outcome = %v (%v), want stack smash/segfault", resp.Outcome, resp.Err)
+	}
+
+	bc := newInstance(t, fo.BoundsCheck)
+	resp = bc.Handle(attack)
+	if resp.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds: outcome = %v, want termination (child process dies)", resp.Outcome)
+	}
+
+	foi := newInstance(t, fo.FailureOblivious)
+	resp = foi.Handle(attack)
+	if !resp.OK() {
+		t.Fatalf("oblivious: crashed: %v", resp)
+	}
+	// Paper §4.3.2: the memory errors occur in irrelevant data (offsets
+	// beyond $9 are never referenced), so the rewrite output is fully
+	// correct: /v2/$1/$2 with the first two captures.
+	if resp.Status != 200 || !strings.Contains(resp.Body, "api v2 endpoint") {
+		t.Errorf("oblivious: attack request served %v, want correct /v2/x/x content... body=%.60q",
+			resp.Status, resp.Body)
+	}
+	if foi.Log().InvalidWrites() == 0 {
+		t.Error("oblivious: expected discarded offset writes in the log")
+	}
+	// Subsequent legitimate requests unaffected.
+	resp = foi.Handle(servers.Request{Op: "GET", Arg: "/index.html"})
+	if !resp.OK() || resp.Status != 200 {
+		t.Errorf("oblivious: post-attack GET = %v", resp)
+	}
+}
+
+func TestAttackRewriteProducesCorrectSubstitution(t *testing.T) {
+	// /api/x/x/... under FO must rewrite to /v2/x/x exactly.
+	srv := NewServer()
+	srv.DocRoot["/v2/x/x"] = "vee two"
+	inst, err := srv.New(fo.FailureOblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := inst.Handle(srv.AttackRequest())
+	if !resp.OK() || resp.Status != 200 || !strings.Contains(resp.Body, "vee two") {
+		t.Errorf("attack rewrite = %v", resp)
+	}
+}

@@ -1,0 +1,421 @@
+// Package mc models Midnight Commander 4.5.55's tgz symbolic-link
+// vulnerability [5]: converting absolute symlinks in a tgz archive to
+// relative links builds the relative name with strcat in a stack buffer
+// that is never initialized, so the component names of successive links
+// accumulate; when their combined length exceeds the buffer, strcat writes
+// beyond its end. The subsequent VFS lookup always fails — an anticipated
+// case MC displays as a dangling link (paper §4.5.2).
+//
+// The package also models the paper's §4.5.4 observation: a blank line in
+// the configuration file triggers a memory error that completely disables
+// the Bounds Check version until the blank lines are removed.
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"focc/fo"
+	"focc/internal/cc/token"
+	"focc/internal/core"
+	"focc/internal/interp"
+	"focc/internal/servers"
+)
+
+// Source is the Midnight Commander model's C code.
+const Source = `
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+
+#define MC_MAXPATHLEN 128
+
+char status_msg[256];
+char copy_store[1048576];
+int  copy_used = 0;
+
+/* host VFS */
+int tgz_link_target(int idx, char *buf, int bufsize);
+int vfs_lookup(const char *path);
+int vfs_read_chunk(const char *path, int off, char *buf, int n);
+int vfs_unlink(const char *path);
+int vfs_rename(const char *from, const char *to);
+int vfs_mkdir(const char *path);
+
+/* Convert absolute symlinks in a tgz archive to relative links.
+   BUG (mc 4.5.55 [5]): buf is never initialized and never reset, so the
+   component names of all links accumulate; enough links overflow it. */
+int mc_process_tgz_links(int nlinks)
+{
+	int i, rc, dangling = 0;
+	char name[64];
+	char buf[MC_MAXPATHLEN];     /* never initialized */
+	for (i = 0; i < nlinks; i++) {
+		rc = tgz_link_target(i, name, (int)(sizeof(name)));
+		if (rc != 0)
+			continue;
+		strcat(buf, "../");
+		strcat(buf, name);
+		if (vfs_lookup(buf) != 0)
+			dangling++;          /* anticipated: shown as dangling link */
+	}
+	snprintf(status_msg, sizeof(status_msg), "%d links, %d dangling", nlinks, dangling);
+	return dangling;
+}
+
+/* Parse one config line "key=value". BUG (paper 4.5.4): on a blank line
+   (len == 0), the continuation check reads line[-1]. */
+static int mc_config_line(const char *line, int len)
+{
+	char key[64];
+	int i = 0, k = 0;
+	if (line[len - 1] == '\\')
+		return -2;               /* continuation line */
+	if (len == 0)
+		return -1;               /* blank */
+	while (i < len && line[i] != '=') {
+		if (k < (int)(sizeof(key)) - 1)
+			key[k++] = line[i];
+		i++;
+	}
+	if (i >= len)
+		return -1;               /* no '=': ignored */
+	key[k] = '\0';
+	return 0;
+}
+
+int mc_load_config(const char *cfg)
+{
+	char line[128];
+	int i = 0, k, rc, ok = 0;
+	while (cfg[i] != '\0') {
+		k = 0;
+		while (cfg[i] != '\0' && cfg[i] != '\n') {
+			if (k < (int)(sizeof(line)) - 1)
+				line[k++] = cfg[i];
+			i++;
+		}
+		if (cfg[i] == '\n')
+			i++;
+		line[k] = '\0';
+		rc = mc_config_line(line, k);
+		if (rc == 0)
+			ok++;
+	}
+	return ok;
+}
+
+/* Copy a file: chunked bulk copy with per-chunk verification over the
+   chunk header region (the Copy request of Figure 5). */
+int mc_copy_file(const char *path, int size)
+{
+	char chunk[4096];
+	int off = 0, n, i;
+	unsigned int sum = 0;
+	if (size > (int)(sizeof(copy_store)))
+		size = sizeof(copy_store);
+	while (off < size) {
+		n = size - off;
+		if (n > (int)(sizeof(chunk)))
+			n = sizeof(chunk);
+		n = vfs_read_chunk(path, off, chunk, n);
+		if (n <= 0)
+			break;
+		for (i = 0; i < n && i < 160; i++)
+			sum = sum * 31u + (unsigned char) chunk[i];
+		memcpy(&copy_store[off], chunk, (size_t) n);
+		off += n;
+	}
+	copy_used = off;
+	snprintf(status_msg, sizeof(status_msg), "copied %d bytes of %s (sum %u)",
+	         off, path, sum);
+	return off;
+}
+
+/* Validate a path: per-character scan rejecting control characters and
+   collapsing duplicate slashes into the canonical form. */
+static int validate_path(const char *path, char *out, int outlen)
+{
+	int i = 0, o = 0;
+	int prev_slash = 0;
+	while (path[i] != '\0') {
+		char c = path[i];
+		if (c < 0x20)
+			return -1;
+		if (c == '/') {
+			if (!prev_slash && o < outlen - 1)
+				out[o++] = c;
+			prev_slash = 1;
+		} else {
+			prev_slash = 0;
+			if (o < outlen - 1)
+				out[o++] = c;
+		}
+		i++;
+	}
+	out[o] = '\0';
+	return o;
+}
+
+int mc_move_file(const char *from, const char *to)
+{
+	char cfrom[MC_MAXPATHLEN], cto[MC_MAXPATHLEN];
+	if (validate_path(from, cfrom, (int)(sizeof(cfrom))) < 0)
+		return -1;
+	if (validate_path(to, cto, (int)(sizeof(cto))) < 0)
+		return -1;
+	return vfs_rename(cfrom, cto);
+}
+
+int mc_mkdir(const char *path)
+{
+	char cpath[MC_MAXPATHLEN];
+	char display[MC_MAXPATHLEN * 2];
+	int n, i, o = 0;
+	n = validate_path(path, cpath, (int)(sizeof(cpath)));
+	if (n < 0)
+		return -1;
+	/* build the "Directory <x> created" status one character at a time */
+	for (i = 0; i < n; i++) {
+		display[o++] = cpath[i];
+		if (cpath[i] == '/')
+			display[o++] = ' ';
+	}
+	display[o] = '\0';
+	snprintf(status_msg, sizeof(status_msg), "mkdir %s", display);
+	return vfs_mkdir(cpath);
+}
+
+int mc_delete_file(const char *path)
+{
+	return vfs_unlink(path);
+}
+`
+
+var (
+	compileOnce sync.Once
+	prog        *fo.Program
+	compileErr  error
+)
+
+// Program returns the compiled Midnight Commander program.
+func Program() (*fo.Program, error) {
+	compileOnce.Do(func() {
+		prog, compileErr = fo.Compile("mc.c", Source)
+	})
+	return prog, compileErr
+}
+
+// Server is the Midnight Commander model: a compiled program plus a
+// host-side virtual filesystem and the currently opened tgz archive.
+type Server struct {
+	FS    map[string][]byte
+	Links []string // component names of the opened archive's symlinks
+}
+
+// NewServer returns an MC server with a populated virtual filesystem.
+func NewServer() *Server {
+	fs := map[string][]byte{
+		"/home/user/notes.txt": []byte("some notes\n"),
+		"/home/user/big.dat":   []byte(strings.Repeat("Z", 256*1024)),
+		"/tmp/small.dat":       []byte(strings.Repeat("y", 3*1024)),
+	}
+	return &Server{FS: fs}
+}
+
+// Name implements servers.Server.
+func (s *Server) Name() string { return "mc" }
+
+// Instance is one MC process.
+type Instance struct {
+	servers.Base
+	srv *Server
+}
+
+// New implements servers.Server.
+func (s *Server) New(mode fo.Mode) (servers.Instance, error) {
+	p, err := Program()
+	if err != nil {
+		return nil, err
+	}
+	log := fo.NewEventLog(0)
+	m, err := p.NewMachine(fo.MachineConfig{
+		Mode: mode,
+		Log:  log,
+		Builtins: map[string]interp.BuiltinFunc{
+			"tgz_link_target": s.tgzLinkTarget,
+			"vfs_lookup":      s.vfsLookup,
+			"vfs_read_chunk":  s.vfsReadChunk,
+			"vfs_unlink":      s.vfsUnlink,
+			"vfs_rename":      s.vfsRename,
+			"vfs_mkdir":       s.vfsMkdir,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Base: servers.Base{ServerName: "mc", M: m, EvLog: log},
+		srv:  s,
+	}, nil
+}
+
+func (s *Server) tgzLinkTarget(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	idx := int(args[0].I)
+	if idx < 0 || idx >= len(s.Links) {
+		return interp.Int(-1)
+	}
+	name := s.Links[idx]
+	n := int(args[2].I)
+	if len(name) > n-1 {
+		name = name[:n-1]
+	}
+	b := append([]byte(name), 0)
+	m.AddressSpace().RawWrite(args[1].Ptr.Addr, b)
+	return interp.Int(0)
+}
+
+// readGuestString reads a C string through the machine's checked access
+// path, so failure-oblivious reads of a corrupted path see manufactured
+// values exactly as instrumented code would.
+func readGuestString(m *interp.Machine, v interp.Value, pos token.Pos) string {
+	var out []byte
+	for i := int64(0); i < 4096; i++ {
+		var b [1]byte
+		m.LoadBytes(offPtr(v, i), b[:], pos)
+		if b[0] == 0 {
+			break
+		}
+		out = append(out, b[0])
+	}
+	return string(out)
+}
+
+func offPtr(v interp.Value, i int64) core.Pointer {
+	p := v.Ptr
+	p.Addr += uint64(i)
+	return p
+}
+
+func (s *Server) vfsLookup(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	path := readGuestString(m, args[0], pos)
+	if _, ok := s.FS[path]; ok {
+		return interp.Int(0)
+	}
+	return interp.Int(-1)
+}
+
+func (s *Server) vfsReadChunk(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	path := readGuestString(m, args[0], pos)
+	off := int(args[1].I)
+	n := int(args[3].I)
+	content, ok := s.FS[path]
+	if !ok || off >= len(content) {
+		return interp.Int(-1)
+	}
+	chunk := content[off:]
+	if len(chunk) > n {
+		chunk = chunk[:n]
+	}
+	m.AddressSpace().RawWrite(args[2].Ptr.Addr, chunk)
+	m.ChargeCycles(uint64(len(chunk))/8 + 2_500) // device + kernel copy
+	return interp.Int(int64(len(chunk)))
+}
+
+func (s *Server) vfsUnlink(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	path := readGuestString(m, args[0], pos)
+	if _, ok := s.FS[path]; !ok {
+		m.ChargeCycles(30_000) // unlink(2) incl. metadata work
+		return interp.Int(-1)
+	}
+	delete(s.FS, path)
+	m.ChargeCycles(30_000)
+	return interp.Int(0)
+}
+
+func (s *Server) vfsRename(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	m.ChargeCycles(2_000) // rename(2)
+	from := readGuestString(m, args[0], pos)
+	to := readGuestString(m, args[1], pos)
+	content, ok := s.FS[from]
+	if !ok {
+		return interp.Int(-1)
+	}
+	delete(s.FS, from)
+	s.FS[to] = content
+	return interp.Int(0)
+}
+
+func (s *Server) vfsMkdir(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	path := readGuestString(m, args[0], pos)
+	if path == "" {
+		return interp.Int(-1)
+	}
+	s.FS[path+"/"] = nil
+	m.ChargeCycles(2_000) // mkdir(2)
+	return interp.Int(0)
+}
+
+// Handle implements servers.Instance. Ops: open-tgz (Arg = comma-separated
+// link components), config (Payload = config text), copy, move (Arg =
+// "from:to"), mkdir, delete.
+func (inst *Instance) Handle(req servers.Request) servers.Response {
+	switch req.Op {
+	case "open-tgz":
+		inst.srv.Links = nil
+		if req.Arg != "" {
+			inst.srv.Links = strings.Split(req.Arg, ",")
+		}
+		res := inst.M.Call("mc_process_tgz_links", fo.Int(int64(len(inst.srv.Links))))
+		return inst.ResponseFromResult(res, "status_msg")
+	case "config":
+		return inst.ResponseFromResult(inst.CallString("mc_load_config", req.Payload), "")
+	case "copy":
+		size := len(inst.srv.FS[req.Arg])
+		s := inst.M.NewCString(req.Arg)
+		res := inst.M.Call("mc_copy_file", s, fo.Int(int64(size)))
+		return inst.ResponseFromResult(res, "status_msg")
+	case "move":
+		parts := strings.SplitN(req.Arg, ":", 2)
+		if len(parts) != 2 {
+			return servers.Response{Outcome: fo.OutcomeOK, Status: -1, Body: "bad move"}
+		}
+		from := inst.M.NewCString(parts[0])
+		to := inst.M.NewCString(parts[1])
+		return inst.ResponseFromResult(inst.M.Call("mc_move_file", from, to), "")
+	case "mkdir":
+		return inst.ResponseFromResult(inst.CallString("mc_mkdir", req.Arg), "status_msg")
+	case "delete":
+		return inst.ResponseFromResult(inst.CallString("mc_delete_file", req.Arg), "")
+	default:
+		return servers.Response{Outcome: fo.OutcomeOK, Status: -1,
+			Body: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// LegitRequests implements servers.Server (the Figure 5 workloads).
+func (s *Server) LegitRequests() []servers.Request {
+	return []servers.Request{
+		{Op: "copy", Arg: "/home/user/big.dat"},
+		{Op: "move", Arg: "/home/user/notes.txt:/tmp/notes.txt"},
+		{Op: "mkdir", Arg: "/home/user//new//dir"},
+		{Op: "delete", Arg: "/tmp/small.dat"},
+	}
+}
+
+// AttackRequest implements servers.Server: a tgz archive whose symlink
+// component names sum to far more than MC_MAXPATHLEN.
+func (s *Server) AttackRequest() servers.Request {
+	parts := make([]string, 25)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("component-%04d", i)
+	}
+	return servers.Request{Op: "open-tgz", Arg: strings.Join(parts, ",")}
+}
+
+// BlankConfig returns a configuration file containing blank lines (the
+// paper's §4.5.4 trigger).
+func BlankConfig() string {
+	return "color=base\n\nconfirm_delete=1\n\nshow_hidden=0\n"
+}

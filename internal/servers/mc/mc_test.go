@@ -1,0 +1,133 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+func newInstance(t *testing.T, mode fo.Mode) (*Server, *Instance) {
+	t.Helper()
+	srv := NewServer()
+	inst, err := srv.New(mode)
+	if err != nil {
+		t.Fatalf("New(%v): %v", mode, err)
+	}
+	return srv, inst.(*Instance)
+}
+
+func TestCompiles(t *testing.T) {
+	if _, err := Program(); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestCopyFile(t *testing.T) {
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		_, inst := newInstance(t, mode)
+		resp := inst.Handle(servers.Request{Op: "copy", Arg: "/home/user/big.dat"})
+		if !resp.OK() || resp.Status != 256*1024 {
+			t.Errorf("%v: copy = %v, want %d bytes", mode, resp, 256*1024)
+		}
+	}
+}
+
+func TestMoveMkdirDelete(t *testing.T) {
+	srv, inst := newInstance(t, fo.BoundsCheck)
+	resp := inst.Handle(servers.Request{Op: "move", Arg: "/home/user/notes.txt:/tmp/notes.txt"})
+	if !resp.OK() || resp.Status != 0 {
+		t.Fatalf("move = %v", resp)
+	}
+	if _, ok := srv.FS["/tmp/notes.txt"]; !ok {
+		t.Error("move did not land in the VFS")
+	}
+	resp = inst.Handle(servers.Request{Op: "mkdir", Arg: "/a//b///c"})
+	if !resp.OK() || resp.Status != 0 {
+		t.Fatalf("mkdir = %v", resp)
+	}
+	if _, ok := srv.FS["/a/b/c/"]; !ok {
+		t.Error("mkdir path not canonicalized to /a/b/c")
+	}
+	resp = inst.Handle(servers.Request{Op: "delete", Arg: "/tmp/small.dat"})
+	if !resp.OK() || resp.Status != 0 {
+		t.Fatalf("delete = %v", resp)
+	}
+}
+
+func TestTgzAttackOutcomesPerMode(t *testing.T) {
+	srv := NewServer()
+	attack := srv.AttackRequest()
+
+	_, std := newInstance(t, fo.Standard)
+	resp := std.Handle(attack)
+	if resp.Outcome != fo.OutcomeStackSmash && resp.Outcome != fo.OutcomeSegfault {
+		t.Errorf("standard: outcome = %v (%v), want stack smash/segfault", resp.Outcome, resp.Err)
+	}
+
+	_, bc := newInstance(t, fo.BoundsCheck)
+	resp = bc.Handle(attack)
+	if resp.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds: outcome = %v, want termination", resp.Outcome)
+	}
+
+	_, foi := newInstance(t, fo.FailureOblivious)
+	resp = foi.Handle(attack)
+	if !resp.OK() {
+		t.Fatalf("oblivious: crashed: %v", resp)
+	}
+	// Every link shows as dangling (the anticipated case) and the user
+	// can continue working.
+	if resp.Status != 25 {
+		t.Errorf("oblivious: dangling = %d, want 25", resp.Status)
+	}
+	resp = foi.Handle(servers.Request{Op: "copy", Arg: "/home/user/big.dat"})
+	if !resp.OK() || resp.Status != 256*1024 {
+		t.Errorf("oblivious: post-attack copy = %v", resp)
+	}
+}
+
+func TestBlankConfigLine(t *testing.T) {
+	// Paper §4.5.4: a blank config line commits a memory error that
+	// disables the Bounds Check version; Standard executes it benignly;
+	// Failure Oblivious logs it and keeps going.
+	_, std := newInstance(t, fo.Standard)
+	resp := std.Handle(servers.Request{Op: "config", Payload: BlankConfig()})
+	if !resp.OK() || resp.Status != 3 {
+		t.Errorf("standard config = %v, want 3 parsed entries", resp)
+	}
+
+	_, bc := newInstance(t, fo.BoundsCheck)
+	resp = bc.Handle(servers.Request{Op: "config", Payload: BlankConfig()})
+	if resp.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds config = %v, want termination", resp.Outcome)
+	}
+	// Removing the blank lines re-enables it (what the authors had to do).
+	_, bc2 := newInstance(t, fo.BoundsCheck)
+	clean := strings.ReplaceAll(BlankConfig(), "\n\n", "\n")
+	resp = bc2.Handle(servers.Request{Op: "config", Payload: clean})
+	if !resp.OK() || resp.Status != 3 {
+		t.Errorf("bounds clean config = %v, want 3", resp)
+	}
+
+	_, foi := newInstance(t, fo.FailureOblivious)
+	resp = foi.Handle(servers.Request{Op: "config", Payload: BlankConfig()})
+	if !resp.OK() || resp.Status != 3 {
+		t.Errorf("oblivious config = %v, want 3", resp)
+	}
+	if foi.Log().InvalidReads() == 0 {
+		t.Error("oblivious: expected logged invalid reads for blank lines")
+	}
+}
+
+func TestFirstLinkLookupFailsEvenWhenInBounds(t *testing.T) {
+	// Paper §4.5.2: the lookup fails "apparently even for the first
+	// symbolic link" — the relative prefix makes the name miss the VFS.
+	srv, inst := newInstance(t, fo.FailureOblivious)
+	srv.Links = nil
+	resp := inst.Handle(servers.Request{Op: "open-tgz", Arg: "notes.txt"})
+	if !resp.OK() || resp.Status != 1 {
+		t.Errorf("single link = %v, want 1 dangling", resp)
+	}
+}

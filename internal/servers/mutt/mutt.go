@@ -1,0 +1,332 @@
+// Package mutt models Mutt 1.4's IMAP folder-open path, whose
+// utf8_to_utf7 conversion (the paper's Figure 1, reproduced below nearly
+// verbatim) allocates a buffer assuming a worst-case expansion ratio of 2
+// when the real worst case is 7/3 — so an appropriately constructed UTF-8
+// folder name writes past the end of the heap buffer [7].
+package mutt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"focc/fo"
+	"focc/internal/cc/token"
+	"focc/internal/interp"
+	"focc/internal/servers"
+)
+
+// Source is the server's C code. utf8_to_utf7 follows the paper's Figure 1.
+const Source = `
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+
+static char B64Chars[64] = {
+	'A','B','C','D','E','F','G','H','I','J','K','L','M','N','O','P',
+	'Q','R','S','T','U','V','W','X','Y','Z','a','b','c','d','e','f',
+	'g','h','i','j','k','l','m','n','o','p','q','r','s','t','u','v',
+	'w','x','y','z','0','1','2','3','4','5','6','7','8','9','+',','
+};
+
+/* Paper Figure 1: string encoding conversion procedure from Mutt 1.4.
+   The allocation below is the bug: a safe length would be u8len*4+1
+   (the worst-case increase ratio is 7/3, not 2). */
+static char *utf8_to_utf7(const char *u8, size_t u8len)
+{
+	char *buf, *p;
+	int ch, n, i, b = 0, k = 0, base64 = 0;
+
+	p = buf = safe_malloc(u8len * 2 + 1);
+	while (u8len) {
+		unsigned char c = *u8;
+		if (c < 0x80) { ch = c; n = 0; }
+		else if (c < 0xc2) goto bail;
+		else if (c < 0xe0) { ch = c & 0x1f; n = 1; }
+		else if (c < 0xf0) { ch = c & 0x0f; n = 2; }
+		else if (c < 0xf8) { ch = c & 0x07; n = 3; }
+		else if (c < 0xfc) { ch = c & 0x03; n = 4; }
+		else if (c < 0xfe) { ch = c & 0x01; n = 5; }
+		else goto bail;
+		u8++; u8len--;
+		if (n > u8len) goto bail;
+		for (i = 0; i < n; i++) {
+			if ((u8[i] & 0xc0) != 0x80) goto bail;
+			ch = (ch << 6) | (u8[i] & 0x3f);
+		}
+		if (n > 1 && !(ch >> (n * 5 + 1))) goto bail;
+		u8 += n; u8len -= n;
+		if (ch < 0x20 || ch >= 0x7f) {
+			if (!base64) {
+				*p++ = '&';
+				base64 = 1;
+				b = 0;
+				k = 10;
+			}
+			if (ch & ~0xffff) ch = 0xfffe;
+			*p++ = B64Chars[b | ch >> k];
+			k -= 6;
+			for (; k >= 0; k -= 6)
+				*p++ = B64Chars[(ch >> k) & 0x3f];
+			b = (ch << (-k)) & 0x3f;
+			k += 16;
+		} else {
+			if (base64) {
+				if (k > 10) *p++ = B64Chars[b];
+				*p++ = '-';
+				base64 = 0;
+			}
+			*p++ = ch;
+			if (ch == '&') *p++ = '-';
+		}
+	}
+	if (base64) {
+		if (k > 10) *p++ = B64Chars[b];
+		*p++ = '-';
+	}
+	*p++ = '\0';
+	safe_realloc((void **)&buf, p - buf);
+	return buf;
+bail:
+	safe_free((void **)&buf);
+	return 0;
+}
+
+char imap_cmd[1024];
+char imap_status[128];
+char display_buf[8192];
+char folder_store[65536];
+int  folder_used = 0;
+
+/* host (network) call: int imap_exec(const char *cmd, char *status, int n); */
+int imap_exec(const char *cmd, char *status, int n);
+
+/* Open a mail folder over IMAP. Returns 0 on success, -1 when the server
+   rejects the folder (anticipated error), -2 for an invalid name. */
+int mutt_select_folder(const char *name)
+{
+	char *utf7;
+	int rc;
+	utf7 = utf8_to_utf7(name, strlen(name));
+	if (!utf7)
+		return -2;
+	snprintf(imap_cmd, sizeof(imap_cmd), "a01 SELECT \"%s\"", utf7);
+	safe_free((void **)&utf7);
+	rc = imap_exec(imap_cmd, imap_status, sizeof(imap_status));
+	if (rc != 0)
+		return -1;
+	return 0;
+}
+
+unsigned char mutt_xlat[256];
+int mutt_xlat_ready = 0;
+
+static void mutt_init_xlat(void)
+{
+	int i;
+	for (i = 0; i < 256; i++)
+		mutt_xlat[i] = (unsigned char) i;
+	mutt_xlat_ready = 1;
+}
+
+/* Display a message: header unfolding, CR stripping, and charset
+   translation, one character at a time (the per-character work that
+   dominates the Read request). */
+int mutt_read_message(const char *raw)
+{
+	int i = 0, o = 0;
+	int c;
+	if (!mutt_xlat_ready)
+		mutt_init_xlat();
+	while (raw[i] != '\0' && o < (int)(sizeof(display_buf)) - 2) {
+		c = (unsigned char) raw[i];
+		if (c == '\r') { i++; continue; }
+		if (c == '\n' && raw[i+1] == ' ') {
+			display_buf[o++] = ' ';
+			i += 2;
+			while (raw[i] == ' ' || raw[i] == '\t') i++;
+			continue;
+		}
+		display_buf[o++] = (char) mutt_xlat[c];
+		i++;
+	}
+	display_buf[o] = '\0';
+	return o;
+}
+
+/* Move a message between folders: bulk copy plus a header scan to find
+   the body boundary (a short per-character pass over the headers). */
+int mutt_move_message(const char *raw, int len)
+{
+	int i, hdr_end = 0;
+	if (len > (int)(sizeof(folder_store)))
+		len = sizeof(folder_store);
+	for (i = 0; i + 1 < len && i < 64; i++) {
+		if (raw[i] == '\n' && raw[i+1] == '\n') {
+			hdr_end = i + 2;
+			break;
+		}
+	}
+	memcpy(folder_store, raw, (size_t) len);
+	folder_used = len;
+	return len + 0 * hdr_end;
+}
+`
+
+var (
+	compileOnce sync.Once
+	prog        *fo.Program
+	compileErr  error
+)
+
+// Program returns the compiled Mutt program (compiled once per process).
+func Program() (*fo.Program, error) {
+	compileOnce.Do(func() {
+		prog, compileErr = fo.Compile("mutt.c", Source)
+	})
+	return prog, compileErr
+}
+
+// Server is the Mutt model: a compiled program plus the IMAP-side folder
+// namespace the driver simulates.
+type Server struct {
+	Folders map[string]bool
+}
+
+// NewServer returns a Mutt server with a conventional folder set.
+func NewServer() *Server {
+	return &Server{Folders: map[string]bool{
+		"INBOX": true, "Sent": true, "Drafts": true, "Archive": true,
+	}}
+}
+
+// Name implements servers.Server.
+func (s *Server) Name() string { return "mutt" }
+
+// Instance is one running Mutt process.
+type Instance struct {
+	servers.Base
+	srv *Server
+}
+
+// New implements servers.Server.
+func (s *Server) New(mode fo.Mode) (servers.Instance, error) {
+	p, err := Program()
+	if err != nil {
+		return nil, err
+	}
+	log := fo.NewEventLog(0)
+	m, err := p.NewMachine(fo.MachineConfig{
+		Mode: mode,
+		Log:  log,
+		Builtins: map[string]interp.BuiltinFunc{
+			"imap_exec": s.imapExec,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Base: servers.Base{ServerName: "mutt", M: m, EvLog: log},
+		srv:  s,
+	}, nil
+}
+
+// imapExec simulates the IMAP server side of a SELECT exchange: parse the
+// folder out of the command, look it up, and write a status line back into
+// the client's buffer.
+func (s *Server) imapExec(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
+	cmd, err := m.ReadCString(args[0], 4096)
+	if err != nil {
+		// The command buffer was unreadable; the network peer just sees
+		// garbage and reports an error.
+		return interp.Int(1)
+	}
+	folder := ""
+	if i := strings.IndexByte(cmd, '"'); i >= 0 {
+		if j := strings.IndexByte(cmd[i+1:], '"'); j >= 0 {
+			folder = cmd[i+1 : i+1+j]
+		}
+	}
+	status := "a01 NO SELECT failed: no such folder"
+	rc := int64(1)
+	if s.Folders[folder] {
+		status = "a01 OK SELECT completed"
+		rc = 0
+	}
+	// The "kernel" delivers the response into the caller's buffer,
+	// bounded by the advertised length (raw, like a real recv()).
+	n := int(args[2].I)
+	if n > 0 {
+		b := []byte(status)
+		if len(b) > n-1 {
+			b = b[:n-1]
+		}
+		b = append(b, 0)
+		m.AddressSpace().RawWrite(args[1].Ptr.Addr, b)
+	}
+	m.ChargeCycles(40_000) // network round-trip to the IMAP server
+	return interp.Int(rc)
+}
+
+// Handle implements servers.Instance.
+func (inst *Instance) Handle(req servers.Request) servers.Response {
+	switch req.Op {
+	case "select":
+		res := inst.CallString("mutt_select_folder", req.Arg)
+		resp := inst.ResponseFromResult(res, "imap_status")
+		return resp
+	case "read":
+		res := inst.CallString("mutt_read_message", req.Payload)
+		return inst.ResponseFromResult(res, "display_buf")
+	case "move":
+		if res := inst.moveMessage(req.Payload); res != nil {
+			return *res
+		}
+		return servers.Response{Outcome: fo.OutcomeOK, Status: len(req.Payload)}
+	default:
+		return servers.Response{
+			Outcome: fo.OutcomeOK, Status: -1,
+			Body: fmt.Sprintf("unknown op %q", req.Op),
+		}
+	}
+}
+
+func (inst *Instance) moveMessage(payload string) *servers.Response {
+	s := inst.M.NewCString(payload)
+	res := inst.M.Call("mutt_move_message", s, fo.Int(int64(len(payload))))
+	if res.Outcome != fo.OutcomeOK {
+		return &servers.Response{Outcome: res.Outcome, Err: res.Err}
+	}
+	return &servers.Response{Outcome: fo.OutcomeOK, Status: int(res.Value.I)}
+}
+
+// LegitRequests implements servers.Server (the Figure 6 workloads).
+func (s *Server) LegitRequests() []servers.Request {
+	return []servers.Request{
+		{Op: "read", Payload: SampleMessage()},
+		{Op: "move", Payload: SampleMessage()},
+		{Op: "select", Arg: "INBOX"},
+	}
+}
+
+// AttackRequest implements servers.Server: a folder name hitting the 7/3
+// expansion ratio ("\xc2\x80&" expands 3 input bytes to 7 output bytes:
+// '&' + 3 base64 chars + '-' for the non-ASCII char, then "&-" for '&').
+func (s *Server) AttackRequest() servers.Request {
+	return servers.Request{Op: "select", Arg: strings.Repeat("\xc2\x80&", 80)}
+}
+
+// SampleMessage returns a representative RFC822-ish message used by the
+// performance workloads.
+func SampleMessage() string {
+	var sb strings.Builder
+	sb.WriteString("From: alice@example.org\r\n")
+	sb.WriteString("To: bob@example.org\r\n")
+	sb.WriteString("Subject: meeting notes,\r\n continued on a folded line\r\n")
+	sb.WriteString("Date: Mon, 5 Jul 2004 10:00:00\r\n\r\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "Line %02d of the message body with some text.\r\n", i)
+	}
+	return sb.String()
+}

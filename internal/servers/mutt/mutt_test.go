@@ -1,0 +1,137 @@
+package mutt
+
+import (
+	"testing"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+func newInstance(t *testing.T, mode fo.Mode) servers.Instance {
+	t.Helper()
+	inst, err := NewServer().New(mode)
+	if err != nil {
+		t.Fatalf("New(%v): %v", mode, err)
+	}
+	return inst
+}
+
+func TestCompiles(t *testing.T) {
+	if _, err := Program(); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestSelectExistingFolder(t *testing.T) {
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		inst := newInstance(t, mode)
+		resp := inst.Handle(servers.Request{Op: "select", Arg: "INBOX"})
+		if !resp.OK() || resp.Status != 0 {
+			t.Errorf("%v: select INBOX = %v, want status 0", mode, resp)
+		}
+	}
+}
+
+func TestSelectMissingFolderIsAnticipatedError(t *testing.T) {
+	inst := newInstance(t, fo.Standard)
+	resp := inst.Handle(servers.Request{Op: "select", Arg: "NoSuchFolder"})
+	if !resp.OK() || resp.Status != -1 {
+		t.Errorf("select missing = %v, want status -1", resp)
+	}
+}
+
+func TestUTF7ConversionCorrectOnLegitNames(t *testing.T) {
+	// Non-ASCII folder names within the 2x budget must convert and then
+	// be rejected by the IMAP side (unknown folder), not crash.
+	inst := newInstance(t, fo.BoundsCheck)
+	resp := inst.Handle(servers.Request{Op: "select", Arg: "caf\xc3\xa9zzzz"})
+	if !resp.OK() || resp.Status != -1 {
+		t.Errorf("select café = %v, want anticipated -1", resp)
+	}
+}
+
+func TestAttackOutcomesPerMode(t *testing.T) {
+	srv := NewServer()
+	attack := srv.AttackRequest()
+
+	std := newInstance(t, fo.Standard)
+	resp := std.Handle(attack)
+	if !resp.Crashed() {
+		t.Errorf("standard: attack did not crash: %v", resp)
+	}
+	if resp.Outcome != fo.OutcomeHeapCorruption && resp.Outcome != fo.OutcomeSegfault {
+		t.Errorf("standard: outcome = %v, want heap corruption or segfault", resp.Outcome)
+	}
+	if std.Alive() {
+		t.Error("standard: instance still alive after crash")
+	}
+
+	bc := newInstance(t, fo.BoundsCheck)
+	resp = bc.Handle(attack)
+	if resp.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds: outcome = %v, want memory-error termination", resp.Outcome)
+	}
+
+	foInst := newInstance(t, fo.FailureOblivious)
+	resp = foInst.Handle(attack)
+	if !resp.OK() {
+		t.Fatalf("oblivious: attack crashed: %v", resp)
+	}
+	if resp.Status != -1 {
+		t.Errorf("oblivious: status = %d, want -1 (folder rejected by IMAP server)", resp.Status)
+	}
+	if foInst.Log().InvalidWrites() == 0 {
+		t.Error("oblivious: expected discarded writes in the log")
+	}
+	// The paper's key claim: after the attack the server continues to
+	// serve legitimate requests flawlessly.
+	resp = foInst.Handle(servers.Request{Op: "select", Arg: "INBOX"})
+	if !resp.OK() || resp.Status != 0 {
+		t.Errorf("oblivious: post-attack select INBOX = %v, want success", resp)
+	}
+	resp = foInst.Handle(servers.Request{Op: "read", Payload: SampleMessage()})
+	if !resp.OK() || resp.Status <= 0 {
+		t.Errorf("oblivious: post-attack read = %v, want success", resp)
+	}
+}
+
+func TestReadMessageUnfoldsHeaders(t *testing.T) {
+	inst := newInstance(t, fo.Standard)
+	resp := inst.Handle(servers.Request{
+		Op:      "read",
+		Payload: "Subject: a,\r\n folded\r\nBody",
+	})
+	if !resp.OK() {
+		t.Fatalf("read: %v", resp)
+	}
+	if want := "Subject: a, folded\nBody"; resp.Body != want {
+		t.Errorf("display = %q, want %q", resp.Body, want)
+	}
+}
+
+func TestMoveMessage(t *testing.T) {
+	inst := newInstance(t, fo.FailureOblivious)
+	msg := SampleMessage()
+	resp := inst.Handle(servers.Request{Op: "move", Payload: msg})
+	if !resp.OK() || resp.Status != len(msg) {
+		t.Errorf("move = %v, want status %d", resp, len(msg))
+	}
+}
+
+func TestVariantsSurviveAttack(t *testing.T) {
+	// Paper §5.1: the servers work acceptably under the boundless and
+	// redirect variants too.
+	srv := NewServer()
+	for _, mode := range []fo.Mode{fo.Boundless, fo.Redirect} {
+		inst := newInstance(t, mode)
+		resp := inst.Handle(srv.AttackRequest())
+		if resp.Crashed() {
+			t.Errorf("%v: attack crashed the server: %v", mode, resp)
+			continue
+		}
+		resp = inst.Handle(servers.Request{Op: "select", Arg: "INBOX"})
+		if !resp.OK() || resp.Status != 0 {
+			t.Errorf("%v: post-attack select = %v", mode, resp)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package pine models Pine 4.44's From-field processing vulnerability [10]:
+// when Pine builds the message-index display it transfers each From field
+// into a heap buffer, inserting a '\' before quoted characters. The length
+// estimate fails to account for all characters the transfer escapes, so a
+// From field with many escapable characters overflows the heap buffer. The
+// error triggers while the mail folder loads — before the user can interact
+// at all — which is why restarting the Standard or Bounds Check versions
+// cannot help (paper §4.7).
+package pine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+// Source is the Pine model's C code.
+const Source = `
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+
+char index_line[1024];
+char display_buf[16384];
+char folder_store[262144];
+int  folder_used = 0;
+
+/* quote_from, modeled on Pine 4.44: the estimate pass counts only '"'
+   characters, but the transfer pass escapes both '"' and '\\' — so a From
+   field rich in backslashes overflows the allocation. */
+static char *quote_from(const char *from)
+{
+	size_t len = strlen(from);
+	size_t add = 0;
+	size_t i;
+	char *buf, *p;
+	for (i = 0; i < len; i++)
+		if (from[i] == '"')
+			add++;
+	buf = malloc(len + add + 1);
+	p = buf;
+	for (i = 0; i < len; i++) {
+		char c = from[i];
+		if (c == '"' || c == '\\')
+			*p++ = '\\';
+		*p++ = c;
+	}
+	*p = '\0';
+	return buf;
+}
+
+/* Build the index line for one message (runs while the mailbox loads). */
+int pine_index_message(const char *raw)
+{
+	char from[256];
+	char *q;
+	int i = 0, o = 0;
+	int n;
+	while (raw[i] != '\0') {
+		if ((i == 0 || raw[i-1] == '\n') && strncmp(&raw[i], "From:", 5) == 0) {
+			i += 5;
+			while (raw[i] == ' ')
+				i++;
+			while (raw[i] != '\0' && raw[i] != '\n' && raw[i] != '\r' &&
+			       o < (int)(sizeof(from)) - 1)
+				from[o++] = raw[i++];
+			break;
+		}
+		i++;
+	}
+	from[o] = '\0';
+	q = quote_from(from);
+	n = snprintf(index_line, sizeof(index_line), "  N  %s", q);
+	free(q);
+	return n;
+}
+
+/* Character translation tables (Pine performs charset mapping and
+   control-character quoting on every displayed character). */
+unsigned char qtab[256];
+unsigned char xlat[256];
+int tables_ready = 0;
+
+static void init_tables(void)
+{
+	int i;
+	for (i = 0; i < 256; i++) {
+		qtab[i] = (unsigned char) i;
+		xlat[i] = (unsigned char) i;
+	}
+	for (i = 0; i < 32; i++)
+		if (i != '\n' && i != '\t')
+			qtab[i] = '?';
+	tables_ready = 1;
+}
+
+/* Display a selected message: per-character table-driven translation (the
+   Read request of Figure 2). This path translates the From field
+   correctly, matching the paper's observation that selecting the message
+   shows the complete field. */
+int pine_read_message(const char *raw)
+{
+	int i = 0, o = 0;
+	unsigned char c;
+	if (!tables_ready)
+		init_tables();
+	while ((c = (unsigned char) raw[i++]) != 0 &&
+	       o < (int)(sizeof(display_buf)) - 2) {
+		if (c == '\r')
+			continue;
+		display_buf[o++] = (char) xlat[qtab[c]];
+	}
+	display_buf[o] = '\0';
+	return o;
+}
+
+char ruler[80];
+
+/* Bring up the compose screen: field headers plus a 72-column fill
+   template, built one character at a time through the translation tables
+   (the Compose request). */
+int pine_compose(const char *from_addr)
+{
+	int o = 0, row, col, i;
+	char hdr[256];
+	int n;
+	if (!tables_ready)
+		init_tables();
+	for (i = 0; i < (int)(sizeof(ruler)) - 1; i++)
+		ruler[i] = (i == 0) ? '>' : ' ';
+	n = snprintf(hdr, sizeof(hdr),
+	             "From    : %s\nTo      : \nCc      : \nAttchmnt: \nSubject : \n",
+	             from_addr);
+	for (i = 0; i < n && o < (int)(sizeof(display_buf)) - 2; i++)
+		display_buf[o++] = (char) xlat[qtab[(unsigned char) hdr[i]]];
+	for (row = 0; row < 40; row++) {
+		for (col = 0; col < 72 && o < (int)(sizeof(display_buf)) - 2; col++)
+			display_buf[o++] = (char) xlat[(unsigned char) ruler[col]];
+		display_buf[o++] = '\n';
+	}
+	display_buf[o] = '\0';
+	return o;
+}
+
+/* Move a message between folders: bulk copy (the Move request). */
+int pine_move_message(const char *raw, int len)
+{
+	if (len > (int)(sizeof(folder_store)))
+		len = sizeof(folder_store);
+	memcpy(folder_store, raw, (size_t) len);
+	folder_used = len;
+	return len;
+}
+`
+
+var (
+	compileOnce sync.Once
+	prog        *fo.Program
+	compileErr  error
+)
+
+// Program returns the compiled Pine program.
+func Program() (*fo.Program, error) {
+	compileOnce.Do(func() {
+		prog, compileErr = fo.Compile("pine.c", Source)
+	})
+	return prog, compileErr
+}
+
+// Server is the Pine model.
+type Server struct{}
+
+// NewServer returns a Pine server.
+func NewServer() *Server { return &Server{} }
+
+// Name implements servers.Server.
+func (s *Server) Name() string { return "pine" }
+
+// Instance is one Pine process.
+type Instance struct {
+	servers.Base
+}
+
+// New implements servers.Server.
+func (s *Server) New(mode fo.Mode) (servers.Instance, error) {
+	p, err := Program()
+	if err != nil {
+		return nil, err
+	}
+	log := fo.NewEventLog(0)
+	m, err := p.NewMachine(fo.MachineConfig{Mode: mode, Log: log})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Base: servers.Base{ServerName: "pine", M: m, EvLog: log}}, nil
+}
+
+// Handle implements servers.Instance. Ops: index (mailbox load of one
+// message), read, compose, move.
+func (inst *Instance) Handle(req servers.Request) servers.Response {
+	switch req.Op {
+	case "index":
+		return inst.ResponseFromResult(inst.CallString("pine_index_message", req.Payload), "index_line")
+	case "read":
+		return inst.ResponseFromResult(inst.CallString("pine_read_message", req.Payload), "display_buf")
+	case "compose":
+		return inst.ResponseFromResult(inst.CallString("pine_compose", req.Arg), "display_buf")
+	case "move":
+		s := inst.M.NewCString(req.Payload)
+		res := inst.M.Call("pine_move_message", s, fo.Int(int64(len(req.Payload))))
+		return inst.ResponseFromResult(res, "")
+	default:
+		return servers.Response{Outcome: fo.OutcomeOK, Status: -1, Body: "unknown op"}
+	}
+}
+
+// LoadMailbox indexes every message, as Pine does at startup; it stops at
+// the first crash (the Standard/BoundsCheck behaviour the paper describes:
+// the user never reaches the UI).
+func (inst *Instance) LoadMailbox(msgs []string) servers.Response {
+	last := servers.Response{Outcome: fo.OutcomeOK}
+	for _, raw := range msgs {
+		last = inst.Handle(servers.Request{Op: "index", Payload: raw})
+		if last.Crashed() {
+			return last
+		}
+	}
+	return last
+}
+
+// LegitRequests implements servers.Server (the Figure 2 workloads).
+func (s *Server) LegitRequests() []servers.Request {
+	return []servers.Request{
+		{Op: "read", Payload: Message("carol@example.org", "status report")},
+		{Op: "compose", Arg: "user@example.org"},
+		{Op: "move", Payload: Message("carol@example.org", "archive me")},
+	}
+}
+
+// AttackRequest implements servers.Server: a message whose From field is
+// dense in backslashes, overflowing quote_from's undersized buffer.
+func (s *Server) AttackRequest() servers.Request {
+	return servers.Request{Op: "index", Payload: AttackMessage()}
+}
+
+// AttackMessage builds the malicious mail.
+func AttackMessage() string {
+	from := strings.Repeat("\\", 200) + "@evil.example"
+	return "From: " + from + "\nSubject: hi\n\nbody\n"
+}
+
+// Message builds a legitimate message.
+func Message(from, subject string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "From: %s\nSubject: %s\nDate: Mon, 5 Jul 2004\n\n", from, subject)
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&sb, "line %d of the body\n", i)
+	}
+	return sb.String()
+}

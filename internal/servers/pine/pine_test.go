@@ -1,0 +1,132 @@
+package pine
+
+import (
+	"strings"
+	"testing"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+func newInstance(t *testing.T, mode fo.Mode) *Instance {
+	t.Helper()
+	inst, err := NewServer().New(mode)
+	if err != nil {
+		t.Fatalf("New(%v): %v", mode, err)
+	}
+	return inst.(*Instance)
+}
+
+func TestCompiles(t *testing.T) {
+	if _, err := Program(); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestIndexQuotesFrom(t *testing.T) {
+	inst := newInstance(t, fo.BoundsCheck)
+	resp := inst.Handle(servers.Request{
+		Op: "index", Payload: "From: \"Bob\" <bob@x>\nSubject: s\n\nbody\n",
+	})
+	if !resp.OK() {
+		t.Fatalf("index: %v", resp)
+	}
+	if want := `  N  \"Bob\" <bob@x>`; resp.Body != want {
+		t.Errorf("index line = %q, want %q", resp.Body, want)
+	}
+}
+
+func TestMailboxLoadOutcomesPerMode(t *testing.T) {
+	srv := NewServer()
+	mailbox := []string{
+		Message("alice@example.org", "one"),
+		AttackMessage(),
+		Message("bob@example.org", "two"),
+	}
+
+	std := newInstance(t, fo.Standard)
+	resp := std.LoadMailbox(mailbox)
+	if resp.Outcome != fo.OutcomeHeapCorruption && resp.Outcome != fo.OutcomeSegfault {
+		t.Errorf("standard: outcome = %v (%v), want heap corruption/segfault during load", resp.Outcome, resp.Err)
+	}
+
+	bc := newInstance(t, fo.BoundsCheck)
+	resp = bc.LoadMailbox(mailbox)
+	if resp.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds: outcome = %v, want termination during load", resp.Outcome)
+	}
+	// Restarting does not help: the message is still in the mailbox
+	// (paper §4.7).
+	bc2 := newInstance(t, fo.BoundsCheck)
+	resp = bc2.LoadMailbox(mailbox)
+	if resp.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds restart: outcome = %v, want the same termination", resp.Outcome)
+	}
+
+	foi := newInstance(t, fo.FailureOblivious)
+	resp = foi.LoadMailbox(mailbox)
+	if !resp.OK() {
+		t.Fatalf("oblivious: load crashed: %v", resp)
+	}
+	if foi.Log().InvalidWrites() == 0 {
+		t.Error("oblivious: expected discarded writes during load")
+	}
+	// The user can now read mail, including the message with the
+	// offending From field (a different execution path translates it
+	// correctly — paper §4.2.2).
+	resp = foi.Handle(servers.Request{Op: "read", Payload: AttackMessage()})
+	if !resp.OK() {
+		t.Fatalf("oblivious: read crashed: %v", resp)
+	}
+	if !strings.Contains(resp.Body, strings.Repeat("\\", 200)) {
+		t.Error("oblivious: displayed message should contain the complete From field")
+	}
+	_ = srv
+}
+
+func TestComposeScreen(t *testing.T) {
+	inst := newInstance(t, fo.FailureOblivious)
+	resp := inst.Handle(servers.Request{Op: "compose", Arg: "user@example.org"})
+	if !resp.OK() {
+		t.Fatalf("compose: %v", resp)
+	}
+	if !strings.HasPrefix(resp.Body, "From    : user@example.org\n") {
+		t.Errorf("compose header wrong: %.60q", resp.Body)
+	}
+	if !strings.Contains(resp.Body, ">  ") {
+		t.Error("compose template rows missing")
+	}
+}
+
+func TestMoveMessage(t *testing.T) {
+	inst := newInstance(t, fo.FailureOblivious)
+	msg := Message("a@x", "m")
+	resp := inst.Handle(servers.Request{Op: "move", Payload: msg})
+	if !resp.OK() || resp.Status != len(msg) {
+		t.Errorf("move = %v, want status %d", resp, len(msg))
+	}
+}
+
+func TestLargeMailFolderSoak(t *testing.T) {
+	// Paper §4.2.4: the Failure Oblivious version processed a large
+	// folder with periodic attack messages flawlessly. Scaled-down soak.
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	inst := newInstance(t, fo.FailureOblivious)
+	for i := 0; i < 500; i++ {
+		var msg string
+		if i%25 == 0 {
+			msg = AttackMessage()
+		} else {
+			msg = Message("user@example.org", "msg")
+		}
+		resp := inst.Handle(servers.Request{Op: "index", Payload: msg})
+		if !resp.OK() {
+			t.Fatalf("message %d crashed: %v", i, resp)
+		}
+	}
+	if !inst.Alive() {
+		t.Error("instance died during soak")
+	}
+}

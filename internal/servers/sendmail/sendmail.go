@@ -1,0 +1,289 @@
+// Package sendmail models Sendmail 8.11.6's address prescan vulnerability
+// [14]: the prescan transfers an address into a fixed-size stack buffer
+// using a lookahead character held in an int. A 0xFF input byte sign-extends
+// to -1 ("no lookahead"), which skips the block that writes the lookahead —
+// and its space check — while a later store of a '\' character happens
+// without any check. An alternating sequence of '\' and 0xFF bytes therefore
+// writes arbitrarily many '\' characters beyond the end of the buffer.
+//
+// The package also models the paper's §4.4.4 observation that Sendmail
+// commits a (benign, in Standard mode) memory error every time the daemon
+// wakes up to check for work, which completely disables the Bounds Check
+// version.
+package sendmail
+
+import (
+	"strings"
+	"sync"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+// Source is the Sendmail model's C code.
+const Source = `
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+
+#define PSBUFSIZE 96
+#define MAXNAME   64
+#define QUEUE_SLOTS 8
+
+/* Globals. queue_flags is deliberately not the last global so the daemon
+   wake-up's off-by-one read lands in adjacent global memory (benign under
+   the Standard compiler, fatal under Bounds Check — paper section 4.4.4). */
+int  queue_flags[QUEUE_SLOTS];
+int  wakeup_count = 0;
+char smtp_resp[256];
+char sender[MAXNAME];
+char recipient[MAXNAME];
+char msg_store[262144];
+int  msg_used = 0;
+char out_wire[262144];
+int  have_sender = 0;
+int  have_rcpt = 0;
+
+/* prescan, modeled on sendmail 8.11.6: transfers an address into buf with
+   backslash quoting. The store of the quoting backslash is not covered by
+   the space check (the authentic bug mechanism). */
+static int prescan(const char *addr, char *buf, int bufsize)
+{
+	const char *p = addr;
+	char *q = buf;
+	int c = -1;          /* lookahead; -1 means "no lookahead" */
+	int done = 0;
+	while (!done) {
+		/* Commit the pending lookahead, with a space check. Skipped
+		   entirely when the lookahead is -1 or a backslash. */
+		if (c != -1 && c != '\\') {
+			if (q >= &buf[bufsize - 2])
+				return -1;              /* anticipated: element too long */
+			*q++ = (char) c;
+		}
+		c = *p++;                       /* sign-extends: 0xFF reads as -1 */
+		if (c == '\0') { done = 1; c = -1; }
+		if (c == '\\') {
+			*q++ = '\\';                /* BUG: no space check here */
+			c = *p++;
+			if (c == '\0') { done = 1; c = -1; }
+		}
+	}
+	*q = '\0';
+	return (int)(q - buf);
+}
+
+/* parseaddr: prescan into a stack buffer, then apply the length check the
+   paper describes as the anticipated error case. Returns an SMTP code. */
+static int parse_address(const char *addr, char *out)
+{
+	char pvpbuf[PSBUFSIZE];
+	int len;
+	len = prescan(addr, pvpbuf, (int)(sizeof(pvpbuf)));
+	if (len < 0 || len >= MAXNAME)
+		return 553;                     /* "553 address too long" */
+	strcpy(out, pvpbuf);
+	return 250;
+}
+
+int smtp_helo(const char *host)
+{
+	snprintf(smtp_resp, sizeof(smtp_resp), "250 Hello %s", host);
+	return 250;
+}
+
+int smtp_mail_from(const char *addr)
+{
+	int rc = parse_address(addr, sender);
+	if (rc != 250) {
+		snprintf(smtp_resp, sizeof(smtp_resp), "553 5.1.8 <...>... address error");
+		return rc;
+	}
+	have_sender = 1;
+	snprintf(smtp_resp, sizeof(smtp_resp), "250 2.1.0 %s... Sender ok", sender);
+	return 250;
+}
+
+int smtp_rcpt_to(const char *addr)
+{
+	int rc;
+	if (!have_sender) {
+		snprintf(smtp_resp, sizeof(smtp_resp), "503 5.0.0 Need MAIL before RCPT");
+		return 503;
+	}
+	rc = parse_address(addr, recipient);
+	if (rc != 250) {
+		snprintf(smtp_resp, sizeof(smtp_resp), "553 5.1.3 <...>... address error");
+		return rc;
+	}
+	have_rcpt = 1;
+	snprintf(smtp_resp, sizeof(smtp_resp), "250 2.1.5 %s... Recipient ok", recipient);
+	return 250;
+}
+
+/* Receive a message body: per-character dot-unstuffing and CR handling
+   into the local store (the Recv workloads of Figure 4). */
+int smtp_data(const char *body)
+{
+	int i = 0, o = 0;
+	int bol = 1;
+	if (!have_sender || !have_rcpt) {
+		snprintf(smtp_resp, sizeof(smtp_resp), "503 5.0.0 Need MAIL and RCPT");
+		return 503;
+	}
+	while (body[i] != '\0' && o < (int)(sizeof(msg_store)) - 2) {
+		if (bol && body[i] == '.' && body[i+1] == '.')
+			i++;                        /* dot-unstuffing */
+		bol = (body[i] == '\n');
+		msg_store[o++] = body[i++];
+	}
+	msg_store[o] = '\0';
+	msg_used = o;
+	have_sender = 0;
+	have_rcpt = 0;
+	snprintf(smtp_resp, sizeof(smtp_resp), "250 2.0.0 Message accepted for delivery");
+	return 250;
+}
+
+/* Send a message: per-character dot-stuffing onto the wire (the Send
+   workloads of Figure 4). */
+int smtp_send(const char *body)
+{
+	int i = 0, o = 0, bol = 1;
+	while (body[i] != '\0' && o < (int)(sizeof(out_wire)) - 3) {
+		if (bol && body[i] == '.')
+			out_wire[o++] = '.';
+		bol = (body[i] == '\n');
+		out_wire[o++] = body[i++];
+	}
+	out_wire[o] = '\0';
+	snprintf(smtp_resp, sizeof(smtp_resp), "250 sent %d bytes", o);
+	return o;
+}
+
+/* Daemon wake-up: scan the work queue. BUG (paper section 4.4.4): the loop
+   bound walks one element past the end of queue_flags on every wake-up. */
+int sendmail_wakeup(void)
+{
+	int i, pending = 0;
+	wakeup_count++;
+	for (i = 0; i <= QUEUE_SLOTS; i++)
+		if (queue_flags[i])
+			pending++;
+	return pending;
+}
+`
+
+var (
+	compileOnce sync.Once
+	prog        *fo.Program
+	compileErr  error
+)
+
+// Program returns the compiled Sendmail program.
+func Program() (*fo.Program, error) {
+	compileOnce.Do(func() {
+		prog, compileErr = fo.Compile("sendmail.c", Source)
+	})
+	return prog, compileErr
+}
+
+// Server is the Sendmail model.
+type Server struct{}
+
+// NewServer returns a Sendmail server.
+func NewServer() *Server { return &Server{} }
+
+// Name implements servers.Server.
+func (s *Server) Name() string { return "sendmail" }
+
+// Instance is one Sendmail daemon process.
+type Instance struct {
+	servers.Base
+}
+
+// New implements servers.Server.
+func (s *Server) New(mode fo.Mode) (servers.Instance, error) {
+	p, err := Program()
+	if err != nil {
+		return nil, err
+	}
+	log := fo.NewEventLog(0)
+	m, err := p.NewMachine(fo.MachineConfig{Mode: mode, Log: log})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Base: servers.Base{ServerName: "sendmail", M: m, EvLog: log}}, nil
+}
+
+// Handle implements servers.Instance. Ops: helo, mail, rcpt, data, send,
+// wakeup.
+func (inst *Instance) Handle(req servers.Request) servers.Response {
+	switch req.Op {
+	case "helo":
+		return inst.ResponseFromResult(inst.CallString("smtp_helo", req.Arg), "smtp_resp")
+	case "mail":
+		return inst.ResponseFromResult(inst.CallString("smtp_mail_from", req.Arg), "smtp_resp")
+	case "rcpt":
+		return inst.ResponseFromResult(inst.CallString("smtp_rcpt_to", req.Arg), "smtp_resp")
+	case "data":
+		return inst.ResponseFromResult(inst.CallString("smtp_data", req.Payload), "smtp_resp")
+	case "recv":
+		// One full receive transaction (MAIL, RCPT, DATA) — the unit the
+		// paper's Receive workloads time.
+		return inst.Deliver("alice@example.org", "bob@example.org", req.Payload)
+	case "send":
+		return inst.ResponseFromResult(inst.CallString("smtp_send", req.Payload), "smtp_resp")
+	case "wakeup":
+		return inst.ResponseFromResult(inst.M.Call("sendmail_wakeup"), "")
+	default:
+		return servers.Response{Outcome: fo.OutcomeOK, Status: 500, Body: "500 unknown command"}
+	}
+}
+
+// Deliver runs a full receive transaction (MAIL, RCPT, DATA); it stops at
+// the first crashed response.
+func (inst *Instance) Deliver(from, to, body string) servers.Response {
+	resp := inst.Handle(servers.Request{Op: "mail", Arg: from})
+	if resp.Crashed() || resp.Status != 250 {
+		return resp
+	}
+	resp = inst.Handle(servers.Request{Op: "rcpt", Arg: to})
+	if resp.Crashed() || resp.Status != 250 {
+		return resp
+	}
+	return inst.Handle(servers.Request{Op: "data", Payload: body})
+}
+
+// LegitRequests implements servers.Server (the Figure 4 workloads).
+func (s *Server) LegitRequests() []servers.Request {
+	return []servers.Request{
+		{Op: "recv", Payload: SmallBody()},
+		{Op: "recv", Payload: LargeBody()},
+		{Op: "send", Payload: SmallBody()},
+		{Op: "send", Payload: LargeBody()},
+	}
+}
+
+// AttackRequest implements servers.Server: the alternating '\' / 0xFF
+// address from [14].
+func (s *Server) AttackRequest() servers.Request {
+	return servers.Request{Op: "mail", Arg: AttackAddress(400)}
+}
+
+// AttackAddress builds an address with n backslash/0xFF pairs.
+func AttackAddress(n int) string {
+	return strings.Repeat("\\\xff", n)
+}
+
+// SmallBody returns the 4-byte message body from Figure 4.
+func SmallBody() string { return "hi!\n" }
+
+// LargeBody returns the 4 KByte message body from Figure 4.
+func LargeBody() string {
+	var sb strings.Builder
+	for sb.Len() < 4096 {
+		sb.WriteString("The quick brown fox jumps over the lazy dog 0123456789.\n")
+	}
+	return sb.String()[:4096]
+}

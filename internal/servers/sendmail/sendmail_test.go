@@ -1,0 +1,211 @@
+package sendmail
+
+import (
+	"strings"
+	"testing"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+func newInstance(t *testing.T, mode fo.Mode) *Instance {
+	t.Helper()
+	inst, err := NewServer().New(mode)
+	if err != nil {
+		t.Fatalf("New(%v): %v", mode, err)
+	}
+	return inst.(*Instance)
+}
+
+func TestCompiles(t *testing.T) {
+	if _, err := Program(); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestNormalDelivery(t *testing.T) {
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		inst := newInstance(t, mode)
+		resp := inst.Deliver("alice@example.org", "bob@example.org", "Hello Bob\n")
+		if !resp.OK() || resp.Status != 250 {
+			t.Errorf("%v: deliver = %v, want 250", mode, resp)
+		}
+	}
+}
+
+func TestDotUnstuffing(t *testing.T) {
+	inst := newInstance(t, fo.Standard)
+	resp := inst.Deliver("a@x", "b@x", "..dot line\nplain\n")
+	if !resp.OK() || resp.Status != 250 {
+		t.Fatalf("deliver: %v", resp)
+	}
+	u, ok := inst.M.GlobalUnit("msg_store")
+	if !ok {
+		t.Fatal("no msg_store global")
+	}
+	got := string(u.Data[:len(".dot line\nplain\n")])
+	if got != ".dot line\nplain\n" {
+		t.Errorf("stored = %q", got)
+	}
+}
+
+func TestTooLongAddressIsAnticipatedError(t *testing.T) {
+	inst := newInstance(t, fo.BoundsCheck)
+	resp := inst.Handle(servers.Request{Op: "mail", Arg: strings.Repeat("a", 200) + "@x"})
+	if !resp.OK() || resp.Status != 553 {
+		t.Errorf("long address = %v, want 553", resp)
+	}
+}
+
+func TestAttackOutcomesPerMode(t *testing.T) {
+	srv := NewServer()
+	attack := srv.AttackRequest()
+
+	std := newInstance(t, fo.Standard)
+	resp := std.Handle(attack)
+	if resp.Outcome != fo.OutcomeStackSmash && resp.Outcome != fo.OutcomeSegfault {
+		t.Errorf("standard: outcome = %v (%v), want stack smash/segfault", resp.Outcome, resp.Err)
+	}
+
+	bc := newInstance(t, fo.BoundsCheck)
+	resp = bc.Handle(attack)
+	if resp.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds: outcome = %v, want termination", resp.Outcome)
+	}
+
+	foi := newInstance(t, fo.FailureOblivious)
+	resp = foi.Handle(attack)
+	if !resp.OK() {
+		t.Fatalf("oblivious: crashed: %v", resp)
+	}
+	if resp.Status != 553 {
+		t.Errorf("oblivious: status = %d, want 553 (anticipated 'address too long')", resp.Status)
+	}
+	if foi.Log().InvalidWrites() == 0 {
+		t.Error("oblivious: expected discarded writes")
+	}
+	// Paper §4.4.2: continues to process subsequent commands correctly.
+	resp = foi.Deliver("alice@example.org", "bob@example.org", "post-attack mail\n")
+	if !resp.OK() || resp.Status != 250 {
+		t.Errorf("oblivious: post-attack deliver = %v", resp)
+	}
+}
+
+func TestWakeupErrorDisablesBoundsOnly(t *testing.T) {
+	// Paper §4.4.4: the daemon generates a memory error on every wake-up;
+	// this completely disables the Bounds Check version, while Standard
+	// executes it benignly and Failure Oblivious logs and continues.
+	std := newInstance(t, fo.Standard)
+	resp := std.Handle(servers.Request{Op: "wakeup"})
+	if !resp.OK() {
+		t.Errorf("standard wakeup = %v, want benign", resp)
+	}
+
+	bc := newInstance(t, fo.BoundsCheck)
+	resp = bc.Handle(servers.Request{Op: "wakeup"})
+	if resp.Outcome != fo.OutcomeMemErrorTermination {
+		t.Errorf("bounds wakeup = %v, want termination", resp.Outcome)
+	}
+	if bc.Alive() {
+		t.Error("bounds daemon should be dead after the wake-up error")
+	}
+
+	foi := newInstance(t, fo.FailureOblivious)
+	for i := 0; i < 5; i++ {
+		resp = foi.Handle(servers.Request{Op: "wakeup"})
+		if !resp.OK() {
+			t.Fatalf("oblivious wakeup %d = %v", i, resp)
+		}
+	}
+	if foi.Log().InvalidReads() < 5 {
+		t.Errorf("oblivious: expected >=5 logged invalid reads, got %d (paper: 'a steady stream of memory errors')",
+			foi.Log().InvalidReads())
+	}
+}
+
+func TestSendWorkload(t *testing.T) {
+	inst := newInstance(t, fo.FailureOblivious)
+	resp := inst.Handle(servers.Request{Op: "send", Payload: ".leading dot\nbody\n"})
+	if !resp.OK() {
+		t.Fatalf("send: %v", resp)
+	}
+	u, _ := inst.M.GlobalUnit("out_wire")
+	want := "..leading dot\nbody\n"
+	if string(u.Data[:len(want)]) != want {
+		t.Errorf("wire = %q, want %q", string(u.Data[:len(want)]), want)
+	}
+}
+
+func TestHeloAndUnknownCommand(t *testing.T) {
+	inst := newInstance(t, fo.Standard)
+	resp := inst.Handle(servers.Request{Op: "helo", Arg: "client.example.org"})
+	if !resp.OK() || resp.Status != 250 || !strings.Contains(resp.Body, "client.example.org") {
+		t.Errorf("helo = %v", resp)
+	}
+	resp = inst.Handle(servers.Request{Op: "bogus"})
+	if !resp.OK() || resp.Status != 500 {
+		t.Errorf("unknown = %v", resp)
+	}
+}
+
+func TestRcptBeforeMailRejected(t *testing.T) {
+	inst := newInstance(t, fo.BoundsCheck)
+	resp := inst.Handle(servers.Request{Op: "rcpt", Arg: "bob@x"})
+	if !resp.OK() || resp.Status != 503 {
+		t.Errorf("rcpt before mail = %v, want 503", resp)
+	}
+	resp = inst.Handle(servers.Request{Op: "data", Payload: "body\n"})
+	if !resp.OK() || resp.Status != 503 {
+		t.Errorf("data before envelope = %v, want 503", resp)
+	}
+}
+
+func TestRecvTransactionOp(t *testing.T) {
+	inst := newInstance(t, fo.FailureOblivious)
+	resp := inst.Handle(servers.Request{Op: "recv", Payload: SmallBody()})
+	if !resp.OK() || resp.Status != 250 {
+		t.Errorf("recv = %v", resp)
+	}
+	// The envelope resets after DATA, so a second recv works too.
+	resp = inst.Handle(servers.Request{Op: "recv", Payload: LargeBody()})
+	if !resp.OK() || resp.Status != 250 {
+		t.Errorf("second recv = %v", resp)
+	}
+}
+
+func TestAttackAddressShape(t *testing.T) {
+	a := AttackAddress(3)
+	if a != "\\\xff\\\xff\\\xff" {
+		t.Errorf("AttackAddress(3) = %q", a)
+	}
+	if len(LargeBody()) != 4096 {
+		t.Errorf("LargeBody len = %d", len(LargeBody()))
+	}
+	if SmallBody() != "hi!\n" {
+		t.Errorf("SmallBody = %q", SmallBody())
+	}
+}
+
+func TestLegitRequestsAreServable(t *testing.T) {
+	srv := NewServer()
+	inst := newInstance(t, fo.FailureOblivious)
+	for i, req := range srv.LegitRequests() {
+		resp := inst.Handle(req)
+		if resp.Crashed() {
+			t.Errorf("legit request %d crashed: %v", i, resp)
+		}
+	}
+	if srv.Name() != "sendmail" {
+		t.Errorf("name = %q", srv.Name())
+	}
+}
+
+func TestBackslashQuotingInBoundsWorks(t *testing.T) {
+	// A *small* number of backslash pairs stays in bounds and must parse
+	// (the unchecked store is only dangerous en masse).
+	inst := newInstance(t, fo.BoundsCheck)
+	resp := inst.Handle(servers.Request{Op: "mail", Arg: "a\\,b@example.org"})
+	if !resp.OK() || resp.Status != 250 {
+		t.Errorf("quoted address = %v, want 250", resp)
+	}
+}

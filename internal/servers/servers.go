@@ -1,0 +1,132 @@
+// Package servers defines the common request/response model shared by the
+// five server reproductions from the paper's evaluation (Pine, Apache,
+// Sendmail, Midnight Commander, Mutt). Each server package compiles its
+// vulnerable request-processing code — written in the focc C dialect, with
+// the authentic bug mechanism — once, and creates per-mode instances
+// ("processes") from it.
+package servers
+
+import (
+	"fmt"
+
+	"focc/fo"
+)
+
+// Request is one unit of work submitted to a server instance.
+type Request struct {
+	// Op names the request type ("read", "compose", "select", "GET", …).
+	Op string
+	// Arg carries the primary argument (URI, folder name, address, path).
+	Arg string
+	// Payload carries bulk data (message body, file contents).
+	Payload string
+}
+
+// Response is the server's reply.
+type Response struct {
+	// Outcome is how the handling execution ended. Anything other than
+	// OutcomeOK or OutcomeExit means the "process" crashed or was
+	// terminated by the bounds checker.
+	Outcome fo.Outcome
+	// Status is the server-level status (protocol-specific: HTTP status,
+	// SMTP code, or 0/-N for library calls).
+	Status int
+	// Body is the response payload.
+	Body string
+	// Err holds fault detail for crashed outcomes.
+	Err error
+}
+
+// OK reports whether the request was processed by a live server (it may
+// still carry an application-level error status — that is the anticipated
+// error handling the paper describes).
+func (r Response) OK() bool {
+	return r.Outcome == fo.OutcomeOK
+}
+
+// Crashed reports whether handling the request killed the process.
+func (r Response) Crashed() bool { return r.Outcome.Crashed() }
+
+func (r Response) String() string {
+	if r.Crashed() {
+		return fmt.Sprintf("[%s] %v", r.Outcome, r.Err)
+	}
+	return fmt.Sprintf("[%d] %s", r.Status, r.Body)
+}
+
+// Instance is one running server process under a specific mode.
+type Instance interface {
+	// Name identifies the server ("mutt", "apache", …).
+	Name() string
+	// Mode is the compilation mode the instance runs under.
+	Mode() fo.Mode
+	// Alive reports whether the process can still serve requests.
+	Alive() bool
+	// Handle processes one request.
+	Handle(Request) Response
+	// Log exposes the instance's memory-error log.
+	Log() *fo.EventLog
+	// Cycles returns the instance's cumulative simulated cycle count
+	// (see the interp package's cost model).
+	Cycles() uint64
+}
+
+// Server is a compiled server program from which instances are created.
+type Server interface {
+	Name() string
+	// New creates a fresh instance (a "process") under mode.
+	New(mode fo.Mode) (Instance, error)
+	// LegitRequests returns named representative legitimate requests for
+	// the performance figures.
+	LegitRequests() []Request
+	// AttackRequest returns the documented exploit input.
+	AttackRequest() Request
+}
+
+// Base carries the pieces every instance shares.
+type Base struct {
+	ServerName string
+	M          *fo.Machine
+	EvLog      *fo.EventLog
+}
+
+// Name implements Instance.
+func (b *Base) Name() string { return b.ServerName }
+
+// Mode implements Instance.
+func (b *Base) Mode() fo.Mode { return b.M.Mode() }
+
+// Alive implements Instance.
+func (b *Base) Alive() bool { return !b.M.Dead() }
+
+// Log implements Instance.
+func (b *Base) Log() *fo.EventLog { return b.EvLog }
+
+// Cycles implements Instance.
+func (b *Base) Cycles() uint64 { return b.M.SimCycles() }
+
+// CallString invokes a C function taking a single C-string argument and
+// returns its machine result. The string is heap-allocated in the guest.
+func (b *Base) CallString(fn, arg string) fo.Result {
+	s := b.M.NewCString(arg)
+	return b.M.Call(fn, s)
+}
+
+// ResponseFromResult converts a machine result into a Response, reading the
+// named global NUL-terminated buffer as the body when the call succeeded.
+func (b *Base) ResponseFromResult(res fo.Result, respGlobal string) Response {
+	if res.Outcome != fo.OutcomeOK {
+		return Response{Outcome: res.Outcome, Err: res.Err}
+	}
+	body := ""
+	if respGlobal != "" {
+		if u, ok := b.M.GlobalUnit(respGlobal); ok {
+			n := 0
+			for n < len(u.Data) && u.Data[n] != 0 {
+				n++
+			}
+			body = string(u.Data[:n])
+		}
+	}
+	return Response{Outcome: fo.OutcomeOK, Status: int(res.Value.I), Body: body}
+}

@@ -1,0 +1,74 @@
+package servers_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"focc/fo"
+	"focc/internal/servers"
+	"focc/internal/servers/mutt"
+)
+
+func TestResponsePredicates(t *testing.T) {
+	ok := servers.Response{Outcome: fo.OutcomeOK, Status: 200, Body: "x"}
+	if !ok.OK() || ok.Crashed() {
+		t.Error("ok response misclassified")
+	}
+	crash := servers.Response{Outcome: fo.OutcomeSegfault, Err: errors.New("boom")}
+	if crash.OK() || !crash.Crashed() {
+		t.Error("crash response misclassified")
+	}
+	if !strings.Contains(crash.String(), "segfault") {
+		t.Errorf("crash String() = %q", crash.String())
+	}
+	if !strings.Contains(ok.String(), "200") {
+		t.Errorf("ok String() = %q", ok.String())
+	}
+}
+
+func TestBaseAccessors(t *testing.T) {
+	inst, err := mutt.NewServer().New(fo.FailureOblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name() != "mutt" {
+		t.Errorf("Name = %q", inst.Name())
+	}
+	if inst.Mode() != fo.FailureOblivious {
+		t.Errorf("Mode = %v", inst.Mode())
+	}
+	if !inst.Alive() {
+		t.Error("fresh instance not alive")
+	}
+	if inst.Log() == nil {
+		t.Error("nil log")
+	}
+	before := inst.Cycles()
+	inst.Handle(servers.Request{Op: "select", Arg: "INBOX"})
+	if inst.Cycles() <= before {
+		t.Error("cycles did not advance")
+	}
+}
+
+func TestResponseFromResultReadsGlobal(t *testing.T) {
+	inst, err := mutt.NewServer().New(fo.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := inst.Handle(servers.Request{Op: "select", Arg: "INBOX"})
+	if resp.Body == "" || !strings.Contains(resp.Body, "OK") {
+		t.Errorf("body = %q, want IMAP status text", resp.Body)
+	}
+}
+
+func TestUnknownOpsAreHarmless(t *testing.T) {
+	inst, err := mutt.NewServer().New(fo.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := inst.Handle(servers.Request{Op: "does-not-exist"})
+	if resp.Crashed() {
+		t.Errorf("unknown op crashed: %v", resp)
+	}
+}
