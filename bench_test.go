@@ -116,7 +116,7 @@ func BenchmarkApacheAttackThroughput(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(pool.Restarts)/float64(b.N), "restarts/op")
+			b.ReportMetric(float64(pool.Restarts())/float64(b.N), "restarts/op")
 		})
 	}
 }

@@ -7,6 +7,7 @@
 //	fobench -experiment fig5           # Midnight Commander times (Figure 5)
 //	fobench -experiment fig6           # Mutt request times (Figure 6)
 //	fobench -experiment throughput     # Apache attack throughput (§4.3.2)
+//	fobench -experiment loadtest       # concurrent §4.3.2 (serve.Engine pool)
 //	fobench -experiment resilience     # security & resilience matrix (§4.*.2)
 //	fobench -experiment variants       # boundless / redirect variants (§5.1)
 //	fobench -experiment soak           # stability runs (§4.*.4)
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"focc/fo"
 	"focc/internal/harness"
@@ -37,12 +39,26 @@ func main() {
 	reps := flag.Int("reps", harness.DefaultReps, "repetitions per request")
 	soakN := flag.Int("soak-n", 200, "requests per soak run")
 	wall := flag.Bool("wall", false, "measure figures in wall-clock time instead of simulated cycles")
+	clients := flag.Int("clients", 8, "loadtest: concurrent client goroutines")
+	pool := flag.Int("pool", 4, "loadtest: serving-pool size (worker instances)")
+	queue := flag.Int("queue", 0, "loadtest: admission queue depth (0 = 2x clients)")
+	deadline := flag.Duration("deadline", 2*time.Second, "loadtest: per-request deadline (0 = none)")
+	attacks := flag.Int("attacks-per-legit", 3, "loadtest: attack requests per legitimate request")
+	legitN := flag.Int("legit-per-client", 10, "loadtest: legitimate requests per client")
 	flag.Parse()
 	clock := harness.SimClock
 	if *wall {
 		clock = harness.WallClock
 	}
-	if err := runClock(*experiment, *reps, *soakN, clock); err != nil {
+	cfg := harness.LoadtestConfig{
+		Clients:         *clients,
+		PoolSize:        *pool,
+		QueueDepth:      *queue,
+		Deadline:        *deadline,
+		AttacksPerLegit: *attacks,
+		LegitPerClient:  *legitN,
+	}
+	if err := runClock(*experiment, *reps, *soakN, clock, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fobench:", err)
 		os.Exit(1)
 	}
@@ -59,10 +75,10 @@ func allServers() []servers.Server {
 }
 
 func run(experiment string, reps, soakN int) error {
-	return runClock(experiment, reps, soakN, harness.SimClock)
+	return runClock(experiment, reps, soakN, harness.SimClock, harness.LoadtestConfig{})
 }
 
-func runClock(experiment string, reps, soakN int, clock harness.Clock) error {
+func runClock(experiment string, reps, soakN int, clock harness.Clock, loadCfg harness.LoadtestConfig) error {
 	all := experiment == "all"
 	type fig struct {
 		id    string
@@ -108,6 +124,20 @@ func runClock(experiment string, reps, soakN int, clock harness.Clock) error {
 			rows = append(rows, r)
 		}
 		fmt.Println(harness.FormatThroughput(rows))
+	}
+
+	if all || experiment == "loadtest" {
+		ran = true
+		fmt.Println("Concurrent Apache throughput under attack (serve.Engine pool; paper §4.3.2 under concurrent load)")
+		var rows []harness.LoadtestResult
+		for _, mode := range harness.Modes {
+			r, err := harness.Loadtest(apache.NewServer(), mode, loadCfg)
+			if err != nil {
+				return fmt.Errorf("loadtest %v: %w", mode, err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println(harness.FormatLoadtest(rows))
 	}
 
 	if all || experiment == "resilience" {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"focc/internal/harness"
+)
 
 // The full "all" run is exercised by CI scripts; tests cover each
 // experiment selector with small parameters.
@@ -19,6 +24,22 @@ func TestSoakExperiment(t *testing.T) {
 	}
 	if err := run("soak", 2, 20); err != nil {
 		t.Errorf("soak: %v", err)
+	}
+}
+
+func TestLoadtestExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadtest")
+	}
+	cfg := harness.LoadtestConfig{
+		Clients:         8,
+		PoolSize:        2,
+		AttacksPerLegit: 1,
+		LegitPerClient:  2,
+		Deadline:        5 * time.Second,
+	}
+	if err := runClock("loadtest", 2, 20, harness.SimClock, cfg); err != nil {
+		t.Errorf("loadtest: %v", err)
 	}
 }
 

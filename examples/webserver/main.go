@@ -1,192 +1,86 @@
-// Webserver: a real net/http server whose URL-rewriting engine is C code
-// executed failure-obliviously. The rewrite rule set includes one rule with
-// more captures than the offset buffer can hold (the Apache §4.3 bug); the
-// attack URL that matches it is harmless under failure-oblivious execution
-// because the substitution only references $1 and $2 — the discarded offset
-// writes were for captures the server never uses.
+// Webserver: a real net/http server whose request handling runs on the
+// public serving API (fo/srv): a supervised pool of failure-oblivious
+// Apache-model instances behind a bounded admission queue. The Apache model
+// carries the §4.3 mod_rewrite bug — a rewrite rule with more captures than
+// the offset buffer can hold — so the attack URL that matches it would
+// crash a Standard-mode child; under failure-oblivious execution the
+// out-of-bounds offset writes are discarded and the pool keeps serving
+// without a single restart.
 //
 // The example starts the server on a loopback listener, issues a few
-// requests against itself (including the attack), and prints the results.
+// requests against itself (including the attack), and prints the results
+// plus the engine's supervision counters.
 //
 //	go run ./examples/webserver
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"focc/fo"
+	"focc/fo/srv"
 )
 
-const rewriteSrc = `
-#include <string.h>
-
-struct regmatch { int rm_so; int rm_eo; };
-
-char rewritten[512];
-
-static int rx_rec(const char *pat, int pi, const char *str, int si,
-                  int *gopen, struct regmatch *m)
-{
-	int c = pat[pi];
-	int j, g;
-	if (c == '\0')
-		return str[si] == '\0';
-	if (c == '(') {
-		g = 0;
-		for (j = 0; j < pi; j++)
-			if (pat[j] == '(') g++;
-		gopen[g] = si;
-		return rx_rec(pat, pi + 1, str, si, gopen, m);
-	}
-	if (c == ')') {
-		g = 0;
-		for (j = 0; j < pi; j++)
-			if (pat[j] == ')') g++;
-		m[g + 1].rm_so = gopen[g];  /* BUG: unbounded store */
-		m[g + 1].rm_eo = si;
-		return rx_rec(pat, pi + 1, str, si, gopen, m);
-	}
-	if (c == '*') {
-		int end = si;
-		for (;;) {
-			if (rx_rec(pat, pi + 1, str, end, gopen, m))
-				return 1;
-			if (str[end] == '\0')
-				return 0;
-			end++;
-		}
-	}
-	if (str[si] == c)
-		return rx_rec(pat, pi + 1, str, si + 1, gopen, m);
-	return 0;
-}
-
-int try_rewrite(const char *uri, const char *pattern, const char *subst)
-{
-	struct regmatch regmatch[10];   /* room for ten captures */
-	int gopen[32];
-	int i, o = 0;
-	if (!rx_rec(pattern, 0, uri, 0, gopen, regmatch))
-		return 0;
-	regmatch[0].rm_so = 0;
-	regmatch[0].rm_eo = (int) strlen(uri);
-	for (i = 0; subst[i] != '\0' && o < (int)(sizeof(rewritten)) - 1; i++) {
-		if (subst[i] == '$' && subst[i+1] >= '0' && subst[i+1] <= '9') {
-			int g = subst[i+1] - '0';
-			int j;
-			for (j = regmatch[g].rm_so;
-			     j < regmatch[g].rm_eo && o < (int)(sizeof(rewritten)) - 1; j++)
-				rewritten[o++] = uri[j];
-			i++;
-			continue;
-		}
-		rewritten[o++] = subst[i];
-	}
-	rewritten[o] = '\0';
-	return 1;
-}
-`
-
-type rule struct{ pattern, subst string }
-
-// rewriter wraps the failure-oblivious C engine as an http middleware.
-type rewriter struct {
-	m     *fo.Machine
-	rules []rule
-	log   *fo.EventLog
-}
-
-func newRewriter() (*rewriter, error) {
-	prog, err := fo.Compile("rewrite.c", rewriteSrc)
-	if err != nil {
-		return nil, err
-	}
-	logger := fo.NewEventLog(0)
-	m, err := prog.NewMachine(fo.MachineConfig{
-		Mode: fo.FailureOblivious,
-		Log:  logger,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// The second rule has 14 captures — more than the offset buffer's ten.
-	manyGroups := "/api" + strings.Repeat("/(*)", 14)
-	return &rewriter{
-		m: m,
-		rules: []rule{
-			{"/old/(*)", "/pages/$1"},
-			{manyGroups, "/v2/$1/$2"},
-		},
-		log: logger,
-	}, nil
-}
-
-// rewrite returns the rewritten path (or the original when no rule matches)
-// and whether the C engine survived.
-func (rw *rewriter) rewrite(uri string) (string, bool) {
-	for _, r := range rw.rules {
-		res := rw.m.Call("try_rewrite",
-			rw.m.NewCString(uri), rw.m.NewCString(r.pattern), rw.m.NewCString(r.subst))
-		if res.Outcome != fo.OutcomeOK {
-			return uri, false
-		}
-		if res.Value.I == 1 {
-			u, _ := rw.m.GlobalUnit("rewritten")
-			out, err := rw.m.ReadCString(fo.UnitPointer(u), 511)
-			if err != nil {
-				return uri, true
-			}
-			return out, true
-		}
-	}
-	return uri, true
-}
-
 func main() {
-	rw, err := newRewriter()
+	// A pool of four failure-oblivious Apache children behind a bounded
+	// queue with a per-request deadline — the §4.3.2 serving setup.
+	eng, err := srv.NewEngine(srv.NewApacheServer(), fo.FailureOblivious,
+		srv.WithPoolSize(4),
+		srv.WithQueueDepth(64),
+		srv.WithDeadline(2*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pages := map[string]string{
-		"/index.html": "welcome to the failure-oblivious web server\n",
-		"/pages/a":    "page A\n",
-		"/v2/x/x":     "api v2 endpoint\n",
-	}
+	defer eng.Close()
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		path, alive := rw.rewrite(r.URL.Path)
-		if !alive {
-			http.Error(w, "rewrite engine died", http.StatusInternalServerError)
+		resp, err := eng.Submit(r.Context(), srv.Request{Op: "GET", Arg: r.URL.Path})
+		switch {
+		case errors.Is(err, srv.ErrQueueFull):
+			http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		case resp.Outcome == fo.OutcomeDeadline:
+			http.Error(w, "request timed out", http.StatusGatewayTimeout)
+			return
+		case resp.Crashed():
+			// Only reachable in Standard/BoundsCheck pools: the child died
+			// handling this request (the supervisor replaces it).
+			http.Error(w, "server process crashed", http.StatusBadGateway)
 			return
 		}
-		body, ok := pages[path]
-		if !ok {
-			http.NotFound(w, r)
-			return
-		}
-		io.WriteString(w, body)
+		w.WriteHeader(resp.Status)
+		io.WriteString(w, httpBody(resp.Body))
 	})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	defer srv.Close()
+	httpSrv := &http.Server{Handler: mux}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
 	fmt.Println("serving on", base)
 
-	attack := "/api/" + strings.TrimSuffix(strings.Repeat("x/", 14), "/")
+	// The Apache model's vulnerable rule has sixteen captures; a URI with
+	// sixteen segments matches it and triggers the out-of-bounds offset
+	// writes (the §4.3 attack).
+	attack := "/api/" + strings.TrimSuffix(strings.Repeat("x/", 16), "/")
 	for _, uri := range []string{
 		"/index.html", // plain
-		"/old/a",      // benign rewrite
-		attack,        // matches the 14-capture rule: the §4.3 attack
+		"/old/a",      // benign rewrite -> /pages/a
+		attack,        // the §4.3 attack: discarded writes, correct output
 		"/index.html", // still serving?
 	} {
 		resp, err := http.Get(base + uri)
@@ -195,9 +89,20 @@ func main() {
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		fmt.Printf("GET %-40s -> %d %s", trunc(uri), resp.StatusCode, body)
+		fmt.Printf("GET %-40s -> %d %s\n", trunc(uri), resp.StatusCode, trunc(string(body)))
 	}
-	fmt.Printf("rewrite engine memory-error log: %s\n", rw.log.Summary())
+	st := eng.Stats()
+	fmt.Printf("engine stats: served %d, crashes %d, restarts %d, timeouts %d, rejected %d\n",
+		st.Served, st.Crashes, st.Restarts, st.Timeouts, st.Rejected)
+}
+
+// httpBody strips the model's raw HTTP response framing ("HTTP/1.1 ...
+// \r\n\r\n") and returns just the payload.
+func httpBody(raw string) string {
+	if _, body, ok := strings.Cut(raw, "\r\n\r\n"); ok {
+		return body
+	}
+	return raw
 }
 
 func trunc(s string) string {

@@ -51,6 +51,9 @@ func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 // Re-exported execution types; see the internal packages for details.
 type (
 	// Machine is one running program instance (a simulated process).
+	// Run/Call execute C functions; RunContext/CallContext are the
+	// context-aware variants that cancel mid-execution (OutcomeDeadline)
+	// without killing the machine.
 	Machine = interp.Machine
 	// Result is the outcome of a Run or Call.
 	Result = interp.Result
@@ -77,6 +80,9 @@ const (
 	OutcomeStackOverflow       = interp.OutcomeStackOverflow
 	OutcomeOOM                 = interp.OutcomeOOM
 	OutcomeRuntimeError        = interp.OutcomeRuntimeError
+	// OutcomeDeadline is a call canceled by its context (see
+	// Machine.CallContext); the machine survives it.
+	OutcomeDeadline = interp.OutcomeDeadline
 )
 
 // NewSmallIntGenerator returns the paper's manufactured-value sequence

@@ -1,0 +1,124 @@
+// Package srv is the public serving API: it re-exports the server
+// request/response model, the five server reproductions from the paper's
+// evaluation, and the concurrent serving engine, so external code can drive
+// them without importing focc's internal packages.
+//
+// Quickstart — a failure-oblivious Apache pool behind a bounded queue:
+//
+//	eng, err := srv.NewEngine(srv.NewApacheServer(), fo.FailureOblivious,
+//		srv.WithPoolSize(4),
+//		srv.WithQueueDepth(64),
+//		srv.WithDeadline(time.Second))
+//	defer eng.Close()
+//	resp, err := eng.Submit(ctx, srv.Request{Op: "GET", Arg: "/index.html"})
+package srv
+
+import (
+	"context"
+	"time"
+
+	"focc/fo"
+	"focc/internal/serve"
+	"focc/internal/servers"
+	"focc/internal/servers/apache"
+	"focc/internal/servers/mc"
+	"focc/internal/servers/mutt"
+	"focc/internal/servers/pine"
+	"focc/internal/servers/sendmail"
+)
+
+// Re-exported server model types; see internal/servers for details.
+type (
+	// Request is one unit of work submitted to a server instance.
+	Request = servers.Request
+	// Response is the server's reply.
+	Response = servers.Response
+	// Instance is one running server process under a specific mode. An
+	// Instance is not safe for concurrent use — one goroutine at a time;
+	// the Engine gives every worker its own instance.
+	Instance = servers.Instance
+	// Server is a compiled server program from which instances are made.
+	Server = servers.Server
+)
+
+// The five server reproductions from the paper's evaluation (§4.2–§4.6).
+
+// NewPineServer returns the Pine 4.44 model (qmail-style From-quoting
+// overflow, §4.2).
+func NewPineServer() Server { return pine.NewServer() }
+
+// NewApacheServer returns the Apache 2.0.47 model (mod_rewrite capture
+// overflow, §4.3).
+func NewApacheServer() Server { return apache.NewServer() }
+
+// NewSendmailServer returns the Sendmail 8.11.6 model (address-parsing
+// overflow, §4.4).
+func NewSendmailServer() Server { return sendmail.NewServer() }
+
+// NewMCServer returns the Midnight Commander 4.5.55 model (symlink-name
+// overflow, §4.5).
+func NewMCServer() Server { return mc.NewServer() }
+
+// NewMuttServer returns the Mutt 1.4 model (UTF-8 conversion overflow,
+// §4.6).
+func NewMuttServer() Server { return mutt.NewServer() }
+
+// Servers returns fresh instances of all five server models.
+func Servers() []Server {
+	return []Server{
+		NewPineServer(),
+		NewApacheServer(),
+		NewSendmailServer(),
+		NewMCServer(),
+		NewMuttServer(),
+	}
+}
+
+// Re-exported serving-engine types; see internal/serve for details.
+type (
+	// Engine is the concurrent serving engine: a supervised pool of
+	// instances behind a bounded admission queue.
+	Engine = serve.Engine
+	// Option configures an Engine.
+	Option = serve.Option
+	// Stats is a snapshot of an Engine's counters.
+	Stats = serve.Stats
+)
+
+// Errors returned by Engine.Submit.
+var (
+	// ErrQueueFull is the backpressure rejection of a full admission queue.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrClosed reports a Submit on a closed engine.
+	ErrClosed = serve.ErrClosed
+)
+
+// NewEngine starts a serving engine: a pool of srv instances under mode,
+// supervised with restart-on-crash, capped exponential backoff, and a
+// restart-storm circuit breaker.
+func NewEngine(srv Server, mode fo.Mode, opts ...Option) (*Engine, error) {
+	return serve.New(srv, mode, opts...)
+}
+
+// WithPoolSize sets the number of worker instances.
+func WithPoolSize(n int) Option { return serve.WithPoolSize(n) }
+
+// WithQueueDepth bounds the admission queue (reject-with-backpressure).
+func WithQueueDepth(n int) Option { return serve.WithQueueDepth(n) }
+
+// WithDeadline sets the default per-request deadline.
+func WithDeadline(d time.Duration) Option { return serve.WithDeadline(d) }
+
+// WithBackoff sets the capped exponential restart backoff.
+func WithBackoff(base, max time.Duration) Option { return serve.WithBackoff(base, max) }
+
+// WithBreaker configures the restart-storm circuit breaker.
+func WithBreaker(consecutive int, cooldown time.Duration) Option {
+	return serve.WithBreaker(consecutive, cooldown)
+}
+
+// Handle processes one request on inst with ctx bound for cancellation —
+// a convenience for driving a single instance without an Engine.
+func Handle(ctx context.Context, inst Instance, req Request) Response {
+	return inst.HandleContext(ctx, req)
+}

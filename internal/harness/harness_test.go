@@ -91,7 +91,7 @@ func TestChildPoolRestartsCrashedChildren(t *testing.T) {
 	if !resp.OK() {
 		t.Errorf("pool stopped serving: %v", resp)
 	}
-	if pool.Restarts == 0 {
+	if pool.Restarts() == 0 {
 		t.Error("expected child restarts under attack")
 	}
 }

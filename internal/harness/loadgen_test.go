@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"focc/fo"
+	"focc/internal/servers/apache"
+)
+
+// TestLoadtestFailureObliviousWins is the concurrent §4.3.2 regression: a
+// mixed legit/attack workload from 8 clients must leave the
+// failure-oblivious pool with higher legitimate throughput than the
+// Standard and BoundsCheck pools, and with zero restarts.
+func TestLoadtestFailureObliviousWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadtest experiment")
+	}
+	cfg := LoadtestConfig{
+		Clients:         8,
+		PoolSize:        4,
+		AttacksPerLegit: 3,
+		LegitPerClient:  4,
+		Deadline:        5 * time.Second,
+	}
+	results := map[fo.Mode]LoadtestResult{}
+	for _, mode := range Modes {
+		r, err := Loadtest(apache.NewServer(), mode, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		results[mode] = r
+	}
+	foR := results[fo.FailureOblivious]
+	if foR.Restarts != 0 {
+		t.Errorf("failure-oblivious pool restarted %d instances, want 0", foR.Restarts)
+	}
+	if foR.LegitDone != cfg.Clients*cfg.LegitPerClient {
+		t.Errorf("failure-oblivious legit done = %d, want %d",
+			foR.LegitDone, cfg.Clients*cfg.LegitPerClient)
+	}
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck} {
+		r := results[mode]
+		if r.Restarts == 0 {
+			t.Errorf("%v pool had no restarts under attack", mode)
+		}
+		if !(foR.Throughput > r.Throughput) {
+			t.Errorf("throughput ordering wrong: failure-oblivious %.1f <= %v %.1f",
+				foR.Throughput, mode, r.Throughput)
+		}
+	}
+	if foR.P50 <= 0 || foR.P95 < foR.P50 || foR.P99 < foR.P95 {
+		t.Errorf("percentiles not monotone: p50=%v p95=%v p99=%v",
+			foR.P50, foR.P95, foR.P99)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	p50, p95, p99 := percentiles(lats)
+	if p50 != 50*time.Millisecond || p95 != 95*time.Millisecond || p99 != 99*time.Millisecond {
+		t.Errorf("percentiles = %v %v %v, want 50ms 95ms 99ms", p50, p95, p99)
+	}
+	if a, b, c := percentiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Error("empty percentiles should be zero")
+	}
+}
+
+func TestFormatLoadtest(t *testing.T) {
+	rows := []LoadtestResult{
+		{Mode: fo.FailureOblivious, Throughput: 200, P50: time.Millisecond},
+		{Mode: fo.Standard, Throughput: 40, P50: 60 * time.Millisecond},
+	}
+	out := FormatLoadtest(rows)
+	if !strings.Contains(out, "5.0") {
+		t.Errorf("expected 5.0 speedup ratio in table:\n%s", out)
+	}
+	if !strings.Contains(out, "p99") {
+		t.Errorf("expected percentile headers in table:\n%s", out)
+	}
+}
+
+// TestChildPoolConcurrentHandle hammers one ChildPool from many goroutines
+// (run with -race): Handle and Restarts must be safe under concurrent
+// callers.
+func TestChildPoolConcurrentHandle(t *testing.T) {
+	srv := apache.NewServer()
+	pool, err := NewChildPool(srv, fo.BoundsCheck, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit := srv.LegitRequests()[0]
+	attack := srv.AttackRequest()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				req := legit
+				if (c+i)%3 == 0 {
+					req = attack
+				}
+				if _, err := pool.Handle(req); err != nil {
+					errc <- err
+					return
+				}
+				_ = pool.Restarts()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if pool.Restarts() == 0 {
+		t.Error("expected restarts from the attack mix")
+	}
+}

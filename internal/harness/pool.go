@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"focc/fo"
@@ -14,14 +15,20 @@ import (
 // freshly created process — at real instance-creation cost, which is
 // exactly the overhead the paper attributes the Standard/BoundsCheck
 // throughput loss to (§4.3.2).
+//
+// ChildPool is safe for concurrent callers, but serializes request
+// processing behind one mutex (instances are single-goroutine; see the
+// concurrency contract on servers.Instance). It remains the simple
+// sequential pool of the figure experiments; for genuine concurrency use
+// the serve.Engine, which gives every worker goroutine its own instance.
 type ChildPool struct {
-	srv      servers.Server
+	srv servers.Server
+
+	mu       sync.Mutex
 	mode     fo.Mode
 	children []servers.Instance
 	next     int
-
-	// Restarts counts children replaced after crashing.
-	Restarts int
+	restarts int
 }
 
 // NewChildPool creates a pool of n children.
@@ -43,6 +50,8 @@ func NewChildPool(srv servers.Server, mode fo.Mode, n int) (*ChildPool, error) {
 // Handle dispatches one request to the pool, replacing the child first if a
 // previous request killed it.
 func (p *ChildPool) Handle(req servers.Request) (servers.Response, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	i := p.next
 	p.next = (p.next + 1) % len(p.children)
 	if !p.children[i].Alive() {
@@ -51,9 +60,16 @@ func (p *ChildPool) Handle(req servers.Request) (servers.Response, error) {
 			return servers.Response{}, err
 		}
 		p.children[i] = inst
-		p.Restarts++
+		p.restarts++
 	}
 	return p.children[i].Handle(req), nil
+}
+
+// Restarts returns the number of children replaced after crashing.
+func (p *ChildPool) Restarts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restarts
 }
 
 // ThroughputResult is one row of the §4.3.2 throughput experiment.
@@ -100,7 +116,7 @@ func AttackThroughput(srv servers.Server, mode fo.Mode, poolSize, legitN, attack
 		res.LegitDone++
 	}
 	res.Elapsed = time.Since(start)
-	res.Restarts = pool.Restarts
+	res.Restarts = pool.Restarts()
 	if res.Elapsed > 0 {
 		res.Throughput = float64(res.LegitDone) / res.Elapsed.Seconds()
 	}

@@ -1,0 +1,108 @@
+package interp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"focc/fo"
+)
+
+const cancelSrc = `
+int hits = 0;
+
+int spin(void)
+{
+	int i = 0;
+	for (;;)
+		i++;
+	return i;
+}
+
+int bump(void)
+{
+	hits = hits + 1;
+	return hits;
+}
+
+int main(void) { return spin(); }
+`
+
+func newCancelMachine(t *testing.T) *fo.Machine {
+	t.Helper()
+	prog, err := fo.Compile("cancel.c", cancelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.FailureOblivious})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCallContextDeadlineSurvivesMachine(t *testing.T) {
+	m := newCancelMachine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res := m.CallContext(ctx, "spin")
+	if res.Outcome != fo.OutcomeDeadline {
+		t.Fatalf("spin outcome = %v (%v), want deadline-exceeded", res.Outcome, res.Err)
+	}
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", res.Err)
+	}
+	if res.Outcome.Crashed() {
+		t.Error("deadline outcome must not be a crash")
+	}
+	if m.Dead() {
+		t.Fatal("machine died from a canceled call")
+	}
+	// The stack was unwound: further calls run normally.
+	for want := int64(1); want <= 3; want++ {
+		res := m.Call("bump")
+		if res.Outcome != fo.OutcomeOK || res.Value.I != want {
+			t.Fatalf("post-cancel bump = %v value %d, want ok %d",
+				res.Outcome, res.Value.I, want)
+		}
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	m := newCancelMachine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res := m.RunContext(ctx)
+	if res.Outcome != fo.OutcomeDeadline {
+		t.Fatalf("outcome = %v, want deadline-exceeded", res.Outcome)
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", res.Err)
+	}
+}
+
+func TestCallContextPreCanceled(t *testing.T) {
+	m := newCancelMachine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := m.CallContext(ctx, "bump")
+	if res.Outcome != fo.OutcomeDeadline {
+		t.Fatalf("outcome = %v, want deadline-exceeded", res.Outcome)
+	}
+	// The canceled call never ran.
+	if res := m.Call("bump"); res.Value.I != 1 {
+		t.Errorf("bump after pre-canceled call = %d, want 1", res.Value.I)
+	}
+}
+
+func TestCallContextBackgroundIsPlainCall(t *testing.T) {
+	m := newCancelMachine(t)
+	res := m.CallContext(context.Background(), "bump")
+	if res.Outcome != fo.OutcomeOK || res.Value.I != 1 {
+		t.Fatalf("background-context call = %v value %d, want ok 1", res.Outcome, res.Value.I)
+	}
+}

@@ -5,8 +5,10 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"focc/internal/cc/ast"
 	"focc/internal/cc/sema"
@@ -75,6 +77,11 @@ const (
 	// OutcomeRuntimeError: other fatal runtime error (division by zero,
 	// missing function, internal limits).
 	OutcomeRuntimeError
+	// OutcomeDeadline: the call was canceled by its context (deadline or
+	// cancellation) before completing. Unlike the crash outcomes the
+	// machine survives: the stack is unwound and the instance keeps
+	// serving further calls.
+	OutcomeDeadline
 )
 
 func (o Outcome) String() string {
@@ -101,12 +108,18 @@ func (o Outcome) String() string {
 		return "out-of-memory"
 	case OutcomeRuntimeError:
 		return "runtime-error"
+	case OutcomeDeadline:
+		return "deadline-exceeded"
 	}
 	return "unknown"
 }
 
-// Crashed reports whether the outcome represents abnormal termination.
-func (o Outcome) Crashed() bool { return o != OutcomeOK && o != OutcomeExit }
+// Crashed reports whether the outcome represents abnormal termination of
+// the process. A deadline-exceeded call is not a crash: the machine unwinds
+// and keeps serving.
+func (o Outcome) Crashed() bool {
+	return o != OutcomeOK && o != OutcomeExit && o != OutcomeDeadline
+}
 
 // Result is the outcome of a Run or Call.
 type Result struct {
@@ -170,13 +183,21 @@ type Machine struct {
 	scratch2 [8]byte
 
 	dead bool // a previous Call crashed; the process is gone
+
+	// cancel is the cancellation hook: set (from any goroutine) by the
+	// watcher BindContext installs, polled by the step loop. cancelCtx
+	// holds the bound context so the deadline result can report ctx.Err().
+	// Everything else on the machine is single-goroutine.
+	cancel    atomic.Bool
+	cancelCtx context.Context
 }
 
 // panics used for non-local exits inside the evaluator.
 type (
-	execPanic struct{ err error }
-	exitPanic struct{ code int }
-	hangPanic struct{}
+	execPanic   struct{ err error }
+	exitPanic   struct{ code int }
+	hangPanic   struct{}
+	cancelPanic struct{}
 )
 
 // runtimeErr is a fatal runtime error that is not a memory fault.
@@ -324,15 +345,70 @@ func putLEBytes(buf []byte, v int64) {
 // Run executes main() and returns its result.
 func (m *Machine) Run() Result { return m.Call("main") }
 
+// RunContext executes main(), canceling the execution when ctx is done.
+func (m *Machine) RunContext(ctx context.Context) Result {
+	return m.CallContext(ctx, "main")
+}
+
 // Call invokes a named C function with the given argument values. The step
 // counter is reset per call. After a crash the machine is dead and further
 // calls return the crash outcome immediately (the "process" is gone).
-func (m *Machine) Call(name string, args ...Value) (res Result) {
+func (m *Machine) Call(name string, args ...Value) Result {
+	return m.call(name, args)
+}
+
+// CallContext is Call with cancellation: when ctx is done the interpreter
+// aborts at the next step-budget poll, unwinds the simulated stack, and
+// returns OutcomeDeadline. The machine stays alive and can serve further
+// calls — this is the per-request deadline hook the serving engine uses.
+func (m *Machine) CallContext(ctx context.Context, name string, args ...Value) Result {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{Outcome: OutcomeDeadline, Err: err}
+		}
+		defer m.BindContext(ctx)()
+	}
+	return m.call(name, args)
+}
+
+// BindContext installs ctx as the cancellation source for every call made
+// until the returned release function is invoked. It lets a driver bind one
+// context around a multi-call request (see servers.Instance.HandleContext).
+// The release function must be called from the machine's own goroutine.
+func (m *Machine) BindContext(ctx context.Context) (release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	m.cancelCtx = ctx
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			m.cancel.Store(true)
+		case <-stop:
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+		m.cancel.Store(false)
+		m.cancelCtx = nil
+	}
+}
+
+func (m *Machine) call(name string, args []Value) (res Result) {
 	if m.dead {
 		return Result{Outcome: OutcomeRuntimeError,
 			Err: fmt.Errorf("machine is dead (previous call crashed)")}
 	}
+	if m.cancel.Load() {
+		return Result{Outcome: OutcomeDeadline, Err: m.cancelErr()}
+	}
 	m.steps = 0
+	entrySP := m.as.SP()
+	savedRet, savedFrame, savedGoto := m.retVal, m.frame, m.gotoLabel
 	defer func() {
 		res.Steps = m.steps
 		r := recover()
@@ -346,6 +422,12 @@ func (m *Machine) Call(name string, args ...Value) (res Result) {
 			res = Result{Outcome: OutcomeHang,
 				Err: fmt.Errorf("step budget of %d exhausted (infinite loop?)", m.maxSteps)}
 			m.dead = true
+		case cancelPanic:
+			// Abandon the in-flight frames and restore the pre-call frame
+			// state: the "process" survives a canceled request.
+			m.as.UnwindTo(entrySP)
+			m.retVal, m.frame, m.gotoLabel = savedRet, savedFrame, savedGoto
+			res = Result{Outcome: OutcomeDeadline, Err: m.cancelErr()}
 		case execPanic:
 			res = Result{Outcome: classify(p.err), Err: p.err}
 			if res.Outcome.Crashed() {
@@ -364,6 +446,16 @@ func (m *Machine) Call(name string, args ...Value) (res Result) {
 	}
 	v := m.callFunction(fd, args, token.Pos{File: "<host>", Line: 1, Col: 1})
 	return Result{Outcome: OutcomeOK, Value: v}
+}
+
+// cancelErr reports why the bound context canceled the call.
+func (m *Machine) cancelErr() error {
+	if m.cancelCtx != nil {
+		if err := m.cancelCtx.Err(); err != nil {
+			return err
+		}
+	}
+	return context.Canceled
 }
 
 func classify(err error) Outcome {
@@ -405,12 +497,20 @@ func (m *Machine) failf(pos token.Pos, format string, args ...any) {
 // Exit terminates the program with the given status (used by libc exit()).
 func (m *Machine) Exit(code int) { panic(exitPanic{code: code}) }
 
-// step consumes interpreter budget and detects hangs.
+// cancelCheckMask throttles the cancellation poll to every 1024 interpreter
+// steps, keeping the atomic load off the per-statement hot path.
+const cancelCheckMask = 1<<10 - 1
+
+// step consumes interpreter budget, detects hangs, and polls the
+// cancellation hook.
 func (m *Machine) step() {
 	m.steps++
 	m.simCycles += StepCycles
 	if m.steps > m.maxSteps {
 		panic(hangPanic{})
+	}
+	if m.steps&cancelCheckMask == 0 && m.cancel.Load() {
+		panic(cancelPanic{})
 	}
 }
 

@@ -414,6 +414,29 @@ func (as *AddressSpace) PopFrame(f *Frame) *Fault {
 	return nil
 }
 
+// SP returns the current stack pointer (for save/restore across a
+// non-local exit).
+func (as *AddressSpace) SP() uint64 { return as.sp }
+
+// UnwindTo abandons every frame pushed after the stack pointer was at sp —
+// the non-local exit used when a call is canceled mid-execution. The frames
+// are discarded, not returned from, so no canary checks are performed.
+func (as *AddressSpace) UnwindTo(sp uint64) {
+	for len(as.stack) > 0 {
+		u := as.stack[len(as.stack)-1]
+		if u.Base >= sp {
+			break
+		}
+		u.Dead = true
+		u.shadow = nil
+		if u.Kind == KindStackGuard {
+			as.stats.FramesPop++
+		}
+		as.stack = as.stack[:len(as.stack)-1]
+	}
+	as.sp = sp
+}
+
 // FindUnit returns the unit containing addr (live or dead), or nil for
 // unmapped addresses. Guard and header units are returned too.
 func (as *AddressSpace) FindUnit(addr uint64) *Unit {

@@ -1,0 +1,89 @@
+package serve
+
+import "time"
+
+// Option configures an Engine (the functional-options constructor of the
+// serving API: WithPoolSize, WithQueueDepth, WithDeadline, WithBackoff,
+// WithBreaker).
+type Option func(*options)
+
+type options struct {
+	poolSize   int
+	queueDepth int
+	deadline   time.Duration
+
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	breakerAfter int
+	breakerCool  time.Duration
+}
+
+func defaultOptions() options {
+	return options{
+		poolSize:     4,
+		queueDepth:   64,
+		deadline:     0, // no per-request deadline unless configured
+		backoffBase:  time.Millisecond,
+		backoffMax:   250 * time.Millisecond,
+		breakerAfter: 8,
+		breakerCool:  500 * time.Millisecond,
+	}
+}
+
+// WithPoolSize sets the number of worker instances ("child processes");
+// n <= 0 keeps the default of 4.
+func WithPoolSize(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.poolSize = n
+		}
+	}
+}
+
+// WithQueueDepth bounds the admission queue: a Submit arriving while the
+// queue holds n requests is rejected with ErrQueueFull (backpressure)
+// instead of queuing without bound. n <= 0 keeps the default of 64.
+func WithQueueDepth(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.queueDepth = n
+		}
+	}
+}
+
+// WithDeadline sets the default per-request deadline, covering queue wait
+// plus execution. A request exceeding it gets a response with
+// fo.OutcomeDeadline; the serving instance survives. d <= 0 disables the
+// default deadline (a caller-supplied context can still cancel).
+func WithDeadline(d time.Duration) Option {
+	return func(o *options) { o.deadline = d }
+}
+
+// WithBackoff sets the capped exponential backoff applied between
+// consecutive restarts of a crashing instance: the k-th consecutive restart
+// waits min(base<<(k-1), max). Non-positive arguments keep the defaults
+// (1ms base, 250ms cap).
+func WithBackoff(base, max time.Duration) Option {
+	return func(o *options) {
+		if base > 0 {
+			o.backoffBase = base
+		}
+		if max > 0 {
+			o.backoffMax = max
+		}
+	}
+}
+
+// WithBreaker configures the restart-storm circuit breaker: after
+// consecutive crashes without an intervening successful response, the
+// worker stops hot-restarting and parks for cooldown before trying a fresh
+// instance (half-open). consecutive <= 0 disables the breaker.
+func WithBreaker(consecutive int, cooldown time.Duration) Option {
+	return func(o *options) {
+		o.breakerAfter = consecutive
+		if cooldown > 0 {
+			o.breakerCool = cooldown
+		}
+	}
+}

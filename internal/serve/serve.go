@@ -1,0 +1,277 @@
+// Package serve is the concurrent serving engine: it dispatches
+// servers.Requests across a supervised pool of interpreter instances, the
+// way Apache's process manager feeds requests to a regenerating pool of
+// child processes (paper §4.3.2).
+//
+// The engine owns poolSize worker goroutines, each driving its own
+// servers.Instance (instances are single-goroutine; see the concurrency
+// contract on servers.Instance). Requests are admitted through a bounded
+// queue — a full queue rejects immediately with ErrQueueFull so callers see
+// backpressure instead of unbounded latency. A per-request deadline
+// (engine default and/or caller context) cancels execution inside the
+// interpreter and returns fo.OutcomeDeadline without killing the instance.
+//
+// The supervisor part mirrors the paper's availability mechanism: a worker
+// whose instance crashes replaces it with a fresh one — at real
+// instance-creation cost, which is exactly what throttles the Standard and
+// BoundsCheck versions under attack — with capped exponential backoff
+// between consecutive crashes, and a circuit breaker that parks a
+// crash-looping worker for a cooldown instead of hot-restarting forever.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull is the backpressure signal: the admission queue is at
+	// capacity and the request was rejected without queuing.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed reports a Submit on (or interrupted by) a closed engine.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Served counts responses delivered by workers (any outcome).
+	Served uint64
+	// Crashes counts requests that killed their instance.
+	Crashes uint64
+	// Restarts counts replacement instances successfully created.
+	Restarts uint64
+	// Timeouts counts deadline-exceeded requests (queued or executing).
+	Timeouts uint64
+	// Rejected counts queue-full admission rejections.
+	Rejected uint64
+	// BreakerTrips counts circuit-breaker activations.
+	BreakerTrips uint64
+}
+
+// Engine dispatches requests across a supervised pool of instances. All
+// methods are safe for concurrent use.
+type Engine struct {
+	srv  servers.Server
+	mode fo.Mode
+	o    options
+
+	tasks chan *task
+	// closing is canceled by Close; its Done channel doubles as the
+	// engine-wide shutdown signal, and in-flight interpreter work is
+	// canceled through it so Close never waits on a stuck request.
+	closing   context.Context
+	closeFunc context.CancelFunc
+	wg        sync.WaitGroup
+	once      sync.Once
+
+	served, crashes, restarts, timeouts, rejected, trips atomic.Uint64
+}
+
+type task struct {
+	ctx  context.Context
+	req  servers.Request
+	resp chan servers.Response // buffered(1): workers never block on reply
+}
+
+// New builds the pool (failing fast if instances cannot be created) and
+// starts one worker goroutine per instance.
+func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	closing, closeFunc := context.WithCancel(context.Background())
+	e := &Engine{
+		srv:       srv,
+		mode:      mode,
+		o:         o,
+		tasks:     make(chan *task, o.queueDepth),
+		closing:   closing,
+		closeFunc: closeFunc,
+	}
+	insts := make([]servers.Instance, o.poolSize)
+	for i := range insts {
+		inst, err := srv.New(mode)
+		if err != nil {
+			return nil, fmt.Errorf("serve: spawn %s/%v child %d: %w", srv.Name(), mode, i, err)
+		}
+		insts[i] = inst
+	}
+	for _, inst := range insts {
+		e.wg.Add(1)
+		go e.worker(inst)
+	}
+	return e, nil
+}
+
+// Mode returns the pool's execution mode.
+func (e *Engine) Mode() fo.Mode { return e.mode }
+
+// PoolSize returns the number of workers.
+func (e *Engine) PoolSize() int { return e.o.poolSize }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Served:       e.served.Load(),
+		Crashes:      e.crashes.Load(),
+		Restarts:     e.restarts.Load(),
+		Timeouts:     e.timeouts.Load(),
+		Rejected:     e.rejected.Load(),
+		BreakerTrips: e.trips.Load(),
+	}
+}
+
+// Submit dispatches one request and blocks until its response. It returns
+// ErrQueueFull immediately when the admission queue is at capacity, and
+// ErrClosed when the engine is (or becomes) closed. A nil ctx means no
+// caller-side cancellation; the engine's configured deadline, if any, is
+// applied on top of ctx in either case. Deadline expiry is reported as a
+// Response with fo.OutcomeDeadline, not an error: the request was admitted
+// and accounted, it just ran out of time.
+func (e *Engine) Submit(ctx context.Context, req servers.Request) (servers.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.o.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.o.deadline)
+		defer cancel()
+	}
+	t := &task{ctx: ctx, req: req, resp: make(chan servers.Response, 1)}
+	select {
+	case e.tasks <- t:
+	case <-e.closing.Done():
+		return servers.Response{}, ErrClosed
+	default:
+		e.rejected.Add(1)
+		return servers.Response{}, ErrQueueFull
+	}
+	select {
+	case resp := <-t.resp:
+		return resp, nil
+	case <-e.closing.Done():
+		return servers.Response{}, ErrClosed
+	}
+}
+
+// Close shuts the engine down and waits for the workers to exit. In-flight
+// requests are canceled through the interpreter's cancellation hook, and
+// Submits blocked on them return ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.once.Do(e.closeFunc)
+	e.wg.Wait()
+}
+
+// worker owns one instance: it pulls tasks from the shared queue, executes
+// them under the task context, and supervises its instance across crashes.
+func (e *Engine) worker(inst servers.Instance) {
+	defer e.wg.Done()
+	consecutive := 0 // crashes since the last successful response
+	for {
+		select {
+		case <-e.closing.Done():
+			return
+		case t := <-e.tasks:
+			if err := t.ctx.Err(); err != nil {
+				// Expired while queued: answer without burning the
+				// instance on a request nobody is waiting for.
+				e.timeouts.Add(1)
+				t.resp <- servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
+				continue
+			}
+			resp := e.execute(inst, t)
+			e.served.Add(1)
+			if resp.Outcome == fo.OutcomeDeadline {
+				e.timeouts.Add(1)
+			}
+			t.resp <- resp
+			if resp.Crashed() || !inst.Alive() {
+				e.crashes.Add(1)
+				consecutive++
+				inst = e.respawn(&consecutive)
+				if inst == nil {
+					return // engine closed while backing off
+				}
+			} else if resp.Outcome == fo.OutcomeOK {
+				consecutive = 0
+			}
+		}
+	}
+}
+
+// execute runs one task on inst under a context that is canceled either by
+// the task's own deadline or by engine shutdown, so a stuck request never
+// pins a worker past Close.
+func (e *Engine) execute(inst servers.Instance, t *task) servers.Response {
+	ctx, cancel := context.WithCancel(t.ctx)
+	defer cancel()
+	stop := context.AfterFunc(e.closing, cancel)
+	defer stop()
+	return inst.HandleContext(ctx, t.req)
+}
+
+// respawn replaces a crashed instance, applying capped exponential backoff
+// between consecutive crashes and tripping the circuit breaker on a restart
+// storm. It returns nil when the engine closes while waiting.
+func (e *Engine) respawn(consecutive *int) servers.Instance {
+	for {
+		switch {
+		case e.o.breakerAfter > 0 && *consecutive >= e.o.breakerAfter:
+			// Restart storm: stop hot-restarting, park for the cooldown,
+			// then half-open — try one fresh instance.
+			e.trips.Add(1)
+			if !e.sleep(e.o.breakerCool) {
+				return nil
+			}
+			*consecutive = 1
+		case *consecutive > 1:
+			if !e.sleep(e.backoff(*consecutive)) {
+				return nil
+			}
+		}
+		inst, err := e.srv.New(e.mode)
+		if err != nil {
+			*consecutive++
+			continue
+		}
+		e.restarts.Add(1)
+		return inst
+	}
+}
+
+// backoff returns the delay before the k-th consecutive restart:
+// min(base<<(k-2), max) — the first restart after an isolated crash is
+// immediate (the paper's pool regenerates children eagerly), the second
+// waits base, doubling up to the cap.
+func (e *Engine) backoff(k int) time.Duration {
+	shift := uint(k - 2)
+	if shift > 20 {
+		return e.o.backoffMax
+	}
+	d := e.o.backoffBase << shift
+	if d <= 0 || d > e.o.backoffMax {
+		d = e.o.backoffMax
+	}
+	return d
+}
+
+// sleep waits for d, returning false if the engine closed first.
+func (e *Engine) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-e.closing.Done():
+		return false
+	}
+}

@@ -1,0 +1,306 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"focc/fo"
+	"focc/internal/serve"
+	"focc/internal/servers"
+	"focc/internal/servers/apache"
+)
+
+// stubSrc is a minimal server program with one handler per behaviour the
+// engine must supervise: a fast success, an infinite loop (deadline
+// testing), and an unconditional stack smash (crash-loop testing).
+const stubSrc = `
+char resp[32];
+
+int ok(void)
+{
+	resp[0] = 'o'; resp[1] = 'k'; resp[2] = 0;
+	return 200;
+}
+
+int spin(void)
+{
+	int i = 0;
+	for (;;)
+		i++;
+	return i;
+}
+
+int smash(void)
+{
+	char buf[4];
+	int i;
+	for (i = 0; i < 200; i++)
+		buf[i] = 'x';
+	return 0;
+}
+`
+
+var (
+	stubOnce sync.Once
+	stubProg *fo.Program
+	stubErr  error
+)
+
+type stubServer struct{}
+
+func (*stubServer) Name() string { return "stub" }
+
+func (*stubServer) New(mode fo.Mode) (servers.Instance, error) {
+	stubOnce.Do(func() { stubProg, stubErr = fo.Compile("stub.c", stubSrc) })
+	if stubErr != nil {
+		return nil, stubErr
+	}
+	log := fo.NewEventLog(0)
+	m, err := stubProg.NewMachine(fo.MachineConfig{Mode: mode, Log: log})
+	if err != nil {
+		return nil, err
+	}
+	return &stubInstance{Base: servers.Base{ServerName: "stub", M: m, EvLog: log}}, nil
+}
+
+func (*stubServer) LegitRequests() []servers.Request {
+	return []servers.Request{{Op: "ok"}}
+}
+
+func (*stubServer) AttackRequest() servers.Request {
+	return servers.Request{Op: "smash"}
+}
+
+type stubInstance struct {
+	servers.Base
+}
+
+func (i *stubInstance) Handle(req servers.Request) servers.Response {
+	res := i.M.Call(req.Op)
+	if res.Outcome != fo.OutcomeOK {
+		return servers.Response{Outcome: res.Outcome, Err: res.Err}
+	}
+	return servers.Response{Outcome: fo.OutcomeOK, Status: int(res.Value.I), Body: "ok"}
+}
+
+func (i *stubInstance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
+	defer i.BindContext(ctx)()
+	return i.Handle(req)
+}
+
+// TestConcurrentMixedLoad drives a mixed legit/attack workload from 8
+// concurrent clients through pools in all three paper modes (run with
+// -race). Legitimate requests must always be answered by a live instance —
+// the supervisor replaces crashed children between requests — and only the
+// failure-oblivious pool must do it without any restarts.
+func TestConcurrentMixedLoad(t *testing.T) {
+	srv := apache.NewServer()
+	const clients = 8
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng, err := serve.New(srv, mode,
+				serve.WithPoolSize(4), serve.WithQueueDepth(4*clients))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			legit := srv.LegitRequests()[0]
+			attack := srv.AttackRequest()
+			var wg sync.WaitGroup
+			errc := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 3; i++ {
+						for a := 0; a < 2; a++ {
+							if _, err := eng.Submit(nil, attack); err != nil &&
+								!errors.Is(err, serve.ErrQueueFull) {
+								errc <- err
+								return
+							}
+						}
+						for {
+							resp, err := eng.Submit(nil, legit)
+							if errors.Is(err, serve.ErrQueueFull) {
+								time.Sleep(100 * time.Microsecond)
+								continue
+							}
+							if err != nil {
+								errc <- err
+								return
+							}
+							if !resp.OK() {
+								errc <- errors.New("legit request not OK: " + resp.String())
+								return
+							}
+							break
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+			st := eng.Stats()
+			if mode == fo.FailureOblivious {
+				if st.Crashes != 0 || st.Restarts != 0 {
+					t.Errorf("failure-oblivious pool crashed %d / restarted %d, want 0",
+						st.Crashes, st.Restarts)
+				}
+			} else if st.Crashes == 0 {
+				t.Errorf("%v pool saw no crashes under attack", mode)
+			}
+		})
+	}
+}
+
+// TestDeadlineExpiry submits a request that loops forever under a short
+// deadline: the response must carry OutcomeDeadline, the instance must
+// survive (no restart), and the same worker must serve a subsequent
+// legitimate request.
+func TestDeadlineExpiry(t *testing.T) {
+	eng, err := serve.New(&stubServer{}, fo.FailureOblivious,
+		serve.WithPoolSize(1), serve.WithQueueDepth(4),
+		serve.WithDeadline(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	resp, err := eng.Submit(nil, servers.Request{Op: "spin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != fo.OutcomeDeadline {
+		t.Fatalf("spin outcome = %v, want deadline-exceeded", resp.Outcome)
+	}
+	if resp.Crashed() {
+		t.Error("deadline outcome must not count as a crash")
+	}
+	resp, err = eng.Submit(nil, servers.Request{Op: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK() || resp.Status != 200 {
+		t.Fatalf("post-deadline request = %v, want 200 OK", resp)
+	}
+	st := eng.Stats()
+	if st.Timeouts == 0 {
+		t.Error("timeout not counted")
+	}
+	if st.Restarts != 0 || st.Crashes != 0 {
+		t.Errorf("deadline killed the instance: crashes=%d restarts=%d",
+			st.Crashes, st.Restarts)
+	}
+}
+
+// TestQueueFullRejection fills the single worker and the one-slot queue
+// with slow requests; further submissions must be rejected immediately with
+// ErrQueueFull (backpressure, not unbounded queuing).
+func TestQueueFullRejection(t *testing.T) {
+	eng, err := serve.New(&stubServer{}, fo.FailureOblivious,
+		serve.WithPoolSize(1), serve.WithQueueDepth(1),
+		serve.WithDeadline(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupies the worker until its deadline fires
+		defer wg.Done()
+		eng.Submit(nil, servers.Request{Op: "spin"})
+	}()
+	time.Sleep(50 * time.Millisecond) // let the worker pick the task up
+	wg.Add(1)
+	go func() { // fills the queue's single slot
+		defer wg.Done()
+		eng.Submit(nil, servers.Request{Op: "spin"})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	rejected := 0
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Submit(nil, servers.Request{Op: "ok"}); errors.Is(err, serve.ErrQueueFull) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no submissions rejected while queue was full")
+	}
+	if eng.Stats().Rejected == 0 {
+		t.Error("rejections not counted")
+	}
+	wg.Wait()
+}
+
+// TestBreakerTripsOnCrashLoop drives a crash-on-every-request workload in
+// Standard mode: after the configured number of consecutive crashes the
+// worker must trip the circuit breaker (parking for the cooldown) instead
+// of hot-restarting forever — yet every submitted request still gets a
+// response.
+func TestBreakerTripsOnCrashLoop(t *testing.T) {
+	eng, err := serve.New(&stubServer{}, fo.Standard,
+		serve.WithPoolSize(1), serve.WithQueueDepth(4),
+		serve.WithBackoff(time.Millisecond, 4*time.Millisecond),
+		serve.WithBreaker(3, 20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const n = 7
+	for i := 0; i < n; i++ {
+		resp, err := eng.Submit(nil, servers.Request{Op: "smash"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Crashed() {
+			t.Fatalf("smash request %d did not crash (%v)", i, resp.Outcome)
+		}
+	}
+	st := eng.Stats()
+	if st.BreakerTrips == 0 {
+		t.Errorf("crash loop of %d requests tripped the breaker 0 times", n)
+	}
+	if st.Crashes != n {
+		t.Errorf("crashes = %d, want %d", st.Crashes, n)
+	}
+	if st.Served != n {
+		t.Errorf("served = %d, want %d (every request must be answered)", st.Served, n)
+	}
+}
+
+// TestCloseUnblocksSubmitters verifies a Close with requests in flight
+// returns ErrClosed to blocked submitters instead of deadlocking.
+func TestCloseUnblocksSubmitters(t *testing.T) {
+	eng, err := serve.New(&stubServer{}, fo.FailureOblivious,
+		serve.WithPoolSize(1), serve.WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := eng.Submit(nil, servers.Request{Op: "spin"})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { eng.Close(); close(done) }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, serve.ErrClosed) {
+			t.Fatalf("blocked submit returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit still blocked after Close")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+}

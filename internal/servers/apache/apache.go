@@ -9,6 +9,7 @@
 package apache
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strings"
@@ -307,6 +308,13 @@ func (inst *Instance) Handle(req servers.Request) servers.Response {
 		Status:  int(res.Value.I),
 		Body:    inst.responseBody(),
 	}
+}
+
+// HandleContext implements servers.Instance: Handle with ctx bound to the
+// machine for per-request cancellation.
+func (inst *Instance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
+	defer inst.BindContext(ctx)()
+	return inst.Handle(req)
 }
 
 func (inst *Instance) globalPtr(name string) fo.Value {

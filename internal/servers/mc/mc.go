@@ -12,6 +12,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -392,6 +393,13 @@ func (inst *Instance) Handle(req servers.Request) servers.Response {
 		return servers.Response{Outcome: fo.OutcomeOK, Status: -1,
 			Body: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// HandleContext implements servers.Instance: Handle with ctx bound to the
+// machine for per-request cancellation.
+func (inst *Instance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
+	defer inst.BindContext(ctx)()
+	return inst.Handle(req)
 }
 
 // LegitRequests implements servers.Server (the Figure 5 workloads).

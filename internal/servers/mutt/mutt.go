@@ -6,6 +6,7 @@
 package mutt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -290,6 +291,13 @@ func (inst *Instance) Handle(req servers.Request) servers.Response {
 			Body: fmt.Sprintf("unknown op %q", req.Op),
 		}
 	}
+}
+
+// HandleContext implements servers.Instance: Handle with ctx bound to the
+// machine for per-request cancellation.
+func (inst *Instance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
+	defer inst.BindContext(ctx)()
+	return inst.Handle(req)
 }
 
 func (inst *Instance) moveMessage(payload string) *servers.Response {

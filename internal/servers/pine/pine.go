@@ -9,6 +9,7 @@
 package pine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -215,6 +216,13 @@ func (inst *Instance) Handle(req servers.Request) servers.Response {
 	default:
 		return servers.Response{Outcome: fo.OutcomeOK, Status: -1, Body: "unknown op"}
 	}
+}
+
+// HandleContext implements servers.Instance: Handle with ctx bound to the
+// machine for per-request cancellation.
+func (inst *Instance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
+	defer inst.BindContext(ctx)()
+	return inst.Handle(req)
 }
 
 // LoadMailbox indexes every message, as Pine does at startup; it stops at

@@ -13,6 +13,7 @@
 package sendmail
 
 import (
+	"context"
 	"strings"
 	"sync"
 
@@ -239,6 +240,13 @@ func (inst *Instance) Handle(req servers.Request) servers.Response {
 	default:
 		return servers.Response{Outcome: fo.OutcomeOK, Status: 500, Body: "500 unknown command"}
 	}
+}
+
+// HandleContext implements servers.Instance: Handle with ctx bound to the
+// machine for per-request cancellation.
+func (inst *Instance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
+	defer inst.BindContext(ctx)()
+	return inst.Handle(req)
 }
 
 // Deliver runs a full receive transaction (MAIL, RCPT, DATA); it stops at

@@ -7,6 +7,7 @@
 package servers
 
 import (
+	"context"
 	"fmt"
 
 	"focc/fo"
@@ -55,6 +56,14 @@ func (r Response) String() string {
 }
 
 // Instance is one running server process under a specific mode.
+//
+// Concurrency contract: an Instance is NOT safe for concurrent use. It
+// models one process with one simulated address space, and exactly one
+// goroutine may call Handle/HandleContext at a time (the serve.Engine
+// satisfies this by giving every worker goroutine its own instance).
+// Alive, Mode, Name are safe to read between requests from the owning
+// goroutine; Log and Cycles must only be read while no request is in
+// flight on the instance.
 type Instance interface {
 	// Name identifies the server ("mutt", "apache", …).
 	Name() string
@@ -64,6 +73,11 @@ type Instance interface {
 	Alive() bool
 	// Handle processes one request.
 	Handle(Request) Response
+	// HandleContext processes one request under ctx: when ctx is done the
+	// underlying machine aborts at its next cancellation poll and the
+	// response carries fo.OutcomeDeadline. The instance survives a
+	// deadline-exceeded request and keeps serving.
+	HandleContext(ctx context.Context, req Request) Response
 	// Log exposes the instance's memory-error log.
 	Log() *fo.EventLog
 	// Cycles returns the instance's cumulative simulated cycle count
@@ -104,6 +118,19 @@ func (b *Base) Log() *fo.EventLog { return b.EvLog }
 
 // Cycles implements Instance.
 func (b *Base) Cycles() uint64 { return b.M.SimCycles() }
+
+// BindContext binds ctx as the cancellation source of the instance's
+// machine for the duration of one request; the returned release function
+// must be deferred. Server packages use it to implement HandleContext on
+// top of their existing Handle:
+//
+//	func (inst *Instance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
+//		defer inst.BindContext(ctx)()
+//		return inst.Handle(req)
+//	}
+func (b *Base) BindContext(ctx context.Context) (release func()) {
+	return b.M.BindContext(ctx)
+}
 
 // CallString invokes a C function taking a single C-string argument and
 // returns its machine result. The string is heap-allocated in the guest.
