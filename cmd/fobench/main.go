@@ -11,6 +11,7 @@
 //	fobench -experiment resilience     # security & resilience matrix (§4.*.2)
 //	fobench -experiment variants       # boundless / redirect variants (§5.1)
 //	fobench -experiment soak           # stability runs (§4.*.4)
+//	fobench -experiment errlog         # per-mode memory-error event profiles (§3)
 //	fobench -experiment propagation    # error propagation distance (§1.2)
 //	fobench -experiment ablation       # manufactured-value sequence (§3)
 //
@@ -177,6 +178,16 @@ func runClock(experiment string, reps, soakN int, clock harness.Clock, loadCfg h
 			}
 		}
 		fmt.Println()
+	}
+
+	if all || experiment == "errlog" {
+		ran = true
+		fmt.Println("Memory-error event profiles per mode (paper §3 log; Standard omitted — it logs nothing)")
+		rows, err := harness.ErrlogProfiles(allServers(), harness.ErrlogModes, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatErrlog(rows))
 	}
 
 	if all || experiment == "propagation" {

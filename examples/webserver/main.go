@@ -7,20 +7,35 @@
 // out-of-bounds offset writes are discarded and the pool keeps serving
 // without a single restart.
 //
+// The server also exposes the engine's observability surface:
+//
+//	/metrics      Prometheus text format (srv.MetricsHandler)
+//	/debug/vars   expvar JSON, including the full Metrics snapshot
+//	/debug/pprof  Go runtime profiles
+//
+// and stamps each response with an X-Memory-Errors header when the request
+// it handled committed memory errors (the per-request attribution carried
+// on Response.MemErrors).
+//
 // The example starts the server on a loopback listener, issues a few
-// requests against itself (including the attack), and prints the results
-// plus the engine's supervision counters.
+// requests against itself (including the attack), and prints the results,
+// the engine's supervision counters, and the memory-error metrics the
+// attack left behind.
 //
 //	go run ./examples/webserver
 package main
 
 import (
+	"bufio"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,9 +74,22 @@ func main() {
 			http.Error(w, "server process crashed", http.StatusBadGateway)
 			return
 		}
+		if n := resp.MemErrors.Total(); n > 0 {
+			w.Header().Set("X-Memory-Errors", strconv.FormatUint(n, 10))
+		}
 		w.WriteHeader(resp.Status)
 		io.WriteString(w, httpBody(resp.Body))
 	})
+
+	// Observability: Prometheus metrics, expvar, pprof.
+	mux.Handle("/metrics", srv.MetricsHandler(eng))
+	srv.ExpvarPublish("fo_engine", eng)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -89,11 +117,39 @@ func main() {
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		fmt.Printf("GET %-40s -> %d %s\n", trunc(uri), resp.StatusCode, trunc(string(body)))
+		attributed := ""
+		if n := resp.Header.Get("X-Memory-Errors"); n != "" {
+			attributed = fmt.Sprintf("  [X-Memory-Errors: %s]", n)
+		}
+		fmt.Printf("GET %-40s -> %d %s%s\n", trunc(uri), resp.StatusCode, trunc(string(body)), attributed)
 	}
 	st := eng.Stats()
 	fmt.Printf("engine stats: served %d, crashes %d, restarts %d, timeouts %d, rejected %d\n",
 		st.Served, st.Crashes, st.Restarts, st.Timeouts, st.Rejected)
+	fmt.Printf("memory errors: %d invalid reads, %d invalid writes, %d denied\n",
+		st.MemErrors.InvalidReads, st.MemErrors.InvalidWrites, st.MemErrors.Denied)
+
+	// Scrape our own metrics endpoint and show the memory-error series the
+	// attack produced plus the live latency percentiles.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("\nGET /metrics (memory-error and latency series):")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "fo_memory_errors_total") ||
+			strings.HasPrefix(line, "fo_manufactured_values_total") ||
+			strings.HasPrefix(line, "fo_memory_error_victims_total") ||
+			strings.HasPrefix(line, "fo_request_latency_seconds_count") {
+			fmt.Println("  " + line)
+		}
+	}
+	m := eng.Metrics()
+	fmt.Printf("latency: count %d, p50 %v, p95 %v, p99 %v\n",
+		m.Latency.Count, m.Latency.P50, m.Latency.P95, m.Latency.P99)
 }
 
 // httpBody strips the model's raw HTTP response framing ("HTTP/1.1 ...

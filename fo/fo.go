@@ -61,8 +61,20 @@ type (
 	Value = interp.Value
 	// Outcome classifies how an execution ended.
 	Outcome = interp.Outcome
-	// EventLog is the memory-error log (paper §3).
+	// EventLog is the memory-error log (paper §3). All EventLog methods
+	// are safe for concurrent use; see internal/core for the guarantee.
 	EventLog = core.EventLog
+	// Event is one logged memory-error event.
+	Event = core.Event
+	// LogSnapshot is a point-in-time copy of an EventLog's aggregate
+	// counters and histograms (a plain mergeable value).
+	LogSnapshot = core.Snapshot
+	// LogCursor marks a position in an EventLog; pair with Since for
+	// per-request event attribution.
+	LogCursor = core.Cursor
+	// LogDelta is the events recorded between a LogCursor and Since —
+	// the per-request attribution carried on servers.Response.
+	LogDelta = core.Delta
 	// ValueGenerator supplies manufactured values for invalid reads.
 	ValueGenerator = core.ValueGenerator
 )

@@ -1,0 +1,122 @@
+package srv
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"focc/fo"
+	"focc/internal/serve"
+)
+
+// Re-exported observability types; see internal/serve for details.
+type (
+	// Metrics is the full observability snapshot of an Engine: counters,
+	// aggregated memory-error telemetry, and the live latency histogram.
+	Metrics = serve.Metrics
+	// LatencySnapshot is the engine's log-bucketed latency histogram with
+	// estimated p50/p95/p99.
+	LatencySnapshot = serve.LatencySnapshot
+	// LatencyBucket is one bucket of a LatencySnapshot.
+	LatencyBucket = serve.LatencyBucket
+	// LogSnapshot is the aggregated memory-error counters and histograms
+	// (invalid reads/writes, denied, manufactured values, victim units).
+	LogSnapshot = fo.LogSnapshot
+	// LogDelta is the per-request memory-error attribution carried on
+	// Response.MemErrors.
+	LogDelta = fo.LogDelta
+)
+
+// MetricsHandler returns an http.Handler that renders e's Metrics in the
+// Prometheus text exposition format — mount it at /metrics:
+//
+//	mux.Handle("/metrics", srv.MetricsHandler(eng))
+//
+// Every scrape takes a fresh snapshot; the engine keeps serving while it is
+// read (the memory-error aggregation scrapes live instance logs, which is
+// safe because fo.EventLog is concurrency-safe).
+func MetricsHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, e.Metrics())
+	})
+}
+
+// ExpvarPublish registers the engine under name in the process-wide expvar
+// registry, so its full Metrics snapshot appears as JSON at /debug/vars.
+// Like expvar.Publish, it panics if name is already registered — publish
+// each engine once at startup.
+func ExpvarPublish(name string, e *Engine) {
+	expvar.Publish(name, expvar.Func(func() any { return e.Metrics() }))
+}
+
+func writePrometheus(w http.ResponseWriter, m Metrics) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("fo_requests_served_total", "Responses delivered by workers (any outcome).", m.Served)
+	counter("fo_instance_crashes_total", "Requests that killed their instance.", m.Crashes)
+	counter("fo_instance_restarts_total", "Replacement instances created by the supervisor.", m.Restarts)
+	counter("fo_request_timeouts_total", "Deadline-exceeded requests.", m.Timeouts)
+	counter("fo_requests_rejected_total", "Queue-full admission rejections.", m.Rejected)
+	counter("fo_breaker_trips_total", "Restart-storm circuit-breaker activations.", m.BreakerTrips)
+
+	me := m.MemErrors
+	fmt.Fprintf(w, "# HELP fo_memory_errors_total Memory-error events across all instances, by kind (paper §3 log).\n")
+	fmt.Fprintf(w, "# TYPE fo_memory_errors_total counter\n")
+	fmt.Fprintf(w, "fo_memory_errors_total{kind=\"invalid_read\"} %d\n", me.InvalidReads)
+	fmt.Fprintf(w, "fo_memory_errors_total{kind=\"invalid_write\"} %d\n", me.InvalidWrites)
+	fmt.Fprintf(w, "fo_memory_errors_total{kind=\"denied\"} %d\n", me.Denied)
+
+	if len(me.Manufactured) > 0 {
+		vals := make([]int64, 0, len(me.Manufactured))
+		for v := range me.Manufactured {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		fmt.Fprintf(w, "# HELP fo_manufactured_values_total Values manufactured for invalid reads, by value.\n")
+		fmt.Fprintf(w, "# TYPE fo_manufactured_values_total counter\n")
+		for _, v := range vals {
+			fmt.Fprintf(w, "fo_manufactured_values_total{value=\"%d\"} %d\n", v, me.Manufactured[v])
+		}
+	}
+	if len(me.Victims) > 0 {
+		units := make([]string, 0, len(me.Victims))
+		for u := range me.Victims {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		fmt.Fprintf(w, "# HELP fo_memory_error_victims_total Memory-error events by would-be victim data unit.\n")
+		fmt.Fprintf(w, "# TYPE fo_memory_error_victims_total counter\n")
+		for _, u := range units {
+			fmt.Fprintf(w, "fo_memory_error_victims_total{unit=\"%s\"} %d\n", escapeLabel(u), me.Victims[u])
+		}
+	}
+
+	lat := m.Latency
+	fmt.Fprintf(w, "# HELP fo_request_latency_seconds Latency of executed requests (log-bucketed).\n")
+	fmt.Fprintf(w, "# TYPE fo_request_latency_seconds histogram\n")
+	var cum uint64
+	for _, b := range lat.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "fo_request_latency_seconds_bucket{le=\"%s\"} %d\n",
+			formatSeconds(b.UpperBound.Seconds()), cum)
+	}
+	fmt.Fprintf(w, "fo_request_latency_seconds_bucket{le=\"+Inf\"} %d\n", lat.Count)
+	fmt.Fprintf(w, "fo_request_latency_seconds_sum %s\n", formatSeconds(lat.Sum.Seconds()))
+	fmt.Fprintf(w, "fo_request_latency_seconds_count %d\n", lat.Count)
+}
+
+// formatSeconds renders a float without exponent noise for round values.
+func formatSeconds(s float64) string {
+	return strconv.FormatFloat(s, 'g', -1, 64)
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -11,6 +11,12 @@
 //		srv.WithDeadline(time.Second))
 //	defer eng.Close()
 //	resp, err := eng.Submit(ctx, srv.Request{Op: "GET", Arg: "/index.html"})
+//
+// Observability: eng.Stats() aggregates the memory-error telemetry of every
+// instance the engine has owned, eng.Metrics() adds a live latency
+// histogram, responses carry per-request event attribution in MemErrors,
+// and MetricsHandler / ExpvarPublish export it all over HTTP (see
+// metrics.go and examples/webserver).
 package srv
 
 import (

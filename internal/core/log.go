@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"focc/internal/cc/token"
 )
@@ -26,11 +27,28 @@ type Event struct {
 	Boundless bool
 	// Redirected marks accesses wrapped back into the unit.
 	Redirected bool
+	// Denied marks accesses a terminating policy rejected (BoundsCheck's
+	// fatal rejection, TxTerm's function abort): no value was manufactured
+	// and no write was discarded — execution did not continue past it.
+	Denied bool
+}
+
+// manufactures reports whether the event actually supplied a manufactured
+// value (an invalid read continued through by generating data, as opposed to
+// one served from the boundless side store, redirected into the unit, or
+// denied outright).
+func (e Event) manufactures() bool {
+	return !e.Write && !e.Denied && !e.Boundless && !e.Redirected
 }
 
 func (e Event) String() string {
 	op := "invalid read"
-	if e.Write {
+	switch {
+	case e.Denied && e.Write:
+		op = "invalid write (terminated)"
+	case e.Denied:
+		op = "invalid read (terminated)"
+	case e.Write:
 		op = "invalid write (discarded)"
 	}
 	u := e.Unit
@@ -41,7 +59,7 @@ func (e Event) String() string {
 	if e.Victim != "" && e.Victim != e.Unit {
 		s += fmt.Sprintf(", would have touched %s", e.Victim)
 	}
-	if !e.Write {
+	if e.manufactures() {
 		s += fmt.Sprintf(", manufactured value %d", e.Manufactured)
 	}
 	if e.Boundless {
@@ -53,10 +71,97 @@ func (e Event) String() string {
 	return s
 }
 
-// EventLog accumulates memory-error events. It keeps exact counters and a
-// bounded window of the most recent events. A nil stream means events are
-// only counted and buffered.
+// snapshotCardinality bounds the Manufactured and Victims maps of a
+// Snapshot: once a map holds this many distinct keys, events with new keys
+// still count toward the exact counters but are dropped from the histogram.
+// The paper's manufactured-value sequence is a handful of small integers and
+// victim names are static data-unit names, so the cap is never reached in
+// practice; it exists so a pathological workload cannot grow the log without
+// bound.
+const snapshotCardinality = 256
+
+// Snapshot is a point-in-time copy of an EventLog's aggregate counters. It
+// is a plain value: safe to retain, merge, and read without synchronization.
+type Snapshot struct {
+	// InvalidReads counts invalid reads continued through.
+	InvalidReads uint64
+	// InvalidWrites counts invalid writes discarded (or stored
+	// boundlessly / redirected).
+	InvalidWrites uint64
+	// Denied counts accesses rejected fatally by a terminating policy
+	// (BoundsCheck's memory-error exit, TxTerm's function abort).
+	Denied uint64
+	// Manufactured histograms the values supplied for invalid reads
+	// (value -> occurrences). Nil when no value was ever manufactured.
+	Manufactured map[int64]uint64
+	// Victims counts events per would-be victim unit (the unit the access
+	// would actually have touched). Nil when no victim was ever recorded.
+	Victims map[string]uint64
+}
+
+// Total returns the total number of memory-error events in the snapshot.
+func (s Snapshot) Total() uint64 { return s.InvalidReads + s.InvalidWrites + s.Denied }
+
+// Merge adds o's counts into s (histograms included).
+func (s *Snapshot) Merge(o Snapshot) {
+	s.InvalidReads += o.InvalidReads
+	s.InvalidWrites += o.InvalidWrites
+	s.Denied += o.Denied
+	for v, n := range o.Manufactured {
+		if s.Manufactured == nil {
+			s.Manufactured = make(map[int64]uint64, len(o.Manufactured))
+		}
+		s.Manufactured[v] += n
+	}
+	for u, n := range o.Victims {
+		if s.Victims == nil {
+			s.Victims = make(map[string]uint64, len(o.Victims))
+		}
+		s.Victims[u] += n
+	}
+}
+
+// Clone returns a deep copy (the histogram maps are not shared).
+func (s Snapshot) Clone() Snapshot {
+	out := s
+	out.Manufactured, out.Victims = nil, nil
+	out.Merge(Snapshot{Manufactured: s.Manufactured, Victims: s.Victims})
+	return out
+}
+
+// Cursor marks a position in an EventLog's counters; see EventLog.Cursor.
+type Cursor struct {
+	reads, writes, denied uint64
+}
+
+// Delta is the difference between two log positions: the events recorded
+// between taking a Cursor and calling Since — the per-request attribution
+// unit (servers.Response.MemErrors).
+type Delta struct {
+	InvalidReads  uint64
+	InvalidWrites uint64
+	Denied        uint64
+}
+
+// Total returns the total number of events in the delta.
+func (d Delta) Total() uint64 { return d.InvalidReads + d.InvalidWrites + d.Denied }
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%d invalid reads, %d invalid writes, %d denied",
+		d.InvalidReads, d.InvalidWrites, d.Denied)
+}
+
+// EventLog accumulates memory-error events. It keeps exact counters, small
+// aggregate histograms, and a bounded window of the most recent events.
+//
+// Concurrency: all methods are safe for concurrent use from any goroutine —
+// a mutex guards the counters, the histograms, the ring, and writes to
+// Stream (which are serialized, never interleaved). This is what makes a
+// live scrape (stats endpoint, supervisor, fobench) legal while the owning
+// worker is mid-request; the old contract that only the instance's owner
+// could read the log is gone.
 type EventLog struct {
+	mu     sync.Mutex
 	limit  int
 	events []Event
 	start  int // ring start when full
@@ -65,7 +170,13 @@ type EventLog struct {
 	writes uint64
 	denied uint64 // bounds-check terminations
 
-	Stream io.Writer // optional live event stream
+	manufactured map[int64]uint64
+	victims      map[string]uint64
+
+	// Stream is an optional live event stream. Set it before the log is
+	// shared between goroutines (writes to it are serialized under the
+	// log's mutex, but assigning the field itself is not synchronized).
+	Stream io.Writer
 }
 
 // DefaultLogLimit bounds the retained event window.
@@ -84,6 +195,8 @@ func (l *EventLog) add(e Event) {
 	if l == nil {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if e.Write {
 		l.writes++
 	} else {
@@ -92,16 +205,36 @@ func (l *EventLog) add(e Event) {
 	l.push(e)
 }
 
-// addDenied records an access the BoundsCheck policy rejected fatally.
+// addDenied records an access a terminating policy rejected fatally.
 func (l *EventLog) addDenied(e Event) {
 	if l == nil {
 		return
 	}
+	e.Denied = true
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.denied++
 	l.push(e)
 }
 
+// push appends e to the ring and the aggregates; callers hold l.mu.
 func (l *EventLog) push(e Event) {
+	if e.manufactures() {
+		if l.manufactured == nil {
+			l.manufactured = make(map[int64]uint64)
+		}
+		if _, ok := l.manufactured[e.Manufactured]; ok || len(l.manufactured) < snapshotCardinality {
+			l.manufactured[e.Manufactured]++
+		}
+	}
+	if e.Victim != "" {
+		if l.victims == nil {
+			l.victims = make(map[string]uint64)
+		}
+		if _, ok := l.victims[e.Victim]; ok || len(l.victims) < snapshotCardinality {
+			l.victims[e.Victim]++
+		}
+	}
 	if l.Stream != nil {
 		fmt.Fprintln(l.Stream, e.String())
 	}
@@ -114,20 +247,75 @@ func (l *EventLog) push(e Event) {
 }
 
 // InvalidReads returns the number of invalid reads continued through.
-func (l *EventLog) InvalidReads() uint64 { return l.reads }
+func (l *EventLog) InvalidReads() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reads
+}
 
 // InvalidWrites returns the number of invalid writes discarded (or stored
 // boundlessly / redirected).
-func (l *EventLog) InvalidWrites() uint64 { return l.writes }
+func (l *EventLog) InvalidWrites() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writes
+}
 
 // Denied returns the number of accesses rejected fatally by BoundsCheck.
-func (l *EventLog) Denied() uint64 { return l.denied }
+func (l *EventLog) Denied() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.denied
+}
 
 // Total returns the total number of memory-error events.
-func (l *EventLog) Total() uint64 { return l.reads + l.writes + l.denied }
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reads + l.writes + l.denied
+}
+
+// Snapshot returns a point-in-time copy of the aggregate counters and
+// histograms. The result shares no state with the log.
+func (l *EventLog) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Snapshot{
+		InvalidReads:  l.reads,
+		InvalidWrites: l.writes,
+		Denied:        l.denied,
+		Manufactured:  l.manufactured,
+		Victims:       l.victims,
+	}
+	return s.Clone()
+}
+
+// Cursor returns a mark of the log's current position. Pair it with Since
+// to attribute the events of one request: take a cursor before handling,
+// call Since after.
+func (l *EventLog) Cursor() Cursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Cursor{reads: l.reads, writes: l.writes, denied: l.denied}
+}
+
+// Since returns the events recorded after c was taken. Counters only move
+// forward, so as long as the log was not Reset in between the delta is
+// exact even if other goroutines observed the log concurrently.
+func (l *EventLog) Since(c Cursor) Delta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Delta{
+		InvalidReads:  l.reads - c.reads,
+		InvalidWrites: l.writes - c.writes,
+		Denied:        l.denied - c.denied,
+	}
+}
 
 // Recent returns the retained window of events, oldest first.
 func (l *EventLog) Recent() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.start == 0 {
 		out := make([]Event, len(l.events))
 		copy(out, l.events)
@@ -139,15 +327,20 @@ func (l *EventLog) Recent() []Event {
 	return out
 }
 
-// Reset clears counters and the retained window.
+// Reset clears counters, histograms, and the retained window.
 func (l *EventLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.events = l.events[:0]
 	l.start = 0
 	l.reads, l.writes, l.denied = 0, 0, 0
+	l.manufactured, l.victims = nil, nil
 }
 
 // Summary renders a one-line summary of the log.
 func (l *EventLog) Summary() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return fmt.Sprintf("memory errors: %d invalid reads, %d invalid writes, %d denied",
 		l.reads, l.writes, l.denied)
 }

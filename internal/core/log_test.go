@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEventLogConcurrentScrape hammers the log's write path from one
+// goroutine while another scrapes every read path — the serving pattern
+// (worker mid-request, stats endpoint scraping) that used to be a data
+// race. Run with -race.
+func TestEventLogConcurrentScrape(t *testing.T) {
+	l := NewEventLog(8)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			l.add(Event{Addr: uint64(i), Manufactured: int64(i % 3), Victim: "buf"})
+			l.addDenied(Event{Write: true, Addr: uint64(i)})
+		}
+	}()
+	cur := l.Cursor()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		_ = l.Total()
+		_ = l.InvalidReads()
+		_ = l.InvalidWrites()
+		_ = l.Denied()
+		_ = l.Recent()
+		_ = l.Snapshot()
+		_ = l.Since(cur)
+		_ = l.Summary()
+	}
+	wg.Wait()
+	snap := l.Snapshot()
+	if snap.Total() != l.Total() {
+		t.Errorf("quiescent snapshot total %d != log total %d", snap.Total(), l.Total())
+	}
+	if snap.InvalidReads == 0 || snap.Denied == 0 {
+		t.Errorf("snapshot = %+v, want nonzero reads and denied", snap)
+	}
+}
+
+// TestEventLogRingWraparound checks oldest-first ordering after the ring
+// start has cycled past the limit several times.
+func TestEventLogRingWraparound(t *testing.T) {
+	for _, n := range []int{4, 5, 9, 12, 13} {
+		l := NewEventLog(4)
+		for i := 0; i < n; i++ {
+			l.add(Event{Addr: uint64(i)})
+		}
+		got := l.Recent()
+		if len(got) != 4 {
+			t.Fatalf("n=%d: recent has %d events, want 4", n, len(got))
+		}
+		for j, e := range got {
+			if want := uint64(n - 4 + j); e.Addr != want {
+				t.Errorf("n=%d: recent[%d].Addr = %d, want %d", n, j, e.Addr, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotAggregates checks the manufactured-value and victim
+// histograms, deep-copy semantics, and Merge.
+func TestSnapshotAggregates(t *testing.T) {
+	l := NewEventLog(0)
+	l.add(Event{Manufactured: 1, Victim: "a"})
+	l.add(Event{Manufactured: 1})
+	l.add(Event{Manufactured: 2})
+	l.add(Event{Write: true, Victim: "b"})
+	l.addDenied(Event{Victim: "a"})
+	// Non-manufacturing reads must not pollute the histogram.
+	l.add(Event{Boundless: true})
+	l.add(Event{Redirected: true})
+
+	s := l.Snapshot()
+	if s.InvalidReads != 5 || s.InvalidWrites != 1 || s.Denied != 1 {
+		t.Fatalf("snapshot counters = %+v", s)
+	}
+	if s.Manufactured[1] != 2 || s.Manufactured[2] != 1 || len(s.Manufactured) != 2 {
+		t.Errorf("manufactured = %v", s.Manufactured)
+	}
+	if s.Victims["a"] != 2 || s.Victims["b"] != 1 {
+		t.Errorf("victims = %v", s.Victims)
+	}
+
+	// The snapshot must not share map state with the log.
+	s.Manufactured[1] = 99
+	if l.Snapshot().Manufactured[1] != 2 {
+		t.Error("snapshot shares its histogram with the log")
+	}
+
+	var agg Snapshot
+	agg.Merge(s)
+	agg.Merge(l.Snapshot())
+	if agg.Manufactured[1] != 99+2 || agg.Victims["a"] != 4 {
+		t.Errorf("merge = %+v", agg)
+	}
+	if agg.Total() != s.Total()+l.Total() {
+		t.Errorf("merge total = %d", agg.Total())
+	}
+}
+
+// TestCursorDelta checks per-request attribution: events recorded after the
+// cursor, and only those, appear in the delta.
+func TestCursorDelta(t *testing.T) {
+	l := NewEventLog(0)
+	l.add(Event{})
+	cur := l.Cursor()
+	if d := l.Since(cur); d.Total() != 0 {
+		t.Fatalf("fresh cursor delta = %+v", d)
+	}
+	l.add(Event{})
+	l.add(Event{Write: true})
+	l.addDenied(Event{})
+	d := l.Since(cur)
+	if d.InvalidReads != 1 || d.InvalidWrites != 1 || d.Denied != 1 || d.Total() != 3 {
+		t.Errorf("delta = %+v", d)
+	}
+}
+
+// TestEventStringDenied checks that terminated accesses render as
+// "(terminated)" and never claim a manufactured value.
+func TestEventStringDenied(t *testing.T) {
+	l := NewEventLog(0)
+	l.addDenied(Event{Pos: testPos, Addr: 0x10, Size: 2, Unit: "u"})
+	s := l.Recent()[0].String()
+	if !strings.Contains(s, "invalid read (terminated)") {
+		t.Errorf("denied read = %q, want \"(terminated)\"", s)
+	}
+	if strings.Contains(s, "manufactured") {
+		t.Errorf("denied read claims a manufactured value: %q", s)
+	}
+	l.addDenied(Event{Pos: testPos, Write: true, Addr: 0x10, Size: 2, Unit: "u"})
+	s = l.Recent()[1].String()
+	if !strings.Contains(s, "invalid write (terminated)") || strings.Contains(s, "discarded") {
+		t.Errorf("denied write = %q", s)
+	}
+}

@@ -415,6 +415,13 @@ func TestEventString(t *testing.T) {
 		!strings.Contains(s, "boundless") {
 		t.Errorf("event = %q", s)
 	}
+	// A denied read terminated the program: nothing was manufactured, and
+	// the rendering must say so instead of "manufactured value 0".
+	e = Event{Pos: testPos, Addr: 0x10, Size: 2, Unit: "u", Denied: true}
+	s = e.String()
+	if !strings.Contains(s, "(terminated)") || strings.Contains(s, "manufactured") {
+		t.Errorf("denied event = %q", s)
+	}
 }
 
 func TestNilLogIsSafe(t *testing.T) {

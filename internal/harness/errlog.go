@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"focc/fo"
+	"focc/internal/servers"
+)
+
+// ErrlogModes are the modes the errlog experiment profiles: every mode
+// whose checking code logs events. Standard performs no checks and logs
+// nothing, so it is omitted.
+var ErrlogModes = []fo.Mode{
+	fo.BoundsCheck, fo.FailureOblivious, fo.Boundless, fo.Redirect, fo.TxTerm,
+}
+
+// ErrlogResult is one per-server, per-mode row of the event-profile report:
+// what the §3 memory-error log records when the documented attack is
+// delivered under that mode.
+type ErrlogResult struct {
+	Server  string
+	Mode    fo.Mode
+	Attacks int
+	// PerAttack is the event delta attributed to the last attack request
+	// (the HandleContext attribution contract).
+	PerAttack fo.LogDelta
+	// Snap aggregates the logs of every instance used, including ones the
+	// attack killed.
+	Snap fo.LogSnapshot
+	// Sample is the most recent logged event, rendered.
+	Sample string
+}
+
+// ErrlogProfile interleaves legitimate requests with the documented attack
+// on fresh instances under mode (replacing crashed ones, folding their logs
+// into the aggregate) and reports the mode's memory-error event profile.
+func ErrlogProfile(srv servers.Server, mode fo.Mode, attacks int) (ErrlogResult, error) {
+	if attacks <= 0 {
+		attacks = 1
+	}
+	res := ErrlogResult{Server: srv.Name(), Mode: mode, Attacks: attacks}
+	inst, err := srv.New(mode)
+	if err != nil {
+		return res, err
+	}
+	legit := srv.LegitRequests()[0]
+	attack := srv.AttackRequest()
+	ctx := context.Background()
+	for i := 0; i < attacks; i++ {
+		inst.HandleContext(ctx, legit)
+		resp := inst.HandleContext(ctx, attack)
+		res.PerAttack = resp.MemErrors
+		if evs := inst.Log().Recent(); len(evs) > 0 {
+			res.Sample = evs[len(evs)-1].String()
+		}
+		if resp.Crashed() || !inst.Alive() {
+			res.Snap.Merge(inst.Log().Snapshot())
+			if inst, err = srv.New(mode); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Snap.Merge(inst.Log().Snapshot())
+	return res, nil
+}
+
+// ErrlogProfiles runs ErrlogProfile for every server × mode combination.
+func ErrlogProfiles(srvs []servers.Server, modes []fo.Mode, attacks int) ([]ErrlogResult, error) {
+	var rows []ErrlogResult
+	for _, srv := range srvs {
+		for _, mode := range modes {
+			r, err := ErrlogProfile(srv, mode, attacks)
+			if err != nil {
+				return nil, fmt.Errorf("errlog %s/%v: %w", srv.Name(), mode, err)
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// FormatErrlog renders the per-mode event-profile table.
+func FormatErrlog(rows []ErrlogResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-18s %-7s %-7s %-7s %-11s %-22s %s\n",
+		"Server", "Version", "Reads", "Writes", "Denied", "Per-attack", "Manufactured", "Top victim")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-18s %-7d %-7d %-7d %-11d %-22s %s\n",
+			r.Server, r.Mode,
+			r.Snap.InvalidReads, r.Snap.InvalidWrites, r.Snap.Denied,
+			r.PerAttack.Total(),
+			formatManufactured(r.Snap.Manufactured, 3),
+			formatVictims(r.Snap.Victims, 1))
+	}
+	return sb.String()
+}
+
+// formatManufactured renders the top n manufactured values as "v×count"
+// pairs, most frequent first.
+func formatManufactured(m map[int64]uint64, n int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	type vc struct {
+		v int64
+		c uint64
+	}
+	all := make([]vc, 0, len(m))
+	for v, c := range m {
+		all = append(all, vc{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].v < all[j].v
+	})
+	var parts []string
+	for i, e := range all {
+		if i == n {
+			parts = append(parts, "…")
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%d×%d", e.v, e.c))
+	}
+	return strings.Join(parts, " ")
+}
+
+// formatVictims renders the top n victim units as "unit×count" pairs.
+func formatVictims(m map[string]uint64, n int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	type uc struct {
+		u string
+		c uint64
+	}
+	all := make([]uc, 0, len(m))
+	for u, c := range m {
+		all = append(all, uc{u, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].u < all[j].u
+	})
+	var parts []string
+	for i, e := range all {
+		if i == n {
+			parts = append(parts, "…")
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s×%d", e.u, e.c))
+	}
+	return strings.Join(parts, " ")
+}

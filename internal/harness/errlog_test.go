@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"focc/fo"
+	"focc/internal/servers/apache"
+)
+
+// TestErrlogProfileApache checks the per-mode event profiles on the Apache
+// model: the failure-oblivious pool logs discarded writes and attributes
+// them to the attack request, the bounds-check pool logs denials (and the
+// profile survives the instances it kills), and the victim histogram names
+// the units the attack would have corrupted.
+func TestErrlogProfileApache(t *testing.T) {
+	srv := apache.NewServer()
+
+	foRes, err := ErrlogProfile(srv, fo.FailureOblivious, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foRes.Snap.InvalidWrites == 0 {
+		t.Errorf("failure-oblivious profile has no discarded writes: %+v", foRes.Snap)
+	}
+	if foRes.PerAttack.Total() == 0 {
+		t.Error("attack request carried no attributed events")
+	}
+	if foRes.Sample == "" {
+		t.Error("no sample event rendered")
+	}
+	if len(foRes.Snap.Victims) == 0 {
+		t.Error("no victim units recorded for the overflow")
+	}
+
+	bcRes, err := ErrlogProfile(srv, fo.BoundsCheck, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcRes.Snap.Denied == 0 {
+		t.Errorf("bounds-check profile lost its denials across crashes: %+v", bcRes.Snap)
+	}
+
+	out := FormatErrlog([]ErrlogResult{foRes, bcRes})
+	for _, want := range []string{"Server", "Denied", "apache", "failure-oblivious", "bounds-check"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -176,7 +177,9 @@ func Loadtest(srv servers.Server, mode fo.Mode, cfg LoadtestConfig) (LoadtestRes
 	return res, nil
 }
 
-// percentiles returns the p50/p95/p99 of lats (nearest-rank).
+// percentiles returns the p50/p95/p99 of lats (nearest-rank: the value at
+// 1-based rank ⌈p·n⌉, which rounds fractional ranks up — rounding half-up
+// instead would bias tails low, e.g. select rank 149 of 151 at p99).
 func percentiles(lats []time.Duration) (p50, p95, p99 time.Duration) {
 	if len(lats) == 0 {
 		return 0, 0, 0
@@ -184,7 +187,10 @@ func percentiles(lats []time.Duration) (p50, p95, p99 time.Duration) {
 	sorted := append([]time.Duration(nil), lats...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	rank := func(p float64) time.Duration {
-		i := int(p*float64(len(sorted))+0.5) - 1
+		// The epsilon absorbs float error on exact products (0.95×100
+		// computes as just above 95) without reaching the next genuine
+		// fractional rank.
+		i := int(math.Ceil(p*float64(len(sorted))-1e-9)) - 1
 		if i < 0 {
 			i = 0
 		}

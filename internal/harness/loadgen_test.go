@@ -71,6 +71,41 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+// TestPercentilesNearestRank pins the nearest-rank definition (1-based rank
+// ⌈p·n⌉) over awkward sample counts. The old round-half-up selection biased
+// tails low: with n=151 it read rank 149 at p99 instead of 150.
+func TestPercentilesNearestRank(t *testing.T) {
+	// Samples are 1ms, 2ms, …, n ms, so the value at rank r is r ms.
+	cases := []struct {
+		n             int
+		r50, r95, r99 int
+	}{
+		{1, 1, 1, 1},
+		{2, 1, 2, 2},
+		{5, 3, 5, 5},
+		{7, 4, 7, 7},    // p99: ⌈6.93⌉ = 7; round-half-up gave 7 too
+		{11, 6, 11, 11}, // p95: ⌈10.45⌉ = 11; round-half-up gave 10
+		{20, 10, 19, 20},
+		{53, 27, 51, 53},    // p95: ⌈50.35⌉ = 51; round-half-up gave 50
+		{100, 50, 95, 99},   // exact products must not ceil up to 96/100
+		{151, 76, 144, 150}, // the motivating case: p99 rank 150, not 149
+		{1000, 500, 950, 990},
+	}
+	for _, c := range cases {
+		lats := make([]time.Duration, c.n)
+		for i := range lats {
+			lats[i] = time.Duration(i+1) * time.Millisecond
+		}
+		p50, p95, p99 := percentiles(lats)
+		if p50 != time.Duration(c.r50)*time.Millisecond ||
+			p95 != time.Duration(c.r95)*time.Millisecond ||
+			p99 != time.Duration(c.r99)*time.Millisecond {
+			t.Errorf("n=%d: got ranks %v/%v/%v, want %d/%d/%d ms",
+				c.n, p50, p95, p99, c.r50, c.r95, c.r99)
+		}
+	}
+}
+
 func TestFormatLoadtest(t *testing.T) {
 	rows := []LoadtestResult{
 		{Mode: fo.FailureOblivious, Throughput: 200, P50: time.Millisecond},

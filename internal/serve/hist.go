@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-scale latency buckets: bucket i holds
+// requests with latency in (1µs<<(i-1), 1µs<<i], so the range runs from
+// 1µs to ~9 minutes with the last bucket absorbing everything slower.
+const histBuckets = 30
+
+// hist is a race-safe log-bucketed latency histogram. Record is lock-free
+// (two atomic adds); snapshot reads the buckets without a global lock, so a
+// snapshot taken during concurrent Records may be skewed by the handful of
+// in-flight updates — fine for monitoring, where the alternative is
+// stalling the serving path behind the scraper.
+type hist struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64 // total nanoseconds recorded
+}
+
+// bucketFor returns the index of the bucket whose upper bound is the
+// smallest 1µs<<i ≥ d.
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	us := uint64((d + time.Microsecond - 1) / time.Microsecond) // ceil µs
+	i := bits.Len64(us - 1)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBound returns bucket i's inclusive upper bound.
+func bucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+func (h *hist) record(d time.Duration) {
+	h.counts[bucketFor(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// LatencyBucket is one histogram bucket: Count requests finished with
+// latency ≤ UpperBound and > the previous bucket's bound.
+type LatencyBucket struct {
+	UpperBound time.Duration
+	Count      uint64
+}
+
+// LatencySnapshot is a point-in-time copy of the engine's request-latency
+// histogram, with nearest-rank percentiles estimated from the buckets
+// (each reported as its bucket's upper bound, i.e. biased at most one
+// power of two high — live approximations, not the exact post-hoc
+// percentiles harness.Loadtest computes from individual samples).
+type LatencySnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Mean    time.Duration
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+	Buckets []LatencyBucket // non-cumulative, trailing empty buckets trimmed
+}
+
+func (h *hist) snapshot() LatencySnapshot {
+	var counts [histBuckets]uint64
+	var total uint64
+	last := -1
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			last = i
+		}
+	}
+	s := LatencySnapshot{Count: total, Sum: time.Duration(h.sum.Load())}
+	if total == 0 {
+		return s
+	}
+	s.Mean = s.Sum / time.Duration(total)
+	s.Buckets = make([]LatencyBucket, last+1)
+	for i := 0; i <= last; i++ {
+		s.Buckets[i] = LatencyBucket{UpperBound: bucketBound(i), Count: counts[i]}
+	}
+	quantile := func(p float64) time.Duration {
+		rank := uint64(math.Ceil(p * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum uint64
+		for i := 0; i <= last; i++ {
+			cum += counts[i]
+			if cum >= rank {
+				return bucketBound(i)
+			}
+		}
+		return bucketBound(last)
+	}
+	s.P50, s.P95, s.P99 = quantile(0.50), quantile(0.95), quantile(0.99)
+	return s
+}

@@ -54,6 +54,21 @@ type Stats struct {
 	Rejected uint64
 	// BreakerTrips counts circuit-breaker activations.
 	BreakerTrips uint64
+	// MemErrors aggregates the memory-error telemetry of every instance
+	// the engine has ever owned: the live pool is scraped (legal because
+	// EventLog is concurrency-safe) and the logs of crashed, replaced
+	// instances are folded in at retirement, so counts never disappear
+	// when the supervisor replaces a child.
+	MemErrors fo.LogSnapshot
+}
+
+// Metrics is the full observability snapshot: the counter Stats plus the
+// live request-latency histogram.
+type Metrics struct {
+	Stats
+	// Latency covers every executed request (any outcome), measured
+	// around instance execution; queue-expired requests are excluded.
+	Latency LatencySnapshot
 }
 
 // Engine dispatches requests across a supervised pool of instances. All
@@ -73,6 +88,15 @@ type Engine struct {
 	once      sync.Once
 
 	served, crashes, restarts, timeouts, rejected, trips atomic.Uint64
+
+	latency hist
+
+	// obsMu guards the memory-error aggregation state: the set of live
+	// instance logs (scraped on Stats) and the folded counters of retired
+	// instances. Lock order: obsMu before any EventLog's own mutex.
+	obsMu    sync.Mutex
+	liveLogs map[*fo.EventLog]struct{}
+	retired  fo.LogSnapshot
 }
 
 type task struct {
@@ -96,6 +120,7 @@ func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 		tasks:     make(chan *task, o.queueDepth),
 		closing:   closing,
 		closeFunc: closeFunc,
+		liveLogs:  make(map[*fo.EventLog]struct{}, o.poolSize),
 	}
 	insts := make([]servers.Instance, o.poolSize)
 	for i := range insts {
@@ -104,6 +129,7 @@ func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 			return nil, fmt.Errorf("serve: spawn %s/%v child %d: %w", srv.Name(), mode, i, err)
 		}
 		insts[i] = inst
+		e.adoptLog(inst.Log())
 	}
 	for _, inst := range insts {
 		e.wg.Add(1)
@@ -112,13 +138,50 @@ func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 	return e, nil
 }
 
+// adoptLog registers a live instance's event log for scraping.
+func (e *Engine) adoptLog(l *fo.EventLog) {
+	if l == nil {
+		return
+	}
+	e.obsMu.Lock()
+	e.liveLogs[l] = struct{}{}
+	e.obsMu.Unlock()
+}
+
+// retireLog folds a dead instance's event log into the retired aggregate so
+// its counts survive the instance's replacement.
+func (e *Engine) retireLog(l *fo.EventLog) {
+	if l == nil {
+		return
+	}
+	e.obsMu.Lock()
+	delete(e.liveLogs, l)
+	e.retired.Merge(l.Snapshot())
+	e.obsMu.Unlock()
+}
+
+// memErrors aggregates the retired instances' counters with a live scrape
+// of every current instance's log.
+func (e *Engine) memErrors() fo.LogSnapshot {
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	agg := e.retired.Clone()
+	for l := range e.liveLogs {
+		agg.Merge(l.Snapshot())
+	}
+	return agg
+}
+
 // Mode returns the pool's execution mode.
 func (e *Engine) Mode() fo.Mode { return e.mode }
 
 // PoolSize returns the number of workers.
 func (e *Engine) PoolSize() int { return e.o.poolSize }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters, including the
+// aggregated memory-error telemetry of all instances past and present. It
+// is safe to call from any goroutine at any time, including while the pool
+// is serving.
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Served:       e.served.Load(),
@@ -127,7 +190,15 @@ func (e *Engine) Stats() Stats {
 		Timeouts:     e.timeouts.Load(),
 		Rejected:     e.rejected.Load(),
 		BreakerTrips: e.trips.Load(),
+		MemErrors:    e.memErrors(),
 	}
+}
+
+// Metrics returns the full observability snapshot: Stats plus the live
+// request-latency histogram (p50/p95/p99 without waiting for a post-hoc
+// load report).
+func (e *Engine) Metrics() Metrics {
+	return Metrics{Stats: e.Stats(), Latency: e.latency.snapshot()}
 }
 
 // Submit dispatches one request and blocks until its response. It returns
@@ -188,7 +259,9 @@ func (e *Engine) worker(inst servers.Instance) {
 				t.resp <- servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
 				continue
 			}
+			t0 := time.Now()
 			resp := e.execute(inst, t)
+			e.latency.record(time.Since(t0))
 			e.served.Add(1)
 			if resp.Outcome == fo.OutcomeDeadline {
 				e.timeouts.Add(1)
@@ -197,6 +270,7 @@ func (e *Engine) worker(inst servers.Instance) {
 			if resp.Crashed() || !inst.Alive() {
 				e.crashes.Add(1)
 				consecutive++
+				e.retireLog(inst.Log())
 				inst = e.respawn(&consecutive)
 				if inst == nil {
 					return // engine closed while backing off
@@ -244,6 +318,7 @@ func (e *Engine) respawn(consecutive *int) servers.Instance {
 			continue
 		}
 		e.restarts.Add(1)
+		e.adoptLog(inst.Log())
 		return inst
 	}
 }

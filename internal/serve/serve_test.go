@@ -160,6 +160,143 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	}
 }
 
+// TestStatsScrapeUnderLoad serves a mixed legit/attack workload in all
+// three paper modes while two scraper goroutines continuously read
+// Engine.Stats and Engine.Metrics (run with -race — before EventLog was
+// mutex-guarded this scrape was a data race by construction). It then
+// checks the aggregated memory-error telemetry per mode, the per-request
+// attribution on responses, and the live latency histogram.
+func TestStatsScrapeUnderLoad(t *testing.T) {
+	srv := apache.NewServer()
+	const clients = 4
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng, err := serve.New(srv, mode,
+				serve.WithPoolSize(2), serve.WithQueueDepth(4*clients))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			legit := srv.LegitRequests()[0]
+			attack := srv.AttackRequest()
+
+			stop := make(chan struct{})
+			var scrapers sync.WaitGroup
+			for s := 0; s < 2; s++ {
+				scrapers.Add(1)
+				go func() {
+					defer scrapers.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						st := eng.Stats()
+						_ = st.MemErrors.Total()
+						m := eng.Metrics()
+						_ = m.Latency.P99
+					}
+				}()
+			}
+
+			var attackErrors uint64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 3; i++ {
+						resp, err := eng.Submit(nil, attack)
+						if err == nil {
+							mu.Lock()
+							attackErrors += resp.MemErrors.Total()
+							mu.Unlock()
+						}
+						for {
+							if _, err := eng.Submit(nil, legit); !errors.Is(err, serve.ErrQueueFull) {
+								break
+							}
+							time.Sleep(100 * time.Microsecond)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(stop)
+			scrapers.Wait()
+
+			st := eng.Stats()
+			m := eng.Metrics()
+			switch mode {
+			case fo.Standard:
+				// No checking code: nothing is ever logged.
+				if st.MemErrors.Total() != 0 {
+					t.Errorf("standard pool logged %d events, want 0", st.MemErrors.Total())
+				}
+			case fo.BoundsCheck:
+				if st.MemErrors.Denied == 0 {
+					t.Errorf("bounds-check pool denied %d accesses, want >0", st.MemErrors.Denied)
+				}
+			case fo.FailureOblivious:
+				if st.MemErrors.InvalidWrites == 0 {
+					t.Errorf("failure-oblivious pool discarded %d writes, want >0",
+						st.MemErrors.InvalidWrites)
+				}
+				if st.MemErrors.Denied != 0 {
+					t.Errorf("failure-oblivious pool denied %d accesses, want 0",
+						st.MemErrors.Denied)
+				}
+				if attackErrors == 0 {
+					t.Error("attack responses carried no per-request attribution")
+				}
+			}
+			if m.Latency.Count != st.Served {
+				t.Errorf("latency count = %d, served = %d", m.Latency.Count, st.Served)
+			}
+			if m.Latency.Count > 0 &&
+				(m.Latency.P50 > m.Latency.P95 || m.Latency.P95 > m.Latency.P99) {
+				t.Errorf("latency percentiles not monotone: %v %v %v",
+					m.Latency.P50, m.Latency.P95, m.Latency.P99)
+			}
+		})
+	}
+}
+
+// TestCrashedInstanceCountsSurvive verifies the engine folds a dead
+// instance's log into the aggregate when the supervisor replaces it: after
+// crash-and-restart, the events the fatal request logged are still visible
+// in Stats.
+func TestCrashedInstanceCountsSurvive(t *testing.T) {
+	srv := apache.NewServer()
+	eng, err := serve.New(srv, fo.BoundsCheck,
+		serve.WithPoolSize(1), serve.WithQueueDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	resp, err := eng.Submit(nil, srv.AttackRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Crashed() {
+		t.Fatalf("bounds-check attack did not crash the instance: %v", resp.Outcome)
+	}
+	// Serve a legit request so the replacement instance is live, then
+	// check the dead instance's denial is still counted.
+	if _, err := eng.Submit(nil, srv.LegitRequests()[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Restarts == 0 {
+		t.Fatal("no restart after crash")
+	}
+	if st.MemErrors.Denied == 0 {
+		t.Error("denied count from the crashed instance was lost on restart")
+	}
+}
+
 // TestDeadlineExpiry submits a request that loops forever under a short
 // deadline: the response must carry OutcomeDeadline, the instance must
 // survive (no restart), and the same worker must serve a subsequent

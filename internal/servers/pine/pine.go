@@ -219,10 +219,11 @@ func (inst *Instance) Handle(req servers.Request) servers.Response {
 }
 
 // HandleContext implements servers.Instance: Handle with ctx bound to the
-// machine for per-request cancellation.
+// machine for per-request cancellation, and the memory-error events the
+// request causes attributed into Response.MemErrors.
 func (inst *Instance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
 	defer inst.BindContext(ctx)()
-	return inst.Handle(req)
+	return inst.Attribute(func() servers.Response { return inst.Handle(req) })
 }
 
 // LoadMailbox indexes every message, as Pine does at startup; it stops at

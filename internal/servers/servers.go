@@ -36,6 +36,12 @@ type Response struct {
 	Body string
 	// Err holds fault detail for crashed outcomes.
 	Err error
+	// MemErrors attributes the memory-error events logged while this
+	// request was being handled to the request that caused them — the
+	// per-request event cursor HandleContext takes over the instance's
+	// log (Base.Attribute). Zero for requests that committed no memory
+	// errors, and for Handle calls made without attribution.
+	MemErrors fo.LogDelta
 }
 
 // OK reports whether the request was processed by a live server (it may
@@ -62,8 +68,14 @@ func (r Response) String() string {
 // goroutine may call Handle/HandleContext at a time (the serve.Engine
 // satisfies this by giving every worker goroutine its own instance).
 // Alive, Mode, Name are safe to read between requests from the owning
-// goroutine; Log and Cycles must only be read while no request is in
-// flight on the instance.
+// goroutine; Cycles must only be read while no request is in flight. The
+// *EventLog returned by Log is the exception: all of its methods are safe
+// to call from any goroutine at any time, including mid-request — that is
+// what lets a stats endpoint or supervisor scrape a serving instance live.
+//
+// Attribution contract: HandleContext brackets the request with a cursor
+// over the instance's event log and stamps the events the request caused
+// into Response.MemErrors (see Base.Attribute). Plain Handle does not.
 type Instance interface {
 	// Name identifies the server ("mutt", "apache", …).
 	Name() string
@@ -121,15 +133,26 @@ func (b *Base) Cycles() uint64 { return b.M.SimCycles() }
 
 // BindContext binds ctx as the cancellation source of the instance's
 // machine for the duration of one request; the returned release function
-// must be deferred. Server packages use it to implement HandleContext on
-// top of their existing Handle:
+// must be deferred. Server packages use it together with Attribute to
+// implement HandleContext on top of their existing Handle:
 //
 //	func (inst *Instance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
 //		defer inst.BindContext(ctx)()
-//		return inst.Handle(req)
+//		return inst.Attribute(func() servers.Response { return inst.Handle(req) })
 //	}
 func (b *Base) BindContext(ctx context.Context) (release func()) {
 	return b.M.BindContext(ctx)
+}
+
+// Attribute implements the per-request attribution contract of
+// HandleContext: it takes a cursor over the instance's event log, runs
+// handle, and stamps the events recorded in between — the memory errors
+// this request caused — into the response's MemErrors field.
+func (b *Base) Attribute(handle func() Response) Response {
+	cur := b.EvLog.Cursor()
+	resp := handle()
+	resp.MemErrors = b.EvLog.Since(cur)
+	return resp
 }
 
 // CallString invokes a C function taking a single C-string argument and
