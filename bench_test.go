@@ -102,8 +102,10 @@ func BenchmarkApacheAttackThroughput(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer pool.Close()
 			legit := srv.LegitRequests()[0]
 			attack := srv.AttackRequest()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
 				for a := 0; a < 3; a++ {
@@ -128,6 +130,7 @@ func BenchmarkResilienceMatrix(b *testing.B) {
 		pine.NewServer(), apache.NewServer(), sendmail.NewServer(),
 		mc.NewServer(), mutt.NewServer(),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		if _, err := harness.ResilienceMatrix(srvs, harness.Modes); err != nil {
@@ -191,6 +194,7 @@ int churn(int n) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
 				if res := m.Call("churn", fo.Int(1024)); res.Outcome != fo.OutcomeOK {

@@ -123,6 +123,11 @@ func WithBreaker(consecutive int, cooldown time.Duration) Option {
 	return serve.WithBreaker(consecutive, cooldown)
 }
 
+// WithWarmSpares keeps up to n pre-created instances on standby so a
+// crashed worker is replaced without paying instance-creation cost on the
+// serving path (Apache-style pre-forking).
+func WithWarmSpares(n int) Option { return serve.WithWarmSpares(n) }
+
 // Handle processes one request on inst with ctx bound for cancellation —
 // a convenience for driving a single instance without an Engine.
 func Handle(ctx context.Context, inst Instance, req Request) Response {

@@ -134,20 +134,30 @@ func ArrayOf(t *Type, n int) *Type { return &Type{Kind: Array, Elem: t, Len: n} 
 const PointerSize = 8
 
 // Size returns the byte size of t. Incomplete types have size 0.
+// scalarSize maps scalar kinds to their byte size; zero entries (Void,
+// Array, Struct, Func, ...) fall through to sizeSlow. The table is indexed
+// with a 4-bit mask (all Kind values fit — checked below) so Size stays
+// small enough to inline on the interpreter's hot paths.
+var scalarSize = [16]uint64{
+	Char: 1, SChar: 1, UChar: 1,
+	Short: 2, UShort: 2,
+	Int: 4, UInt: 4, Enum: 4,
+	Long: 8, ULong: 8,
+	Ptr: PointerSize,
+}
+
+// Compile-time check that every Kind fits the 4-bit scalarSize index.
+var _ [16 - int(Enum) - 1]struct{}
+
 func (t *Type) Size() uint64 {
+	if s := scalarSize[t.Kind&15]; s != 0 {
+		return s
+	}
+	return t.sizeSlow()
+}
+
+func (t *Type) sizeSlow() uint64 {
 	switch t.Kind {
-	case Void:
-		return 0
-	case Char, SChar, UChar:
-		return 1
-	case Short, UShort:
-		return 2
-	case Int, UInt, Enum:
-		return 4
-	case Long, ULong:
-		return 8
-	case Ptr:
-		return PointerSize
 	case Array:
 		if t.Len < 0 {
 			return 0

@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+// TestBoundlessSideStoreBounded is the regression test for the §5.1
+// requirement that a long-running attack cannot exhaust memory through the
+// boundless side store: sustained out-of-bounds writes at ever-new offsets
+// must keep the resident state bounded by the two-generation scheme
+// (current + previous ≤ 2×sideWordCap word entries), while the most recent
+// writes — the current generation — stay readable.
+func TestBoundlessSideStoreBounded(t *testing.T) {
+	as, u := fixture(t)
+	log := NewEventLog(0)
+	acc := NewBoundless(as, NewSmallIntGenerator(), log)
+	a := acc.(*boundlessAccessor)
+
+	// A sustained attack: 8-byte OOB pointer-carrying stores at distinct,
+	// ever-increasing word offsets — the access pattern that grows every
+	// map (side, sideP) by one entry per store and forces several
+	// generation rotations.
+	const writes = 5 * sideWordCap
+	val := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < writes; i++ {
+		p := ptr(u, int64(16+8*i))
+		if err := acc.Store(p, val[:], u, testPos); err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+		if len(a.side) > sideWordCap {
+			t.Fatalf("store %d: current generation holds %d words, cap %d",
+				i, len(a.side), sideWordCap)
+		}
+	}
+	if total := len(a.side) + len(a.prev); total > 2*sideWordCap {
+		t.Fatalf("resident side store = %d words, bound is 2×%d", total, sideWordCap)
+	}
+	// Provenance maps rotate with the byte maps; exact-offset keying means
+	// at most 8 entries per resident word.
+	if total := len(a.sideP) + len(a.prevP); total > 8*2*sideWordCap {
+		t.Fatalf("resident provenance store = %d entries, bound is 16×%d",
+			total, sideWordCap)
+	}
+
+	// LRU approximation: the most recent write is in the current
+	// generation and must read back verbatim, with its provenance.
+	last := ptr(u, int64(16+8*(writes-1)))
+	var got [8]byte
+	prov, err := acc.Load(last, got[:], testPos)
+	if err != nil {
+		t.Fatalf("load-back: %v", err)
+	}
+	if got != val {
+		t.Fatalf("load-back = %v, want %v", got, val)
+	}
+	if prov != u {
+		t.Fatalf("load-back provenance = %v, want %v", prov, u)
+	}
+
+	// Overwriting one resident word forever must not grow the store at
+	// all: the same keys are reused, no rotation pressure. (The first
+	// store may re-insert the word — and rotate — if the attack loop
+	// evicted it; every store after that hits the current generation.)
+	hot := ptr(u, 16)
+	if err := acc.Store(hot, val[:], nil, testPos); err != nil {
+		t.Fatalf("hot store: %v", err)
+	}
+	before := len(a.side)
+	for i := 0; i < 1000; i++ {
+		if err := acc.Store(hot, val[:], nil, testPos); err != nil {
+			t.Fatalf("hot store: %v", err)
+		}
+	}
+	if len(a.side) != before {
+		t.Fatalf("hot-loop grew current generation %d -> %d", before, len(a.side))
+	}
+}

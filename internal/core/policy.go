@@ -141,13 +141,19 @@ func unitName(u *mem.Unit) string {
 
 // table is the Jones–Kelly object-table lookup every *checked* access
 // performs — exactly as the CRED implementation consults its object table
-// on each checked dereference. This lookup is where the safe-compilation
-// overhead the paper reports comes from; its result also names the unit an
+// on each checked dereference. The lookup's cost is what the simulated
+// cycle model charges on every checked access (interp.CheckCycles,
+// regardless of what the Go implementation does); the Go-level lookup is
+// only materialized where its result is observable — naming the unit an
 // out-of-bounds access would actually have touched, which the event log
-// reports as the would-be victim.
-type table struct{ as *mem.AddressSpace }
+// reports as the would-be victim — and goes through a per-accessor
+// monomorphic cache, since attack loops hammer the same victim.
+type table struct {
+	as *mem.AddressSpace
+	c  mem.LookupCache
+}
 
-func (t table) lookup(addr uint64) *mem.Unit { return t.as.FindUnit(addr) }
+func (t *table) lookup(addr uint64) *mem.Unit { return t.as.FindUnitCached(addr, &t.c) }
 
 // --- Standard (unsafe) ---
 
@@ -236,8 +242,8 @@ func describeOOB(p Pointer, n int) string {
 }
 
 func (a *boundsAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
-	victim := a.lookup(p.Addr)
 	if !inBounds(p, len(buf)) {
+		victim := a.lookup(p.Addr)
 		a.log.addDenied(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
 			Unit: unitName(p.Prov), Victim: unitName(victim)})
 		return nil, &MemError{Pos: pos, Addr: p.Addr, Size: len(buf),
@@ -252,8 +258,8 @@ func (a *boundsAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, 
 }
 
 func (a *boundsAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
-	victim := a.lookup(p.Addr)
 	if !inBounds(p, len(data)) || p.Prov.ReadOnly {
+		victim := a.lookup(p.Addr)
 		cause := describeOOB(p, len(data))
 		if inBounds(p, len(data)) && p.Prov.ReadOnly {
 			cause = "write to read-only data unit"
@@ -291,8 +297,8 @@ func NewFailureOblivious(as *mem.AddressSpace, gen ValueGenerator, log *EventLog
 func (a *obliviousAccessor) Mode() Mode { return FailureOblivious }
 
 func (a *obliviousAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
-	victim := a.lookup(p.Addr)
 	if !inBounds(p, len(buf)) {
+		victim := a.lookup(p.Addr)
 		v := a.gen.Next(len(buf))
 		putLE(buf, v)
 		a.log.add(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
@@ -308,9 +314,9 @@ func (a *obliviousAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Uni
 }
 
 func (a *obliviousAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
-	victim := a.lookup(p.Addr)
 	if !inBounds(p, len(data)) || p.Prov.ReadOnly {
 		// Continuation code: discard the write.
+		victim := a.lookup(p.Addr)
 		a.log.add(Event{Pos: pos, Write: true, Addr: p.Addr,
 			Size: len(data), Unit: unitName(p.Prov), Victim: unitName(victim)})
 		return nil
@@ -327,28 +333,54 @@ func (a *obliviousAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos to
 
 // --- Boundless memory blocks (paper §5.1) ---
 
+// sideKey addresses the side store. For byte state it is keyed at word
+// granularity: off is the signed unit-relative byte offset arithmetically
+// shifted right by 3, so eight neighbouring out-of-bounds bytes share one
+// entry (the paper's hash table stores values, not bytes; keying per byte
+// made an 8-byte OOB store cost eight map inserts). Pointer provenance
+// (sideP) is keyed by exact byte offset.
 type sideKey struct {
 	unit mem.UnitID
 	off  int64
 }
 
+// sideWord holds up to eight stored out-of-bounds bytes of one aligned
+// word; bit i of mask marks data[i] as present.
+type sideWord struct {
+	data [8]byte
+	mask uint8
+}
+
+// sideWordCap bounds each generation of the side store. The paper's
+// implementation uses a fixed-size hash table with LRU replacement so a
+// long-running attack cannot exhaust memory (§5.1); we approximate LRU
+// with two generations: inserts go to the current generation, hits in the
+// previous generation promote, and when the current generation fills, the
+// previous one — everything not touched for a whole generation — is
+// dropped. Worst-case resident state is 2×sideWordCap words.
+const sideWordCap = 1 << 15
+
 type boundlessAccessor struct {
 	table
-	gen   ValueGenerator
-	log   *EventLog
-	side  map[sideKey]byte
-	sideP map[sideKey]*mem.Unit // provenance of pointer values in the side store
+	gen  ValueGenerator
+	log  *EventLog
+	side map[sideKey]*sideWord
+	prev map[sideKey]*sideWord
+	// sideP / prevP carry the provenance of pointer values in the side
+	// store; they rotate together with side/prev.
+	sideP map[sideKey]*mem.Unit
+	prevP map[sideKey]*mem.Unit
 }
 
 // NewBoundless returns the boundless-memory-blocks accessor: out-of-bounds
 // writes are stored in a hash table indexed by data unit and offset, and
 // out-of-bounds reads return the stored values (manufacturing values only
-// for never-written locations).
+// for never-written locations). The table is bounded (see sideWordCap).
 func NewBoundless(as *mem.AddressSpace, gen ValueGenerator, log *EventLog) Accessor {
 	return &boundlessAccessor{
 		table: table{as: as},
 		gen:   gen, log: log,
-		side:  map[sideKey]byte{},
+		side:  map[sideKey]*sideWord{},
 		sideP: map[sideKey]*mem.Unit{},
 	}
 }
@@ -362,15 +394,57 @@ func (a *boundlessAccessor) keyAt(p Pointer, i int) sideKey {
 	return sideKey{unit: p.Prov.ID, off: int64(p.Addr-p.Prov.Base) + int64(i)}
 }
 
+// wordKey maps a byte key to its word entry's key and in-word bit index.
+func wordKey(k sideKey) (sideKey, uint) {
+	return sideKey{unit: k.unit, off: k.off >> 3}, uint(k.off & 7)
+}
+
+// sideGet returns the word entry for wk, promoting hits from the previous
+// generation.
+func (a *boundlessAccessor) sideGet(wk sideKey) *sideWord {
+	if w, ok := a.side[wk]; ok {
+		return w
+	}
+	if w, ok := a.prev[wk]; ok {
+		a.sideInsert(wk, w)
+		return w
+	}
+	return nil
+}
+
+// sideInsert adds a word entry, rotating generations at capacity.
+func (a *boundlessAccessor) sideInsert(wk sideKey, w *sideWord) {
+	if len(a.side) >= sideWordCap {
+		a.prev, a.side = a.side, make(map[sideKey]*sideWord, sideWordCap/4)
+		a.prevP, a.sideP = a.sideP, make(map[sideKey]*mem.Unit, len(a.sideP)/4+1)
+	}
+	a.side[wk] = w
+}
+
+func (a *boundlessAccessor) sidePGet(k sideKey) *mem.Unit {
+	if u, ok := a.sideP[k]; ok {
+		return u
+	}
+	return a.prevP[k]
+}
+
 func (a *boundlessAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
-	a.lookup(p.Addr)
 	if !inBounds(p, len(buf)) {
 		all := true
+		var cur *sideWord
+		curKey := sideKey{}
+		haveCur := false
+		missing := uint(0) // bit i: buf[i] had no stored byte
 		for i := range buf {
-			if b, ok := a.side[a.keyAt(p, i)]; ok {
-				buf[i] = b
+			wk, bit := wordKey(a.keyAt(p, i))
+			if !haveCur || wk != curKey {
+				cur, curKey, haveCur = a.sideGet(wk), wk, true
+			}
+			if cur != nil && cur.mask&(1<<bit) != 0 {
+				buf[i] = cur.data[bit]
 			} else {
 				all = false
+				missing |= 1 << uint(i)
 				buf[i] = 0
 			}
 		}
@@ -379,7 +453,7 @@ func (a *boundlessAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Uni
 			// Never-written out-of-bounds location: manufacture.
 			v = a.gen.Next(len(buf))
 			for i := range buf {
-				if _, ok := a.side[a.keyAt(p, i)]; !ok {
+				if missing&(1<<uint(i)) != 0 {
 					buf[i] = byte(v >> (8 * uint(i)))
 				}
 			}
@@ -387,7 +461,7 @@ func (a *boundlessAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Uni
 		a.log.add(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
 			Unit: unitName(p.Prov), Manufactured: v, Boundless: all})
 		if all && len(buf) == 8 {
-			return a.sideP[a.keyAt(p, 0)], nil
+			return a.sidePGet(a.keyAt(p, 0)), nil
 		}
 		return nil, nil
 	}
@@ -400,16 +474,30 @@ func (a *boundlessAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Uni
 }
 
 func (a *boundlessAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
-	a.lookup(p.Addr)
 	if !inBounds(p, len(data)) || (p.Prov != nil && p.Prov.ReadOnly) {
+		var cur *sideWord
+		curKey := sideKey{}
+		haveCur := false
 		for i, b := range data {
-			a.side[a.keyAt(p, i)] = b
+			wk, bit := wordKey(a.keyAt(p, i))
+			if !haveCur || wk != curKey {
+				cur = a.sideGet(wk)
+				if cur == nil {
+					cur = &sideWord{}
+					a.sideInsert(wk, cur)
+				}
+				curKey, haveCur = wk, true
+			}
+			cur.data[bit] = b
+			cur.mask |= 1 << bit
 		}
 		if len(data) == 8 {
+			k := a.keyAt(p, 0)
 			if prov != nil {
-				a.sideP[a.keyAt(p, 0)] = prov
+				a.sideP[k] = prov
 			} else {
-				delete(a.sideP, a.keyAt(p, 0))
+				delete(a.sideP, k)
+				delete(a.prevP, k)
 			}
 		}
 		a.log.add(Event{Pos: pos, Write: true, Addr: p.Addr,

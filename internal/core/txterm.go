@@ -47,8 +47,8 @@ func NewTxTerm(as *mem.AddressSpace, log *EventLog) Accessor {
 func (a *txTermAccessor) Mode() Mode { return TxTerm }
 
 func (a *txTermAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
-	victim := a.lookup(p.Addr)
 	if !inBounds(p, len(buf)) {
+		victim := a.lookup(p.Addr)
 		a.log.addDenied(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
 			Unit: unitName(p.Prov), Victim: unitName(victim)})
 		return nil, &FuncAbort{Pos: pos, Addr: p.Addr}
@@ -62,8 +62,8 @@ func (a *txTermAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, 
 }
 
 func (a *txTermAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
-	victim := a.lookup(p.Addr)
 	if !inBounds(p, len(data)) || p.Prov.ReadOnly {
+		victim := a.lookup(p.Addr)
 		a.log.addDenied(Event{Pos: pos, Write: true, Addr: p.Addr,
 			Size: len(data), Unit: unitName(p.Prov), Victim: unitName(victim)})
 		return &FuncAbort{Pos: pos, Write: true, Addr: p.Addr}

@@ -79,6 +79,7 @@ func TestChildPoolRestartsCrashedChildren(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer pool.Close()
 	for i := 0; i < 4; i++ {
 		if _, err := pool.Handle(srv.AttackRequest()); err != nil {
 			t.Fatal(err)

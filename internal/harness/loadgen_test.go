@@ -129,6 +129,7 @@ func TestChildPoolConcurrentHandle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer pool.Close()
 	legit := srv.LegitRequests()[0]
 	attack := srv.AttackRequest()
 	var wg sync.WaitGroup

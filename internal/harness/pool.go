@@ -24,6 +24,17 @@ import (
 type ChildPool struct {
 	srv servers.Server
 
+	// spares holds pre-warmed replacement children; a filler goroutine
+	// blocks on sending into it, so the standby set refills itself as soon
+	// as a crashed child takes a spare. This models Apache pre-forking
+	// children before they are needed: the creation cost is still paid (by
+	// the filler, off the request path), but a single crash no longer
+	// stalls the next request behind a cold spawn. Restarts are counted
+	// identically either way.
+	spares chan servers.Instance
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
 	mu       sync.Mutex
 	mode     fo.Mode
 	children []servers.Instance
@@ -31,12 +42,19 @@ type ChildPool struct {
 	restarts int
 }
 
-// NewChildPool creates a pool of n children.
+// NewChildPool creates a pool of n children, plus n pre-warmed spares kept
+// on standby for crash replacement. Call Close when done with the pool to
+// stop the spare filler and reclaim the standby instances.
 func NewChildPool(srv servers.Server, mode fo.Mode, n int) (*ChildPool, error) {
 	if n <= 0 {
 		n = 4
 	}
-	p := &ChildPool{srv: srv, mode: mode}
+	p := &ChildPool{
+		srv:    srv,
+		mode:   mode,
+		spares: make(chan servers.Instance, n),
+		stop:   make(chan struct{}),
+	}
 	for i := 0; i < n; i++ {
 		inst, err := srv.New(mode)
 		if err != nil {
@@ -44,20 +62,81 @@ func NewChildPool(srv servers.Server, mode fo.Mode, n int) (*ChildPool, error) {
 		}
 		p.children = append(p.children, inst)
 	}
+	p.wg.Add(1)
+	go p.filler()
 	return p, nil
 }
 
+// filler keeps the spare channel topped up, blocking on the bounded send so
+// it wakes exactly when a spare is taken.
+func (p *ChildPool) filler() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		inst, err := p.srv.New(p.mode)
+		if err != nil {
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		select {
+		case p.spares <- inst:
+		case <-p.stop:
+			releaseInstance(inst)
+			return
+		}
+	}
+}
+
+func releaseInstance(inst servers.Instance) {
+	if r, ok := inst.(interface{ Release() }); ok {
+		r.Release()
+	}
+}
+
+// Close stops the spare filler and releases the standby instances. The pool
+// must not be used afterwards. Close is idempotent per pool lifetime only
+// in the sense that a second call panics (close of closed channel); call it
+// once, typically via defer.
+func (p *ChildPool) Close() {
+	close(p.stop)
+	p.wg.Wait()
+	for {
+		select {
+		case inst := <-p.spares:
+			releaseInstance(inst)
+		default:
+			return
+		}
+	}
+}
+
 // Handle dispatches one request to the pool, replacing the child first if a
-// previous request killed it.
+// previous request killed it — from the warm-spare standby set when one is
+// ready, by a cold spawn otherwise.
 func (p *ChildPool) Handle(req servers.Request) (servers.Response, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	i := p.next
 	p.next = (p.next + 1) % len(p.children)
 	if !p.children[i].Alive() {
-		inst, err := p.srv.New(p.mode)
-		if err != nil {
-			return servers.Response{}, err
+		releaseInstance(p.children[i])
+		var inst servers.Instance
+		select {
+		case inst = <-p.spares:
+		default:
+			cold, err := p.srv.New(p.mode)
+			if err != nil {
+				return servers.Response{}, err
+			}
+			inst = cold
 		}
 		p.children[i] = inst
 		p.restarts++
@@ -92,6 +171,7 @@ func AttackThroughput(srv servers.Server, mode fo.Mode, poolSize, legitN, attack
 	if err != nil {
 		return ThroughputResult{}, err
 	}
+	defer pool.Close()
 	legit := srv.LegitRequests()[0]
 	attack := srv.AttackRequest()
 	res := ThroughputResult{Mode: mode}

@@ -290,7 +290,7 @@ func (m *Machine) evalExpr(e ast.Expr) Value {
 		return m.evalUnary(n)
 	case *ast.Postfix:
 		lv := m.evalLvalue(n.X)
-		old := m.loadLval(lv, n.Pos())
+		old := m.loadLval(lv, n.Pos(), n.X)
 		delta := int64(1)
 		if n.Op == token.Dec {
 			delta = -1
@@ -313,7 +313,11 @@ func (m *Machine) evalExpr(e ast.Expr) Value {
 		if lv.t.IsArray() {
 			return m.decayLval(lv)
 		}
-		return m.loadLval(lv, e.Pos())
+		// loadLval, open-coded: this is the hottest checked-access path.
+		if lv.trusted {
+			return m.loadRaw(lv.p.Prov, lv.p.Addr-lv.p.Prov.Base, lv.t, e)
+		}
+		return m.loadValue(lv.p, lv.t, e.Pos(), e)
 	case *ast.Cast:
 		return m.convert(m.evalExpr(n.X), n.To, n.Pos())
 	case *ast.Comma:
@@ -336,14 +340,32 @@ func (m *Machine) evalIdent(n *ast.Ident) Value {
 	if sym == nil {
 		m.failf(n.Pos(), "unresolved identifier %q", n.Name)
 	}
-	lv := m.lvalOfSym(sym, n.Pos())
-	if sym.Type.IsArray() {
-		return m.decayLval(lv)
+	// Named variables are always trusted accesses at a known unit, so go
+	// straight to loadRaw rather than building an lval and dispatching
+	// through loadLval — this is the hottest path in the interpreter.
+	var u *mem.Unit
+	switch sym.Storage {
+	case ast.StorageLocal, ast.StorageParam:
+		u = m.frame.Local(sym.FrameOff)
+		if u == nil {
+			m.failf(n.Pos(), "internal: no frame slot for %q", sym.Name)
+		}
+	case ast.StorageGlobal:
+		u = m.globals[sym.GlobalIdx]
+	default:
+		m.failf(n.Pos(), "symbol %q is not addressable", sym.Name)
 	}
-	if sym.Type.Kind == types.Func {
+	t := sym.Type
+	if t.IsArray() {
+		return Value{
+			T:   types.PointerTo(t.Elem),
+			Ptr: core.Pointer{Addr: u.Base, Prov: u},
+		}
+	}
+	if t.Kind == types.Func {
 		m.failf(n.Pos(), "function %q used as a value (function pointers are unsupported)", n.Name)
 	}
-	return m.loadLval(lv, n.Pos())
+	return m.loadRaw(u, 0, t, n)
 }
 
 func (m *Machine) lvalOfSym(sym *ast.Symbol, pos token.Pos) lval {
@@ -416,16 +438,24 @@ func (m *Machine) evalLvalue(e ast.Expr) lval {
 
 // loadLval reads through an lvalue; trusted (named variable) accesses skip
 // the policy, exactly like uninstrumented direct accesses in a safe-C
-// compiler.
-func (m *Machine) loadLval(lv lval, pos token.Pos) Value {
+// compiler. site is the AST node of the access expression (may be nil); it
+// keys the per-site unit-lookup cache used when a loaded pointer needs
+// object-table provenance recovery.
+func (m *Machine) loadLval(lv lval, pos token.Pos, site ast.Node) Value {
 	if lv.trusted {
-		return m.loadRaw(lv.p.Prov, lv.p.Addr-lv.p.Prov.Base, lv.t)
+		return m.loadRaw(lv.p.Prov, lv.p.Addr-lv.p.Prov.Base, lv.t, site)
 	}
-	return m.loadValue(lv.p, lv.t, pos)
+	return m.loadValue(lv.p, lv.t, pos, site)
 }
 
 func (m *Machine) storeLval(lv lval, v Value, pos token.Pos) {
-	v = m.convert(v, lv.t, pos)
+	m.storeLvalConverted(lv, m.convert(v, lv.t, pos), pos)
+}
+
+// storeLvalConverted stores a value already converted to lv.t (callers
+// that just converted — evalAssign — skip the second conversion
+// storeLval would perform).
+func (m *Machine) storeLvalConverted(lv lval, v Value, pos token.Pos) {
 	if lv.trusted {
 		m.storeRaw(lv.p.Prov, lv.p.Addr-lv.p.Prov.Base, lv.t, v)
 		return
@@ -434,7 +464,7 @@ func (m *Machine) storeLval(lv lval, v Value, pos token.Pos) {
 }
 
 // loadRaw reads a typed value directly from a unit (trusted access).
-func (m *Machine) loadRaw(u *mem.Unit, off uint64, t *types.Type) Value {
+func (m *Machine) loadRaw(u *mem.Unit, off uint64, t *types.Type, site ast.Node) Value {
 	m.simCycles += AccessCycles
 	size := t.Size()
 	switch {
@@ -442,7 +472,7 @@ func (m *Machine) loadRaw(u *mem.Unit, off uint64, t *types.Type) Value {
 		addr := uint64(decodeLE(u.Data[off:off+8], false))
 		prov := u.GetShadow(off)
 		if prov == nil && addr != 0 {
-			prov = m.as.FindUnit(addr)
+			prov = m.findUnitAt(site, addr)
 		}
 		return Value{T: t, Ptr: core.Pointer{Addr: addr, Prov: prov}}
 	case t.Kind == types.Struct:
@@ -490,13 +520,13 @@ func (m *Machine) evalUnary(n *ast.Unary) Value {
 		if n.Type().IsArray() {
 			return Value{T: types.PointerTo(n.Type().Elem), Ptr: v.Ptr}
 		}
-		return m.loadValue(v.Ptr, n.Type(), n.Pos())
+		return m.loadValue(v.Ptr, n.Type(), n.Pos(), n)
 	case token.Amp:
 		lv := m.evalLvalue(n.X)
 		return Value{T: n.Type(), Ptr: lv.p}
 	case token.Inc, token.Dec:
 		lv := m.evalLvalue(n.X)
-		old := m.loadLval(lv, n.Pos())
+		old := m.loadLval(lv, n.Pos(), n.X)
 		delta := int64(1)
 		if n.Op == token.Dec {
 			delta = -1
@@ -640,6 +670,42 @@ func (m *Machine) compare(op token.Kind, x, y Value) Value {
 		}
 		return Value{T: types.IntType, I: 0}
 	}
+	if x.T == y.T && x.T != nil && x.T.IsInteger() {
+		// Same-type integer compare: both values are already truncated
+		// to the shared width, so compare directly with that type's
+		// signedness (the promoted common type preserves order).
+		if x.T.IsSigned() {
+			switch op {
+			case token.Lt:
+				return b2v(x.I < y.I)
+			case token.Gt:
+				return b2v(x.I > y.I)
+			case token.Le:
+				return b2v(x.I <= y.I)
+			case token.Ge:
+				return b2v(x.I >= y.I)
+			case token.EqEq:
+				return b2v(x.I == y.I)
+			case token.NotEq:
+				return b2v(x.I != y.I)
+			}
+		}
+		ux, uy := uint64(x.I), uint64(y.I)
+		switch op {
+		case token.Lt:
+			return b2v(ux < uy)
+		case token.Gt:
+			return b2v(ux > uy)
+		case token.Le:
+			return b2v(ux <= uy)
+		case token.Ge:
+			return b2v(ux >= uy)
+		case token.EqEq:
+			return b2v(ux == uy)
+		case token.NotEq:
+			return b2v(ux != uy)
+		}
+	}
 	xPtr := x.T != nil && (x.T.IsPointer())
 	yPtr := y.T != nil && (y.T.IsPointer())
 	if xPtr || yPtr {
@@ -713,17 +779,30 @@ func promoteType(t *types.Type) *types.Type {
 	return types.Promote(t)
 }
 
-var compoundOps = map[token.Kind]token.Kind{
-	token.PlusEq:    token.Plus,
-	token.MinusEq:   token.Minus,
-	token.StarEq:    token.Star,
-	token.SlashEq:   token.Slash,
-	token.PercentEq: token.Percent,
-	token.AmpEq:     token.Amp,
-	token.PipeEq:    token.Pipe,
-	token.CaretEq:   token.Caret,
-	token.ShlEq:     token.Shl,
-	token.ShrEq:     token.Shr,
+func compoundOp(k token.Kind) (token.Kind, bool) {
+	switch k {
+	case token.PlusEq:
+		return token.Plus, true
+	case token.MinusEq:
+		return token.Minus, true
+	case token.StarEq:
+		return token.Star, true
+	case token.SlashEq:
+		return token.Slash, true
+	case token.PercentEq:
+		return token.Percent, true
+	case token.AmpEq:
+		return token.Amp, true
+	case token.PipeEq:
+		return token.Pipe, true
+	case token.CaretEq:
+		return token.Caret, true
+	case token.ShlEq:
+		return token.Shl, true
+	case token.ShrEq:
+		return token.Shr, true
+	}
+	return k, false
 }
 
 func (m *Machine) evalAssign(n *ast.Assign) Value {
@@ -731,15 +810,15 @@ func (m *Machine) evalAssign(n *ast.Assign) Value {
 		v := m.evalExpr(n.RHS)
 		lv := m.evalLvalue(n.LHS)
 		v = m.convert(v, lv.t, n.Pos())
-		m.storeLval(lv, v, n.Pos())
+		m.storeLvalConverted(lv, v, n.Pos())
 		return v
 	}
-	op, ok := compoundOps[n.Op]
+	op, ok := compoundOp(n.Op)
 	if !ok {
 		m.failf(n.Pos(), "unsupported assignment operator %s", n.Op)
 	}
 	lv := m.evalLvalue(n.LHS)
-	cur := m.loadLval(lv, n.Pos())
+	cur := m.loadLval(lv, n.Pos(), n.LHS)
 	rhs := m.evalExpr(n.RHS)
 	// The arithmetic happens in the usual common type, then converts back.
 	var rt *types.Type
@@ -747,12 +826,16 @@ func (m *Machine) evalAssign(n *ast.Assign) Value {
 		rt = cur.T
 	} else if op == token.Shl || op == token.Shr {
 		rt = types.Promote(cur.T)
+	} else if pa, pb := promoteType(cur.T), promoteType(rhs.T); pa == pb {
+		// Usual arithmetic conversions are an identity once both
+		// promoted types agree (the overwhelmingly common case).
+		rt = pa
 	} else {
-		rt = types.UsualArith(promoteType(cur.T), promoteType(rhs.T))
+		rt = types.UsualArith(pa, pb)
 	}
 	res := m.binaryOp(op, cur, rhs, rt, n.Pos())
 	res = m.convert(res, lv.t, n.Pos())
-	m.storeLval(lv, res, n.Pos())
+	m.storeLvalConverted(lv, res, n.Pos())
 	return res
 }
 
@@ -762,7 +845,7 @@ func (m *Machine) evalCall(n *ast.Call) Value {
 	if sym == nil {
 		m.failf(n.Pos(), "unresolved function %q", n.Fun.Name)
 	}
-	args := make([]Value, len(n.Args))
+	args := m.getArgs(len(n.Args))
 	for i, a := range n.Args {
 		v := m.evalExpr(a)
 		// Default argument promotions for values; arrays decayed by eval.
@@ -774,6 +857,7 @@ func (m *Machine) evalCall(n *ast.Call) Value {
 			m.failf(n.Pos(), "builtin %q has no host implementation", sym.Name)
 		}
 		v := impl(m, n.Pos(), args)
+		m.putArgs(args)
 		ret := sym.Type.Fn.Ret
 		if ret.IsVoid() {
 			return Value{T: types.VoidType}
@@ -784,5 +868,32 @@ func (m *Machine) evalCall(n *ast.Call) Value {
 		m.failf(n.Pos(), "function %q has no body", sym.Name)
 	}
 	fd := m.prog.Funcs[sym.FuncIdx]
-	return m.callFunction(fd, args, n.Pos())
+	v := m.callFunction(fd, args, n.Pos())
+	m.putArgs(args)
+	return v
+}
+
+// getArgs takes an argument slice from the freelist (or allocates one).
+// putArgs returns it after the call completes; a panic unwind (crash,
+// cancellation, TxTerm abort) simply drops the slice, which is safe — it
+// is never reused while still referenced.
+func (m *Machine) getArgs(n int) []Value {
+	if k := len(m.argFree); k > 0 {
+		s := m.argFree[k-1]
+		if cap(s) >= n {
+			m.argFree = m.argFree[:k-1]
+			return s[:n]
+		}
+	}
+	return make([]Value, n, n+4)
+}
+
+func (m *Machine) putArgs(s []Value) {
+	if cap(s) == 0 {
+		return
+	}
+	for i := range s {
+		s[i] = Value{} // drop unit/byte references held by stale args
+	}
+	m.argFree = append(m.argFree, s[:0])
 }

@@ -6,6 +6,7 @@ package interp
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -174,8 +175,18 @@ type Machine struct {
 	gotoLabel string
 	frame     *mem.Frame
 
-	specCache map[*ast.FuncDecl][]mem.LocalSpec
+	specCache map[*ast.FuncDecl]*frameSpec
 	hostState map[string]any
+
+	// luCache is the machine-wide monomorphic (last-unit) lookup cache,
+	// and siteCache holds one cache line per AST access site — both
+	// consulted before the object table on the slow pointer-provenance
+	// recovery paths. See mem/fastpath.go for the coherence contract.
+	luCache   mem.LookupCache
+	siteCache map[ast.Node]*mem.LookupCache
+
+	// argFree recycles argument slices across evalCall invocations.
+	argFree [][]Value
 
 	// scratch stages scalar loads/stores so the hot access path performs
 	// no allocations (the interpreter is single-threaded per machine).
@@ -337,8 +348,19 @@ func (m *Machine) writeInit(u *mem.Unit, off uint64, t *types.Type, init ast.Exp
 }
 
 func putLEBytes(buf []byte, v int64) {
-	for i := range buf {
-		buf[i] = byte(v >> (8 * uint(i)))
+	switch len(buf) {
+	case 1:
+		buf[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(buf, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(buf, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+	default:
+		for i := range buf {
+			buf[i] = byte(v >> (8 * uint(i)))
+		}
 	}
 }
 
@@ -521,7 +543,8 @@ func (m *Machine) callFunction(fd *ast.FuncDecl, args []Value, pos token.Pos) Va
 	if len(args) != len(fd.Params) {
 		m.failf(pos, "call of %q with %d args (want %d)", fd.Name, len(args), len(fd.Params))
 	}
-	frame, fault := m.as.PushFrame(fd.Name, fd.FrameSize, m.localSpecs(fd))
+	spec := m.frameSpec(fd)
+	frame, fault := m.as.PushFrame(spec.canary, fd.FrameSize, spec.locals)
 	if fault != nil {
 		m.fail(fault)
 	}
@@ -556,27 +579,37 @@ func (m *Machine) callFunction(fd *ast.FuncDecl, args []Value, pos token.Pos) Va
 	return m.convert(ret, retT, pos)
 }
 
-// localSpecs derives (and caches) the per-local data-unit layout of a
+// frameSpec holds the per-function frame layout with the diagnostic unit
+// names preformatted, so pushing a frame does no string building.
+type frameSpec struct {
+	canary string
+	locals []mem.LocalSpec
+}
+
+// frameSpec derives (and caches) the per-local data-unit layout of a
 // function's frame from its analyzed symbols.
-func (m *Machine) localSpecs(fd *ast.FuncDecl) []mem.LocalSpec {
-	if specs, ok := m.specCache[fd]; ok {
-		return specs
+func (m *Machine) frameSpec(fd *ast.FuncDecl) *frameSpec {
+	if spec, ok := m.specCache[fd]; ok {
+		return spec
 	}
-	specs := make([]mem.LocalSpec, 0, len(fd.Locals))
+	spec := &frameSpec{
+		canary: "canary:" + fd.Name,
+		locals: make([]mem.LocalSpec, 0, len(fd.Locals)),
+	}
 	for _, sym := range fd.Locals {
 		size := sym.Type.Size()
 		if size == 0 {
 			size = 1
 		}
-		specs = append(specs, mem.LocalSpec{
-			Name: sym.Name, Off: sym.FrameOff, Size: size,
+		spec.locals = append(spec.locals, mem.LocalSpec{
+			Name: sym.Name + " (" + fd.Name + ")", Off: sym.FrameOff, Size: size,
 		})
 	}
 	if m.specCache == nil {
-		m.specCache = map[*ast.FuncDecl][]mem.LocalSpec{}
+		m.specCache = map[*ast.FuncDecl]*frameSpec{}
 	}
-	m.specCache[fd] = specs
-	return specs
+	m.specCache[fd] = spec
+	return spec
 }
 
 // execBody runs a function body, implementing the TxTerm policy's
@@ -627,6 +660,27 @@ func (m *Machine) storeRaw(u *mem.Unit, off uint64, t *types.Type, v Value) {
 
 // --- Checked memory primitives shared with libc ---
 
+// ChargeByteRun charges the simulated-cycle cost of n single-byte checked
+// accesses — exactly what a byte-at-a-time LoadByte/StoreByte loop over n
+// bytes charges. The libc word-granularity scan paths use it to keep the
+// cycle accounting identical to the per-byte loops they replace (the cost
+// model in cycles.go is unchanged; only the Go-level work is batched).
+func (m *Machine) ChargeByteRun(n int64) {
+	if n <= 0 {
+		return
+	}
+	m.simCycles += uint64(n) * AccessCycles
+	if m.checked {
+		m.simCycles += uint64(n) * CheckCycles
+	}
+}
+
+// Release returns the machine's pooled memory (stack arena, unit data
+// slabs) for reuse by future instances. The machine must never be used
+// again afterwards; the serving engine and benchmark harness call this
+// when they retire a crashed instance for a pre-warmed replacement.
+func (m *Machine) Release() { m.as.Release() }
+
 // LoadBytes performs a policy-checked read of n bytes at p.
 func (m *Machine) LoadBytes(p core.Pointer, buf []byte, pos token.Pos) {
 	m.chargeAccess(len(buf))
@@ -643,8 +697,41 @@ func (m *Machine) StoreBytes(p core.Pointer, data []byte, pos token.Pos) {
 	}
 }
 
-// loadValue reads a typed value through the policy.
-func (m *Machine) loadValue(p core.Pointer, t *types.Type, pos token.Pos) Value {
+// FindUnit resolves addr through the machine's monomorphic lookup cache —
+// same results as the address space's FindUnit, without the table search
+// when consecutive lookups hit the same unit.
+func (m *Machine) FindUnit(addr uint64) *mem.Unit {
+	return m.as.FindUnitCached(addr, &m.luCache)
+}
+
+// findUnitAt resolves addr consulting the per-site cache for site (when
+// non-nil) and the machine-wide cache before the object table. Access
+// sites are overwhelmingly monomorphic — a given dereference expression
+// keeps hitting the same unit — so this turns the provenance-recovery
+// lookups into two pointer compares.
+func (m *Machine) findUnitAt(site ast.Node, addr uint64) *mem.Unit {
+	if site == nil {
+		return m.FindUnit(addr)
+	}
+	c := m.siteCache[site]
+	if c == nil {
+		if m.siteCache == nil {
+			m.siteCache = make(map[ast.Node]*mem.LookupCache, 32)
+		}
+		c = new(mem.LookupCache)
+		m.siteCache[site] = c
+	}
+	if u := m.as.Probe(c, addr); u != nil {
+		return u
+	}
+	u := m.FindUnit(addr)
+	m.as.FillCache(c, u)
+	return u
+}
+
+// loadValue reads a typed value through the policy. site, when non-nil, is
+// the AST access site, used to cache pointer-provenance recovery.
+func (m *Machine) loadValue(p core.Pointer, t *types.Type, pos token.Pos, site ast.Node) Value {
 	size := t.Size()
 	if size == 0 {
 		m.failf(pos, "load of zero-sized type %s", t)
@@ -665,7 +752,7 @@ func (m *Machine) loadValue(p core.Pointer, t *types.Type, pos token.Pos) Value 
 		if prov == nil && addr != 0 {
 			// Jones–Kelly object-table recovery for pointers whose
 			// shadow provenance was lost (e.g. copied bytewise).
-			prov = m.as.FindUnit(addr)
+			prov = m.findUnitAt(site, addr)
 		}
 		return Value{T: t, Ptr: core.Pointer{Addr: addr, Prov: prov}}
 	}
@@ -709,9 +796,19 @@ func decodeLE(buf []byte, signed bool) int64 {
 
 // convert coerces a value to type t with C conversion semantics.
 func (m *Machine) convert(v Value, t *types.Type, pos token.Pos) Value {
-	if t.Kind == types.Invalid {
+	if v.T == t || t.Kind == types.Invalid {
+		// Identity fast path: machine-produced values are already
+		// truncated to their type's width (loaders, binaryOp, and
+		// Truncate maintain that invariant), so same-type conversion is
+		// a no-op. Host-injected wide values are truncated by the store
+		// that consumes them. Kept in a small wrapper so the common
+		// case inlines at call sites.
 		return v
 	}
+	return m.convertSlow(v, t, pos)
+}
+
+func (m *Machine) convertSlow(v Value, t *types.Type, pos token.Pos) Value {
 	switch {
 	case t.Kind == types.Struct:
 		if v.T == nil || v.T.Kind != types.Struct {
@@ -726,7 +823,7 @@ func (m *Machine) convert(v Value, t *types.Type, pos token.Pos) Value {
 		addr := uint64(v.I)
 		var prov *mem.Unit
 		if addr != 0 {
-			prov = m.as.FindUnit(addr)
+			prov = m.FindUnit(addr)
 		}
 		return Value{T: t, Ptr: core.Pointer{Addr: addr, Prov: prov}}
 	case t.IsInteger():
@@ -825,7 +922,7 @@ func (m *Machine) NoteInvalidFree(pos token.Pos, p core.Pointer) {
 
 // LoadPointer performs a checked load of a pointer value at p.
 func (m *Machine) LoadPointer(p core.Pointer, pos token.Pos) core.Pointer {
-	v := m.loadValue(p, types.PointerTo(types.VoidType), pos)
+	v := m.loadValue(p, types.PointerTo(types.VoidType), pos, nil)
 	return v.Ptr
 }
 

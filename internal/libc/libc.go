@@ -7,6 +7,7 @@
 package libc
 
 import (
+	"bytes"
 	"fmt"
 
 	"focc/internal/cc/token"
@@ -235,6 +236,48 @@ func storeN(m *interp.Machine, p core.Pointer, data []byte, pos token.Pos) {
 	}
 }
 
+// span returns a direct view of the in-bounds bytes at p (nil when p lies
+// outside its live provenance unit). For in-bounds bytes every policy's
+// checked load returns exactly u.Data[off] with no side effects — faults,
+// manufactured values, and event logging happen only out of bounds — so the
+// scan fast paths below may read the span natively, provided they charge
+// the identical per-byte simulated cycles via m.ChargeByteRun (the cost
+// model is unchanged; only the host-level work is batched).
+func span(p core.Pointer) []byte {
+	u := p.Prov
+	if u == nil || u.Dead || p.Addr < u.Base || p.Addr >= u.End() {
+		return nil
+	}
+	return u.Data[p.Addr-u.Base:]
+}
+
+// copyCStringFast copies src (including its NUL) to dst when the whole
+// string and the destination range are in bounds, replicating the per-byte
+// load/store loop's state changes (forward copy, shadow clear) and cycle
+// charges. Reports whether the fast path applied.
+func copyCStringFast(m *interp.Machine, dst, src core.Pointer, pos token.Pos) bool {
+	ss := span(src)
+	if len(ss) == 0 {
+		return false
+	}
+	j := int64(bytes.IndexByte(ss, 0))
+	if j < 0 || j >= maxScan {
+		return false
+	}
+	dd := span(dst)
+	if int64(len(dd)) < j+1 || dst.Prov.ReadOnly {
+		return false
+	}
+	// Forward byte copy, like the checked loop (C leaves overlap undefined;
+	// we preserve the loop's exact behavior rather than memmove semantics).
+	for i := int64(0); i <= j; i++ {
+		dd[i] = ss[i]
+	}
+	dst.Prov.ClearShadowRange(dst.Addr-dst.Prov.Base, uint64(j+1))
+	m.ChargeByteRun(2 * (j + 1)) // one load + one store per byte
+	return true
+}
+
 func loadByte(m *interp.Machine, p core.Pointer, pos token.Pos) byte {
 	return m.LoadByte(p, pos)
 }
@@ -251,9 +294,28 @@ func voidP(p core.Pointer) interp.Value {
 	return interp.Value{T: tVoidP, Ptr: p}
 }
 
-// cstrlen finds the NUL terminator via checked loads.
+// cstrlen finds the NUL terminator via checked loads. The in-bounds span is
+// scanned natively; only the out-of-bounds tail (if the string is
+// unterminated within its unit) goes byte-by-byte through the policy.
 func cstrlen(m *interp.Machine, p core.Pointer, pos token.Pos) int64 {
-	for i := int64(0); i < maxScan; i++ {
+	var i int64
+	if s := span(p); len(s) > 0 {
+		if j := int64(bytes.IndexByte(s, 0)); j >= 0 {
+			if j >= maxScan {
+				m.ChargeByteRun(maxScan)
+				return maxScan
+			}
+			m.ChargeByteRun(j + 1)
+			return j
+		}
+		i = int64(len(s))
+		if i >= maxScan {
+			m.ChargeByteRun(maxScan)
+			return maxScan
+		}
+		m.ChargeByteRun(i)
+	}
+	for ; i < maxScan; i++ {
 		if loadByte(m, off(p, i), pos) == 0 {
 			return i
 		}
@@ -288,7 +350,7 @@ func biCalloc(m *interp.Machine, _ token.Pos, args []interp.Value) interp.Value 
 
 // heapBlockOf validates that v points at the base of a live heap block.
 func heapBlockOf(m *interp.Machine, v interp.Value) *mem.Unit {
-	u := m.AddressSpace().FindUnit(v.Ptr.Addr)
+	u := m.FindUnit(v.Ptr.Addr)
 	if u == nil || u.Kind != mem.KindHeap || u.Dead || u.Base != v.Ptr.Addr {
 		return nil
 	}
@@ -399,6 +461,9 @@ func biStrlen(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Valu
 
 func biStrcpy(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
 	dst, src := args[0].Ptr, args[1].Ptr
+	if copyCStringFast(m, dst, src, pos) {
+		return charP(dst)
+	}
 	for i := int64(0); i < maxScan; i++ {
 		b := loadByte(m, off(src, i), pos)
 		storeByte(m, off(dst, i), b, pos)
@@ -430,6 +495,9 @@ func biStrncpy(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Val
 func biStrcat(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
 	dst, src := args[0].Ptr, args[1].Ptr
 	dlen := cstrlen(m, dst, pos)
+	if copyCStringFast(m, off(dst, dlen), src, pos) {
+		return charP(dst)
+	}
 	for i := int64(0); i < maxScan; i++ {
 		b := loadByte(m, off(src, i), pos)
 		storeByte(m, off(dst, dlen+i), b, pos)
@@ -458,7 +526,27 @@ func biStrncat(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Val
 
 func biStrcmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
 	a, b := args[0].Ptr, args[1].Ptr
-	for i := int64(0); i < maxScan; i++ {
+	var i int64
+	// Fast path: walk the common in-bounds prefix natively, charging two
+	// byte accesses per step exactly like the checked loop below.
+	sa, sb := span(a), span(b)
+	k := int64(min(len(sa), len(sb)))
+	if k > maxScan {
+		k = maxScan
+	}
+	for ; i < k; i++ {
+		ca, cb := sa[i], sb[i]
+		if ca != cb {
+			m.ChargeByteRun(2 * (i + 1))
+			return interp.Int(int64(ca) - int64(cb))
+		}
+		if ca == 0 {
+			m.ChargeByteRun(2 * (i + 1))
+			return interp.Int(0)
+		}
+	}
+	m.ChargeByteRun(2 * k)
+	for ; i < maxScan; i++ {
 		ca := loadByte(m, off(a, i), pos)
 		cb := loadByte(m, off(b, i), pos)
 		if ca != cb {
@@ -474,7 +562,25 @@ func biStrcmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Valu
 func biStrncmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
 	a, b := args[0].Ptr, args[1].Ptr
 	n := args[2].I
-	for i := int64(0); i < n; i++ {
+	var i int64
+	sa, sb := span(a), span(b)
+	k := int64(min(len(sa), len(sb)))
+	if k > n {
+		k = n
+	}
+	for ; i < k; i++ {
+		ca, cb := sa[i], sb[i]
+		if ca != cb {
+			m.ChargeByteRun(2 * (i + 1))
+			return interp.Int(int64(ca) - int64(cb))
+		}
+		if ca == 0 {
+			m.ChargeByteRun(2 * (i + 1))
+			return interp.Int(0)
+		}
+	}
+	m.ChargeByteRun(2 * k)
+	for ; i < n; i++ {
 		ca := loadByte(m, off(a, i), pos)
 		cb := loadByte(m, off(b, i), pos)
 		if ca != cb {
@@ -490,7 +596,26 @@ func biStrncmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Val
 func biStrchr(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
 	p := args[0].Ptr
 	c := byte(args[1].I)
-	for i := int64(0); i < maxScan; i++ {
+	var i int64
+	if s := span(p); len(s) > 0 {
+		k := int64(len(s))
+		if k > maxScan {
+			k = maxScan
+		}
+		for ; i < k; i++ {
+			b := s[i]
+			if b == c {
+				m.ChargeByteRun(i + 1)
+				return charP(off(p, i))
+			}
+			if b == 0 {
+				m.ChargeByteRun(i + 1)
+				return charP(core.Pointer{})
+			}
+		}
+		m.ChargeByteRun(k)
+	}
+	for ; i < maxScan; i++ {
 		b := loadByte(m, off(p, i), pos)
 		if b == c {
 			return charP(off(p, i))
@@ -526,6 +651,27 @@ func biStrstr(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Valu
 	}
 	nb := loadN(m, needle, nlen, pos)
 	hlen := cstrlen(m, hay, pos)
+	if hs := span(hay); int64(len(hs)) >= hlen {
+		// The whole haystack is in bounds: run the same quadratic scan
+		// natively, counting loads so the cycle charge is identical.
+		var loads int64
+		for i := int64(0); i+nlen <= hlen; i++ {
+			match := true
+			for j := int64(0); j < nlen; j++ {
+				loads++
+				if hs[i+j] != nb[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				m.ChargeByteRun(loads)
+				return charP(off(hay, i))
+			}
+		}
+		m.ChargeByteRun(loads)
+		return charP(core.Pointer{})
+	}
 	for i := int64(0); i+nlen <= hlen; i++ {
 		match := true
 		for j := int64(0); j < nlen; j++ {
@@ -717,7 +863,20 @@ func biMemchr(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Valu
 	p := args[0].Ptr
 	c := byte(args[1].I)
 	n := args[2].I
-	for i := int64(0); i < n; i++ {
+	var i int64
+	if s := span(p); len(s) > 0 && n > 0 {
+		k := int64(len(s))
+		if k > n {
+			k = n
+		}
+		if j := int64(bytes.IndexByte(s[:k], c)); j >= 0 {
+			m.ChargeByteRun(j + 1)
+			return voidP(off(p, j))
+		}
+		m.ChargeByteRun(k)
+		i = k
+	}
+	for ; i < n; i++ {
 		if loadByte(m, off(p, i), pos) == c {
 			return voidP(off(p, i))
 		}
@@ -734,7 +893,25 @@ func lowerByte(c byte) byte {
 
 func biStrcasecmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
 	a, b := args[0].Ptr, args[1].Ptr
-	for i := int64(0); i < maxScan; i++ {
+	var i int64
+	sa, sb := span(a), span(b)
+	k := int64(min(len(sa), len(sb)))
+	if k > maxScan {
+		k = maxScan
+	}
+	for ; i < k; i++ {
+		ca, cb := lowerByte(sa[i]), lowerByte(sb[i])
+		if ca != cb {
+			m.ChargeByteRun(2 * (i + 1))
+			return interp.Int(int64(ca) - int64(cb))
+		}
+		if ca == 0 {
+			m.ChargeByteRun(2 * (i + 1))
+			return interp.Int(0)
+		}
+	}
+	m.ChargeByteRun(2 * k)
+	for ; i < maxScan; i++ {
 		ca := lowerByte(loadByte(m, off(a, i), pos))
 		cb := lowerByte(loadByte(m, off(b, i), pos))
 		if ca != cb {
@@ -750,7 +927,25 @@ func biStrcasecmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.
 func biStrncasecmp(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {
 	a, b := args[0].Ptr, args[1].Ptr
 	n := args[2].I
-	for i := int64(0); i < n; i++ {
+	var i int64
+	sa, sb := span(a), span(b)
+	k := int64(min(len(sa), len(sb)))
+	if k > n {
+		k = n
+	}
+	for ; i < k; i++ {
+		ca, cb := lowerByte(sa[i]), lowerByte(sb[i])
+		if ca != cb {
+			m.ChargeByteRun(2 * (i + 1))
+			return interp.Int(int64(ca) - int64(cb))
+		}
+		if ca == 0 {
+			m.ChargeByteRun(2 * (i + 1))
+			return interp.Int(0)
+		}
+	}
+	m.ChargeByteRun(2 * k)
+	for ; i < n; i++ {
 		ca := lowerByte(loadByte(m, off(a, i), pos))
 		cb := lowerByte(loadByte(m, off(b, i), pos))
 		if ca != cb {
@@ -777,6 +972,17 @@ func biStrspn(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Valu
 	set := spanSet(m, args[1].Ptr, pos)
 	p := args[0].Ptr
 	var i int64
+	if s := span(p); len(s) > 0 && bytes.IndexByte(s, 0) >= 0 {
+		// A NUL inside the span guarantees the scan terminates in bounds.
+		for ; i < maxScan; i++ {
+			b := s[i]
+			if b == 0 || !set[b] {
+				break
+			}
+		}
+		m.ChargeByteRun(minI64(i+1, maxScan))
+		return interp.Value{T: tULong, I: i}
+	}
 	for i = 0; i < maxScan; i++ {
 		b := loadByte(m, off(p, i), pos)
 		if b == 0 || !set[b] {
@@ -790,6 +996,16 @@ func biStrcspn(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Val
 	set := spanSet(m, args[1].Ptr, pos)
 	p := args[0].Ptr
 	var i int64
+	if s := span(p); len(s) > 0 && bytes.IndexByte(s, 0) >= 0 {
+		for ; i < maxScan; i++ {
+			b := s[i]
+			if b == 0 || set[b] {
+				break
+			}
+		}
+		m.ChargeByteRun(minI64(i+1, maxScan))
+		return interp.Value{T: tULong, I: i}
+	}
 	for i = 0; i < maxScan; i++ {
 		b := loadByte(m, off(p, i), pos)
 		if b == 0 || set[b] {
@@ -797,6 +1013,13 @@ func biStrcspn(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Val
 		}
 	}
 	return interp.Value{T: tULong, I: i}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func biBzero(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Value {

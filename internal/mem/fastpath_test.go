@@ -1,0 +1,168 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refFindUnit is the obviously-correct reference lookup: a linear scan of
+// every unit table. FindUnit (region-gated binary searches) and
+// FindUnitCached (one-entry caches on top) must agree with it exactly —
+// including returning dead heap units and excluding popped stack units,
+// which are removed from the table.
+func refFindUnit(as *AddressSpace, addr uint64) *Unit {
+	for _, tbl := range [][]*Unit{as.literals, as.globals, as.heap, as.stack} {
+		for _, u := range tbl {
+			if u.Contains(addr) {
+				return u
+			}
+		}
+	}
+	return nil
+}
+
+// TestFindUnitCacheConsistency drives a randomized sequence of every
+// operation that mutates the unit-at-address mapping — malloc, free,
+// literal interning, global allocation, frame push, frame pop, and
+// multi-frame unwind — while a set of LookupCaches persists across all of
+// them, exactly as the interpreter's per-machine and per-site caches do.
+// After every mutation it cross-checks FindUnit and FindUnitCached against
+// the linear-scan reference on a batch of probe addresses biased toward
+// unit boundaries (Base-1, Base, interior, End). Any stale cache entry
+// surviving a free, pop, or unwind shows up as a pointer-identity mismatch.
+//
+// Run under -race this also guards the cache fast path against hidden
+// shared state (the caches and tables must be confined to one goroutine by
+// construction, not by luck).
+func TestFindUnitCacheConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xf0cc))
+	as := New()
+
+	// Persistent caches, reused round-robin across all probes so entries
+	// routinely survive many mutations — the scenario the stamp-based
+	// invalidation exists for.
+	caches := make([]LookupCache, 8)
+
+	type pushed struct {
+		f      *Frame
+		saveSP uint64 // SP before the push: UnwindTo target discarding it
+	}
+	var frames []pushed
+	var liveHeap []uint64 // base addresses of live heap blocks
+
+	// probeAddrs accumulates interesting addresses: boundaries of every
+	// unit ever created (live, freed, or popped) plus fixed unmapped spots.
+	probeAddrs := []uint64{0, 0x100, LiteralBase - 1, GlobalBase - 1,
+		HeapBase - 1, heapLimit, StackTop, StackTop - 1}
+	noteUnit := func(u *Unit) {
+		probeAddrs = append(probeAddrs,
+			u.Base-1, u.Base, u.Base+u.Size/2, u.End()-1, u.End())
+	}
+
+	check := func(step int) {
+		for i := 0; i < 16; i++ {
+			addr := probeAddrs[rng.Intn(len(probeAddrs))]
+			want := refFindUnit(as, addr)
+			if got := as.FindUnit(addr); got != want {
+				t.Fatalf("step %d: FindUnit(0x%x) = %v, reference = %v",
+					step, addr, got, want)
+			}
+			c := &caches[i%len(caches)]
+			if got := as.FindUnitCached(addr, c); got != want {
+				t.Fatalf("step %d: FindUnitCached(0x%x) = %v, reference = %v (cache %+v, stackGen %d)",
+					step, addr, got, want, *c, as.stackGen)
+			}
+		}
+	}
+
+	lit := 0
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3: // malloc
+			u, fault := as.Malloc(uint64(1 + rng.Intn(64)))
+			if fault != nil {
+				t.Fatalf("step %d: malloc: %v", step, fault)
+			}
+			liveHeap = append(liveHeap, u.Base)
+			noteUnit(u)
+		case op < 5: // free a random live block
+			if len(liveHeap) == 0 {
+				continue
+			}
+			i := rng.Intn(len(liveHeap))
+			if fault := as.Free(liveHeap[i]); fault != nil {
+				t.Fatalf("step %d: free: %v", step, fault)
+			}
+			liveHeap = append(liveHeap[:i], liveHeap[i+1:]...)
+		case op < 8: // push a frame with a few locals
+			nloc := rng.Intn(4)
+			locals := make([]LocalSpec, nloc)
+			for l := range locals {
+				locals[l] = LocalSpec{Name: "v", Off: uint64(l) * 16,
+					Size: uint64(1 + rng.Intn(16))}
+			}
+			saveSP := as.SP()
+			f, fault := as.PushFrame("fn", uint64(16*nloc+8), locals)
+			if fault != nil {
+				t.Fatalf("step %d: push: %v", step, fault)
+			}
+			frames = append(frames, pushed{f: f, saveSP: saveSP})
+			noteUnit(f.guard)
+			for _, u := range f.locals {
+				noteUnit(u)
+			}
+		case op < 9: // pop the top frame
+			if len(frames) == 0 {
+				continue
+			}
+			p := frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+			if fault := as.PopFrame(p.f); fault != nil {
+				t.Fatalf("step %d: pop: %v", step, fault)
+			}
+		default: // unwind several frames, or intern a literal/global
+			if len(frames) > 1 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(frames))
+				as.UnwindTo(frames[k].saveSP)
+				frames = frames[:k]
+			} else if rng.Intn(2) == 0 {
+				lit++
+				noteUnit(as.InternLiteral(string(rune('a'+lit%26)) + "\x00"))
+			} else {
+				noteUnit(as.AllocGlobal("g", uint64(1+rng.Intn(32))))
+			}
+		}
+		check(step)
+	}
+}
+
+// TestFindUnitCachedAgainstUncached is the pure equivalence property on a
+// fixed populated address space: for any address, FindUnitCached through an
+// arbitrarily reused cache returns the identical unit pointer as FindUnit.
+func TestFindUnitCachedAgainstUncached(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	as := New()
+	var addrs []uint64
+	for i := 0; i < 64; i++ {
+		u, fault := as.Malloc(uint64(1 + rng.Intn(128)))
+		if fault != nil {
+			t.Fatal(fault)
+		}
+		addrs = append(addrs, u.Base, u.Base-1, u.End())
+	}
+	for i := 0; i < 16; i++ {
+		f, fault := as.PushFrame("fn", 64, []LocalSpec{{Name: "x", Off: 0, Size: 48}})
+		if fault != nil {
+			t.Fatal(fault)
+		}
+		addrs = append(addrs, f.Base, f.Base+17, f.guard.Base)
+	}
+	var c LookupCache
+	for i := 0; i < 100000; i++ {
+		addr := addrs[rng.Intn(len(addrs))] + uint64(rng.Intn(8))
+		want := as.FindUnit(addr)
+		if got := as.FindUnitCached(addr, &c); got != want {
+			t.Fatalf("FindUnitCached(0x%x) = %v, FindUnit = %v", addr, got, want)
+		}
+	}
+}

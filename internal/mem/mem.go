@@ -185,6 +185,30 @@ type AddressSpace struct {
 
 	// internTable dedups string literals.
 	internTable map[string]*Unit
+
+	// stackGen is bumped whenever stack units are removed (PopFrame,
+	// UnwindTo); it validates LookupCache entries for stack units. See
+	// fastpath.go for the coherence contract.
+	stackGen uint64
+
+	// Slab allocator state for unit Data backing (see fastpath.go).
+	slab     []byte
+	slabOff  uint64
+	slabs    [][]byte
+	released bool
+
+	// Interned faults for the allocator hot paths. The pointers returned
+	// by Malloc (OOM, corrupted-heap) and Free (bad free) are transient:
+	// valid only until the next Malloc/Free call on this address space.
+	// Callers either consume them immediately (libc translates them into
+	// policy behaviour on the spot) or the machine dies holding the last
+	// one, so no allocation per fault is needed.
+	oomFault     Fault
+	corruptFault Fault
+	badFreeFault Fault
+
+	// mallocNames memoizes "malloc(N)" diagnostic names by size.
+	mallocNames map[uint64]string
 }
 
 // New creates an address space with the default stack size.
@@ -196,7 +220,7 @@ func NewWithStack(stackSize uint64) *AddressSpace {
 		literalCur:  LiteralBase,
 		globalCur:   GlobalBase,
 		heapCur:     HeapBase,
-		stackArena:  make([]byte, stackSize),
+		stackArena:  getArena(stackSize),
 		stackBase:   StackTop - stackSize,
 		sp:          StackTop,
 		lowWater:    StackTop,
@@ -224,7 +248,7 @@ func (as *AddressSpace) AllocGlobal(name string, size uint64) *Unit {
 		size = 1
 	}
 	base := roundUp(as.globalCur, 16)
-	u := as.newUnit(KindGlobal, name, base, size, make([]byte, size))
+	u := as.newUnit(KindGlobal, name, base, size, as.alloc(size))
 	as.globalCur = base + size
 	as.globals = append(as.globals, u)
 	as.stats.GlobalBytes += size
@@ -242,7 +266,7 @@ func (as *AddressSpace) InternLiteral(data string) *Unit {
 		size = 1
 	}
 	base := roundUp(as.literalCur, 8)
-	buf := make([]byte, size)
+	buf := as.alloc(size)
 	copy(buf, data)
 	u := as.newUnit(KindLiteral, fmt.Sprintf("%q", truncForName(data)), base, size, buf)
 	u.ReadOnly = true
@@ -267,22 +291,31 @@ const heapLimit = 0x7000_0000
 // with the previous allocation so overruns behave realistically.
 func (as *AddressSpace) Malloc(size uint64) (*Unit, *Fault) {
 	if as.heapCorrupted {
-		return nil, &Fault{Kind: FaultHeapCorrupt, Addr: as.heapCur,
+		as.corruptFault = Fault{Kind: FaultHeapCorrupt, Addr: as.heapCur,
 			Msg: "malloc(): corrupted block header"}
+		return nil, &as.corruptFault
 	}
 	if size == 0 {
 		size = 1
 	}
 	base := roundUp(as.heapCur, 16)
 	if base+heapHeaderSize+size >= heapLimit {
-		return nil, &Fault{Kind: FaultOOM, Addr: base}
+		as.oomFault = Fault{Kind: FaultOOM, Addr: base}
+		return nil, &as.oomFault
 	}
-	hdr := as.newUnit(KindHeapHeader, "malloc-header", base, heapHeaderSize,
-		make([]byte, heapHeaderSize))
+	// Header and block units are laid out contiguously and allocated as one
+	// batch; their Data shares one slab-backed slice.
+	pair := make([]Unit, 2)
+	data := as.alloc(heapHeaderSize + size)
+	hdr, blk := &pair[0], &pair[1]
+	as.nextID++
+	*hdr = Unit{ID: as.nextID, Kind: KindHeapHeader, Name: "malloc-header",
+		Base: base, Size: heapHeaderSize, Data: data[:heapHeaderSize:heapHeaderSize]}
 	binary.LittleEndian.PutUint64(hdr.Data[0:8], heapMagic)
 	binary.LittleEndian.PutUint64(hdr.Data[8:16], size)
-	blk := as.newUnit(KindHeap, fmt.Sprintf("malloc(%d)", size),
-		base+heapHeaderSize, size, make([]byte, size))
+	as.nextID++
+	*blk = Unit{ID: as.nextID, Kind: KindHeap, Name: as.mallocName(size),
+		Base: base + heapHeaderSize, Size: size, Data: data[heapHeaderSize:]}
 	as.heapCur = blk.End()
 	as.heap = append(as.heap, hdr, blk)
 	as.stats.Mallocs++
@@ -290,15 +323,32 @@ func (as *AddressSpace) Malloc(size uint64) (*Unit, *Fault) {
 	return blk, nil
 }
 
+// mallocName memoizes the diagnostic "malloc(N)" unit names — allocation
+// sizes repeat heavily, and the formatting showed up in profiles.
+func (as *AddressSpace) mallocName(size uint64) string {
+	if name, ok := as.mallocNames[size]; ok {
+		return name
+	}
+	name := fmt.Sprintf("malloc(%d)", size)
+	if as.mallocNames == nil {
+		as.mallocNames = make(map[uint64]string, 16)
+	}
+	as.mallocNames[size] = name
+	return name
+}
+
 // Free releases a heap block. The pointer must be the base of a live heap
-// block, as with C free().
+// block, as with C free(). The returned fault, if any, is transient (see
+// the interned-fault note on AddressSpace).
 func (as *AddressSpace) Free(addr uint64) *Fault {
 	u := as.FindUnit(addr)
 	if u == nil || u.Kind != KindHeap || u.Base != addr {
-		return &Fault{Kind: FaultBadFree, Addr: addr}
+		as.badFreeFault = Fault{Kind: FaultBadFree, Addr: addr}
+		return &as.badFreeFault
 	}
 	if u.Dead {
-		return &Fault{Kind: FaultBadFree, Addr: addr, Msg: "double free"}
+		as.badFreeFault = Fault{Kind: FaultBadFree, Addr: addr, Msg: "double free"}
+		return &as.badFreeFault
 	}
 	// Check this block's header integrity, as glibc does lazily.
 	hdr := as.FindUnit(addr - heapHeaderSize)
@@ -332,15 +382,27 @@ type Frame struct {
 	Size   uint64
 	guard  *Unit
 	locals []*Unit
-	byOff  map[uint64]*Unit
+	// offs holds the frame offsets of locals, parallel to the locals
+	// slice; frames are small enough that a linear scan beats a map.
+	offs   []uint64
 	prevSP uint64
 }
 
 // Local returns the data unit of the local declared at frame offset off.
-func (f *Frame) Local(off uint64) *Unit { return f.byOff[off] }
+func (f *Frame) Local(off uint64) *Unit {
+	for i, o := range f.offs {
+		if o == off {
+			return f.locals[i]
+		}
+	}
+	return nil
+}
 
 // PushFrame allocates a stack frame of the given size with a canary guard
-// between it and the caller's frame, and one data unit per local.
+// between it and the caller's frame, and one data unit per local. fnName
+// labels the guard unit verbatim, and LocalSpec names are used verbatim,
+// so callers pushing the same frame layout repeatedly should pass
+// preformatted names (the interpreter caches them per function).
 func (as *AddressSpace) PushFrame(fnName string, size uint64, locals []LocalSpec) (*Frame, *Fault) {
 	size = roundUp(size, 8)
 	if size == 0 {
@@ -357,16 +419,24 @@ func (as *AddressSpace) PushFrame(fnName string, size uint64, locals []LocalSpec
 	if as.sp < as.lowWater {
 		as.lowWater = as.sp
 	}
+	// All of the frame's units (guard plus locals) come from one batch
+	// allocation; frames are pushed on every function call, so the
+	// per-unit allocations dominated the call path.
+	units := make([]Unit, 1+len(locals))
 	gOff := guardBase - as.stackBase
-	guard := as.newUnit(KindStackGuard, "canary:"+fnName, guardBase, canarySize,
-		as.stackArena[gOff:gOff+canarySize])
+	guard := &units[0]
+	as.nextID++
+	*guard = Unit{ID: as.nextID, Kind: KindStackGuard, Name: fnName,
+		Base: guardBase, Size: canarySize,
+		Data: as.stackArena[gOff : gOff+canarySize : gOff+canarySize]}
 	binary.LittleEndian.PutUint64(guard.Data, canaryMagic)
 	f := &Frame{
 		Base:   frameBase,
 		Size:   size,
 		guard:  guard,
 		prevSP: prevSP,
-		byOff:  make(map[uint64]*Unit, len(locals)),
+		locals: make([]*Unit, 0, len(locals)),
+		offs:   make([]uint64, 0, len(locals)),
 	}
 	// Register units in descending base order so as.stack stays strictly
 	// descending (guard is highest, then locals top-down).
@@ -379,10 +449,12 @@ func (as *AddressSpace) PushFrame(fnName string, size uint64, locals []LocalSpec
 		}
 		base := frameBase + sp.Off
 		aOff := base - as.stackBase
-		u := as.newUnit(KindStack, sp.Name+" ("+fnName+")", base, sz,
-			as.stackArena[aOff:aOff+sz])
+		u := &units[1+i]
+		as.nextID++
+		*u = Unit{ID: as.nextID, Kind: KindStack, Name: sp.Name,
+			Base: base, Size: sz, Data: as.stackArena[aOff : aOff+sz : aOff+sz]}
 		f.locals = append(f.locals, u)
-		f.byOff[sp.Off] = u
+		f.offs = append(f.offs, sp.Off)
 		as.stack = append(as.stack, u)
 	}
 	as.stats.FramesPush++
@@ -406,6 +478,7 @@ func (as *AddressSpace) PopFrame(f *Frame) *Fault {
 	f.guard.Dead = true
 	as.stack = as.stack[:len(as.stack)-n]
 	as.sp = f.prevSP
+	as.stackGen++ // stack units removed: invalidate stack cache entries
 	as.stats.FramesPop++
 	if smashed {
 		return &Fault{Kind: FaultStackSmash, Addr: f.guard.Base,
@@ -435,6 +508,7 @@ func (as *AddressSpace) UnwindTo(sp uint64) {
 		as.stack = as.stack[:len(as.stack)-1]
 	}
 	as.sp = sp
+	as.stackGen++ // stack units removed: invalidate stack cache entries
 }
 
 // FindUnit returns the unit containing addr (live or dead), or nil for
@@ -462,17 +536,20 @@ func findAsc(units []*Unit, addr uint64) *Unit {
 }
 
 func (as *AddressSpace) findStack(addr uint64) *Unit {
-	// as.stack is strictly descending in Base, so scanning from the end
-	// visits units in ascending base order, starting with the most
-	// recent frame (the most likely target).
-	for i := len(as.stack) - 1; i >= 0; i-- {
-		u := as.stack[i]
-		if u.Contains(addr) {
-			return u
+	// as.stack is strictly descending in Base: binary-search for the first
+	// unit with Base <= addr (the only candidate that can contain addr).
+	s := as.stack
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].Base <= addr {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		if u.Base > addr {
-			return nil // remaining units are even higher
-		}
+	}
+	if lo < len(s) && s[lo].Contains(addr) {
+		return s[lo]
 	}
 	return nil
 }
@@ -567,7 +644,9 @@ func (as *AddressSpace) RawWrite(addr uint64, data []byte) *Fault {
 // provenance prov.
 func (u *Unit) SetShadow(off uint64, prov *Unit) {
 	if u.shadow == nil {
-		u.shadow = map[uint64]*Unit{}
+		// Pre-size: a unit that stores one pointer usually stores a few
+		// (arrays of pointers, structs with pointer fields).
+		u.shadow = make(map[uint64]*Unit, 8)
 	}
 	u.shadow[off] = prov
 }

@@ -17,6 +17,8 @@ type options struct {
 
 	breakerAfter int
 	breakerCool  time.Duration
+
+	warmSpares int
 }
 
 func defaultOptions() options {
@@ -28,6 +30,7 @@ func defaultOptions() options {
 		backoffMax:   250 * time.Millisecond,
 		breakerAfter: 8,
 		breakerCool:  500 * time.Millisecond,
+		warmSpares:   0, // no pre-warmed replacements unless configured
 	}
 }
 
@@ -71,6 +74,22 @@ func WithBackoff(base, max time.Duration) Option {
 		}
 		if max > 0 {
 			o.backoffMax = max
+		}
+	}
+}
+
+// WithWarmSpares keeps up to n pre-created instances on standby: when a
+// worker's instance crashes it is replaced by a warm spare immediately
+// (no in-line instance-creation cost and no backoff — the spawn already
+// happened off the serving path, like Apache pre-forking children before
+// they are needed). A background filler goroutine tops the standby set back
+// up after each take; if crashes outpace it, replacement falls back to the
+// usual cold spawn with backoff and breaker. Restarts are counted the same
+// either way. n <= 0 disables warm spares (the default).
+func WithWarmSpares(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.warmSpares = n
 		}
 	}
 }

@@ -89,6 +89,11 @@ type Engine struct {
 
 	served, crashes, restarts, timeouts, rejected, trips atomic.Uint64
 
+	// spares holds pre-warmed replacement instances (nil when warm spares
+	// are disabled). A filler goroutine blocks on sending into it, so the
+	// standby set refills itself as soon as a spare is taken.
+	spares chan servers.Instance
+
 	latency hist
 
 	// obsMu guards the memory-error aggregation state: the set of live
@@ -135,7 +140,48 @@ func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 		e.wg.Add(1)
 		go e.worker(inst)
 	}
+	if o.warmSpares > 0 {
+		e.spares = make(chan servers.Instance, o.warmSpares)
+		e.wg.Add(1)
+		go e.filler()
+	}
 	return e, nil
+}
+
+// filler keeps the warm-spare channel topped up: it creates instances ahead
+// of demand and blocks sending into the bounded channel, waking exactly when
+// a respawn takes a spare. Creation errors back off briefly so a persistent
+// failure cannot spin the goroutine.
+func (e *Engine) filler() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.closing.Done():
+			return
+		default:
+		}
+		inst, err := e.srv.New(e.mode)
+		if err != nil {
+			if !e.sleep(e.o.backoffBase) {
+				return
+			}
+			continue
+		}
+		select {
+		case e.spares <- inst:
+		case <-e.closing.Done():
+			releaseInstance(inst)
+			return
+		}
+	}
+}
+
+// releaseInstance returns a retired instance's pooled memory, when the
+// instance supports it (servers.Base does).
+func releaseInstance(inst servers.Instance) {
+	if r, ok := inst.(interface{ Release() }); ok {
+		r.Release()
+	}
 }
 
 // adoptLog registers a live instance's event log for scraping.
@@ -240,6 +286,18 @@ func (e *Engine) Submit(ctx context.Context, req servers.Request) (servers.Respo
 func (e *Engine) Close() {
 	e.once.Do(e.closeFunc)
 	e.wg.Wait()
+	if e.spares != nil {
+		// The filler has exited; drain any remaining pre-warmed instances
+		// and return their pooled memory.
+		for {
+			select {
+			case inst := <-e.spares:
+				releaseInstance(inst)
+			default:
+				return
+			}
+		}
+	}
 }
 
 // worker owns one instance: it pulls tasks from the shared queue, executes
@@ -271,6 +329,7 @@ func (e *Engine) worker(inst servers.Instance) {
 				e.crashes.Add(1)
 				consecutive++
 				e.retireLog(inst.Log())
+				releaseInstance(inst)
 				inst = e.respawn(&consecutive)
 				if inst == nil {
 					return // engine closed while backing off
@@ -297,6 +356,19 @@ func (e *Engine) execute(inst servers.Instance, t *task) servers.Response {
 // between consecutive crashes and tripping the circuit breaker on a restart
 // storm. It returns nil when the engine closes while waiting.
 func (e *Engine) respawn(consecutive *int) servers.Instance {
+	// A pre-warmed spare replaces the crashed child with no in-line
+	// creation cost and no backoff: the spawn already happened off the
+	// serving path. When crashes outpace the filler the channel is empty
+	// and replacement falls through to the cold path below.
+	if e.spares != nil {
+		select {
+		case inst := <-e.spares:
+			e.restarts.Add(1)
+			e.adoptLog(inst.Log())
+			return inst
+		default:
+		}
+	}
 	for {
 		switch {
 		case e.o.breakerAfter > 0 && *consecutive >= e.o.breakerAfter:

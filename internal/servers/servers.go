@@ -131,6 +131,13 @@ func (b *Base) Log() *fo.EventLog { return b.EvLog }
 // Cycles implements Instance.
 func (b *Base) Cycles() uint64 { return b.M.SimCycles() }
 
+// Release returns the instance's pooled machine memory (stack arena, unit
+// data slabs) for reuse by future instances. Call it only when retiring the
+// instance for good — after a crash, when a pool replaces it — and never
+// use the instance again afterwards. Pools discover it via a type
+// assertion on the Instance value.
+func (b *Base) Release() { b.M.Release() }
+
 // BindContext binds ctx as the cancellation source of the instance's
 // machine for the duration of one request; the returned release function
 // must be deferred. Server packages use it together with Attribute to
