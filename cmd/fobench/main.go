@@ -1,19 +1,24 @@
-// Command fobench regenerates the paper's evaluation tables and figures:
+// Command fobench regenerates the paper's evaluation tables and figures.
 //
-//	fobench -experiment all            # everything below
-//	fobench -experiment fig2           # Pine request times (Figure 2)
-//	fobench -experiment fig3           # Apache request times (Figure 3)
-//	fobench -experiment fig4           # Sendmail request times (Figure 4)
-//	fobench -experiment fig5           # Midnight Commander times (Figure 5)
-//	fobench -experiment fig6           # Mutt request times (Figure 6)
-//	fobench -experiment throughput     # Apache attack throughput (§4.3.2)
-//	fobench -experiment loadtest       # concurrent §4.3.2 (serve.Engine pool)
-//	fobench -experiment resilience     # security & resilience matrix (§4.*.2)
-//	fobench -experiment variants       # boundless / redirect variants (§5.1)
-//	fobench -experiment soak           # stability runs (§4.*.4)
-//	fobench -experiment errlog         # per-mode memory-error event profiles (§3)
-//	fobench -experiment propagation    # error propagation distance (§1.2)
-//	fobench -experiment ablation       # manufactured-value sequence (§3)
+// Experiments (this block is rendered from the experiments table below and
+// also printed by "fobench -experiment list"; a test keeps them in sync):
+//
+//	fobench -experiment all          # every experiment below except campaign
+//	fobench -experiment fig2         # Pine request times (Figure 2)
+//	fobench -experiment fig3         # Apache request times (Figure 3)
+//	fobench -experiment fig4         # Sendmail request times (Figure 4)
+//	fobench -experiment fig5         # Midnight Commander times (Figure 5)
+//	fobench -experiment fig6         # Mutt request times (Figure 6)
+//	fobench -experiment throughput   # Apache attack throughput (§4.3.2)
+//	fobench -experiment loadtest     # concurrent §4.3.2 (serve.Engine pool)
+//	fobench -experiment resilience   # security & resilience matrix (§4.*.2)
+//	fobench -experiment variants     # boundless / redirect variants (§5.1)
+//	fobench -experiment soak         # stability runs (§4.*.4)
+//	fobench -experiment errlog       # per-mode memory-error event profiles (§3)
+//	fobench -experiment propagation  # error propagation distance (§1.2)
+//	fobench -experiment ablation     # manufactured-value sequence (§3)
+//	fobench -experiment campaign     # seeded fault-injection campaign (internal/inject)
+//	fobench -experiment list         # print this experiment table
 //
 // Absolute times are from the Go interpreter, not the paper's 2004 testbed;
 // the slowdown and ratio *shapes* are the reproduction target.
@@ -23,10 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"focc/fo"
 	"focc/internal/harness"
+	"focc/internal/inject"
 	"focc/internal/servers"
 	"focc/internal/servers/apache"
 	"focc/internal/servers/mc"
@@ -35,8 +42,52 @@ import (
 	"focc/internal/servers/sendmail"
 )
 
+// experiments is the single source of truth for the -experiment selector:
+// "fobench -experiment list" prints it, and the package doc comment above
+// embeds the same rendered block (TestUsageDocMatchesExperimentTable
+// asserts the doc cannot drift from this table).
+var experiments = []struct {
+	id   string
+	desc string
+}{
+	{"all", "every experiment below except campaign"},
+	{"fig2", "Pine request times (Figure 2)"},
+	{"fig3", "Apache request times (Figure 3)"},
+	{"fig4", "Sendmail request times (Figure 4)"},
+	{"fig5", "Midnight Commander times (Figure 5)"},
+	{"fig6", "Mutt request times (Figure 6)"},
+	{"throughput", "Apache attack throughput (§4.3.2)"},
+	{"loadtest", "concurrent §4.3.2 (serve.Engine pool)"},
+	{"resilience", "security & resilience matrix (§4.*.2)"},
+	{"variants", "boundless / redirect variants (§5.1)"},
+	{"soak", "stability runs (§4.*.4)"},
+	{"errlog", "per-mode memory-error event profiles (§3)"},
+	{"propagation", "error propagation distance (§1.2)"},
+	{"ablation", "manufactured-value sequence (§3)"},
+	{"campaign", "seeded fault-injection campaign (internal/inject)"},
+	{"list", "print this experiment table"},
+}
+
+// experimentTable renders the experiments table; the package doc comment
+// embeds exactly these lines.
+func experimentTable() string {
+	var sb strings.Builder
+	for _, e := range experiments {
+		fmt.Fprintf(&sb, "fobench -experiment %-12s # %s\n", e.id, e.desc)
+	}
+	return sb.String()
+}
+
+// campaignOpts carries the fault-injection campaign's flags.
+type campaignOpts struct {
+	seed    int64
+	faults  int
+	out     string // write the JSON report here ("" = table only)
+	servers string // comma-separated subset ("" = all five)
+}
+
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run")
+	experiment := flag.String("experiment", "all", "which experiment to run (see -experiment list)")
 	reps := flag.Int("reps", harness.DefaultReps, "repetitions per request")
 	soakN := flag.Int("soak-n", 200, "requests per soak run")
 	wall := flag.Bool("wall", false, "measure figures in wall-clock time instead of simulated cycles")
@@ -46,6 +97,10 @@ func main() {
 	deadline := flag.Duration("deadline", 2*time.Second, "loadtest: per-request deadline (0 = none)")
 	attacks := flag.Int("attacks-per-legit", 3, "loadtest: attack requests per legitimate request")
 	legitN := flag.Int("legit-per-client", 10, "loadtest: legitimate requests per client")
+	seed := flag.Int64("seed", 1, "PRNG seed (loadtest request mix; campaign plan)")
+	faults := flag.Int("faults", 40, "campaign: fault points sampled per server")
+	campaignOut := flag.String("campaign-out", "", "campaign: write the JSON report to this file")
+	campaignServers := flag.String("campaign-servers", "", "campaign: comma-separated server subset (default all five)")
 	flag.Parse()
 	clock := harness.SimClock
 	if *wall {
@@ -58,11 +113,57 @@ func main() {
 		Deadline:        *deadline,
 		AttacksPerLegit: *attacks,
 		LegitPerClient:  *legitN,
+		Seed:            *seed,
 	}
-	if err := runClock(*experiment, *reps, *soakN, clock, cfg); err != nil {
+	co := campaignOpts{seed: *seed, faults: *faults, out: *campaignOut, servers: *campaignServers}
+	if err := dispatch(*experiment, *reps, *soakN, clock, cfg, co); err != nil {
 		fmt.Fprintln(os.Stderr, "fobench:", err)
 		os.Exit(1)
 	}
+}
+
+// dispatch routes the experiment selector: the table-printing and campaign
+// experiments are handled here, everything else by runClock ("all" runs the
+// runClock set — the campaign is opt-in because it is the expensive one).
+func dispatch(experiment string, reps, soakN int, clock harness.Clock,
+	loadCfg harness.LoadtestConfig, co campaignOpts) error {
+	switch experiment {
+	case "list":
+		fmt.Print(experimentTable())
+		return nil
+	case "campaign":
+		return runCampaign(co)
+	}
+	return runClock(experiment, reps, soakN, clock, loadCfg)
+}
+
+// runCampaign builds a plan from the flags, runs the fault-injection
+// campaign, prints the human-readable table, and optionally writes the
+// byte-stable JSON report (the artifact two runs with the same seed
+// reproduce bit for bit).
+func runCampaign(o campaignOpts) error {
+	plan := inject.DefaultPlan(o.seed, o.faults)
+	if o.servers != "" {
+		for _, name := range strings.Split(o.servers, ",") {
+			plan.Servers = append(plan.Servers, strings.TrimSpace(name))
+		}
+	}
+	rep, err := inject.Run(plan, inject.AllTargets())
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	fmt.Print(inject.FormatReport(rep))
+	if o.out != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		if err := os.WriteFile(o.out, data, 0o644); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		fmt.Printf("campaign: JSON report written to %s\n", o.out)
+	}
+	return nil
 }
 
 func allServers() []servers.Server {
@@ -218,7 +319,7 @@ func runClock(experiment string, reps, soakN int, clock harness.Clock, loadCfg h
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", experiment)
+		return fmt.Errorf("unknown experiment %q (see fobench -experiment list)", experiment)
 	}
 	return nil
 }

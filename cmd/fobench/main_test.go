@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -46,5 +49,54 @@ func TestLoadtestExperiment(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if err := run("nope", 2, 10); err == nil {
 		t.Error("expected error for unknown experiment")
+	}
+}
+
+// The package doc comment embeds the rendered experiments table; this test
+// pins the two together so adding an experiment without updating the usage
+// block (or vice versa) fails the build. The "list" experiment prints the
+// same rendering, so it is covered by the same assertion.
+func TestUsageDocMatchesExperimentTable(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(experimentTable(), "\n"), "\n") {
+		want := "//\t" + line
+		if !strings.Contains(string(src), want) {
+			t.Errorf("doc comment missing experiment line %q", want)
+		}
+	}
+}
+
+func TestListExperiment(t *testing.T) {
+	if err := dispatch("list", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	table := experimentTable()
+	for _, id := range []string{"all", "fig2", "campaign", "list"} {
+		if !strings.Contains(table, "-experiment "+id) {
+			t.Errorf("experiment table missing %q", id)
+		}
+	}
+}
+
+func TestCampaignExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	out := filepath.Join(t.TempDir(), "campaign.json")
+	co := campaignOpts{seed: 7, faults: 4, out: out, servers: "pine"}
+	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	for _, want := range []string{`"Seed": 7`, `"Server": "pine"`, `"failure-oblivious"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON report missing %q", want)
+		}
 	}
 }

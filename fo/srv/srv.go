@@ -89,6 +89,8 @@ type (
 	Option = serve.Option
 	// Stats is a snapshot of an Engine's counters.
 	Stats = serve.Stats
+	// ChaosConfig configures deterministic chaos injection (WithChaos).
+	ChaosConfig = serve.ChaosConfig
 )
 
 // Errors returned by Engine.Submit.
@@ -127,6 +129,15 @@ func WithBreaker(consecutive int, cooldown time.Duration) Option {
 // crashed worker is replaced without paying instance-creation cost on the
 // serving path (Apache-style pre-forking).
 func WithWarmSpares(n int) Option { return serve.WithWarmSpares(n) }
+
+// WithChaos enables deterministic process-level chaos injection on the
+// engine: every KillEvery-th executed request kills its serving instance
+// after responding (the supervisor replaces it), and every LatencyEvery-th
+// request is delayed by Latency before execution — long enough a delay
+// trips the configured deadline. Injection is counter-keyed, not random;
+// see the fault-injection campaign (internal/inject, `fobench -experiment
+// campaign`) for seeded plans built on top of it.
+func WithChaos(c ChaosConfig) Option { return serve.WithChaos(c) }
 
 // Handle processes one request on inst with ctx bound for cancellation —
 // a convenience for driving a single instance without an Engine.

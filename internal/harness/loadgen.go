@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +36,10 @@ type LoadtestConfig struct {
 	// LegitPerClient is the number of legitimate requests each client
 	// completes; 0 means 10.
 	LegitPerClient int
+	// Seed drives the per-client PRNGs that pick which legitimate request
+	// each client issues next, so the workload mix is reproducible: the
+	// same seed yields the same request sequence per client. 0 means 1.
+	Seed int64
 }
 
 func (c *LoadtestConfig) defaults() {
@@ -52,6 +57,9 @@ func (c *LoadtestConfig) defaults() {
 	}
 	if c.AttacksPerLegit < 0 {
 		c.AttacksPerLegit = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 }
 
@@ -94,7 +102,7 @@ func Loadtest(srv servers.Server, mode fo.Mode, cfg LoadtestConfig) (LoadtestRes
 	}
 	defer eng.Close()
 
-	legit := srv.LegitRequests()[0]
+	legits := srv.LegitRequests()
 	attack := srv.AttackRequest()
 	res := LoadtestResult{Mode: mode}
 
@@ -119,11 +127,20 @@ func Loadtest(srv servers.Server, mode fo.Mode, cfg LoadtestConfig) (LoadtestRes
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
+		// Each client's request mix is drawn up front from a PRNG seeded
+		// by (Seed, client index), so it is identical across runs with the
+		// same seed regardless of scheduling or queue-full retries.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*1_000_003))
+		picks := make([]int, cfg.LegitPerClient)
+		for i := range picks {
+			picks[i] = rng.Intn(len(legits))
+		}
 		go func() {
 			defer wg.Done()
 			var done, lost, attacks int
 			lats := make([]time.Duration, 0, cfg.LegitPerClient)
 			for i := 0; i < cfg.LegitPerClient; i++ {
+				legit := legits[picks[i]]
 				for a := 0; a < cfg.AttacksPerLegit; a++ {
 					_, err := eng.Submit(context.Background(), attack)
 					switch {

@@ -1,0 +1,183 @@
+package inject
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// campaignPlan is the shared small-but-real test plan: two servers, all
+// fault classes, a two-strategy sweep, and a chaos section without
+// deadlines (kill/delay counters are counter-keyed and deterministic; a
+// deadline would make classification depend on wall-clock speed).
+func campaignPlan() Plan {
+	return Plan{
+		Seed:       7,
+		Faults:     12,
+		Servers:    []string{"pine", "sendmail"},
+		Strategies: []Strategy{StratSmallInt, StratZero},
+		Chaos: &ChaosPlan{
+			Requests:     12,
+			KillEvery:    4,
+			LatencyEvery: 5,
+			Latency:      time.Millisecond,
+		},
+	}
+}
+
+// Two runs of the same (seed, plan) must produce byte-identical JSON
+// reports — the campaign's determinism contract (acceptance criterion).
+func TestCampaignDeterminism(t *testing.T) {
+	plan := campaignPlan()
+	r1, err := Run(plan, AllTargets())
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := Run(plan, AllTargets())
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatalf("marshal 1: %v", err)
+	}
+	j2, err := r2.JSON()
+	if err != nil {
+		t.Fatalf("marshal 2: %v", err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same seed+plan produced different reports:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", j1, j2)
+	}
+	// A different seed must actually change the sampled points (guards
+	// against the PRNG being ignored).
+	plan.Seed = 8
+	r3, err := Run(plan, AllTargets())
+	if err != nil {
+		t.Fatalf("run 3: %v", err)
+	}
+	j3, err := r3.JSON()
+	if err != nil {
+		t.Fatalf("marshal 3: %v", err)
+	}
+	if bytes.Equal(j1, j3) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// The campaign must reproduce the paper's ordering: FailureOblivious
+// survival strictly highest on every server, Standard showing
+// corrupted-output outcomes, BoundsCheck showing terminations.
+func TestCampaignPaperOrdering(t *testing.T) {
+	plan := Plan{
+		Seed:       1,
+		Faults:     25,
+		Servers:    []string{"pine", "apache"},
+		Strategies: []Strategy{}, // skip the sweep; ordering is about the main cells
+	}
+	rep, err := Run(plan, AllTargets())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("\n%s", FormatReport(rep))
+	stdCorrupted, bcTerminated := 0, 0
+	for _, s := range rep.Servers {
+		rates := map[string]float64{}
+		for _, c := range s.Cells {
+			rates[c.Mode] = c.SurvivalRate
+			switch c.Mode {
+			case "standard":
+				stdCorrupted += c.Corrupted
+			case "bounds-check":
+				bcTerminated += c.Terminated
+			}
+		}
+		foRate := rates["failure-oblivious"]
+		if !(foRate > rates["standard"] && foRate > rates["bounds-check"]) {
+			t.Errorf("%s: failure-oblivious survival %.2f not strictly highest (standard %.2f, bounds-check %.2f)",
+				s.Server, foRate, rates["standard"], rates["bounds-check"])
+		}
+	}
+	if stdCorrupted == 0 {
+		t.Error("standard mode showed no corrupted-output outcomes")
+	}
+	if bcTerminated == 0 {
+		t.Error("bounds-check mode showed no terminations")
+	}
+}
+
+// The chaos section's counters are fully determined by the plan: a
+// single-worker engine fed sequentially kills on every KillEvery-th and
+// delays on every LatencyEvery-th request.
+func TestCampaignChaosCounters(t *testing.T) {
+	plan := campaignPlan()
+	rep, err := Run(plan, AllTargets())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.ChaosServer != "pine" {
+		t.Fatalf("chaos server = %q, want pine", rep.ChaosServer)
+	}
+	if len(rep.Chaos) != 3 {
+		t.Fatalf("chaos cells = %d, want 3", len(rep.Chaos))
+	}
+	cp := plan.Chaos
+	wantKills := cp.Requests / int(cp.KillEvery)
+	wantDelays := cp.Requests / int(cp.LatencyEvery)
+	for _, c := range rep.Chaos {
+		if c.Kills != wantKills {
+			t.Errorf("%s: kills = %d, want %d", c.Mode, c.Kills, wantKills)
+		}
+		if c.Delays != wantDelays {
+			t.Errorf("%s: delays = %d, want %d", c.Mode, c.Delays, wantDelays)
+		}
+		// Legit requests never crash organically, so every restart is a
+		// chaos kill; with no deadline every request completes OK.
+		if c.Restarts != wantKills {
+			t.Errorf("%s: restarts = %d, want %d", c.Mode, c.Restarts, wantKills)
+		}
+		if c.OK != cp.Requests {
+			t.Errorf("%s: ok = %d, want %d", c.Mode, c.OK, cp.Requests)
+		}
+		if c.Deadlines != 0 {
+			t.Errorf("%s: deadlines = %d, want 0", c.Mode, c.Deadlines)
+		}
+	}
+}
+
+// Point sampling respects the class-specific headroom invariants: every
+// oob ordinal and malloc ordinal lies inside the profiled request window.
+func TestSampledPointsWithinProfile(t *testing.T) {
+	plan := campaignPlan()
+	rep, err := Run(plan, AllTargets())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, s := range rep.Servers {
+		if len(s.Points) != plan.Faults {
+			t.Errorf("%s: %d points, want %d", s.Server, len(s.Points), plan.Faults)
+		}
+		for i, p := range s.Points {
+			switch p.Class {
+			case OOBRead, OOBWrite:
+				if p.At == 0 || p.Shape == "" {
+					t.Errorf("%s point %d: unparameterized oob spec %+v", s.Server, i, p)
+				}
+			case AllocFault:
+				if p.MallocN == 0 {
+					t.Errorf("%s point %d: alloc fault with MallocN=0", s.Server, i)
+				}
+			case CorruptByte:
+				if p.Mask == 0 {
+					t.Errorf("%s point %d: corrupt-byte with zero mask", s.Server, i)
+				}
+			default:
+				t.Errorf("%s point %d: unknown class %q", s.Server, i, p.Class)
+			}
+		}
+		for _, c := range s.Cells {
+			if len(c.Results) != len(s.Points) {
+				t.Errorf("%s/%s: %d results for %d points", s.Server, c.Mode, len(c.Results), len(s.Points))
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package inject is the deterministic fault-injection engine: it
+// manufactures the memory errors, allocator failures, state corruption and
+// process-level chaos that the paper's evaluation relies on, at scale and
+// reproducibly, instead of one hand-written attack per server.
+//
+// Three layers of fault classes are injectable:
+//
+//   - Memory faults at the access path: the Injector decorates the
+//     machine's core.Accessor (installed through interp.Config.WrapAccessor)
+//     and perturbs exactly one chosen load or store into an out-of-bounds
+//     access; the allocator countdown (mem.InjectMallocFault) fails the
+//     n-th malloc; corrupt-byte faults flip a bit in a chosen data unit.
+//   - Policy perturbation: the manufactured-value sequence served for
+//     invalid reads is swept across strategies (the paper's small-integer
+//     sequence, all-zeros, constants, seeded random), the search-space
+//     exploration of Durieux et al.
+//   - Process-level chaos at the serving layer: instance kills and handler
+//     latency through serve.WithChaos.
+//
+// Determinism contract: every choice an injection campaign makes — which
+// request, which fault class, which access ordinal, which perturbation
+// shape — is drawn from a single math/rand PRNG seeded by the Plan, and
+// execution consumes no further randomness, so a campaign is fully
+// reproducible from (seed, plan). See campaign.go for the runner.
+package inject
+
+import (
+	"math/rand"
+
+	"focc/internal/cc/token"
+	"focc/internal/core"
+	"focc/internal/mem"
+)
+
+// FaultClass names an injectable fault class.
+type FaultClass string
+
+// The memory-layer fault classes.
+const (
+	// OOBRead perturbs the Nth interpreter-level load into an
+	// out-of-bounds read.
+	OOBRead FaultClass = "oob-read"
+	// OOBWrite perturbs the Nth interpreter-level store into an
+	// out-of-bounds write.
+	OOBWrite FaultClass = "oob-write"
+	// AllocFault fails the Nth allocator call with out-of-memory.
+	AllocFault FaultClass = "alloc-oom"
+	// CorruptByte flips bits of one byte in a chosen live data unit
+	// before the request runs (host-level state corruption: a model of a
+	// bug elsewhere having already smashed memory).
+	CorruptByte FaultClass = "corrupt-byte"
+)
+
+// Classes lists the memory-layer fault classes in campaign sampling order.
+var Classes = []FaultClass{OOBRead, OOBWrite, AllocFault, CorruptByte}
+
+// Shape is how an injected out-of-bounds pointer is perturbed. The shapes
+// mirror the real-world error taxonomy (and Rigger et al.'s observation
+// that the resilience envelope depends on the kind of fault): continuation
+// overruns just past a unit, underruns before it, wild pointers into
+// unmapped space, and null dereferences.
+type Shape string
+
+// Perturbation shapes.
+const (
+	// ShapePastEnd moves the access just past the end of its provenance
+	// unit — the classic sequential buffer overrun.
+	ShapePastEnd Shape = "past-end"
+	// ShapeBefore moves the access just before the base of its
+	// provenance unit (buffer underrun).
+	ShapeBefore Shape = "before-base"
+	// ShapeWild retargets the access at an unmapped address between
+	// regions (a corrupted pointer).
+	ShapeWild Shape = "wild"
+	// ShapeNull nulls the pointer (address 0, no provenance).
+	ShapeNull Shape = "null"
+)
+
+// wildBase is the unmapped address wild-shaped faults target: below the
+// literal region, inside no unit, in every server.
+const wildBase = 0x0800_0000
+
+// Injector is a core.Accessor decorator: it counts every interpreter-level
+// load and store flowing to the underlying policy and, when armed, perturbs
+// exactly one access — the at-th load (or store) since machine creation —
+// into an out-of-bounds access of the configured shape. The perturbed
+// pointer keeps its provenance for the non-null shapes, exactly as CRED
+// provenance survives out-of-bounds pointer arithmetic, so every policy
+// sees the fault the way it would see an organic overrun.
+//
+// Install it at machine creation via Wrap (interp.Config.WrapAccessor); an
+// unarmed Injector only counts, which is how campaign profiling measures a
+// request's access footprint without changing its behaviour.
+type Injector struct {
+	inner core.Accessor
+
+	loads, stores uint64
+
+	armed bool
+	write bool // perturb the at-th store; otherwise the at-th load
+	at    uint64
+	shape Shape
+	extra uint64
+	fired bool
+}
+
+// Wrap installs the injector around acc and returns it; pass as
+// interp.Config.WrapAccessor (fo.MachineConfig.WrapAccessor).
+func (in *Injector) Wrap(acc core.Accessor) core.Accessor {
+	in.inner = acc
+	return in
+}
+
+// Arm schedules one perturbation: the at-th store (write=true) or load
+// counted since machine creation is reshaped by shape, with extra biasing
+// how far out of bounds the pointer lands. Arming is idempotent until the
+// fault fires; an armed injector fires at most once.
+func (in *Injector) Arm(write bool, at uint64, shape Shape, extra uint64) {
+	in.armed, in.write, in.at, in.shape, in.extra = true, write, at, shape, extra
+	in.fired = false
+}
+
+// Loads returns the loads counted since creation.
+func (in *Injector) Loads() uint64 { return in.loads }
+
+// Stores returns the stores counted since creation.
+func (in *Injector) Stores() uint64 { return in.stores }
+
+// Fired reports whether the armed fault has fired.
+func (in *Injector) Fired() bool { return in.fired }
+
+// Mode implements core.Accessor.
+func (in *Injector) Mode() core.Mode { return in.inner.Mode() }
+
+// Load implements core.Accessor: count, perturb if this is the armed
+// ordinal, delegate.
+func (in *Injector) Load(p core.Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
+	in.loads++
+	if in.armed && !in.write && !in.fired && in.loads == in.at {
+		in.fired = true
+		p = in.perturb(p)
+	}
+	return in.inner.Load(p, buf, pos)
+}
+
+// Store implements core.Accessor.
+func (in *Injector) Store(p core.Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
+	in.stores++
+	if in.armed && in.write && !in.fired && in.stores == in.at {
+		in.fired = true
+		p = in.perturb(p)
+	}
+	return in.inner.Store(p, data, prov, pos)
+}
+
+// perturb reshapes a (typically in-bounds) pointer into the armed
+// out-of-bounds form. Provenance is kept for past-end/before/wild shapes —
+// the access descends from a real unit, it just points outside it.
+func (in *Injector) perturb(p core.Pointer) core.Pointer {
+	switch in.shape {
+	case ShapePastEnd:
+		if p.Prov != nil {
+			return core.Pointer{Addr: p.Prov.End() + in.extra, Prov: p.Prov}
+		}
+	case ShapeBefore:
+		if p.Prov != nil {
+			return core.Pointer{Addr: p.Prov.Base - 1 - in.extra, Prov: p.Prov}
+		}
+	case ShapeWild:
+		return core.Pointer{Addr: wildBase + in.extra*16, Prov: p.Prov}
+	}
+	// ShapeNull, or a provenance-relative shape armed on an access that
+	// carries no provenance: null dereference.
+	return core.Pointer{}
+}
+
+// Strategy names a manufactured-value strategy for the policy-perturbation
+// sweep (Durieux et al.: the choice of value sequence is part of the
+// failure-oblivious search space, and the paper's small-integer sequence is
+// one point in it).
+type Strategy string
+
+// The swept strategies.
+const (
+	// StratSmallInt is the paper's production sequence (0, 1, 2, 0, 1,
+	// 3, …): cycles through all byte values so sentinel scans terminate.
+	StratSmallInt Strategy = "smallint"
+	// StratZero always manufactures zero — the naive strategy the paper
+	// warns against (sentinel scans past a buffer never terminate).
+	StratZero Strategy = "zero"
+	// StratOne always manufactures one.
+	StratOne Strategy = "one"
+	// StratMax always manufactures all-ones (-1): the adversarial
+	// constant — huge lengths, pathological indices.
+	StratMax Strategy = "max"
+	// StratRandom manufactures uniform random bytes from a seeded PRNG.
+	StratRandom Strategy = "random"
+)
+
+// Strategies lists the swept strategies in report order.
+var Strategies = []Strategy{StratSmallInt, StratZero, StratOne, StratMax, StratRandom}
+
+// Generator returns a fresh ValueGenerator implementing the strategy. Only
+// StratRandom consumes seed; every generator is deterministic given it.
+func (s Strategy) Generator(seed int64) core.ValueGenerator {
+	switch s {
+	case StratZero:
+		return core.ZeroGenerator{}
+	case StratOne:
+		return core.ConstGenerator{V: 1}
+	case StratMax:
+		return core.ConstGenerator{V: -1}
+	case StratRandom:
+		return &randGen{r: rand.New(rand.NewSource(seed))}
+	}
+	return core.NewSmallIntGenerator()
+}
+
+// randGen manufactures uniform random byte values from its own PRNG, so a
+// campaign cell using it stays reproducible from the plan seed.
+type randGen struct{ r *rand.Rand }
+
+func (g *randGen) Next(int) int64 { return g.r.Int63n(256) }
+func (g *randGen) Reset()         {}

@@ -1,0 +1,32 @@
+package inject
+
+import (
+	"focc/internal/servers"
+	"focc/internal/servers/apache"
+	"focc/internal/servers/mc"
+	"focc/internal/servers/mutt"
+	"focc/internal/servers/pine"
+	"focc/internal/servers/sendmail"
+)
+
+// Target is one campaign subject: a named factory producing fresh
+// servers.Server values. A fresh Server per instance matters because some
+// servers keep host-side state on the Server value (Midnight Commander's
+// virtual filesystem, Mutt's folder set): each fault point must start from
+// the same host state or outcomes would depend on evaluation order.
+type Target struct {
+	Name string
+	New  func() servers.Server
+}
+
+// AllTargets returns the five server reproductions from the paper's
+// evaluation, in report order.
+func AllTargets() []Target {
+	return []Target{
+		{Name: "pine", New: func() servers.Server { return pine.NewServer() }},
+		{Name: "apache", New: func() servers.Server { return apache.NewServer() }},
+		{Name: "sendmail", New: func() servers.Server { return sendmail.NewServer() }},
+		{Name: "mc", New: func() servers.Server { return mc.NewServer() }},
+		{Name: "mutt", New: func() servers.Server { return mutt.NewServer() }},
+	}
+}

@@ -147,6 +147,12 @@ type Config struct {
 	StackSize uint64
 	// Builtins are the host (libc) functions.
 	Builtins map[string]BuiltinFunc
+	// WrapAccessor, when non-nil, wraps the machine's policy accessor at
+	// creation time. It is the fault-injection hook point
+	// (internal/inject): the wrapper sees every interpreter-level load and
+	// store before (or instead of) the underlying policy. Production code
+	// leaves it nil, which costs nothing.
+	WrapAccessor func(core.Accessor) core.Accessor
 }
 
 // DefaultMaxSteps is the per-call step budget used to detect hangs.
@@ -243,10 +249,14 @@ func New(prog *sema.Program, cfg Config) (*Machine, error) {
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
+	acc := core.New(cfg.Mode, as, gen, log)
+	if cfg.WrapAccessor != nil {
+		acc = cfg.WrapAccessor(acc)
+	}
 	m := &Machine{
 		prog:     prog,
 		as:       as,
-		acc:      core.New(cfg.Mode, as, gen, log),
+		acc:      acc,
 		log:      log,
 		out:      out,
 		builtins: cfg.Builtins,
@@ -295,6 +305,13 @@ func (m *Machine) Steps() uint64 { return m.steps }
 
 // Dead reports whether a previous call crashed this machine ("process").
 func (m *Machine) Dead() bool { return m.dead }
+
+// Kill marks the machine dead, modeling external process termination
+// (chaos injection: a supervisor killing the instance between requests).
+// Subsequent calls fail exactly as after a crash. Unlike the cancellation
+// hook, Kill is not synchronized — call it only from the goroutine that
+// owns the machine, between calls.
+func (m *Machine) Kill() { m.dead = true }
 
 // initGlobal writes a constant initializer into a global unit at startup
 // (trusted, no policy involved).
@@ -853,11 +870,15 @@ func (m *Machine) Malloc(size uint64) Value {
 }
 
 // NewCString allocates a heap buffer holding s plus a NUL and returns a
-// char* value.
+// char* value. When the allocation fails (heap exhaustion, or an injected
+// allocator fault) it returns a null pointer — exactly what the C code
+// being modeled gets from a failed malloc — rather than panicking: there
+// is no Call in flight to recover a failure here, and the mode's policy
+// decides what the subsequent dereference of the null request buffer does.
 func (m *Machine) NewCString(s string) Value {
 	u, fault := m.as.Malloc(uint64(len(s)) + 1)
 	if fault != nil {
-		m.fail(fault)
+		return Value{T: types.PointerTo(types.CharType)}
 	}
 	copy(u.Data, s)
 	u.Data[len(s)] = 0

@@ -209,6 +209,11 @@ type AddressSpace struct {
 
 	// mallocNames memoizes "malloc(N)" diagnostic names by size.
 	mallocNames map[uint64]string
+
+	// mallocFaultIn is the injected-allocator-fault countdown: when armed
+	// (non-zero), the n-th subsequent Malloc fails with the interned OOM
+	// fault instead of allocating. See InjectMallocFault.
+	mallocFaultIn uint64
 }
 
 // New creates an address space with the default stack size.
@@ -287,9 +292,25 @@ func truncForName(s string) string {
 // heapLimit is the exclusive upper bound of the heap region.
 const heapLimit = 0x7000_0000
 
+// InjectMallocFault arms the allocator fault injector: the n-th subsequent
+// Malloc call (1 = the very next one) fails with an out-of-memory fault and
+// the countdown disarms. n = 0 disarms an armed countdown. The injected
+// fault reuses the interned OOM fault value, so the failure path allocates
+// nothing — the same transient-pointer contract as organic allocator faults
+// (see the interned-fault note on AddressSpace).
+func (as *AddressSpace) InjectMallocFault(n uint64) { as.mallocFaultIn = n }
+
 // Malloc allocates a heap block preceded by a header unit, both contiguous
 // with the previous allocation so overruns behave realistically.
 func (as *AddressSpace) Malloc(size uint64) (*Unit, *Fault) {
+	if as.mallocFaultIn > 0 {
+		as.mallocFaultIn--
+		if as.mallocFaultIn == 0 {
+			as.oomFault = Fault{Kind: FaultOOM, Addr: as.heapCur,
+				Msg: "injected allocator fault"}
+			return nil, &as.oomFault
+		}
+	}
 	if as.heapCorrupted {
 		as.corruptFault = Fault{Kind: FaultHeapCorrupt, Addr: as.heapCur,
 			Msg: "malloc(): corrupted block header"}
@@ -525,6 +546,22 @@ func (as *AddressSpace) FindUnit(addr uint64) *Unit {
 		return as.findStack(addr)
 	}
 	return nil
+}
+
+// VisitUnits calls visit for every registered data unit — literals, globals,
+// heap blocks and headers (live and dead), then the live stack units — in a
+// deterministic order (region by region, registration order within each).
+// visit returning false stops the walk. Fault-injection tooling uses it to
+// enumerate corruption targets; the walk itself must not mutate the address
+// space's unit registries.
+func (as *AddressSpace) VisitUnits(visit func(*Unit) bool) {
+	for _, set := range [4][]*Unit{as.literals, as.globals, as.heap, as.stack} {
+		for _, u := range set {
+			if !visit(u) {
+				return
+			}
+		}
+	}
 }
 
 func findAsc(units []*Unit, addr uint64) *Unit {

@@ -19,6 +19,8 @@ type options struct {
 	breakerCool  time.Duration
 
 	warmSpares int
+
+	chaos ChaosConfig
 }
 
 func defaultOptions() options {
@@ -92,6 +94,37 @@ func WithWarmSpares(n int) Option {
 			o.warmSpares = n
 		}
 	}
+}
+
+// ChaosConfig configures deterministic process-level fault injection at the
+// serving layer. Injection is keyed to an engine-wide counter of executed
+// requests — the n-th, 2n-th, 3n-th … request is hit — so a single-worker
+// engine fed sequentially produces identical chaos on every run with no
+// randomness at this layer (the fault-injection campaign picks the cadences
+// from its seeded plan; see internal/inject).
+type ChaosConfig struct {
+	// KillEvery kills the serving instance after every n-th executed
+	// request (the response is delivered first; the supervisor then
+	// replaces the instance exactly as after a crash, but the kill is
+	// counted as a chaos kill, not a crash, and does not grow the restart
+	// backoff). 0 disables kill injection.
+	KillEvery uint64
+	// LatencyEvery delays every n-th executed request by Latency before
+	// execution. With a per-request deadline configured, a Latency
+	// exceeding the deadline deterministically trips it (the request
+	// returns fo.OutcomeDeadline; the instance survives). 0 disables
+	// latency injection.
+	LatencyEvery uint64
+	// Latency is the injected delay.
+	Latency time.Duration
+}
+
+func (c ChaosConfig) enabled() bool { return c.KillEvery > 0 || c.LatencyEvery > 0 }
+
+// WithChaos enables deterministic chaos injection (instance kills, handler
+// latency) on the engine. The zero config disables it.
+func WithChaos(c ChaosConfig) Option {
+	return func(o *options) { o.chaos = c }
 }
 
 // WithBreaker configures the restart-storm circuit breaker: after

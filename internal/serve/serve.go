@@ -54,6 +54,11 @@ type Stats struct {
 	Rejected uint64
 	// BreakerTrips counts circuit-breaker activations.
 	BreakerTrips uint64
+	// ChaosKills counts instances killed by chaos injection (WithChaos);
+	// they are replaced like crashes but not counted in Crashes.
+	ChaosKills uint64
+	// ChaosDelays counts requests delayed by chaos latency injection.
+	ChaosDelays uint64
 	// MemErrors aggregates the memory-error telemetry of every instance
 	// the engine has ever owned: the live pool is scraped (legal because
 	// EventLog is concurrency-safe) and the logs of crashed, replaced
@@ -88,6 +93,10 @@ type Engine struct {
 	once      sync.Once
 
 	served, crashes, restarts, timeouts, rejected, trips atomic.Uint64
+
+	// taskSeq numbers executed requests engine-wide; chaos injection keys
+	// off it (see ChaosConfig). chaosKills / chaosDelays count injections.
+	taskSeq, chaosKills, chaosDelays atomic.Uint64
 
 	// spares holds pre-warmed replacement instances (nil when warm spares
 	// are disabled). A filler goroutine blocks on sending into it, so the
@@ -236,6 +245,8 @@ func (e *Engine) Stats() Stats {
 		Timeouts:     e.timeouts.Load(),
 		Rejected:     e.rejected.Load(),
 		BreakerTrips: e.trips.Load(),
+		ChaosKills:   e.chaosKills.Load(),
+		ChaosDelays:  e.chaosDelays.Load(),
 		MemErrors:    e.memErrors(),
 	}
 }
@@ -317,17 +328,53 @@ func (e *Engine) worker(inst servers.Instance) {
 				t.resp <- servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
 				continue
 			}
-			t0 := time.Now()
-			resp := e.execute(inst, t)
-			e.latency.record(time.Since(t0))
-			e.served.Add(1)
-			if resp.Outcome == fo.OutcomeDeadline {
+			var seq uint64
+			if e.o.chaos.enabled() {
+				seq = e.taskSeq.Add(1)
+				if c := e.o.chaos; c.LatencyEvery > 0 && seq%c.LatencyEvery == 0 {
+					e.chaosDelays.Add(1)
+					if !e.sleep(c.Latency) {
+						return // engine closed mid-delay
+					}
+				}
+			}
+			var resp servers.Response
+			if err := t.ctx.Err(); err != nil {
+				// Expired during the injected chaos delay: answer
+				// deterministically instead of racing the handler against
+				// the interpreter's cancellation poll (a short handler
+				// could finish before the first poll and mask the expiry).
+				// Control falls through to the chaos kill check below —
+				// overlapping kill and delay cadences must not mask each
+				// other.
 				e.timeouts.Add(1)
+				resp = servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
+			} else {
+				t0 := time.Now()
+				resp = e.execute(inst, t)
+				e.latency.record(time.Since(t0))
+				e.served.Add(1)
+				if resp.Outcome == fo.OutcomeDeadline {
+					e.timeouts.Add(1)
+				}
 			}
 			t.resp <- resp
+			killed := false
+			if c := e.o.chaos; c.KillEvery > 0 && seq > 0 && seq%c.KillEvery == 0 {
+				if k, ok := inst.(interface{ Kill() }); ok {
+					k.Kill()
+					e.chaosKills.Add(1)
+					killed = true
+				}
+			}
 			if resp.Crashed() || !inst.Alive() {
-				e.crashes.Add(1)
-				consecutive++
+				if resp.Crashed() || !killed {
+					// Organic crash: count it and grow the backoff. A
+					// chaos kill takes the same retire/respawn path but
+					// is accounted separately and respawns immediately.
+					e.crashes.Add(1)
+					consecutive++
+				}
 				e.retireLog(inst.Log())
 				releaseInstance(inst)
 				inst = e.respawn(&consecutive)

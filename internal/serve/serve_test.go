@@ -338,7 +338,9 @@ func TestDeadlineExpiry(t *testing.T) {
 
 // TestQueueFullRejection fills the single worker and the one-slot queue
 // with slow requests; further submissions must be rejected immediately with
-// ErrQueueFull (backpressure, not unbounded queuing).
+// ErrQueueFull (backpressure, not unbounded queuing). Once the per-request
+// deadline expires the slow requests, their queue slots must be released:
+// a fresh submission is admitted and served.
 func TestQueueFullRejection(t *testing.T) {
 	eng, err := serve.New(&stubServer{}, fo.FailureOblivious,
 		serve.WithPoolSize(1), serve.WithQueueDepth(1),
@@ -348,16 +350,21 @@ func TestQueueFullRejection(t *testing.T) {
 	}
 	defer eng.Close()
 	var wg sync.WaitGroup
+	slow := make(chan servers.Response, 2)
 	wg.Add(1)
 	go func() { // occupies the worker until its deadline fires
 		defer wg.Done()
-		eng.Submit(nil, servers.Request{Op: "spin"})
+		if resp, err := eng.Submit(nil, servers.Request{Op: "spin"}); err == nil {
+			slow <- resp
+		}
 	}()
 	time.Sleep(50 * time.Millisecond) // let the worker pick the task up
 	wg.Add(1)
 	go func() { // fills the queue's single slot
 		defer wg.Done()
-		eng.Submit(nil, servers.Request{Op: "spin"})
+		if resp, err := eng.Submit(nil, servers.Request{Op: "spin"}); err == nil {
+			slow <- resp
+		}
 	}()
 	time.Sleep(20 * time.Millisecond)
 	rejected := 0
@@ -372,7 +379,113 @@ func TestQueueFullRejection(t *testing.T) {
 	if eng.Stats().Rejected == 0 {
 		t.Error("rejections not counted")
 	}
+
+	// Both slow requests run out their deadline — one canceled mid-
+	// execution, one expired while queued — freeing the worker and the
+	// queue slot without killing anything.
 	wg.Wait()
+	close(slow)
+	for resp := range slow {
+		if resp.Outcome != fo.OutcomeDeadline {
+			t.Errorf("slow request outcome = %v, want deadline-exceeded", resp.Outcome)
+		}
+	}
+	resp, err := eng.Submit(nil, servers.Request{Op: "ok"})
+	if err != nil {
+		t.Fatalf("post-expiry submit not admitted: %v", err)
+	}
+	if !resp.OK() || resp.Status != 200 {
+		t.Fatalf("post-expiry request = %v, want 200 OK", resp)
+	}
+	st := eng.Stats()
+	if st.Timeouts < 2 {
+		t.Errorf("timeouts = %d, want >= 2", st.Timeouts)
+	}
+	if st.Crashes != 0 || st.Restarts != 0 {
+		t.Errorf("deadline expiry killed the instance: crashes=%d restarts=%d",
+			st.Crashes, st.Restarts)
+	}
+}
+
+// TestChaosKillAndDelayCounters drives a single-worker engine with
+// deterministic chaos injection: every 3rd request kills the instance and
+// every 4th delays it. The counters must match the cadences exactly, every
+// request must still be answered OK (the response is delivered before the
+// kill), and chaos kills must show up as restarts — not crashes.
+func TestChaosKillAndDelayCounters(t *testing.T) {
+	eng, err := serve.New(&stubServer{}, fo.FailureOblivious,
+		serve.WithPoolSize(1), serve.WithQueueDepth(4),
+		serve.WithChaos(serve.ChaosConfig{
+			KillEvery:    3,
+			LatencyEvery: 4,
+			Latency:      time.Millisecond,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const n = 12
+	for i := 0; i < n; i++ {
+		resp, err := eng.Submit(nil, servers.Request{Op: "ok"})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !resp.OK() || resp.Status != 200 {
+			t.Fatalf("request %d = %v, want 200 OK", i, resp)
+		}
+	}
+	st := eng.Stats()
+	if want := uint64(n / 3); st.ChaosKills != want {
+		t.Errorf("chaos kills = %d, want %d", st.ChaosKills, want)
+	}
+	if want := uint64(n / 4); st.ChaosDelays != want {
+		t.Errorf("chaos delays = %d, want %d", st.ChaosDelays, want)
+	}
+	if st.Restarts != st.ChaosKills {
+		t.Errorf("restarts = %d, want %d (one per chaos kill)", st.Restarts, st.ChaosKills)
+	}
+	if st.Crashes != 0 {
+		t.Errorf("chaos kills counted as crashes: %d", st.Crashes)
+	}
+	if st.Served != n {
+		t.Errorf("served = %d, want %d", st.Served, n)
+	}
+}
+
+// TestChaosLatencyTripsDeadline injects a delay longer than the engine's
+// per-request deadline: the delayed request must come back with
+// fo.OutcomeDeadline (counted as a timeout, not a crash) and the instance
+// must survive the episode.
+func TestChaosLatencyTripsDeadline(t *testing.T) {
+	eng, err := serve.New(&stubServer{}, fo.FailureOblivious,
+		serve.WithPoolSize(1), serve.WithQueueDepth(4),
+		serve.WithDeadline(20*time.Millisecond),
+		serve.WithChaos(serve.ChaosConfig{
+			LatencyEvery: 1,
+			Latency:      200 * time.Millisecond,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	resp, err := eng.Submit(nil, servers.Request{Op: "spin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != fo.OutcomeDeadline {
+		t.Fatalf("delayed request outcome = %v, want deadline-exceeded", resp.Outcome)
+	}
+	st := eng.Stats()
+	if st.ChaosDelays != 1 {
+		t.Errorf("chaos delays = %d, want 1", st.ChaosDelays)
+	}
+	if st.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", st.Timeouts)
+	}
+	if st.Crashes != 0 || st.Restarts != 0 {
+		t.Errorf("injected latency killed the instance: crashes=%d restarts=%d",
+			st.Crashes, st.Restarts)
+	}
 }
 
 // TestBreakerTripsOnCrashLoop drives a crash-on-every-request workload in

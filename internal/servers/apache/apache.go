@@ -229,18 +229,27 @@ type Instance struct {
 
 // New implements servers.Server: it creates one child process.
 func (s *Server) New(mode fo.Mode) (servers.Instance, error) {
+	return s.NewWithConfig(mode, nil)
+}
+
+// NewWithConfig implements servers.Configurable.
+func (s *Server) NewWithConfig(mode fo.Mode, hook servers.ConfigHook) (servers.Instance, error) {
 	p, err := Program()
 	if err != nil {
 		return nil, err
 	}
 	log := fo.NewEventLog(0)
-	m, err := p.NewMachine(fo.MachineConfig{
+	cfg := fo.MachineConfig{
 		Mode: mode,
 		Log:  log,
 		Builtins: map[string]interp.BuiltinFunc{
 			"http_read_file": s.readFile,
 		},
-	})
+	}
+	if hook != nil {
+		hook(&cfg)
+	}
+	m, err := p.NewMachine(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -205,12 +205,21 @@ type Instance struct {
 
 // New implements servers.Server.
 func (s *Server) New(mode fo.Mode) (servers.Instance, error) {
+	return s.NewWithConfig(mode, nil)
+}
+
+// NewWithConfig implements servers.Configurable.
+func (s *Server) NewWithConfig(mode fo.Mode, hook servers.ConfigHook) (servers.Instance, error) {
 	p, err := Program()
 	if err != nil {
 		return nil, err
 	}
 	log := fo.NewEventLog(0)
-	m, err := p.NewMachine(fo.MachineConfig{Mode: mode, Log: log})
+	cfg := fo.MachineConfig{Mode: mode, Log: log}
+	if hook != nil {
+		hook(&cfg)
+	}
+	m, err := p.NewMachine(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -109,6 +109,23 @@ type Server interface {
 	AttackRequest() Request
 }
 
+// ConfigHook adjusts a machine configuration just before an instance's
+// machine is created. The server has already filled in its mode, builtins
+// and event log; the hook may override manufactured-value generators, step
+// budgets, or install a fault-injection accessor wrapper (internal/inject).
+type ConfigHook = func(*fo.MachineConfig)
+
+// Configurable is the optional Server extension for instance creation with
+// a configuration hook. All five server reproductions implement it; tooling
+// discovers it by type assertion so third-party Server implementations
+// (and test stubs) need not.
+type Configurable interface {
+	// NewWithConfig creates a fresh instance under mode, passing the
+	// machine configuration through hook (nil is allowed) before the
+	// machine is built.
+	NewWithConfig(mode fo.Mode, hook ConfigHook) (Instance, error)
+}
+
 // Base carries the pieces every instance shares.
 type Base struct {
 	ServerName string
@@ -130,6 +147,15 @@ func (b *Base) Log() *fo.EventLog { return b.EvLog }
 
 // Cycles implements Instance.
 func (b *Base) Cycles() uint64 { return b.M.SimCycles() }
+
+// Machine exposes the instance's underlying machine for tooling (fault
+// injection, chaos supervisors). Same concurrency contract as the machine
+// itself: owning goroutine only.
+func (b *Base) Machine() *fo.Machine { return b.M }
+
+// Kill marks the instance's machine dead, modeling external process
+// termination (chaos injection). Owning goroutine only, between requests.
+func (b *Base) Kill() { b.M.Kill() }
 
 // Release returns the instance's pooled machine memory (stack arena, unit
 // data slabs) for reuse by future instances. Call it only when retiring the
