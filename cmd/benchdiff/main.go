@@ -1,0 +1,218 @@
+// Command benchdiff compares a `go test -bench` text log against a
+// committed BENCH_PR*.json baseline and prints a delta table.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff [-baseline BENCH_PR5.json] bench_smoke.txt
+//
+// With no -baseline flag it picks the highest-numbered BENCH_PR*.json in
+// the current directory that carries a "benchmarks" section. With no log
+// argument it reads the bench output from stdin.
+//
+// Two kinds of columns come out of the table:
+//
+//   - ns/op deltas are informational. Shared CI runners are too noisy for
+//     hard wall-clock thresholds, so benchdiff never fails the build on
+//     them; it just prints the percentage next to the committed number.
+//   - sim-ms/op comes from the deterministic simulated-cycle cost model
+//     (internal/interp/cycles.go) and must match the baseline exactly.
+//     Any drift is a real behaviour change, so it is marked DRIFT in the
+//     table and reported in the exit status (exit 1) — callers that want
+//     to stay informational (the CI bench-smoke job) run with
+//     continue-on-error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineEntry is one benchmark in the committed JSON. ns_op holds
+// [before, after] from the PR that committed the file; the "after" number
+// is the one a fresh run is compared against.
+type baselineEntry struct {
+	SimMsOp  float64   `json:"sim_ms_op"`
+	NsOp     []float64 `json:"ns_op"`
+	AllocsOp []float64 `json:"allocs_op"`
+}
+
+type baselineFile struct {
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+// benchLine is one parsed line of `go test -bench` output.
+type benchLine struct {
+	name     string // "Fig2Pine/Read/standard" — Benchmark prefix and -N suffix stripped
+	nsOp     float64
+	simMsOp  float64
+	hasSim   bool
+	allocsOp float64
+	hasAlloc bool
+}
+
+var lineRe = regexp.MustCompile(`^Benchmark(\S+)\s+\d+\s+(.*)$`)
+
+func parseLog(r io.Reader) ([]benchLine, error) {
+	var out []benchLine
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := lineRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		bl := benchLine{name: stripProcSuffix(m[1])}
+		fields := strings.Fields(m[2])
+		// Fields come in value/unit pairs: "585687 ns/op 0.004959 sim-ms/op ...".
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				bl.nsOp = v
+			case "sim-ms/op":
+				bl.simMsOp, bl.hasSim = v, true
+			case "allocs/op":
+				bl.allocsOp, bl.hasAlloc = v, true
+			}
+		}
+		out = append(out, bl)
+	}
+	return out, sc.Err()
+}
+
+// stripProcSuffix drops the trailing -GOMAXPROCS marker go test appends
+// ("Fig2Pine/Read/standard-4" -> "Fig2Pine/Read/standard"). Only a pure
+// numeric suffix after the last dash is removed, so policy names that
+// contain dashes ("failure-oblivious") survive.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// pickBaseline returns the highest-numbered BENCH_PR*.json that has a
+// "benchmarks" section, skipping older records with a different layout.
+func pickBaseline() (string, error) {
+	matches, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		return "", err
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(matches)))
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			continue
+		}
+		var bf baselineFile
+		if json.Unmarshal(data, &bf) == nil && len(bf.Benchmarks) > 0 {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("no BENCH_PR*.json with a \"benchmarks\" section found")
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "BENCH_PR*.json to diff against (default: newest with a benchmarks section)")
+	flag.Parse()
+
+	path := *baselinePath
+	if path == "" {
+		p, err := pickBaseline()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		path = p
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	lines, err := parseLog(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchdiff: %d benchmarks in log, baseline %s (%d entries)\n\n", len(lines), path, len(bf.Benchmarks))
+	fmt.Printf("%-44s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "run ns/op", "delta", "sim-ms/op")
+	drift := 0
+	matched := map[string]bool{}
+	for _, bl := range lines {
+		base, ok := bf.Benchmarks[bl.name]
+		if !ok {
+			fmt.Printf("%-44s %14s %14.0f %8s  %s\n", bl.name, "-", bl.nsOp, "-", "(no baseline)")
+			continue
+		}
+		matched[bl.name] = true
+		baseNs := base.NsOp[len(base.NsOp)-1]
+		delta := "-"
+		if baseNs > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(bl.nsOp-baseNs)/baseNs)
+		}
+		sim := "n/a"
+		if bl.hasSim {
+			// The cost model is deterministic, but go test prints
+			// sim-ms/op with limited precision; compare at ~4 sig figs.
+			if base.SimMsOp != 0 && math.Abs(bl.simMsOp-base.SimMsOp)/base.SimMsOp < 5e-4 {
+				sim = "ok"
+			} else if base.SimMsOp == bl.simMsOp {
+				sim = "ok"
+			} else {
+				sim = fmt.Sprintf("DRIFT %g != %g", bl.simMsOp, base.SimMsOp)
+				drift++
+			}
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %8s  %s\n", bl.name, baseNs, bl.nsOp, delta, sim)
+	}
+	var missing []string
+	for name := range bf.Benchmarks {
+		if !matched[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Printf("\nbaseline entries not present in this log (%d): %s\n", len(missing), strings.Join(missing, ", "))
+	}
+	if drift > 0 {
+		fmt.Printf("\n%d sim-ms/op DRIFT(s): the deterministic cost model changed — investigate before merging.\n", drift)
+		os.Exit(1)
+	}
+	fmt.Println("\nsim-ms/op: no drift against committed baseline.")
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"focc/internal/cc/cpp"
 	"focc/internal/cc/parser"
@@ -121,6 +122,15 @@ type MachineConfig = interp.Config
 type Program struct {
 	sema *sema.Program
 	name string
+
+	// lowerOnce guards the lazily-built execution IR: every function body
+	// is lowered to pre-resolved closures exactly once per Program, and the
+	// immutable result is shared by every machine created from it — every
+	// instance in a serving pool, warm spares, and crash replacements all
+	// skip re-lowering (and the per-machine frame-spec/label-scan work the
+	// tree-walk engine repays per instance).
+	lowerOnce sync.Once
+	compiled  *interp.CompiledProgram
 }
 
 // CompileError aggregates compilation diagnostics.
@@ -222,15 +232,29 @@ func (p *Program) Name() string { return p.name }
 // Sema exposes the analyzed program (for tools and tests).
 func (p *Program) Sema() *sema.Program { return p.sema }
 
+// Compiled returns the program's lowered execution IR, building it on
+// first use. The result is immutable and shared; concurrent callers get
+// the same IR.
+func (p *Program) Compiled() *interp.CompiledProgram {
+	p.lowerOnce.Do(func() { p.compiled = interp.Compile(p.sema) })
+	return p.compiled
+}
+
 // NewMachine creates a fresh program instance ("process") under cfg. The
 // libc builtins are installed automatically; cfg.Builtins entries override
-// or extend them.
+// or extend them. Instances execute the program's compiled instruction IR
+// (lowered once per Program, shared by all machines) unless cfg.TreeWalk
+// selects the AST-walking reference engine or cfg.Compiled supplies an
+// explicit IR.
 func (p *Program) NewMachine(cfg MachineConfig) (*Machine, error) {
 	builtins := libc.Builtins()
 	for name, impl := range cfg.Builtins {
 		builtins[name] = impl
 	}
 	cfg.Builtins = builtins
+	if cfg.Compiled == nil && !cfg.TreeWalk {
+		cfg.Compiled = p.Compiled()
+	}
 	m, err := interp.New(p.sema, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("program startup: %w", err)

@@ -198,6 +198,12 @@ type ExprStmt struct {
 type Block struct {
 	stmtBase
 	Stmts []Stmt
+	// LabelIdx maps each label declared at the top level of this block
+	// (unwrapping chained `a: b: stmt` labels) to the index of its
+	// statement in Stmts. The semantic analyzer fills it so goto
+	// resolution is a map lookup at execution time, not a statement scan.
+	// Nil when the block declares no labels.
+	LabelIdx map[string]int
 }
 
 // If is if/else.
@@ -241,6 +247,11 @@ type Switch struct {
 	// there is no default label.
 	Cases      []SwitchCase
 	DefaultIdx int
+	// CaseIdx maps each case value to its statement index in Body.Stmts —
+	// the dispatch table the semantic analyzer derives from Cases so case
+	// selection is a map lookup at execution time, not a linear scan. Nil
+	// when the switch has no value cases.
+	CaseIdx map[int64]int
 }
 
 // SwitchCase is one resolved case label.

@@ -316,7 +316,20 @@ func (a *Analyzer) newFrameSym(name string, t *types.Type, st ast.StorageClass, 
 func (a *Analyzer) collectLabels(s ast.Stmt) {
 	switch n := s.(type) {
 	case *ast.Block:
-		for _, st := range n.Stmts {
+		for i, st := range n.Stmts {
+			// Record the top-level label index table the interpreter uses
+			// for goto dispatch (chained `a: b: stmt` labels all resolve to
+			// the same statement index, like the runtime scan they replace).
+			l, ok := st.(*ast.Labeled)
+			for ok {
+				if n.LabelIdx == nil {
+					n.LabelIdx = map[string]int{}
+				}
+				if _, dup := n.LabelIdx[l.Name]; !dup {
+					n.LabelIdx[l.Name] = i
+				}
+				l, ok = l.Stmt.(*ast.Labeled)
+			}
 			a.collectLabels(st)
 		}
 	case *ast.Labeled:
@@ -461,6 +474,10 @@ func (a *Analyzer) resolveSwitch(sw *ast.Switch) {
 		seen[v] = true
 		cl.FoldedVal = v
 		sw.Cases = append(sw.Cases, ast.SwitchCase{Val: v, Idx: i})
+		if sw.CaseIdx == nil {
+			sw.CaseIdx = map[int64]int{}
+		}
+		sw.CaseIdx[v] = i
 	}
 }
 

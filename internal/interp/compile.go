@@ -1,0 +1,592 @@
+package interp
+
+// Compile-once execution IR. The tree-walking evaluator (eval.go) pays a
+// per-node type-switch on every execution of every statement; after the
+// PR 3 memory-access fast path that dispatch became the dominant Go-level
+// cost in the figure benchmarks. Compile lowers each function body ONCE
+// into a tree of pre-resolved Go closures in which
+//
+//   - identifier lookups are frame-slot offsets / global indexes,
+//   - trusted-vs-checked access decisions, array decay, and result types
+//     are resolved statically (they are derivable from sema's annotations),
+//   - goto label targets and switch case tables are the maps sema
+//     precomputed (ast.Block.LabelIdx, ast.Switch.CaseIdx),
+//   - constant operands are prebuilt Values,
+//   - provenance-recovery access sites carry dense integer ids so the
+//     per-site unit-lookup caches become slice indexing instead of a
+//     map[ast.Node] lookup,
+//   - frame specs are built at lowering time (the program-level promotion
+//     of the per-machine frameSpec cache),
+//
+// and execution is a closure call per node instead of a dispatch per node.
+//
+// The CompiledProgram is immutable and carries no machine state: one
+// Compile result is shared by every Machine of the program — every
+// instance in a serve.Engine pool, warm spares, and restart replacements
+// all reuse it, so no path re-lowers anything. Per-machine mutable state
+// (site caches, builtin slots) lives on the Machine, indexed by ids
+// assigned here.
+//
+// Cycle-charging invariant: the compiled engine charges simulated cycles
+// (cycles.go) at exactly the decision points the tree-walk engine does —
+// step() per statement/iteration/call, AccessCycles per trusted access,
+// chargeAccess per checked access — so SimCycles is bit-identical between
+// engines for every execution. simcycles_pin_test.go pins representative
+// counts for both engines and compile_diff_test.go asserts equality over
+// the whole corpus; any divergence is a bug in the lowering, not a
+// permissible optimization.
+
+import (
+	"focc/internal/cc/ast"
+	"focc/internal/cc/sema"
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+	"focc/internal/core"
+	"focc/internal/mem"
+)
+
+// execFn is a compiled statement: it executes against a machine and
+// returns the control-flow signal, exactly like Machine.execStmt.
+type execFn func(m *Machine) ctrl
+
+// evalFn is a compiled expression.
+type evalFn func(m *Machine) Value
+
+// ptrFn is a compiled lvalue: it evaluates to the lvalue's pointer. The
+// lvalue's type and trustedness are static (see compileLvalue) and are
+// carried alongside at lowering time instead of in the runtime value.
+type ptrFn func(m *Machine) core.Pointer
+
+// CompiledProgram is the immutable lowered form of a sema.Program. It is
+// safe for concurrent use by any number of machines.
+type CompiledProgram struct {
+	prog   *sema.Program
+	funcs  []*compiledFunc // indexed by Symbol.FuncIdx
+	byName map[string]*compiledFunc
+
+	// numSites is the number of provenance-recovery access sites; each
+	// machine allocates one LookupCache per site (Machine.csite).
+	numSites int
+	// builtinNames maps builtin-slot id -> builtin name; each machine
+	// memoizes its resolved BuiltinFunc per slot (Machine.builtinSlots).
+	builtinNames []string
+}
+
+// Program returns the analyzed program this IR was lowered from.
+func (cp *CompiledProgram) Program() *sema.Program { return cp.prog }
+
+// compiledFunc is one lowered function definition.
+type compiledFunc struct {
+	fd      *ast.FuncDecl
+	spec    *frameSpec // built at lowering time, shared by all machines
+	body    execFn     // the body block's statement sequence (no entry step)
+	retT    *types.Type
+	retVoid bool
+
+	// localIdx maps a local's frame offset to its index in the pushed
+	// frame's unit slice (PushFrame registers locals in reverse spec order,
+	// so spec index i lives at len(spec)-1-i). Compiled identifier accesses
+	// resolve the index here, at lowering time, and use Frame.LocalAt —
+	// O(1) — where the tree-walk engine scans Frame.Local's offset table.
+	localIdx map[uint64]int
+	// paramIdx holds each parameter's frame-unit index (parallel to
+	// fd.Params; -1 when the offset has no frame slot, which mirrors the
+	// tree-walk engine's nil-unit failure).
+	paramIdx []int
+}
+
+// compiler carries the lowering state for one program.
+type compiler struct {
+	prog *sema.Program
+	cp   *CompiledProgram
+
+	// cur is the function whose body is being lowered; identifier lowering
+	// consults its localIdx table.
+	cur *compiledFunc
+
+	numSites   int
+	builtinIdx map[string]int
+}
+
+// Compile lowers prog to its closure IR. It never fails: constructs the
+// evaluator would reject at execution time (unresolved identifiers,
+// unsupported nodes) lower to closures that raise the identical runtime
+// error when — and only when — they execute.
+func Compile(prog *sema.Program) *CompiledProgram {
+	cp := &CompiledProgram{
+		prog:   prog,
+		funcs:  make([]*compiledFunc, len(prog.Funcs)),
+		byName: make(map[string]*compiledFunc, len(prog.Funcs)),
+	}
+	c := &compiler{prog: prog, cp: cp, builtinIdx: map[string]int{}}
+	// Shell pass first so call sites can link to callees in any order
+	// (recursion included).
+	for i, fd := range prog.Funcs {
+		ret := fd.T.Fn.Ret
+		cf := &compiledFunc{
+			fd:      fd,
+			spec:    newFrameSpec(fd),
+			retT:    ret,
+			retVoid: ret.IsVoid(),
+		}
+		// Frame-offset → unit-index table: PushFrame appends locals in
+		// descending spec order (guard first, then top-down), so spec
+		// index i lands at slice index n-1-i. Ascending iteration keeps
+		// the largest spec index on offset collisions, matching the unit
+		// Frame.Local's scan (over the reversed offs slice) would find.
+		n := len(cf.spec.locals)
+		cf.localIdx = make(map[uint64]int, n)
+		for i, ls := range cf.spec.locals {
+			cf.localIdx[ls.Off] = n - 1 - i
+		}
+		cf.paramIdx = make([]int, len(fd.Params))
+		for i, p := range fd.Params {
+			if idx, ok := cf.localIdx[p.FrameOff]; ok {
+				cf.paramIdx[i] = idx
+			} else {
+				cf.paramIdx[i] = -1
+			}
+		}
+		cp.funcs[i] = cf
+		cp.byName[fd.Name] = cf
+	}
+	for _, cf := range cp.funcs {
+		c.cur = cf
+		if cf.fd.Body == nil {
+			fd := cf.fd
+			cf.body = func(m *Machine) ctrl {
+				m.failf(fd.Pos(), "function %q has no body", fd.Name)
+				return ctrlNone
+			}
+			continue
+		}
+		cf.body = c.compileSeq(cf.fd.Body)
+	}
+	cp.numSites = c.numSites
+	return cp
+}
+
+// siteFor assigns a provenance-recovery site id when loads of type t can
+// need one (pointer loads whose shadow provenance was lost); -1 otherwise.
+func (c *compiler) siteFor(t *types.Type) int32 {
+	if t == nil || !t.IsPointer() {
+		return -1
+	}
+	id := c.numSites
+	c.numSites++
+	return int32(id)
+}
+
+// builtinSlot assigns (or reuses) the memoization slot for a builtin name.
+func (c *compiler) builtinSlot(name string) int {
+	if id, ok := c.builtinIdx[name]; ok {
+		return id
+	}
+	id := len(c.cp.builtinNames)
+	c.builtinIdx[name] = id
+	c.cp.builtinNames = append(c.cp.builtinNames, name)
+	return id
+}
+
+// stmtFail lowers to a statement that raises a runtime error when executed
+// (mirroring execStmt, which steps before failing).
+func stmtFail(pos token.Pos, format string, args ...any) execFn {
+	return func(m *Machine) ctrl {
+		m.step()
+		m.failf(pos, format, args...)
+		return ctrlNone
+	}
+}
+
+// --- Statement lowering ---
+
+// compileSeq lowers a block's statement list to its sequence runner: the
+// shared body of block statements, switch bodies, and function bodies.
+// The runner performs NO entry step — callers that execute the block as a
+// statement charge it (mirroring execStmt vs execBlock).
+func (c *compiler) compileSeq(b *ast.Block) func(*Machine) ctrl {
+	stmts := make([]execFn, len(b.Stmts))
+	for i, s := range b.Stmts {
+		stmts[i] = c.compileStmt(s)
+	}
+	labels := b.LabelIdx
+	if len(stmts) == 0 {
+		return func(*Machine) ctrl { return ctrlNone }
+	}
+	return func(m *Machine) ctrl {
+		i := 0
+		for i < len(stmts) {
+			ct := stmts[i](m)
+			if ct == ctrlGoto {
+				if idx, ok := labels[m.gotoLabel]; ok {
+					i = idx
+					continue
+				}
+				return ct
+			}
+			if ct != ctrlNone {
+				return ct
+			}
+			i++
+		}
+		return ctrlNone
+	}
+}
+
+func (c *compiler) compileStmt(s ast.Stmt) execFn {
+	switch n := s.(type) {
+	case *ast.Empty:
+		return func(m *Machine) ctrl {
+			m.step()
+			return ctrlNone
+		}
+	case *ast.Block:
+		body := c.compileSeq(n)
+		return func(m *Machine) ctrl {
+			m.step()
+			return body(m)
+		}
+	case *ast.ExprStmt:
+		x := c.compileExpr(n.X)
+		return func(m *Machine) ctrl {
+			m.step()
+			x(m)
+			return ctrlNone
+		}
+	case *ast.DeclStmt:
+		inits := make([]func(*Machine), len(n.Decls))
+		for i, vd := range n.Decls {
+			inits[i] = c.compileLocalDecl(vd)
+		}
+		if len(inits) == 1 {
+			init := inits[0]
+			return func(m *Machine) ctrl {
+				m.step()
+				init(m)
+				return ctrlNone
+			}
+		}
+		return func(m *Machine) ctrl {
+			m.step()
+			for _, init := range inits {
+				init(m)
+			}
+			return ctrlNone
+		}
+	case *ast.If:
+		cond := c.compileExpr(n.Cond)
+		then := c.compileStmt(n.Then)
+		if n.Else == nil {
+			return func(m *Machine) ctrl {
+				m.step()
+				if cond(m).Truthy() {
+					return then(m)
+				}
+				return ctrlNone
+			}
+		}
+		els := c.compileStmt(n.Else)
+		return func(m *Machine) ctrl {
+			m.step()
+			if cond(m).Truthy() {
+				return then(m)
+			}
+			return els(m)
+		}
+	case *ast.While:
+		cond := c.compileExpr(n.Cond)
+		body := c.compileStmt(n.Body)
+		return func(m *Machine) ctrl {
+			m.step()
+			for cond(m).Truthy() {
+				m.step()
+				switch ct := body(m); ct {
+				case ctrlBreak:
+					return ctrlNone
+				case ctrlContinue, ctrlNone:
+				default:
+					return ct
+				}
+			}
+			return ctrlNone
+		}
+	case *ast.DoWhile:
+		cond := c.compileExpr(n.Cond)
+		body := c.compileStmt(n.Body)
+		return func(m *Machine) ctrl {
+			m.step()
+			for {
+				m.step()
+				switch ct := body(m); ct {
+				case ctrlBreak:
+					return ctrlNone
+				case ctrlContinue, ctrlNone:
+				default:
+					return ct
+				}
+				if !cond(m).Truthy() {
+					return ctrlNone
+				}
+			}
+		}
+	case *ast.For:
+		var init execFn
+		if n.Init != nil {
+			init = c.compileStmt(n.Init)
+		}
+		var cond, post evalFn
+		if n.Cond != nil {
+			cond = c.compileExpr(n.Cond)
+		}
+		if n.Post != nil {
+			post = c.compileExpr(n.Post)
+		}
+		body := c.compileStmt(n.Body)
+		return func(m *Machine) ctrl {
+			m.step()
+			if init != nil {
+				init(m)
+			}
+			for cond == nil || cond(m).Truthy() {
+				m.step()
+				switch ct := body(m); ct {
+				case ctrlBreak:
+					return ctrlNone
+				case ctrlContinue, ctrlNone:
+				default:
+					return ct
+				}
+				if post != nil {
+					post(m)
+				}
+			}
+			return ctrlNone
+		}
+	case *ast.Switch:
+		return c.compileSwitch(n)
+	case *ast.CaseLabel:
+		return func(m *Machine) ctrl {
+			m.step()
+			return ctrlNone
+		}
+	case *ast.Break:
+		return func(m *Machine) ctrl {
+			m.step()
+			return ctrlBreak
+		}
+	case *ast.Continue:
+		return func(m *Machine) ctrl {
+			m.step()
+			return ctrlContinue
+		}
+	case *ast.Return:
+		if n.X == nil {
+			return func(m *Machine) ctrl {
+				m.step()
+				m.retVal = Value{}
+				return ctrlReturn
+			}
+		}
+		x := c.compileExpr(n.X)
+		return func(m *Machine) ctrl {
+			m.step()
+			m.retVal = x(m)
+			return ctrlReturn
+		}
+	case *ast.Goto:
+		label := n.Label
+		return func(m *Machine) ctrl {
+			m.step()
+			m.gotoLabel = label
+			return ctrlGoto
+		}
+	case *ast.Labeled:
+		inner := c.compileStmt(n.Stmt)
+		return func(m *Machine) ctrl {
+			m.step()
+			return inner(m)
+		}
+	}
+	return stmtFail(s.Pos(), "unsupported statement %T", s)
+}
+
+// compileSwitch lowers a switch to its case-table dispatch plus the body's
+// statement sequence starting at the selected index.
+func (c *compiler) compileSwitch(n *ast.Switch) execFn {
+	cond := c.compileExpr(n.Cond)
+	stmts := make([]execFn, len(n.Body.Stmts))
+	for i, s := range n.Body.Stmts {
+		stmts[i] = c.compileStmt(s)
+	}
+	caseIdx := n.CaseIdx
+	labels := n.Body.LabelIdx
+	def := n.DefaultIdx
+	return func(m *Machine) ctrl {
+		m.step()
+		v := cond(m)
+		start, ok := caseIdx[v.I]
+		if !ok {
+			start = def
+		}
+		if start < 0 {
+			return ctrlNone
+		}
+		i := start
+		for i < len(stmts) {
+			switch ct := stmts[i](m); ct {
+			case ctrlBreak:
+				return ctrlNone
+			case ctrlGoto:
+				if idx, ok := labels[m.gotoLabel]; ok {
+					i = idx
+					continue
+				}
+				return ct
+			case ctrlNone:
+				i++
+			default:
+				return ct
+			}
+		}
+		return ctrlNone
+	}
+}
+
+// compileLocalDecl lowers one local variable declaration, mirroring
+// Machine.execLocalDecl with the symbol, frame offset, and initializer
+// shape resolved at lowering time.
+func (c *compiler) compileLocalDecl(vd *ast.VarDecl) func(*Machine) {
+	sym := vd.Sym
+	pos := vd.Pos()
+	if sym == nil {
+		return func(m *Machine) {
+			m.failf(pos, "internal: unresolved local %q", vd.Name)
+		}
+	}
+	slot := c.localSlot(sym.FrameOff, sym.Name, pos)
+	t := sym.Type
+	size := t.Size()
+	switch init := vd.Init.(type) {
+	case nil:
+		// Uninitialized locals keep whatever bytes the stack arena holds
+		// (realistically stale) — only the frame-slot resolution runs.
+		return func(m *Machine) {
+			slot(m)
+		}
+	case *ast.InitList:
+		elems := c.compileAggregateInit(t, init)
+		return func(m *Machine) {
+			u := slot(m)
+			m.zeroFill(u, 0, size)
+			for _, e := range elems {
+				e(m, u)
+			}
+		}
+	case *ast.StringLit:
+		if t.Kind == types.Array {
+			litIdx := init.LitIndex
+			return func(m *Machine) {
+				u := slot(m)
+				m.zeroFill(u, 0, size)
+				lit := m.literals[litIdx]
+				n := uint64(len(lit.Data))
+				if n > size {
+					n = size
+				}
+				copy(u.Data[:n], lit.Data[:n])
+			}
+		}
+		// Non-array target: the literal decays to a char* and stores like
+		// any scalar initializer.
+		ev := c.compileExpr(vd.Init)
+		return func(m *Machine) {
+			u := slot(m)
+			v := ev(m)
+			m.storeRaw(u, 0, t, m.convert(v, t, pos))
+		}
+	default:
+		ev := c.compileExpr(vd.Init)
+		return func(m *Machine) {
+			u := slot(m)
+			v := ev(m)
+			m.storeRaw(u, 0, t, m.convert(v, t, pos))
+		}
+	}
+}
+
+// localSlot lowers the resolution of the current function's local at frame
+// offset off: O(1) unit indexing when the offset is in the frame layout
+// (always, for sema-produced programs), otherwise the tree-walk engine's
+// checked offset scan.
+func (c *compiler) localSlot(off uint64, name string, pos token.Pos) func(*Machine) *mem.Unit {
+	if idx, ok := c.cur.localIdx[off]; ok {
+		return func(m *Machine) *mem.Unit { return m.frame.LocalAt(idx) }
+	}
+	return func(m *Machine) *mem.Unit {
+		u := m.frame.Local(off)
+		if u == nil {
+			m.failf(pos, "internal: no frame slot for %q", name)
+		}
+		return u
+	}
+}
+
+// aggInit writes one leaf of an aggregate initializer into the target unit.
+type aggInit func(m *Machine, u *mem.Unit)
+
+// compileAggregateInit flattens a braced initializer into its ordered leaf
+// writers, with element offsets and types resolved at lowering time
+// (mirroring initLocalAggregate/initLocalElem).
+func (c *compiler) compileAggregateInit(t *types.Type, il *ast.InitList) []aggInit {
+	var out []aggInit
+	c.flattenInit(&out, 0, t, il)
+	return out
+}
+
+func (c *compiler) flattenInit(out *[]aggInit, off uint64, t *types.Type, il *ast.InitList) {
+	switch t.Kind {
+	case types.Array:
+		es := t.Elem.Size()
+		for i, e := range il.Elems {
+			c.flattenInitElem(out, off+uint64(i)*es, t.Elem, e)
+		}
+	case types.Struct:
+		for i, e := range il.Elems {
+			if i >= len(t.Rec.Fields) {
+				break
+			}
+			f := t.Rec.Fields[i]
+			c.flattenInitElem(out, off+f.Offset, f.Type, e)
+		}
+	default:
+		if len(il.Elems) == 1 {
+			c.flattenInitElem(out, off, t, il.Elems[0])
+		}
+	}
+}
+
+func (c *compiler) flattenInitElem(out *[]aggInit, off uint64, t *types.Type, e ast.Expr) {
+	if nested, ok := e.(*ast.InitList); ok {
+		c.flattenInit(out, off, t, nested)
+		return
+	}
+	if s, ok := e.(*ast.StringLit); ok && t.Kind == types.Array {
+		litIdx := s.LitIndex
+		max := t.Size()
+		*out = append(*out, func(m *Machine, u *mem.Unit) {
+			lit := m.literals[litIdx]
+			n := uint64(len(lit.Data))
+			if n > max {
+				n = max
+			}
+			copy(u.Data[off:off+n], lit.Data[:n])
+		})
+		return
+	}
+	ev := c.compileExpr(e)
+	pos := e.Pos()
+	*out = append(*out, func(m *Machine, u *mem.Unit) {
+		v := ev(m)
+		m.storeRaw(u, off, t, m.convert(v, t, pos))
+	})
+}

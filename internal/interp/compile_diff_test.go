@@ -1,0 +1,300 @@
+package interp_test
+
+// Differential tests: the compiled closure-IR engine and the AST-walking
+// reference engine must agree on EVERY observable — outcome, return
+// value, error text, step count, simulated cycles, program output, and
+// the memory-error event log — for every corpus program, every mode, and
+// a set of torture programs that exercise the lowered control flow
+// (goto/switch tables), the error paths, and the failure-oblivious
+// continuation machinery. Simulated-cycle equality here is the
+// enforcement of the cycle-charging invariant documented in compile.go.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"focc/internal/cc/sema"
+	"focc/internal/core"
+	"focc/internal/interp"
+	"focc/internal/libc"
+)
+
+var diffModes = []core.Mode{
+	core.Standard,
+	core.BoundsCheck,
+	core.FailureOblivious,
+	core.Boundless,
+	core.Redirect,
+	core.TxTerm,
+}
+
+// diffCall is one host-level call in a differential scenario.
+type diffCall struct {
+	fn   string
+	args []int64
+}
+
+// engineObs is everything observable about one call on one engine.
+type engineObs struct {
+	Outcome  interp.Outcome
+	Value    int64
+	ExitCode int
+	Err      string
+	Steps    uint64
+}
+
+// runEngine executes the call sequence on a fresh machine and returns the
+// per-call observations plus the machine's final cycle count, output, and
+// event-log snapshot.
+func runEngine(t *testing.T, prog *sema.Program, cp *interp.CompiledProgram,
+	mode core.Mode, maxSteps uint64, calls []diffCall) ([]engineObs, uint64, string, core.Snapshot) {
+	t.Helper()
+	var out bytes.Buffer
+	m, err := interp.New(prog, interp.Config{
+		Mode:     mode,
+		Out:      &out,
+		Builtins: libc.Builtins(),
+		MaxSteps: maxSteps,
+		Compiled: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs []engineObs
+	for _, c := range calls {
+		args := make([]interp.Value, len(c.args))
+		for i, a := range c.args {
+			args[i] = interp.Int(a)
+		}
+		res := m.Call(c.fn, args...)
+		o := engineObs{
+			Outcome:  res.Outcome,
+			Value:    res.Value.I,
+			ExitCode: res.ExitCode,
+			Steps:    res.Steps,
+		}
+		if res.Err != nil {
+			o.Err = res.Err.Error()
+		}
+		obs = append(obs, o)
+	}
+	return obs, m.SimCycles(), out.String(), m.Log().Snapshot()
+}
+
+// assertEnginesAgree runs the scenario on both engines under every mode
+// and requires identical observations.
+func assertEnginesAgree(t *testing.T, src string, maxSteps uint64, calls []diffCall) {
+	t.Helper()
+	prog := compileWithCPP(t, src)
+	cp := interp.Compile(prog)
+	for _, mode := range diffModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			refObs, refCycles, refOut, refLog := runEngine(t, prog, nil, mode, maxSteps, calls)
+			cObs, cCycles, cOut, cLog := runEngine(t, prog, cp, mode, maxSteps, calls)
+			for i := range refObs {
+				if refObs[i] != cObs[i] {
+					t.Errorf("call %d (%s): tree-walk %+v, compiled %+v",
+						i, calls[i].fn, refObs[i], cObs[i])
+				}
+			}
+			if refCycles != cCycles {
+				t.Errorf("sim cycles: tree-walk %d, compiled %d", refCycles, cCycles)
+			}
+			if refOut != cOut {
+				t.Errorf("output: tree-walk %q, compiled %q", refOut, cOut)
+			}
+			if !reflect.DeepEqual(refLog, cLog) {
+				t.Errorf("event log: tree-walk %+v, compiled %+v", refLog, cLog)
+			}
+		})
+	}
+}
+
+func TestEngineDiffCorpus(t *testing.T) {
+	for _, cp := range corpusSources() {
+		t.Run(cp.name, func(t *testing.T) {
+			assertEnginesAgree(t, cp.src, 0, []diffCall{{fn: "main"}})
+		})
+	}
+}
+
+// TestEngineDiffMemoryErrors exercises the continuation paths: the pin
+// workload's out-of-bounds reads and writes manufacture values and log
+// events; both engines must produce the same values, cycles, and logs.
+func TestEngineDiffMemoryErrors(t *testing.T) {
+	assertEnginesAgree(t, pinSrc, 0, []diffCall{
+		{fn: "bulk", args: []int64{0}},
+		{fn: "scan", args: []int64{0}},
+		{fn: "ptrs", args: []int64{0}},
+		{fn: "oob", args: []int64{6}},
+		{fn: "oob", args: []int64{24}},
+		// After a crash (Standard: possible stack garbage; BoundsCheck:
+		// termination) further calls must fail identically on both engines.
+		{fn: "bulk", args: []int64{0}},
+	})
+}
+
+// TestEngineDiffControlFlow tortures the statically-lowered control flow:
+// goto into and out of nested blocks, switch dispatch with fallthrough
+// and default, do-while, break/continue, and labeled statements.
+func TestEngineDiffControlFlow(t *testing.T) {
+	const src = `
+int collatz(int n) {
+	int steps = 0;
+top:
+	if (n == 1)
+		goto done;
+	if (n % 2 == 0) {
+		n = n / 2;
+	} else {
+		n = 3 * n + 1;
+	}
+	steps++;
+	goto top;
+done:
+	return steps;
+}
+
+int classify(int c) {
+	int score = 0;
+	switch (c) {
+	case 0:
+		score = 1;
+		break;
+	case 1:
+	case 2:
+		score = 10;
+		/* fall through */
+	case 3:
+		score += 100;
+		break;
+	default:
+		score = -1;
+	}
+	return score;
+}
+
+int weave(int n) {
+	int i = 0, acc = 0;
+	do {
+		int j;
+		for (j = 0; j < n; j++) {
+			if (j == 2)
+				continue;
+			if (j == 5)
+				break;
+			acc += j;
+		}
+		i++;
+		if (i > 3)
+			goto out;
+	} while (i < 10);
+out:
+	while (i-- > 0)
+		acc++;
+	return acc;
+}
+
+int dispatch(int n) {
+	int total = 0, i;
+	for (i = 0; i < n; i++) {
+		switch (i & 3) {
+		case 0: total += classify(i); break;
+		case 1: total += collatz(i + 1); break;
+		case 2: total += weave(i); break;
+		default:
+			switch (i % 5) {
+			case 0: total++; break;
+			default: total--; break;
+			}
+		}
+	}
+	return total;
+}
+`
+	assertEnginesAgree(t, src, 0, []diffCall{
+		{fn: "collatz", args: []int64{27}},
+		{fn: "classify", args: []int64{2}},
+		{fn: "classify", args: []int64{7}},
+		{fn: "weave", args: []int64{8}},
+		{fn: "dispatch", args: []int64{40}},
+	})
+}
+
+// TestEngineDiffErrorPaths pins the engines' fatal-error parity: division
+// by zero, hangs under a small step budget, and exit().
+func TestEngineDiffErrorPaths(t *testing.T) {
+	const src = `
+#include <stdlib.h>
+int divz(int n) { return 100 / n; }
+int spin(int n) { while (1) { n++; } return n; }
+int quit(int n) { exit(n); return 0; }
+`
+	t.Run("DivideByZero", func(t *testing.T) {
+		assertEnginesAgree(t, src, 0, []diffCall{
+			{fn: "divz", args: []int64{5}},
+			{fn: "divz", args: []int64{0}},
+			{fn: "divz", args: []int64{5}}, // dead machine on both engines
+		})
+	})
+	t.Run("Hang", func(t *testing.T) {
+		assertEnginesAgree(t, src, 20_000, []diffCall{
+			{fn: "spin", args: []int64{0}},
+		})
+	})
+	t.Run("Exit", func(t *testing.T) {
+		assertEnginesAgree(t, src, 0, []diffCall{
+			{fn: "quit", args: []int64{3}},
+		})
+	})
+}
+
+// TestEngineDiffDataShapes covers the value-shape paths: struct copies by
+// pointer and by member, nested aggregates with initializers, string
+// literals, pointer arithmetic and compound assignment, ternary, comma,
+// casts, and printf output.
+func TestEngineDiffDataShapes(t *testing.T) {
+	const src = `
+#include <string.h>
+#include <stdio.h>
+
+struct point { int x, y; };
+struct rect { struct point min, max; };
+
+int area(void) {
+	struct rect r = { {1, 2}, {11, 22} };
+	struct rect s;
+	struct rect *p = &s;
+	s = r;                       /* struct copy */
+	p->max.x += 10;              /* arrow + dot + compound */
+	return (s.max.x - s.min.x) * (s.max.y - s.min.y);
+}
+
+int strings(void) {
+	char buf[16] = "abc";
+	char *p = buf;
+	int n = 0;
+	*(p + 3) = 'd';
+	p[4] = '\0';
+	n = (int) strlen(buf);
+	printf("s=%s n=%d\n", buf, n);
+	return n;
+}
+
+int mixed(int k) {
+	long total = 0;
+	int i;
+	int tbl[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+	for (i = 0; i < 8; i++)
+		total += (i % 2 == 0) ? tbl[i] : -tbl[i], total <<= 1;
+	total = (long)(short)(total + k);
+	return (int) total;
+}
+`
+	assertEnginesAgree(t, src, 0, []diffCall{
+		{fn: "area"},
+		{fn: "strings"},
+		{fn: "mixed", args: []int64{7}},
+	})
+}

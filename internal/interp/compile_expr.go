@@ -1,0 +1,1205 @@
+package interp
+
+// Expression lowering for the compiled engine. Everything the tree-walk
+// evaluator re-derives per execution that is actually static — symbol
+// storage class, frame offsets, global indexes, lvalue types and
+// trustedness, array decay, result types, compound-assign operators,
+// element sizes, builtin-ness of callees — is resolved here, once, and
+// captured by the returned closures. The closures charge simulated cycles
+// at exactly the points eval.go does (see the invariant note in
+// compile.go).
+
+import (
+	"encoding/binary"
+
+	"focc/internal/cc/ast"
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+	"focc/internal/core"
+	"focc/internal/mem"
+)
+
+// clval is a lowered lvalue: the pointer computation is a closure; the
+// type and trustedness — dynamic fields of the evaluator's lval — are
+// static facts of the expression, resolved at lowering time.
+type clval struct {
+	ptr     ptrFn
+	t       *types.Type
+	trusted bool
+}
+
+// exprFail lowers to an expression that raises the evaluator's runtime
+// error when (and only when) it executes.
+func exprFail(pos token.Pos, format string, args ...any) evalFn {
+	return func(m *Machine) Value {
+		m.failf(pos, format, args...)
+		return Value{}
+	}
+}
+
+// lvalFail lowers to an lvalue whose pointer computation raises the
+// evaluator's runtime error. The carried type keeps downstream static
+// decisions well-defined; it is never observed because the pointer
+// closure always faults first.
+func lvalFail(pos token.Pos, format string, args ...any) clval {
+	return clval{
+		ptr: func(m *Machine) core.Pointer {
+			m.failf(pos, format, args...)
+			return core.Pointer{}
+		},
+		t: types.IntType,
+	}
+}
+
+func (c *compiler) compileExpr(e ast.Expr) evalFn {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		v := Value{T: n.Type(), I: n.Val}
+		return func(*Machine) Value { return v }
+	case *ast.StringLit:
+		t := types.PointerTo(types.CharType)
+		idx := n.LitIndex
+		return func(m *Machine) Value {
+			u := m.literals[idx]
+			return Value{T: t, Ptr: core.Pointer{Addr: u.Base, Prov: u}}
+		}
+	case *ast.Ident:
+		return c.compileIdent(n)
+	case *ast.Unary:
+		return c.compileUnary(n)
+	case *ast.Postfix:
+		lv := c.compileLvalue(n.X)
+		load := c.loadClval(lv, n.Pos())
+		store := c.storeClvalConvert(lv, n.Pos())
+		delta := int64(1)
+		if n.Op == token.Dec {
+			delta = -1
+		}
+		bump := compileAddDelta(lv.t, delta, n.Pos())
+		return func(m *Machine) Value {
+			p := lv.ptr(m)
+			old := load(m, p)
+			store(m, p, bump(m, old))
+			return old
+		}
+	case *ast.Binary:
+		return c.compileBinary(n)
+	case *ast.Assign:
+		return c.compileAssign(n)
+	case *ast.Cond:
+		cond := c.compileExpr(n.C)
+		then := c.compileExpr(n.Then)
+		els := c.compileExpr(n.Else)
+		t := n.Type()
+		pos := n.Pos()
+		return func(m *Machine) Value {
+			if cond(m).Truthy() {
+				return m.convert(then(m), t, pos)
+			}
+			return m.convert(els(m), t, pos)
+		}
+	case *ast.Call:
+		return c.compileCall(n)
+	case *ast.Index, *ast.Member:
+		lv := c.compileLvalue(e)
+		if lv.t.IsArray() {
+			// Array member/element used as a value: decays to a pointer to
+			// its first element — type resolved here, no load.
+			pt := types.PointerTo(lv.t.Elem)
+			return func(m *Machine) Value {
+				return Value{T: pt, Ptr: lv.ptr(m)}
+			}
+		}
+		load := c.loadClval(lv, e.Pos())
+		return func(m *Machine) Value {
+			return load(m, lv.ptr(m))
+		}
+	case *ast.Cast:
+		x := c.compileExpr(n.X)
+		to := n.To
+		pos := n.Pos()
+		xt := n.X.Type()
+		if xt == to && to != nil && !to.IsArray() {
+			// Identity cast: conversion to the operand's own type is a
+			// no-op for every value the machine produces (values carry
+			// their static type, truncated to its width), so the cast
+			// lowers to nothing at all.
+			return x
+		}
+		if xt != nil && to != nil && xt.IsInteger() && to.IsInteger() {
+			// Integer narrowing/widening with static width; the guard
+			// falls back to the generic conversion on type mismatch.
+			return func(m *Machine) Value {
+				v := x(m)
+				if v.T != xt {
+					return m.convert(v, to, pos)
+				}
+				return Value{T: to, I: types.Truncate(to, v.I)}
+			}
+		}
+		return func(m *Machine) Value {
+			return m.convert(x(m), to, pos)
+		}
+	case *ast.Comma:
+		x := c.compileExpr(n.X)
+		y := c.compileExpr(n.Y)
+		return func(m *Machine) Value {
+			x(m)
+			return y(m)
+		}
+	}
+	return exprFail(e.Pos(), "unsupported expression %T", e)
+}
+
+// compileIdent lowers a named-variable read: storage class, frame offset
+// or global index, array decay, and the scalar load shape are all static.
+func (c *compiler) compileIdent(n *ast.Ident) evalFn {
+	sym := n.Sym
+	if sym == nil {
+		return exprFail(n.Pos(), "unresolved identifier %q", n.Name)
+	}
+	pos := n.Pos()
+	t := sym.Type
+	switch sym.Storage {
+	case ast.StorageLocal, ast.StorageParam:
+		off := sym.FrameOff
+		name := sym.Name
+		idx, fast := c.cur.localIdx[off]
+		if t.IsArray() {
+			pt := types.PointerTo(t.Elem)
+			if fast {
+				return func(m *Machine) Value {
+					u := m.frame.LocalAt(idx)
+					return Value{T: pt, Ptr: core.Pointer{Addr: u.Base, Prov: u}}
+				}
+			}
+			return func(m *Machine) Value {
+				u := m.frame.Local(off)
+				if u == nil {
+					m.failf(pos, "internal: no frame slot for %q", name)
+				}
+				return Value{T: pt, Ptr: core.Pointer{Addr: u.Base, Prov: u}}
+			}
+		}
+		if t.Kind == types.Func {
+			return exprFail(pos, "function %q used as a value (function pointers are unsupported)", n.Name)
+		}
+		load := c.rawLoad(t)
+		if fast {
+			return func(m *Machine) Value {
+				return load(m, m.frame.LocalAt(idx), 0)
+			}
+		}
+		return func(m *Machine) Value {
+			u := m.frame.Local(off)
+			if u == nil {
+				m.failf(pos, "internal: no frame slot for %q", name)
+			}
+			return load(m, u, 0)
+		}
+	case ast.StorageGlobal:
+		gi := sym.GlobalIdx
+		if t.IsArray() {
+			pt := types.PointerTo(t.Elem)
+			return func(m *Machine) Value {
+				u := m.globals[gi]
+				return Value{T: pt, Ptr: core.Pointer{Addr: u.Base, Prov: u}}
+			}
+		}
+		if t.Kind == types.Func {
+			return exprFail(pos, "function %q used as a value (function pointers are unsupported)", n.Name)
+		}
+		load := c.rawLoad(t)
+		return func(m *Machine) Value {
+			return load(m, m.globals[gi], 0)
+		}
+	}
+	// Enum constants were folded to IntLit by sema; anything else here is
+	// not addressable, exactly as the evaluator reports it.
+	return exprFail(pos, "symbol %q is not addressable", sym.Name)
+}
+
+func (c *compiler) compileUnary(n *ast.Unary) evalFn {
+	pos := n.Pos()
+	t := n.Type()
+	switch n.Op {
+	case token.Minus:
+		x := c.compileExpr(n.X)
+		return func(m *Machine) Value {
+			return Value{T: t, I: types.Truncate(t, -x(m).I)}
+		}
+	case token.Plus:
+		x := c.compileExpr(n.X)
+		return func(m *Machine) Value {
+			return Value{T: t, I: types.Truncate(t, x(m).I)}
+		}
+	case token.Tilde:
+		x := c.compileExpr(n.X)
+		return func(m *Machine) Value {
+			return Value{T: t, I: types.Truncate(t, ^x(m).I)}
+		}
+	case token.Bang:
+		x := c.compileExpr(n.X)
+		return func(m *Machine) Value {
+			if x(m).Truthy() {
+				return Value{T: types.IntType, I: 0}
+			}
+			return Value{T: types.IntType, I: 1}
+		}
+	case token.Star:
+		x := c.compileExpr(n.X)
+		if t.IsArray() {
+			pt := types.PointerTo(t.Elem)
+			return func(m *Machine) Value {
+				return Value{T: pt, Ptr: x(m).Ptr}
+			}
+		}
+		load := c.checkedLoad(t, pos)
+		return func(m *Machine) Value {
+			return load(m, x(m).Ptr)
+		}
+	case token.Amp:
+		lv := c.compileLvalue(n.X)
+		return func(m *Machine) Value {
+			return Value{T: t, Ptr: lv.ptr(m)}
+		}
+	case token.Inc, token.Dec:
+		lv := c.compileLvalue(n.X)
+		load := c.loadClval(lv, pos)
+		store := c.storeClvalConvert(lv, pos)
+		delta := int64(1)
+		if n.Op == token.Dec {
+			delta = -1
+		}
+		bump := compileAddDelta(lv.t, delta, pos)
+		return func(m *Machine) Value {
+			p := lv.ptr(m)
+			old := load(m, p)
+			nv := bump(m, old)
+			store(m, p, nv)
+			return nv
+		}
+	}
+	return exprFail(pos, "unsupported unary operator %s", n.Op)
+}
+
+func (c *compiler) compileBinary(n *ast.Binary) evalFn {
+	x := c.compileExpr(n.X)
+	switch n.Op {
+	case token.AndAnd:
+		y := c.compileExpr(n.Y)
+		return func(m *Machine) Value {
+			if !x(m).Truthy() {
+				return Value{T: types.IntType, I: 0}
+			}
+			if y(m).Truthy() {
+				return Value{T: types.IntType, I: 1}
+			}
+			return Value{T: types.IntType, I: 0}
+		}
+	case token.OrOr:
+		y := c.compileExpr(n.Y)
+		return func(m *Machine) Value {
+			if x(m).Truthy() || y(m).Truthy() {
+				return Value{T: types.IntType, I: 1}
+			}
+			return Value{T: types.IntType, I: 0}
+		}
+	}
+	y := c.compileExpr(n.Y)
+	op := n.Op
+	xt, yt := n.X.Type(), n.Y.Type()
+	if isComparison(op) {
+		if f := compileCompare(op, x, y, xt, yt); f != nil {
+			return f
+		}
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			return m.compare(op, xv, yv)
+		}
+	}
+	rt := n.Type()
+	pos := n.Pos()
+	if f := compileIntArith(op, x, y, rt, xt, yt, pos); f != nil {
+		return f
+	}
+	if f := compilePtrArith(op, x, y, rt, xt, yt, pos); f != nil {
+		return f
+	}
+	return func(m *Machine) Value {
+		xv := x(m)
+		yv := y(m)
+		return m.binaryOp(op, xv, yv, rt, pos)
+	}
+}
+
+func (c *compiler) compileAssign(n *ast.Assign) evalFn {
+	pos := n.Pos()
+	if n.Op == token.Assign {
+		rhs := c.compileExpr(n.RHS)
+		lv := c.compileLvalue(n.LHS)
+		t := lv.t
+		store := c.storeClval(lv, pos)
+		return func(m *Machine) Value {
+			v := rhs(m)
+			p := lv.ptr(m)
+			v = m.convert(v, t, pos)
+			store(m, p, v)
+			return v
+		}
+	}
+	op, ok := compoundOp(n.Op)
+	if !ok {
+		return exprFail(pos, "unsupported assignment operator %s", n.Op)
+	}
+	lv := c.compileLvalue(n.LHS)
+	load := c.loadClval(lv, pos)
+	store := c.storeClval(lv, pos)
+	rhs := c.compileExpr(n.RHS)
+	// The arithmetic's common type: loads return values of the lvalue's
+	// static type, so the promotion of the left operand — and for pointer
+	// and shift assignments the whole result type — resolves at lowering
+	// time; only the mixed-promotion case consults the right operand's
+	// runtime type.
+	t := lv.t
+	var staticRt *types.Type
+	var pa *types.Type
+	if t.IsPointer() {
+		staticRt = t
+	} else if op == token.Shl || op == token.Shr {
+		staticRt = types.Promote(t)
+	} else {
+		pa = promoteType(t)
+	}
+	return func(m *Machine) Value {
+		p := lv.ptr(m)
+		cur := load(m, p)
+		rv := rhs(m)
+		rt := staticRt
+		if rt == nil {
+			if pb := promoteType(rv.T); pb == pa {
+				rt = pa
+			} else {
+				rt = types.UsualArith(pa, pb)
+			}
+		}
+		res := m.binaryOp(op, cur, rv, rt, pos)
+		res = m.convert(res, t, pos)
+		store(m, p, res)
+		return res
+	}
+}
+
+func (c *compiler) compileCall(n *ast.Call) evalFn {
+	pos := n.Pos()
+	sym := n.Fun.Sym
+	if sym == nil {
+		return exprFail(pos, "unresolved function %q", n.Fun.Name)
+	}
+	argFns := make([]evalFn, len(n.Args))
+	for i, a := range n.Args {
+		argFns[i] = c.compileExpr(a)
+	}
+	if sym.Builtin {
+		name := sym.Name
+		slot := c.builtinSlot(name)
+		ret := sym.Type.Fn.Ret
+		retVoid := ret.IsVoid()
+		return func(m *Machine) Value {
+			m.step()
+			args := m.getArgs(len(argFns))
+			for i, f := range argFns {
+				args[i] = f(m)
+			}
+			impl := m.builtinAt(slot, name, pos)
+			v := impl(m, pos, args)
+			m.putArgs(args)
+			if retVoid {
+				return Value{T: types.VoidType}
+			}
+			return m.convert(v, ret, pos)
+		}
+	}
+	if sym.FuncIdx < 0 || sym.FuncIdx >= len(c.cp.funcs) {
+		name := sym.Name
+		return func(m *Machine) Value {
+			m.step()
+			m.failf(pos, "function %q has no body", name)
+			return Value{}
+		}
+	}
+	// Direct link to the callee's compiled form — no name or index lookup
+	// per call (recursion works because the shell pass created every
+	// compiledFunc before any body was lowered).
+	callee := c.cp.funcs[sym.FuncIdx]
+	return func(m *Machine) Value {
+		m.step()
+		args := m.getArgs(len(argFns))
+		for i, f := range argFns {
+			args[i] = f(m)
+		}
+		v := m.callCompiled(callee, args, pos)
+		m.putArgs(args)
+		return v
+	}
+}
+
+// --- Lvalues ---
+
+func (c *compiler) compileLvalue(e ast.Expr) clval {
+	switch n := e.(type) {
+	case *ast.Ident:
+		sym := n.Sym
+		if sym == nil {
+			return lvalFail(n.Pos(), "unresolved identifier %q", n.Name)
+		}
+		pos := n.Pos()
+		switch sym.Storage {
+		case ast.StorageLocal, ast.StorageParam:
+			off := sym.FrameOff
+			name := sym.Name
+			if idx, fast := c.cur.localIdx[off]; fast {
+				return clval{
+					ptr: func(m *Machine) core.Pointer {
+						u := m.frame.LocalAt(idx)
+						return core.Pointer{Addr: u.Base, Prov: u}
+					},
+					t:       sym.Type,
+					trusted: true,
+				}
+			}
+			return clval{
+				ptr: func(m *Machine) core.Pointer {
+					u := m.frame.Local(off)
+					if u == nil {
+						m.failf(pos, "internal: no frame slot for %q", name)
+					}
+					return core.Pointer{Addr: u.Base, Prov: u}
+				},
+				t:       sym.Type,
+				trusted: true,
+			}
+		case ast.StorageGlobal:
+			gi := sym.GlobalIdx
+			return clval{
+				ptr: func(m *Machine) core.Pointer {
+					u := m.globals[gi]
+					return core.Pointer{Addr: u.Base, Prov: u}
+				},
+				t:       sym.Type,
+				trusted: true,
+			}
+		}
+		return lvalFail(pos, "symbol %q is not addressable", sym.Name)
+	case *ast.Unary:
+		if n.Op != token.Star {
+			return lvalFail(n.Pos(), "expression is not an lvalue")
+		}
+		x := c.compileExpr(n.X)
+		return clval{
+			ptr: func(m *Machine) core.Pointer { return x(m).Ptr },
+			t:   n.Type(),
+		}
+	case *ast.Index:
+		idx := c.compileExpr(n.Idx)
+		es := n.Type().Size()
+		// Indexing a named array fuses the base into the closure: the
+		// element pointer comes straight off the frame slot or global
+		// unit, with no intermediate decayed Value (a[i] is the hottest
+		// lvalue shape in the corpus). Named-array bases are effect-free,
+		// so the base-then-index evaluation order is preserved.
+		if id, ok := n.X.(*ast.Ident); ok && id.Sym != nil && id.Sym.Type.IsArray() {
+			switch id.Sym.Storage {
+			case ast.StorageLocal, ast.StorageParam:
+				if bi, fast := c.cur.localIdx[id.Sym.FrameOff]; fast {
+					return clval{
+						ptr: func(m *Machine) core.Pointer {
+							u := m.frame.LocalAt(bi)
+							i := idx(m)
+							return core.Pointer{Addr: u.Base + uint64(i.I)*es, Prov: u}
+						},
+						t: n.Type(),
+					}
+				}
+			case ast.StorageGlobal:
+				gi := id.Sym.GlobalIdx
+				return clval{
+					ptr: func(m *Machine) core.Pointer {
+						u := m.globals[gi]
+						i := idx(m)
+						return core.Pointer{Addr: u.Base + uint64(i.I)*es, Prov: u}
+					},
+					t: n.Type(),
+				}
+			}
+		}
+		base := c.compileExpr(n.X) // arrays decay in the base expression
+		return clval{
+			ptr: func(m *Machine) core.Pointer {
+				b := base(m)
+				i := idx(m)
+				return core.Pointer{Addr: b.Ptr.Addr + uint64(i.I)*es, Prov: b.Ptr.Prov}
+			},
+			t: n.Type(),
+		}
+	case *ast.Member:
+		foff := n.Field.Offset
+		if n.Arrow {
+			x := c.compileExpr(n.X)
+			return clval{
+				ptr: func(m *Machine) core.Pointer {
+					v := x(m)
+					return core.Pointer{Addr: v.Ptr.Addr + foff, Prov: v.Ptr.Prov}
+				},
+				t: n.Field.Type,
+			}
+		}
+		base := c.compileLvalue(n.X)
+		return clval{
+			ptr: func(m *Machine) core.Pointer {
+				bp := base.ptr(m)
+				return core.Pointer{Addr: bp.Addr + foff, Prov: bp.Prov}
+			},
+			t:       n.Field.Type,
+			trusted: base.trusted, // dot access inherits the base's trust
+		}
+	case *ast.StringLit:
+		idx := n.LitIndex
+		return clval{
+			ptr: func(m *Machine) core.Pointer {
+				u := m.literals[idx]
+				return core.Pointer{Addr: u.Base, Prov: u}
+			},
+			t: n.Type(),
+		}
+	}
+	return lvalFail(e.Pos(), "expression is not an lvalue (%T)", e)
+}
+
+// loadClval lowers a read through an lvalue whose pointer the caller has
+// already computed: trusted accesses take the raw path, untrusted ones the
+// policy-checked path — chosen here, not per execution.
+func (c *compiler) loadClval(lv clval, pos token.Pos) func(*Machine, core.Pointer) Value {
+	if lv.trusted {
+		load := c.rawLoad(lv.t)
+		return func(m *Machine, p core.Pointer) Value {
+			return load(m, p.Prov, p.Addr-p.Prov.Base)
+		}
+	}
+	return c.checkedLoad(lv.t, pos)
+}
+
+// storeClval lowers a store of an already-converted value through an
+// lvalue (the compiled analogue of storeLvalConverted).
+func (c *compiler) storeClval(lv clval, pos token.Pos) func(*Machine, core.Pointer, Value) {
+	t := lv.t
+	if lv.trusted {
+		return func(m *Machine, p core.Pointer, v Value) {
+			m.storeRaw(p.Prov, p.Addr-p.Prov.Base, t, v)
+		}
+	}
+	return func(m *Machine, p core.Pointer, v Value) {
+		m.storeValue(p, t, v, pos)
+	}
+}
+
+// storeClvalConvert lowers a store that converts to the lvalue's type
+// first (the compiled analogue of storeLval).
+func (c *compiler) storeClvalConvert(lv clval, pos token.Pos) func(*Machine, core.Pointer, Value) {
+	t := lv.t
+	if lv.trusted {
+		return func(m *Machine, p core.Pointer, v Value) {
+			m.storeRaw(p.Prov, p.Addr-p.Prov.Base, t, m.convert(v, t, pos))
+		}
+	}
+	return func(m *Machine, p core.Pointer, v Value) {
+		m.storeValue(p, t, m.convert(v, t, pos), pos)
+	}
+}
+
+// rawLoad lowers a trusted (unchecked) load of type t: the size, shape,
+// and signedness branches of loadRaw are resolved at lowering time, and
+// pointer loads get a dedicated provenance-recovery site.
+func (c *compiler) rawLoad(t *types.Type) func(*Machine, *mem.Unit, uint64) Value {
+	size := t.Size()
+	switch {
+	case t.IsPointer():
+		sid := c.siteFor(t)
+		return func(m *Machine, u *mem.Unit, off uint64) Value {
+			m.simCycles += AccessCycles
+			addr := uint64(decodeLE(u.Data[off:off+8], false))
+			prov := u.GetShadow(off)
+			if prov == nil && addr != 0 {
+				prov = m.findUnitSite(sid, addr)
+			}
+			return Value{T: t, Ptr: core.Pointer{Addr: addr, Prov: prov}}
+		}
+	case t.Kind == types.Struct:
+		return func(m *Machine, u *mem.Unit, off uint64) Value {
+			m.simCycles += AccessCycles
+			b := make([]byte, size)
+			copy(b, u.Data[off:off+size])
+			return Value{T: t, Bytes: b}
+		}
+	default:
+		dec := decodeFn(size, t.IsSigned())
+		return func(m *Machine, u *mem.Unit, off uint64) Value {
+			m.simCycles += AccessCycles
+			return Value{T: t, I: dec(u.Data[off : off+size : off+size])}
+		}
+	}
+}
+
+// decodeFn returns the little-endian decoder for a scalar of static size
+// and signedness — the per-byte loop of decodeLE resolved at lowering time
+// into one fixed-width load. Scalar C types are 1/2/4/8 bytes; the
+// fallback covers any other width identically to decodeLE.
+func decodeFn(size uint64, signed bool) func(b []byte) int64 {
+	switch size {
+	case 1:
+		if signed {
+			return func(b []byte) int64 { return int64(int8(b[0])) }
+		}
+		return func(b []byte) int64 { return int64(b[0]) }
+	case 2:
+		if signed {
+			return func(b []byte) int64 { return int64(int16(binary.LittleEndian.Uint16(b))) }
+		}
+		return func(b []byte) int64 { return int64(binary.LittleEndian.Uint16(b)) }
+	case 4:
+		if signed {
+			return func(b []byte) int64 { return int64(int32(binary.LittleEndian.Uint32(b))) }
+		}
+		return func(b []byte) int64 { return int64(binary.LittleEndian.Uint32(b)) }
+	case 8:
+		return func(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+	}
+	return func(b []byte) int64 { return decodeLE(b, signed) }
+}
+
+// checkedLoad lowers a policy-checked load of type t: the cycle charge
+// (words, check) and the value's shape are static; pointer loads get a
+// provenance-recovery site.
+func (c *compiler) checkedLoad(t *types.Type, pos token.Pos) func(*Machine, core.Pointer) Value {
+	size := t.Size()
+	if size == 0 {
+		return func(m *Machine, p core.Pointer) Value {
+			m.failf(pos, "load of zero-sized type %s", t)
+			return Value{}
+		}
+	}
+	if t.Kind == types.Struct {
+		return func(m *Machine, p core.Pointer) Value {
+			buf := make([]byte, size)
+			m.LoadBytes(p, buf, pos)
+			return Value{T: t, Bytes: buf}
+		}
+	}
+	words := uint64(size+7) / 8
+	if words == 0 {
+		words = 1
+	}
+	if t.IsPointer() {
+		sid := c.siteFor(t)
+		return func(m *Machine, p core.Pointer) Value {
+			m.simCycles += words * AccessCycles
+			if m.checked {
+				m.simCycles += CheckCycles
+			}
+			buf := m.scratch[:size]
+			prov, err := m.acc.Load(p, buf, pos)
+			if err != nil {
+				m.fail(err)
+			}
+			addr := uint64(decodeLE(buf, false))
+			if prov == nil && addr != 0 {
+				prov = m.findUnitSite(sid, addr)
+			}
+			return Value{T: t, Ptr: core.Pointer{Addr: addr, Prov: prov}}
+		}
+	}
+	dec := decodeFn(size, t.IsSigned())
+	return func(m *Machine, p core.Pointer) Value {
+		m.simCycles += words * AccessCycles
+		if m.checked {
+			m.simCycles += CheckCycles
+		}
+		buf := m.scratch[:size]
+		if _, err := m.acc.Load(p, buf, pos); err != nil {
+			m.fail(err)
+		}
+		return Value{T: t, I: dec(buf)}
+	}
+}
+
+// --- Operator specialization ---
+//
+// The generic m.compare / m.binaryOp / m.convert / m.addDelta entry points
+// re-derive per execution what the static operand types already determine:
+// whether either side is a pointer, the common arithmetic type, signedness,
+// and the truncation width. When the static types pin those decisions, the
+// lowerings below emit an operator-specialized closure guarded by a runtime
+// type-identity check (pointer compares — the machine's values carry their
+// static types by invariant); any value that defeats the guard falls back
+// to the generic path, so results are bit-identical by construction.
+
+// intOne / intZero are the comparison results (C int 1 / 0).
+var (
+	intOne  = Value{T: types.IntType, I: 1}
+	intZero = Value{T: types.IntType, I: 0}
+)
+
+// runtimePtrType maps a static operand type to the pointer type its value
+// carries at runtime: pointers keep their type, arrays decay. Nil for
+// non-pointer operands.
+func runtimePtrType(t *types.Type) *types.Type {
+	switch {
+	case t == nil:
+		return nil
+	case t.IsPointer():
+		return t
+	case t.IsArray():
+		return types.PointerTo(t.Elem)
+	}
+	return nil
+}
+
+// compileCompare lowers a comparison with statically-determined operand
+// shape; nil when the static types leave the shape open.
+func compileCompare(op token.Kind, x, y evalFn, xt, yt *types.Type) evalFn {
+	if xt != nil && xt == yt && xt.IsInteger() {
+		return compileIntCompare(op, x, y, xt)
+	}
+	if xt != nil && yt != nil && xt.IsInteger() && yt.IsInteger() {
+		return compileMixedIntCompare(op, x, y, xt, yt)
+	}
+	xpt, ypt := runtimePtrType(xt), runtimePtrType(yt)
+	if xpt == nil && ypt == nil {
+		return nil
+	}
+	// Pointer-vs-pointer or pointer-vs-integer: an unsigned address
+	// compare (m.compare's pointer branch), with each side's shape static.
+	intSide := func(t *types.Type) bool { return t != nil && t.IsInteger() }
+	if (xpt != nil && (ypt != nil || intSide(yt))) ||
+		(ypt != nil && (xpt != nil || intSide(xt))) {
+		xr, yr := xpt, ypt
+		if xr == nil {
+			xr = xt
+		}
+		if yr == nil {
+			yr = yt
+		}
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xr || yv.T != yr {
+				return m.compare(op, xv, yv)
+			}
+			var xa, ya uint64
+			if xpt != nil {
+				xa = xv.Ptr.Addr
+			} else {
+				xa = uint64(xv.I)
+			}
+			if ypt != nil {
+				ya = yv.Ptr.Addr
+			} else {
+				ya = uint64(yv.I)
+			}
+			if cmpU(op, xa, ya) {
+				return intOne
+			}
+			return intZero
+		}
+	}
+	return nil
+}
+
+// compileIntCompare lowers a same-type integer comparison with static
+// signedness.
+func compileIntCompare(op token.Kind, x, y evalFn, t *types.Type) evalFn {
+	if t.IsSigned() {
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != t || yv.T != t {
+				return m.compare(op, xv, yv)
+			}
+			if cmpS(op, xv.I, yv.I) {
+				return intOne
+			}
+			return intZero
+		}
+	}
+	return func(m *Machine) Value {
+		xv := x(m)
+		yv := y(m)
+		if xv.T != t || yv.T != t {
+			return m.compare(op, xv, yv)
+		}
+		if cmpU(op, uint64(xv.I), uint64(yv.I)) {
+			return intOne
+		}
+		return intZero
+	}
+}
+
+// compileMixedIntCompare lowers a comparison of two different integer
+// types — char against an int literal is the classic C idiom — with the
+// usual-arithmetic common type and its signedness resolved at lowering
+// time (m.compare's promotion branch).
+func compileMixedIntCompare(op token.Kind, x, y evalFn, xt, yt *types.Type) evalFn {
+	ct := types.UsualArith(promoteType(xt), promoteType(yt))
+	if ct.IsSigned() {
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.compare(op, xv, yv)
+			}
+			if cmpS(op, types.Truncate(ct, xv.I), types.Truncate(ct, yv.I)) {
+				return intOne
+			}
+			return intZero
+		}
+	}
+	return func(m *Machine) Value {
+		xv := x(m)
+		yv := y(m)
+		if xv.T != xt || yv.T != yt {
+			return m.compare(op, xv, yv)
+		}
+		if cmpU(op, uint64(types.Truncate(ct, xv.I)), uint64(types.Truncate(ct, yv.I))) {
+			return intOne
+		}
+		return intZero
+	}
+}
+
+func cmpS(op token.Kind, a, b int64) bool {
+	switch op {
+	case token.Lt:
+		return a < b
+	case token.Gt:
+		return a > b
+	case token.Le:
+		return a <= b
+	case token.Ge:
+		return a >= b
+	case token.EqEq:
+		return a == b
+	}
+	return a != b // NotEq: isComparison admits nothing else
+}
+
+func cmpU(op token.Kind, a, b uint64) bool {
+	switch op {
+	case token.Lt:
+		return a < b
+	case token.Gt:
+		return a > b
+	case token.Le:
+		return a <= b
+	case token.Ge:
+		return a >= b
+	case token.EqEq:
+		return a == b
+	}
+	return a != b
+}
+
+// compileIntArith lowers pure integer arithmetic when the operand and
+// result types are statically integer: the operator dispatch, signedness,
+// the truncation width, and the conversions to the common type resolve at
+// lowering time. The guard confirms the runtime types match the static
+// ones; mismatches fall back to the generic m.binaryOp with the original
+// values. Nil when the shape is not statically integer.
+func compileIntArith(op token.Kind, x, y evalFn, rt, xt, yt *types.Type, pos token.Pos) evalFn {
+	if rt == nil || xt == nil || yt == nil ||
+		!rt.IsInteger() || !xt.IsInteger() || !yt.IsInteger() {
+		return nil
+	}
+	signed := rt.IsSigned()
+	// Operands of the common type need no conversion (the guard pins the
+	// runtime type); narrower or wider ones truncate statically.
+	needX, needY := xt != rt, yt != rt
+	switch op {
+	case token.Plus:
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi, yi := xv.I, yv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			if needY {
+				yi = types.Truncate(rt, yi)
+			}
+			return Value{T: rt, I: types.Truncate(rt, xi+yi)}
+		}
+	case token.Minus:
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi, yi := xv.I, yv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			if needY {
+				yi = types.Truncate(rt, yi)
+			}
+			return Value{T: rt, I: types.Truncate(rt, xi-yi)}
+		}
+	case token.Star:
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi, yi := xv.I, yv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			if needY {
+				yi = types.Truncate(rt, yi)
+			}
+			return Value{T: rt, I: types.Truncate(rt, xi*yi)}
+		}
+	case token.Amp:
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi, yi := xv.I, yv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			if needY {
+				yi = types.Truncate(rt, yi)
+			}
+			return Value{T: rt, I: types.Truncate(rt, xi&yi)}
+		}
+	case token.Pipe:
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi, yi := xv.I, yv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			if needY {
+				yi = types.Truncate(rt, yi)
+			}
+			return Value{T: rt, I: types.Truncate(rt, xi|yi)}
+		}
+	case token.Caret:
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi, yi := xv.I, yv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			if needY {
+				yi = types.Truncate(rt, yi)
+			}
+			return Value{T: rt, I: types.Truncate(rt, xi^yi)}
+		}
+	case token.Slash, token.Percent:
+		div := op == token.Slash
+		zmsg := "modulo by zero"
+		if div {
+			zmsg = "division by zero"
+		}
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi, yi := xv.I, yv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			if needY {
+				yi = types.Truncate(rt, yi)
+			}
+			if yi == 0 {
+				m.failf(pos, "%s", zmsg)
+			}
+			var r int64
+			switch {
+			case signed && div:
+				r = xi / yi
+			case signed:
+				r = xi % yi
+			case div:
+				r = int64(uint64(xi) / uint64(yi))
+			default:
+				r = int64(uint64(xi) % uint64(yi))
+			}
+			return Value{T: rt, I: types.Truncate(rt, r)}
+		}
+	case token.Shl:
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi := xv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			// The shift count is the right operand's unconverted low six
+			// bits (m.shiftCount) — truncation never alters them.
+			return Value{T: rt, I: types.Truncate(rt, xi<<uint64(yv.I&63))}
+		}
+	case token.Shr:
+		if signed {
+			return func(m *Machine) Value {
+				xv := x(m)
+				yv := y(m)
+				if xv.T != xt || yv.T != yt {
+					return m.binaryOp(op, xv, yv, rt, pos)
+				}
+				xi := xv.I
+				if needX {
+					xi = types.Truncate(rt, xi)
+				}
+				return Value{T: rt, I: types.Truncate(rt, xi>>uint64(yv.I&63))}
+			}
+		}
+		mask := ^uint64(0) >> (64 - rt.Size()*8)
+		return func(m *Machine) Value {
+			xv := x(m)
+			yv := y(m)
+			if xv.T != xt || yv.T != yt {
+				return m.binaryOp(op, xv, yv, rt, pos)
+			}
+			xi := xv.I
+			if needX {
+				xi = types.Truncate(rt, xi)
+			}
+			ux := uint64(xi) & mask
+			return Value{T: rt, I: types.Truncate(rt, int64(ux>>uint64(yv.I&63)))}
+		}
+	}
+	return nil
+}
+
+// compilePtrArith lowers pointer arithmetic (pointer ± integer, pointer
+// difference) with the element size static. Nil when the static types
+// don't pin the pointer shape.
+func compilePtrArith(op token.Kind, x, y evalFn, rt, xt, yt *types.Type, pos token.Pos) evalFn {
+	xpt, ypt := runtimePtrType(xt), runtimePtrType(yt)
+	elemSize := func(pt *types.Type) int64 {
+		es := int64(pt.Elem.Size())
+		if es == 0 {
+			es = 1
+		}
+		return es
+	}
+	intT := func(t *types.Type) bool { return t != nil && t.IsInteger() }
+	switch op {
+	case token.Plus:
+		if xpt != nil && intT(yt) {
+			es := elemSize(xpt)
+			return func(m *Machine) Value {
+				xv := x(m)
+				yv := y(m)
+				if xv.T != xpt || yv.T != yt {
+					return m.binaryOp(token.Plus, xv, yv, rt, pos)
+				}
+				return Value{T: xpt, Ptr: core.Pointer{
+					Addr: xv.Ptr.Addr + uint64(yv.I*es), Prov: xv.Ptr.Prov,
+				}}
+			}
+		}
+		if ypt != nil && intT(xt) {
+			es := elemSize(ypt)
+			return func(m *Machine) Value {
+				xv := x(m)
+				yv := y(m)
+				if xv.T != xt || yv.T != ypt {
+					return m.binaryOp(token.Plus, xv, yv, rt, pos)
+				}
+				return Value{T: ypt, Ptr: core.Pointer{
+					Addr: yv.Ptr.Addr + uint64(xv.I*es), Prov: yv.Ptr.Prov,
+				}}
+			}
+		}
+	case token.Minus:
+		if xpt != nil && ypt != nil {
+			es := elemSize(xpt)
+			return func(m *Machine) Value {
+				xv := x(m)
+				yv := y(m)
+				if xv.T != xpt || yv.T != ypt {
+					return m.binaryOp(token.Minus, xv, yv, rt, pos)
+				}
+				return Value{T: types.LongType,
+					I: (int64(xv.Ptr.Addr) - int64(yv.Ptr.Addr)) / es}
+			}
+		}
+		if xpt != nil && intT(yt) {
+			es := elemSize(xpt)
+			return func(m *Machine) Value {
+				xv := x(m)
+				yv := y(m)
+				if xv.T != xpt || yv.T != yt {
+					return m.binaryOp(token.Minus, xv, yv, rt, pos)
+				}
+				return Value{T: xpt, Ptr: core.Pointer{
+					Addr: xv.Ptr.Addr + uint64(-yv.I*es), Prov: xv.Ptr.Prov,
+				}}
+			}
+		}
+	}
+	return nil
+}
+
+// compileAddDelta lowers the ++/-- bump for a statically-typed operand:
+// integer bumps truncate with a static width, pointer bumps scale by a
+// static element size (m.addDelta with its branches resolved at lowering
+// time). The guard falls back to the generic path on type mismatch.
+func compileAddDelta(t *types.Type, delta int64, pos token.Pos) func(*Machine, Value) Value {
+	switch {
+	case t != nil && t.IsInteger():
+		return func(m *Machine, v Value) Value {
+			if v.T != t {
+				return m.addDelta(v, delta, pos)
+			}
+			return Value{T: t, I: types.Truncate(t, v.I+delta)}
+		}
+	case t != nil && t.IsPointer():
+		es := int64(t.Elem.Size())
+		if es == 0 {
+			es = 1
+		}
+		d := uint64(delta * es)
+		return func(m *Machine, v Value) Value {
+			if v.T != t {
+				return m.addDelta(v, delta, pos)
+			}
+			return Value{T: t, Ptr: core.Pointer{Addr: v.Ptr.Addr + d, Prov: v.Ptr.Prov}}
+		}
+	}
+	return func(m *Machine, v Value) Value { return m.addDelta(v, delta, pos) }
+}

@@ -1,0 +1,116 @@
+package interp
+
+// Runtime support for the compiled engine: the call protocol and the
+// per-machine mutable state the immutable IR indexes into (provenance
+// site caches, builtin slots). These mirror callFunction/execBody/
+// findUnitAt byte-for-byte in observable behavior — outcomes, event
+// logs, and simulated cycles.
+
+import (
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+	"focc/internal/core"
+	"focc/internal/mem"
+)
+
+// callCompiled pushes a frame, binds parameters, runs the lowered body,
+// and pops the frame — the compiled analogue of callFunction, using the
+// frame spec built at lowering time instead of the per-machine cache.
+func (m *Machine) callCompiled(cf *compiledFunc, args []Value, pos token.Pos) Value {
+	m.step()
+	fd := cf.fd
+	if len(args) != len(fd.Params) {
+		m.failf(pos, "call of %q with %d args (want %d)", fd.Name, len(args), len(fd.Params))
+	}
+	frame, fault := m.as.PushFrame(cf.spec.canary, fd.FrameSize, cf.spec.locals)
+	if fault != nil {
+		m.fail(fault)
+	}
+	for i, p := range fd.Params {
+		v := m.convert(args[i], p.Type, pos)
+		var u *mem.Unit
+		if idx := cf.paramIdx[i]; idx >= 0 {
+			u = frame.LocalAt(idx)
+		} else {
+			u = frame.Local(p.FrameOff)
+		}
+		m.storeRaw(u, 0, p.Type, v)
+	}
+	savedRet, savedFrame := m.retVal, m.frame
+	m.retVal = Value{}
+	m.frame = frame
+	ctl := m.execCompiledBody(cf)
+	if ctl == ctrlGoto {
+		m.failf(fd.Body.Pos(), "goto label %q not found on execution path", m.gotoLabel)
+	}
+	ret := m.retVal
+	m.retVal, m.frame = savedRet, savedFrame
+	if fault := m.as.PopFrame(frame); fault != nil {
+		// Stack smash detected at return — only possible in Standard mode.
+		m.fail(fault)
+	}
+	if cf.retVoid {
+		return Value{T: types.VoidType}
+	}
+	if ret.T == nil {
+		// Fell off the end without a return value: indeterminate in C;
+		// supply 0.
+		return Value{T: cf.retT}
+	}
+	return m.convert(ret, cf.retT, pos)
+}
+
+// execCompiledBody runs a lowered function body with the TxTerm policy's
+// function-boundary recovery (see execBody).
+func (m *Machine) execCompiledBody(cf *compiledFunc) (ctl ctrl) {
+	if m.acc.Mode() != core.TxTerm {
+		return cf.body(m)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ep, ok := r.(execPanic)
+		if !ok {
+			panic(r)
+		}
+		if _, isAbort := ep.err.(*core.FuncAbort); isAbort {
+			m.retVal = Value{}
+			ctl = ctrlReturn
+			return
+		}
+		panic(r)
+	}()
+	return cf.body(m)
+}
+
+// findUnitSite resolves addr through the compiled site's lookup cache —
+// the slice-indexed analogue of findUnitAt's map keyed by AST node. A
+// negative site id means "no dedicated cache" (machine-wide cache only).
+func (m *Machine) findUnitSite(sid int32, addr uint64) *mem.Unit {
+	if sid < 0 {
+		return m.FindUnit(addr)
+	}
+	c := &m.csite[sid]
+	if u := m.as.Probe(c, addr); u != nil {
+		return u
+	}
+	u := m.FindUnit(addr)
+	m.as.FillCache(c, u)
+	return u
+}
+
+// builtinAt resolves the builtin for a compile-time call-site slot,
+// memoizing per machine so repeated calls skip the map lookup.
+func (m *Machine) builtinAt(slot int, name string, pos token.Pos) BuiltinFunc {
+	if impl := m.builtinSlots[slot]; impl != nil {
+		return impl
+	}
+	impl, ok := m.builtins[name]
+	if !ok {
+		m.failf(pos, "builtin %q has no host implementation", name)
+	}
+	m.builtinSlots[slot] = impl
+	return impl
+}

@@ -1,0 +1,75 @@
+package interp_test
+
+// BenchmarkDispatch measures the execution engines head-to-head over the
+// integration corpus: the AST-walking reference evaluator (per-node type
+// switches, per-execution identifier resolution) against the compiled
+// closure IR (everything static resolved at lowering time). Same
+// programs, same modes, same simulated-cycle counts — only the Go-level
+// dispatch cost differs.
+//
+//	go test ./internal/interp -bench Dispatch -benchmem
+
+import (
+	"testing"
+
+	"focc/internal/core"
+	"focc/internal/interp"
+	"focc/internal/libc"
+)
+
+var dispatchModes = []core.Mode{
+	core.Standard,
+	core.BoundsCheck,
+	core.FailureOblivious,
+}
+
+func benchEngine(b *testing.B, src string, compiled bool) {
+	for _, mode := range dispatchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			prog := compileWithCPP(b, src)
+			cfg := interp.Config{Mode: mode, Builtins: libc.Builtins()}
+			if compiled {
+				cfg.Compiled = interp.Compile(prog)
+			}
+			m, err := interp.New(prog, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res := m.Run(); res.Outcome != interp.OutcomeOK {
+				b.Fatalf("warm-up: %v (%v)", res.Outcome, res.Err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if res := m.Call("main"); res.Outcome != interp.OutcomeOK {
+					b.Fatalf("%v (%v)", res.Outcome, res.Err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDispatchTreeWalk(b *testing.B) {
+	for _, cp := range corpusSources() {
+		b.Run(cp.name, func(b *testing.B) { benchEngine(b, cp.src, false) })
+	}
+}
+
+func BenchmarkDispatchCompiled(b *testing.B) {
+	for _, cp := range corpusSources() {
+		b.Run(cp.name, func(b *testing.B) { benchEngine(b, cp.src, true) })
+	}
+}
+
+// BenchmarkCompileLowering measures the one-time lowering cost itself —
+// the price a Program pays once, amortized across every machine in a pool.
+func BenchmarkCompileLowering(b *testing.B) {
+	prog := compileWithCPP(b, srcBase64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if cp := interp.Compile(prog); cp == nil {
+			b.Fatal("nil compile")
+		}
+	}
+}

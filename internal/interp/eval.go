@@ -36,7 +36,10 @@ func (m *Machine) execBlock(b *ast.Block) ctrl {
 	for i < len(b.Stmts) {
 		c := m.execStmt(b.Stmts[i])
 		if c == ctrlGoto {
-			if idx, ok := findLabel(b.Stmts, m.gotoLabel); ok {
+			// Goto dispatch via the label table sema precomputed for this
+			// block (lookup on a nil map misses, propagating the goto to
+			// the enclosing block, like the statement scan it replaced).
+			if idx, ok := b.LabelIdx[m.gotoLabel]; ok {
 				i = idx
 				continue
 			}
@@ -48,20 +51,6 @@ func (m *Machine) execBlock(b *ast.Block) ctrl {
 		i++
 	}
 	return ctrlNone
-}
-
-// findLabel locates `label:` among the top-level statements of a block.
-func findLabel(stmts []ast.Stmt, label string) (int, bool) {
-	for i, s := range stmts {
-		l, ok := s.(*ast.Labeled)
-		for ok {
-			if l.Name == label {
-				return i, true
-			}
-			l, ok = l.Stmt.(*ast.Labeled)
-		}
-	}
-	return 0, false
 }
 
 func (m *Machine) execStmt(s ast.Stmt) ctrl {
@@ -158,12 +147,9 @@ func (m *Machine) execStmt(s ast.Stmt) ctrl {
 
 func (m *Machine) execSwitch(n *ast.Switch) ctrl {
 	cond := m.evalExpr(n.Cond)
-	start := n.DefaultIdx
-	for _, c := range n.Cases {
-		if c.Val == cond.I {
-			start = c.Idx
-			break
-		}
+	start, ok := n.CaseIdx[cond.I]
+	if !ok {
+		start = n.DefaultIdx
 	}
 	if start < 0 {
 		return ctrlNone
@@ -176,7 +162,7 @@ func (m *Machine) execSwitch(n *ast.Switch) ctrl {
 		case ctrlBreak:
 			return ctrlNone
 		case ctrlGoto:
-			if idx, ok := findLabel(stmts, m.gotoLabel); ok {
+			if idx, ok := n.Body.LabelIdx[m.gotoLabel]; ok {
 				i = idx
 				continue
 			}

@@ -556,7 +556,7 @@ int churn(void) {
 }
 
 // compileWithCPP builds a program from source that needs the preprocessor.
-func compileWithCPP(t *testing.T, src string) *sema.Program {
+func compileWithCPP(t testing.TB, src string) *sema.Program {
 	t.Helper()
 	prelude := "#ifndef _P\n#define _P\n#define NULL ((void*)0)\ntypedef unsigned long size_t;\n#endif\n"
 	lines, errs := cpp.Preprocess("t.c", src, cpp.Options{

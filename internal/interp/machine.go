@@ -153,6 +153,16 @@ type Config struct {
 	// store before (or instead of) the underlying policy. Production code
 	// leaves it nil, which costs nothing.
 	WrapAccessor func(core.Accessor) core.Accessor
+	// Compiled, when non-nil, is the program's lowered instruction IR
+	// (see Compile): the machine executes the pre-resolved closure tree
+	// instead of walking the AST. The IR is immutable and shared — one
+	// Compile result serves every machine of the program, concurrently.
+	// fo.Program attaches its program-level cached IR automatically.
+	Compiled *CompiledProgram
+	// TreeWalk forces the retained AST-walking reference engine even when
+	// Compiled is set. It exists for differential testing and engine
+	// benchmarks; production configurations leave it false.
+	TreeWalk bool
 }
 
 // DefaultMaxSteps is the per-call step budget used to detect hangs.
@@ -183,6 +193,15 @@ type Machine struct {
 
 	specCache map[*ast.FuncDecl]*frameSpec
 	hostState map[string]any
+
+	// cprog is the shared compiled instruction IR (nil: tree-walk). csite
+	// holds this machine's provenance-recovery caches for the IR's access
+	// sites (slice-indexed by compile-time site id — the compiled analogue
+	// of siteCache), and builtinSlots memoizes builtin resolution per
+	// compile-time call-site slot.
+	cprog        *CompiledProgram
+	csite        []mem.LookupCache
+	builtinSlots []BuiltinFunc
 
 	// luCache is the machine-wide monomorphic (last-unit) lookup cache,
 	// and siteCache holds one cache line per AST access site — both
@@ -262,6 +281,18 @@ func New(prog *sema.Program, cfg Config) (*Machine, error) {
 		builtins: cfg.Builtins,
 		maxSteps: maxSteps,
 		checked:  cfg.Mode != core.Standard,
+	}
+	if cfg.Compiled != nil && !cfg.TreeWalk {
+		if cfg.Compiled.prog != prog {
+			return nil, fmt.Errorf("compiled IR belongs to a different program")
+		}
+		m.cprog = cfg.Compiled
+		if n := cfg.Compiled.numSites; n > 0 {
+			m.csite = make([]mem.LookupCache, n)
+		}
+		if n := len(cfg.Compiled.builtinNames); n > 0 {
+			m.builtinSlots = make([]BuiltinFunc, n)
+		}
 	}
 	m.literals = make([]*mem.Unit, len(prog.Literals))
 	for i, s := range prog.Literals {
@@ -478,12 +509,22 @@ func (m *Machine) call(name string, args []Value) (res Result) {
 		res.Steps = m.steps
 	}()
 
+	hostPos := token.Pos{File: "<host>", Line: 1, Col: 1}
+	if m.cprog != nil {
+		cf, ok := m.cprog.byName[name]
+		if !ok {
+			return Result{Outcome: OutcomeRuntimeError,
+				Err: fmt.Errorf("no function %q in program", name)}
+		}
+		v := m.callCompiled(cf, args, hostPos)
+		return Result{Outcome: OutcomeOK, Value: v}
+	}
 	fd, ok := m.prog.FuncMap[name]
 	if !ok {
 		return Result{Outcome: OutcomeRuntimeError,
 			Err: fmt.Errorf("no function %q in program", name)}
 	}
-	v := m.callFunction(fd, args, token.Pos{File: "<host>", Line: 1, Col: 1})
+	v := m.callFunction(fd, args, hostPos)
 	return Result{Outcome: OutcomeOK, Value: v}
 }
 
@@ -603,12 +644,12 @@ type frameSpec struct {
 	locals []mem.LocalSpec
 }
 
-// frameSpec derives (and caches) the per-local data-unit layout of a
-// function's frame from its analyzed symbols.
-func (m *Machine) frameSpec(fd *ast.FuncDecl) *frameSpec {
-	if spec, ok := m.specCache[fd]; ok {
-		return spec
-	}
+// newFrameSpec derives the per-local data-unit layout of a function's frame
+// from its analyzed symbols. The result is immutable. Compile builds every
+// function's spec once at lowering time (the program-level cache shared by
+// all instances); the tree-walk reference engine keeps a per-machine lazy
+// cache via Machine.frameSpec.
+func newFrameSpec(fd *ast.FuncDecl) *frameSpec {
 	spec := &frameSpec{
 		canary: "canary:" + fd.Name,
 		locals: make([]mem.LocalSpec, 0, len(fd.Locals)),
@@ -622,6 +663,16 @@ func (m *Machine) frameSpec(fd *ast.FuncDecl) *frameSpec {
 			Name: sym.Name + " (" + fd.Name + ")", Off: sym.FrameOff, Size: size,
 		})
 	}
+	return spec
+}
+
+// frameSpec caches newFrameSpec per machine (tree-walk engine only; the
+// compiled engine reads the program-level specs built at lowering time).
+func (m *Machine) frameSpec(fd *ast.FuncDecl) *frameSpec {
+	if spec, ok := m.specCache[fd]; ok {
+		return spec
+	}
+	spec := newFrameSpec(fd)
 	if m.specCache == nil {
 		m.specCache = map[*ast.FuncDecl]*frameSpec{}
 	}

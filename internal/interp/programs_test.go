@@ -11,31 +11,72 @@ import (
 // Integration-scale C programs executed under BoundsCheck (every access
 // checked, so any interpreter or libc slip is loud) and under
 // FailureOblivious (which must behave identically on memory-error-free
-// programs — the paper's baseline sanity requirement).
+// programs — the paper's baseline sanity requirement). Each program runs
+// on both execution engines: the AST-walking reference evaluator and the
+// compiled closure IR; compile_diff_test.go additionally asserts the two
+// engines agree on every observable, per mode.
 
+// corpusProgram is one corpus entry, shared by the integration tests, the
+// engine differential tests, and the dispatch benchmarks.
+type corpusProgram struct {
+	name string
+	src  string
+	want int64
+}
+
+func corpusSources() []corpusProgram {
+	return []corpusProgram{
+		{name: "LinkedList", want: 55, src: srcLinkedList},
+		{name: "HashTable", want: 1, src: srcHashTable},
+		{name: "Quicksort", want: 1, src: srcQuicksort},
+		{name: "Tokenizer", want: 0, src: srcTokenizer},
+		{name: "MatrixMultiply", want: 112, src: srcMatrixMultiply},
+		{name: "StringRotate", want: 1, src: srcStringRotate},
+		{name: "BitTricks", want: 0, src: srcBitTricks},
+		{name: "Base64", want: 0, src: srcBase64},
+		{name: "Sieve", want: 168, src: srcSieve},
+	}
+}
+
+// runBoth executes src under the checked and unchecked modes, on both
+// execution engines, asserting a clean run and the expected main() result
+// everywhere.
 func runBoth(t *testing.T, src string, want int64) {
 	t.Helper()
 	for _, mode := range []core.Mode{core.BoundsCheck, core.FailureOblivious, core.Standard} {
-		prog := compileWithCPP(t, src)
-		m, err := interp.New(prog, interp.Config{Mode: mode, Builtins: libc.Builtins()})
-		if err != nil {
-			t.Fatal(err)
-		}
-		res := m.Run()
-		if res.Outcome != interp.OutcomeOK {
-			t.Fatalf("%v: outcome = %v (%v)", mode, res.Outcome, res.Err)
-		}
-		if res.Value.I != want {
-			t.Fatalf("%v: main() = %d, want %d", mode, res.Value.I, want)
-		}
-		if mode != core.Standard && m.Log().Total() != 0 {
-			t.Errorf("%v: clean program logged %d memory errors", mode, m.Log().Total())
+		for _, engine := range []string{"tree-walk", "compiled"} {
+			prog := compileWithCPP(t, src)
+			cfg := interp.Config{Mode: mode, Builtins: libc.Builtins()}
+			if engine == "compiled" {
+				cfg.Compiled = interp.Compile(prog)
+			}
+			m, err := interp.New(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run()
+			if res.Outcome != interp.OutcomeOK {
+				t.Fatalf("%v/%s: outcome = %v (%v)", mode, engine, res.Outcome, res.Err)
+			}
+			if res.Value.I != want {
+				t.Fatalf("%v/%s: main() = %d, want %d", mode, engine, res.Value.I, want)
+			}
+			if mode != core.Standard && m.Log().Total() != 0 {
+				t.Errorf("%v/%s: clean program logged %d memory errors", mode, engine, m.Log().Total())
+			}
 		}
 	}
 }
 
-func TestProgramLinkedList(t *testing.T) {
-	runBoth(t, `
+func TestCorpusPrograms(t *testing.T) {
+	for _, cp := range corpusSources() {
+		t.Run(cp.name, func(t *testing.T) {
+			runBoth(t, cp.src, cp.want)
+		})
+	}
+}
+
+const srcLinkedList = `
 #include <stdlib.h>
 
 struct node {
@@ -91,11 +132,9 @@ int main(void) {
 	}
 	destroy(list);
 	return sum;                      /* 55 */
-}`, 55)
-}
+}`
 
-func TestProgramHashTable(t *testing.T) {
-	runBoth(t, `
+const srcHashTable = `
 #include <stdlib.h>
 #include <string.h>
 
@@ -166,11 +205,9 @@ int main(void) {
 	/* sum = sum(3i, i=0..99) - sum(3i, i mult of 10) + sum(1000+i, i mult of 10)
 	       = 14850 - 1350 + 10450 = 23950 */
 	return sum == 23950 ? 1 : 0;
-}`, 1)
-}
+}`
 
-func TestProgramQuicksort(t *testing.T) {
-	runBoth(t, `
+const srcQuicksort = `
 static void quicksort(int *a, int lo, int hi) {
 	int pivot, i, j, tmp;
 	if (lo >= hi)
@@ -203,11 +240,9 @@ int main(void) {
 		if (data[i - 1] > data[i])
 			return 0;
 	return 1;
-}`, 1)
-}
+}`
 
-func TestProgramTokenizer(t *testing.T) {
-	runBoth(t, `
+const srcTokenizer = `
 #include <string.h>
 #include <ctype.h>
 
@@ -287,11 +322,9 @@ int main(void) {
 	if (eval("2 * (3 + 4) - 5") != 9) return 4;
 	if (eval("((((42))))") != 42) return 5;
 	return 0;
-}`, 0)
-}
+}`
 
-func TestProgramMatrixMultiply(t *testing.T) {
-	runBoth(t, `
+const srcMatrixMultiply = `
 #define N 8
 int a[N][N], b[N][N], c[N][N];
 int main(void) {
@@ -312,11 +345,9 @@ int main(void) {
 	for (i = 0; i < N; i++)
 		trace += c[i][i];
 	return trace; /* 4 * 28 = 112 */
-}`, 112)
-}
+}`
 
-func TestProgramStringRotateInPlace(t *testing.T) {
-	runBoth(t, `
+const srcStringRotate = `
 #include <string.h>
 char buf[32] = "abcdefgh";
 static void reverse_range(char *s, int lo, int hi) {
@@ -335,11 +366,9 @@ int main(void) {
 	reverse_range(buf, 3, n - 1);
 	reverse_range(buf, 0, n - 1);
 	return strcmp(buf, "defghabc") == 0;
-}`, 1)
-}
+}`
 
-func TestProgramBitTricks(t *testing.T) {
-	runBoth(t, `
+const srcBitTricks = `
 static int popcount(unsigned int v) {
 	int c = 0;
 	while (v) {
@@ -355,13 +384,11 @@ int main(void) {
 	if (popcount(0x80000001u) != 2) return 3;
 	if (parity(7) != 1 || parity(3) != 0) return 4;
 	return 0;
-}`, 0)
-}
+}`
 
-func TestProgramBase64(t *testing.T) {
-	// Round-trip base64 encoder/decoder — the same flavour of
-	// bit-twiddling as Mutt's Figure 1 conversion.
-	runBoth(t, `
+// srcBase64 round-trips a base64 encoder/decoder — the same flavour of
+// bit-twiddling as Mutt's Figure 1 conversion.
+const srcBase64 = `
 #include <string.h>
 
 static const char *alphabet =
@@ -440,11 +467,9 @@ int main(void) {
 	b64_decode(enc, dec);
 	if (strcmp(dec, "ab") != 0) return 7;
 	return 0;
-}`, 0)
-}
+}`
 
-func TestProgramSieve(t *testing.T) {
-	runBoth(t, `
+const srcSieve = `
 #include <string.h>
 char composite[1000];
 int main(void) {
@@ -458,5 +483,4 @@ int main(void) {
 			composite[j] = 1;
 	}
 	return count; /* 168 primes below 1000 */
-}`, 168)
-}
+}`

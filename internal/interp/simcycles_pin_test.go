@@ -72,7 +72,9 @@ type pinCall struct {
 
 // goldenCycles holds the pinned per-mode cycle counts for the fixed call
 // sequence below. Captured from the pre-fast-path implementation; the fast
-// path must reproduce them exactly.
+// path — and the compiled closure-IR engine, which must charge cycles at
+// exactly the same decision points as the tree-walk reference — must
+// reproduce them exactly.
 var goldenCycles = map[fo.Mode]uint64{
 	fo.Standard:         1506,
 	fo.BoundsCheck:      9934,
@@ -82,6 +84,14 @@ var goldenCycles = map[fo.Mode]uint64{
 }
 
 func TestSimCyclesPinned(t *testing.T) {
+	for _, engine := range []string{"compiled", "tree-walk"} {
+		t.Run(engine, func(t *testing.T) {
+			testSimCyclesPinned(t, engine == "tree-walk")
+		})
+	}
+}
+
+func testSimCyclesPinned(t *testing.T, treeWalk bool) {
 	prog, err := fo.Compile("pin.c", pinSrc)
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +105,7 @@ func TestSimCyclesPinned(t *testing.T) {
 	}
 	for mode, want := range goldenCycles {
 		t.Run(mode.String(), func(t *testing.T) {
-			m, err := prog.NewMachine(fo.MachineConfig{Mode: mode})
+			m, err := prog.NewMachine(fo.MachineConfig{Mode: mode, TreeWalk: treeWalk})
 			if err != nil {
 				t.Fatal(err)
 			}

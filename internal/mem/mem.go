@@ -419,6 +419,14 @@ func (f *Frame) Local(off uint64) *Unit {
 	return nil
 }
 
+// LocalAt returns the data unit at index i of the frame's registration
+// order, which is the REVERSE of the PushFrame spec order (locals are
+// registered top-down so the unit table stays sorted). Compiled code that
+// resolved a local's spec index at lowering time uses
+// LocalAt(len(spec)-1-specIdx) for O(1) access instead of Local's offset
+// scan.
+func (f *Frame) LocalAt(i int) *Unit { return f.locals[i] }
+
 // PushFrame allocates a stack frame of the given size with a canary guard
 // between it and the caller's frame, and one data unit per local. fnName
 // labels the guard unit verbatim, and LocalSpec names are used verbatim,

@@ -17,6 +17,12 @@
 // BoundsCheck versions under attack — with capped exponential backoff
 // between consecutive crashes, and a circuit breaker that parks a
 // crash-looping worker for a cooldown instead of hot-restarting forever.
+//
+// Instance creation — initial pool fill, warm spares, and every restart —
+// goes through the server factory to fo.Program.NewMachine, which reuses
+// the program's cached closure-compiled IR (DESIGN.md §13). Restart cost
+// is therefore machine/address-space setup only; no path in the engine
+// re-lowers the program.
 package serve
 
 import (

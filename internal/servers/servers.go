@@ -4,6 +4,12 @@
 // vulnerable request-processing code — written in the focc C dialect, with
 // the authentic bug mechanism — once, and creates per-mode instances
 // ("processes") from it.
+//
+// "Once" includes the execution IR: instances are created through
+// fo.Program.NewMachine, so every instance of a server shares the
+// program's cached closure-compiled IR (fo.Program.Compiled, DESIGN.md
+// §13). Spawning an instance binds machine state to the shared immutable
+// IR; it never re-lowers the AST.
 package servers
 
 import (
