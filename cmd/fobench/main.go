@@ -3,7 +3,7 @@
 // Experiments (this block is rendered from the experiments table below and
 // also printed by "fobench -experiment list"; a test keeps them in sync):
 //
-//	fobench -experiment all          # every experiment below except campaign
+//	fobench -experiment all          # every experiment below except campaign and cluster
 //	fobench -experiment fig2         # Pine request times (Figure 2)
 //	fobench -experiment fig3         # Apache request times (Figure 3)
 //	fobench -experiment fig4         # Sendmail request times (Figure 4)
@@ -18,6 +18,7 @@
 //	fobench -experiment propagation  # error propagation distance (§1.2)
 //	fobench -experiment ablation     # manufactured-value sequence (§3)
 //	fobench -experiment campaign     # seeded fault-injection campaign (internal/inject)
+//	fobench -experiment cluster      # sharded router goodput under open-loop overload
 //	fobench -experiment list         # print this experiment table
 //
 // Absolute times are from the Go interpreter, not the paper's 2004 testbed;
@@ -34,13 +35,20 @@ import (
 	"focc/fo"
 	"focc/internal/harness"
 	"focc/internal/inject"
+	"focc/internal/serve"
 	"focc/internal/servers"
-	"focc/internal/servers/apache"
-	"focc/internal/servers/mc"
-	"focc/internal/servers/mutt"
-	"focc/internal/servers/pine"
-	"focc/internal/servers/sendmail"
+	"focc/internal/servers/registry"
 )
+
+// mustServer builds a registered server by name; the names used here are
+// registry constants, so failure is a programming error.
+func mustServer(name string) servers.Server {
+	srv, err := registry.New(name)
+	if err != nil {
+		panic(err)
+	}
+	return srv
+}
 
 // experiments is the single source of truth for the -experiment selector:
 // "fobench -experiment list" prints it, and the package doc comment above
@@ -50,7 +58,7 @@ var experiments = []struct {
 	id   string
 	desc string
 }{
-	{"all", "every experiment below except campaign"},
+	{"all", "every experiment below except campaign and cluster"},
 	{"fig2", "Pine request times (Figure 2)"},
 	{"fig3", "Apache request times (Figure 3)"},
 	{"fig4", "Sendmail request times (Figure 4)"},
@@ -65,6 +73,7 @@ var experiments = []struct {
 	{"propagation", "error propagation distance (§1.2)"},
 	{"ablation", "manufactured-value sequence (§3)"},
 	{"campaign", "seeded fault-injection campaign (internal/inject)"},
+	{"cluster", "sharded router goodput under open-loop overload"},
 	{"list", "print this experiment table"},
 }
 
@@ -86,6 +95,13 @@ type campaignOpts struct {
 	servers string // comma-separated subset ("" = all five)
 }
 
+// clusterOpts carries the cluster experiment's flags.
+type clusterOpts struct {
+	seed     int64
+	duration time.Duration // open-loop generation time per cell
+	out      string        // write the JSON report here ("" = table only)
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run (see -experiment list)")
 	reps := flag.Int("reps", harness.DefaultReps, "repetitions per request")
@@ -101,6 +117,8 @@ func main() {
 	faults := flag.Int("faults", 40, "campaign: fault points sampled per server")
 	campaignOut := flag.String("campaign-out", "", "campaign: write the JSON report to this file")
 	campaignServers := flag.String("campaign-servers", "", "campaign: comma-separated server subset (default all five)")
+	clusterOut := flag.String("cluster-out", "", "cluster: write the JSON report to this file")
+	clusterDur := flag.Duration("cluster-duration", time.Second, "cluster: open-loop generation time per cell")
 	flag.Parse()
 	clock := harness.SimClock
 	if *wall {
@@ -116,25 +134,95 @@ func main() {
 		Seed:            *seed,
 	}
 	co := campaignOpts{seed: *seed, faults: *faults, out: *campaignOut, servers: *campaignServers}
-	if err := dispatch(*experiment, *reps, *soakN, clock, cfg, co); err != nil {
+	cl := clusterOpts{seed: *seed, duration: *clusterDur, out: *clusterOut}
+	if err := dispatch(*experiment, *reps, *soakN, clock, cfg, co, cl); err != nil {
 		fmt.Fprintln(os.Stderr, "fobench:", err)
 		os.Exit(1)
 	}
 }
 
-// dispatch routes the experiment selector: the table-printing and campaign
-// experiments are handled here, everything else by runClock ("all" runs the
-// runClock set — the campaign is opt-in because it is the expensive one).
+// dispatch routes the experiment selector: the table-printing, campaign,
+// and cluster experiments are handled here, everything else by runClock
+// ("all" runs the runClock set — campaign and cluster are opt-in because
+// they are the expensive ones).
 func dispatch(experiment string, reps, soakN int, clock harness.Clock,
-	loadCfg harness.LoadtestConfig, co campaignOpts) error {
+	loadCfg harness.LoadtestConfig, co campaignOpts, cl clusterOpts) error {
 	switch experiment {
 	case "list":
 		fmt.Print(experimentTable())
 		return nil
 	case "campaign":
 		return runCampaign(co)
+	case "cluster":
+		return runCluster(cl)
 	}
 	return runClock(experiment, reps, soakN, clock, loadCfg)
+}
+
+// runCluster calibrates the fleet's 1× capacity with a closed-loop burst,
+// then drives the sharded router open loop at 1×/2×/4× offered load, with
+// and without chaos injection, and prints the goodput-under-overload
+// table. Failure-oblivious is the mode under test; Standard at 1× rides
+// along as the contrast row (its pool burns capacity on restarts).
+func runCluster(o clusterOpts) error {
+	srv := mustServer("apache")
+	base := harness.ClusterConfig{
+		Shards:    2,
+		PoolSize:  2,
+		Tenants:   8,
+		Quota:     4,
+		SLO:       50 * time.Millisecond,
+		TargetP95: 25 * time.Millisecond,
+		Duration:  o.duration,
+		Seed:      o.seed,
+	}
+	capacity, err := harness.ClusterCapacity(srv, fo.FailureOblivious, base)
+	if err != nil {
+		return fmt.Errorf("cluster calibration: %w", err)
+	}
+	rep := &harness.ClusterReport{
+		Server:   srv.Name(),
+		Capacity: capacity,
+		SLOms:    float64(base.SLO) / float64(time.Millisecond),
+	}
+	run := func(mode fo.Mode, mult float64, chaos bool) error {
+		cfg := base
+		cfg.Rate = mult * capacity
+		if chaos {
+			cfg.Chaos = serve.ChaosConfig{KillEvery: 50}
+		}
+		res, err := harness.ClusterRun(srv, mode, cfg)
+		if err != nil {
+			return fmt.Errorf("cluster %v %.0fx chaos=%v: %w", mode, mult, chaos, err)
+		}
+		res.Load = mult
+		rep.Cells = append(rep.Cells, res)
+		return nil
+	}
+	fmt.Println("Sharded router under open-loop Poisson overload (goodput = OK responses within SLO)")
+	for _, mult := range []float64{1, 2, 4} {
+		for _, chaos := range []bool{false, true} {
+			if err := run(fo.FailureOblivious, mult, chaos); err != nil {
+				return err
+			}
+		}
+	}
+	if err := run(fo.Standard, 1, false); err != nil {
+		return err
+	}
+	fmt.Print(harness.FormatCluster(rep))
+	fmt.Println()
+	if o.out != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		if err := os.WriteFile(o.out, data, 0o644); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		fmt.Printf("cluster: JSON report written to %s\n", o.out)
+	}
+	return nil
 }
 
 // runCampaign builds a plan from the flags, runs the fault-injection
@@ -166,14 +254,10 @@ func runCampaign(o campaignOpts) error {
 	return nil
 }
 
+// allServers returns fresh instances of every registered server, in paper
+// order (the registry is the single source of truth for the server set).
 func allServers() []servers.Server {
-	return []servers.Server{
-		pine.NewServer(),
-		apache.NewServer(),
-		sendmail.NewServer(),
-		mc.NewServer(),
-		mutt.NewServer(),
-	}
+	return registry.All()
 }
 
 func run(experiment string, reps, soakN int) error {
@@ -190,15 +274,15 @@ func runClock(experiment string, reps, soakN int, clock harness.Clock, loadCfg h
 	}
 	figures := []fig{
 		{"fig2", "Figure 2: Request Processing Times for Pine (ms)",
-			pine.NewServer(), []string{"Read", "Compose", "Move"}},
+			mustServer("pine"), []string{"Read", "Compose", "Move"}},
 		{"fig3", "Figure 3: Request Processing Times for Apache (ms)",
-			apache.NewServer(), []string{"Small", "Large"}},
+			mustServer("apache"), []string{"Small", "Large"}},
 		{"fig4", "Figure 4: Request Processing Times for Sendmail (ms)",
-			sendmail.NewServer(), []string{"Recv Small", "Recv Large", "Send Small", "Send Large"}},
+			mustServer("sendmail"), []string{"Recv Small", "Recv Large", "Send Small", "Send Large"}},
 		{"fig5", "Figure 5: Request Processing Times for Midnight Commander (ms)",
-			mc.NewServer(), []string{"Copy", "Move", "MkDir", "Delete"}},
+			mustServer("mc"), []string{"Copy", "Move", "MkDir", "Delete"}},
 		{"fig6", "Figure 6: Request Processing Times for Mutt (ms)",
-			mutt.NewServer(), []string{"Read", "Move"}},
+			mustServer("mutt"), []string{"Read", "Move"}},
 	}
 	ran := false
 	for _, f := range figures {
@@ -219,7 +303,7 @@ func runClock(experiment string, reps, soakN int, clock harness.Clock, loadCfg h
 		fmt.Println("Apache throughput under attack (paper §4.3.2; FO reported ~5.7x Bounds, ~4.8x Standard)")
 		var rows []harness.ThroughputResult
 		for _, mode := range harness.Modes {
-			r, err := harness.AttackThroughput(apache.NewServer(), mode, 4, 50, 3)
+			r, err := harness.AttackThroughput(mustServer("apache"), mode, 4, 50, 3)
 			if err != nil {
 				return fmt.Errorf("throughput %v: %w", mode, err)
 			}
@@ -233,7 +317,7 @@ func runClock(experiment string, reps, soakN int, clock harness.Clock, loadCfg h
 		fmt.Println("Concurrent Apache throughput under attack (serve.Engine pool; paper §4.3.2 under concurrent load)")
 		var rows []harness.LoadtestResult
 		for _, mode := range harness.Modes {
-			r, err := harness.Loadtest(apache.NewServer(), mode, loadCfg)
+			r, err := harness.Loadtest(mustServer("apache"), mode, loadCfg)
 			if err != nil {
 				return fmt.Errorf("loadtest %v: %w", mode, err)
 			}
@@ -295,13 +379,11 @@ func runClock(experiment string, reps, soakN int, clock harness.Clock, loadCfg h
 		ran = true
 		fmt.Println("Error propagation distance (paper §1.2: attacked vs clean twin, responses compared)")
 		var rows []harness.PropagationResult
-		for _, mk := range []func() servers.Server{
-			func() servers.Server { return pine.NewServer() },
-			func() servers.Server { return apache.NewServer() },
-			func() servers.Server { return sendmail.NewServer() },
-			func() servers.Server { return mc.NewServer() },
-			func() servers.Server { return mutt.NewServer() },
-		} {
+		for _, name := range registry.Names() {
+			mk, err := registry.Factory(name)
+			if err != nil {
+				return fmt.Errorf("propagation: %w", err)
+			}
 			r, err := harness.ErrorPropagation(mk, 12)
 			if err != nil {
 				return fmt.Errorf("propagation: %w", err)

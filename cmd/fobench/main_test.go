@@ -70,7 +70,7 @@ func TestUsageDocMatchesExperimentTable(t *testing.T) {
 }
 
 func TestListExperiment(t *testing.T) {
-	if err := dispatch("list", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}); err != nil {
+	if err := dispatch("list", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}, clusterOpts{}); err != nil {
 		t.Errorf("list: %v", err)
 	}
 	table := experimentTable()
@@ -81,13 +81,33 @@ func TestListExperiment(t *testing.T) {
 	}
 }
 
+func TestClusterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster")
+	}
+	out := filepath.Join(t.TempDir(), "cluster.json")
+	cl := clusterOpts{seed: 7, duration: 150 * time.Millisecond, out: out}
+	if err := dispatch("cluster", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}, cl); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	for _, want := range []string{`"Server": "apache"`, `"Capacity"`, `"Goodput"`, `"failure-oblivious"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON report missing %q", want)
+		}
+	}
+}
+
 func TestCampaignExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign")
 	}
 	out := filepath.Join(t.TempDir(), "campaign.json")
 	co := campaignOpts{seed: 7, faults: 4, out: out, servers: "pine"}
-	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co); err != nil {
+	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, clusterOpts{}); err != nil {
 		t.Fatalf("campaign: %v", err)
 	}
 	data, err := os.ReadFile(out)

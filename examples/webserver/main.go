@@ -45,8 +45,14 @@ import (
 
 func main() {
 	// A pool of four failure-oblivious Apache children behind a bounded
-	// queue with a per-request deadline — the §4.3.2 serving setup.
-	eng, err := srv.NewEngine(srv.NewApacheServer(), fo.FailureOblivious,
+	// queue with a per-request deadline — the §4.3.2 serving setup. The
+	// server model comes from the name-keyed registry (srv.Names() lists
+	// all five).
+	apache, err := srv.New("apache")
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := srv.NewEngine(apache, fo.FailureOblivious,
 		srv.WithPoolSize(4),
 		srv.WithQueueDepth(64),
 		srv.WithDeadline(2*time.Second))

@@ -1,0 +1,194 @@
+package srv_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden API surface files")
+
+// TestPublicAPISurface pins the exported surface of the two public
+// packages — fo and fo/srv — against golden files. Any addition, removal,
+// or signature change to the public API shows up as a readable diff here
+// and must be committed deliberately (regenerate with `go test ./fo/srv
+// -run TestPublicAPISurface -update`).
+func TestPublicAPISurface(t *testing.T) {
+	for _, pkg := range []struct {
+		name, dir, golden string
+	}{
+		{"fo", "..", filepath.Join("testdata", "api-fo.golden")},
+		{"fo/srv", ".", filepath.Join("testdata", "api-srv.golden")},
+	} {
+		t.Run(strings.ReplaceAll(pkg.name, "/", "_"), func(t *testing.T) {
+			got, err := apiSurface(pkg.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(pkg.golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(pkg.golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(pkg.golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the golden file)", err)
+			}
+			if got != string(want) {
+				t.Errorf("public API surface of %s changed (run with -update if intended):\n%s",
+					pkg.name, surfaceDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// apiSurface renders the exported declarations of the package in dir as a
+// sorted, deterministic listing: one entry per exported func/method/type/
+// const/var, printed without bodies or comments.
+func apiSurface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	var entries []string
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", err
+		}
+		for _, decl := range f.Decls {
+			entries = append(entries, exportedDecls(fset, decl)...)
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n") + "\n", nil
+}
+
+// exportedDecls renders decl's exported parts, dropping unexported
+// declarations, function bodies, and comments.
+func exportedDecls(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		fn := *d
+		fn.Doc = nil
+		fn.Body = nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				out = append(out, "type "+render(fset, &ts))
+			case *ast.ValueSpec:
+				if !anyExported(s.Names) {
+					continue
+				}
+				vs := *s
+				vs.Doc, vs.Comment = nil, nil
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				out = append(out, kw+" "+render(fset, &vs))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not public API).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver
+			t = rt.X
+		case *ast.Ident:
+			return rt.IsExported()
+		default:
+			return true // unrecognized shape: keep it visible
+		}
+	}
+}
+
+func anyExported(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	// Struct/interface types span lines; collapse runs of whitespace so
+	// the listing stays one-entry-per-line and diffs stay readable.
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// surfaceDiff is a minimal line diff: lines only in want are prefixed "-",
+// lines only in got "+".
+func surfaceDiff(want, got string) string {
+	wantSet := toSet(want)
+	gotSet := toSet(got)
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+func toSet(s string) map[string]bool {
+	m := make(map[string]bool)
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			m[l] = true
+		}
+	}
+	return m
+}

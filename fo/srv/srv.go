@@ -1,22 +1,36 @@
 // Package srv is the public serving API: it re-exports the server
-// request/response model, the five server reproductions from the paper's
-// evaluation, and the concurrent serving engine, so external code can drive
-// them without importing focc's internal packages.
+// request/response model, the name-keyed registry of the five server
+// reproductions from the paper's evaluation, and the serving engines — the
+// single-pool Engine and the sharded multi-tenant Router — so external code
+// can drive them without importing focc's internal packages.
 //
-// Quickstart — a failure-oblivious Apache pool behind a bounded queue:
+// Quickstart — a failure-oblivious server pool behind a bounded queue:
 //
-//	eng, err := srv.NewEngine(srv.NewApacheServer(), fo.FailureOblivious,
+//	server, err := srv.New("apache") // srv.Names() lists all models
+//	eng, err := srv.NewEngine(server, fo.FailureOblivious,
 //		srv.WithPoolSize(4),
 //		srv.WithQueueDepth(64),
 //		srv.WithDeadline(time.Second))
 //	defer eng.Close()
 //	resp, err := eng.Submit(ctx, srv.Request{Op: "GET", Arg: "/index.html"})
 //
+// Cluster-scale serving — shard by tenant, shed doomed work, adapt
+// concurrency to observed latency, hot-swap programs with zero downtime:
+//
+//	rt, err := srv.NewRouter(server, fo.FailureOblivious,
+//		srv.WithShards(4),
+//		srv.WithTenantQuota(32),
+//		srv.WithAIMD(srv.AIMDConfig{TargetP95: 20 * time.Millisecond}))
+//	defer rt.Close()
+//	resp, err := rt.Submit(ctx, "tenant-a", req)
+//	prev := rt.Swap(nextServer) // zero failed requests during the swap
+//
 // Observability: eng.Stats() aggregates the memory-error telemetry of every
 // instance the engine has owned, eng.Metrics() adds a live latency
-// histogram, responses carry per-request event attribution in MemErrors,
-// and MetricsHandler / ExpvarPublish export it all over HTTP (see
-// metrics.go and examples/webserver).
+// histogram, rt.Stats() adds per-shard and per-tenant breakdowns, responses
+// carry per-request event attribution in MemErrors, and MetricsHandler /
+// ExpvarPublish export it all over HTTP (see metrics.go and
+// examples/webserver).
 package srv
 
 import (
@@ -26,11 +40,7 @@ import (
 	"focc/fo"
 	"focc/internal/serve"
 	"focc/internal/servers"
-	"focc/internal/servers/apache"
-	"focc/internal/servers/mc"
-	"focc/internal/servers/mutt"
-	"focc/internal/servers/pine"
-	"focc/internal/servers/sendmail"
+	"focc/internal/servers/registry"
 )
 
 // Re-exported server model types; see internal/servers for details.
@@ -47,37 +57,61 @@ type (
 	Server = servers.Server
 )
 
-// The five server reproductions from the paper's evaluation (§4.2–§4.6).
+// The server registry: the five reproductions from the paper's evaluation
+// (§4.2–§4.6), keyed by name. Names returns the catalog, New instantiates
+// by name — the registry is the supported way to enumerate or select
+// models, replacing the per-server constructors below.
+
+// Names returns the registered server model names in the paper's
+// presentation order: "pine", "apache", "sendmail", "mc", "mutt".
+func Names() []string { return registry.Names() }
+
+// New returns a fresh server model by registry name, or a descriptive
+// error listing the valid names.
+func New(name string) (Server, error) { return registry.New(name) }
+
+// Servers returns fresh instances of all registered server models, in
+// Names() order.
+func Servers() []Server { return registry.All() }
 
 // NewPineServer returns the Pine 4.44 model (qmail-style From-quoting
 // overflow, §4.2).
-func NewPineServer() Server { return pine.NewServer() }
+//
+// Deprecated: use New("pine").
+func NewPineServer() Server { return mustNew("pine") }
 
 // NewApacheServer returns the Apache 2.0.47 model (mod_rewrite capture
 // overflow, §4.3).
-func NewApacheServer() Server { return apache.NewServer() }
+//
+// Deprecated: use New("apache").
+func NewApacheServer() Server { return mustNew("apache") }
 
 // NewSendmailServer returns the Sendmail 8.11.6 model (address-parsing
 // overflow, §4.4).
-func NewSendmailServer() Server { return sendmail.NewServer() }
+//
+// Deprecated: use New("sendmail").
+func NewSendmailServer() Server { return mustNew("sendmail") }
 
 // NewMCServer returns the Midnight Commander 4.5.55 model (symlink-name
 // overflow, §4.5).
-func NewMCServer() Server { return mc.NewServer() }
+//
+// Deprecated: use New("mc").
+func NewMCServer() Server { return mustNew("mc") }
 
 // NewMuttServer returns the Mutt 1.4 model (UTF-8 conversion overflow,
 // §4.6).
-func NewMuttServer() Server { return mutt.NewServer() }
+//
+// Deprecated: use New("mutt").
+func NewMuttServer() Server { return mustNew("mutt") }
 
-// Servers returns fresh instances of all five server models.
-func Servers() []Server {
-	return []Server{
-		NewPineServer(),
-		NewApacheServer(),
-		NewSendmailServer(),
-		NewMCServer(),
-		NewMuttServer(),
+// mustNew backs the deprecated constructors: their names are registry
+// constants, so a lookup failure is a bug, not an input error.
+func mustNew(name string) Server {
+	s, err := registry.New(name)
+	if err != nil {
+		panic(err)
 	}
+	return s
 }
 
 // Re-exported serving-engine types; see internal/serve for details.
@@ -91,22 +125,67 @@ type (
 	Stats = serve.Stats
 	// ChaosConfig configures deterministic chaos injection (WithChaos).
 	ChaosConfig = serve.ChaosConfig
+	// ShedConfig configures the deadline-aware shedding queue
+	// (WithShedding / WithShardShedding).
+	ShedConfig = serve.ShedConfig
 )
 
-// Errors returned by Engine.Submit.
+// Re-exported router types; see internal/serve/router.go for details.
+type (
+	// Router consistent-hashes requests by tenant key across a fleet of
+	// Engine shards, with per-tenant quotas, an adaptive concurrency
+	// limit, and zero-downtime program hot-swap.
+	Router = serve.Router
+	// RouterOption configures a Router.
+	RouterOption = serve.RouterOption
+	// RouterStats is a snapshot of a Router and its shard fleet.
+	RouterStats = serve.RouterStats
+	// TenantStats is one tenant's admission accounting.
+	TenantStats = serve.TenantStats
+	// AIMDConfig configures the router's adaptive concurrency limit
+	// (WithAIMD).
+	AIMDConfig = serve.AIMDConfig
+	// SwapServer is an atomically swappable Server — the factory half of
+	// zero-downtime hot-swap (Router manages one internally; use directly
+	// with Engine.Recycle for single-pool swaps).
+	SwapServer = serve.SwapServer
+)
+
+// Errors returned by Engine.Submit and Router.Submit.
 var (
 	// ErrQueueFull is the backpressure rejection of a full admission queue.
 	ErrQueueFull = serve.ErrQueueFull
+	// ErrShed reports an admitted request dropped by the shedding queue
+	// because its deadline became unmeetable under overload.
+	ErrShed = serve.ErrShed
+	// ErrOverQuota rejects a request whose tenant has its full admission
+	// quota in flight.
+	ErrOverQuota = serve.ErrOverQuota
+	// ErrOverLimit rejects a request arriving while the adaptive
+	// concurrency limit is saturated.
+	ErrOverLimit = serve.ErrOverLimit
 	// ErrClosed reports a Submit on a closed engine.
 	ErrClosed = serve.ErrClosed
 )
 
 // NewEngine starts a serving engine: a pool of srv instances under mode,
 // supervised with restart-on-crash, capped exponential backoff, and a
-// restart-storm circuit breaker.
+// restart-storm circuit breaker. Invalid option combinations are rejected
+// with descriptive errors.
 func NewEngine(srv Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 	return serve.New(srv, mode, opts...)
 }
+
+// NewRouter starts a sharded serving front end over srv: requests are
+// consistent-hashed by tenant key across WithShards engine shards, each
+// running the deadline-aware shedding queue. See Router.
+func NewRouter(srv Server, mode fo.Mode, opts ...RouterOption) (*Router, error) {
+	return serve.NewRouter(srv, mode, opts...)
+}
+
+// NewSwapServer wraps srv so the served program can be atomically replaced
+// later (SwapServer.Swap + Engine.Recycle).
+func NewSwapServer(srv Server) *SwapServer { return serve.NewSwapServer(srv) }
 
 // WithPoolSize sets the number of worker instances.
 func WithPoolSize(n int) Option { return serve.WithPoolSize(n) }
@@ -130,6 +209,12 @@ func WithBreaker(consecutive int, cooldown time.Duration) Option {
 // serving path (Apache-style pre-forking).
 func WithWarmSpares(n int) Option { return serve.WithWarmSpares(n) }
 
+// WithShedding replaces the engine's plain bounded queue with the
+// CoDel-style deadline-aware shedding queue: requests whose deadline has
+// become unmeetable are dropped from the front with ErrShed so viable
+// requests keep flowing.
+func WithShedding(c ShedConfig) Option { return serve.WithShedding(c) }
+
 // WithChaos enables deterministic process-level chaos injection on the
 // engine: every KillEvery-th executed request kills its serving instance
 // after responding (the supervisor replaces it), and every LatencyEvery-th
@@ -138,6 +223,24 @@ func WithWarmSpares(n int) Option { return serve.WithWarmSpares(n) }
 // see the fault-injection campaign (internal/inject, `fobench -experiment
 // campaign`) for seeded plans built on top of it.
 func WithChaos(c ChaosConfig) Option { return serve.WithChaos(c) }
+
+// WithShards sets the number of engine shards a Router hashes across.
+func WithShards(n int) RouterOption { return serve.WithShards(n) }
+
+// WithTenantQuota caps each tenant's in-flight requests, so one flooding
+// tenant cannot starve the rest (0 = unlimited).
+func WithTenantQuota(n int) RouterOption { return serve.WithTenantQuota(n) }
+
+// WithAIMD enables the router-wide adaptive concurrency limit.
+func WithAIMD(c AIMDConfig) RouterOption { return serve.WithAIMD(c) }
+
+// WithShardShedding overrides the shedding configuration applied to every
+// shard of a Router.
+func WithShardShedding(c ShedConfig) RouterOption { return serve.WithShardShedding(c) }
+
+// WithShardOptions appends Engine options applied to every shard of a
+// Router.
+func WithShardOptions(opts ...Option) RouterOption { return serve.WithShardOptions(opts...) }
 
 // Handle processes one request on inst with ctx bound for cancellation —
 // a convenience for driving a single instance without an Engine.

@@ -1,0 +1,288 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"focc/fo"
+	"focc/internal/serve"
+	"focc/internal/servers"
+)
+
+// ClusterConfig parameterizes the open-loop cluster experiment: a sharded
+// serve.Router driven by Poisson arrivals at a configured offered rate,
+// independent of completions — the arrival process does not slow down when
+// the cluster does, which is what makes overload visible (a closed-loop
+// generator like Loadtest self-throttles and can never offer 2×).
+type ClusterConfig struct {
+	// Shards is the router's shard count; 0 means 2.
+	Shards int
+	// PoolSize is each shard's worker count; 0 means 2.
+	PoolSize int
+	// QueueDepth bounds each shard's admission queue; 0 means 32.
+	QueueDepth int
+	// Tenants is the number of distinct tenant keys arrivals draw from;
+	// 0 means 8.
+	Tenants int
+	// Quota caps each tenant's in-flight requests (0 = no quotas).
+	Quota int
+	// SLO is the per-request deadline and the goodput threshold: a request
+	// answered OK within SLO counts toward goodput. 0 means 50ms.
+	SLO time.Duration
+	// TargetP95 enables the router's AIMD concurrency limit at this target
+	// (0 = AIMD off).
+	TargetP95 time.Duration
+	// Rate is the offered arrival rate in requests/second. Required.
+	Rate float64
+	// Duration is how long arrivals are generated; 0 means 1s.
+	Duration time.Duration
+	// Chaos is per-shard chaos injection (zero = none).
+	Chaos serve.ChaosConfig
+	// Seed drives the arrival process and tenant picks; 0 means 1.
+	Seed int64
+}
+
+func (c *ClusterConfig) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 8
+	}
+	if c.SLO <= 0 {
+		c.SLO = 50 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ClusterResult is one cell of the goodput-under-overload curve.
+type ClusterResult struct {
+	Mode  string
+	Chaos bool
+	// Load is the offered-load multiplier this cell was run at (informational).
+	Load float64
+	// Rate is the configured offered arrival rate (req/s).
+	Rate float64
+	// Offered counts generated arrivals; Served counts OK responses;
+	// SLOGood counts OK responses within the SLO.
+	Offered, Served, SLOGood int
+	// Goodput is SLO-meeting responses per second of generation time.
+	Goodput float64
+	// Latency percentiles over served (OK) requests, in ns.
+	P50, P95, P99 time.Duration
+	// Rejections by cause, plus engine supervision counters.
+	Shed, Rejected, OverQuota, OverLimit uint64
+	Timeouts, Restarts, Recycles         uint64
+	// Errors counts submissions that failed for any reason other than the
+	// admission-control errors above (should be zero).
+	Errors int
+}
+
+// ClusterCapacity estimates the fleet's sustainable service rate (OK
+// responses per second) with a short closed-loop burst at full concurrency
+// — the 1× baseline the overload multipliers scale from.
+func ClusterCapacity(srv servers.Server, mode fo.Mode, cfg ClusterConfig) (float64, error) {
+	cfg.defaults()
+	rt, err := newClusterRouter(srv, mode, cfg, serve.ChaosConfig{})
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Close()
+	clients := cfg.Shards * cfg.PoolSize * 2
+	const warm = 50 * time.Millisecond
+	const measure = 300 * time.Millisecond
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c%cfg.Tenants)
+			req := srv.LegitRequests()[0]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rt.Submit(context.Background(), tenant, req)
+			}
+		}(c)
+	}
+	time.Sleep(warm)
+	before := rt.Stats().Served
+	time.Sleep(measure)
+	served := rt.Stats().Served - before
+	close(stop)
+	wg.Wait()
+	return float64(served) / measure.Seconds(), nil
+}
+
+// ClusterRun drives the router open loop: Poisson arrivals at cfg.Rate for
+// cfg.Duration, every arrival submitted immediately on its own goroutine
+// regardless of how many are still in flight.
+func ClusterRun(srv servers.Server, mode fo.Mode, cfg ClusterConfig) (ClusterResult, error) {
+	cfg.defaults()
+	if cfg.Rate <= 0 {
+		return ClusterResult{}, fmt.Errorf("harness: cluster offered rate %v: must be positive", cfg.Rate)
+	}
+	rt, err := newClusterRouter(srv, mode, cfg, cfg.Chaos)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	defer rt.Close()
+
+	req := srv.LegitRequests()[0]
+	res := ClusterResult{Mode: mode.String(), Chaos: cfg.Chaos.KillEvery > 0 || cfg.Chaos.LatencyEvery > 0, Rate: cfg.Rate}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		served    int
+		sloGood   int
+		failures  int
+	)
+	record := func(lat time.Duration, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !ok {
+			failures++
+			return
+		}
+		served++
+		latencies = append(latencies, lat)
+		if lat <= cfg.SLO {
+			sloGood++
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	offered := 0
+	for {
+		// Exponential inter-arrival gaps give the Poisson process; when
+		// generation falls behind schedule (timer granularity, CPU
+		// contention) arrivals fire back-to-back, preserving the offered
+		// rate as a burst — which is exactly how open-loop overload behaves.
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+		if next.Sub(start) > cfg.Duration {
+			break
+		}
+		if d := time.Until(next); d > 100*time.Microsecond {
+			time.Sleep(d)
+		}
+		offered++
+		tenant := fmt.Sprintf("tenant-%d", rng.Intn(cfg.Tenants))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.SLO)
+			defer cancel()
+			t0 := time.Now()
+			resp, err := rt.Submit(ctx, tenant, req)
+			switch {
+			case err == nil && resp.OK():
+				record(time.Since(t0), true)
+			case errors.Is(err, serve.ErrShed), errors.Is(err, serve.ErrQueueFull),
+				errors.Is(err, serve.ErrOverQuota), errors.Is(err, serve.ErrOverLimit):
+				// Admission control doing its job; counted from router stats.
+			case err == nil:
+				// Executed but not OK (deadline expiry): counted as timeout.
+			default:
+				record(0, false)
+			}
+		}()
+	}
+	wg.Wait()
+	genElapsed := cfg.Duration
+
+	res.Offered = offered
+	res.Served = served
+	res.SLOGood = sloGood
+	res.Errors = failures
+	res.Goodput = float64(sloGood) / genElapsed.Seconds()
+	res.P50, res.P95, res.P99 = percentiles(latencies)
+	st := rt.Stats()
+	res.Shed = st.Shed
+	res.Rejected = st.Rejected
+	res.OverQuota = st.OverQuota
+	res.OverLimit = st.OverLimit
+	res.Timeouts = st.Timeouts
+	res.Restarts = st.Restarts
+	res.Recycles = st.Recycles
+	return res, nil
+}
+
+func newClusterRouter(srv servers.Server, mode fo.Mode, cfg ClusterConfig, chaos serve.ChaosConfig) (*serve.Router, error) {
+	shardOpts := []serve.Option{
+		serve.WithPoolSize(cfg.PoolSize),
+		serve.WithQueueDepth(cfg.QueueDepth),
+	}
+	if chaos.KillEvery > 0 || chaos.LatencyEvery > 0 {
+		shardOpts = append(shardOpts, serve.WithChaos(chaos))
+	}
+	opts := []serve.RouterOption{
+		serve.WithShards(cfg.Shards),
+		serve.WithShardOptions(shardOpts...),
+	}
+	if cfg.Quota > 0 {
+		opts = append(opts, serve.WithTenantQuota(cfg.Quota))
+	}
+	if cfg.TargetP95 > 0 {
+		opts = append(opts, serve.WithAIMD(serve.AIMDConfig{TargetP95: cfg.TargetP95}))
+	}
+	return serve.NewRouter(srv, mode, opts...)
+}
+
+// ClusterReport is the JSON artifact of a cluster experiment run: the
+// calibrated 1× capacity and every (load, chaos) cell.
+type ClusterReport struct {
+	Server   string
+	Capacity float64 // calibrated 1× service rate, req/s
+	SLOms    float64
+	Cells    []ClusterResult
+}
+
+// JSON renders the report with stable formatting for CI artifacts.
+func (r *ClusterReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatCluster renders the goodput-under-overload table.
+func FormatCluster(rep *ClusterReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Calibrated 1x capacity: %.0f req/s (SLO %.0fms)\n", rep.Capacity, rep.SLOms)
+	fmt.Fprintf(&sb, "%-18s %-6s %-6s %-9s %-9s %-9s %-9s %-9s %-7s %-7s %-7s %s\n",
+		"Version", "Load", "Chaos", "Offered", "Goodput", "p50", "p95", "p99",
+		"Shed", "Reject", "OverQ", "OverL")
+	for _, c := range rep.Cells {
+		chaos := "off"
+		if c.Chaos {
+			chaos = "on"
+		}
+		fmt.Fprintf(&sb, "%-18s %-6s %-6s %-9d %-9.0f %-9s %-9s %-9s %-7d %-7d %-7d %d\n",
+			c.Mode, fmt.Sprintf("%.0fx", c.Load), chaos, c.Offered, c.Goodput,
+			fmtLatency(c.P50), fmtLatency(c.P95), fmtLatency(c.P99),
+			c.Shed, c.Rejected, c.OverQuota, c.OverLimit)
+	}
+	return sb.String()
+}

@@ -2,11 +2,7 @@ package inject
 
 import (
 	"focc/internal/servers"
-	"focc/internal/servers/apache"
-	"focc/internal/servers/mc"
-	"focc/internal/servers/mutt"
-	"focc/internal/servers/pine"
-	"focc/internal/servers/sendmail"
+	"focc/internal/servers/registry"
 )
 
 // Target is one campaign subject: a named factory producing fresh
@@ -20,13 +16,19 @@ type Target struct {
 }
 
 // AllTargets returns the five server reproductions from the paper's
-// evaluation, in report order.
+// evaluation, in report order — the registry's catalog rendered as campaign
+// targets (internal/servers/registry is the single source of truth for the
+// server set).
 func AllTargets() []Target {
-	return []Target{
-		{Name: "pine", New: func() servers.Server { return pine.NewServer() }},
-		{Name: "apache", New: func() servers.Server { return apache.NewServer() }},
-		{Name: "sendmail", New: func() servers.Server { return sendmail.NewServer() }},
-		{Name: "mc", New: func() servers.Server { return mc.NewServer() }},
-		{Name: "mutt", New: func() servers.Server { return mutt.NewServer() }},
+	names := registry.Names()
+	targets := make([]Target, len(names))
+	for i, name := range names {
+		mk, err := registry.Factory(name)
+		if err != nil {
+			// Unreachable: the name came from the registry itself.
+			panic(err)
+		}
+		targets[i] = Target{Name: name, New: mk}
 	}
+	return targets
 }

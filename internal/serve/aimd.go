@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AIMDConfig configures the router's adaptive concurrency limit: an
+// additive-increase / multiplicative-decrease controller (the TCP
+// congestion-avoidance shape) over the router-wide number of in-flight
+// requests, driven by the observed p95 latency versus a target.
+//
+// Every Window completed requests the controller compares the window's p95
+// against TargetP95: above target it multiplies the limit by Backoff
+// (shrinking concurrency until queues drain and latency recovers), at or
+// below target it adds one (probing for capacity). Submissions arriving
+// while the limit is saturated are rejected with ErrOverLimit — upstream
+// backpressure, cheaper than queuing work the cluster cannot absorb.
+type AIMDConfig struct {
+	// TargetP95 is the latency goal; the zero value disables the adaptive
+	// limit entirely.
+	TargetP95 time.Duration
+	// Min and Max bound the limit. Defaults: Min 1, Max 16× the router's
+	// total worker count.
+	Min, Max int
+	// Window is the number of completed requests per adjustment decision;
+	// default 32.
+	Window int
+	// Backoff is the multiplicative-decrease factor in (0,1); default 0.75.
+	Backoff float64
+}
+
+func (c AIMDConfig) enabled() bool { return c != (AIMDConfig{}) }
+
+// withDefaults fills unset fields; totalWorkers sizes the default Max and
+// the initial limit.
+func (c AIMDConfig) withDefaults(totalWorkers int) AIMDConfig {
+	if c.Min == 0 {
+		c.Min = 1
+	}
+	if c.Max == 0 {
+		c.Max = 16 * totalWorkers
+	}
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 0.75
+	}
+	return c
+}
+
+func (c AIMDConfig) validate() error {
+	if !c.enabled() {
+		return nil
+	}
+	if c.TargetP95 <= 0 {
+		return fmt.Errorf("serve: AIMD p95 target %v: must be positive", c.TargetP95)
+	}
+	if c.Min < 0 || c.Max < 0 {
+		return fmt.Errorf("serve: AIMD limit bounds [%d, %d]: must not be negative", c.Min, c.Max)
+	}
+	if c.Min > 0 && c.Max > 0 && c.Min > c.Max {
+		return fmt.Errorf("serve: AIMD minimum limit %d exceeds maximum %d", c.Min, c.Max)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("serve: AIMD window %d: must be positive", c.Window)
+	}
+	if c.Backoff < 0 || c.Backoff >= 1 {
+		return fmt.Errorf("serve: AIMD backoff factor %v: must be in (0, 1)", c.Backoff)
+	}
+	return nil
+}
+
+// aimdLimiter is the runtime state behind AIMDConfig. A plain mutex is
+// fine here: the critical sections are a few comparisons, and the limiter
+// is consulted once per request, not per memory access.
+type aimdLimiter struct {
+	cfg AIMDConfig
+
+	mu       sync.Mutex
+	limit    float64 // current concurrency limit (fractional between windows)
+	inflight int
+	window   []time.Duration // latencies since the last adjustment
+}
+
+func newAIMDLimiter(cfg AIMDConfig, totalWorkers int) *aimdLimiter {
+	cfg = cfg.withDefaults(totalWorkers)
+	// Start at 2× the worker count: enough headroom to keep every worker
+	// busy with a queued successor, low enough that a latency overshoot is
+	// corrected within a few windows.
+	start := 2 * totalWorkers
+	if start < cfg.Min {
+		start = cfg.Min
+	}
+	if start > cfg.Max {
+		start = cfg.Max
+	}
+	return &aimdLimiter{
+		cfg:    cfg,
+		limit:  float64(start),
+		window: make([]time.Duration, 0, cfg.Window),
+	}
+}
+
+// acquire claims an in-flight slot, failing when the adaptive limit is
+// saturated.
+func (l *aimdLimiter) acquire() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight >= int(l.limit) {
+		return false
+	}
+	l.inflight++
+	return true
+}
+
+// release returns a slot and, for requests that actually executed, feeds
+// the observed latency into the adjustment window, moving the limit when
+// the window fills.
+func (l *aimdLimiter) release(lat time.Duration, executed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inflight--
+	if !executed {
+		return
+	}
+	l.window = append(l.window, lat)
+	if len(l.window) < l.cfg.Window {
+		return
+	}
+	sorted := append([]time.Duration(nil), l.window...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p95 := sorted[(len(sorted)*95+99)/100-1]
+	if p95 > l.cfg.TargetP95 {
+		l.limit *= l.cfg.Backoff
+		if l.limit < float64(l.cfg.Min) {
+			l.limit = float64(l.cfg.Min)
+		}
+	} else {
+		l.limit++
+		if l.limit > float64(l.cfg.Max) {
+			l.limit = float64(l.cfg.Max)
+		}
+	}
+	l.window = l.window[:0]
+}
+
+// Limit reports the current integer limit (for stats).
+func (l *aimdLimiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.limit)
+}

@@ -68,6 +68,51 @@ type LatencySnapshot struct {
 	Buckets []LatencyBucket // non-cumulative, trailing empty buckets trimmed
 }
 
+// mergeLatencySnapshots sums bucket counts across snapshots (all snapshots
+// share the fixed log-bucket layout) and recomputes the derived fields; the
+// Router uses it to report one fleet-wide histogram.
+func mergeLatencySnapshots(snaps ...LatencySnapshot) LatencySnapshot {
+	var counts [histBuckets]uint64
+	var total uint64
+	var sum time.Duration
+	last := -1
+	for _, s := range snaps {
+		total += s.Count
+		sum += s.Sum
+		for i, b := range s.Buckets {
+			counts[i] += b.Count
+			if b.Count > 0 && i > last {
+				last = i
+			}
+		}
+	}
+	m := LatencySnapshot{Count: total, Sum: sum}
+	if total == 0 {
+		return m
+	}
+	m.Mean = sum / time.Duration(total)
+	m.Buckets = make([]LatencyBucket, last+1)
+	for i := 0; i <= last; i++ {
+		m.Buckets[i] = LatencyBucket{UpperBound: bucketBound(i), Count: counts[i]}
+	}
+	quantile := func(p float64) time.Duration {
+		rank := uint64(math.Ceil(p * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum uint64
+		for i := 0; i <= last; i++ {
+			cum += counts[i]
+			if cum >= rank {
+				return bucketBound(i)
+			}
+		}
+		return bucketBound(last)
+	}
+	m.P50, m.P95, m.P99 = quantile(0.50), quantile(0.95), quantile(0.99)
+	return m
+}
+
 func (h *hist) snapshot() LatencySnapshot {
 	var counts [histBuckets]uint64
 	var total uint64

@@ -1,10 +1,18 @@
 package serve
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Option configures an Engine (the functional-options constructor of the
 // serving API: WithPoolSize, WithQueueDepth, WithDeadline, WithBackoff,
-// WithBreaker).
+// WithBreaker, WithWarmSpares, WithShedding, WithChaos).
+//
+// Options record exactly what the caller asked for; New validates the
+// combined configuration and returns a descriptive error for values that
+// cannot work (non-positive pool or queue sizes, negative deadlines, a
+// backoff base above its cap, …) instead of silently clamping them.
 type Option func(*options)
 
 type options struct {
@@ -19,6 +27,8 @@ type options struct {
 	breakerCool  time.Duration
 
 	warmSpares int
+
+	shed ShedConfig
 
 	chaos ChaosConfig
 }
@@ -36,47 +46,86 @@ func defaultOptions() options {
 	}
 }
 
-// WithPoolSize sets the number of worker instances ("child processes");
-// n <= 0 keeps the default of 4.
-func WithPoolSize(n int) Option {
-	return func(o *options) {
-		if n > 0 {
-			o.poolSize = n
+// validate rejects configurations that cannot work, naming the offending
+// value. It runs once, in New, over the fully-assembled options — so
+// inter-option constraints (backoff base vs. cap, breaker threshold vs.
+// cooldown) are checked against the final values, not call order.
+func (o *options) validate() error {
+	if o.poolSize <= 0 {
+		return fmt.Errorf("serve: pool size %d: must be at least 1 worker instance", o.poolSize)
+	}
+	if o.queueDepth <= 0 {
+		return fmt.Errorf("serve: queue depth %d: must admit at least 1 request", o.queueDepth)
+	}
+	if o.deadline < 0 {
+		return fmt.Errorf("serve: deadline %v: must be positive (or 0 to disable)", o.deadline)
+	}
+	if o.backoffBase <= 0 {
+		return fmt.Errorf("serve: backoff base %v: must be positive", o.backoffBase)
+	}
+	if o.backoffMax <= 0 {
+		return fmt.Errorf("serve: backoff cap %v: must be positive", o.backoffMax)
+	}
+	if o.backoffBase > o.backoffMax {
+		return fmt.Errorf("serve: backoff base %v exceeds cap %v", o.backoffBase, o.backoffMax)
+	}
+	if o.breakerAfter < 0 {
+		return fmt.Errorf("serve: breaker threshold %d: must be positive (or 0 to disable)", o.breakerAfter)
+	}
+	if o.breakerAfter > 0 && o.breakerCool <= 0 {
+		return fmt.Errorf("serve: breaker cooldown %v: must be positive when the breaker is enabled", o.breakerCool)
+	}
+	if o.warmSpares < 0 {
+		return fmt.Errorf("serve: warm spares %d: must be positive (or 0 to disable)", o.warmSpares)
+	}
+	if o.shed.enabled() {
+		if o.shed.Target <= 0 {
+			return fmt.Errorf("serve: shedding sojourn target %v: must be positive", o.shed.Target)
+		}
+		if o.shed.Interval <= 0 {
+			return fmt.Errorf("serve: shedding interval %v: must be positive", o.shed.Interval)
 		}
 	}
+	if o.chaos.Latency < 0 {
+		return fmt.Errorf("serve: chaos latency %v: must not be negative", o.chaos.Latency)
+	}
+	if o.chaos.LatencyEvery > 0 && o.chaos.Latency <= 0 {
+		return fmt.Errorf("serve: chaos latency injection every %d requests needs a positive latency", o.chaos.LatencyEvery)
+	}
+	return nil
+}
+
+// WithPoolSize sets the number of worker instances ("child processes").
+// New rejects n <= 0.
+func WithPoolSize(n int) Option {
+	return func(o *options) { o.poolSize = n }
 }
 
 // WithQueueDepth bounds the admission queue: a Submit arriving while the
-// queue holds n requests is rejected with ErrQueueFull (backpressure)
-// instead of queuing without bound. n <= 0 keeps the default of 64.
+// queue holds n requests is rejected with ErrQueueFull (backpressure) —
+// or, with shedding enabled, may displace a queued request whose deadline
+// has become unmeetable (ErrShed). New rejects n <= 0.
 func WithQueueDepth(n int) Option {
-	return func(o *options) {
-		if n > 0 {
-			o.queueDepth = n
-		}
-	}
+	return func(o *options) { o.queueDepth = n }
 }
 
 // WithDeadline sets the default per-request deadline, covering queue wait
 // plus execution. A request exceeding it gets a response with
-// fo.OutcomeDeadline; the serving instance survives. d <= 0 disables the
-// default deadline (a caller-supplied context can still cancel).
+// fo.OutcomeDeadline; the serving instance survives. d == 0 disables the
+// default deadline (a caller-supplied context can still cancel); New
+// rejects negative d.
 func WithDeadline(d time.Duration) Option {
 	return func(o *options) { o.deadline = d }
 }
 
 // WithBackoff sets the capped exponential backoff applied between
 // consecutive restarts of a crashing instance: the k-th consecutive restart
-// waits min(base<<(k-1), max). Non-positive arguments keep the defaults
-// (1ms base, 250ms cap).
+// waits min(base<<(k-1), max). New rejects non-positive values and a base
+// above the cap.
 func WithBackoff(base, max time.Duration) Option {
 	return func(o *options) {
-		if base > 0 {
-			o.backoffBase = base
-		}
-		if max > 0 {
-			o.backoffMax = max
-		}
+		o.backoffBase = base
+		o.backoffMax = max
 	}
 }
 
@@ -87,13 +136,49 @@ func WithBackoff(base, max time.Duration) Option {
 // they are needed). A background filler goroutine tops the standby set back
 // up after each take; if crashes outpace it, replacement falls back to the
 // usual cold spawn with backoff and breaker. Restarts are counted the same
-// either way. n <= 0 disables warm spares (the default).
+// either way. n == 0 disables warm spares (the default); New rejects
+// negative n.
 func WithWarmSpares(n int) Option {
-	return func(o *options) {
-		if n > 0 {
-			o.warmSpares = n
-		}
-	}
+	return func(o *options) { o.warmSpares = n }
+}
+
+// ShedConfig configures the deadline-aware shedding queue (WithShedding).
+//
+// The shedding queue replaces the engine's plain bounded FIFO with a
+// CoDel-style controlled-delay queue (Nichols & Jacobson, "Controlling
+// Queue Delay"): instead of tail-dropping new arrivals whenever the buffer
+// is full, it watches the *sojourn time* of the oldest queued request and
+// drops from the front — the requests that have already waited so long
+// their deadline has become unmeetable — so fresh requests that can still
+// meet their deadline are admitted and served. A dropped request's
+// submitter gets ErrShed (distinct from ErrQueueFull, which still reports
+// a queue full of viable requests).
+//
+// A queued request is considered unmeetable when the time remaining until
+// its deadline is smaller than the engine's moving estimate of execution
+// time (an EWMA over recently observed service times), i.e. even if it
+// were dequeued right now it could not finish in time; requests whose
+// deadline already passed are always unmeetable.
+type ShedConfig struct {
+	// Target is the acceptable queue sojourn time (CoDel's "target"). While
+	// the oldest queued request has waited less than Target, nothing is
+	// shed on dequeue.
+	Target time.Duration
+	// Interval is how long the sojourn time must stay above Target before
+	// the dequeue path starts shedding unmeetable requests from the front
+	// of the queue (CoDel's "interval" — it filters short bursts from
+	// standing queues). The admission path is not gated on Interval: a full
+	// queue sheds an unmeetable request immediately to admit a viable one.
+	Interval time.Duration
+}
+
+func (c ShedConfig) enabled() bool { return c != (ShedConfig{}) }
+
+// WithShedding replaces the fixed bounded queue with the deadline-aware
+// CoDel-style shedding queue described on ShedConfig. New rejects
+// non-positive Target or Interval.
+func WithShedding(c ShedConfig) Option {
+	return func(o *options) { o.shed = c }
 }
 
 // ChaosConfig configures deterministic process-level fault injection at the
@@ -122,7 +207,8 @@ type ChaosConfig struct {
 func (c ChaosConfig) enabled() bool { return c.KillEvery > 0 || c.LatencyEvery > 0 }
 
 // WithChaos enables deterministic chaos injection (instance kills, handler
-// latency) on the engine. The zero config disables it.
+// latency) on the engine. The zero config disables it. New rejects a
+// negative latency and latency injection without a positive delay.
 func WithChaos(c ChaosConfig) Option {
 	return func(o *options) { o.chaos = c }
 }
@@ -130,12 +216,12 @@ func WithChaos(c ChaosConfig) Option {
 // WithBreaker configures the restart-storm circuit breaker: after
 // consecutive crashes without an intervening successful response, the
 // worker stops hot-restarting and parks for cooldown before trying a fresh
-// instance (half-open). consecutive <= 0 disables the breaker.
+// instance (half-open). consecutive == 0 disables the breaker; New rejects
+// negative thresholds and, with the breaker enabled, a non-positive
+// cooldown.
 func WithBreaker(consecutive int, cooldown time.Duration) Option {
 	return func(o *options) {
 		o.breakerAfter = consecutive
-		if cooldown > 0 {
-			o.breakerCool = cooldown
-		}
+		o.breakerCool = cooldown
 	}
 }

@@ -1,0 +1,183 @@
+package serve_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"focc/fo"
+	"focc/internal/serve"
+)
+
+// TestOptionValidation exercises every Engine option with invalid values:
+// New must reject the configuration with a descriptive error naming the
+// offending value — not clamp it silently — and accept the valid variants.
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    []serve.Option
+		wantErr string // substring of the expected error; "" = must succeed
+	}{
+		{"defaults", nil, ""},
+
+		{"pool size zero", []serve.Option{serve.WithPoolSize(0)}, "pool size 0"},
+		{"pool size negative", []serve.Option{serve.WithPoolSize(-3)}, "pool size -3"},
+		{"pool size valid", []serve.Option{serve.WithPoolSize(1)}, ""},
+
+		{"queue depth zero", []serve.Option{serve.WithQueueDepth(0)}, "queue depth 0"},
+		{"queue depth negative", []serve.Option{serve.WithQueueDepth(-1)}, "queue depth -1"},
+		{"queue depth valid", []serve.Option{serve.WithQueueDepth(1)}, ""},
+
+		{"deadline negative", []serve.Option{serve.WithDeadline(-time.Second)}, "deadline -1s"},
+		{"deadline zero disables", []serve.Option{serve.WithDeadline(0)}, ""},
+		{"deadline valid", []serve.Option{serve.WithDeadline(time.Second)}, ""},
+
+		{"backoff zero base", []serve.Option{serve.WithBackoff(0, time.Second)}, "backoff base"},
+		{"backoff zero cap", []serve.Option{serve.WithBackoff(time.Millisecond, 0)}, "backoff cap"},
+		{"backoff base above cap",
+			[]serve.Option{serve.WithBackoff(time.Second, time.Millisecond)},
+			"backoff base 1s exceeds cap 1ms"},
+		{"backoff valid", []serve.Option{serve.WithBackoff(time.Millisecond, time.Second)}, ""},
+
+		{"breaker negative threshold",
+			[]serve.Option{serve.WithBreaker(-1, time.Second)}, "breaker threshold -1"},
+		{"breaker enabled without cooldown",
+			[]serve.Option{serve.WithBreaker(3, 0)}, "breaker cooldown"},
+		{"breaker disabled ignores cooldown", []serve.Option{serve.WithBreaker(0, 0)}, ""},
+		{"breaker valid", []serve.Option{serve.WithBreaker(3, time.Second)}, ""},
+
+		{"warm spares negative", []serve.Option{serve.WithWarmSpares(-2)}, "warm spares -2"},
+		{"warm spares valid", []serve.Option{serve.WithWarmSpares(2)}, ""},
+
+		{"shedding missing target",
+			[]serve.Option{serve.WithShedding(serve.ShedConfig{Interval: time.Millisecond})},
+			"sojourn target"},
+		{"shedding missing interval",
+			[]serve.Option{serve.WithShedding(serve.ShedConfig{Target: time.Millisecond})},
+			"shedding interval"},
+		{"shedding negative target",
+			[]serve.Option{serve.WithShedding(serve.ShedConfig{
+				Target: -time.Millisecond, Interval: time.Millisecond})},
+			"sojourn target"},
+		{"shedding zero config disables", []serve.Option{serve.WithShedding(serve.ShedConfig{})}, ""},
+		{"shedding valid",
+			[]serve.Option{serve.WithShedding(serve.ShedConfig{
+				Target: time.Millisecond, Interval: 5 * time.Millisecond})},
+			""},
+
+		{"chaos negative latency",
+			[]serve.Option{serve.WithChaos(serve.ChaosConfig{Latency: -time.Second})},
+			"chaos latency"},
+		{"chaos latency cadence without delay",
+			[]serve.Option{serve.WithChaos(serve.ChaosConfig{LatencyEvery: 4})},
+			"needs a positive latency"},
+		{"chaos valid",
+			[]serve.Option{serve.WithChaos(serve.ChaosConfig{
+				KillEvery: 3, LatencyEvery: 4, Latency: time.Millisecond})},
+			""},
+
+		{"last setter wins over earlier invalid",
+			[]serve.Option{serve.WithPoolSize(0), serve.WithPoolSize(2)}, ""},
+		{"cross-option backoff checked after all setters",
+			[]serve.Option{serve.WithBackoff(time.Second, time.Minute),
+				serve.WithBackoff(time.Second, time.Millisecond)},
+			"exceeds cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := serve.New(&stubServer{}, fo.FailureOblivious, tc.opts...)
+			if eng != nil {
+				defer eng.Close()
+			}
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("New() = %v, want success", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("New() succeeded, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("New() = %q, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRouterOptionValidation does the same for every Router option.
+func TestRouterOptionValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    []serve.RouterOption
+		wantErr string
+	}{
+		{"defaults", nil, ""},
+
+		{"shards zero", []serve.RouterOption{serve.WithShards(0)}, "shard count 0"},
+		{"shards negative", []serve.RouterOption{serve.WithShards(-2)}, "shard count -2"},
+		{"shards valid", []serve.RouterOption{serve.WithShards(1)}, ""},
+
+		{"tenant quota negative", []serve.RouterOption{serve.WithTenantQuota(-1)}, "tenant quota -1"},
+		{"tenant quota zero disables", []serve.RouterOption{serve.WithTenantQuota(0)}, ""},
+		{"tenant quota valid", []serve.RouterOption{serve.WithTenantQuota(8)}, ""},
+
+		{"aimd missing target",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{Min: 1})}, "p95 target"},
+		{"aimd negative target",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{TargetP95: -time.Second})},
+			"p95 target"},
+		{"aimd min above max",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
+				TargetP95: time.Second, Min: 10, Max: 2})},
+			"minimum limit 10 exceeds maximum 2"},
+		{"aimd negative bounds",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
+				TargetP95: time.Second, Min: -1})},
+			"must not be negative"},
+		{"aimd backoff out of range",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
+				TargetP95: time.Second, Backoff: 1.5})},
+			"backoff factor"},
+		{"aimd zero config disables", []serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{})}, ""},
+		{"aimd valid",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{TargetP95: 20 * time.Millisecond})},
+			""},
+
+		{"shard shedding missing interval",
+			[]serve.RouterOption{serve.WithShardShedding(serve.ShedConfig{Target: time.Millisecond})},
+			"shedding interval"},
+		{"shard shedding valid",
+			[]serve.RouterOption{serve.WithShardShedding(serve.ShedConfig{
+				Target: time.Millisecond, Interval: 5 * time.Millisecond})},
+			""},
+
+		{"invalid shard option surfaces",
+			[]serve.RouterOption{serve.WithShardOptions(serve.WithPoolSize(0))},
+			"pool size 0"},
+		{"shard options valid",
+			[]serve.RouterOption{serve.WithShardOptions(
+				serve.WithPoolSize(1), serve.WithQueueDepth(4))},
+			""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, err := serve.NewRouter(&stubServer{}, fo.FailureOblivious, tc.opts...)
+			if rt != nil {
+				defer rt.Close()
+			}
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("NewRouter() = %v, want success", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("NewRouter() succeeded, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("NewRouter() = %q, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestHashRingSpreadAndStability: the ring spreads tenants across every
+// shard without hot-spotting, lookups are deterministic, and growing the
+// shard count moves only a minority of tenants (the consistent-hashing
+// property).
+func TestHashRingSpreadAndStability(t *testing.T) {
+	const shards, tenants = 4, 10000
+	ring := newHashRing(shards, ringVnodes)
+	counts := make([]int, shards)
+	for i := 0; i < tenants; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		s := ring.lookup(key)
+		if again := ring.lookup(key); again != s {
+			t.Fatalf("lookup(%q) unstable: %d then %d", key, s, again)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		// Perfect balance is tenants/shards; with 64 vnodes the spread
+		// stays well within 2× either way.
+		if n < tenants/shards/2 || n > tenants/shards*2 {
+			t.Errorf("shard %d holds %d of %d tenants — spread too skewed: %v",
+				s, n, tenants, counts)
+		}
+	}
+
+	grown := newHashRing(shards+1, ringVnodes)
+	moved := 0
+	for i := 0; i < tenants; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		if grown.lookup(key) != ring.lookup(key) {
+			moved++
+		}
+	}
+	// Adding one shard should move roughly 1/(shards+1) of tenants; a
+	// modulo hash would move ~shards/(shards+1). Split the difference.
+	if moved > tenants/2 {
+		t.Errorf("adding a shard moved %d of %d tenants — not consistent hashing", moved, tenants)
+	}
+}
+
+// TestMergeLatencySnapshots: merging per-shard snapshots sums counts and
+// bucket contents and recomputes the derived percentiles over the union.
+func TestMergeLatencySnapshots(t *testing.T) {
+	var a, b hist
+	for i := 0; i < 90; i++ {
+		a.record(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		b.record(10 * time.Millisecond)
+	}
+	m := mergeLatencySnapshots(a.snapshot(), b.snapshot())
+	if m.Count != 100 {
+		t.Fatalf("merged count = %d, want 100", m.Count)
+	}
+	if want := 90*10*time.Microsecond + 10*10*time.Millisecond; m.Sum != want {
+		t.Errorf("merged sum = %v, want %v", m.Sum, want)
+	}
+	if m.P50 > time.Millisecond {
+		t.Errorf("merged p50 = %v, want the fast cohort's bucket", m.P50)
+	}
+	if m.P99 < time.Millisecond {
+		t.Errorf("merged p99 = %v, want the slow cohort's bucket", m.P99)
+	}
+	var total uint64
+	for _, bk := range m.Buckets {
+		total += bk.Count
+	}
+	if total != 100 {
+		t.Errorf("merged bucket counts sum to %d, want 100", total)
+	}
+	if empty := mergeLatencySnapshots(); empty.Count != 0 || empty.Buckets != nil {
+		t.Errorf("empty merge = %+v, want zero snapshot", empty)
+	}
+}

@@ -1,0 +1,317 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"focc/fo"
+	"focc/internal/serve"
+	"focc/internal/servers"
+)
+
+// stubSrcV2 is the "next release" of stubSrc for hot-swap tests: same
+// handlers, but ok answers 201 so responses reveal which program served
+// them.
+const stubSrcV2 = `
+char resp[32];
+
+int ok(void)
+{
+	resp[0] = 'v'; resp[1] = '2'; resp[2] = 0;
+	return 201;
+}
+`
+
+var (
+	stubV2Once sync.Once
+	stubV2Prog *fo.Program
+	stubV2Err  error
+)
+
+type stubServerV2 struct{}
+
+func (*stubServerV2) Name() string { return "stub-v2" }
+
+func (*stubServerV2) New(mode fo.Mode) (servers.Instance, error) {
+	stubV2Once.Do(func() { stubV2Prog, stubV2Err = fo.Compile("stub_v2.c", stubSrcV2) })
+	if stubV2Err != nil {
+		return nil, stubV2Err
+	}
+	log := fo.NewEventLog(0)
+	m, err := stubV2Prog.NewMachine(fo.MachineConfig{Mode: mode, Log: log})
+	if err != nil {
+		return nil, err
+	}
+	return &stubInstance{Base: servers.Base{ServerName: "stub-v2", M: m, EvLog: log}}, nil
+}
+
+func (*stubServerV2) LegitRequests() []servers.Request {
+	return []servers.Request{{Op: "ok"}}
+}
+
+func (*stubServerV2) AttackRequest() servers.Request {
+	return servers.Request{Op: "ok"}
+}
+
+// TestRouterShardingStability: tenant→shard assignment is deterministic,
+// spreads tenants across every shard, and requests actually land on the
+// shard the ring names (per-shard Served counters line up).
+func TestRouterShardingStability(t *testing.T) {
+	rt, err := serve.NewRouter(&stubServer{}, fo.FailureOblivious,
+		serve.WithShards(4),
+		serve.WithShardOptions(serve.WithPoolSize(1), serve.WithQueueDepth(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	perShard := make([]int, rt.ShardCount())
+	for i := 0; i < 1000; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		s := rt.Shard(tenant)
+		if again := rt.Shard(tenant); again != s {
+			t.Fatalf("Shard(%q) unstable: %d then %d", tenant, s, again)
+		}
+		perShard[s]++
+	}
+	for s, n := range perShard {
+		if n == 0 {
+			t.Errorf("shard %d received no tenants out of 1000", s)
+		}
+	}
+
+	// Route a handful of real requests and check the per-shard counters
+	// match the ring's assignment.
+	want := make([]uint64, rt.ShardCount())
+	for i := 0; i < 20; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		want[rt.Shard(tenant)]++
+		resp, err := rt.Submit(context.Background(), tenant, servers.Request{Op: "ok"})
+		if err != nil {
+			t.Fatalf("submit tenant-%d: %v", i, err)
+		}
+		if !resp.OK() {
+			t.Fatalf("tenant-%d response = %v, want OK", i, resp)
+		}
+	}
+	st := rt.Stats()
+	if st.Served != 20 {
+		t.Fatalf("aggregate Served = %d, want 20", st.Served)
+	}
+	for s := range want {
+		if st.Shards[s].Served != want[s] {
+			t.Errorf("shard %d served %d, want %d", s, st.Shards[s].Served, want[s])
+		}
+	}
+}
+
+// TestRouterTenantQuotaNoStarvation: a flooding tenant saturating its quota
+// at well over 2× the fleet's capacity must not starve a light tenant —
+// every one of the light tenant's requests is admitted and served, while
+// the flooder takes ErrOverQuota rejections.
+func TestRouterTenantQuotaNoStarvation(t *testing.T) {
+	rt, err := serve.NewRouter(&stubServer{}, fo.FailureOblivious,
+		serve.WithShards(2),
+		serve.WithTenantQuota(2),
+		serve.WithShardOptions(serve.WithPoolSize(1), serve.WithQueueDepth(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	stop := make(chan struct{})
+	var flood sync.WaitGroup
+	for g := 0; g < 8; g++ { // 8 concurrent floods against a quota of 2
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Slow requests hold the flooder's quota slots so the
+				// other flood goroutines pile up over quota; denied
+				// goroutines back off briefly instead of spinning the
+				// scheduler.
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+				_, err := rt.Submit(ctx, "flooder", servers.Request{Op: "spin"})
+				cancel()
+				if errors.Is(err, serve.ErrOverQuota) {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(30 * time.Millisecond) // let the flood saturate its quota
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, err := rt.Submit(ctx, "light", servers.Request{Op: "ok"})
+		cancel()
+		if err != nil {
+			t.Fatalf("light tenant request %d starved: %v", i, err)
+		}
+		if !resp.OK() {
+			t.Fatalf("light tenant request %d = %v, want OK", i, resp)
+		}
+	}
+	close(stop)
+	flood.Wait()
+
+	st := rt.Stats()
+	if st.OverQuota == 0 {
+		t.Error("flooding tenant was never rejected over quota")
+	}
+	ten := st.Tenants
+	if ten["flooder"].Denied == 0 {
+		t.Errorf("flooder Denied = 0, want > 0 (stats: %+v)", ten["flooder"])
+	}
+	if ten["light"].Denied != 0 {
+		t.Errorf("light tenant Denied = %d, want 0", ten["light"].Denied)
+	}
+	if ten["light"].Admitted != 10 {
+		t.Errorf("light tenant Admitted = %d, want 10", ten["light"].Admitted)
+	}
+}
+
+// TestRouterHotSwapZeroFailures is the zero-downtime guarantee: under
+// sustained concurrent load, Swap replaces the served program with ZERO
+// failed requests — every submission before, during, and after the flip is
+// answered OK, old-program responses simply give way to new-program ones.
+func TestRouterHotSwapZeroFailures(t *testing.T) {
+	rt, err := serve.NewRouter(&stubServer{}, fo.FailureOblivious,
+		serve.WithShards(2),
+		serve.WithShardOptions(
+			serve.WithPoolSize(2), serve.WithQueueDepth(64), serve.WithWarmSpares(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const clients = 8
+	var v1, v2, failures atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := rt.Submit(context.Background(), tenant, servers.Request{Op: "ok"})
+				if err != nil || !resp.OK() {
+					failures.Add(1)
+					continue
+				}
+				switch resp.Status {
+				case 200:
+					v1.Add(1)
+				case 201:
+					v2.Add(1)
+				default:
+					failures.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(100 * time.Millisecond) // steady state on v1
+	prev := rt.Swap(&stubServerV2{})
+	if _, ok := prev.(*stubServer); !ok {
+		t.Errorf("Swap returned %T, want the previous *stubServer", prev)
+	}
+	time.Sleep(100 * time.Millisecond) // steady state on v2
+	close(stop)
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed across the hot swap, want 0", n)
+	}
+	if v1.Load() == 0 || v2.Load() == 0 {
+		t.Fatalf("load did not span the swap: v1=%d v2=%d", v1.Load(), v2.Load())
+	}
+
+	// Everything submitted after the swap runs the new program.
+	resp, err := rt.Submit(context.Background(), "post-swap", servers.Request{Op: "ok"})
+	if err != nil || resp.Status != 201 {
+		t.Fatalf("post-swap request = %v, %v; want 201 from the new program", resp, err)
+	}
+	if cur, ok := rt.Current().(*stubServerV2); !ok {
+		t.Errorf("Current() = %T, want *stubServerV2", cur)
+	}
+
+	st := rt.Stats()
+	if st.Swaps != 1 {
+		t.Errorf("Swaps = %d, want 1", st.Swaps)
+	}
+	if st.Recycles == 0 {
+		t.Error("no instance recycles recorded after a swap under load")
+	}
+	if st.Crashes != 0 || st.Restarts != 0 {
+		t.Errorf("hot swap crashed instances: crashes=%d restarts=%d", st.Crashes, st.Restarts)
+	}
+	if st.Rejected != 0 || st.Shed != 0 {
+		t.Errorf("hot swap dropped requests: rejected=%d shed=%d", st.Rejected, st.Shed)
+	}
+}
+
+// TestRouterAIMDBacksOffUnderLatency: sustained latency far above the p95
+// target must walk the adaptive concurrency limit down and start rejecting
+// with ErrOverLimit — upstream backpressure driven by observed latency.
+func TestRouterAIMDBacksOffUnderLatency(t *testing.T) {
+	rt, err := serve.NewRouter(&stubServer{}, fo.FailureOblivious,
+		serve.WithShards(1),
+		serve.WithAIMD(serve.AIMDConfig{
+			TargetP95: time.Millisecond,
+			Window:    4,
+		}),
+		serve.WithShardOptions(serve.WithPoolSize(2), serve.WithQueueDepth(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	start := rt.Stats().Limit // 2× total workers
+	deadline := time.Now().Add(2 * time.Second)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c)
+			for time.Now().Before(deadline) {
+				ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+				_, err := rt.Submit(ctx, tenant, servers.Request{Op: "spin"})
+				cancel()
+				if errors.Is(err, serve.ErrOverLimit) {
+					time.Sleep(time.Millisecond)
+				}
+				if rt.Stats().Limit < start && rt.Stats().OverLimit > 0 {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := rt.Stats()
+	if st.Limit >= start {
+		t.Errorf("adaptive limit = %d, want < initial %d after sustained over-target latency",
+			st.Limit, start)
+	}
+	if st.OverLimit == 0 {
+		t.Error("no ErrOverLimit rejections while saturated over target")
+	}
+}

@@ -7,7 +7,10 @@
 // servers.Instance (instances are single-goroutine; see the concurrency
 // contract on servers.Instance). Requests are admitted through a bounded
 // queue — a full queue rejects immediately with ErrQueueFull so callers see
-// backpressure instead of unbounded latency. A per-request deadline
+// backpressure instead of unbounded latency. With WithShedding the bounded
+// FIFO becomes a CoDel-style deadline-aware shedding queue: requests whose
+// deadline has become unmeetable are dropped from the front with ErrShed so
+// viable requests keep flowing (see ShedConfig). A per-request deadline
 // (engine default and/or caller context) cancels execution inside the
 // interpreter and returns fo.OutcomeDeadline without killing the instance.
 //
@@ -23,6 +26,14 @@
 // the program's cached closure-compiled IR (DESIGN.md §13). Restart cost
 // is therefore machine/address-space setup only; no path in the engine
 // re-lowers the program.
+//
+// The same shared-immutable-IR property powers zero-downtime program
+// hot-swap: Recycle bumps the engine's instance generation, and each
+// worker replaces its instance with a freshly created one before executing
+// its next request — in-flight work completes on the old instance, so no
+// request observes the swap. Pair it with a SwapServer (whose New reads an
+// atomically swappable server) or a Router, which coordinates the swap
+// across shards.
 package serve
 
 import (
@@ -37,11 +48,18 @@ import (
 	"focc/internal/servers"
 )
 
-// Errors returned by Submit.
+// Errors returned by Submit (and Router.Submit, which adds its own).
 var (
 	// ErrQueueFull is the backpressure signal: the admission queue is at
-	// capacity and the request was rejected without queuing.
+	// capacity — and, under shedding, every queued request can still meet
+	// its deadline — so the request was rejected without queuing.
 	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrShed reports a queued request dropped by the shedding queue: it
+	// waited long enough that its deadline became unmeetable, and its slot
+	// was given to a request that can still finish in time (WithShedding).
+	// Distinct from ErrQueueFull — shed requests were admitted first and
+	// aged out; rejected ones never got in.
+	ErrShed = errors.New("serve: request shed (deadline unmeetable under overload)")
 	// ErrClosed reports a Submit on (or interrupted by) a closed engine.
 	ErrClosed = errors.New("serve: engine closed")
 )
@@ -52,12 +70,20 @@ type Stats struct {
 	Served uint64
 	// Crashes counts requests that killed their instance.
 	Crashes uint64
-	// Restarts counts replacement instances successfully created.
+	// Restarts counts replacement instances successfully created after a
+	// crash or chaos kill.
 	Restarts uint64
+	// Recycles counts instances replaced by a generation bump (Recycle —
+	// the program hot-swap path), which is neither a crash nor a restart:
+	// the retired instance was healthy and had finished its work.
+	Recycles uint64
 	// Timeouts counts deadline-exceeded requests (queued or executing).
 	Timeouts uint64
-	// Rejected counts queue-full admission rejections.
+	// Rejected counts queue-full admission rejections (ErrQueueFull).
 	Rejected uint64
+	// Shed counts queued requests dropped by the shedding queue because
+	// their deadline became unmeetable (ErrShed; WithShedding).
+	Shed uint64
 	// BreakerTrips counts circuit-breaker activations.
 	BreakerTrips uint64
 	// ChaosKills counts instances killed by chaos injection (WithChaos);
@@ -71,6 +97,22 @@ type Stats struct {
 	// instances are folded in at retirement, so counts never disappear
 	// when the supervisor replaces a child.
 	MemErrors fo.LogSnapshot
+}
+
+// add accumulates o's counters into s (MemErrors merged); the Router uses
+// it to aggregate shard stats.
+func (s *Stats) add(o Stats) {
+	s.Served += o.Served
+	s.Crashes += o.Crashes
+	s.Restarts += o.Restarts
+	s.Recycles += o.Recycles
+	s.Timeouts += o.Timeouts
+	s.Rejected += o.Rejected
+	s.Shed += o.Shed
+	s.BreakerTrips += o.BreakerTrips
+	s.ChaosKills += o.ChaosKills
+	s.ChaosDelays += o.ChaosDelays
+	s.MemErrors.Merge(o.MemErrors)
 }
 
 // Metrics is the full observability snapshot: the counter Stats plus the
@@ -89,7 +131,11 @@ type Engine struct {
 	mode fo.Mode
 	o    options
 
+	// Exactly one of tasks/q is non-nil: the plain bounded queue, or the
+	// deadline-aware shedding queue (WithShedding).
 	tasks chan *task
+	q     *shedQueue
+
 	// closing is canceled by Close; its Done channel doubles as the
 	// engine-wide shutdown signal, and in-flight interpreter work is
 	// canceled through it so Close never waits on a stuck request.
@@ -100,14 +146,25 @@ type Engine struct {
 
 	served, crashes, restarts, timeouts, rejected, trips atomic.Uint64
 
+	// shedCount counts ErrShed drops (incremented inside the shed queue).
+	shedCount atomic.Uint64
+
+	// gen is the instance generation: Recycle bumps it, and every worker
+	// replaces its instance before executing its next request once its
+	// instance's generation is stale. recycles counts those replacements.
+	gen      atomic.Uint64
+	recycles atomic.Uint64
+
 	// taskSeq numbers executed requests engine-wide; chaos injection keys
 	// off it (see ChaosConfig). chaosKills / chaosDelays count injections.
 	taskSeq, chaosKills, chaosDelays atomic.Uint64
 
-	// spares holds pre-warmed replacement instances (nil when warm spares
-	// are disabled). A filler goroutine blocks on sending into it, so the
-	// standby set refills itself as soon as a spare is taken.
-	spares chan servers.Instance
+	// spares holds pre-warmed replacement instances tagged with the
+	// generation they were created under (nil when warm spares are
+	// disabled). A filler goroutine blocks on sending into it, so the
+	// standby set refills itself as soon as a spare is taken; stale-
+	// generation spares are discarded at take time.
+	spares chan spare
 
 	latency hist
 
@@ -119,31 +176,61 @@ type Engine struct {
 	retired  fo.LogSnapshot
 }
 
+// spare is a pre-warmed replacement instance plus the generation it was
+// created under (stale spares are discarded, not served).
+type spare struct {
+	inst servers.Instance
+	gen  uint64
+}
+
 type task struct {
 	ctx  context.Context
 	req  servers.Request
-	resp chan servers.Response // buffered(1): workers never block on reply
+	resp chan taskResult // buffered(1): workers never block on reply
+	enq  time.Time       // when the task entered the queue (sojourn basis)
 }
 
-// New builds the pool (failing fast if instances cannot be created) and
-// starts one worker goroutine per instance.
+// taskResult is a worker's (or the shedding queue's) answer to a task:
+// either a response or a terminal submission error such as ErrShed.
+type taskResult struct {
+	resp servers.Response
+	err  error
+}
+
+// New builds the pool (failing fast on invalid options or if instances
+// cannot be created) and starts one worker goroutine per instance.
 func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
 	}
 	closing, closeFunc := context.WithCancel(context.Background())
 	e := &Engine{
 		srv:       srv,
 		mode:      mode,
 		o:         o,
-		tasks:     make(chan *task, o.queueDepth),
 		closing:   closing,
 		closeFunc: closeFunc,
 		liveLogs:  make(map[*fo.EventLog]struct{}, o.poolSize),
 	}
+	if o.shed.enabled() {
+		e.q = newShedQueue(o.queueDepth, o.shed, &e.shedCount)
+	} else {
+		e.tasks = make(chan *task, o.queueDepth)
+	}
 	insts := make([]servers.Instance, o.poolSize)
+	gens := make([]uint64, o.poolSize)
 	for i := range insts {
+		// Same discipline as the filler: read the generation before
+		// creating, so a Recycle racing construction can only make the
+		// instance look stale (recycled at its first request), never
+		// current-but-old. The worker goroutine must not read the
+		// generation itself — it may first be scheduled long after a
+		// swap, which would tag this old-program instance as current.
+		gens[i] = e.gen.Load()
 		inst, err := srv.New(mode)
 		if err != nil {
 			return nil, fmt.Errorf("serve: spawn %s/%v child %d: %w", srv.Name(), mode, i, err)
@@ -151,12 +238,12 @@ func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 		insts[i] = inst
 		e.adoptLog(inst.Log())
 	}
-	for _, inst := range insts {
+	for i, inst := range insts {
 		e.wg.Add(1)
-		go e.worker(inst)
+		go e.worker(inst, gens[i])
 	}
 	if o.warmSpares > 0 {
-		e.spares = make(chan servers.Instance, o.warmSpares)
+		e.spares = make(chan spare, o.warmSpares)
 		e.wg.Add(1)
 		go e.filler()
 	}
@@ -166,7 +253,9 @@ func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 // filler keeps the warm-spare channel topped up: it creates instances ahead
 // of demand and blocks sending into the bounded channel, waking exactly when
 // a respawn takes a spare. Creation errors back off briefly so a persistent
-// failure cannot spin the goroutine.
+// failure cannot spin the goroutine. Each spare is tagged with the
+// generation read *before* creation, so a hot-swap racing the spawn can only
+// mark the spare stale (discarded at take time), never fresh.
 func (e *Engine) filler() {
 	defer e.wg.Done()
 	for {
@@ -175,6 +264,7 @@ func (e *Engine) filler() {
 			return
 		default:
 		}
+		gen := e.gen.Load()
 		inst, err := e.srv.New(e.mode)
 		if err != nil {
 			if !e.sleep(e.o.backoffBase) {
@@ -183,10 +273,31 @@ func (e *Engine) filler() {
 			continue
 		}
 		select {
-		case e.spares <- inst:
+		case e.spares <- spare{inst: inst, gen: gen}:
 		case <-e.closing.Done():
 			releaseInstance(inst)
 			return
+		}
+	}
+}
+
+// takeSpare returns a warm spare created under the current generation, if
+// one is ready. Spares from an older generation are released and skipped —
+// serving a stale program after a hot-swap would undo the swap.
+func (e *Engine) takeSpare() (servers.Instance, bool) {
+	if e.spares == nil {
+		return nil, false
+	}
+	cur := e.gen.Load()
+	for {
+		select {
+		case sp := <-e.spares:
+			if sp.gen == cur {
+				return sp.inst, true
+			}
+			releaseInstance(sp.inst)
+		default:
+			return nil, false
 		}
 	}
 }
@@ -239,6 +350,18 @@ func (e *Engine) Mode() fo.Mode { return e.mode }
 // PoolSize returns the number of workers.
 func (e *Engine) PoolSize() int { return e.o.poolSize }
 
+// Recycle bumps the engine's instance generation: every worker retires its
+// (healthy) instance and creates a replacement before executing its next
+// request, and stale warm spares are discarded at take time. In-flight
+// requests finish on the instances that started them, so no request fails —
+// this is the engine half of zero-downtime program hot-swap (the other half
+// is an atomically swappable server factory; see SwapServer and Router).
+// The replacement wave is lazy: an idle worker recycles when its next
+// request arrives.
+func (e *Engine) Recycle() {
+	e.gen.Add(1)
+}
+
 // Stats returns a snapshot of the engine counters, including the
 // aggregated memory-error telemetry of all instances past and present. It
 // is safe to call from any goroutine at any time, including while the pool
@@ -248,8 +371,10 @@ func (e *Engine) Stats() Stats {
 		Served:       e.served.Load(),
 		Crashes:      e.crashes.Load(),
 		Restarts:     e.restarts.Load(),
+		Recycles:     e.recycles.Load(),
 		Timeouts:     e.timeouts.Load(),
 		Rejected:     e.rejected.Load(),
+		Shed:         e.shedCount.Load(),
 		BreakerTrips: e.trips.Load(),
 		ChaosKills:   e.chaosKills.Load(),
 		ChaosDelays:  e.chaosDelays.Load(),
@@ -265,12 +390,15 @@ func (e *Engine) Metrics() Metrics {
 }
 
 // Submit dispatches one request and blocks until its response. It returns
-// ErrQueueFull immediately when the admission queue is at capacity, and
-// ErrClosed when the engine is (or becomes) closed. A nil ctx means no
-// caller-side cancellation; the engine's configured deadline, if any, is
-// applied on top of ctx in either case. Deadline expiry is reported as a
-// Response with fo.OutcomeDeadline, not an error: the request was admitted
-// and accounted, it just ran out of time.
+// ErrQueueFull immediately when the admission queue is at capacity (with
+// shedding enabled: at capacity with every queued request still able to
+// meet its deadline), ErrShed when the request was queued but aged out of
+// its deadline under overload, and ErrClosed when the engine is (or
+// becomes) closed. A nil ctx means no caller-side cancellation; the
+// engine's configured deadline, if any, is applied on top of ctx in either
+// case. Deadline expiry of an admitted-and-executed request is reported as
+// a Response with fo.OutcomeDeadline, not an error: the request was
+// admitted and accounted, it just ran out of time.
 func (e *Engine) Submit(ctx context.Context, req servers.Request) (servers.Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -280,18 +408,27 @@ func (e *Engine) Submit(ctx context.Context, req servers.Request) (servers.Respo
 		ctx, cancel = context.WithTimeout(ctx, e.o.deadline)
 		defer cancel()
 	}
-	t := &task{ctx: ctx, req: req, resp: make(chan servers.Response, 1)}
-	select {
-	case e.tasks <- t:
-	case <-e.closing.Done():
-		return servers.Response{}, ErrClosed
-	default:
-		e.rejected.Add(1)
-		return servers.Response{}, ErrQueueFull
+	t := &task{ctx: ctx, req: req, resp: make(chan taskResult, 1), enq: time.Now()}
+	if e.q != nil {
+		if err := e.q.push(t); err != nil {
+			if errors.Is(err, ErrQueueFull) {
+				e.rejected.Add(1)
+			}
+			return servers.Response{}, err
+		}
+	} else {
+		select {
+		case e.tasks <- t:
+		case <-e.closing.Done():
+			return servers.Response{}, ErrClosed
+		default:
+			e.rejected.Add(1)
+			return servers.Response{}, ErrQueueFull
+		}
 	}
 	select {
-	case resp := <-t.resp:
-		return resp, nil
+	case r := <-t.resp:
+		return r.resp, r.err
 	case <-e.closing.Done():
 		return servers.Response{}, ErrClosed
 	}
@@ -301,15 +438,20 @@ func (e *Engine) Submit(ctx context.Context, req servers.Request) (servers.Respo
 // requests are canceled through the interpreter's cancellation hook, and
 // Submits blocked on them return ErrClosed. Close is idempotent.
 func (e *Engine) Close() {
-	e.once.Do(e.closeFunc)
+	e.once.Do(func() {
+		e.closeFunc()
+		if e.q != nil {
+			e.q.close()
+		}
+	})
 	e.wg.Wait()
 	if e.spares != nil {
 		// The filler has exited; drain any remaining pre-warmed instances
 		// and return their pooled memory.
 		for {
 			select {
-			case inst := <-e.spares:
-				releaseInstance(inst)
+			case sp := <-e.spares:
+				releaseInstance(sp.inst)
 			default:
 				return
 			}
@@ -317,79 +459,141 @@ func (e *Engine) Close() {
 	}
 }
 
+// next blocks until a task is available on whichever queue the engine runs,
+// returning false when the engine is closing.
+func (e *Engine) next() (*task, bool) {
+	if e.q != nil {
+		return e.q.pop()
+	}
+	select {
+	case <-e.closing.Done():
+		return nil, false
+	case t := <-e.tasks:
+		return t, true
+	}
+}
+
 // worker owns one instance: it pulls tasks from the shared queue, executes
-// them under the task context, and supervises its instance across crashes.
-func (e *Engine) worker(inst servers.Instance) {
+// them under the task context, and supervises its instance across crashes
+// and hot-swap recycles. instGen is the generation read before inst was
+// created (see New) — passed in rather than loaded here because the
+// goroutine may first run after a swap has already bumped the generation.
+func (e *Engine) worker(inst servers.Instance, instGen uint64) {
 	defer e.wg.Done()
 	consecutive := 0 // crashes since the last successful response
 	for {
-		select {
-		case <-e.closing.Done():
+		t, ok := e.next()
+		if !ok {
 			return
-		case t := <-e.tasks:
-			if err := t.ctx.Err(); err != nil {
-				// Expired while queued: answer without burning the
-				// instance on a request nobody is waiting for.
+		}
+		if err := t.ctx.Err(); err != nil {
+			// Expired while queued: answer without burning the
+			// instance on a request nobody is waiting for.
+			e.timeouts.Add(1)
+			t.resp <- taskResult{resp: servers.Response{Outcome: fo.OutcomeDeadline, Err: err}}
+			continue
+		}
+		var seq uint64
+		if e.o.chaos.enabled() {
+			seq = e.taskSeq.Add(1)
+			if c := e.o.chaos; c.LatencyEvery > 0 && seq%c.LatencyEvery == 0 {
+				e.chaosDelays.Add(1)
+				if !e.sleep(c.Latency) {
+					return // engine closed mid-delay
+				}
+			}
+		}
+		var resp servers.Response
+		if err := t.ctx.Err(); err != nil {
+			// Expired during the injected chaos delay: answer
+			// deterministically instead of racing the handler against
+			// the interpreter's cancellation poll (a short handler
+			// could finish before the first poll and mask the expiry).
+			// Control falls through to the chaos kill check below —
+			// overlapping kill and delay cadences must not mask each
+			// other.
+			e.timeouts.Add(1)
+			resp = servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
+		} else {
+			// Hot-swap recycle point: between requests, so the retiring
+			// instance has no work in flight, and before execution, so
+			// this request is already served by the new program.
+			if inst = e.maybeRecycle(inst, &instGen); inst == nil {
+				return // engine closed while replacing the instance
+			}
+			t0 := time.Now()
+			resp = e.execute(inst, t)
+			d := time.Since(t0)
+			e.latency.record(d)
+			if e.q != nil {
+				e.q.observe(d)
+			}
+			e.served.Add(1)
+			if resp.Outcome == fo.OutcomeDeadline {
 				e.timeouts.Add(1)
-				t.resp <- servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
-				continue
 			}
-			var seq uint64
-			if e.o.chaos.enabled() {
-				seq = e.taskSeq.Add(1)
-				if c := e.o.chaos; c.LatencyEvery > 0 && seq%c.LatencyEvery == 0 {
-					e.chaosDelays.Add(1)
-					if !e.sleep(c.Latency) {
-						return // engine closed mid-delay
-					}
-				}
+		}
+		t.resp <- taskResult{resp: resp}
+		killed := false
+		if c := e.o.chaos; c.KillEvery > 0 && seq > 0 && seq%c.KillEvery == 0 {
+			if k, ok := inst.(interface{ Kill() }); ok {
+				k.Kill()
+				e.chaosKills.Add(1)
+				killed = true
 			}
-			var resp servers.Response
-			if err := t.ctx.Err(); err != nil {
-				// Expired during the injected chaos delay: answer
-				// deterministically instead of racing the handler against
-				// the interpreter's cancellation poll (a short handler
-				// could finish before the first poll and mask the expiry).
-				// Control falls through to the chaos kill check below —
-				// overlapping kill and delay cadences must not mask each
-				// other.
-				e.timeouts.Add(1)
-				resp = servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
-			} else {
-				t0 := time.Now()
-				resp = e.execute(inst, t)
-				e.latency.record(time.Since(t0))
-				e.served.Add(1)
-				if resp.Outcome == fo.OutcomeDeadline {
-					e.timeouts.Add(1)
-				}
+		}
+		if resp.Crashed() || !inst.Alive() {
+			if resp.Crashed() || !killed {
+				// Organic crash: count it and grow the backoff. A
+				// chaos kill takes the same retire/respawn path but
+				// is accounted separately and respawns immediately.
+				e.crashes.Add(1)
+				consecutive++
 			}
-			t.resp <- resp
-			killed := false
-			if c := e.o.chaos; c.KillEvery > 0 && seq > 0 && seq%c.KillEvery == 0 {
-				if k, ok := inst.(interface{ Kill() }); ok {
-					k.Kill()
-					e.chaosKills.Add(1)
-					killed = true
-				}
+			e.retireLog(inst.Log())
+			releaseInstance(inst)
+			instGen = e.gen.Load()
+			inst = e.respawn(&consecutive)
+			if inst == nil {
+				return // engine closed while backing off
 			}
-			if resp.Crashed() || !inst.Alive() {
-				if resp.Crashed() || !killed {
-					// Organic crash: count it and grow the backoff. A
-					// chaos kill takes the same retire/respawn path but
-					// is accounted separately and respawns immediately.
-					e.crashes.Add(1)
-					consecutive++
-				}
-				e.retireLog(inst.Log())
-				releaseInstance(inst)
-				inst = e.respawn(&consecutive)
-				if inst == nil {
-					return // engine closed while backing off
-				}
-			} else if resp.Outcome == fo.OutcomeOK {
-				consecutive = 0
-			}
+		} else if resp.Outcome == fo.OutcomeOK {
+			consecutive = 0
+		}
+	}
+}
+
+// maybeRecycle replaces inst when a Recycle has bumped the engine's
+// instance generation since inst was created: the healthy old instance is
+// retired (its telemetry folded into the aggregate, its pooled memory
+// released) and a fresh instance — warm spare of the current generation or
+// cold spawn — takes its place. Called between requests, so the swap never
+// interrupts in-flight work. Returns inst unchanged when the generation is
+// current, and nil when the engine closed mid-replacement.
+func (e *Engine) maybeRecycle(inst servers.Instance, instGen *uint64) servers.Instance {
+	if e.gen.Load() == *instGen {
+		return inst
+	}
+	e.retireLog(inst.Log())
+	releaseInstance(inst)
+	for {
+		// Read the generation before creating, so a swap racing the spawn
+		// can only make this replacement look stale (recycled again on the
+		// next request), never current-but-old.
+		*instGen = e.gen.Load()
+		if ni, ok := e.takeSpare(); ok {
+			e.recycles.Add(1)
+			e.adoptLog(ni.Log())
+			return ni
+		}
+		ni, err := e.srv.New(e.mode)
+		if err == nil {
+			e.recycles.Add(1)
+			e.adoptLog(ni.Log())
+			return ni
+		}
+		if !e.sleep(e.o.backoffBase) {
+			return nil
 		}
 	}
 }
@@ -413,14 +617,10 @@ func (e *Engine) respawn(consecutive *int) servers.Instance {
 	// creation cost and no backoff: the spawn already happened off the
 	// serving path. When crashes outpace the filler the channel is empty
 	// and replacement falls through to the cold path below.
-	if e.spares != nil {
-		select {
-		case inst := <-e.spares:
-			e.restarts.Add(1)
-			e.adoptLog(inst.Log())
-			return inst
-		default:
-		}
+	if inst, ok := e.takeSpare(); ok {
+		e.restarts.Add(1)
+		e.adoptLog(inst.Log())
+		return inst
 	}
 	for {
 		switch {

@@ -1,0 +1,94 @@
+// Package registry is the name-keyed catalog of server reproductions: one
+// place that knows every servers.Server implementation and how to build a
+// fresh one. The public fo/srv API (srv.Names / srv.New), the fobench
+// experiment driver, and the fault-injection campaign all select servers
+// through it, so adding a server model means adding exactly one table entry
+// here instead of updating parallel switch statements.
+//
+// It is a separate package from internal/servers because the server
+// implementations import servers for the shared request/response model; a
+// table of their constructors inside package servers would be an import
+// cycle.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"focc/internal/servers"
+	"focc/internal/servers/apache"
+	"focc/internal/servers/mc"
+	"focc/internal/servers/mutt"
+	"focc/internal/servers/pine"
+	"focc/internal/servers/sendmail"
+)
+
+// entry is one catalog row: the canonical name and the factory. A factory
+// per call matters because some servers keep host-side state on the Server
+// value (Midnight Commander's virtual filesystem, Mutt's folder set);
+// callers that need isolated runs must be able to get a fresh value.
+type entry struct {
+	name string
+	make func() servers.Server
+}
+
+// catalog lists the five server reproductions from the paper's evaluation
+// (§4.2–§4.6), in paper order. Paper order is the report order everywhere
+// (figures, resilience matrix, campaign), so the table is a slice, not a
+// map.
+var catalog = []entry{
+	{"pine", func() servers.Server { return pine.NewServer() }},
+	{"apache", func() servers.Server { return apache.NewServer() }},
+	{"sendmail", func() servers.Server { return sendmail.NewServer() }},
+	{"mc", func() servers.Server { return mc.NewServer() }},
+	{"mutt", func() servers.Server { return mutt.NewServer() }},
+}
+
+// Names returns the canonical server names in paper order. The slice is a
+// fresh copy; callers may reorder it.
+func Names() []string {
+	names := make([]string, len(catalog))
+	for i, e := range catalog {
+		names[i] = e.name
+	}
+	return names
+}
+
+// New builds a fresh Server by name. Unknown names report the valid set.
+func New(name string) (servers.Server, error) {
+	mk, err := Factory(name)
+	if err != nil {
+		return nil, err
+	}
+	return mk(), nil
+}
+
+// Factory returns the constructor registered under name, for callers that
+// need several isolated instances of the same server model.
+func Factory(name string) (func() servers.Server, error) {
+	for _, e := range catalog {
+		if e.name == name {
+			return e.make, nil
+		}
+	}
+	return nil, fmt.Errorf("servers: unknown server %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// All returns one fresh instance of every registered server, in paper
+// order.
+func All() []servers.Server {
+	all := make([]servers.Server, len(catalog))
+	for i, e := range catalog {
+		all[i] = e.make()
+	}
+	return all
+}
+
+// Sorted returns the registered names in lexical order (for deterministic
+// user-facing listings that are not tied to paper order).
+func Sorted() []string {
+	names := Names()
+	sort.Strings(names)
+	return names
+}

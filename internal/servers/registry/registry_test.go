@@ -1,0 +1,54 @@
+package registry_test
+
+import (
+	"strings"
+	"testing"
+
+	"focc/internal/servers/registry"
+)
+
+// TestCatalogComplete pins the registered set: the five paper servers in
+// paper order, each factory producing a server whose Name matches its
+// registry key.
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"pine", "apache", "sendmail", "mc", "mutt"}
+	got := registry.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], name)
+		}
+		srv, err := registry.New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if srv.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, srv.Name())
+		}
+	}
+}
+
+// TestFactoryIsolation verifies each Factory call yields a distinct Server
+// value (servers with host-side state must not be shared across runs).
+func TestFactoryIsolation(t *testing.T) {
+	mk, err := registry.Factory("mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk() == mk() {
+		t.Error("Factory returned the same Server value twice")
+	}
+}
+
+// TestUnknownName checks the error names the valid set.
+func TestUnknownName(t *testing.T) {
+	_, err := registry.New("nginx")
+	if err == nil {
+		t.Fatal("New(nginx) succeeded")
+	}
+	if !strings.Contains(err.Error(), "apache") {
+		t.Errorf("error %q does not list valid names", err)
+	}
+}
