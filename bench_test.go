@@ -188,7 +188,7 @@ int churn(int n) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious, fo.Boundless, fo.Redirect} {
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious, fo.Boundless, fo.Redirect, fo.ModeRewind} {
 		b.Run(mode.String(), func(b *testing.B) {
 			m, err := prog.NewMachine(fo.MachineConfig{Mode: mode})
 			if err != nil {
@@ -199,6 +199,65 @@ int churn(int n) {
 			for n := 0; n < b.N; n++ {
 				if res := m.Call("churn", fo.Int(1024)); res.Outcome != fo.OutcomeOK {
 					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRewindCheckpoint isolates the cost of the rewind policy's
+// request-boundary checkpoint (EXPERIMENTS.md §rewind): "commit" is the
+// clean path — a write-heavy request that mutates globals and the heap,
+// paying the copy-on-write undo log plus the Commit — and "rollback" is a
+// request that trips an out-of-bounds write and pays the full Rewind
+// restore. The failure-oblivious contrast for the same commit workload is
+// BenchmarkPolicyOverhead/failure-oblivious.
+func BenchmarkRewindCheckpoint(b *testing.B) {
+	const src = `
+char state[1024];
+int handle(int n) {
+	char *blk = (char *)malloc(64);
+	int i;
+	for (i = 0; i < 1024; i++)
+		state[i] = (char)(i + n);
+	blk[0] = 'x';
+	free(blk);
+	return state[0];
+}
+int poison(int n) {
+	char buf[8];
+	int i;
+	for (i = 0; i < 1024; i++)
+		state[i] = (char)i;
+	for (i = 0; i < n; i++)
+		buf[i] = 'y';   /* overruns for n > 8: triggers the rollback */
+	return 0;
+}
+`
+	prog, err := fo.Compile("ckpt.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		fn   string
+		arg  int64
+		want fo.Outcome
+	}{
+		{"commit", "handle", 0, fo.OutcomeOK},
+		{"rollback", "poison", 64, fo.OutcomeRewound},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.ModeRewind})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if res := m.Call(c.fn, fo.Int(c.arg)); res.Outcome != c.want {
+					b.Fatalf("%s: %v (%v)", c.fn, res.Outcome, res.Err)
 				}
 			}
 		})

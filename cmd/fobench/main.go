@@ -17,7 +17,7 @@
 //	fobench -experiment errlog       # per-mode memory-error event profiles (§3)
 //	fobench -experiment propagation  # error propagation distance (§1.2)
 //	fobench -experiment ablation     # manufactured-value sequence (§3)
-//	fobench -experiment campaign     # seeded fault-injection campaign (internal/inject)
+//	fobench -experiment campaign     # seeded 4-way fault-injection campaign incl. rewind (internal/inject)
 //	fobench -experiment cluster      # sharded router goodput under open-loop overload
 //	fobench -experiment list         # print this experiment table
 //
@@ -72,7 +72,7 @@ var experiments = []struct {
 	{"errlog", "per-mode memory-error event profiles (§3)"},
 	{"propagation", "error propagation distance (§1.2)"},
 	{"ablation", "manufactured-value sequence (§3)"},
-	{"campaign", "seeded fault-injection campaign (internal/inject)"},
+	{"campaign", "seeded 4-way fault-injection campaign incl. rewind (internal/inject)"},
 	{"cluster", "sharded router goodput under open-loop overload"},
 	{"list", "print this experiment table"},
 }
@@ -93,6 +93,7 @@ type campaignOpts struct {
 	faults  int
 	out     string // write the JSON report here ("" = table only)
 	servers string // comma-separated subset ("" = all five)
+	modes   string // comma-separated mode subset ("" = the 4-way matrix)
 }
 
 // clusterOpts carries the cluster experiment's flags.
@@ -117,6 +118,8 @@ func main() {
 	faults := flag.Int("faults", 40, "campaign: fault points sampled per server")
 	campaignOut := flag.String("campaign-out", "", "campaign: write the JSON report to this file")
 	campaignServers := flag.String("campaign-servers", "", "campaign: comma-separated server subset (default all five)")
+	campaignModes := flag.String("campaign-modes", "",
+		"campaign: comma-separated mode subset, e.g. failure-oblivious,rewind (default standard,bounds-check,failure-oblivious,rewind)")
 	clusterOut := flag.String("cluster-out", "", "cluster: write the JSON report to this file")
 	clusterDur := flag.Duration("cluster-duration", time.Second, "cluster: open-loop generation time per cell")
 	flag.Parse()
@@ -133,7 +136,7 @@ func main() {
 		LegitPerClient:  *legitN,
 		Seed:            *seed,
 	}
-	co := campaignOpts{seed: *seed, faults: *faults, out: *campaignOut, servers: *campaignServers}
+	co := campaignOpts{seed: *seed, faults: *faults, out: *campaignOut, servers: *campaignServers, modes: *campaignModes}
 	cl := clusterOpts{seed: *seed, duration: *clusterDur, out: *clusterOut}
 	if err := dispatch(*experiment, *reps, *soakN, clock, cfg, co, cl); err != nil {
 		fmt.Fprintln(os.Stderr, "fobench:", err)
@@ -234,6 +237,15 @@ func runCampaign(o campaignOpts) error {
 	if o.servers != "" {
 		for _, name := range strings.Split(o.servers, ",") {
 			plan.Servers = append(plan.Servers, strings.TrimSpace(name))
+		}
+	}
+	if o.modes != "" {
+		for _, name := range strings.Split(o.modes, ",") {
+			mode, err := fo.ParseMode(strings.TrimSpace(name))
+			if err != nil {
+				return fmt.Errorf("campaign: %w", err)
+			}
+			plan.Modes = append(plan.Modes, mode)
 		}
 	}
 	rep, err := inject.Run(plan, inject.AllTargets())

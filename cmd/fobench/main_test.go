@@ -114,9 +114,37 @@ func TestCampaignExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatalf("JSON report not written: %v", err)
 	}
-	for _, want := range []string{`"Seed": 7`, `"Server": "pine"`, `"failure-oblivious"`} {
+	for _, want := range []string{`"Seed": 7`, `"Server": "pine"`, `"failure-oblivious"`, `"rewind"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("JSON report missing %q", want)
 		}
+	}
+}
+
+// -campaign-modes restricts the matrix and accepts every parseable mode
+// name, rewind included; unknown names are rejected up front.
+func TestCampaignModesFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	out := filepath.Join(t.TempDir(), "campaign.json")
+	co := campaignOpts{seed: 7, faults: 4, out: out, servers: "pine", modes: "failure-oblivious, rewind"}
+	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, clusterOpts{}); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"rewind"`) {
+		t.Error("JSON report missing rewind cells")
+	}
+	if strings.Contains(string(data), `"bounds-check"`) {
+		t.Error("JSON report contains a mode excluded by -campaign-modes")
+	}
+
+	co.modes = "bogus"
+	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, clusterOpts{}); err == nil {
+		t.Error("expected error for unknown campaign mode")
 	}
 }

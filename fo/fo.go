@@ -7,6 +7,7 @@
 //	fo.FailureOblivious  discard invalid writes, manufacture invalid reads
 //	fo.Boundless         store invalid writes in a side hash table (§5.1)
 //	fo.Redirect          wrap out-of-bounds offsets into the unit (§5.1)
+//	fo.ModeRewind        checkpoint per request; roll back on memory error
 //
 // Quickstart:
 //
@@ -43,10 +44,16 @@ const (
 	// TxTerm is the transactional-function-termination comparison policy
 	// from the paper's §5.2 related-work discussion.
 	TxTerm = core.TxTerm
+	// ModeRewind is the rewind-and-discard policy: checkpoint the address
+	// space at each request boundary and, when a memory error is detected,
+	// roll the request back (OutcomeRewound) instead of manufacturing a
+	// value or terminating — FO-grade availability with zero corrupted
+	// output.
+	ModeRewind = core.ModeRewind
 )
 
 // ParseMode parses a mode name ("standard", "bounds", "oblivious",
-// "boundless", "redirect").
+// "boundless", "redirect", "txterm", "rewind").
 func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
 // Re-exported execution types; see the internal packages for details.
@@ -96,6 +103,10 @@ const (
 	// OutcomeDeadline is a call canceled by its context (see
 	// Machine.CallContext); the machine survives it.
 	OutcomeDeadline = interp.OutcomeDeadline
+	// OutcomeRewound is a call rolled back by the ModeRewind policy after
+	// a detected memory error; the machine survives with no surviving
+	// mutations from the failed request.
+	OutcomeRewound = interp.OutcomeRewound
 )
 
 // NewSmallIntGenerator returns the paper's manufactured-value sequence

@@ -61,6 +61,7 @@ func writePrometheus(w http.ResponseWriter, m Metrics) {
 	counter("fo_instance_crashes_total", "Requests that killed their instance.", m.Crashes)
 	counter("fo_instance_restarts_total", "Replacement instances created by the supervisor.", m.Restarts)
 	counter("fo_request_timeouts_total", "Deadline-exceeded requests.", m.Timeouts)
+	counter("fo_requests_rewound_total", "Requests rolled back by the rewind policy.", m.Rewound)
 	counter("fo_requests_rejected_total", "Queue-full admission rejections.", m.Rejected)
 	counter("fo_breaker_trips_total", "Restart-storm circuit-breaker activations.", m.BreakerTrips)
 

@@ -14,6 +14,10 @@
 //   - Redirect: wrap out-of-bounds offsets back into the accessed data
 //     unit (paper §5.1, "redirects out of bounds accesses back into the
 //     accessed data unit at an appropriate offset").
+//
+// Two further policies extend the paper's comparison: TxTerm (§5.2's
+// transactional function termination, txterm.go) and ModeRewind (the
+// rewind-and-discard checkpoint/rollback policy, rewind.go).
 package core
 
 import (
@@ -49,6 +53,8 @@ func (m Mode) String() string {
 		return "redirect"
 	case TxTerm:
 		return "tx-term"
+	case ModeRewind:
+		return "rewind"
 	}
 	return "unknown-mode"
 }
@@ -68,8 +74,10 @@ func ParseMode(s string) (Mode, error) {
 		return Redirect, nil
 	case "txterm", "tx-term":
 		return TxTerm, nil
+	case "rewind":
+		return ModeRewind, nil
 	}
-	return Standard, fmt.Errorf("unknown mode %q (want standard, bounds, oblivious, boundless, redirect, or txterm)", s)
+	return Standard, fmt.Errorf("unknown mode %q (want standard, bounds, oblivious, boundless, redirect, txterm, or rewind)", s)
 }
 
 // Pointer is a runtime pointer value: an address plus the provenance data
@@ -627,6 +635,8 @@ func New(mode Mode, as *mem.AddressSpace, gen ValueGenerator, log *EventLog) Acc
 		return NewRedirect(as, gen, log)
 	case TxTerm:
 		return NewTxTerm(as, log)
+	case ModeRewind:
+		return NewRewind(as, log)
 	}
 	panic(fmt.Sprintf("core.New: unknown mode %d", mode))
 }

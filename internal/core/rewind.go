@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"focc/internal/cc/token"
+	"focc/internal/mem"
+)
+
+// ModeRewind is the rewind-and-discard continuation policy: the modern
+// alternative to manufacturing values described by "Secure Rewind and
+// Discard of Isolated Domains" and "Unlimited Lives" — checkpoint the
+// address space at the request boundary, and when a memory error is
+// detected roll the whole request back (mem.Checkpoint) and fail only the
+// poisoned request. The instance stays hot and uncorrupted: no value is
+// ever manufactured, no invalid write ever lands, and unlike BoundsCheck
+// the process is not terminated.
+const ModeRewind Mode = TxTerm + 1
+
+// RewindAbort is the control signal the rewind policy raises on an invalid
+// access. The interpreter catches it at the request boundary, rewinds the
+// address space to the checkpoint taken at request entry, and reports the
+// request as rewound (interp.OutcomeRewound).
+type RewindAbort struct {
+	Pos   token.Pos
+	Write bool
+	Addr  uint64
+}
+
+func (e *RewindAbort) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("%s: invalid %s at 0x%x: rewinding to request boundary",
+		e.Pos, op, e.Addr)
+}
+
+type rewindAccessor struct {
+	table
+	log *EventLog
+}
+
+// NewRewind returns the rewind-and-discard accessor. The caller (the
+// machine's per-request call path) owns the checkpoint lifecycle; the
+// accessor's contributions are copy-on-write notification on in-bounds
+// stores and raising RewindAbort on the first invalid access.
+func NewRewind(as *mem.AddressSpace, log *EventLog) Accessor {
+	return &rewindAccessor{table: table{as: as}, log: log}
+}
+
+func (a *rewindAccessor) Mode() Mode { return ModeRewind }
+
+func (a *rewindAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
+	if !inBounds(p, len(buf)) {
+		victim := a.lookup(p.Addr)
+		a.log.addDenied(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
+			Unit: unitName(p.Prov), Victim: unitName(victim)})
+		return nil, &RewindAbort{Pos: pos, Addr: p.Addr}
+	}
+	off := p.Addr - p.Prov.Base
+	copy(buf, p.Prov.Data[off:])
+	if len(buf) == 8 {
+		return p.Prov.GetShadow(off), nil
+	}
+	return nil, nil
+}
+
+func (a *rewindAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
+	if !inBounds(p, len(data)) || p.Prov.ReadOnly {
+		victim := a.lookup(p.Addr)
+		a.log.addDenied(Event{Pos: pos, Write: true, Addr: p.Addr,
+			Size: len(data), Unit: unitName(p.Prov), Victim: unitName(victim)})
+		return &RewindAbort{Pos: pos, Write: true, Addr: p.Addr}
+	}
+	// Copy-on-write hook: snapshot the unit into the active checkpoint's
+	// undo log before the first mutation.
+	a.as.NoteMutation(p.Prov)
+	off := p.Addr - p.Prov.Base
+	copy(p.Prov.Data[off:], data)
+	if prov != nil && len(data) == 8 {
+		p.Prov.SetShadow(off, prov)
+	} else {
+		p.Prov.ClearShadowRange(off, uint64(len(data)))
+	}
+	return nil
+}

@@ -32,6 +32,10 @@ type Plan struct {
 	MaxSteps uint64
 	// Servers restricts the campaign to the named targets (nil = all).
 	Servers []string
+	// Modes restricts the comparison to the listed modes, in order
+	// (nil = the full four-way matrix: standard, bounds-check,
+	// failure-oblivious, rewind).
+	Modes []fo.Mode
 	// Strategies is the manufactured-value sweep set (nil = Strategies).
 	Strategies []Strategy
 	// Chaos configures the serving-layer chaos section; nil skips it.
@@ -114,6 +118,13 @@ const (
 	// OutcomeDeadline: the request hung until the step-budget watchdog
 	// (the campaign's deterministic stand-in for a wall-clock deadline).
 	OutcomeDeadline PointOutcome = "deadline"
+	// OutcomeRewound: the rewind policy rolled the faulted request back to
+	// the request boundary — the request itself failed (no output
+	// produced), but the server stayed up and the probe request matched
+	// the clean run exactly. The server refused to answer rather than
+	// answer wrongly, so this counts toward survival without being a
+	// corrupted output.
+	OutcomeRewound PointOutcome = "rewound"
 )
 
 // PointResult is the outcome of one fault point under one mode, with the
@@ -131,11 +142,15 @@ type Cell struct {
 	Terminated int
 	Corrupted  int
 	Deadline   int
+	// Rewound counts fault points the rewind policy rolled back cleanly
+	// (zero outside the rewind cell).
+	Rewound int
 	// SurvivalRate is the fraction of fault points after which the
-	// server was still serving (survived + corrupted-output): the
-	// paper's availability metric — a server that keeps answering with
-	// occasionally wrong output is degraded, one that is dead serves
-	// nobody.
+	// server was still serving (survived + corrupted-output + rewound):
+	// the paper's availability metric — a server that keeps answering
+	// with occasionally wrong output is degraded, one that refuses a
+	// poisoned request but keeps serving is degraded less, and one that
+	// is dead serves nobody.
 	SurvivalRate float64
 	// MemErrors totals the memory-error events logged across the cell.
 	MemErrors uint64
@@ -202,9 +217,10 @@ func (r *Report) JSON() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// campaignModes are the three compilation modes the campaign compares —
-// the paper's evaluation matrix.
-var campaignModes = []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious}
+// campaignModes are the compilation modes the campaign compares: the
+// paper's three-way evaluation matrix plus the rewind-and-discard policy,
+// which trades manufactured values for request-boundary rollback.
+var campaignModes = []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious, fo.ModeRewind}
 
 // profileInfo is a request's access footprint, measured by running it once
 // on a counting (unarmed) instance: the injectable ordinal ranges for each
@@ -495,6 +511,19 @@ func runPoint(t Target, mode fo.Mode, spec PointSpec, p profileInfo, maxSteps ui
 	if err != nil {
 		return PointResult{}, err
 	}
+	if resp.Outcome == fo.OutcomeRewound {
+		// The rewind policy rolled the faulted request back; its output is
+		// an explicit refusal, not a wrong answer, so only the probe is
+		// compared: a matching probe proves the rollback left no trace, a
+		// diverging one means corruption escaped the checkpoint (e.g. a
+		// pre-request corrupt-byte fault the rollback cannot reach).
+		if sameOutput(probe, tw.probe) {
+			res.Outcome = OutcomeRewound
+		} else {
+			res.Outcome = OutcomeCorrupted
+		}
+		return res, nil
+	}
 	if sameOutput(resp, tw.req) && sameOutput(probe, tw.probe) {
 		res.Outcome = OutcomeSurvived
 	} else {
@@ -514,6 +543,8 @@ func (c *Cell) tally(r PointResult) {
 		c.Corrupted++
 	case OutcomeDeadline:
 		c.Deadline++
+	case OutcomeRewound:
+		c.Rewound++
 	}
 	c.MemErrors += r.MemErrors
 	c.Results = append(c.Results, r)
@@ -521,7 +552,7 @@ func (c *Cell) tally(r PointResult) {
 
 func (c *Cell) finish(points int) {
 	if points > 0 {
-		c.SurvivalRate = float64(c.Survived+c.Corrupted) / float64(points)
+		c.SurvivalRate = float64(c.Survived+c.Corrupted+c.Rewound) / float64(points)
 	}
 }
 
@@ -542,9 +573,13 @@ func Run(plan Plan, targets []Target) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	modes := plan.Modes
+	if len(modes) == 0 {
+		modes = campaignModes
+	}
 
 	rep := &Report{Seed: plan.Seed, Faults: plan.Faults}
-	for _, m := range campaignModes {
+	for _, m := range modes {
 		rep.Modes = append(rep.Modes, m.String())
 	}
 	sweepAgg := make([]SweepCell, len(strategies))
@@ -567,7 +602,7 @@ func Run(plan Plan, targets []Target) (*Report, error) {
 		srvRep.Points = samplePoints(rng, plan.Faults, prof)
 
 		twins := make(map[twinKey]twin)
-		for _, mode := range campaignModes {
+		for _, mode := range modes {
 			cell := Cell{Mode: mode.String()}
 			for _, spec := range srvRep.Points {
 				res, err := runPoint(t, mode, spec, prof[spec.Req], plan.MaxSteps, nil, twins)
@@ -623,7 +658,7 @@ func Run(plan Plan, targets []Target) (*Report, error) {
 
 	if plan.Chaos != nil && len(selected) > 0 {
 		rep.ChaosServer = selected[0].Name
-		if rep.Chaos, err = runChaos(selected[0], *plan.Chaos); err != nil {
+		if rep.Chaos, err = runChaos(selected[0], *plan.Chaos, modes); err != nil {
 			return nil, err
 		}
 	}
@@ -653,9 +688,9 @@ func selectTargets(names []string, targets []Target) ([]Target, error) {
 // runChaos drives the serving-layer chaos section: per mode, a
 // single-worker engine fed sequentially, with counter-keyed kills and
 // delays (see serve.ChaosConfig for why this is deterministic).
-func runChaos(t Target, cp ChaosPlan) ([]ChaosCell, error) {
+func runChaos(t Target, cp ChaosPlan, modes []fo.Mode) ([]ChaosCell, error) {
 	var cells []ChaosCell
-	for _, mode := range campaignModes {
+	for _, mode := range modes {
 		srv := t.New()
 		opts := []serve.Option{
 			serve.WithPoolSize(1),
@@ -702,12 +737,12 @@ func FormatReport(r *Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fault-injection campaign: seed=%d faults=%d/server\n", r.Seed, r.Faults)
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "server\tmode\tsurvived\tterminated\tcorrupted\tdeadline\tsurvival\tmem-errors")
+	fmt.Fprintln(w, "server\tmode\tsurvived\tterminated\tcorrupted\trewound\tdeadline\tsurvival\tmem-errors")
 	for _, s := range r.Servers {
 		for _, c := range s.Cells {
-			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%.1f%%\t%d\n",
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%.1f%%\t%d\n",
 				s.Server, c.Mode, c.Survived, c.Terminated, c.Corrupted,
-				c.Deadline, 100*c.SurvivalRate, c.MemErrors)
+				c.Rewound, c.Deadline, 100*c.SurvivalRate, c.MemErrors)
 		}
 	}
 	w.Flush()

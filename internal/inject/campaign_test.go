@@ -105,6 +105,57 @@ func TestCampaignPaperOrdering(t *testing.T) {
 	}
 }
 
+// The rewind cell's contract: survival matches failure-oblivious (every
+// detected memory error is survived, by rollback instead of manufactured
+// values), nothing terminates, and — the property failure-oblivious cannot
+// offer — zero corrupted outputs from detected memory errors. The only
+// corrupted classifications allowed under rewind are fault classes that
+// never trip the detector (pre-request corrupt-byte state corruption and
+// gracefully handled alloc-oom), identified by a zero memory-error count on
+// the point.
+func TestCampaignRewindIntegrity(t *testing.T) {
+	plan := Plan{
+		Seed:       1,
+		Faults:     25,
+		Servers:    []string{"pine", "apache"},
+		Strategies: []Strategy{},
+	}
+	rep, err := Run(plan, AllTargets())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, s := range rep.Servers {
+		cells := map[string]Cell{}
+		for _, c := range s.Cells {
+			cells[c.Mode] = c
+		}
+		rw, fob := cells["rewind"], cells["failure-oblivious"]
+		if rw.Mode == "" || fob.Mode == "" {
+			t.Fatalf("%s: missing rewind or failure-oblivious cell", s.Server)
+		}
+		if rw.SurvivalRate < fob.SurvivalRate {
+			t.Errorf("%s: rewind survival %.2f below failure-oblivious %.2f",
+				s.Server, rw.SurvivalRate, fob.SurvivalRate)
+		}
+		if rw.Terminated != 0 {
+			t.Errorf("%s: rewind terminated %d points, want 0", s.Server, rw.Terminated)
+		}
+		if rw.Rewound == 0 {
+			t.Errorf("%s: rewind cell rolled back no points — policy not exercised", s.Server)
+		}
+		for i, r := range rw.Results {
+			if r.Outcome == OutcomeCorrupted && r.MemErrors != 0 {
+				t.Errorf("%s point %d (%s): corrupted output despite %d detected memory errors — rollback leaked state",
+					s.Server, i, s.Points[i].Class, r.MemErrors)
+			}
+			if r.Outcome == OutcomeRewound && r.MemErrors == 0 {
+				t.Errorf("%s point %d (%s): rewound without a detected memory error",
+					s.Server, i, s.Points[i].Class)
+			}
+		}
+	}
+}
+
 // The chaos section's counters are fully determined by the plan: a
 // single-worker engine fed sequentially kills on every KillEvery-th and
 // delays on every LatencyEvery-th request.
@@ -117,8 +168,8 @@ func TestCampaignChaosCounters(t *testing.T) {
 	if rep.ChaosServer != "pine" {
 		t.Fatalf("chaos server = %q, want pine", rep.ChaosServer)
 	}
-	if len(rep.Chaos) != 3 {
-		t.Fatalf("chaos cells = %d, want 3", len(rep.Chaos))
+	if len(rep.Chaos) != 4 {
+		t.Fatalf("chaos cells = %d, want one per campaign mode (4)", len(rep.Chaos))
 	}
 	cp := plan.Chaos
 	wantKills := cp.Requests / int(cp.KillEvery)

@@ -27,6 +27,7 @@ var diffModes = []core.Mode{
 	core.Boundless,
 	core.Redirect,
 	core.TxTerm,
+	core.ModeRewind,
 }
 
 // diffCall is one host-level call in a differential scenario.

@@ -83,6 +83,12 @@ const (
 	// machine survives: the stack is unwound and the instance keeps
 	// serving further calls.
 	OutcomeDeadline
+	// OutcomeRewound: the rewind policy (core.ModeRewind) detected a
+	// memory error and rolled the address space back to the checkpoint
+	// taken at request entry. Only this request failed — no value was
+	// manufactured and no mutation survived; the machine stays alive and
+	// keeps serving.
+	OutcomeRewound
 )
 
 func (o Outcome) String() string {
@@ -111,15 +117,18 @@ func (o Outcome) String() string {
 		return "runtime-error"
 	case OutcomeDeadline:
 		return "deadline-exceeded"
+	case OutcomeRewound:
+		return "rewound"
 	}
 	return "unknown"
 }
 
 // Crashed reports whether the outcome represents abnormal termination of
-// the process. A deadline-exceeded call is not a crash: the machine unwinds
-// and keeps serving.
+// the process. A deadline-exceeded or rewound call is not a crash: the
+// machine unwinds (or rolls back) and keeps serving.
 func (o Outcome) Crashed() bool {
-	return o != OutcomeOK && o != OutcomeExit && o != OutcomeDeadline
+	return o != OutcomeOK && o != OutcomeExit && o != OutcomeDeadline &&
+		o != OutcomeRewound
 }
 
 // Result is the outcome of a Run or Call.
@@ -479,10 +488,24 @@ func (m *Machine) call(name string, args []Value) (res Result) {
 	m.steps = 0
 	entrySP := m.as.SP()
 	savedRet, savedFrame, savedGoto := m.retVal, m.frame, m.gotoLabel
+	// The rewind policy checkpoints the address space at the request
+	// boundary: a detected memory error rolls every mutation back
+	// (OutcomeRewound below); every other exit — normal return, exit(),
+	// deadline, even a crash — commits. The checkpoint machinery charges
+	// no simulated cycles: the cost model's decision points are unchanged,
+	// and the policy's real-world overhead is measured in wall-clock
+	// benchmarks instead.
+	var ckpt *mem.Checkpoint
+	if m.acc.Mode() == core.ModeRewind {
+		ckpt = m.as.BeginCheckpoint()
+	}
 	defer func() {
 		res.Steps = m.steps
 		r := recover()
 		if r == nil {
+			if ckpt != nil {
+				m.as.Commit(ckpt)
+			}
 			return
 		}
 		switch p := r.(type) {
@@ -499,12 +522,25 @@ func (m *Machine) call(name string, args []Value) (res Result) {
 			m.retVal, m.frame, m.gotoLabel = savedRet, savedFrame, savedGoto
 			res = Result{Outcome: OutcomeDeadline, Err: m.cancelErr()}
 		case execPanic:
+			if ra, ok := p.err.(*core.RewindAbort); ok && ckpt != nil {
+				// Rewind-and-discard: restore the checkpoint (stack
+				// unwind included) and the pre-call frame state, and
+				// fail only this request. The machine stays alive.
+				m.as.Rewind(ckpt)
+				ckpt = nil
+				m.retVal, m.frame, m.gotoLabel = savedRet, savedFrame, savedGoto
+				res = Result{Outcome: OutcomeRewound, Err: ra}
+				break
+			}
 			res = Result{Outcome: classify(p.err), Err: p.err}
 			if res.Outcome.Crashed() {
 				m.dead = true
 			}
 		default:
 			panic(r)
+		}
+		if ckpt != nil {
+			m.as.Commit(ckpt)
 		}
 		res.Steps = m.steps
 	}()
@@ -709,8 +745,12 @@ func (m *Machine) execBody(fd *ast.FuncDecl) (ctl ctrl) {
 }
 
 // storeRaw writes a value directly into a unit (trusted compiler-generated
-// store: parameter binding, local init zero-fill).
+// store: parameter binding, local init zero-fill, direct named-variable
+// assignment). Direct stores can target pre-checkpoint units (globals), so
+// they participate in the rewind policy's copy-on-write protocol — a no-op
+// pointer compare unless a checkpoint is active.
 func (m *Machine) storeRaw(u *mem.Unit, off uint64, t *types.Type, v Value) {
+	m.as.NoteMutation(u)
 	m.simCycles += AccessCycles
 	size := t.Size()
 	switch {

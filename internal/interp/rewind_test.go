@@ -1,0 +1,120 @@
+package interp_test
+
+// End-to-end semantics of the rewind-and-discard policy (core.ModeRewind):
+// a request that trips a memory error is rolled back wholesale — global
+// mutations, heap allocations, and frees all revert to the request
+// boundary — the machine stays alive, and subsequent requests observe no
+// trace of the failed one. Both engines are exercised (the differential
+// tests in compile_diff_test.go additionally pin engine equality for
+// rewind).
+
+import (
+	"testing"
+
+	"focc/fo"
+)
+
+const rewindSrc = `
+int counter;
+char state[16];
+char *saved;
+
+int handle(int n) {
+	char buf[8];
+	int i;
+	counter++;
+	state[0] = 'a' + counter;
+	saved = (char *)malloc(32);
+	saved[0] = 'x';
+	for (i = 0; i < n; i++)
+		buf[i] = i;      /* overruns buf for n > 8 */
+	return counter;
+}
+
+int get_counter(int n) { return counter; }
+int get_state(int n) { return state[0]; }
+
+int drop(int n) {
+	char *p = (char *)malloc(16);
+	free(p);
+	if (n > 0)
+		free(p);         /* double free: detected memory error */
+	return 7;
+}
+`
+
+func newRewindMachine(t *testing.T, treeWalk bool) *fo.Machine {
+	t.Helper()
+	prog, err := fo.Compile("rewind.c", rewindSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine(fo.MachineConfig{Mode: fo.ModeRewind, TreeWalk: treeWalk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRewindDiscardsFailedRequest(t *testing.T) {
+	for _, engine := range []string{"compiled", "tree-walk"} {
+		t.Run(engine, func(t *testing.T) {
+			m := newRewindMachine(t, engine == "tree-walk")
+
+			// A clean request commits normally.
+			if res := m.Call("handle", fo.Int(4)); res.Outcome != fo.OutcomeOK || res.Value.I != 1 {
+				t.Fatalf("handle(4) = %v (%v), want OK/1", res.Outcome, res.Err)
+			}
+
+			// A poisoned request is rewound: the call fails, and every
+			// mutation it made (counter++, state write, malloc) is undone.
+			res := m.Call("handle", fo.Int(24))
+			if res.Outcome != fo.OutcomeRewound {
+				t.Fatalf("handle(24) = %v (%v), want rewound", res.Outcome, res.Err)
+			}
+			if res := m.Call("get_counter", fo.Int(0)); res.Value.I != 1 {
+				t.Errorf("counter = %d after rewound request, want 1", res.Value.I)
+			}
+			if res := m.Call("get_state", fo.Int(0)); res.Value.I != 'a'+1 {
+				t.Errorf("state[0] = %q after rewound request, want %q", res.Value.I, 'a'+1)
+			}
+
+			// The machine is alive and the next request picks up exactly
+			// where the committed state left off.
+			if res := m.Call("handle", fo.Int(4)); res.Outcome != fo.OutcomeOK || res.Value.I != 2 {
+				t.Errorf("handle(4) after rewind = %v value %d, want OK/2", res.Outcome, res.Value.I)
+			}
+		})
+	}
+}
+
+// A detected invalid free rolls the request back too (the libc
+// freeInvalid path), undoing the request's earlier valid free.
+func TestRewindOnInvalidFree(t *testing.T) {
+	for _, engine := range []string{"compiled", "tree-walk"} {
+		t.Run(engine, func(t *testing.T) {
+			m := newRewindMachine(t, engine == "tree-walk")
+			if res := m.Call("drop", fo.Int(0)); res.Outcome != fo.OutcomeOK || res.Value.I != 7 {
+				t.Fatalf("drop(0) = %v (%v), want OK/7", res.Outcome, res.Err)
+			}
+			res := m.Call("drop", fo.Int(1))
+			if res.Outcome != fo.OutcomeRewound {
+				t.Fatalf("drop(1) = %v (%v), want rewound", res.Outcome, res.Err)
+			}
+			// Still serving.
+			if res := m.Call("drop", fo.Int(0)); res.Outcome != fo.OutcomeOK {
+				t.Errorf("drop(0) after rewind = %v (%v), want OK", res.Outcome, res.Err)
+			}
+		})
+	}
+}
+
+// Rewound outcomes are not crashes: the serve layer keeps the instance.
+func TestRewoundNotCrashed(t *testing.T) {
+	if fo.OutcomeRewound.Crashed() {
+		t.Error("OutcomeRewound.Crashed() = true, want false")
+	}
+	if fo.OutcomeRewound.String() != "rewound" {
+		t.Errorf("OutcomeRewound.String() = %q, want rewound", fo.OutcomeRewound.String())
+	}
+}

@@ -81,6 +81,11 @@ var goldenCycles = map[fo.Mode]uint64{
 	fo.FailureOblivious: 10347,
 	fo.Boundless:        10347,
 	fo.Redirect:         10347,
+	// Rewind charges identically to BoundsCheck: both stop the request at
+	// the first invalid access, and the checkpoint machinery itself is
+	// free under the cost model (its overhead is real-world, measured in
+	// wall-clock benchmarks, not simulated cycles).
+	fo.ModeRewind: 9934,
 }
 
 func TestSimCyclesPinned(t *testing.T) {
@@ -121,6 +126,12 @@ func testSimCyclesPinned(t *testing.T, treeWalk bool) {
 				if mode == fo.BoundsCheck && c.fn == "oob" && c.arg > 8 {
 					if res.Outcome != fo.OutcomeMemErrorTermination {
 						t.Fatalf("%s(%d): outcome %v, want memory-error termination", c.fn, c.arg, res.Outcome)
+					}
+					continue
+				}
+				if mode == fo.ModeRewind && c.fn == "oob" && c.arg > 8 {
+					if res.Outcome != fo.OutcomeRewound {
+						t.Fatalf("%s(%d): outcome %v, want rewound", c.fn, c.arg, res.Outcome)
 					}
 					continue
 				}

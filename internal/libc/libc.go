@@ -268,6 +268,10 @@ func copyCStringFast(m *interp.Machine, dst, src core.Pointer, pos token.Pos) bo
 	if int64(len(dd)) < j+1 || dst.Prov.ReadOnly {
 		return false
 	}
+	// Like every store path that writes unit data directly, snapshot the
+	// destination into the rewind checkpoint's undo log (no-op unless a
+	// checkpoint is active) before mutating.
+	m.AddressSpace().NoteMutation(dst.Prov)
 	// Forward byte copy, like the checked loop (C leaves overlap undefined;
 	// we preserve the loop's exact behavior rather than memmove semantics).
 	for i := int64(0); i <= j; i++ {
@@ -381,8 +385,9 @@ func biRealloc(m *interp.Machine, pos token.Pos, args []interp.Value) interp.Val
 }
 
 // freeInvalid handles free/realloc of an invalid pointer according to the
-// active policy: Standard and BoundsCheck treat it as fatal; the
-// failure-oblivious family discards the operation and logs it.
+// active policy: Standard and BoundsCheck treat it as fatal; the rewind
+// policy treats it as a detected memory error and rolls the request back;
+// the failure-oblivious family discards the operation and logs it.
 func freeInvalid(m *interp.Machine, pos token.Pos, p interp.Value, what string) interp.Value {
 	switch m.Mode() {
 	case core.Standard:
@@ -390,6 +395,8 @@ func freeInvalid(m *interp.Machine, pos token.Pos, p interp.Value, what string) 
 	case core.BoundsCheck:
 		m.Fail(&core.MemError{Pos: pos, Write: true, Addr: p.Ptr.Addr,
 			Size: 0, Unit: "", Cause: what + " of invalid pointer"})
+	case core.ModeRewind:
+		m.Fail(&core.RewindAbort{Pos: pos, Write: true, Addr: p.Ptr.Addr})
 	default:
 		// Discard the invalid operation; continue executing.
 		m.NoteInvalidFree(pos, p.Ptr)

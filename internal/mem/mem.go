@@ -91,6 +91,12 @@ type Unit struct {
 	// shadow maps an in-unit byte offset to the provenance unit of a
 	// pointer value stored at that offset. Nil until first pointer store.
 	shadow map[uint64]*Unit
+
+	// ckptEpoch stamps the unit against the active checkpoint (see
+	// checkpoint.go): a unit carrying the checkpoint's epoch is either
+	// already in the undo log or was created after the checkpoint, so
+	// NoteMutation skips it in O(1).
+	ckptEpoch uint64
 }
 
 // End returns one past the last byte of the unit.
@@ -214,6 +220,12 @@ type AddressSpace struct {
 	// (non-zero), the n-th subsequent Malloc fails with the interned OOM
 	// fault instead of allocating. See InjectMallocFault.
 	mallocFaultIn uint64
+
+	// ckpt is the active rollback checkpoint, ckptEpoch the monotonically
+	// increasing epoch stamped onto units created or logged under it. See
+	// checkpoint.go.
+	ckpt      *Checkpoint
+	ckptEpoch uint64
 }
 
 // New creates an address space with the default stack size.
@@ -242,7 +254,8 @@ func (as *AddressSpace) HeapCorrupted() bool { return as.heapCorrupted }
 
 func (as *AddressSpace) newUnit(kind UnitKind, name string, base, size uint64, data []byte) *Unit {
 	as.nextID++
-	return &Unit{ID: as.nextID, Kind: kind, Name: name, Base: base, Size: size, Data: data}
+	return &Unit{ID: as.nextID, Kind: kind, Name: name, Base: base, Size: size, Data: data,
+		ckptEpoch: as.curEpoch()}
 }
 
 func roundUp(n, a uint64) uint64 { return (n + a - 1) / a * a }
@@ -337,6 +350,8 @@ func (as *AddressSpace) Malloc(size uint64) (*Unit, *Fault) {
 	as.nextID++
 	*blk = Unit{ID: as.nextID, Kind: KindHeap, Name: as.mallocName(size),
 		Base: base + heapHeaderSize, Size: size, Data: data[heapHeaderSize:]}
+	hdr.ckptEpoch = as.curEpoch()
+	blk.ckptEpoch = hdr.ckptEpoch
 	as.heapCur = blk.End()
 	as.heap = append(as.heap, hdr, blk)
 	as.stats.Mallocs++
@@ -379,8 +394,10 @@ func (as *AddressSpace) Free(addr uint64) *Fault {
 			return &Fault{Kind: FaultHeapCorrupt, Addr: addr,
 				Msg: "free(): corrupted block header"}
 		}
+		as.NoteMutation(hdr)
 		hdr.Dead = true
 	}
+	as.NoteMutation(u)
 	u.Dead = true
 	as.stats.Frees++
 	return nil
@@ -452,11 +469,12 @@ func (as *AddressSpace) PushFrame(fnName string, size uint64, locals []LocalSpec
 	// allocation; frames are pushed on every function call, so the
 	// per-unit allocations dominated the call path.
 	units := make([]Unit, 1+len(locals))
+	epoch := as.curEpoch()
 	gOff := guardBase - as.stackBase
 	guard := &units[0]
 	as.nextID++
 	*guard = Unit{ID: as.nextID, Kind: KindStackGuard, Name: fnName,
-		Base: guardBase, Size: canarySize,
+		Base: guardBase, Size: canarySize, ckptEpoch: epoch,
 		Data: as.stackArena[gOff : gOff+canarySize : gOff+canarySize]}
 	binary.LittleEndian.PutUint64(guard.Data, canaryMagic)
 	f := &Frame{
@@ -481,7 +499,8 @@ func (as *AddressSpace) PushFrame(fnName string, size uint64, locals []LocalSpec
 		u := &units[1+i]
 		as.nextID++
 		*u = Unit{ID: as.nextID, Kind: KindStack, Name: sp.Name,
-			Base: base, Size: sz, Data: as.stackArena[aOff : aOff+sz : aOff+sz]}
+			Base: base, Size: sz, ckptEpoch: epoch,
+			Data: as.stackArena[aOff : aOff+sz : aOff+sz]}
 		f.locals = append(f.locals, u)
 		f.offs = append(f.offs, sp.Off)
 		as.stack = append(as.stack, u)

@@ -66,10 +66,10 @@ func (c AIMDConfig) validate() error {
 		return fmt.Errorf("serve: AIMD minimum limit %d exceeds maximum %d", c.Min, c.Max)
 	}
 	if c.Window < 0 {
-		return fmt.Errorf("serve: AIMD window %d: must be positive", c.Window)
+		return fmt.Errorf("serve: AIMD window %d: must not be negative (zero selects the default of 32)", c.Window)
 	}
 	if c.Backoff < 0 || c.Backoff >= 1 {
-		return fmt.Errorf("serve: AIMD backoff factor %v: must be in (0, 1)", c.Backoff)
+		return fmt.Errorf("serve: AIMD backoff factor %v: must be in (0, 1), or zero to select the default of 0.75", c.Backoff)
 	}
 	return nil
 }

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -95,22 +94,31 @@ func mergeLatencySnapshots(snaps ...LatencySnapshot) LatencySnapshot {
 	for i := 0; i <= last; i++ {
 		m.Buckets[i] = LatencyBucket{UpperBound: bucketBound(i), Count: counts[i]}
 	}
-	quantile := func(p float64) time.Duration {
-		rank := uint64(math.Ceil(p * float64(total)))
-		if rank < 1 {
-			rank = 1
-		}
-		var cum uint64
-		for i := 0; i <= last; i++ {
-			cum += counts[i]
-			if cum >= rank {
-				return bucketBound(i)
-			}
-		}
-		return bucketBound(last)
-	}
-	m.P50, m.P95, m.P99 = quantile(0.50), quantile(0.95), quantile(0.99)
+	m.P50, m.P95, m.P99 = histQuantile(&counts, total, 50), histQuantile(&counts, total, 95), histQuantile(&counts, total, 99)
 	return m
+}
+
+// histQuantile returns the nearest-rank pct-th percentile over the bucket
+// counts, reported as the holding bucket's inclusive upper bound (so the
+// estimate is biased at most one power of two high). Rank is computed in
+// integer arithmetic — ceil(total*pct/100), clamped to at least 1 — so the
+// boundary ranks (e.g. p95 of a multiple of 20) never depend on float
+// rounding. Callers guarantee total > 0 and total == sum of counts.
+func histQuantile(counts *[histBuckets]uint64, total uint64, pct uint64) time.Duration {
+	rank := (total*pct + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range counts {
+		cum += counts[i]
+		if cum >= rank {
+			return bucketBound(i)
+		}
+	}
+	// total == sum of counts makes the loop return before this for every
+	// rank ≤ total; ranks can't exceed total for pct ≤ 100.
+	return bucketBound(histBuckets - 1)
 }
 
 func (h *hist) snapshot() LatencySnapshot {
@@ -133,20 +141,6 @@ func (h *hist) snapshot() LatencySnapshot {
 	for i := 0; i <= last; i++ {
 		s.Buckets[i] = LatencyBucket{UpperBound: bucketBound(i), Count: counts[i]}
 	}
-	quantile := func(p float64) time.Duration {
-		rank := uint64(math.Ceil(p * float64(total)))
-		if rank < 1 {
-			rank = 1
-		}
-		var cum uint64
-		for i := 0; i <= last; i++ {
-			cum += counts[i]
-			if cum >= rank {
-				return bucketBound(i)
-			}
-		}
-		return bucketBound(last)
-	}
-	s.P50, s.P95, s.P99 = quantile(0.50), quantile(0.95), quantile(0.99)
+	s.P50, s.P95, s.P99 = histQuantile(&counts, total, 50), histQuantile(&counts, total, 95), histQuantile(&counts, total, 99)
 	return s
 }

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the histogram's quantile semantics: nearest-rank over the
+// log buckets, each percentile reported as its bucket's inclusive upper
+// bound — i.e. biased at most one power of two above the true sample value,
+// and never below it.
+
+func TestHistBucketEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},                   // exactly the bucket-0 upper bound
+		{time.Microsecond + time.Nanosecond, 1}, // just past it
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{time.Duration(1) << 62, histBuckets - 1}, // clamps to the last bucket
+	}
+	for _, tc := range cases {
+		if got := bucketFor(tc.d); got != tc.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+	// The upper bound is inclusive: a duration equal to bucketBound(i) must
+	// land in bucket i, for every bucket.
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketFor(bucketBound(i)); got != i {
+			t.Errorf("bucketFor(bucketBound(%d)) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestHistSnapshotEmpty(t *testing.T) {
+	var h hist
+	s := h.snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Mean != 0 || s.Buckets != nil {
+		t.Errorf("empty snapshot = %+v, want zero value", s)
+	}
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot percentiles = %v/%v/%v, want 0", s.P50, s.P95, s.P99)
+	}
+}
+
+// A single recorded sample: every percentile is that sample's bucket bound,
+// at least the sample value and less than twice it (the one-power-of-two
+// bias contract).
+func TestHistSnapshotSingleSample(t *testing.T) {
+	var h hist
+	const d = 5 * time.Millisecond
+	h.record(d)
+	s := h.snapshot()
+	if s.Count != 1 || s.Sum != d || s.Mean != d {
+		t.Fatalf("snapshot = %+v, want count 1, sum/mean %v", s, d)
+	}
+	for _, p := range []time.Duration{s.P50, s.P95, s.P99} {
+		if p < d || p >= 2*d {
+			t.Errorf("percentile %v outside [%v, %v) — bias exceeds one power of two", p, d, 2*d)
+		}
+	}
+	if len(s.Buckets) != bucketFor(d)+1 {
+		t.Errorf("got %d buckets, want trailing-trimmed %d", len(s.Buckets), bucketFor(d)+1)
+	}
+}
+
+// Nearest-rank at an exact boundary: with 19 fast samples and 1 slow one,
+// p95's rank is ceil(0.95·20) = 19, which still lands in the fast bucket;
+// only p99 (rank 20) may report the slow outlier. A rank computation that
+// was off by one high would drag p95 up three orders of magnitude.
+func TestHistQuantileBoundaryRank(t *testing.T) {
+	var h hist
+	fast, slow := 10*time.Microsecond, 10*time.Millisecond
+	for i := 0; i < 19; i++ {
+		h.record(fast)
+	}
+	h.record(slow)
+	s := h.snapshot()
+	if want := bucketBound(bucketFor(fast)); s.P95 != want {
+		t.Errorf("p95 = %v, want fast-cohort bound %v (rank 19 of 20)", s.P95, want)
+	}
+	if want := bucketBound(bucketFor(slow)); s.P99 != want {
+		t.Errorf("p99 = %v, want slow-cohort bound %v (rank 20 of 20)", s.P99, want)
+	}
+	if want := bucketBound(bucketFor(fast)); s.P50 != want {
+		t.Errorf("p50 = %v, want fast-cohort bound %v", s.P50, want)
+	}
+}
+
+// Merged multi-shard snapshots answer quantiles over the union, not any
+// single shard: 3 shards × mixed cohorts, boundary ranks included.
+func TestHistQuantileMergedShards(t *testing.T) {
+	fast, mid, slow := 10*time.Microsecond, 300*time.Microsecond, 10*time.Millisecond
+	var a, b, c hist
+	for i := 0; i < 50; i++ {
+		a.record(fast)
+	}
+	for i := 0; i < 45; i++ {
+		b.record(mid)
+	}
+	for i := 0; i < 5; i++ {
+		c.record(slow)
+	}
+	m := mergeLatencySnapshots(a.snapshot(), b.snapshot(), c.snapshot())
+	if m.Count != 100 {
+		t.Fatalf("merged count = %d, want 100", m.Count)
+	}
+	// Ranks over the union of 100: p50 → 50 (fast), p95 → 95 (mid: the
+	// fast+mid cohorts cover ranks 1–95 exactly), p99 → 99 (slow).
+	if want := bucketBound(bucketFor(fast)); m.P50 != want {
+		t.Errorf("merged p50 = %v, want %v", m.P50, want)
+	}
+	if want := bucketBound(bucketFor(mid)); m.P95 != want {
+		t.Errorf("merged p95 = %v, want %v (rank 95 is the last mid sample)", m.P95, want)
+	}
+	if want := bucketBound(bucketFor(slow)); m.P99 != want {
+		t.Errorf("merged p99 = %v, want %v", m.P99, want)
+	}
+	if want := 50*fast + 45*mid + 5*slow; m.Sum != want {
+		t.Errorf("merged sum = %v, want %v", m.Sum, want)
+	}
+	// Merging one snapshot is the identity on every derived field.
+	one := a.snapshot()
+	if got := mergeLatencySnapshots(one); got.Count != one.Count || got.P50 != one.P50 ||
+		got.P95 != one.P95 || got.P99 != one.P99 || got.Sum != one.Sum {
+		t.Errorf("merge of one snapshot = %+v, want %+v", got, one)
+	}
+}

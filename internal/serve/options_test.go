@@ -139,6 +139,26 @@ func TestRouterOptionValidation(t *testing.T) {
 			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
 				TargetP95: time.Second, Backoff: 1.5})},
 			"backoff factor"},
+		{"aimd backoff of one rejected",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
+				TargetP95: time.Second, Backoff: 1.0})},
+			"must be in (0, 1), or zero to select the default"},
+		{"aimd negative backoff rejected",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
+				TargetP95: time.Second, Backoff: -0.5})},
+			"backoff factor -0.5"},
+		{"aimd zero backoff selects default",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
+				TargetP95: time.Second, Backoff: 0})},
+			""},
+		{"aimd negative window rejected",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
+				TargetP95: time.Second, Window: -4})},
+			"window -4: must not be negative (zero selects the default"},
+		{"aimd zero window selects default",
+			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{
+				TargetP95: time.Second, Window: 0})},
+			""},
 		{"aimd zero config disables", []serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{})}, ""},
 		{"aimd valid",
 			[]serve.RouterOption{serve.WithAIMD(serve.AIMDConfig{TargetP95: 20 * time.Millisecond})},

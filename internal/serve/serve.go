@@ -79,6 +79,11 @@ type Stats struct {
 	Recycles uint64
 	// Timeouts counts deadline-exceeded requests (queued or executing).
 	Timeouts uint64
+	// Rewound counts requests rolled back by the rewind policy
+	// (fo.OutcomeRewound): a detected memory error undone at the request
+	// boundary. Like Timeouts these are a subset of Served — the instance
+	// survives, the request fails.
+	Rewound uint64
 	// Rejected counts queue-full admission rejections (ErrQueueFull).
 	Rejected uint64
 	// Shed counts queued requests dropped by the shedding queue because
@@ -107,6 +112,7 @@ func (s *Stats) add(o Stats) {
 	s.Restarts += o.Restarts
 	s.Recycles += o.Recycles
 	s.Timeouts += o.Timeouts
+	s.Rewound += o.Rewound
 	s.Rejected += o.Rejected
 	s.Shed += o.Shed
 	s.BreakerTrips += o.BreakerTrips
@@ -144,7 +150,7 @@ type Engine struct {
 	wg        sync.WaitGroup
 	once      sync.Once
 
-	served, crashes, restarts, timeouts, rejected, trips atomic.Uint64
+	served, crashes, restarts, timeouts, rewound, rejected, trips atomic.Uint64
 
 	// shedCount counts ErrShed drops (incremented inside the shed queue).
 	shedCount atomic.Uint64
@@ -358,8 +364,15 @@ func (e *Engine) PoolSize() int { return e.o.poolSize }
 // is an atomically swappable server factory; see SwapServer and Router).
 // The replacement wave is lazy: an idle worker recycles when its next
 // request arrives.
+//
+// Recycle also resets the shedding queue's service-time estimate: the EWMA
+// describes the outgoing program, and stale estimates would misdrive
+// unmeetable-deadline shedding for its replacement.
 func (e *Engine) Recycle() {
 	e.gen.Add(1)
+	if e.q != nil {
+		e.q.resetServiceEstimate()
+	}
 }
 
 // Stats returns a snapshot of the engine counters, including the
@@ -373,6 +386,7 @@ func (e *Engine) Stats() Stats {
 		Restarts:     e.restarts.Load(),
 		Recycles:     e.recycles.Load(),
 		Timeouts:     e.timeouts.Load(),
+		Rewound:      e.rewound.Load(),
 		Rejected:     e.rejected.Load(),
 		Shed:         e.shedCount.Load(),
 		BreakerTrips: e.trips.Load(),
@@ -529,8 +543,14 @@ func (e *Engine) worker(inst servers.Instance, instGen uint64) {
 				e.q.observe(d)
 			}
 			e.served.Add(1)
-			if resp.Outcome == fo.OutcomeDeadline {
+			switch resp.Outcome {
+			case fo.OutcomeDeadline:
 				e.timeouts.Add(1)
+			case fo.OutcomeRewound:
+				// Rewound requests release their slot and feed the
+				// latency/served accounting exactly like any executed
+				// request; the instance survives (Crashed() is false).
+				e.rewound.Add(1)
 			}
 		}
 		t.resp <- taskResult{resp: resp}

@@ -91,6 +91,47 @@ func (i *stubInstance) HandleContext(ctx context.Context, req servers.Request) s
 	return i.Handle(req)
 }
 
+// A rewound request is a survivable failure, not a crash: the worker keeps
+// its instance (no restart), the request releases its slot and feeds the
+// served/latency accounting, and the dedicated Rewound counter ticks.
+func TestEngineRewoundRequest(t *testing.T) {
+	eng, err := serve.New(&stubServer{}, fo.ModeRewind,
+		serve.WithPoolSize(1), serve.WithQueueDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	if resp, err := eng.Submit(nil, servers.Request{Op: "ok"}); err != nil || resp.Outcome != fo.OutcomeOK {
+		t.Fatalf("ok = %v outcome %v, want OK", err, resp.Outcome)
+	}
+	resp, err := eng.Submit(nil, servers.Request{Op: "smash"})
+	if err != nil {
+		t.Fatalf("smash: %v", err)
+	}
+	if resp.Outcome != fo.OutcomeRewound {
+		t.Fatalf("smash outcome = %v, want rewound", resp.Outcome)
+	}
+	// The same single worker instance keeps serving.
+	if resp, err := eng.Submit(nil, servers.Request{Op: "ok"}); err != nil || resp.Outcome != fo.OutcomeOK {
+		t.Fatalf("ok after rewind = %v outcome %v, want OK", err, resp.Outcome)
+	}
+
+	st := eng.Stats()
+	if st.Served != 3 {
+		t.Errorf("Served = %d, want 3 (rewound requests count as served)", st.Served)
+	}
+	if st.Rewound != 1 {
+		t.Errorf("Rewound = %d, want 1", st.Rewound)
+	}
+	if st.Crashes != 0 || st.Restarts != 0 {
+		t.Errorf("Crashes/Restarts = %d/%d, want 0/0 — rewind must not trigger the supervisor", st.Crashes, st.Restarts)
+	}
+	if lat := eng.Metrics().Latency; lat.Count != 3 {
+		t.Errorf("latency count = %d, want 3 (rewound request recorded)", lat.Count)
+	}
+}
+
 // TestConcurrentMixedLoad drives a mixed legit/attack workload from 8
 // concurrent clients through pools in all three paper modes (run with
 // -race). Legitimate requests must always be answered by a live instance —

@@ -61,6 +61,20 @@ func (q *shedQueue) observe(d time.Duration) {
 	q.mu.Unlock()
 }
 
+// resetServiceEstimate clears the service-time EWMA. The engine calls it on
+// Recycle (the program hot-swap path): the estimate describes the outgoing
+// program's execution times, and letting it survive the swap would drive
+// unmeetable-deadline shedding for the new program from stale data — a slow
+// outgoing program would shed requests the new program could easily serve,
+// and a fast one would queue doomed work. Starting from zero re-learns from
+// the new program's first observations, the same cold-start contract as a
+// freshly built queue.
+func (q *shedQueue) resetServiceEstimate() {
+	q.mu.Lock()
+	q.svcEWMA = 0
+	q.mu.Unlock()
+}
+
 // unmeetable reports whether t cannot meet its deadline anymore: the time
 // remaining is below the current service-time estimate (expired requests
 // have negative remaining time and are always unmeetable).

@@ -31,9 +31,12 @@ type Request struct {
 
 // Response is the server's reply.
 type Response struct {
-	// Outcome is how the handling execution ended. Anything other than
-	// OutcomeOK or OutcomeExit means the "process" crashed or was
-	// terminated by the bounds checker.
+	// Outcome is how the handling execution ended. OutcomeOK and
+	// OutcomeExit are successes; OutcomeDeadline is a timed-out request
+	// and OutcomeRewound a request rolled back by the rewind policy —
+	// in both the "process" survives. Any other outcome means it crashed
+	// or was terminated by the bounds checker (Outcome.Crashed reports
+	// this distinction).
 	Outcome fo.Outcome
 	// Status is the server-level status (protocol-specific: HTTP status,
 	// SMTP code, or 0/-N for library calls).
