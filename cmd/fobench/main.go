@@ -21,6 +21,14 @@
 //	fobench -experiment cluster      # sharded router goodput under open-loop overload
 //	fobench -experiment list         # print this experiment table
 //
+// The -engine flag selects the execution engine behind every server
+// machine (the simulated-cycle numbers are engine-independent by
+// construction; only wall-clock -wall runs differ):
+//
+//	fobench -engine compiled         # compiled closure IR (default)
+//	fobench -engine treewalk         # AST-walking reference engine
+//	fobench -engine codegen          # ahead-of-time generated Go (internal/gencorpus)
+//
 // Absolute times are from the Go interpreter, not the paper's 2004 testbed;
 // the slowdown and ratio *shapes* are the reproduction target.
 package main
@@ -33,12 +41,66 @@ import (
 	"time"
 
 	"focc/fo"
+	_ "focc/internal/gencorpus" // registers the servers' generated engines (-engine codegen)
 	"focc/internal/harness"
 	"focc/internal/inject"
 	"focc/internal/serve"
 	"focc/internal/servers"
 	"focc/internal/servers/registry"
 )
+
+// engineHook is the -engine selection, applied to every server machine
+// configuration; nil means the default compiled closure-IR engine.
+var engineHook servers.ConfigHook
+
+// setEngine translates the -engine flag into engineHook.
+func setEngine(name string) error {
+	switch name {
+	case "", "compiled":
+		engineHook = nil
+	case "treewalk":
+		engineHook = func(cfg *fo.MachineConfig) { cfg.TreeWalk = true }
+	case "codegen":
+		engineHook = func(cfg *fo.MachineConfig) { cfg.UseGenerated = true }
+	default:
+		return fmt.Errorf("unknown engine %q (want treewalk, compiled, or codegen)", name)
+	}
+	return nil
+}
+
+// engineServer forces every instance of the wrapped server onto the
+// selected engine; hooks from other tooling compose after the engine hook
+// so they can still override generators or budgets.
+type engineServer struct {
+	servers.Server
+	hook servers.ConfigHook
+}
+
+func (s engineServer) New(mode fo.Mode) (servers.Instance, error) {
+	return s.NewWithConfig(mode, nil)
+}
+
+func (s engineServer) NewWithConfig(mode fo.Mode, hook servers.ConfigHook) (servers.Instance, error) {
+	c, ok := s.Server.(servers.Configurable)
+	if !ok {
+		return nil, fmt.Errorf("server %s does not support engine selection", s.Name())
+	}
+	return c.NewWithConfig(mode, func(cfg *fo.MachineConfig) {
+		s.hook(cfg)
+		if hook != nil {
+			hook(cfg)
+		}
+	})
+}
+
+// withEngine wraps srv so its machines run on the -engine selection; the
+// default needs no wrapper.
+func withEngine(srv servers.Server) servers.Server {
+	if engineHook == nil {
+		return srv
+	}
+	return engineServer{Server: srv, hook: engineHook}
+}
 
 // mustServer builds a registered server by name; the names used here are
 // registry constants, so failure is a programming error.
@@ -47,7 +109,7 @@ func mustServer(name string) servers.Server {
 	if err != nil {
 		panic(err)
 	}
-	return srv
+	return withEngine(srv)
 }
 
 // experiments is the single source of truth for the -experiment selector:
@@ -105,6 +167,7 @@ type clusterOpts struct {
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run (see -experiment list)")
+	engine := flag.String("engine", "compiled", "execution engine for server machines: treewalk, compiled, codegen")
 	reps := flag.Int("reps", harness.DefaultReps, "repetitions per request")
 	soakN := flag.Int("soak-n", 200, "requests per soak run")
 	wall := flag.Bool("wall", false, "measure figures in wall-clock time instead of simulated cycles")
@@ -123,6 +186,10 @@ func main() {
 	clusterOut := flag.String("cluster-out", "", "cluster: write the JSON report to this file")
 	clusterDur := flag.Duration("cluster-duration", time.Second, "cluster: open-loop generation time per cell")
 	flag.Parse()
+	if err := setEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "fobench:", err)
+		os.Exit(1)
+	}
 	clock := harness.SimClock
 	if *wall {
 		clock = harness.WallClock
@@ -267,9 +334,14 @@ func runCampaign(o campaignOpts) error {
 }
 
 // allServers returns fresh instances of every registered server, in paper
-// order (the registry is the single source of truth for the server set).
+// order (the registry is the single source of truth for the server set),
+// each bound to the -engine selection.
 func allServers() []servers.Server {
-	return registry.All()
+	all := registry.All()
+	for i, srv := range all {
+		all[i] = withEngine(srv)
+	}
+	return all
 }
 
 func run(experiment string, reps, soakN int) error {
@@ -396,7 +468,7 @@ func runClock(experiment string, reps, soakN int, clock harness.Clock, loadCfg h
 			if err != nil {
 				return fmt.Errorf("propagation: %w", err)
 			}
-			r, err := harness.ErrorPropagation(mk, 12)
+			r, err := harness.ErrorPropagation(func() servers.Server { return withEngine(mk()) }, 12)
 			if err != nil {
 				return fmt.Errorf("propagation: %w", err)
 			}

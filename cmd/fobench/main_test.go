@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"focc/fo"
 	"focc/internal/harness"
 )
 
@@ -43,6 +44,49 @@ func TestLoadtestExperiment(t *testing.T) {
 	}
 	if err := runClock("loadtest", 2, 20, harness.SimClock, cfg); err != nil {
 		t.Errorf("loadtest: %v", err)
+	}
+}
+
+// TestEngineSelection pins the -engine axis: the same Pine request runs on
+// all three engines (codegen resolves the server's generated code from the
+// checked-in internal/gencorpus registration) and must burn the identical
+// number of simulated cycles — the engine changes wall-clock dispatch cost
+// only, never the cost model. Unknown engine names are rejected up front.
+func TestEngineSelection(t *testing.T) {
+	defer func(h func(*fo.MachineConfig)) { engineHook = h }(engineHook)
+	req := mustServer("pine").LegitRequests()[0]
+	var cycles []uint64
+	for _, engine := range []string{"treewalk", "compiled", "codegen"} {
+		if err := setEngine(engine); err != nil {
+			t.Fatalf("setEngine(%q): %v", engine, err)
+		}
+		inst, err := mustServer("pine").New(fo.FailureOblivious)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if resp := inst.Handle(req); resp.Outcome != fo.OutcomeOK {
+			t.Fatalf("%s: %v", engine, resp.Outcome)
+		}
+		cycles = append(cycles, inst.Cycles())
+	}
+	if cycles[0] != cycles[1] || cycles[1] != cycles[2] {
+		t.Errorf("sim cycles diverge across engines: %v", cycles)
+	}
+	if err := setEngine("jit"); err == nil {
+		t.Error("expected error for unknown engine")
+	}
+}
+
+// The doc comment must mention every -engine value.
+func TestUsageDocMentionsEngines(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"treewalk", "compiled", "codegen"} {
+		if !strings.Contains(string(src), "//\tfobench -engine "+engine) {
+			t.Errorf("doc comment missing -engine %s line", engine)
+		}
 	}
 }
 

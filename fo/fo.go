@@ -133,6 +133,7 @@ type MachineConfig = interp.Config
 type Program struct {
 	sema *sema.Program
 	name string
+	hash string
 
 	// lowerOnce guards the lazily-built execution IR: every function body
 	// is lowered to pre-resolved closures exactly once per Program, and the
@@ -234,7 +235,7 @@ func CompileWith(filename, src string, opt CompileOptions) (*Program, error) {
 	if len(errs) > 0 {
 		return nil, &CompileError{Stage: "analyze", Errs: errs}
 	}
-	return &Program{sema: prog, name: filename}, nil
+	return &Program{sema: prog, name: filename, hash: interp.SourceHash(filename, src)}, nil
 }
 
 // Name returns the source file name the program was compiled from.
@@ -242,6 +243,17 @@ func (p *Program) Name() string { return p.name }
 
 // Sema exposes the analyzed program (for tools and tests).
 func (p *Program) Sema() *sema.Program { return p.sema }
+
+// SourceHash is the identity under which ahead-of-time generated code for
+// this program registers itself (see focc -emit-go and cmd/gencorpus): a
+// hash of the exact (filename, source) pair.
+func (p *Program) SourceHash() string { return p.hash }
+
+// Generated returns the registered ahead-of-time generated engine for
+// this program's source, if its generated package is linked in.
+func (p *Program) Generated() (*interp.GenProgram, bool) {
+	return interp.GeneratedFor(p.hash)
+}
 
 // Compiled returns the program's lowered execution IR, building it on
 // first use. The result is immutable and shared; concurrent callers get
@@ -263,7 +275,14 @@ func (p *Program) NewMachine(cfg MachineConfig) (*Machine, error) {
 		builtins[name] = impl
 	}
 	cfg.Builtins = builtins
-	if cfg.Compiled == nil && !cfg.TreeWalk {
+	if cfg.UseGenerated && cfg.Generated == nil && !cfg.TreeWalk {
+		gp, ok := interp.GeneratedFor(p.hash)
+		if !ok {
+			return nil, fmt.Errorf("program startup: no generated code registered for %s (source hash %.12s); regenerate with `go generate ./...` or `focc -emit-go`", p.name, p.hash)
+		}
+		cfg.Generated = gp
+	}
+	if cfg.Compiled == nil && !cfg.TreeWalk && cfg.Generated == nil {
 		cfg.Compiled = p.Compiled()
 	}
 	m, err := interp.New(p.sema, cfg)

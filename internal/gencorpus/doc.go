@@ -1,0 +1,15 @@
+// Package gencorpus holds the checked-in, ahead-of-time generated Go
+// code (the third execution engine; see internal/gen and DESIGN.md §16)
+// for the engine-equivalence corpus: the dispatch/integration programs,
+// the simulated-cycle pin workload, the engine-diff torture fixtures, a
+// deterministic prefix of the randomized expression differential, and
+// the five paper servers. Each *_gen.go file registers its program by
+// source hash at init time; importing this package (blank import is
+// enough) makes fo.MachineConfig{UseGenerated: true} work for every
+// corpus program without compiling Go at test time.
+//
+// Never edit the *_gen.go files; regenerate with `go generate ./...`
+// (CI fails on drift).
+package gencorpus
+
+//go:generate go run focc/cmd/gencorpus -out .

@@ -1,23 +1,24 @@
 package interp_test
 
-// Differential tests: the compiled closure-IR engine and the AST-walking
+// Differential tests: the compiled closure-IR engine, the ahead-of-time
+// generated-Go engine (internal/gencorpus), and the AST-walking
 // reference engine must agree on EVERY observable — outcome, return
 // value, error text, step count, simulated cycles, program output, and
 // the memory-error event log — for every corpus program, every mode, and
 // a set of torture programs that exercise the lowered control flow
 // (goto/switch tables), the error paths, and the failure-oblivious
 // continuation machinery. Simulated-cycle equality here is the
-// enforcement of the cycle-charging invariant documented in compile.go.
+// enforcement of the cycle-charging invariant documented in compile.go
+// and internal/gen.
 
 import (
 	"bytes"
 	"reflect"
 	"testing"
 
-	"focc/internal/cc/sema"
 	"focc/internal/core"
+	"focc/internal/corpus"
 	"focc/internal/interp"
-	"focc/internal/libc"
 )
 
 var diffModes = []core.Mode{
@@ -48,17 +49,16 @@ type engineObs struct {
 // runEngine executes the call sequence on a fresh machine and returns the
 // per-call observations plus the machine's final cycle count, output, and
 // event-log snapshot.
-func runEngine(t *testing.T, prog *sema.Program, cp *interp.CompiledProgram,
-	mode core.Mode, maxSteps uint64, calls []diffCall) ([]engineObs, uint64, string, core.Snapshot) {
+func runEngine(t *testing.T, engine, src string, mode core.Mode,
+	maxSteps uint64, calls []diffCall) ([]engineObs, uint64, string, core.Snapshot) {
 	t.Helper()
+	prog := compileWithCPP(t, src)
 	var out bytes.Buffer
-	m, err := interp.New(prog, interp.Config{
-		Mode:     mode,
-		Out:      &out,
-		Builtins: libc.Builtins(),
-		MaxSteps: maxSteps,
-		Compiled: cp,
-	})
+	cfg := engineConfig(t, engine, prog, src)
+	cfg.Mode = mode
+	cfg.Out = &out
+	cfg.MaxSteps = maxSteps
+	m, err := interp.New(prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,30 +83,31 @@ func runEngine(t *testing.T, prog *sema.Program, cp *interp.CompiledProgram,
 	return obs, m.SimCycles(), out.String(), m.Log().Snapshot()
 }
 
-// assertEnginesAgree runs the scenario on both engines under every mode
-// and requires identical observations.
+// assertEnginesAgree runs the scenario on all three engines under every
+// mode and requires identical observations, with the tree-walk reference
+// engine as ground truth.
 func assertEnginesAgree(t *testing.T, src string, maxSteps uint64, calls []diffCall) {
 	t.Helper()
-	prog := compileWithCPP(t, src)
-	cp := interp.Compile(prog)
 	for _, mode := range diffModes {
 		t.Run(mode.String(), func(t *testing.T) {
-			refObs, refCycles, refOut, refLog := runEngine(t, prog, nil, mode, maxSteps, calls)
-			cObs, cCycles, cOut, cLog := runEngine(t, prog, cp, mode, maxSteps, calls)
-			for i := range refObs {
-				if refObs[i] != cObs[i] {
-					t.Errorf("call %d (%s): tree-walk %+v, compiled %+v",
-						i, calls[i].fn, refObs[i], cObs[i])
+			refObs, refCycles, refOut, refLog := runEngine(t, "tree-walk", src, mode, maxSteps, calls)
+			for _, engine := range engineNames[1:] {
+				eObs, eCycles, eOut, eLog := runEngine(t, engine, src, mode, maxSteps, calls)
+				for i := range refObs {
+					if refObs[i] != eObs[i] {
+						t.Errorf("call %d (%s): tree-walk %+v, %s %+v",
+							i, calls[i].fn, refObs[i], engine, eObs[i])
+					}
 				}
-			}
-			if refCycles != cCycles {
-				t.Errorf("sim cycles: tree-walk %d, compiled %d", refCycles, cCycles)
-			}
-			if refOut != cOut {
-				t.Errorf("output: tree-walk %q, compiled %q", refOut, cOut)
-			}
-			if !reflect.DeepEqual(refLog, cLog) {
-				t.Errorf("event log: tree-walk %+v, compiled %+v", refLog, cLog)
+				if refCycles != eCycles {
+					t.Errorf("sim cycles: tree-walk %d, %s %d", refCycles, engine, eCycles)
+				}
+				if refOut != eOut {
+					t.Errorf("output: tree-walk %q, %s %q", refOut, engine, eOut)
+				}
+				if !reflect.DeepEqual(refLog, eLog) {
+					t.Errorf("event log: tree-walk %+v, %s %+v", refLog, engine, eLog)
+				}
 			}
 		})
 	}
@@ -114,24 +115,24 @@ func assertEnginesAgree(t *testing.T, src string, maxSteps uint64, calls []diffC
 
 func TestEngineDiffCorpus(t *testing.T) {
 	for _, cp := range corpusSources() {
-		t.Run(cp.name, func(t *testing.T) {
-			assertEnginesAgree(t, cp.src, 0, []diffCall{{fn: "main"}})
+		t.Run(cp.Name, func(t *testing.T) {
+			assertEnginesAgree(t, cp.Src, 0, []diffCall{{fn: "main"}})
 		})
 	}
 }
 
 // TestEngineDiffMemoryErrors exercises the continuation paths: the pin
 // workload's out-of-bounds reads and writes manufacture values and log
-// events; both engines must produce the same values, cycles, and logs.
+// events; all engines must produce the same values, cycles, and logs.
 func TestEngineDiffMemoryErrors(t *testing.T) {
-	assertEnginesAgree(t, pinSrc, 0, []diffCall{
+	assertEnginesAgree(t, corpus.PinSrc, 0, []diffCall{
 		{fn: "bulk", args: []int64{0}},
 		{fn: "scan", args: []int64{0}},
 		{fn: "ptrs", args: []int64{0}},
 		{fn: "oob", args: []int64{6}},
 		{fn: "oob", args: []int64{24}},
 		// After a crash (Standard: possible stack garbage; BoundsCheck:
-		// termination) further calls must fail identically on both engines.
+		// termination) further calls must fail identically on all engines.
 		{fn: "bulk", args: []int64{0}},
 	})
 }
@@ -140,81 +141,7 @@ func TestEngineDiffMemoryErrors(t *testing.T) {
 // goto into and out of nested blocks, switch dispatch with fallthrough
 // and default, do-while, break/continue, and labeled statements.
 func TestEngineDiffControlFlow(t *testing.T) {
-	const src = `
-int collatz(int n) {
-	int steps = 0;
-top:
-	if (n == 1)
-		goto done;
-	if (n % 2 == 0) {
-		n = n / 2;
-	} else {
-		n = 3 * n + 1;
-	}
-	steps++;
-	goto top;
-done:
-	return steps;
-}
-
-int classify(int c) {
-	int score = 0;
-	switch (c) {
-	case 0:
-		score = 1;
-		break;
-	case 1:
-	case 2:
-		score = 10;
-		/* fall through */
-	case 3:
-		score += 100;
-		break;
-	default:
-		score = -1;
-	}
-	return score;
-}
-
-int weave(int n) {
-	int i = 0, acc = 0;
-	do {
-		int j;
-		for (j = 0; j < n; j++) {
-			if (j == 2)
-				continue;
-			if (j == 5)
-				break;
-			acc += j;
-		}
-		i++;
-		if (i > 3)
-			goto out;
-	} while (i < 10);
-out:
-	while (i-- > 0)
-		acc++;
-	return acc;
-}
-
-int dispatch(int n) {
-	int total = 0, i;
-	for (i = 0; i < n; i++) {
-		switch (i & 3) {
-		case 0: total += classify(i); break;
-		case 1: total += collatz(i + 1); break;
-		case 2: total += weave(i); break;
-		default:
-			switch (i % 5) {
-			case 0: total++; break;
-			default: total--; break;
-			}
-		}
-	}
-	return total;
-}
-`
-	assertEnginesAgree(t, src, 0, []diffCall{
+	assertEnginesAgree(t, corpus.SrcControlFlow, 0, []diffCall{
 		{fn: "collatz", args: []int64{27}},
 		{fn: "classify", args: []int64{2}},
 		{fn: "classify", args: []int64{7}},
@@ -226,26 +153,20 @@ int dispatch(int n) {
 // TestEngineDiffErrorPaths pins the engines' fatal-error parity: division
 // by zero, hangs under a small step budget, and exit().
 func TestEngineDiffErrorPaths(t *testing.T) {
-	const src = `
-#include <stdlib.h>
-int divz(int n) { return 100 / n; }
-int spin(int n) { while (1) { n++; } return n; }
-int quit(int n) { exit(n); return 0; }
-`
 	t.Run("DivideByZero", func(t *testing.T) {
-		assertEnginesAgree(t, src, 0, []diffCall{
+		assertEnginesAgree(t, corpus.SrcErrorPaths, 0, []diffCall{
 			{fn: "divz", args: []int64{5}},
 			{fn: "divz", args: []int64{0}},
-			{fn: "divz", args: []int64{5}}, // dead machine on both engines
+			{fn: "divz", args: []int64{5}}, // dead machine on all engines
 		})
 	})
 	t.Run("Hang", func(t *testing.T) {
-		assertEnginesAgree(t, src, 20_000, []diffCall{
+		assertEnginesAgree(t, corpus.SrcErrorPaths, 20_000, []diffCall{
 			{fn: "spin", args: []int64{0}},
 		})
 	})
 	t.Run("Exit", func(t *testing.T) {
-		assertEnginesAgree(t, src, 0, []diffCall{
+		assertEnginesAgree(t, corpus.SrcErrorPaths, 0, []diffCall{
 			{fn: "quit", args: []int64{3}},
 		})
 	})
@@ -256,44 +177,7 @@ int quit(int n) { exit(n); return 0; }
 // literals, pointer arithmetic and compound assignment, ternary, comma,
 // casts, and printf output.
 func TestEngineDiffDataShapes(t *testing.T) {
-	const src = `
-#include <string.h>
-#include <stdio.h>
-
-struct point { int x, y; };
-struct rect { struct point min, max; };
-
-int area(void) {
-	struct rect r = { {1, 2}, {11, 22} };
-	struct rect s;
-	struct rect *p = &s;
-	s = r;                       /* struct copy */
-	p->max.x += 10;              /* arrow + dot + compound */
-	return (s.max.x - s.min.x) * (s.max.y - s.min.y);
-}
-
-int strings(void) {
-	char buf[16] = "abc";
-	char *p = buf;
-	int n = 0;
-	*(p + 3) = 'd';
-	p[4] = '\0';
-	n = (int) strlen(buf);
-	printf("s=%s n=%d\n", buf, n);
-	return n;
-}
-
-int mixed(int k) {
-	long total = 0;
-	int i;
-	int tbl[8] = {1, 2, 3, 4, 5, 6, 7, 8};
-	for (i = 0; i < 8; i++)
-		total += (i % 2 == 0) ? tbl[i] : -tbl[i], total <<= 1;
-	total = (long)(short)(total + k);
-	return (int) total;
-}
-`
-	assertEnginesAgree(t, src, 0, []diffCall{
+	assertEnginesAgree(t, corpus.SrcDataShapes, 0, []diffCall{
 		{fn: "area"},
 		{fn: "strings"},
 		{fn: "mixed", args: []int64{7}},

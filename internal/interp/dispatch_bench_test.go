@@ -2,10 +2,11 @@ package interp_test
 
 // BenchmarkDispatch measures the execution engines head-to-head over the
 // integration corpus: the AST-walking reference evaluator (per-node type
-// switches, per-execution identifier resolution) against the compiled
-// closure IR (everything static resolved at lowering time). Same
-// programs, same modes, same simulated-cycle counts — only the Go-level
-// dispatch cost differs.
+// switches, per-execution identifier resolution), the compiled closure
+// IR (everything static resolved at lowering time), and the ahead-of-time
+// generated Go code (internal/gencorpus — no interpretation dispatch at
+// all). Same programs, same modes, same simulated-cycle counts — only
+// the Go-level dispatch cost differs.
 //
 //	go test ./internal/interp -bench Dispatch -benchmem
 
@@ -13,8 +14,8 @@ import (
 	"testing"
 
 	"focc/internal/core"
+	"focc/internal/corpus"
 	"focc/internal/interp"
-	"focc/internal/libc"
 )
 
 var dispatchModes = []core.Mode{
@@ -23,14 +24,12 @@ var dispatchModes = []core.Mode{
 	core.FailureOblivious,
 }
 
-func benchEngine(b *testing.B, src string, compiled bool) {
+func benchEngine(b *testing.B, src, engine string) {
 	for _, mode := range dispatchModes {
 		b.Run(mode.String(), func(b *testing.B) {
 			prog := compileWithCPP(b, src)
-			cfg := interp.Config{Mode: mode, Builtins: libc.Builtins()}
-			if compiled {
-				cfg.Compiled = interp.Compile(prog)
-			}
+			cfg := engineConfig(b, engine, prog, src)
+			cfg.Mode = mode
 			m, err := interp.New(prog, cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -38,6 +37,7 @@ func benchEngine(b *testing.B, src string, compiled bool) {
 			if res := m.Run(); res.Outcome != interp.OutcomeOK {
 				b.Fatalf("warm-up: %v (%v)", res.Outcome, res.Err)
 			}
+			start := m.SimCycles()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
@@ -45,26 +45,37 @@ func benchEngine(b *testing.B, src string, compiled bool) {
 					b.Fatalf("%v (%v)", res.Outcome, res.Err)
 				}
 			}
+			b.StopTimer()
+			// sim-ms/op is deterministic and engine-independent; benchdiff
+			// checks it exactly, pinning cycle parity per engine in CI.
+			simMs := interp.SimSeconds(m.SimCycles()-start) * 1e3 / float64(b.N)
+			b.ReportMetric(simMs, "sim-ms/op")
 		})
 	}
 }
 
 func BenchmarkDispatchTreeWalk(b *testing.B) {
 	for _, cp := range corpusSources() {
-		b.Run(cp.name, func(b *testing.B) { benchEngine(b, cp.src, false) })
+		b.Run(cp.Name, func(b *testing.B) { benchEngine(b, cp.Src, "tree-walk") })
 	}
 }
 
 func BenchmarkDispatchCompiled(b *testing.B) {
 	for _, cp := range corpusSources() {
-		b.Run(cp.name, func(b *testing.B) { benchEngine(b, cp.src, true) })
+		b.Run(cp.Name, func(b *testing.B) { benchEngine(b, cp.Src, "compiled") })
+	}
+}
+
+func BenchmarkDispatchCodegen(b *testing.B) {
+	for _, cp := range corpusSources() {
+		b.Run(cp.Name, func(b *testing.B) { benchEngine(b, cp.Src, "codegen") })
 	}
 }
 
 // BenchmarkCompileLowering measures the one-time lowering cost itself —
 // the price a Program pays once, amortized across every machine in a pool.
 func BenchmarkCompileLowering(b *testing.B) {
-	prog := compileWithCPP(b, srcBase64)
+	prog := compileWithCPP(b, corpus.SrcBase64)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {

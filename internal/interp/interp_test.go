@@ -5,25 +5,24 @@ import (
 	"fmt"
 	"testing"
 
-	"focc/internal/cc/cpp"
-	"focc/internal/cc/parser"
 	"focc/internal/cc/sema"
 	"focc/internal/core"
+	"focc/internal/corpus"
 	"focc/internal/interp"
 	"focc/internal/libc"
+
+	// Link the checked-in generated engine for the corpus programs so
+	// the differential tests can run the codegen engine by source hash.
+	_ "focc/internal/gencorpus"
 )
 
 // compile builds a program from raw source (no preprocessor; tests that
 // need macros go through the fo package instead).
 func compile(t *testing.T, src string) *sema.Program {
 	t.Helper()
-	f, errs := parser.ParseString("t.c", src)
-	if len(errs) > 0 {
-		t.Fatalf("parse: %v", errs[0])
-	}
-	prog, errs := sema.Analyze(f, libc.Prototypes())
-	if len(errs) > 0 {
-		t.Fatalf("analyze: %v", errs[0])
+	prog, err := corpus.CompilePlain(corpus.FileName, src)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return prog
 }
@@ -555,30 +554,28 @@ int churn(void) {
 	}
 }
 
-// compileWithCPP builds a program from source that needs the preprocessor.
+// compileWithCPP builds a program from source that needs the
+// preprocessor, through the corpus pipeline so the source-hash identity
+// matches the checked-in generated code (internal/gencorpus).
 func compileWithCPP(t testing.TB, src string) *sema.Program {
 	t.Helper()
-	prelude := "#ifndef _P\n#define _P\n#define NULL ((void*)0)\ntypedef unsigned long size_t;\n#endif\n"
-	lines, errs := cpp.Preprocess("t.c", src, cpp.Options{
-		Includes: map[string]string{
-			"string.h": prelude,
-			"stdio.h":  prelude,
-			"stdlib.h": prelude,
-			"ctype.h":  prelude,
-		},
-	})
-	if len(errs) > 0 {
-		t.Fatalf("cpp: %v", errs[0])
-	}
-	f, perrs := parser.Parse("t.c", lines)
-	if len(perrs) > 0 {
-		t.Fatalf("parse: %v", perrs[0])
-	}
-	prog, serrs := sema.Analyze(f, libc.Prototypes())
-	if len(serrs) > 0 {
-		t.Fatalf("analyze: %v", serrs[0])
+	prog, err := corpus.CompileCPP(corpus.FileName, src)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return prog
+}
+
+// generatedFor returns the checked-in generated engine for a corpus
+// source compiled under corpus.FileName, failing the test if cmd/gencorpus
+// has not been re-run for it (`go generate ./...`).
+func generatedFor(t testing.TB, src string) *interp.GenProgram {
+	t.Helper()
+	gp, ok := interp.GeneratedFor(interp.SourceHash(corpus.FileName, src))
+	if !ok {
+		t.Fatalf("no generated code registered for this source; regenerate with `go generate ./...`")
+	}
+	return gp
 }
 
 func TestTxTermTerminatesEnclosingFunction(t *testing.T) {

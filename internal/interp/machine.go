@@ -172,6 +172,19 @@ type Config struct {
 	// Compiled is set. It exists for differential testing and engine
 	// benchmarks; production configurations leave it false.
 	TreeWalk bool
+	// Generated, when non-nil, is the ahead-of-time generated engine for
+	// the program (focc -emit-go): the machine dispatches calls to the
+	// emitted Go functions instead of interpreting. Takes precedence over
+	// Compiled; TreeWalk overrides both. The generated code must have been
+	// emitted from the exact source this program was analyzed from
+	// (fo.Program.NewMachine validates the hash).
+	Generated *GenProgram
+	// UseGenerated asks fo.Program.NewMachine to resolve the registered
+	// generated engine for the program's source hash (RegisterGenerated)
+	// and fail with a regeneration hint if none is linked in. Resolution
+	// happens in the fo layer, where the source identity lives; interp.New
+	// only honors the resolved Generated program.
+	UseGenerated bool
 }
 
 // DefaultMaxSteps is the per-call step budget used to detect hangs.
@@ -211,6 +224,11 @@ type Machine struct {
 	cprog        *CompiledProgram
 	csite        []mem.LookupCache
 	builtinSlots []BuiltinFunc
+
+	// gprog is the ahead-of-time generated engine (nil: tree-walk or
+	// compiled IR). It shares csite/builtinSlots with the compiled engine
+	// — at most one of cprog/gprog is active per machine.
+	gprog *GenProgram
 
 	// luCache is the machine-wide monomorphic (last-unit) lookup cache,
 	// and siteCache holds one cache line per AST access site — both
@@ -291,7 +309,16 @@ func New(prog *sema.Program, cfg Config) (*Machine, error) {
 		maxSteps: maxSteps,
 		checked:  cfg.Mode != core.Standard,
 	}
-	if cfg.Compiled != nil && !cfg.TreeWalk {
+	switch {
+	case cfg.Generated != nil && !cfg.TreeWalk:
+		m.gprog = cfg.Generated
+		if n := cfg.Generated.NumSites; n > 0 {
+			m.csite = make([]mem.LookupCache, n)
+		}
+		if n := len(cfg.Generated.Builtins); n > 0 {
+			m.builtinSlots = make([]BuiltinFunc, n)
+		}
+	case cfg.Compiled != nil && !cfg.TreeWalk:
 		if cfg.Compiled.prog != prog {
 			return nil, fmt.Errorf("compiled IR belongs to a different program")
 		}
@@ -546,6 +573,15 @@ func (m *Machine) call(name string, args []Value) (res Result) {
 	}()
 
 	hostPos := token.Pos{File: "<host>", Line: 1, Col: 1}
+	if m.gprog != nil {
+		fn, ok := m.gprog.Funcs[name]
+		if !ok {
+			return Result{Outcome: OutcomeRuntimeError,
+				Err: fmt.Errorf("no function %q in program", name)}
+		}
+		v := fn(m, args, hostPos)
+		return Result{Outcome: OutcomeOK, Value: v}
+	}
 	if m.cprog != nil {
 		cf, ok := m.cprog.byName[name]
 		if !ok {

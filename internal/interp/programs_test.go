@@ -3,7 +3,9 @@ package interp_test
 import (
 	"testing"
 
+	"focc/internal/cc/sema"
 	"focc/internal/core"
+	"focc/internal/corpus"
 	"focc/internal/interp"
 	"focc/internal/libc"
 )
@@ -12,44 +14,51 @@ import (
 // checked, so any interpreter or libc slip is loud) and under
 // FailureOblivious (which must behave identically on memory-error-free
 // programs — the paper's baseline sanity requirement). Each program runs
-// on both execution engines: the AST-walking reference evaluator and the
-// compiled closure IR; compile_diff_test.go additionally asserts the two
+// on all three execution engines: the AST-walking reference evaluator,
+// the compiled closure IR, and the ahead-of-time generated Go code
+// (internal/gencorpus); compile_diff_test.go additionally asserts the
 // engines agree on every observable, per mode.
 
 // corpusProgram is one corpus entry, shared by the integration tests, the
-// engine differential tests, and the dispatch benchmarks.
-type corpusProgram struct {
-	name string
-	src  string
-	want int64
-}
+// engine differential tests, and the dispatch benchmarks. The sources
+// live in internal/corpus so cmd/gencorpus sees the same bytes.
+type corpusProgram = corpus.Program
 
-func corpusSources() []corpusProgram {
-	return []corpusProgram{
-		{name: "LinkedList", want: 55, src: srcLinkedList},
-		{name: "HashTable", want: 1, src: srcHashTable},
-		{name: "Quicksort", want: 1, src: srcQuicksort},
-		{name: "Tokenizer", want: 0, src: srcTokenizer},
-		{name: "MatrixMultiply", want: 112, src: srcMatrixMultiply},
-		{name: "StringRotate", want: 1, src: srcStringRotate},
-		{name: "BitTricks", want: 0, src: srcBitTricks},
-		{name: "Base64", want: 0, src: srcBase64},
-		{name: "Sieve", want: 168, src: srcSieve},
+func corpusSources() []corpusProgram { return corpus.Programs() }
+
+// engineNames lists the three execution engines in the order the
+// differential harnesses exercise them.
+var engineNames = []string{"tree-walk", "compiled", "codegen"}
+
+// engineConfig returns a Config selecting the named engine for prog,
+// which must be src compiled under corpus.FileName (the codegen engine
+// resolves by that source-hash identity).
+func engineConfig(t testing.TB, engine string, prog *sema.Program, src string) interp.Config {
+	t.Helper()
+	cfg := interp.Config{Builtins: libc.Builtins()}
+	switch engine {
+	case "tree-walk":
+		cfg.TreeWalk = true
+	case "compiled":
+		cfg.Compiled = interp.Compile(prog)
+	case "codegen":
+		cfg.Generated = generatedFor(t, src)
+	default:
+		t.Fatalf("unknown engine %q", engine)
 	}
+	return cfg
 }
 
-// runBoth executes src under the checked and unchecked modes, on both
-// execution engines, asserting a clean run and the expected main() result
+// runBoth executes src under the checked and unchecked modes, on every
+// execution engine, asserting a clean run and the expected main() result
 // everywhere.
 func runBoth(t *testing.T, src string, want int64) {
 	t.Helper()
 	for _, mode := range []core.Mode{core.BoundsCheck, core.FailureOblivious, core.Standard} {
-		for _, engine := range []string{"tree-walk", "compiled"} {
+		for _, engine := range engineNames {
 			prog := compileWithCPP(t, src)
-			cfg := interp.Config{Mode: mode, Builtins: libc.Builtins()}
-			if engine == "compiled" {
-				cfg.Compiled = interp.Compile(prog)
-			}
+			cfg := engineConfig(t, engine, prog, src)
+			cfg.Mode = mode
 			m, err := interp.New(prog, cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -70,417 +79,8 @@ func runBoth(t *testing.T, src string, want int64) {
 
 func TestCorpusPrograms(t *testing.T) {
 	for _, cp := range corpusSources() {
-		t.Run(cp.name, func(t *testing.T) {
-			runBoth(t, cp.src, cp.want)
+		t.Run(cp.Name, func(t *testing.T) {
+			runBoth(t, cp.Src, cp.Want)
 		})
 	}
 }
-
-const srcLinkedList = `
-#include <stdlib.h>
-
-struct node {
-	int value;
-	struct node *next;
-};
-
-static struct node *push(struct node *head, int v) {
-	struct node *n = malloc(sizeof(struct node));
-	n->value = v;
-	n->next = head;
-	return n;
-}
-
-static struct node *reverse(struct node *head) {
-	struct node *prev = NULL;
-	while (head != NULL) {
-		struct node *next = head->next;
-		head->next = prev;
-		prev = head;
-		head = next;
-	}
-	return prev;
-}
-
-static int length(struct node *head) {
-	int n = 0;
-	for (; head != NULL; head = head->next)
-		n++;
-	return n;
-}
-
-static void destroy(struct node *head) {
-	while (head != NULL) {
-		struct node *next = head->next;
-		free(head);
-		head = next;
-	}
-}
-
-int main(void) {
-	struct node *list = NULL;
-	struct node *p;
-	int i, sum = 0, idx = 0;
-	for (i = 1; i <= 10; i++)
-		list = push(list, i);        /* 10, 9, ..., 1 */
-	list = reverse(list);            /* 1, 2, ..., 10 */
-	if (length(list) != 10) return -1;
-	for (p = list; p != NULL; p = p->next) {
-		idx++;
-		if (p->value != idx) return -2;
-		sum += p->value;
-	}
-	destroy(list);
-	return sum;                      /* 55 */
-}`
-
-const srcHashTable = `
-#include <stdlib.h>
-#include <string.h>
-
-#define NBUCKETS 16
-
-struct entry {
-	char key[24];
-	int value;
-	struct entry *next;
-};
-
-struct entry *buckets[NBUCKETS];
-
-static unsigned int hash(const char *s) {
-	unsigned int h = 5381;
-	while (*s)
-		h = h * 33 + (unsigned char) *s++;
-	return h;
-}
-
-static void put(const char *key, int value) {
-	unsigned int b = hash(key) % NBUCKETS;
-	struct entry *e;
-	for (e = buckets[b]; e != NULL; e = e->next) {
-		if (strcmp(e->key, key) == 0) {
-			e->value = value;
-			return;
-		}
-	}
-	e = malloc(sizeof(struct entry));
-	strncpy(e->key, key, sizeof(e->key) - 1);
-	e->key[sizeof(e->key) - 1] = '\0';
-	e->value = value;
-	e->next = buckets[b];
-	buckets[b] = e;
-}
-
-static int get(const char *key, int *out) {
-	unsigned int b = hash(key) % NBUCKETS;
-	struct entry *e;
-	for (e = buckets[b]; e != NULL; e = e->next) {
-		if (strcmp(e->key, key) == 0) {
-			*out = e->value;
-			return 1;
-		}
-	}
-	return 0;
-}
-
-int main(void) {
-	char key[24];
-	int i, v, sum = 0;
-	for (i = 0; i < 100; i++) {
-		sprintf(key, "key-%d", i);
-		put(key, i * 3);
-	}
-	/* overwrite some */
-	for (i = 0; i < 100; i += 10) {
-		sprintf(key, "key-%d", i);
-		put(key, 1000 + i);
-	}
-	for (i = 0; i < 100; i++) {
-		sprintf(key, "key-%d", i);
-		if (!get(key, &v)) return -1;
-		sum += v;
-	}
-	if (get("missing", &v)) return -2;
-	/* sum = sum(3i, i=0..99) - sum(3i, i mult of 10) + sum(1000+i, i mult of 10)
-	       = 14850 - 1350 + 10450 = 23950 */
-	return sum == 23950 ? 1 : 0;
-}`
-
-const srcQuicksort = `
-static void quicksort(int *a, int lo, int hi) {
-	int pivot, i, j, tmp;
-	if (lo >= hi)
-		return;
-	pivot = a[(lo + hi) / 2];
-	i = lo;
-	j = hi;
-	while (i <= j) {
-		while (a[i] < pivot) i++;
-		while (a[j] > pivot) j--;
-		if (i <= j) {
-			tmp = a[i]; a[i] = a[j]; a[j] = tmp;
-			i++; j--;
-		}
-	}
-	quicksort(a, lo, j);
-	quicksort(a, i, hi);
-}
-
-int main(void) {
-	int data[64];
-	unsigned int seed = 12345;
-	int i;
-	for (i = 0; i < 64; i++) {
-		seed = seed * 1103515245u + 12345u;
-		data[i] = (int)(seed % 1000);
-	}
-	quicksort(data, 0, 63);
-	for (i = 1; i < 64; i++)
-		if (data[i - 1] > data[i])
-			return 0;
-	return 1;
-}`
-
-const srcTokenizer = `
-#include <string.h>
-#include <ctype.h>
-
-/* A tiny expression tokenizer + recursive-descent evaluator:
-   digits, + - * / and parentheses. */
-
-const char *input;
-int pos;
-
-static void skipws(void) {
-	while (input[pos] == ' ')
-		pos++;
-}
-
-static int parse_expr(void);
-
-static int parse_primary(void) {
-	int v = 0;
-	skipws();
-	if (input[pos] == '(') {
-		pos++;
-		v = parse_expr();
-		skipws();
-		if (input[pos] == ')')
-			pos++;
-		return v;
-	}
-	while (isdigit(input[pos])) {
-		v = v * 10 + (input[pos] - '0');
-		pos++;
-	}
-	return v;
-}
-
-static int parse_term(void) {
-	int v = parse_primary();
-	for (;;) {
-		skipws();
-		if (input[pos] == '*') {
-			pos++;
-			v *= parse_primary();
-		} else if (input[pos] == '/') {
-			pos++;
-			v /= parse_primary();
-		} else {
-			return v;
-		}
-	}
-}
-
-static int parse_expr(void) {
-	int v = parse_term();
-	for (;;) {
-		skipws();
-		if (input[pos] == '+') {
-			pos++;
-			v += parse_term();
-		} else if (input[pos] == '-') {
-			pos++;
-			v -= parse_term();
-		} else {
-			return v;
-		}
-	}
-}
-
-static int eval(const char *s) {
-	input = s;
-	pos = 0;
-	return parse_expr();
-}
-
-int main(void) {
-	if (eval("1 + 2 * 3") != 7) return 1;
-	if (eval("(1 + 2) * 3") != 9) return 2;
-	if (eval("100 / 5 / 2") != 10) return 3;
-	if (eval("2 * (3 + 4) - 5") != 9) return 4;
-	if (eval("((((42))))") != 42) return 5;
-	return 0;
-}`
-
-const srcMatrixMultiply = `
-#define N 8
-int a[N][N], b[N][N], c[N][N];
-int main(void) {
-	int i, j, k, trace = 0;
-	for (i = 0; i < N; i++)
-		for (j = 0; j < N; j++) {
-			a[i][j] = i + j;
-			b[i][j] = (i == j) ? 2 : 0;  /* 2 * identity */
-		}
-	for (i = 0; i < N; i++)
-		for (j = 0; j < N; j++) {
-			int sum = 0;
-			for (k = 0; k < N; k++)
-				sum += a[i][k] * b[k][j];
-			c[i][j] = sum;
-		}
-	/* c should be 2*a; trace(c) = 2 * sum(2i) = 4 * (0+1+...+7) */
-	for (i = 0; i < N; i++)
-		trace += c[i][i];
-	return trace; /* 4 * 28 = 112 */
-}`
-
-const srcStringRotate = `
-#include <string.h>
-char buf[32] = "abcdefgh";
-static void reverse_range(char *s, int lo, int hi) {
-	while (lo < hi) {
-		char t = s[lo];
-		s[lo] = s[hi];
-		s[hi] = t;
-		lo++;
-		hi--;
-	}
-}
-int main(void) {
-	int n = (int) strlen(buf);
-	/* rotate left by 3 via three reversals */
-	reverse_range(buf, 0, 2);
-	reverse_range(buf, 3, n - 1);
-	reverse_range(buf, 0, n - 1);
-	return strcmp(buf, "defghabc") == 0;
-}`
-
-const srcBitTricks = `
-static int popcount(unsigned int v) {
-	int c = 0;
-	while (v) {
-		v &= v - 1;
-		c++;
-	}
-	return c;
-}
-static int parity(unsigned int v) { return popcount(v) & 1; }
-int main(void) {
-	if (popcount(0) != 0) return 1;
-	if (popcount(0xFF) != 8) return 2;
-	if (popcount(0x80000001u) != 2) return 3;
-	if (parity(7) != 1 || parity(3) != 0) return 4;
-	return 0;
-}`
-
-// srcBase64 round-trips a base64 encoder/decoder — the same flavour of
-// bit-twiddling as Mutt's Figure 1 conversion.
-const srcBase64 = `
-#include <string.h>
-
-static const char *alphabet =
-	"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
-
-static int b64_encode(const char *in, int n, char *out) {
-	int i, o = 0;
-	for (i = 0; i + 2 < n; i += 3) {
-		unsigned int v = ((unsigned char)in[i] << 16) |
-		                 ((unsigned char)in[i+1] << 8) |
-		                 (unsigned char)in[i+2];
-		out[o++] = alphabet[(v >> 18) & 63];
-		out[o++] = alphabet[(v >> 12) & 63];
-		out[o++] = alphabet[(v >> 6) & 63];
-		out[o++] = alphabet[v & 63];
-	}
-	if (n - i == 1) {
-		unsigned int v = (unsigned char)in[i] << 16;
-		out[o++] = alphabet[(v >> 18) & 63];
-		out[o++] = alphabet[(v >> 12) & 63];
-		out[o++] = '=';
-		out[o++] = '=';
-	} else if (n - i == 2) {
-		unsigned int v = ((unsigned char)in[i] << 16) |
-		                 ((unsigned char)in[i+1] << 8);
-		out[o++] = alphabet[(v >> 18) & 63];
-		out[o++] = alphabet[(v >> 12) & 63];
-		out[o++] = alphabet[(v >> 6) & 63];
-		out[o++] = '=';
-	}
-	out[o] = '\0';
-	return o;
-}
-
-static int sixbits(char c) {
-	const char *p = strchr(alphabet, c);
-	if (p == NULL)
-		return -1;
-	return (int)(p - alphabet);
-}
-
-static int b64_decode(const char *in, char *out) {
-	int o = 0;
-	while (*in && *in != '=') {
-		int v = 0, bits = 0;
-		int j;
-		for (j = 0; j < 4 && in[j] && in[j] != '='; j++) {
-			v = (v << 6) | sixbits(in[j]);
-			bits += 6;
-		}
-		v <<= (4 - j) * 6;
-		if (bits >= 8)  out[o++] = (char)((v >> 16) & 0xFF);
-		if (bits >= 16) out[o++] = (char)((v >> 8) & 0xFF);
-		if (bits >= 24) out[o++] = (char)(v & 0xFF);
-		in += j;
-	}
-	out[o] = '\0';
-	return o;
-}
-
-int main(void) {
-	char enc[128], dec[128];
-	const char *msg = "failure-oblivious!";
-	int n = b64_encode(msg, (int) strlen(msg), enc);
-	if (n <= 0) return 1;
-	if (strcmp(enc, "ZmFpbHVyZS1vYmxpdmlvdXMh") != 0) return 2;
-	b64_decode(enc, dec);
-	if (strcmp(dec, msg) != 0) return 3;
-	/* padding cases */
-	b64_encode("a", 1, enc);
-	if (strcmp(enc, "YQ==") != 0) return 4;
-	b64_decode(enc, dec);
-	if (strcmp(dec, "a") != 0) return 5;
-	b64_encode("ab", 2, enc);
-	if (strcmp(enc, "YWI=") != 0) return 6;
-	b64_decode(enc, dec);
-	if (strcmp(dec, "ab") != 0) return 7;
-	return 0;
-}`
-
-const srcSieve = `
-#include <string.h>
-char composite[1000];
-int main(void) {
-	int i, j, count = 0;
-	memset(composite, 0, sizeof(composite));
-	for (i = 2; i < 1000; i++) {
-		if (composite[i])
-			continue;
-		count++;
-		for (j = i * 2; j < 1000; j += i)
-			composite[j] = 1;
-	}
-	return count; /* 168 primes below 1000 */
-}`

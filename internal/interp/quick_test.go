@@ -1,175 +1,77 @@
 package interp_test
 
 import (
-	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
 	"focc/internal/core"
+	"focc/internal/corpus"
 	"focc/internal/interp"
 	"focc/internal/libc"
 )
 
 // Differential test: random integer expressions are rendered to C, executed
-// by the interpreter, and compared against a Go reference evaluator that
-// implements C's int (32-bit, wrapping) semantics.
+// by every engine, and compared against a Go reference evaluator that
+// implements C's int (32-bit, wrapping) semantics. The trial sequence is
+// deterministic (corpus.QuickTrials); the first corpus.QuickGenTrials
+// trials also run the ahead-of-time generated engine from the checked-in
+// internal/gencorpus package, asserting identical results, event-log
+// snapshots, and simulated cycles per seed across all three engines.
 
-type exprGen struct {
-	rng *rand.Rand
-	sb  strings.Builder
+// quickObs is everything one engine observes for one trial.
+type quickObs struct {
+	outcome interp.Outcome
+	value   int64
+	cycles  uint64
+	log     core.Snapshot
 }
 
-// genExpr emits a random expression of bounded depth and returns its value
-// under the reference semantics for variable values a, b, c.
-func (g *exprGen) genExpr(depth int, a, b, c int32) int32 {
-	if depth <= 0 || g.rng.Intn(4) == 0 {
-		switch g.rng.Intn(4) {
-		case 0:
-			v := int32(g.rng.Intn(201) - 100)
-			if v < 0 {
-				fmt.Fprintf(&g.sb, "(%d)", v)
-			} else {
-				fmt.Fprintf(&g.sb, "%d", v)
-			}
-			return v
-		case 1:
-			g.sb.WriteString("a")
-			return a
-		case 2:
-			g.sb.WriteString("b")
-			return b
-		default:
-			g.sb.WriteString("c")
-			return c
-		}
+func runQuickTrial(t *testing.T, i int, tr corpus.QuickTrial, engine string) quickObs {
+	t.Helper()
+	prog := compile(t, tr.Src)
+	cfg := engineConfig(t, engine, prog, tr.Src)
+	cfg.Mode = core.BoundsCheck
+	m, err := interp.New(prog, cfg)
+	if err != nil {
+		t.Fatalf("trial %d (%s): %v\nsrc: %s", i, engine, err, tr.Src)
 	}
-	switch g.rng.Intn(14) {
-	case 0:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(" + ")
-		y := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		return x + y
-	case 1:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(" - ")
-		y := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		return x - y
-	case 2:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(" * ")
-		y := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		return x * y
-	case 3:
-		// Division by a non-zero constant only.
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		d := int32(g.rng.Intn(9) + 1)
-		fmt.Fprintf(&g.sb, " / %d)", d)
-		return x / d
-	case 4:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		d := int32(g.rng.Intn(9) + 1)
-		fmt.Fprintf(&g.sb, " %% %d)", d)
-		return x % d
-	case 5:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(" & ")
-		y := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		return x & y
-	case 6:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(" | ")
-		y := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		return x | y
-	case 7:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(" ^ ")
-		y := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		return x ^ y
-	case 8:
-		// Shift by a small constant.
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		s := uint(g.rng.Intn(6))
-		fmt.Fprintf(&g.sb, " << %d)", s)
-		return x << s
-	case 9:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		s := uint(g.rng.Intn(6))
-		fmt.Fprintf(&g.sb, " >> %d)", s)
-		return x >> s
-	case 10:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(" < ")
-		y := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		if x < y {
-			return 1
-		}
-		return 0
-	case 11:
-		g.sb.WriteString("(")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(" == ")
-		y := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		if x == y {
-			return 1
-		}
-		return 0
-	case 12:
-		g.sb.WriteString("(-")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		return -x
-	default:
-		g.sb.WriteString("(~")
-		x := g.genExpr(depth-1, a, b, c)
-		g.sb.WriteString(")")
-		return ^x
+	res := m.Call("f", interp.Int(int64(tr.A)), interp.Int(int64(tr.B)), interp.Int(int64(tr.C)))
+	return quickObs{
+		outcome: res.Outcome,
+		value:   res.Value.I,
+		cycles:  m.SimCycles(),
+		log:     m.Log().Snapshot(),
 	}
 }
 
 func TestRandomExpressionsMatchReference(t *testing.T) {
-	rng := rand.New(rand.NewSource(20040612)) // deterministic
-	const trials = 250
-	for i := 0; i < trials; i++ {
-		a := int32(rng.Intn(2001) - 1000)
-		b := int32(rng.Intn(2001) - 1000)
-		c := int32(rng.Intn(2001) - 1000)
-		g := &exprGen{rng: rng}
-		want := g.genExpr(4, a, b, c)
-		src := fmt.Sprintf("int f(int a, int b, int c) { return %s; }", g.sb.String())
-		prog := compile(t, src)
-		m, err := interp.New(prog, interp.Config{
-			Mode: core.BoundsCheck, Builtins: libc.Builtins(),
-		})
-		if err != nil {
-			t.Fatalf("trial %d: %v\nsrc: %s", i, err, src)
+	for i, tr := range corpus.QuickTrials(corpus.QuickTrialCount) {
+		// The first QuickGenTrials trials have ahead-of-time generated
+		// code checked in; running them without it is a corpus drift bug,
+		// not a skip.
+		engines := engineNames
+		if i >= corpus.QuickGenTrials {
+			engines = engineNames[:2]
 		}
-		res := m.Call("f", interp.Int(int64(a)), interp.Int(int64(b)), interp.Int(int64(c)))
-		if res.Outcome != interp.OutcomeOK {
-			t.Fatalf("trial %d: outcome %v (%v)\nsrc: %s", i, res.Outcome, res.Err, src)
+		ref := runQuickTrial(t, i, tr, engines[0])
+		if ref.outcome != interp.OutcomeOK {
+			t.Fatalf("trial %d: outcome %v\nsrc: %s", i, ref.outcome, tr.Src)
 		}
-		if res.Value.I != int64(want) {
+		if ref.value != int64(tr.Want) {
 			t.Fatalf("trial %d: f(%d,%d,%d) = %d, want %d\nsrc: %s",
-				i, a, b, c, res.Value.I, want, src)
+				i, tr.A, tr.B, tr.C, ref.value, tr.Want, tr.Src)
+		}
+		for _, engine := range engines[1:] {
+			obs := runQuickTrial(t, i, tr, engine)
+			if obs.outcome != ref.outcome || obs.value != ref.value || obs.cycles != ref.cycles {
+				t.Fatalf("trial %d: %s = %+v, tree-walk = %+v\nsrc: %s",
+					i, engine, obs, ref, tr.Src)
+			}
+			if !reflect.DeepEqual(obs.log, ref.log) {
+				t.Fatalf("trial %d: %s event log diverges\nsrc: %s", i, engine, tr.Src)
+			}
 		}
 	}
 }

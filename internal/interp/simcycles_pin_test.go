@@ -12,58 +12,8 @@ import (
 	"testing"
 
 	"focc/fo"
+	"focc/internal/corpus"
 )
-
-// pinSrc exercises the access paths whose accounting the fast path must
-// preserve: trusted direct accesses, checked pointer/array accesses,
-// bulk libc span operations (memcpy/memset/strcpy), byte-at-a-time libc
-// scans (strlen/strchr/strcmp), and out-of-bounds tails that take the
-// continuation path.
-const pinSrc = `
-char dst[256];
-char src[256];
-
-int bulk(int n) {
-	int i;
-	for (i = 0; i < 64; i++)
-		src[i] = 'a' + (i & 7);
-	src[64] = 0;
-	memcpy(dst, src, 128);
-	memset(dst + 128, 'x', 64);
-	strcpy(dst, src);
-	return (int)strlen(dst);
-}
-
-int scan(int n) {
-	int total = 0;
-	char *p = src;
-	total += (int)strlen(p);
-	if (strchr(p, 'q') == 0)
-		total++;
-	total += strcmp(src, dst);
-	return total;
-}
-
-int oob(int n) {
-	char small[8];
-	int i, x = 0;
-	for (i = 0; i < n; i++)
-		x += small[i];  /* runs past the end for n > 8 */
-	return x;
-}
-
-int ptrs(int n) {
-	long *blk = (long *)malloc(64);
-	int i;
-	long x = 0;
-	for (i = 0; i < 8; i++)
-		blk[i] = i;
-	for (i = 0; i < 8; i++)
-		x += blk[i];
-	free(blk);
-	return (int)x;
-}
-`
 
 type pinCall struct {
 	fn  string
@@ -89,15 +39,15 @@ var goldenCycles = map[fo.Mode]uint64{
 }
 
 func TestSimCyclesPinned(t *testing.T) {
-	for _, engine := range []string{"compiled", "tree-walk"} {
+	for _, engine := range []string{"compiled", "tree-walk", "codegen"} {
 		t.Run(engine, func(t *testing.T) {
-			testSimCyclesPinned(t, engine == "tree-walk")
+			testSimCyclesPinned(t, engine)
 		})
 	}
 }
 
-func testSimCyclesPinned(t *testing.T, treeWalk bool) {
-	prog, err := fo.Compile("pin.c", pinSrc)
+func testSimCyclesPinned(t *testing.T, engine string) {
+	prog, err := fo.Compile(corpus.PinFileName, corpus.PinSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +60,11 @@ func testSimCyclesPinned(t *testing.T, treeWalk bool) {
 	}
 	for mode, want := range goldenCycles {
 		t.Run(mode.String(), func(t *testing.T) {
-			m, err := prog.NewMachine(fo.MachineConfig{Mode: mode, TreeWalk: treeWalk})
+			m, err := prog.NewMachine(fo.MachineConfig{
+				Mode:         mode,
+				TreeWalk:     engine == "tree-walk",
+				UseGenerated: engine == "codegen",
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
