@@ -18,6 +18,7 @@
 //	fobench -experiment propagation  # error propagation distance (§1.2)
 //	fobench -experiment ablation     # manufactured-value sequence (§3)
 //	fobench -experiment campaign     # seeded 4-way fault-injection campaign incl. rewind (internal/inject)
+//	fobench -experiment strategysearch # per-site manufactured-value strategy search (fo-context)
 //	fobench -experiment cluster      # sharded router goodput under open-loop overload
 //	fobench -experiment list         # print this experiment table
 //
@@ -135,6 +136,7 @@ var experiments = []struct {
 	{"propagation", "error propagation distance (§1.2)"},
 	{"ablation", "manufactured-value sequence (§3)"},
 	{"campaign", "seeded 4-way fault-injection campaign incl. rewind (internal/inject)"},
+	{"strategysearch", "per-site manufactured-value strategy search (fo-context)"},
 	{"cluster", "sharded router goodput under open-loop overload"},
 	{"list", "print this experiment table"},
 }
@@ -156,6 +158,16 @@ type campaignOpts struct {
 	out     string // write the JSON report here ("" = table only)
 	servers string // comma-separated subset ("" = all five)
 	modes   string // comma-separated mode subset ("" = the 4-way matrix)
+}
+
+// searchOpts carries the strategy-search experiment's flags (-seed,
+// -faults, and -campaign-servers are shared with the campaign).
+type searchOpts struct {
+	seed    int64
+	faults  int
+	out     string // write the JSON report here ("" = table only)
+	servers string // comma-separated subset ("" = all five)
+	budget  int    // candidate evaluations per server
 }
 
 // clusterOpts carries the cluster experiment's flags.
@@ -183,6 +195,8 @@ func main() {
 	campaignServers := flag.String("campaign-servers", "", "campaign: comma-separated server subset (default all five)")
 	campaignModes := flag.String("campaign-modes", "",
 		"campaign: comma-separated mode subset, e.g. failure-oblivious,rewind (default standard,bounds-check,failure-oblivious,rewind)")
+	searchOut := flag.String("search-out", "", "strategysearch: write the JSON report to this file")
+	searchBudget := flag.Int("search-budget", 200, "strategysearch: candidate evaluations per server")
 	clusterOut := flag.String("cluster-out", "", "cluster: write the JSON report to this file")
 	clusterDur := flag.Duration("cluster-duration", time.Second, "cluster: open-loop generation time per cell")
 	flag.Parse()
@@ -204,8 +218,9 @@ func main() {
 		Seed:            *seed,
 	}
 	co := campaignOpts{seed: *seed, faults: *faults, out: *campaignOut, servers: *campaignServers, modes: *campaignModes}
+	so := searchOpts{seed: *seed, faults: *faults, out: *searchOut, servers: *campaignServers, budget: *searchBudget}
 	cl := clusterOpts{seed: *seed, duration: *clusterDur, out: *clusterOut}
-	if err := dispatch(*experiment, *reps, *soakN, clock, cfg, co, cl); err != nil {
+	if err := dispatch(*experiment, *reps, *soakN, clock, cfg, co, so, cl); err != nil {
 		fmt.Fprintln(os.Stderr, "fobench:", err)
 		os.Exit(1)
 	}
@@ -216,13 +231,15 @@ func main() {
 // ("all" runs the runClock set — campaign and cluster are opt-in because
 // they are the expensive ones).
 func dispatch(experiment string, reps, soakN int, clock harness.Clock,
-	loadCfg harness.LoadtestConfig, co campaignOpts, cl clusterOpts) error {
+	loadCfg harness.LoadtestConfig, co campaignOpts, so searchOpts, cl clusterOpts) error {
 	switch experiment {
 	case "list":
 		fmt.Print(experimentTable())
 		return nil
 	case "campaign":
 		return runCampaign(co)
+	case "strategysearch":
+		return runStrategySearch(so)
 	case "cluster":
 		return runCluster(cl)
 	}
@@ -329,6 +346,34 @@ func runCampaign(o campaignOpts) error {
 			return fmt.Errorf("campaign: %w", err)
 		}
 		fmt.Printf("campaign: JSON report written to %s\n", o.out)
+	}
+	return nil
+}
+
+// runStrategySearch runs the per-site manufactured-value strategy search
+// (internal/inject.Search over fo.ModeFOContext), prints the summary table,
+// and optionally writes the byte-stable JSON report.
+func runStrategySearch(o searchOpts) error {
+	plan := inject.SearchPlan{Seed: o.seed, Faults: o.faults, Budget: o.budget}
+	if o.servers != "" {
+		for _, name := range strings.Split(o.servers, ",") {
+			plan.Servers = append(plan.Servers, strings.TrimSpace(name))
+		}
+	}
+	rep, err := inject.Search(plan, inject.AllTargets())
+	if err != nil {
+		return fmt.Errorf("strategysearch: %w", err)
+	}
+	fmt.Print(inject.FormatSearchReport(rep))
+	if o.out != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return fmt.Errorf("strategysearch: %w", err)
+		}
+		if err := os.WriteFile(o.out, data, 0o644); err != nil {
+			return fmt.Errorf("strategysearch: %w", err)
+		}
+		fmt.Printf("strategysearch: JSON report written to %s\n", o.out)
 	}
 	return nil
 }

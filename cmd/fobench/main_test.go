@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -114,7 +115,7 @@ func TestUsageDocMatchesExperimentTable(t *testing.T) {
 }
 
 func TestListExperiment(t *testing.T) {
-	if err := dispatch("list", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}, clusterOpts{}); err != nil {
+	if err := dispatch("list", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}, searchOpts{}, clusterOpts{}); err != nil {
 		t.Errorf("list: %v", err)
 	}
 	table := experimentTable()
@@ -131,7 +132,7 @@ func TestClusterExperiment(t *testing.T) {
 	}
 	out := filepath.Join(t.TempDir(), "cluster.json")
 	cl := clusterOpts{seed: 7, duration: 150 * time.Millisecond, out: out}
-	if err := dispatch("cluster", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}, cl); err != nil {
+	if err := dispatch("cluster", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}, searchOpts{}, cl); err != nil {
 		t.Fatalf("cluster: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -151,7 +152,7 @@ func TestCampaignExperiment(t *testing.T) {
 	}
 	out := filepath.Join(t.TempDir(), "campaign.json")
 	co := campaignOpts{seed: 7, faults: 4, out: out, servers: "pine"}
-	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, clusterOpts{}); err != nil {
+	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, searchOpts{}, clusterOpts{}); err != nil {
 		t.Fatalf("campaign: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -173,7 +174,7 @@ func TestCampaignModesFlag(t *testing.T) {
 	}
 	out := filepath.Join(t.TempDir(), "campaign.json")
 	co := campaignOpts{seed: 7, faults: 4, out: out, servers: "pine", modes: "failure-oblivious, rewind"}
-	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, clusterOpts{}); err != nil {
+	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, searchOpts{}, clusterOpts{}); err != nil {
 		t.Fatalf("campaign: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -188,7 +189,55 @@ func TestCampaignModesFlag(t *testing.T) {
 	}
 
 	co.modes = "bogus"
-	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, clusterOpts{}); err == nil {
+	if err := dispatch("campaign", 1, 1, harness.SimClock, harness.LoadtestConfig{}, co, searchOpts{}, clusterOpts{}); err == nil {
 		t.Error("expected error for unknown campaign mode")
+	}
+}
+
+// TestStrategySearchExperiment runs the per-site strategy search on one
+// server with a small fault budget, checks the report shape, pins the
+// determinism contract (two same-seed runs produce byte-identical JSON),
+// and checks the acceptance floor: the searched assignment's survival never
+// falls below the global small-integer baseline.
+func TestStrategySearchExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategysearch")
+	}
+	run := func(out string) []byte {
+		t.Helper()
+		so := searchOpts{seed: 7, faults: 6, out: out, servers: "pine", budget: 40}
+		if err := dispatch("strategysearch", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}, so, clusterOpts{}); err != nil {
+			t.Fatalf("strategysearch: %v", err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("JSON report not written: %v", err)
+		}
+		return data
+	}
+	dir := t.TempDir()
+	a := run(filepath.Join(dir, "a.json"))
+	b := run(filepath.Join(dir, "b.json"))
+	if string(a) != string(b) {
+		t.Error("two same-seed strategysearch runs produced different JSON")
+	}
+	for _, want := range []string{`"Seed": 7`, `"Server": "pine"`, `"Baseline"`, `"Best"`, `"BestAssignment"`} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("JSON report missing %q", want)
+		}
+	}
+	var rep struct {
+		Servers []struct {
+			Baseline, Best struct{ SurvivalRate float64 }
+		}
+	}
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	for _, s := range rep.Servers {
+		if s.Best.SurvivalRate < s.Baseline.SurvivalRate {
+			t.Errorf("best survival %.3f below smallint baseline %.3f",
+				s.Best.SurvivalRate, s.Baseline.SurvivalRate)
+		}
 	}
 }

@@ -8,6 +8,7 @@
 //	fo.Boundless         store invalid writes in a side hash table (§5.1)
 //	fo.Redirect          wrap out-of-bounds offsets into the unit (§5.1)
 //	fo.ModeRewind        checkpoint per request; roll back on memory error
+//	fo.ModeFOContext     failure-oblivious with per-site manufactured values
 //
 // Quickstart:
 //
@@ -50,10 +51,18 @@ const (
 	// value or terminating — FO-grade availability with zero corrupted
 	// output.
 	ModeRewind = core.ModeRewind
+	// ModeFOContext is failure-oblivious computing with context-aware
+	// manufactured values: each load site classified by its static
+	// context (string scan, pointer read, reload) manufactures through
+	// its own strategy instead of the one global sequence. Same decision
+	// points and simulated-cycle cost as FailureOblivious; configure via
+	// MachineConfig.Strategy (nil provisions the per-program default
+	// engine). See internal/strategy and DESIGN.md §17.
+	ModeFOContext = core.ModeFOContext
 )
 
 // ParseMode parses a mode name ("standard", "bounds", "oblivious",
-// "boundless", "redirect", "txterm", "rewind").
+// "boundless", "redirect", "txterm", "rewind", "fo-context").
 func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
 // Re-exported execution types; see the internal packages for details.
@@ -85,6 +94,11 @@ type (
 	LogDelta = core.Delta
 	// ValueGenerator supplies manufactured values for invalid reads.
 	ValueGenerator = core.ValueGenerator
+	// ContextGenerator is the context-aware manufactured-value interface
+	// ModeFOContext consults: primed with (load-site id, static type,
+	// access width) before every checked load. internal/strategy provides
+	// the site-table implementation; set it via MachineConfig.Strategy.
+	ContextGenerator = core.ContextGenerator
 )
 
 // Outcome values.

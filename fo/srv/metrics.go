@@ -84,6 +84,18 @@ func writePrometheus(w http.ResponseWriter, m Metrics) {
 			fmt.Fprintf(w, "fo_manufactured_values_total{value=\"%d\"} %d\n", v, me.Manufactured[v])
 		}
 	}
+	if len(me.Strategies) > 0 {
+		names := make([]string, 0, len(me.Strategies))
+		for s := range me.Strategies {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP fo_manufactured_by_strategy_total Values manufactured for invalid reads, by producing strategy (fo-context mode).\n")
+		fmt.Fprintf(w, "# TYPE fo_manufactured_by_strategy_total counter\n")
+		for _, s := range names {
+			fmt.Fprintf(w, "fo_manufactured_by_strategy_total{strategy=\"%s\"} %d\n", escapeLabel(s), me.Strategies[s])
+		}
+	}
 	if len(me.Victims) > 0 {
 		units := make([]string, 0, len(me.Victims))
 		for u := range me.Victims {

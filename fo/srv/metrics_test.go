@@ -86,6 +86,55 @@ func TestMetricsHandler(t *testing.T) {
 	}
 }
 
+// TestMetricsStrategyAttribution serves the Midnight Commander attack
+// (invalid reads, so values are manufactured) through a context-aware
+// engine and checks the per-strategy manufacture histogram: the snapshot
+// carries Strategies and the Prometheus endpoint exports
+// fo_manufactured_by_strategy_total.
+func TestMetricsStrategyAttribution(t *testing.T) {
+	eng, err := srv.NewEngine(srv.NewMCServer(), fo.ModeFOContext,
+		srv.WithPoolSize(1), srv.WithQueueDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mc := srv.NewMCServer()
+	if _, err := eng.Submit(context.Background(), mc.AttackRequest()); err != nil {
+		t.Fatal(err)
+	}
+
+	m := eng.Metrics()
+	if m.MemErrors.InvalidReads == 0 {
+		t.Fatal("attack produced no invalid reads")
+	}
+	if len(m.MemErrors.Strategies) == 0 {
+		t.Fatal("snapshot has no per-strategy manufacture histogram")
+	}
+	var total uint64
+	for _, n := range m.MemErrors.Strategies {
+		total += n
+	}
+	if total != m.MemErrors.InvalidReads {
+		t.Errorf("strategy histogram totals %d, want %d (one attribution per manufacture)",
+			total, m.MemErrors.InvalidReads)
+	}
+
+	ts := httptest.NewServer(srv.MetricsHandler(eng))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `fo_manufactured_by_strategy_total{strategy="`) {
+		t.Errorf("metrics output missing fo_manufactured_by_strategy_total series:\n%s", body)
+	}
+}
+
 // TestPerRequestAttribution checks Response.MemErrors through the public
 // API: the attack request carries its own events, a legitimate request
 // carries none.

@@ -96,6 +96,11 @@ type Unary struct {
 	exprBase
 	Op token.Kind
 	X  Expr
+	// LoadSite is the canonical load-site id assigned by the semantic
+	// analyzer when Op is Star (see sema.assignLoadSites). Engine-
+	// independent: all three execution engines prime the context-aware
+	// value strategy with this id before a checked load.
+	LoadSite int32
 }
 
 // Postfix is x++ or x--.
@@ -137,6 +142,9 @@ type Call struct {
 type Index struct {
 	exprBase
 	X, Idx Expr
+	// LoadSite is the canonical load-site id assigned by the semantic
+	// analyzer (see sema.assignLoadSites).
+	LoadSite int32
 }
 
 // Member is x.f or x->f.
@@ -146,6 +154,9 @@ type Member struct {
 	Name  string
 	Arrow bool
 	Field types.Field // resolved by sema
+	// LoadSite is the canonical load-site id assigned by the semantic
+	// analyzer (see sema.assignLoadSites).
+	LoadSite int32
 }
 
 // SizeofExpr is sizeof(expr); SizeofType is sizeof(type-name). Both are

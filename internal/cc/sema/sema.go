@@ -30,6 +30,9 @@ type Program struct {
 	// Literals is the interned string literal table; StringLit.LitIndex
 	// indexes it. Entries include the trailing NUL.
 	Literals []string
+	// LoadSites counts the canonical load-site ids assigned by
+	// assignLoadSites; node LoadSite fields range over [0, LoadSites).
+	LoadSites int
 }
 
 // Analyzer performs semantic analysis.
@@ -71,6 +74,7 @@ func Analyze(file *ast.File, builtins map[string]*types.Type) (*Program, []error
 	if len(a.errs) > 0 {
 		return a.prog, a.errs
 	}
+	assignLoadSites(a.prog)
 	return a.prog, nil
 }
 

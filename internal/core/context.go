@@ -1,0 +1,115 @@
+package core
+
+import (
+	"focc/internal/cc/token"
+	"focc/internal/cc/types"
+	"focc/internal/mem"
+)
+
+// ModeFOContext is the context-aware failure-oblivious mode: invalid
+// writes are discarded and invalid reads manufacture values exactly as in
+// FailureOblivious, but the value for each invalid read is chosen by a
+// per-load-site strategy table instead of one global sequence (Rigger et
+// al., "Context-aware Failure-oblivious Computing"). The decision points —
+// and therefore the simulated-cycle cost — are identical to
+// FailureOblivious; only the manufactured values differ.
+const ModeFOContext Mode = ModeRewind + 1
+
+// ContextGenerator extends ValueGenerator with the static context of the
+// access about to be performed. Engines prime it with the canonical
+// load-site id (sema.LoadSiteOf), static type, and access width
+// immediately before each checked load; site -1 means "no site context"
+// (bulk libc operations, struct copies, host-driver accesses) and routes
+// manufacture to the fallback strategy.
+//
+// Manufacture replaces Next on the invalid-read path: it returns the
+// manufactured value, the provenance unit to attach when the strategy
+// manufactures a pointer (nil otherwise), and the name of the strategy
+// that produced the value for event-log attribution.
+//
+// NoteDiscardedStore observes every discarded invalid write, letting a
+// last-stored-value strategy answer later reads of the same location from
+// a bounded shadow of recent discarded stores.
+type ContextGenerator interface {
+	ValueGenerator
+	SetSite(site int32, t *types.Type, width int)
+	Manufacture(p Pointer, size int) (v int64, prov *mem.Unit, strategy string)
+	NoteDiscardedStore(p Pointer, data []byte)
+}
+
+// fallbackContext adapts a plain ValueGenerator to ContextGenerator: every
+// site manufactures from the global sequence. core.New uses it when
+// ModeFOContext is selected without a real strategy engine, which makes
+// the mode degrade to FailureOblivious values.
+type fallbackContext struct {
+	gen ValueGenerator
+}
+
+func (f *fallbackContext) Next(size int) int64 { return f.gen.Next(size) }
+func (f *fallbackContext) Reset()              { f.gen.Reset() }
+
+func (f *fallbackContext) SetSite(int32, *types.Type, int) {}
+
+func (f *fallbackContext) Manufacture(_ Pointer, size int) (int64, *mem.Unit, string) {
+	return f.gen.Next(size), nil, "fallback"
+}
+
+func (f *fallbackContext) NoteDiscardedStore(Pointer, []byte) {}
+
+// --- Context-aware failure-oblivious accessor ---
+
+// contextAccessor mirrors obliviousAccessor decision point for decision
+// point (same victim lookup, same discard/manufacture structure) so the
+// simulated-cycle pins of the two modes are identical; it differs only in
+// where manufactured values come from and in feeding discarded stores to
+// the strategy engine's shadow.
+type contextAccessor struct {
+	table
+	gen ContextGenerator
+	log *EventLog
+}
+
+// NewFOContext returns the context-aware failure-oblivious accessor.
+func NewFOContext(as *mem.AddressSpace, gen ContextGenerator, log *EventLog) Accessor {
+	return &contextAccessor{table: table{as: as}, gen: gen, log: log}
+}
+
+func (a *contextAccessor) Mode() Mode { return ModeFOContext }
+
+func (a *contextAccessor) Load(p Pointer, buf []byte, pos token.Pos) (*mem.Unit, error) {
+	if !inBounds(p, len(buf)) {
+		victim := a.lookup(p.Addr)
+		v, prov, strat := a.gen.Manufacture(p, len(buf))
+		putLE(buf, v)
+		a.log.add(Event{Pos: pos, Addr: p.Addr, Size: len(buf),
+			Unit: unitName(p.Prov), Victim: unitName(victim),
+			Manufactured: v, Strategy: strat})
+		return prov, nil
+	}
+	off := p.Addr - p.Prov.Base
+	copy(buf, p.Prov.Data[off:])
+	if len(buf) == 8 {
+		return p.Prov.GetShadow(off), nil
+	}
+	return nil, nil
+}
+
+func (a *contextAccessor) Store(p Pointer, data []byte, prov *mem.Unit, pos token.Pos) error {
+	if !inBounds(p, len(data)) || p.Prov.ReadOnly {
+		// Continuation code: discard the write, remembering it so a
+		// last-stored-value strategy can replay it for later reads.
+		victim := a.lookup(p.Addr)
+		a.gen.NoteDiscardedStore(p, data)
+		a.log.add(Event{Pos: pos, Write: true, Addr: p.Addr,
+			Size: len(data), Unit: unitName(p.Prov), Victim: unitName(victim)})
+		return nil
+	}
+	off := p.Addr - p.Prov.Base
+	copy(p.Prov.Data[off:], data)
+	if prov != nil && len(data) == 8 {
+		p.Prov.SetShadow(off, prov)
+	} else {
+		p.Prov.ClearShadowRange(off, uint64(len(data)))
+	}
+	return nil
+}

@@ -23,6 +23,9 @@ type Event struct {
 	Victim string
 	// Manufactured is the value supplied for an invalid read.
 	Manufactured int64
+	// Strategy names the manufactured-value strategy that produced
+	// Manufactured (ModeFOContext only; empty for the global sequence).
+	Strategy string
 	// Boundless marks accesses served by the boundless side store.
 	Boundless bool
 	// Redirected marks accesses wrapped back into the unit.
@@ -61,6 +64,9 @@ func (e Event) String() string {
 	}
 	if e.manufactures() {
 		s += fmt.Sprintf(", manufactured value %d", e.Manufactured)
+		if e.Strategy != "" {
+			s += fmt.Sprintf(" [%s]", e.Strategy)
+		}
 	}
 	if e.Boundless {
 		s += " [boundless]"
@@ -97,6 +103,10 @@ type Snapshot struct {
 	// Victims counts events per would-be victim unit (the unit the access
 	// would actually have touched). Nil when no victim was ever recorded.
 	Victims map[string]uint64
+	// Strategies histograms manufactured values by the strategy that
+	// produced them (strategy name -> occurrences; ModeFOContext only).
+	// Nil when no strategy-attributed value was ever manufactured.
+	Strategies map[string]uint64
 }
 
 // Total returns the total number of memory-error events in the snapshot.
@@ -119,13 +129,19 @@ func (s *Snapshot) Merge(o Snapshot) {
 		}
 		s.Victims[u] += n
 	}
+	for name, n := range o.Strategies {
+		if s.Strategies == nil {
+			s.Strategies = make(map[string]uint64, len(o.Strategies))
+		}
+		s.Strategies[name] += n
+	}
 }
 
 // Clone returns a deep copy (the histogram maps are not shared).
 func (s Snapshot) Clone() Snapshot {
 	out := s
-	out.Manufactured, out.Victims = nil, nil
-	out.Merge(Snapshot{Manufactured: s.Manufactured, Victims: s.Victims})
+	out.Manufactured, out.Victims, out.Strategies = nil, nil, nil
+	out.Merge(Snapshot{Manufactured: s.Manufactured, Victims: s.Victims, Strategies: s.Strategies})
 	return out
 }
 
@@ -172,6 +188,7 @@ type EventLog struct {
 
 	manufactured map[int64]uint64
 	victims      map[string]uint64
+	strategies   map[string]uint64
 
 	// Stream is an optional live event stream. Set it before the log is
 	// shared between goroutines (writes to it are serialized under the
@@ -235,6 +252,14 @@ func (l *EventLog) push(e Event) {
 			l.victims[e.Victim]++
 		}
 	}
+	if e.Strategy != "" && e.manufactures() {
+		if l.strategies == nil {
+			l.strategies = make(map[string]uint64)
+		}
+		if _, ok := l.strategies[e.Strategy]; ok || len(l.strategies) < snapshotCardinality {
+			l.strategies[e.Strategy]++
+		}
+	}
 	if l.Stream != nil {
 		fmt.Fprintln(l.Stream, e.String())
 	}
@@ -286,6 +311,7 @@ func (l *EventLog) Snapshot() Snapshot {
 		Denied:        l.denied,
 		Manufactured:  l.manufactured,
 		Victims:       l.victims,
+		Strategies:    l.strategies,
 	}
 	return s.Clone()
 }
@@ -334,7 +360,7 @@ func (l *EventLog) Reset() {
 	l.events = l.events[:0]
 	l.start = 0
 	l.reads, l.writes, l.denied = 0, 0, 0
-	l.manufactured, l.victims = nil, nil
+	l.manufactured, l.victims, l.strategies = nil, nil, nil
 }
 
 // Summary renders a one-line summary of the log.

@@ -55,6 +55,8 @@ func (m Mode) String() string {
 		return "tx-term"
 	case ModeRewind:
 		return "rewind"
+	case ModeFOContext:
+		return "fo-context"
 	}
 	return "unknown-mode"
 }
@@ -76,8 +78,10 @@ func ParseMode(s string) (Mode, error) {
 		return TxTerm, nil
 	case "rewind":
 		return ModeRewind, nil
+	case "fo-context", "context":
+		return ModeFOContext, nil
 	}
-	return Standard, fmt.Errorf("unknown mode %q (want standard, bounds, oblivious, boundless, redirect, txterm, or rewind)", s)
+	return Standard, fmt.Errorf("unknown mode %q (want standard, bounds, oblivious, boundless, redirect, txterm, rewind, or fo-context)", s)
 }
 
 // Pointer is a runtime pointer value: an address plus the provenance data
@@ -637,6 +641,12 @@ func New(mode Mode, as *mem.AddressSpace, gen ValueGenerator, log *EventLog) Acc
 		return NewTxTerm(as, log)
 	case ModeRewind:
 		return NewRewind(as, log)
+	case ModeFOContext:
+		cg, ok := gen.(ContextGenerator)
+		if !ok {
+			cg = &fallbackContext{gen: gen}
+		}
+		return NewFOContext(as, cg, log)
 	}
 	panic(fmt.Sprintf("core.New: unknown mode %d", mode))
 }

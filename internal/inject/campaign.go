@@ -260,6 +260,13 @@ func newInstance(t Target, mode fo.Mode, maxSteps uint64, inj *Injector, gen cor
 		}
 		if gen != nil {
 			cfg.Gen = gen
+			// A context-aware generator (the strategy search's per-site
+			// engine) must arrive as the strategy, not just the fallback,
+			// or ModeFOContext would auto-provision its default engine
+			// over it.
+			if cg, ok := gen.(core.ContextGenerator); ok {
+				cfg.Strategy = cg
+			}
 		}
 	})
 	if err != nil {

@@ -25,7 +25,9 @@
 package inject
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"focc/internal/cc/token"
 	"focc/internal/core"
@@ -177,28 +179,60 @@ func (in *Injector) perturb(p core.Pointer) core.Pointer {
 // Strategy names a manufactured-value strategy for the policy-perturbation
 // sweep (Durieux et al.: the choice of value sequence is part of the
 // failure-oblivious search space, and the paper's small-integer sequence is
-// one point in it).
+// one point in it). The swept strategies, in report order:
+//
+//	smallint - the paper's production sequence (0, 1, 2, 0, 1, 3, ...)
+//	zero     - always zero; sentinel scans past a buffer never terminate
+//	one      - always one
+//	max      - all-ones (-1): huge lengths, pathological indices
+//	random   - uniform random bytes from a seeded PRNG
+//
+// TestStrategyDocMatchesTable pins this comment to strategyTable, the
+// single source Strategies and DescribeStrategies render from (same
+// discipline as the fobench experiments table).
 type Strategy string
 
-// The swept strategies.
+// The swept strategies, in strategyTable (report) order.
 const (
-	// StratSmallInt is the paper's production sequence (0, 1, 2, 0, 1,
-	// 3, …): cycles through all byte values so sentinel scans terminate.
 	StratSmallInt Strategy = "smallint"
-	// StratZero always manufactures zero — the naive strategy the paper
-	// warns against (sentinel scans past a buffer never terminate).
-	StratZero Strategy = "zero"
-	// StratOne always manufactures one.
-	StratOne Strategy = "one"
-	// StratMax always manufactures all-ones (-1): the adversarial
-	// constant — huge lengths, pathological indices.
-	StratMax Strategy = "max"
-	// StratRandom manufactures uniform random bytes from a seeded PRNG.
-	StratRandom Strategy = "random"
+	StratZero     Strategy = "zero"
+	StratOne      Strategy = "one"
+	StratMax      Strategy = "max"
+	StratRandom   Strategy = "random"
 )
 
+// strategyTable is the single source of the swept strategies: the
+// Strategies list, the Strategy doc comment, and DescribeStrategies all
+// render from it, so adding a strategy cannot drift the docs.
+var strategyTable = []struct {
+	name Strategy
+	desc string
+}{
+	{StratSmallInt, "the paper's production sequence (0, 1, 2, 0, 1, 3, ...)"},
+	{StratZero, "always zero; sentinel scans past a buffer never terminate"},
+	{StratOne, "always one"},
+	{StratMax, "all-ones (-1): huge lengths, pathological indices"},
+	{StratRandom, "uniform random bytes from a seeded PRNG"},
+}
+
 // Strategies lists the swept strategies in report order.
-var Strategies = []Strategy{StratSmallInt, StratZero, StratOne, StratMax, StratRandom}
+var Strategies = func() []Strategy {
+	out := make([]Strategy, len(strategyTable))
+	for i, r := range strategyTable {
+		out[i] = r.name
+	}
+	return out
+}()
+
+// DescribeStrategies renders strategyTable as "name - description" lines —
+// the text the Strategy doc comment embeds.
+func DescribeStrategies() string {
+	var b strings.Builder
+	for _, r := range strategyTable {
+		fmt.Fprintf(&b, "%-8s - %s\n", r.name, r.desc)
+	}
+	return b.String()
+}
 
 // Generator returns a fresh ValueGenerator implementing the strategy. Only
 // StratRandom consumes seed; every generator is deterministic given it.

@@ -1,6 +1,8 @@
 package inject
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"focc/fo"
@@ -229,6 +231,30 @@ func TestStrategyGeneratorsDeterministic(t *testing.T) {
 		}
 		if va < 0 || va > 255 {
 			t.Fatalf("random strategy value %d out of byte range", va)
+		}
+	}
+}
+
+// TestStrategyDocMatchesTable pins the Strategy doc comment to
+// strategyTable: every DescribeStrategies line must appear verbatim as a
+// "//\t" doc line in inject.go, and Strategies must render from the table.
+func TestStrategyDocMatchesTable(t *testing.T) {
+	src, err := os.ReadFile("inject.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(DescribeStrategies(), "\n"), "\n") {
+		doc := "//\t" + strings.TrimRight(line, " ")
+		if !strings.Contains(string(src), doc) {
+			t.Errorf("Strategy doc comment is missing table line %q", doc)
+		}
+	}
+	if len(Strategies) != len(strategyTable) {
+		t.Errorf("Strategies has %d entries, strategyTable %d", len(Strategies), len(strategyTable))
+	}
+	for i, r := range strategyTable {
+		if Strategies[i] != r.name {
+			t.Errorf("Strategies[%d] = %q, want %q", i, Strategies[i], r.name)
 		}
 	}
 }

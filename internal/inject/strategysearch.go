@@ -1,0 +1,340 @@
+package inject
+
+// Campaign-driven search over per-site manufactured-value assignments
+// (fo.ModeFOContext, internal/strategy). For each server the search samples
+// fault points exactly like the campaign, keeps the oob-read points (the
+// only class whose invalid reads consume manufactured values), and
+// hill-climbs over per-site strategy assignments: starting from the better
+// of the global small-integer baseline and the context-informed default, it
+// sweeps every touched site through the strategy catalog and accepts only
+// strict improvements, so the reported best assignment's survival can never
+// fall below the paper's global-sequence baseline.
+//
+// Determinism contract: points are sampled from one PRNG seeded by the
+// plan, evaluation consumes no further randomness (every strategy in the
+// search catalog is deterministic), candidate order is fixed (sites
+// ascending, strategies in catalog order), and the report is structs-only —
+// two runs of the same (seed, plan) produce byte-identical JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"focc/fo"
+	"focc/internal/servers/registry"
+	"focc/internal/strategy"
+)
+
+// SearchPlan describes one strategy-search run.
+type SearchPlan struct {
+	// Seed seeds the fault-point sampling PRNG (same role as Plan.Seed).
+	Seed int64
+	// Faults is the number of fault points sampled per server before
+	// filtering to oob-read (default 40, like the campaign).
+	Faults int
+	// MaxSteps is the per-call step budget (default 2,000,000).
+	MaxSteps uint64
+	// Servers restricts the search to the named targets (nil = all).
+	Servers []string
+	// Budget caps candidate evaluations per server (default 200); the
+	// climb stops early when it is exhausted.
+	Budget int
+}
+
+// SearchCell aggregates one assignment's outcomes over a server's oob-read
+// fault points.
+type SearchCell struct {
+	Survived     int
+	Terminated   int
+	Corrupted    int
+	Deadline     int
+	SurvivalRate float64
+}
+
+// SiteStrategy is one row of a reported assignment: a touched site, its
+// static class, and the strategy the assignment gives it.
+type SiteStrategy struct {
+	Site     int32
+	Class    string
+	Strategy strategy.Strategy
+}
+
+// SearchStep records one accepted hill-climb move.
+type SearchStep struct {
+	Site     int32
+	From, To strategy.Strategy
+	Survived int
+
+	Corrupted int
+}
+
+// SearchServerReport is the search result for one server.
+type SearchServerReport struct {
+	Server string
+	// Points is the number of oob-read fault points every candidate is
+	// evaluated on; Sites is the server's classified load-site count.
+	Points int
+	Sites  int
+	// Baseline is the paper's global small-integer sequence (uniform
+	// smallint assignment); Default is the context-informed default
+	// assignment; Best is the searched assignment.
+	Baseline SearchCell
+	Default  SearchCell
+	Best     SearchCell
+	// BestAssignment lists the searched strategy of every touched site
+	// (sites that never manufacture keep the default and are omitted).
+	BestAssignment []SiteStrategy
+	// Steps is the accepted-move history; Evaluations counts candidate
+	// evaluations including baseline and default.
+	Steps       []SearchStep `json:",omitempty"`
+	Evaluations int
+}
+
+// SearchReport is the machine-readable search result; structs only, so its
+// JSON encoding is deterministic.
+type SearchReport struct {
+	Seed    int64
+	Faults  int
+	Servers []SearchServerReport
+}
+
+// JSON renders the report as indented JSON with a trailing newline. Same
+// report, same bytes.
+func (r *SearchReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// score orders candidates: availability first (the paper's survival
+// metric: the server still answers), full correctness as the tie-break.
+func (c SearchCell) score() [2]int {
+	return [2]int{c.Survived + c.Corrupted, c.Survived}
+}
+
+func better(a, b SearchCell) bool {
+	sa, sb := a.score(), b.score()
+	return sa[0] > sb[0] || (sa[0] == sb[0] && sa[1] > sb[1])
+}
+
+// searcher is the per-server search state.
+type searcher struct {
+	t        Target
+	table    *strategy.Table
+	points   []PointSpec
+	prof     []profileInfo
+	maxSteps uint64
+	twins    map[twinKey]twin
+	evals    int
+	budget   int
+}
+
+// evaluate runs every oob-read point under ModeFOContext with the
+// assignment and tallies the outcomes. Each point gets a fresh engine (the
+// ValueGenerator contract: one engine per instance); touched sites are
+// accumulated into touched.
+func (s *searcher) evaluate(assign strategy.Assignment, touched map[int32]bool) (SearchCell, error) {
+	var cell SearchCell
+	s.evals++
+	for _, spec := range s.points {
+		eng := strategy.NewEngine(s.table, assign, nil)
+		res, err := runPoint(s.t, fo.ModeFOContext, spec, s.prof[spec.Req], s.maxSteps, eng, s.twins)
+		if err != nil {
+			return cell, err
+		}
+		switch res.Outcome {
+		case OutcomeSurvived:
+			cell.Survived++
+		case OutcomeTerminated:
+			cell.Terminated++
+		case OutcomeCorrupted:
+			cell.Corrupted++
+		case OutcomeDeadline:
+			cell.Deadline++
+		}
+		if touched != nil {
+			for _, site := range eng.TouchedSites() {
+				touched[site] = true
+			}
+		}
+	}
+	if len(s.points) > 0 {
+		cell.SurvivalRate = float64(cell.Survived+cell.Corrupted) / float64(len(s.points))
+	}
+	return cell, nil
+}
+
+// Search runs the strategy search described by plan over targets (use
+// AllTargets() for the paper's five servers).
+func Search(plan SearchPlan, targets []Target) (*SearchReport, error) {
+	if plan.Faults <= 0 {
+		plan.Faults = 40
+	}
+	if plan.MaxSteps == 0 {
+		plan.MaxSteps = 2_000_000
+	}
+	if plan.Budget <= 0 {
+		plan.Budget = 200
+	}
+	selected, err := selectTargets(plan.Servers, targets)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SearchReport{Seed: plan.Seed, Faults: plan.Faults}
+	rng := rand.New(rand.NewSource(plan.Seed))
+	for _, t := range selected {
+		srvRep, err := searchServer(t, plan, rng)
+		if err != nil {
+			return nil, err
+		}
+		rep.Servers = append(rep.Servers, srvRep)
+	}
+	return rep, nil
+}
+
+func searchServer(t Target, plan SearchPlan, rng *rand.Rand) (SearchServerReport, error) {
+	rep := SearchServerReport{Server: t.Name}
+
+	prog, err := registry.Program(t.Name)
+	if err != nil {
+		return rep, err
+	}
+	table := strategy.Classify(prog.Sema())
+	rep.Sites = len(table.Sites)
+
+	// Sample fault points exactly like the campaign (same profiling, same
+	// draw sequence), then keep the oob-read points: the manufactured-value
+	// strategy only matters where invalid reads happen.
+	probe := t.New().LegitRequests()
+	prof := make([]profileInfo, len(probe))
+	for r := range probe {
+		if prof[r], err = profileRequest(t, r, plan.MaxSteps); err != nil {
+			return rep, err
+		}
+	}
+	var points []PointSpec
+	for _, spec := range samplePoints(rng, plan.Faults, prof) {
+		if spec.Class == OOBRead {
+			points = append(points, spec)
+		}
+	}
+	rep.Points = len(points)
+
+	s := &searcher{
+		t: t, table: table, points: points, prof: prof,
+		maxSteps: plan.MaxSteps, twins: make(map[twinKey]twin),
+		budget: plan.Budget,
+	}
+
+	// Evaluate the two anchors: the paper's global sequence and the
+	// context-informed default. Touched sites are collected from both runs;
+	// the climb restricts itself to sites that actually manufacture values
+	// (changing an untouched site's strategy cannot change any outcome).
+	touched := map[int32]bool{}
+	baseAssign := strategy.UniformAssignment(table, strategy.SmallInt)
+	if rep.Baseline, err = s.evaluate(baseAssign, touched); err != nil {
+		return rep, err
+	}
+	defAssign := strategy.DefaultAssignment(table, strategy.SmallInt)
+	if rep.Default, err = s.evaluate(defAssign, touched); err != nil {
+		return rep, err
+	}
+
+	best, bestCell := baseAssign, rep.Baseline
+	if better(rep.Default, rep.Baseline) {
+		best, bestCell = defAssign, rep.Default
+	}
+
+	sites := make([]int32, 0, len(touched))
+	for site := range touched {
+		sites = append(sites, site)
+	}
+	sortInt32(sites)
+
+	// Greedy first-improvement hill-climb: sweep touched sites (ascending)
+	// through the strategy catalog until a full pass accepts nothing or the
+	// evaluation budget runs out.
+	for improved := true; improved; {
+		improved = false
+		for _, site := range sites {
+			for _, strat := range strategy.All() {
+				if strat == best[site] {
+					continue
+				}
+				if s.evals >= s.budget {
+					improved = false
+					break
+				}
+				cand := make(strategy.Assignment, len(best))
+				copy(cand, best)
+				cand[site] = strat
+				cell, err := s.evaluate(cand, nil)
+				if err != nil {
+					return rep, err
+				}
+				if better(cell, bestCell) {
+					rep.Steps = append(rep.Steps, SearchStep{
+						Site: site, From: best[site], To: strat,
+						Survived: cell.Survived, Corrupted: cell.Corrupted,
+					})
+					best, bestCell = cand, cell
+					improved = true
+				}
+			}
+			if s.evals >= s.budget {
+				break
+			}
+		}
+		if s.evals >= s.budget {
+			break
+		}
+	}
+
+	rep.Best, rep.Evaluations = bestCell, s.evals
+	for _, site := range sites {
+		rep.BestAssignment = append(rep.BestAssignment, SiteStrategy{
+			Site:     site,
+			Class:    table.Sites[site].Class.String(),
+			Strategy: best[site],
+		})
+	}
+	return rep, nil
+}
+
+// sortInt32 sorts ascending (insertion sort; the touched-site sets are
+// small).
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// FormatSearchReport renders the human summary table.
+func FormatSearchReport(r *SearchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy search: seed=%d faults=%d/server (oob-read points only)\n", r.Seed, r.Faults)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "server\tpoints\tbaseline\tdefault\tbest\tevals\tassignment")
+	for _, s := range r.Servers {
+		var parts []string
+		for _, a := range s.BestAssignment {
+			parts = append(parts, fmt.Sprintf("%d:%s=%s", a.Site, a.Class, a.Strategy))
+		}
+		if parts == nil {
+			parts = []string{"-"}
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%d\t%s\n",
+			s.Server, s.Points, 100*s.Baseline.SurvivalRate,
+			100*s.Default.SurvivalRate, 100*s.Best.SurvivalRate,
+			s.Evaluations, strings.Join(parts, " "))
+	}
+	w.Flush()
+	return b.String()
+}

@@ -29,6 +29,7 @@ var diffModes = []core.Mode{
 	core.Redirect,
 	core.TxTerm,
 	core.ModeRewind,
+	core.ModeFOContext,
 }
 
 // diffCall is one host-level call in a differential scenario.

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 
 	"focc/internal/cc/ast"
+	"focc/internal/cc/sema"
 	"focc/internal/cc/token"
 	"focc/internal/cc/types"
 	"focc/internal/core"
@@ -26,6 +27,10 @@ type clval struct {
 	ptr     ptrFn
 	t       *types.Type
 	trusted bool
+	// lsid is the canonical load-site id of the lvalue's AST node
+	// (sema.LoadSiteOf); it primes the context-aware value strategy on
+	// the checked-load path. -1 when the node is not a load-site kind.
+	lsid int32
 }
 
 // exprFail lowers to an expression that raises the evaluator's runtime
@@ -254,7 +259,7 @@ func (c *compiler) compileUnary(n *ast.Unary) evalFn {
 				return Value{T: pt, Ptr: x(m).Ptr}
 			}
 		}
-		load := c.checkedLoad(t, pos)
+		load := c.checkedLoad(t, pos, sema.LoadSiteOf(n))
 		return func(m *Machine) Value {
 			return load(m, x(m).Ptr)
 		}
@@ -448,6 +453,14 @@ func (c *compiler) compileCall(n *ast.Call) evalFn {
 // --- Lvalues ---
 
 func (c *compiler) compileLvalue(e ast.Expr) clval {
+	lv := c.compileLvalue1(e)
+	// The canonical load-site id is a fact of the node, not of the
+	// lowering shape; stamping it here covers every construction below.
+	lv.lsid = sema.LoadSiteOf(e)
+	return lv
+}
+
+func (c *compiler) compileLvalue1(e ast.Expr) clval {
 	switch n := e.(type) {
 	case *ast.Ident:
 		sym := n.Sym
@@ -587,7 +600,7 @@ func (c *compiler) loadClval(lv clval, pos token.Pos) func(*Machine, core.Pointe
 			return load(m, p.Prov, p.Addr-p.Prov.Base)
 		}
 	}
-	return c.checkedLoad(lv.t, pos)
+	return c.checkedLoad(lv.t, pos, lv.lsid)
 }
 
 // storeClval lowers a store of an already-converted value through an
@@ -680,8 +693,9 @@ func decodeFn(size uint64, signed bool) func(b []byte) int64 {
 
 // checkedLoad lowers a policy-checked load of type t: the cycle charge
 // (words, check) and the value's shape are static; pointer loads get a
-// provenance-recovery site.
-func (c *compiler) checkedLoad(t *types.Type, pos token.Pos) func(*Machine, core.Pointer) Value {
+// provenance-recovery site. lsid is the canonical load-site id that primes
+// the context-aware value strategy (sema.LoadSiteOf of the source node).
+func (c *compiler) checkedLoad(t *types.Type, pos token.Pos, lsid int32) func(*Machine, core.Pointer) Value {
 	size := t.Size()
 	if size == 0 {
 		return func(m *Machine, p core.Pointer) Value {
@@ -707,6 +721,7 @@ func (c *compiler) checkedLoad(t *types.Type, pos token.Pos) func(*Machine, core
 			if m.checked {
 				m.simCycles += CheckCycles
 			}
+			m.primeSite(lsid, t, int(size))
 			buf := m.scratch[:size]
 			prov, err := m.acc.Load(p, buf, pos)
 			if err != nil {
@@ -725,6 +740,7 @@ func (c *compiler) checkedLoad(t *types.Type, pos token.Pos) func(*Machine, core
 		if m.checked {
 			m.simCycles += CheckCycles
 		}
+		m.primeSite(lsid, t, int(size))
 		buf := m.scratch[:size]
 		if _, err := m.acc.Load(p, buf, pos); err != nil {
 			m.fail(err)

@@ -200,8 +200,10 @@ func (m *Machine) GenLoadRaw(u *mem.Unit, off uint64, t *types.Type, sid int32) 
 }
 
 // GenLoadValue reads a typed value through the policy (checked access);
-// the generated analogue of loadValue with a compile-time site id.
-func (m *Machine) GenLoadValue(p core.Pointer, t *types.Type, pos token.Pos, sid int32) Value {
+// the generated analogue of loadValue with a compile-time provenance site
+// id (sid) and the canonical load-site id (lsid) that primes the
+// context-aware value strategy.
+func (m *Machine) GenLoadValue(p core.Pointer, t *types.Type, pos token.Pos, sid, lsid int32) Value {
 	size := t.Size()
 	if size == 0 {
 		m.failf(pos, "load of zero-sized type %s", t)
@@ -212,6 +214,7 @@ func (m *Machine) GenLoadValue(p core.Pointer, t *types.Type, pos token.Pos, sid
 		return Value{T: t, Bytes: buf}
 	}
 	m.chargeAccess(int(size))
+	m.primeSite(lsid, t, int(size))
 	buf := m.scratch[:size]
 	prov, err := m.acc.Load(p, buf, pos)
 	if err != nil {

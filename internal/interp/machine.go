@@ -17,6 +17,7 @@ import (
 	"focc/internal/cc/types"
 	"focc/internal/core"
 	"focc/internal/mem"
+	"focc/internal/strategy"
 )
 
 // Value is a runtime value: an integer (I, sign-extended to 64 bits), a
@@ -146,6 +147,12 @@ type Config struct {
 	// Gen supplies manufactured values; nil means the paper's
 	// small-integer sequence.
 	Gen core.ValueGenerator
+	// Strategy is the context-aware manufactured-value engine consulted
+	// in ModeFOContext (per-load-site strategies; see internal/strategy).
+	// Nil in that mode provisions the default engine for the program:
+	// classified site table, context-informed defaults, Gen (or the
+	// paper's sequence) as the fallback strategy. Ignored in other modes.
+	Strategy core.ContextGenerator
 	// Log receives memory-error events; nil allocates a fresh log.
 	Log *core.EventLog
 	// Out receives program output (printf); nil discards it.
@@ -206,6 +213,12 @@ type Machine struct {
 	maxSteps  uint64
 	simCycles uint64
 	checked   bool // mode performs per-access checks
+
+	// ctxGen is the context-aware manufactured-value engine (ModeFOContext
+	// only, nil otherwise). Every checked load primes it with the
+	// canonical load-site id before consulting the accessor; see
+	// primeSite.
+	ctxGen core.ContextGenerator
 
 	// retVal / gotoLabel / frame carry control-flow and frame state
 	// during execution.
@@ -287,6 +300,15 @@ func New(prog *sema.Program, cfg Config) (*Machine, error) {
 	if gen == nil {
 		gen = core.NewSmallIntGenerator()
 	}
+	ctxGen := cfg.Strategy
+	if cfg.Mode == core.ModeFOContext {
+		if ctxGen == nil {
+			ctxGen = strategy.NewEngine(strategy.Classify(prog), nil, cfg.Gen)
+		}
+		gen = ctxGen
+	} else {
+		ctxGen = nil
+	}
 	out := cfg.Out
 	if out == nil {
 		out = io.Discard
@@ -308,6 +330,7 @@ func New(prog *sema.Program, cfg Config) (*Machine, error) {
 		builtins: cfg.Builtins,
 		maxSteps: maxSteps,
 		checked:  cfg.Mode != core.Standard,
+		ctxGen:   ctxGen,
 	}
 	switch {
 	case cfg.Generated != nil && !cfg.TreeWalk:
@@ -825,9 +848,23 @@ func (m *Machine) ChargeByteRun(n int64) {
 // when they retire a crashed instance for a pre-warmed replacement.
 func (m *Machine) Release() { m.as.Release() }
 
+// primeSite primes the context-aware manufactured-value engine with the
+// canonical load site about to be accessed (ModeFOContext; no-op in every
+// other mode, and free of simulated-cycle cost — priming is bookkeeping,
+// not a check). Site -1 marks accesses with no source-level load site:
+// bulk libc operations, aggregate copies, host drivers. Every m.acc.Load
+// caller in every engine primes, so the primed site can never go stale
+// across engines.
+func (m *Machine) primeSite(site int32, t *types.Type, width int) {
+	if m.ctxGen != nil {
+		m.ctxGen.SetSite(site, t, width)
+	}
+}
+
 // LoadBytes performs a policy-checked read of n bytes at p.
 func (m *Machine) LoadBytes(p core.Pointer, buf []byte, pos token.Pos) {
 	m.chargeAccess(len(buf))
+	m.primeSite(-1, nil, len(buf))
 	if _, err := m.acc.Load(p, buf, pos); err != nil {
 		m.fail(err)
 	}
@@ -886,6 +923,7 @@ func (m *Machine) loadValue(p core.Pointer, t *types.Type, pos token.Pos, site a
 		return Value{T: t, Bytes: buf}
 	}
 	m.chargeAccess(int(size))
+	m.primeSite(sema.LoadSiteOf(site), t, int(size))
 	buf := m.scratch[:size]
 	prov, err := m.acc.Load(p, buf, pos)
 	if err != nil {
@@ -1083,6 +1121,7 @@ func (m *Machine) StorePointer(p core.Pointer, v core.Pointer, pos token.Pos) {
 // LoadByte performs a checked single-byte load without allocating.
 func (m *Machine) LoadByte(p core.Pointer, pos token.Pos) byte {
 	m.chargeAccess(1)
+	m.primeSite(-1, nil, 1)
 	buf := m.scratch[:1]
 	if _, err := m.acc.Load(p, buf, pos); err != nil {
 		m.fail(err)

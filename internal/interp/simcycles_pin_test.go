@@ -36,6 +36,11 @@ var goldenCycles = map[fo.Mode]uint64{
 	// free under the cost model (its overhead is real-world, measured in
 	// wall-clock benchmarks, not simulated cycles).
 	fo.ModeRewind: 9934,
+	// FOContext shares FailureOblivious's decision points exactly — same
+	// checks, same continuation — and site priming is free under the cost
+	// model, so its pin equals the FO row. Only the manufactured values
+	// differ.
+	fo.ModeFOContext: 10347,
 }
 
 func TestSimCyclesPinned(t *testing.T) {

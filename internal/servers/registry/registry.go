@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"focc/fo"
 	"focc/internal/servers"
 	"focc/internal/servers/apache"
 	"focc/internal/servers/mc"
@@ -24,13 +25,17 @@ import (
 	"focc/internal/servers/sendmail"
 )
 
-// entry is one catalog row: the canonical name and the factory. A factory
-// per call matters because some servers keep host-side state on the Server
-// value (Midnight Commander's virtual filesystem, Mutt's folder set);
-// callers that need isolated runs must be able to get a fresh value.
+// entry is one catalog row: the canonical name, the factory, and the
+// package-level compiled-program accessor. A factory per call matters
+// because some servers keep host-side state on the Server value (Midnight
+// Commander's virtual filesystem, Mutt's folder set); callers that need
+// isolated runs must be able to get a fresh value. The program accessor
+// serves tools that analyze the server's C source without instantiating it
+// (the per-site strategy search classifies its load sites).
 type entry struct {
-	name string
-	make func() servers.Server
+	name    string
+	make    func() servers.Server
+	program func() (*fo.Program, error)
 }
 
 // catalog lists the five server reproductions from the paper's evaluation
@@ -38,11 +43,11 @@ type entry struct {
 // (figures, resilience matrix, campaign), so the table is a slice, not a
 // map.
 var catalog = []entry{
-	{"pine", func() servers.Server { return pine.NewServer() }},
-	{"apache", func() servers.Server { return apache.NewServer() }},
-	{"sendmail", func() servers.Server { return sendmail.NewServer() }},
-	{"mc", func() servers.Server { return mc.NewServer() }},
-	{"mutt", func() servers.Server { return mutt.NewServer() }},
+	{"pine", func() servers.Server { return pine.NewServer() }, pine.Program},
+	{"apache", func() servers.Server { return apache.NewServer() }, apache.Program},
+	{"sendmail", func() servers.Server { return sendmail.NewServer() }, sendmail.Program},
+	{"mc", func() servers.Server { return mc.NewServer() }, mc.Program},
+	{"mutt", func() servers.Server { return mutt.NewServer() }, mutt.Program},
 }
 
 // Names returns the canonical server names in paper order. The slice is a
@@ -70,6 +75,20 @@ func Factory(name string) (func() servers.Server, error) {
 	for _, e := range catalog {
 		if e.name == name {
 			return e.make, nil
+		}
+	}
+	return nil, fmt.Errorf("servers: unknown server %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Program returns the compiled fo.Program of the server's C reproduction
+// (each server package compiles its source once and shares the Program
+// across instances). Static-analysis tools — the per-site manufactured-value
+// strategy search classifies load sites — reach the server's AST this way
+// without building an instance.
+func Program(name string) (*fo.Program, error) {
+	for _, e := range catalog {
+		if e.name == name {
+			return e.program()
 		}
 	}
 	return nil, fmt.Errorf("servers: unknown server %q (have %s)", name, strings.Join(Names(), ", "))

@@ -1,0 +1,166 @@
+package strategy_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"focc/internal/core"
+	"focc/internal/corpus"
+	"focc/internal/mem"
+	"focc/internal/strategy"
+)
+
+// TestGoldenSiteTablePin pins the classified load-site table of the
+// sim-cycle pin workload. The ids, classes, and positions are canonical —
+// a pure function of the source text — so any drift here means the
+// numbering or the classifier changed and every searched assignment on
+// record is invalidated.
+func TestGoldenSiteTablePin(t *testing.T) {
+	prog, err := corpus.CompileCPP(corpus.FileName, corpus.PinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strategy.Classify(prog).String()
+	want := "" +
+		"site   0 string-scan  bulk             w=1 t.c:8:6\n" +
+		"site   1 reload       bulk             w=1 t.c:9:5\n" +
+		"site   2 string-scan  oob              w=1 t.c:30:13\n" +
+		"site   3 reload       ptrs             w=8 t.c:39:6\n" +
+		"site   4 reload       ptrs             w=8 t.c:41:11\n"
+	if got != want {
+		t.Errorf("site table drifted:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestCorpusClassCoverage pins the per-class site counts of the corpus
+// programs that anchor each class: Tokenizer's byte scans, LinkedList's
+// pointer chases, Quicksort's read-after-store array traffic.
+func TestCorpusClassCoverage(t *testing.T) {
+	want := map[string]map[string]int{
+		"Tokenizer":  {"string-scan": 7, "other": 2},
+		"LinkedList": {"pointer-read": 6, "reload": 3},
+		"Quicksort":  {"reload": 10},
+	}
+	for _, p := range corpus.Programs() {
+		wc, ok := want[p.Name]
+		if !ok {
+			continue
+		}
+		prog, err := corpus.CompileCPP(corpus.FileName, p.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := strategy.Classify(prog).Counts()
+		for class, n := range wc {
+			if got[class] != n {
+				t.Errorf("%s: %d %s sites, want %d (full: %v)", p.Name, got[class], class, n, got)
+			}
+		}
+	}
+}
+
+// TestStrategyDocMatchesCatalog pins the Strategy doc comment in engine.go
+// to the rendered catalog, the same single-source discipline as the
+// fobench experiments table: every Describe() line must appear verbatim as
+// a "//\t" doc line.
+func TestStrategyDocMatchesCatalog(t *testing.T) {
+	src, err := os.ReadFile("engine.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(strategy.Describe(), "\n"), "\n") {
+		doc := "//\t" + strings.TrimRight(line, " ")
+		if !strings.Contains(string(src), doc) {
+			t.Errorf("Strategy doc comment is missing catalog line %q", doc)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, s := range strategy.All() {
+		got, err := strategy.Parse(string(s))
+		if err != nil || got != s {
+			t.Errorf("Parse(%q) = %q, %v", s, got, err)
+		}
+	}
+	if _, err := strategy.Parse("bogus"); err == nil {
+		t.Error("Parse(bogus) succeeded")
+	}
+}
+
+// testTable builds a synthetic four-site table, one site per class.
+func testTable() *strategy.Table {
+	return &strategy.Table{Sites: []strategy.Site{
+		{ID: 0, Class: strategy.StringScan, Width: 1},
+		{ID: 1, Class: strategy.PointerRead, Width: 8},
+		{ID: 2, Class: strategy.Reload, Width: 4},
+		{ID: 3, Class: strategy.Other, Width: 4},
+	}}
+}
+
+func TestDefaultAssignment(t *testing.T) {
+	a := strategy.DefaultAssignment(testTable(), "")
+	want := strategy.Assignment{strategy.Zero, strategy.UnitPtr, strategy.LastStore, strategy.SmallInt}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("site %d: %q, want %q", i, a[i], want[i])
+		}
+	}
+}
+
+// manufacture primes site and asks for a value, mimicking the engines'
+// prime-then-load sequence.
+func manufacture(e *strategy.Engine, site int32, p core.Pointer, size int) (int64, *mem.Unit, string) {
+	e.SetSite(site, nil, size)
+	return e.Manufacture(p, size)
+}
+
+func TestEngineStrategies(t *testing.T) {
+	e := strategy.NewEngine(testTable(), strategy.Assignment{
+		strategy.Zero, strategy.UnitPtr, strategy.LastStore, strategy.Max,
+	}, nil)
+
+	if v, _, s := manufacture(e, 0, core.Pointer{}, 1); v != 0 || s != "zero" {
+		t.Errorf("zero site: %d [%s]", v, s)
+	}
+	if v, _, s := manufacture(e, 3, core.Pointer{}, 2); v != 0xffff || s != "max" {
+		t.Errorf("max site: %#x [%s]", v, s)
+	}
+
+	// UnitPtr with live provenance manufactures the unit base; without it,
+	// degrades to smallint with honest attribution.
+	u := &mem.Unit{Base: 0x1000, Data: make([]byte, 16)}
+	if v, prov, s := manufacture(e, 1, core.Pointer{Addr: 0x1010, Prov: u}, 8); v != 0x1000 || prov != u || s != "unitptr" {
+		t.Errorf("unitptr site: %#x prov=%v [%s]", v, prov, s)
+	}
+	if _, _, s := manufacture(e, 1, core.Pointer{Addr: 0x1010}, 8); s != "smallint" {
+		t.Errorf("unitptr without provenance attributed to %q, want smallint", s)
+	}
+
+	// LastStore replays a discarded store at the same address, masked to
+	// the access width; an unseen address degrades to smallint.
+	e.NoteDiscardedStore(core.Pointer{Addr: 0x2000}, []byte{0xaa, 0xbb, 0xcc, 0xdd})
+	if v, _, s := manufacture(e, 2, core.Pointer{Addr: 0x2000}, 4); v != 0x0ddccbbaa&0xffffffff || s != "laststore" {
+		t.Errorf("laststore site: %#x [%s]", v, s)
+	}
+	if _, _, s := manufacture(e, 2, core.Pointer{Addr: 0x3000}, 4); s != "smallint" {
+		t.Errorf("laststore miss attributed to %q, want smallint", s)
+	}
+
+	// Site-less manufactures (bulk libc spans) go to the fallback.
+	if _, _, s := manufacture(e, -1, core.Pointer{}, 1); s != "smallint" {
+		t.Errorf("site-less manufacture attributed to %q, want smallint", s)
+	}
+
+	want := []int32{0, 1, 2, 3}
+	got := e.TouchedSites()
+	if len(got) != len(want) {
+		t.Fatalf("TouchedSites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TouchedSites = %v, want %v", got, want)
+		}
+	}
+}
