@@ -9,11 +9,16 @@
 package focc_test
 
 import (
+	"context"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"focc/fo"
 	"focc/internal/harness"
 	"focc/internal/interp"
+	"focc/internal/serve"
 	"focc/internal/servers"
 	"focc/internal/servers/apache"
 	"focc/internal/servers/mc"
@@ -203,6 +208,174 @@ int churn(int n) {
 			}
 		})
 	}
+}
+
+// benchServeSrc is the small-op server the serving-path benchmarks drive:
+// "ok" is a tiny successful request (the batching target — per-request
+// dispatch overhead dominates execution), and "poke" additionally commits
+// two out-of-bounds writes so the failure-oblivious telemetry path (event
+// append + per-request attribution) runs on every request.
+const benchServeSrc = `
+char resp[32];
+
+int ok(void)
+{
+	resp[0] = 'o'; resp[1] = 'k'; resp[2] = 0;
+	return 200;
+}
+
+int poke(void)
+{
+	char b[4];
+	b[6] = 'x'; b[7] = 'y';
+	return 200;
+}
+`
+
+var (
+	benchServeOnce sync.Once
+	benchServeProg *fo.Program
+	benchServeErr  error
+)
+
+type benchServeServer struct{}
+
+func (*benchServeServer) Name() string { return "benchstub" }
+
+func (*benchServeServer) New(mode fo.Mode) (servers.Instance, error) {
+	benchServeOnce.Do(func() { benchServeProg, benchServeErr = fo.Compile("benchstub.c", benchServeSrc) })
+	if benchServeErr != nil {
+		return nil, benchServeErr
+	}
+	log := fo.NewEventLog(0)
+	m, err := benchServeProg.NewMachine(fo.MachineConfig{Mode: mode, Log: log})
+	if err != nil {
+		return nil, err
+	}
+	return &benchServeInstance{Base: servers.Base{ServerName: "benchstub", M: m, EvLog: log}}, nil
+}
+
+func (*benchServeServer) LegitRequests() []servers.Request {
+	return []servers.Request{{Op: "ok"}, {Op: "poke"}}
+}
+
+func (*benchServeServer) AttackRequest() servers.Request { return servers.Request{Op: "poke"} }
+
+type benchServeInstance struct {
+	servers.Base
+}
+
+func (i *benchServeInstance) Handle(req servers.Request) servers.Response {
+	res := i.M.Call(req.Op)
+	if res.Outcome != fo.OutcomeOK {
+		return servers.Response{Outcome: res.Outcome, Err: res.Err}
+	}
+	return servers.Response{Outcome: fo.OutcomeOK, Status: int(res.Value.I), Body: "ok"}
+}
+
+func (i *benchServeInstance) HandleContext(ctx context.Context, req servers.Request) servers.Response {
+	defer i.BindContext(ctx)()
+	return i.Attribute(func() servers.Response { return i.Handle(req) })
+}
+
+// scrapeParallelism returns the SetParallelism factor that yields ~want
+// concurrent benchmark goroutines under the current GOMAXPROCS.
+func scrapeParallelism(want int) int {
+	p := runtime.GOMAXPROCS(0)
+	n := (want + p - 1) / p
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BenchmarkStatsScrape measures the cost of one full observability scrape
+// (Stats + Metrics: counters, aggregated memory-error telemetry, latency
+// histogram) under 64 concurrent scrapers while the pool serves a
+// telemetry-heavy workload. This is the monitoring hot path: a stats
+// endpoint polled by many collectors must not serialize against the
+// serving path's per-request event accounting.
+func BenchmarkStatsScrape(b *testing.B) {
+	eng, err := serve.New(&benchServeServer{}, fo.FailureOblivious,
+		serve.WithPoolSize(4), serve.WithQueueDepth(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Submit(nil, servers.Request{Op: "poke"}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.SetParallelism(scrapeParallelism(64))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m := eng.Metrics()
+			_ = m.Served
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+// benchDispatch drives the engine with 64 concurrent submitters of the
+// tiny "ok" request — the workload where per-request serving overhead
+// (queue slot, instance hand-off, checkpoint epoch) dominates execution —
+// and reports the per-request cost.
+func benchDispatch(b *testing.B, opts ...serve.Option) {
+	base := []serve.Option{serve.WithPoolSize(2), serve.WithQueueDepth(256)}
+	eng, err := serve.New(&benchServeServer{}, fo.ModeRewind, append(base, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ReportAllocs()
+	b.SetParallelism(scrapeParallelism(64))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := eng.Submit(nil, servers.Request{Op: "ok"})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.Outcome != fo.OutcomeOK {
+				b.Errorf("outcome = %v, want OK", resp.Outcome)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkBatchDispatch compares the small-op serving path with and
+// without request batching at equal pool size, under the rewind policy
+// (where batching also amortizes the request-boundary checkpoint into one
+// epoch per batch). The headline ratio — batched req/s over unbatched —
+// is what BENCH_PR10.json records; sub-request semantics are pinned
+// equivalent by the batching tests in internal/serve.
+func BenchmarkBatchDispatch(b *testing.B) {
+	b.Run("unbatched", func(b *testing.B) {
+		benchDispatch(b)
+	})
+	b.Run("batched", func(b *testing.B) {
+		benchDispatch(b, serve.WithBatching(16, time.Millisecond))
+	})
 }
 
 // BenchmarkRewindCheckpoint isolates the cost of the rewind policy's

@@ -30,6 +30,12 @@
 //	fobench -engine treewalk         # AST-walking reference engine
 //	fobench -engine codegen          # ahead-of-time generated Go (internal/gencorpus)
 //
+// Profiling (any experiment, including "all"; a test keeps these lines in
+// sync with the registered flags):
+//
+//	fobench -cpuprofile cpu.pprof    # CPU profile of the whole run, written on exit
+//	fobench -memprofile mem.pprof    # heap profile written at exit
+//
 // Absolute times are from the Go interpreter, not the paper's 2004 testbed;
 // the slowdown and ratio *shapes* are the reproduction target.
 package main
@@ -38,6 +44,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -174,6 +182,7 @@ type searchOpts struct {
 type clusterOpts struct {
 	seed     int64
 	duration time.Duration // open-loop generation time per cell
+	clients  int           // simulated clients for the 2× scale cell (0 = skip it)
 	out      string        // write the JSON report here ("" = table only)
 }
 
@@ -199,8 +208,17 @@ func main() {
 	searchBudget := flag.Int("search-budget", 200, "strategysearch: candidate evaluations per server")
 	clusterOut := flag.String("cluster-out", "", "cluster: write the JSON report to this file")
 	clusterDur := flag.Duration("cluster-duration", time.Second, "cluster: open-loop generation time per cell")
+	clusterClients := flag.Int("cluster-clients", 100000,
+		"cluster: simulated clients for the 2x-overload scale cell (0 = skip it)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	if err := setEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "fobench:", err)
+		os.Exit(1)
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fobench:", err)
 		os.Exit(1)
 	}
@@ -219,11 +237,53 @@ func main() {
 	}
 	co := campaignOpts{seed: *seed, faults: *faults, out: *campaignOut, servers: *campaignServers, modes: *campaignModes}
 	so := searchOpts{seed: *seed, faults: *faults, out: *searchOut, servers: *campaignServers, budget: *searchBudget}
-	cl := clusterOpts{seed: *seed, duration: *clusterDur, out: *clusterOut}
+	cl := clusterOpts{seed: *seed, duration: *clusterDur, clients: *clusterClients, out: *clusterOut}
 	if err := dispatch(*experiment, *reps, *soakN, clock, cfg, co, so, cl); err != nil {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "fobench:", err)
 		os.Exit(1)
 	}
+	stopProfiles()
+}
+
+// startProfiles starts pprof collection per the -cpuprofile/-memprofile
+// flags and returns the function that flushes both files — called on every
+// exit path so profiles survive experiment errors too. Profiling without
+// code edits is the point: any experiment (or the whole "all" sweep) can
+// be profiled by adding a flag.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Printf("fobench: CPU profile written to %s\n", cpu)
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fobench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // collect garbage so the heap profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fobench: memprofile:", err)
+				return
+			}
+			fmt.Printf("fobench: heap profile written to %s\n", mem)
+		}
+	}, nil
 }
 
 // dispatch routes the experiment selector: the table-printing, campaign,
@@ -272,15 +332,11 @@ func runCluster(o clusterOpts) error {
 		Capacity: capacity,
 		SLOms:    float64(base.SLO) / float64(time.Millisecond),
 	}
-	run := func(mode fo.Mode, mult float64, chaos bool) error {
-		cfg := base
+	run := func(mode fo.Mode, cfg harness.ClusterConfig, mult float64) error {
 		cfg.Rate = mult * capacity
-		if chaos {
-			cfg.Chaos = serve.ChaosConfig{KillEvery: 50}
-		}
 		res, err := harness.ClusterRun(srv, mode, cfg)
 		if err != nil {
-			return fmt.Errorf("cluster %v %.0fx chaos=%v: %w", mode, mult, chaos, err)
+			return fmt.Errorf("cluster %v %.0fx: %w", mode, mult, err)
 		}
 		res.Load = mult
 		rep.Cells = append(rep.Cells, res)
@@ -289,12 +345,38 @@ func runCluster(o clusterOpts) error {
 	fmt.Println("Sharded router under open-loop Poisson overload (goodput = OK responses within SLO)")
 	for _, mult := range []float64{1, 2, 4} {
 		for _, chaos := range []bool{false, true} {
-			if err := run(fo.FailureOblivious, mult, chaos); err != nil {
+			cfg := base
+			if chaos {
+				cfg.Chaos = serve.ChaosConfig{KillEvery: 50}
+			}
+			if err := run(fo.FailureOblivious, cfg, mult); err != nil {
 				return err
 			}
 		}
 	}
-	if err := run(fo.Standard, 1, false); err != nil {
+	if err := run(fo.Standard, base, 1); err != nil {
+		return err
+	}
+	// Scale cell: 2× overload sized to o.clients simulated clients — the
+	// sharded generator groups must sustain the offered rate (GenSeconds in
+	// the report stays near the window when they do), and failure-oblivious
+	// goodput should hold flat at the calibrated capacity.
+	if o.clients > 0 {
+		cfg := base
+		cfg.Duration = time.Duration(float64(o.clients) / (2 * capacity) * float64(time.Second))
+		if err := run(fo.FailureOblivious, cfg, 2); err != nil {
+			return err
+		}
+	}
+	// Rebalance-under-chaos cell: Standard mode with periodic attack
+	// arrivals crashes instances, a tight breaker trips shards, and the
+	// router's ring reroutes their tenants — the Rebal column shows the
+	// handoff volume while goodput holds.
+	rebal := base
+	rebal.AttackEvery = 10
+	rebal.BreakerAfter = 2
+	rebal.BreakerCooldown = 100 * time.Millisecond
+	if err := run(fo.Standard, rebal, 1); err != nil {
 		return err
 	}
 	fmt.Print(harness.FormatCluster(rep))

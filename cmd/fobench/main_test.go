@@ -131,7 +131,7 @@ func TestClusterExperiment(t *testing.T) {
 		t.Skip("cluster")
 	}
 	out := filepath.Join(t.TempDir(), "cluster.json")
-	cl := clusterOpts{seed: 7, duration: 150 * time.Millisecond, out: out}
+	cl := clusterOpts{seed: 7, duration: 150 * time.Millisecond, clients: 300, out: out}
 	if err := dispatch("cluster", 1, 1, harness.SimClock, harness.LoadtestConfig{}, campaignOpts{}, searchOpts{}, cl); err != nil {
 		t.Fatalf("cluster: %v", err)
 	}
@@ -139,9 +139,26 @@ func TestClusterExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatalf("JSON report not written: %v", err)
 	}
-	for _, want := range []string{`"Server": "apache"`, `"Capacity"`, `"Goodput"`, `"failure-oblivious"`} {
+	// The report must carry the standard matrix plus the scale cell's
+	// client accounting and the rebalance cell's handoff counter.
+	for _, want := range []string{`"Server": "apache"`, `"Capacity"`, `"Goodput"`,
+		`"failure-oblivious"`, `"Clients"`, `"GenSeconds"`, `"Rebalanced"`, `"InFlightPeak"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("JSON report missing %q", want)
+		}
+	}
+}
+
+// The package doc comment documents the profiling flags; this pins the doc
+// lines to the registered flag set so neither can drift alone.
+func TestUsageDocMatchesProfilingFlags(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpuprofile", "memprofile"} {
+		if !strings.Contains(string(src), "//\tfobench -"+name+" ") {
+			t.Errorf("doc comment missing a usage line for -%s", name)
 		}
 	}
 }

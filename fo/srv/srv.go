@@ -215,6 +215,21 @@ func WithWarmSpares(n int) Option { return serve.WithWarmSpares(n) }
 // requests keep flowing.
 func WithShedding(c ShedConfig) Option { return serve.WithShedding(c) }
 
+// WithBatching coalesces queued small requests into batches of up to
+// maxBatch dispatched to one worker instance as a unit — one admission
+// slot, one instance hand-off, and (under the rewind policy) one
+// checkpoint/rewind epoch per batch — amortizing the per-request serving
+// overhead that dominates small operations. Per-request semantics are
+// preserved: each sub-request gets its own outcome, latency sample, and
+// memory-error attribution — but rollback granularity coarsens to the
+// batch: a rewind mid-batch discards the whole epoch, including earlier
+// sub-requests' guest-state mutations. An incomplete batch flushes after
+// maxDelay, and a request whose deadline could not survive waiting
+// maxDelay bypasses the batcher entirely.
+func WithBatching(maxBatch int, maxDelay time.Duration) Option {
+	return serve.WithBatching(maxBatch, maxDelay)
+}
+
 // WithChaos enables deterministic process-level chaos injection on the
 // engine: every KillEvery-th executed request kills its serving instance
 // after responding (the supervisor replaces it), and every LatencyEvery-th
@@ -226,6 +241,12 @@ func WithChaos(c ChaosConfig) Option { return serve.WithChaos(c) }
 
 // WithShards sets the number of engine shards a Router hashes across.
 func WithShards(n int) RouterOption { return serve.WithShards(n) }
+
+// WithShardWeights sets relative capacity weights for the shards: shard i
+// receives a share of tenants proportional to weights[i]. Without
+// WithShards the shard count is inferred from len(weights); with it the
+// lengths must match. NewRouter rejects weights outside [1, 64].
+func WithShardWeights(weights ...int) RouterOption { return serve.WithShardWeights(weights...) }
 
 // WithTenantQuota caps each tenant's in-flight requests, so one flooding
 // tenant cannot starve the rest (0 = unlimited).

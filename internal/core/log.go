@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"focc/internal/cc/token"
 )
@@ -112,28 +113,37 @@ type Snapshot struct {
 // Total returns the total number of memory-error events in the snapshot.
 func (s Snapshot) Total() uint64 { return s.InvalidReads + s.InvalidWrites + s.Denied }
 
-// Merge adds o's counts into s (histograms included).
+// Merge adds o's counts into s (histograms included). The len guards are
+// not cosmetic: Merge runs once per live instance per scrape on the
+// monitoring path, and skipping the map-iterator setup for absent
+// histograms is measurable there.
 func (s *Snapshot) Merge(o Snapshot) {
 	s.InvalidReads += o.InvalidReads
 	s.InvalidWrites += o.InvalidWrites
 	s.Denied += o.Denied
-	for v, n := range o.Manufactured {
+	if len(o.Manufactured) > 0 {
 		if s.Manufactured == nil {
 			s.Manufactured = make(map[int64]uint64, len(o.Manufactured))
 		}
-		s.Manufactured[v] += n
+		for v, n := range o.Manufactured {
+			s.Manufactured[v] += n
+		}
 	}
-	for u, n := range o.Victims {
+	if len(o.Victims) > 0 {
 		if s.Victims == nil {
 			s.Victims = make(map[string]uint64, len(o.Victims))
 		}
-		s.Victims[u] += n
+		for u, n := range o.Victims {
+			s.Victims[u] += n
+		}
 	}
-	for name, n := range o.Strategies {
+	if len(o.Strategies) > 0 {
 		if s.Strategies == nil {
 			s.Strategies = make(map[string]uint64, len(o.Strategies))
 		}
-		s.Strategies[name] += n
+		for name, n := range o.Strategies {
+			s.Strategies[name] += n
+		}
 	}
 }
 
@@ -170,21 +180,37 @@ func (d Delta) String() string {
 // EventLog accumulates memory-error events. It keeps exact counters, small
 // aggregate histograms, and a bounded window of the most recent events.
 //
-// Concurrency: all methods are safe for concurrent use from any goroutine —
-// a mutex guards the counters, the histograms, the ring, and writes to
-// Stream (which are serialized, never interleaved). This is what makes a
-// live scrape (stats endpoint, supervisor, fobench) legal while the owning
-// worker is mid-request; the old contract that only the instance's owner
-// could read the log is gone.
+// Concurrency: all methods are safe for concurrent use from any goroutine.
+// The hot counters (reads/writes/denied) are lock-free atomics — each
+// serving goroutine owns one instance and therefore one log, so the
+// counters are effectively per-goroutine shards that scrapers fold on
+// Snapshot without ever contending the serving path. The mutex guards only
+// the cold state: the event ring, the histograms, and writes to Stream
+// (serialized, never interleaved) — and the serving path takes it only
+// when an actual memory error occurs, never per access or per request.
+// This is what makes a live scrape (stats endpoint, supervisor, fobench)
+// legal while the owning worker is mid-request.
+//
+// Counter/histogram ordering: an event bumps its counter before it takes
+// the mutex to enter the histograms, so a concurrent Snapshot may observe
+// a counter ahead of the maps, never behind — histogram totals are always
+// <= the matching counters.
 type EventLog struct {
+	reads  atomic.Uint64
+	writes atomic.Uint64
+	denied atomic.Uint64 // bounds-check terminations
+
+	// aggs is raised (under mu) when the first aggregate-histogram entry is
+	// recorded, and lets AddTo skip the mutex entirely while the log holds
+	// only counters — the common case for discard-mode workloads, whose
+	// events carry no manufactured value, victim, or strategy. That keeps a
+	// hot scrape loop from contending with the serving path's event appends.
+	aggs atomic.Bool
+
 	mu     sync.Mutex
 	limit  int
 	events []Event
 	start  int // ring start when full
-
-	reads  uint64
-	writes uint64
-	denied uint64 // bounds-check terminations
 
 	manufactured map[int64]uint64
 	victims      map[string]uint64
@@ -212,13 +238,13 @@ func (l *EventLog) add(e Event) {
 	if l == nil {
 		return
 	}
+	if e.Write {
+		l.writes.Add(1)
+	} else {
+		l.reads.Add(1)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if e.Write {
-		l.writes++
-	} else {
-		l.reads++
-	}
 	l.push(e)
 }
 
@@ -228,9 +254,9 @@ func (l *EventLog) addDenied(e Event) {
 		return
 	}
 	e.Denied = true
+	l.denied.Add(1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.denied++
 	l.push(e)
 }
 
@@ -239,6 +265,7 @@ func (l *EventLog) push(e Event) {
 	if e.manufactures() {
 		if l.manufactured == nil {
 			l.manufactured = make(map[int64]uint64)
+			l.aggs.Store(true)
 		}
 		if _, ok := l.manufactured[e.Manufactured]; ok || len(l.manufactured) < snapshotCardinality {
 			l.manufactured[e.Manufactured]++
@@ -247,6 +274,7 @@ func (l *EventLog) push(e Event) {
 	if e.Victim != "" {
 		if l.victims == nil {
 			l.victims = make(map[string]uint64)
+			l.aggs.Store(true)
 		}
 		if _, ok := l.victims[e.Victim]; ok || len(l.victims) < snapshotCardinality {
 			l.victims[e.Victim]++
@@ -255,6 +283,7 @@ func (l *EventLog) push(e Event) {
 	if e.Strategy != "" && e.manufactures() {
 		if l.strategies == nil {
 			l.strategies = make(map[string]uint64)
+			l.aggs.Store(true)
 		}
 		if _, ok := l.strategies[e.Strategy]; ok || len(l.strategies) < snapshotCardinality {
 			l.strategies[e.Strategy]++
@@ -272,69 +301,92 @@ func (l *EventLog) push(e Event) {
 }
 
 // InvalidReads returns the number of invalid reads continued through.
-func (l *EventLog) InvalidReads() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.reads
-}
+func (l *EventLog) InvalidReads() uint64 { return l.reads.Load() }
 
 // InvalidWrites returns the number of invalid writes discarded (or stored
 // boundlessly / redirected).
-func (l *EventLog) InvalidWrites() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.writes
-}
+func (l *EventLog) InvalidWrites() uint64 { return l.writes.Load() }
 
 // Denied returns the number of accesses rejected fatally by BoundsCheck.
-func (l *EventLog) Denied() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.denied
-}
+func (l *EventLog) Denied() uint64 { return l.denied.Load() }
 
 // Total returns the total number of memory-error events.
 func (l *EventLog) Total() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.reads + l.writes + l.denied
+	return l.reads.Load() + l.writes.Load() + l.denied.Load()
 }
 
 // Snapshot returns a point-in-time copy of the aggregate counters and
-// histograms. The result shares no state with the log.
+// histograms. The result shares no state with the log. Under a concurrent
+// writer the histogram totals may trail the counters by in-flight events
+// (see the ordering note on EventLog), never exceed them.
 func (l *EventLog) Snapshot() Snapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	s := Snapshot{
-		InvalidReads:  l.reads,
-		InvalidWrites: l.writes,
-		Denied:        l.denied,
-		Manufactured:  l.manufactured,
-		Victims:       l.victims,
-		Strategies:    l.strategies,
+		Manufactured: l.manufactured,
+		Victims:      l.victims,
+		Strategies:   l.strategies,
 	}
-	return s.Clone()
+	s = s.Clone()
+	// Load the counters while the histograms are frozen: a racing add bumps
+	// its counter before it can enter the maps, so the copied maps can only
+	// trail the counters read here.
+	s.InvalidReads = l.reads.Load()
+	s.InvalidWrites = l.writes.Load()
+	s.Denied = l.denied.Load()
+	return s
+}
+
+// AddTo folds the log's counters and histograms directly into s — the
+// result is identical to s.Merge(l.Snapshot()) without materializing the
+// intermediate snapshot (no per-log map clone). This is the scrape fast
+// path: a pool supervisor aggregating many live logs calls it once per
+// log per scrape.
+func (l *EventLog) AddTo(s *Snapshot) {
+	// Lock-free while the log holds no aggregate histograms: a racing event
+	// that creates the first map entry bumped its counter before taking the
+	// mutex, so skipping the map fold here can only make histogram totals
+	// trail the counters — the same invariant a locked fold guarantees.
+	if l.aggs.Load() {
+		l.mu.Lock()
+		s.Merge(Snapshot{
+			Manufactured: l.manufactured,
+			Victims:      l.victims,
+			Strategies:   l.strategies,
+		})
+		l.mu.Unlock()
+	}
+	// Counter loads after the map fold keep the merged invariant intact:
+	// histogram totals trail the counters, never exceed them (a racing add
+	// bumps its counter before it can enter the maps).
+	s.InvalidReads += l.reads.Load()
+	s.InvalidWrites += l.writes.Load()
+	s.Denied += l.denied.Load()
 }
 
 // Cursor returns a mark of the log's current position. Pair it with Since
 // to attribute the events of one request: take a cursor before handling,
-// call Since after.
+// call Since after. Lock-free: this is the per-request serving hot path
+// (servers.Base.Attribute brackets every request with a Cursor/Since
+// pair), and it must not contend with scrapers.
 func (l *EventLog) Cursor() Cursor {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return Cursor{reads: l.reads, writes: l.writes, denied: l.denied}
+	return Cursor{
+		reads:  l.reads.Load(),
+		writes: l.writes.Load(),
+		denied: l.denied.Load(),
+	}
 }
 
 // Since returns the events recorded after c was taken. Counters only move
 // forward, so as long as the log was not Reset in between the delta is
-// exact even if other goroutines observed the log concurrently.
+// exact even if other goroutines observed the log concurrently — the
+// events of one request are recorded by the single goroutine driving the
+// instance, so the bracketing loads see exactly that request's events.
 func (l *EventLog) Since(c Cursor) Delta {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	return Delta{
-		InvalidReads:  l.reads - c.reads,
-		InvalidWrites: l.writes - c.writes,
-		Denied:        l.denied - c.denied,
+		InvalidReads:  l.reads.Load() - c.reads,
+		InvalidWrites: l.writes.Load() - c.writes,
+		Denied:        l.denied.Load() - c.denied,
 	}
 }
 
@@ -359,16 +411,17 @@ func (l *EventLog) Reset() {
 	defer l.mu.Unlock()
 	l.events = l.events[:0]
 	l.start = 0
-	l.reads, l.writes, l.denied = 0, 0, 0
+	l.reads.Store(0)
+	l.writes.Store(0)
+	l.denied.Store(0)
 	l.manufactured, l.victims, l.strategies = nil, nil, nil
+	l.aggs.Store(false)
 }
 
 // Summary renders a one-line summary of the log.
 func (l *EventLog) Summary() string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	return fmt.Sprintf("memory errors: %d invalid reads, %d invalid writes, %d denied",
-		l.reads, l.writes, l.denied)
+		l.reads.Load(), l.writes.Load(), l.denied.Load())
 }
 
 // AddExternal records an event originating outside the accessor (e.g. the

@@ -559,6 +559,29 @@ int spin(int n) { while (1) { n++; } return n; }
 int quit(int n) { exit(n); return 0; }
 `
 
+// SrcBatchEpoch exercises the batch-granularity checkpoint epoch
+// (Machine.BeginBatchEpoch): a handler that mutates global and heap state
+// and, for large n, overruns a stack buffer — rewound under ModeRewind —
+// plus a getter to observe what survived the epoch.
+const SrcBatchEpoch = `
+#include <stdlib.h>
+int counter;
+char *saved;
+
+int bump(int n) {
+	char buf[8];
+	int i;
+	counter = counter + 1;
+	saved = (char *)malloc(16);
+	saved[0] = 'x';
+	for (i = 0; i < n; i++)
+		buf[i] = i;
+	return counter;
+}
+
+int get(int n) { return counter; }
+`
+
 // SrcDataShapes covers the value-shape paths: struct copies by pointer
 // and by member, nested aggregates with initializers, string literals,
 // pointer arithmetic and compound assignment, ternary, comma, casts, and

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"focc/fo"
+	"focc/internal/serve"
 )
 
 // campaignPlan is the shared small-but-real test plan: two servers, all
@@ -230,5 +233,83 @@ func TestSampledPointsWithinProfile(t *testing.T) {
 				t.Errorf("%s/%s: %d results for %d points", s.Server, c.Mode, len(c.Results), len(s.Points))
 			}
 		}
+	}
+}
+
+// TestCampaignRebalanceSurvival drives the campaign's attack workload
+// through a sharded router with a tight restart breaker: under the
+// crashing modes the attacked tenant's home shard trips and the router
+// reroutes its traffic (Rebalanced > 0, zero submit failures), while
+// failure-oblivious absorbs the attacks without ever tripping a shard —
+// so the paper's survival ordering (failure-oblivious strictly highest)
+// holds even while shards are tripped out of the ring.
+func TestCampaignRebalanceSurvival(t *testing.T) {
+	target := AllTargets()[1] // apache, the throughput chapter's server
+	if target.Name != "apache" {
+		t.Fatalf("target order changed: got %q, want apache second", target.Name)
+	}
+	const legitN = 30
+	survival := map[string]float64{}
+	for _, mode := range []fo.Mode{fo.Standard, fo.BoundsCheck, fo.FailureOblivious} {
+		srv := target.New()
+		rt, err := serve.NewRouter(srv, mode,
+			serve.WithShards(3),
+			serve.WithShardOptions(
+				serve.WithPoolSize(1), serve.WithQueueDepth(64),
+				serve.WithBackoff(time.Millisecond, 2*time.Millisecond),
+				serve.WithBreaker(2, 2*time.Second)))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		tenant := "tenant-attacked"
+		home := rt.Shard(tenant)
+		attack := srv.AttackRequest()
+		legit := srv.LegitRequests()
+
+		survived, total := 0, 0
+		for i := 0; i < 2; i++ { // back-to-back: consecutive crashes trip the breaker
+			resp, err := rt.Submit(nil, tenant, attack)
+			if err != nil {
+				t.Fatalf("%v attack %d: %v", mode, i, err)
+			}
+			total++
+			if !resp.Crashed() {
+				survived++
+			}
+		}
+		crashing := mode != fo.FailureOblivious
+		if crashing {
+			deadline := time.Now().Add(5 * time.Second)
+			for rt.Stats().Shards[home].BreakerTrips == 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("%v: attacked shard never tripped", mode)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		for i := 0; i < legitN; i++ {
+			resp, err := rt.Submit(nil, tenant, legit[i%len(legit)])
+			if err != nil {
+				t.Fatalf("%v legit %d: %v — availability lost during trip", mode, i, err)
+			}
+			total++
+			if !resp.Crashed() {
+				survived++
+			}
+		}
+		st := rt.Stats()
+		rt.Close()
+		if crashing && st.Rebalanced == 0 {
+			t.Errorf("%v: breaker tripped but no request was rebalanced", mode)
+		}
+		if !crashing && st.Rebalanced != 0 {
+			t.Errorf("failure-oblivious rebalanced %d requests — attacks must not trip shards", st.Rebalanced)
+		}
+		survival[mode.String()] = float64(survived) / float64(total)
+	}
+	fob := survival["failure-oblivious"]
+	if !(fob > survival["standard"] && fob > survival["bounds-check"]) {
+		t.Errorf("survival ordering broken under tripped shards: failure-oblivious %.2f, standard %.2f, bounds-check %.2f",
+			fob, survival["standard"], survival["bounds-check"])
 	}
 }

@@ -260,6 +260,12 @@ type Machine struct {
 
 	dead bool // a previous Call crashed; the process is gone
 
+	// batchCkpt is the batch-granularity rewind checkpoint
+	// (BeginBatchEpoch): while it is set, top-level calls share it instead
+	// of opening per-call checkpoints. Single-goroutine like the rest of
+	// the machine.
+	batchCkpt *mem.Checkpoint
+
 	// cancel is the cancellation hook: set (from any goroutine) by the
 	// watcher BindContext installs, polled by the step loop. cancelCtx
 	// holds the bound context so the deadline result can report ctx.Err().
@@ -508,6 +514,13 @@ func (m *Machine) BindContext(ctx context.Context) (release func()) {
 	if ctx == nil || ctx.Done() == nil {
 		return func() {}
 	}
+	if ctx == m.cancelCtx {
+		// Already bound to exactly this context (a batch-scope bind around
+		// per-request binds of the engine's shutdown context): the existing
+		// watcher covers it, so the nested bind is free and its release is
+		// a no-op — the outer bind owns the watcher's lifetime.
+		return func() {}
+	}
 	m.cancelCtx = ctx
 	stop := make(chan struct{})
 	done := make(chan struct{})
@@ -525,6 +538,38 @@ func (m *Machine) BindContext(ctx context.Context) (release func()) {
 		m.cancel.Store(false)
 		m.cancelCtx = nil
 	}
+}
+
+// BeginBatchEpoch opens a batch-granularity checkpoint epoch for the
+// rewind policy: until EndBatchEpoch (or a rewind), top-level calls share
+// one checkpoint instead of opening their own, amortizing the
+// checkpoint's fixed cost across a batch of small requests. A detected
+// memory error during the epoch rewinds to the epoch's beginning —
+// rolling back every call made under it — and consumes the epoch, so the
+// driver re-arms with a fresh BeginBatchEpoch before the next call (the
+// serving engine does this before every batched sub-request, making the
+// call idempotent while an epoch is already open). No-op outside
+// ModeRewind, on a dead machine, and when an epoch is already active.
+// Must be called between calls (never with guest frames live), from the
+// machine's own goroutine.
+func (m *Machine) BeginBatchEpoch() {
+	if m.dead || m.batchCkpt != nil || m.acc.Mode() != core.ModeRewind {
+		return
+	}
+	m.batchCkpt = m.as.BeginCheckpoint()
+}
+
+// EndBatchEpoch commits the open batch epoch, if any: the mutations of
+// every call made under it become permanent and the undo log is released.
+// Safe to call when no epoch is active (a rewind mid-batch consumes the
+// epoch) and on a machine that died mid-batch (committing releases the
+// undo log; a dead machine's state is never read again).
+func (m *Machine) EndBatchEpoch() {
+	if m.batchCkpt == nil {
+		return
+	}
+	m.as.Commit(m.batchCkpt)
+	m.batchCkpt = nil
 }
 
 func (m *Machine) call(name string, args []Value) (res Result) {
@@ -545,15 +590,25 @@ func (m *Machine) call(name string, args []Value) (res Result) {
 	// no simulated cycles: the cost model's decision points are unchanged,
 	// and the policy's real-world overhead is measured in wall-clock
 	// benchmarks instead.
+	//
+	// Under an open batch epoch (BeginBatchEpoch) the call joins the
+	// epoch's checkpoint instead of opening its own: commit is deferred to
+	// EndBatchEpoch, and a rewind restores the epoch's beginning and
+	// consumes the epoch (epochOwned guards both commit sites below).
 	var ckpt *mem.Checkpoint
+	epochOwned := false
 	if m.acc.Mode() == core.ModeRewind {
-		ckpt = m.as.BeginCheckpoint()
+		if m.batchCkpt != nil {
+			ckpt, epochOwned = m.batchCkpt, true
+		} else {
+			ckpt = m.as.BeginCheckpoint()
+		}
 	}
 	defer func() {
 		res.Steps = m.steps
 		r := recover()
 		if r == nil {
-			if ckpt != nil {
+			if ckpt != nil && !epochOwned {
 				m.as.Commit(ckpt)
 			}
 			return
@@ -575,9 +630,15 @@ func (m *Machine) call(name string, args []Value) (res Result) {
 			if ra, ok := p.err.(*core.RewindAbort); ok && ckpt != nil {
 				// Rewind-and-discard: restore the checkpoint (stack
 				// unwind included) and the pre-call frame state, and
-				// fail only this request. The machine stays alive.
+				// fail only this request. The machine stays alive. When
+				// the checkpoint is a batch epoch's, the rewind undoes
+				// every call made under the epoch and consumes it — the
+				// driver re-arms before its next call.
 				m.as.Rewind(ckpt)
 				ckpt = nil
+				if epochOwned {
+					m.batchCkpt = nil
+				}
 				m.retVal, m.frame, m.gotoLabel = savedRet, savedFrame, savedGoto
 				res = Result{Outcome: OutcomeRewound, Err: ra}
 				break
@@ -589,7 +650,7 @@ func (m *Machine) call(name string, args []Value) (res Result) {
 		default:
 			panic(r)
 		}
-		if ckpt != nil {
+		if ckpt != nil && !epochOwned {
 			m.as.Commit(ckpt)
 		}
 		res.Steps = m.steps

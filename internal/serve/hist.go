@@ -94,31 +94,56 @@ func mergeLatencySnapshots(snaps ...LatencySnapshot) LatencySnapshot {
 	for i := 0; i <= last; i++ {
 		m.Buckets[i] = LatencyBucket{UpperBound: bucketBound(i), Count: counts[i]}
 	}
-	m.P50, m.P95, m.P99 = histQuantile(&counts, total, 50), histQuantile(&counts, total, 95), histQuantile(&counts, total, 99)
+	m.P50, m.P95, m.P99 = histQuantiles(&counts, total)
 	return m
 }
 
-// histQuantile returns the nearest-rank pct-th percentile over the bucket
-// counts, reported as the holding bucket's inclusive upper bound (so the
-// estimate is biased at most one power of two high). Rank is computed in
-// integer arithmetic — ceil(total*pct/100), clamped to at least 1 — so the
-// boundary ranks (e.g. p95 of a multiple of 20) never depend on float
-// rounding. Callers guarantee total > 0 and total == sum of counts.
-func histQuantile(counts *[histBuckets]uint64, total uint64, pct uint64) time.Duration {
-	rank := (total*pct + 99) / 100
-	if rank < 1 {
-		rank = 1
+// histQuantiles returns the nearest-rank p50/p95/p99 percentiles over the
+// bucket counts in one pass (the scrape path computes all three per
+// snapshot; one cumulative walk replaces three), each reported as its
+// holding bucket's inclusive upper bound — biased at most one power of two
+// high. Ranks use integer arithmetic — ceil(total*pct/100), clamped to at
+// least 1 — so boundary ranks (e.g. p95 of a multiple of 20) never depend
+// on float rounding. Callers guarantee total > 0 and total == sum of
+// counts, so the trailing fallback is defensive only.
+func histQuantiles(counts *[histBuckets]uint64, total uint64) (p50, p95, p99 time.Duration) {
+	r50 := (total*50 + 99) / 100
+	r95 := (total*95 + 99) / 100
+	r99 := (total*99 + 99) / 100
+	if r50 < 1 {
+		r50 = 1
 	}
 	var cum uint64
+	done := 0
 	for i := range counts {
 		cum += counts[i]
-		if cum >= rank {
-			return bucketBound(i)
+		if p50 == 0 && cum >= r50 {
+			p50 = bucketBound(i)
+			done++
+		}
+		if p95 == 0 && cum >= r95 {
+			p95 = bucketBound(i)
+			done++
+		}
+		if p99 == 0 && cum >= r99 {
+			p99 = bucketBound(i)
+			done++
+		}
+		if done == 3 {
+			return p50, p95, p99
 		}
 	}
-	// total == sum of counts makes the loop return before this for every
-	// rank ≤ total; ranks can't exceed total for pct ≤ 100.
-	return bucketBound(histBuckets - 1)
+	last := bucketBound(histBuckets - 1)
+	if p50 == 0 {
+		p50 = last
+	}
+	if p95 == 0 {
+		p95 = last
+	}
+	if p99 == 0 {
+		p99 = last
+	}
+	return p50, p95, p99
 }
 
 func (h *hist) snapshot() LatencySnapshot {
@@ -141,6 +166,6 @@ func (h *hist) snapshot() LatencySnapshot {
 	for i := 0; i <= last; i++ {
 		s.Buckets[i] = LatencyBucket{UpperBound: bucketBound(i), Count: counts[i]}
 	}
-	s.P50, s.P95, s.P99 = histQuantile(&counts, total, 50), histQuantile(&counts, total, 95), histQuantile(&counts, total, 99)
+	s.P50, s.P95, s.P99 = histQuantiles(&counts, total)
 	return s
 }

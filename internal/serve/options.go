@@ -31,6 +31,9 @@ type options struct {
 	shed ShedConfig
 
 	chaos ChaosConfig
+
+	batchMax   int
+	batchDelay time.Duration
 }
 
 func defaultOptions() options {
@@ -91,6 +94,18 @@ func (o *options) validate() error {
 	}
 	if o.chaos.LatencyEvery > 0 && o.chaos.Latency <= 0 {
 		return fmt.Errorf("serve: chaos latency injection every %d requests needs a positive latency", o.chaos.LatencyEvery)
+	}
+	if o.batchMax < 0 {
+		return fmt.Errorf("serve: batch size %d: must be at least 2 (or 0 to disable batching)", o.batchMax)
+	}
+	if o.batchMax == 1 {
+		return fmt.Errorf("serve: batch size 1: coalesces nothing — use at least 2, or 0 to disable batching")
+	}
+	if o.batchMax > 0 && o.batchDelay <= 0 {
+		return fmt.Errorf("serve: batch delay %v: must be positive when batching is enabled", o.batchDelay)
+	}
+	if o.batchMax > 0 && o.batchMax > o.queueDepth {
+		return fmt.Errorf("serve: batch size %d exceeds queue depth %d: a full batch could never be admitted", o.batchMax, o.queueDepth)
 	}
 	return nil
 }
@@ -211,6 +226,34 @@ func (c ChaosConfig) enabled() bool { return c.KillEvery > 0 || c.LatencyEvery >
 // negative latency and latency injection without a positive delay.
 func WithChaos(c ChaosConfig) Option {
 	return func(o *options) { o.chaos = c }
+}
+
+// WithBatching coalesces queued small requests into batches of up to
+// maxBatch, dispatched to one worker instance as a unit: one admission
+// slot, one instance hand-off, and — under the rewind policy — one
+// checkpoint/rewind epoch for the whole batch instead of one per request
+// (fo.Machine.BeginBatchEpoch), amortizing the per-request serving
+// overhead that dominates small operations. Responses keep per-request
+// semantics: each sub-request executes separately on the instance, gets
+// its own outcome, latency sample, and memory-error attribution, and a
+// mid-batch crash or rewind lets the remaining sub-requests continue on a
+// replacement instance or a re-armed epoch. The one semantic trade is
+// rollback granularity: a rewind mid-batch discards the whole open epoch
+// — including the guest-state mutations of earlier sub-requests in the
+// same batch, whose responses were already delivered — the paper's
+// availability-over-precision bargain applied at batch scope.
+//
+// An incomplete batch flushes after maxDelay — the most latency batching
+// may add — and flushing is deadline-aware: a request whose deadline
+// could not survive waiting maxDelay bypasses the batcher and is
+// enqueued alone. New rejects maxBatch < 2 (0 disables batching),
+// non-positive maxDelay with batching enabled, and maxBatch above the
+// queue depth.
+func WithBatching(maxBatch int, maxDelay time.Duration) Option {
+	return func(o *options) {
+		o.batchMax = maxBatch
+		o.batchDelay = maxDelay
+	}
 }
 
 // WithBreaker configures the restart-storm circuit breaker: after

@@ -12,7 +12,7 @@ import (
 // property).
 func TestHashRingSpreadAndStability(t *testing.T) {
 	const shards, tenants = 4, 10000
-	ring := newHashRing(shards, ringVnodes)
+	ring := newHashRing(shards, ringVnodes, nil)
 	counts := make([]int, shards)
 	for i := 0; i < tenants; i++ {
 		key := fmt.Sprintf("tenant-%d", i)
@@ -31,7 +31,7 @@ func TestHashRingSpreadAndStability(t *testing.T) {
 		}
 	}
 
-	grown := newHashRing(shards+1, ringVnodes)
+	grown := newHashRing(shards+1, ringVnodes, nil)
 	moved := 0
 	for i := 0; i < tenants; i++ {
 		key := fmt.Sprintf("tenant-%d", i)
@@ -43,6 +43,84 @@ func TestHashRingSpreadAndStability(t *testing.T) {
 	// modulo hash would move ~shards/(shards+1). Split the difference.
 	if moved > tenants/2 {
 		t.Errorf("adding a shard moved %d of %d tenants — not consistent hashing", moved, tenants)
+	}
+}
+
+// TestHashRingWeights: a shard's share of tenants tracks its weight, and
+// weight-1 shards keep their unweighted ring points, so adding weights
+// only moves tenants toward the up-weighted shards.
+func TestHashRingWeights(t *testing.T) {
+	const shards, tenants = 3, 12000
+	weighted := newHashRing(shards, ringVnodes, []int{1, 1, 4})
+	counts := make([]int, shards)
+	for i := 0; i < tenants; i++ {
+		counts[weighted.lookup(fmt.Sprintf("tenant-%d", i))]++
+	}
+	// Shard 2 owns 4 of 6 weight units — expect roughly 2/3 of tenants,
+	// and at least twice either weight-1 shard (loose band for hash noise).
+	if counts[2] < 2*counts[0] || counts[2] < 2*counts[1] {
+		t.Errorf("weight-4 shard holds %d tenants vs %d/%d on weight-1 shards — weights not honored",
+			counts[2], counts[0], counts[1])
+	}
+
+	uniform := newHashRing(shards, ringVnodes, nil)
+	moved := 0
+	for i := 0; i < tenants; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		w := weighted.lookup(key)
+		if w != uniform.lookup(key) {
+			moved++
+			if w != 2 {
+				t.Fatalf("lookup(%q) moved to weight-1 shard %d — weighting must only pull tenants toward up-weighted shards", key, w)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("weighting moved no tenants — weight 4 had no effect")
+	}
+}
+
+// TestHashRingLookupHealthy: an unhealthy home shard's tenants redistribute
+// per vnode across the healthy fleet (not onto a single successor), the
+// healthy path is untouched, and with no healthy shard the home shard is
+// returned unchanged.
+func TestHashRingLookupHealthy(t *testing.T) {
+	const shards, tenants = 4, 8000
+	ring := newHashRing(shards, ringVnodes, nil)
+
+	allHealthy := func(int) bool { return true }
+	noneHealthy := func(int) bool { return false }
+	downed := 0
+	without := func(dead int) func(int) bool { return func(s int) bool { return s != dead } }
+
+	counts := make([]int, shards)
+	for i := 0; i < tenants; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		home := ring.lookup(key)
+
+		if s, rerouted := ring.lookupHealthy(key, allHealthy); s != home || rerouted {
+			t.Fatalf("lookupHealthy(%q, all healthy) = (%d, %v), want home %d unrerouted", key, s, rerouted, home)
+		}
+		if s, rerouted := ring.lookupHealthy(key, noneHealthy); s != home || rerouted {
+			t.Fatalf("lookupHealthy(%q, none healthy) = (%d, %v), want home %d as last resort", key, s, rerouted, home)
+		}
+
+		s, rerouted := ring.lookupHealthy(key, without(downed))
+		if home == downed {
+			if !rerouted || s == downed {
+				t.Fatalf("lookupHealthy(%q, shard %d down) = (%d, %v), want reroute off the dead shard", key, downed, s, rerouted)
+			}
+			counts[s]++
+		} else if s != home || rerouted {
+			t.Fatalf("lookupHealthy(%q, shard %d down) = (%d, %v), want home %d untouched", key, downed, s, rerouted, home)
+		}
+	}
+	// The dead shard's tenants must land on every healthy shard — the
+	// per-vnode walk spreads them instead of dumping them on one neighbor.
+	for s, n := range counts {
+		if s != downed && n == 0 {
+			t.Errorf("shard %d received none of dead shard %d's tenants — load not redistributed: %v", s, downed, counts)
+		}
 	}
 }
 

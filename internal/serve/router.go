@@ -40,11 +40,13 @@ var (
 type RouterOption func(*routerOptions)
 
 type routerOptions struct {
-	shards int
-	quota  int
-	aimd   AIMDConfig
-	shed   ShedConfig
-	engine []Option
+	shards    int
+	shardsSet bool // WithShards called: weights must match instead of infer
+	weights   []int
+	quota     int
+	aimd      AIMDConfig
+	shed      ShedConfig
+	engine    []Option
 }
 
 func defaultRouterOptions() routerOptions {
@@ -61,6 +63,19 @@ func defaultRouterOptions() routerOptions {
 func (o *routerOptions) validate() error {
 	if o.shards <= 0 {
 		return fmt.Errorf("serve: shard count %d: must be at least 1", o.shards)
+	}
+	if len(o.weights) > 0 {
+		if len(o.weights) != o.shards {
+			return fmt.Errorf("serve: %d shard weights for %d shards: provide exactly one weight per shard", len(o.weights), o.shards)
+		}
+		for i, w := range o.weights {
+			if w < 1 {
+				return fmt.Errorf("serve: shard %d weight %d: must be at least 1", i, w)
+			}
+			if w > maxShardWeight {
+				return fmt.Errorf("serve: shard %d weight %d: must be at most %d", i, w, maxShardWeight)
+			}
+		}
 	}
 	if o.quota < 0 {
 		return fmt.Errorf("serve: tenant quota %d: must be positive (or 0 for unlimited)", o.quota)
@@ -82,7 +97,28 @@ func (o *routerOptions) validate() error {
 // WithShards sets the number of engine shards requests are
 // consistent-hashed across. NewRouter rejects n <= 0.
 func WithShards(n int) RouterOption {
-	return func(o *routerOptions) { o.shards = n }
+	return func(o *routerOptions) { o.shards, o.shardsSet = n, true }
+}
+
+// maxShardWeight bounds a shard's ring weight: the ring holds
+// weight×ringVnodes points per shard, and weights beyond this add memory
+// without improving the load split.
+const maxShardWeight = 64
+
+// WithShardWeights sets relative capacity weights for the shards: shard i
+// owns weights[i]×ringVnodes points on the hash ring and therefore
+// receives a proportional share of tenants — the way a heterogeneous
+// fleet gives a box with twice the cores twice the traffic. Without
+// WithShards the shard count is inferred from len(weights); with it the
+// lengths must match. NewRouter rejects weights below 1 or above
+// maxShardWeight. Omitting WithShardWeights weights every shard equally.
+func WithShardWeights(weights ...int) RouterOption {
+	return func(o *routerOptions) {
+		o.weights = append([]int(nil), weights...)
+		if !o.shardsSet {
+			o.shards = len(weights)
+		}
+	}
 }
 
 // WithTenantQuota caps each tenant's in-flight requests at n: a tenant at
@@ -129,7 +165,7 @@ type Router struct {
 	limiter *aimdLimiter // nil when AIMD is disabled
 	tenants *tenantTable // nil when quotas are disabled
 
-	overQuota, overLimit, swaps atomic.Uint64
+	overQuota, overLimit, swaps, rebalanced atomic.Uint64
 }
 
 // NewRouter builds the shard fleet over srv (wrapped in a SwapServer so
@@ -148,7 +184,7 @@ func NewRouter(srv servers.Server, mode fo.Mode, opts ...RouterOption) (*Router,
 		o:    o,
 		mode: mode,
 		swap: NewSwapServer(srv),
-		ring: newHashRing(o.shards, ringVnodes),
+		ring: newHashRing(o.shards, ringVnodes, o.weights),
 	}
 	engineOpts := append([]Option{WithShedding(o.shed)}, o.engine...)
 	r.shards = make([]*Engine, o.shards)
@@ -180,8 +216,25 @@ func (r *Router) ShardCount() int { return len(r.shards) }
 
 // Shard returns the index of the shard serving tenant — stable for a given
 // tenant key and shard count (consistent hashing over a ring of virtual
-// nodes).
+// nodes). This is the tenant's *home* shard; Submit may temporarily route
+// around it while its breaker is tripped (see shardFor).
 func (r *Router) Shard(tenant string) int { return r.ring.lookup(tenant) }
+
+// shardFor resolves the shard that should serve tenant right now: the home
+// shard unless its circuit breaker is tripped, in which case the tenant's
+// ring point walks clockwise to the first healthy shard — the tripped
+// shard's vnodes redistribute across the healthy fleet per vnode (different
+// tenants land on different successors), and the very next request after
+// recovery routes home again because health is read per lookup, not
+// cached. With every shard tripped the home shard is returned unchanged:
+// queueing at the real destination beats bouncing between dead shards.
+func (r *Router) shardFor(tenant string) int {
+	s, rerouted := r.ring.lookupHealthy(tenant, func(i int) bool { return !r.shards[i].Tripped() })
+	if rerouted {
+		r.rebalanced.Add(1)
+	}
+	return s
+}
 
 // Submit routes one request by tenant key: quota check, adaptive-limit
 // check, then the tenant's shard. The error surface is the Engine's plus
@@ -201,14 +254,14 @@ func (r *Router) Submit(ctx context.Context, tenant string, req servers.Request)
 			return servers.Response{}, ErrOverLimit
 		}
 		t0 := time.Now()
-		resp, err := r.shards[r.ring.lookup(tenant)].Submit(ctx, req)
+		resp, err := r.shards[r.shardFor(tenant)].Submit(ctx, req)
 		// Only executed requests carry a latency signal; queue-level
 		// rejections would read as "fast" and push the limit up exactly
 		// when the cluster is drowning.
 		r.limiter.release(time.Since(t0), err == nil)
 		return resp, err
 	}
-	return r.shards[r.ring.lookup(tenant)].Submit(ctx, req)
+	return r.shards[r.shardFor(tenant)].Submit(ctx, req)
 }
 
 // Swap atomically replaces the served program for the whole fleet and
@@ -264,6 +317,10 @@ type RouterStats struct {
 	OverLimit uint64
 	// Swaps counts program hot-swaps performed.
 	Swaps uint64
+	// Rebalanced counts requests routed away from their home shard while
+	// its circuit breaker was tripped (cross-shard rebalancing). Zero in a
+	// healthy fleet: traffic returns home the moment the breaker closes.
+	Rebalanced uint64
 	// Limit is the current adaptive concurrency limit (0 when AIMD is
 	// disabled).
 	Limit int
@@ -276,10 +333,11 @@ type RouterStats struct {
 // Safe to call from any goroutine at any time.
 func (r *Router) Stats() RouterStats {
 	rs := RouterStats{
-		Shards:    make([]Stats, len(r.shards)),
-		OverQuota: r.overQuota.Load(),
-		OverLimit: r.overLimit.Load(),
-		Swaps:     r.swaps.Load(),
+		Shards:     make([]Stats, len(r.shards)),
+		OverQuota:  r.overQuota.Load(),
+		OverLimit:  r.overLimit.Load(),
+		Swaps:      r.swaps.Load(),
+		Rebalanced: r.rebalanced.Load(),
 	}
 	for i, shard := range r.shards {
 		rs.Shards[i] = shard.Stats()
@@ -369,10 +427,11 @@ func (t *tenantTable) snapshot() map[string]TenantStats {
 const ringVnodes = 128
 
 // hashRing is a consistent-hash ring over the shard set: each shard owns
-// ringVnodes points, a tenant maps to the first point clockwise from its
-// hash. Tenant→shard assignment therefore depends only on (tenant, shard
-// count), spreads tenants evenly, and — the consistent-hashing property —
-// changing the shard count moves only ~1/N of tenants, which keeps any
+// weight×ringVnodes points (weight 1 without WithShardWeights), a tenant
+// maps to the first point clockwise from its hash. Tenant→shard assignment
+// therefore depends only on (tenant, shard count, weights), spreads
+// tenants proportionally to weight, and — the consistent-hashing property
+// — changing the shard count moves only ~1/N of tenants, which keeps any
 // future shard-scaling change from reshuffling every tenant's cache and
 // instance affinity.
 type hashRing struct {
@@ -384,10 +443,26 @@ type ringPoint struct {
 	shard int
 }
 
-func newHashRing(shards, vnodes int) hashRing {
-	pts := make([]ringPoint, 0, shards*vnodes)
+// newHashRing builds the ring. weights scales each shard's vnode count
+// (nil = every shard at weight 1); a weight-1 shard's points are identical
+// to the unweighted ring's, so introducing weights only moves tenants
+// toward the up-weighted shards.
+func newHashRing(shards, vnodes int, weights []int) hashRing {
+	total := 0
 	for s := 0; s < shards; s++ {
-		for v := 0; v < vnodes; v++ {
+		n := vnodes
+		if weights != nil {
+			n *= weights[s]
+		}
+		total += n
+	}
+	pts := make([]ringPoint, 0, total)
+	for s := 0; s < shards; s++ {
+		n := vnodes
+		if weights != nil {
+			n *= weights[s]
+		}
+		for v := 0; v < n; v++ {
 			pts = append(pts, ringPoint{hash: ringHash(fmt.Sprintf("shard-%d-vnode-%d", s, v)), shard: s})
 		}
 	}
@@ -400,13 +475,40 @@ func newHashRing(shards, vnodes int) hashRing {
 	return hashRing{points: pts}
 }
 
-func (r hashRing) lookup(key string) int {
+// find returns the index of the first ring point clockwise from key's hash.
+func (r hashRing) find(key string) int {
 	h := ringHash(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap around the ring
 	}
-	return r.points[i].shard
+	return i
+}
+
+func (r hashRing) lookup(key string) int {
+	return r.points[r.find(key)].shard
+}
+
+// lookupHealthy resolves key to its home shard, or — when healthy(home)
+// is false — continues clockwise from the key's ring point to the first
+// point owned by a healthy shard (rerouted=true). Walking ring points
+// rather than shard numbers is what redistributes a dead shard's load:
+// each of its vnodes has a different successor, so its tenants spread
+// across the healthy fleet instead of piling onto one neighbor. When no
+// healthy shard exists the home shard is returned with rerouted=false.
+func (r hashRing) lookupHealthy(key string, healthy func(int) bool) (shard int, rerouted bool) {
+	i := r.find(key)
+	home := r.points[i].shard
+	if healthy(home) {
+		return home, false
+	}
+	for j := 1; j < len(r.points); j++ {
+		s := r.points[(i+j)%len(r.points)].shard
+		if s != home && healthy(s) {
+			return s, true
+		}
+	}
+	return home, false
 }
 
 // ringHash is FNV-1a with a splitmix64-style avalanche finalizer, inlined

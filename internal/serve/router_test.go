@@ -315,3 +315,255 @@ func TestRouterAIMDBacksOffUnderLatency(t *testing.T) {
 		t.Error("no ErrOverLimit rejections while saturated over target")
 	}
 }
+
+// TestRouterShardWeightValidation: WithShardWeights is validated at
+// construction — weights outside [1, 64], a length mismatch with
+// WithShards — and without WithShards the shard count is inferred from
+// the weight list.
+func TestRouterShardWeightValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []serve.RouterOption
+	}{
+		{"zero weight", []serve.RouterOption{serve.WithShardWeights(1, 0, 2)}},
+		{"negative weight", []serve.RouterOption{serve.WithShardWeights(-3)}},
+		{"over max weight", []serve.RouterOption{serve.WithShardWeights(1, 65)}},
+		{"count mismatch", []serve.RouterOption{serve.WithShards(2), serve.WithShardWeights(1, 2, 3)}},
+	}
+	for _, c := range cases {
+		if rt, err := serve.NewRouter(&stubServer{}, fo.FailureOblivious, c.opts...); err == nil {
+			rt.Close()
+			t.Errorf("%s: NewRouter accepted invalid weights", c.name)
+		}
+	}
+
+	rt, err := serve.NewRouter(&stubServer{}, fo.FailureOblivious,
+		serve.WithShardWeights(1, 2, 3))
+	if err != nil {
+		t.Fatalf("weights without WithShards: %v", err)
+	}
+	defer rt.Close()
+	if rt.ShardCount() != 3 {
+		t.Errorf("ShardCount() = %d, want 3 inferred from len(weights)", rt.ShardCount())
+	}
+}
+
+// TestRouterRebalanceOnBreaker: when a shard's circuit breaker trips, its
+// tenants' requests reroute to healthy shards (zero failures, Rebalanced
+// counts them, the tripped shard serves nothing new), and when the breaker
+// restores after cooldown the tenants return home and rebalancing stops.
+func TestRouterRebalanceOnBreaker(t *testing.T) {
+	rt, err := serve.NewRouter(&stubServer{}, fo.Standard,
+		serve.WithShards(3),
+		serve.WithShardOptions(
+			serve.WithPoolSize(1), serve.WithQueueDepth(16),
+			serve.WithBackoff(time.Millisecond, 2*time.Millisecond),
+			serve.WithBreaker(2, 750*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	tenant := "tenant-rebalance"
+	home := rt.Shard(tenant)
+
+	// Trip the home shard's breaker: two consecutive crashes with no
+	// intervening success.
+	for i := 0; i < 2; i++ {
+		resp, err := rt.Submit(nil, tenant, servers.Request{Op: "smash"})
+		if err != nil {
+			t.Fatalf("smash %d: %v", i, err)
+		}
+		if !resp.Crashed() {
+			t.Fatalf("smash %d outcome = %v, want a crash", i, resp.Outcome)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Stats().Shards[home].BreakerTrips == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("home shard breaker never tripped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The trip counter is incremented after the health gauge (see respawn),
+	// so from here every lookup sees the home shard as unhealthy.
+	tripped := rt.Stats()
+	homeServed := tripped.Shards[home].Served
+
+	// Handoff: with the breaker open, the tenant's requests must land on
+	// healthy shards — no failures, no new work on the tripped shard.
+	const loadN = 20
+	for i := 0; i < loadN; i++ {
+		resp, err := rt.Submit(nil, tenant, servers.Request{Op: "ok"})
+		if err != nil {
+			t.Fatalf("rebalanced ok %d: %v", i, err)
+		}
+		if resp.Outcome != fo.OutcomeOK {
+			t.Fatalf("rebalanced ok %d outcome = %v, want OK", i, resp.Outcome)
+		}
+	}
+	st := rt.Stats()
+	if st.Rebalanced < loadN {
+		t.Errorf("Rebalanced = %d, want at least %d rerouted requests", st.Rebalanced, loadN)
+	}
+	if got := st.Shards[home].Served; got != homeServed {
+		t.Errorf("tripped shard served %d new requests, want 0 (had %d)", got-homeServed, homeServed)
+	}
+
+	// Restoration: the half-open respawn at cooldown end clears the gauge;
+	// once a request lands home again, rebalancing must have stopped.
+	deadline = time.Now().Add(5 * time.Second)
+	for rt.Stats().Shards[home].Served == homeServed {
+		if time.Now().After(deadline) {
+			t.Fatal("home shard never recovered after breaker cooldown")
+		}
+		resp, err := rt.Submit(nil, tenant, servers.Request{Op: "ok"})
+		if err != nil {
+			t.Fatalf("recovery probe: %v", err)
+		}
+		if resp.Outcome != fo.OutcomeOK {
+			t.Fatalf("recovery probe outcome = %v, want OK", resp.Outcome)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	restored := rt.Stats()
+	const afterN = 5
+	for i := 0; i < afterN; i++ {
+		resp, err := rt.Submit(nil, tenant, servers.Request{Op: "ok"})
+		if err != nil {
+			t.Fatalf("restored ok %d: %v", i, err)
+		}
+		if resp.Outcome != fo.OutcomeOK {
+			t.Fatalf("restored ok %d outcome = %v, want OK", i, resp.Outcome)
+		}
+	}
+	final := rt.Stats()
+	if got := final.Shards[home].Served - restored.Shards[home].Served; got != afterN {
+		t.Errorf("restored home shard served %d of %d post-recovery requests", got, afterN)
+	}
+	if final.Rebalanced != restored.Rebalanced {
+		t.Errorf("Rebalanced grew %d→%d after restoration — tenants did not return home",
+			restored.Rebalanced, final.Rebalanced)
+	}
+}
+
+// TestRouterStatsUnderScrapeSwapRebalance hammers one router from four
+// directions at once — stats/metrics scrapers, a program hot-swapper, a
+// crash-loop tenant that keeps tripping breakers (rebalance churn), and
+// legitimate clients — and requires zero unexpected failures. Its job is
+// race coverage of the scrape/swap/rebalance planes (run under -race);
+// rebalancing behavior itself is pinned by TestRouterRebalanceOnBreaker.
+func TestRouterStatsUnderScrapeSwapRebalance(t *testing.T) {
+	rt, err := serve.NewRouter(&stubServer{}, fo.Standard,
+		serve.WithShards(3),
+		serve.WithShardOptions(
+			serve.WithPoolSize(1), serve.WithQueueDepth(32),
+			serve.WithBackoff(time.Millisecond, 2*time.Millisecond),
+			serve.WithBreaker(2, 20*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := rt.Stats()
+				_ = st.Rebalanced
+				for _, sh := range st.Shards {
+					_ = sh.MemErrors.Total()
+				}
+				_ = rt.Metrics().Latency.P99
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := []servers.Server{&stubServerV2{}, &stubServer{}}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.Swap(next[i%2])
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Crash loop on one tenant: trips its home shard's breaker,
+			// then chases the rebalanced route and trips that shard too —
+			// constant health churn under the scrapers and swapper.
+			if _, err := rt.Submit(nil, "tenant-chaos", servers.Request{Op: "smash"}); err != nil &&
+				!errors.Is(err, serve.ErrQueueFull) && !errors.Is(err, serve.ErrShed) {
+				t.Errorf("chaos smash: %v", err)
+				return
+			}
+		}
+	}()
+
+	var okServed atomic.Uint64
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := rt.Submit(nil, tenant, servers.Request{Op: "ok"})
+				switch {
+				case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrShed):
+					time.Sleep(100 * time.Microsecond)
+				case err != nil:
+					t.Errorf("client %d: %v", c, err)
+					return
+				case resp.Outcome == fo.OutcomeOK:
+					okServed.Add(1)
+				default:
+					t.Errorf("client %d outcome = %v, want OK", c, resp.Outcome)
+					return
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := rt.Stats()
+	if okServed.Load() == 0 {
+		t.Error("no legitimate request succeeded under churn")
+	}
+	if st.Swaps == 0 {
+		t.Error("no hot-swap completed under churn")
+	}
+	if st.Shards[0].Served+st.Shards[1].Served+st.Shards[2].Served == 0 {
+		t.Error("shard stats report nothing served")
+	}
+}

@@ -96,6 +96,10 @@ type Stats struct {
 	ChaosKills uint64
 	// ChaosDelays counts requests delayed by chaos latency injection.
 	ChaosDelays uint64
+	// Batches counts coalesced batch dispatches (WithBatching): each is one
+	// queue slot and one instance hand-off covering several served requests.
+	// Zero when batching is disabled or every request bypassed the batcher.
+	Batches uint64
 	// MemErrors aggregates the memory-error telemetry of every instance
 	// the engine has ever owned: the live pool is scraped (legal because
 	// EventLog is concurrency-safe) and the logs of crashed, replaced
@@ -118,6 +122,7 @@ func (s *Stats) add(o Stats) {
 	s.BreakerTrips += o.BreakerTrips
 	s.ChaosKills += o.ChaosKills
 	s.ChaosDelays += o.ChaosDelays
+	s.Batches += o.Batches
 	s.MemErrors.Merge(o.MemErrors)
 }
 
@@ -142,6 +147,10 @@ type Engine struct {
 	tasks chan *task
 	q     *shedQueue
 
+	// b coalesces submissions into batch wrapper tasks ahead of the queue
+	// (WithBatching); nil when batching is disabled.
+	b *batcher
+
 	// closing is canceled by Close; its Done channel doubles as the
 	// engine-wide shutdown signal, and in-flight interpreter work is
 	// canceled through it so Close never waits on a stuck request.
@@ -150,10 +159,15 @@ type Engine struct {
 	wg        sync.WaitGroup
 	once      sync.Once
 
-	served, crashes, restarts, timeouts, rewound, rejected, trips atomic.Uint64
+	served, crashes, restarts, timeouts, rewound, rejected, trips, batches atomic.Uint64
 
 	// shedCount counts ErrShed drops (incremented inside the shed queue).
 	shedCount atomic.Uint64
+
+	// breakerOpen gauges how many workers are currently parked in (or
+	// half-opening out of) a breaker cooldown. Tripped() reads it; the
+	// Router uses it as the shard health signal for rebalancing.
+	breakerOpen atomic.Int64
 
 	// gen is the instance generation: Recycle bumps it, and every worker
 	// replaces its instance before executing its next request once its
@@ -176,9 +190,13 @@ type Engine struct {
 
 	// obsMu guards the memory-error aggregation state: the set of live
 	// instance logs (scraped on Stats) and the folded counters of retired
-	// instances. Lock order: obsMu before any EventLog's own mutex.
-	obsMu    sync.Mutex
+	// instances. Scrapes (memErrors) take the read lock — concurrent
+	// scrapers share it, so a polled stats endpoint never convoys — and
+	// only instance turnover (adopt/retire) takes the write lock. Lock
+	// order: obsMu before any EventLog's own mutex.
+	obsMu    sync.RWMutex
 	liveLogs map[*fo.EventLog]struct{}
+	liveList []*fo.EventLog // flat copy of liveLogs keys, rebuilt on turnover: scrapes range a slice, not a map
 	retired  fo.LogSnapshot
 }
 
@@ -194,6 +212,46 @@ type task struct {
 	req  servers.Request
 	resp chan taskResult // buffered(1): workers never block on reply
 	enq  time.Time       // when the task entered the queue (sojourn basis)
+
+	// batch, when non-nil, marks this task as a batch wrapper (WithBatching):
+	// it carries no request of its own, occupies one queue slot, and the
+	// worker executes each sub-task in order under a shared checkpoint epoch
+	// (serveBatch). Wrapper tasks have ctx == context.Background() — each
+	// sub-request's own deadline is enforced at execution time — and their
+	// resp channel is unused: replies (including queue-level errors such as
+	// ErrShed) fan out to the sub-tasks' channels via answer.
+	batch []*task
+}
+
+// taskPool recycles task structs (and their reply channels) across
+// Submits: two allocations per request on the small-op hot path otherwise.
+// Reuse is safe because each task's reply channel sees exactly one send —
+// by the worker that executed it or by the shedding queue — so once the
+// submitter has received the reply the channel is empty and unreferenced.
+// Tasks abandoned on engine close (Submit returned ErrClosed while the
+// task was still queued or executing) are NOT pooled: a late worker send
+// may still arrive, and recycling the channel would cross-deliver it.
+var taskPool = sync.Pool{
+	New: func() any { return &task{resp: make(chan taskResult, 1)} },
+}
+
+// getTask checks a task out of the pool, initialized for one submission.
+// enq is stamped by the caller only when a consumer needs it (the shedding
+// queue's sojourn clock) — a clock read costs real time on the small-op
+// hot path, so the plain bounded queue skips it.
+func getTask(ctx context.Context, req servers.Request) *task {
+	t := taskPool.Get().(*task)
+	t.ctx, t.req = ctx, req
+	return t
+}
+
+// putTask returns a finished task to the pool, dropping reference-holding
+// fields so pooled tasks don't pin contexts or request payloads.
+func putTask(t *task) {
+	t.ctx = nil
+	t.req = servers.Request{}
+	t.batch = nil
+	taskPool.Put(t)
 }
 
 // taskResult is a worker's (or the shedding queue's) answer to a task:
@@ -226,6 +284,9 @@ func New(srv servers.Server, mode fo.Mode, opts ...Option) (*Engine, error) {
 		e.q = newShedQueue(o.queueDepth, o.shed, &e.shedCount)
 	} else {
 		e.tasks = make(chan *task, o.queueDepth)
+	}
+	if o.batchMax > 0 {
+		e.b = newBatcher(e)
 	}
 	insts := make([]servers.Instance, o.poolSize)
 	gens := make([]uint64, o.poolSize)
@@ -323,6 +384,7 @@ func (e *Engine) adoptLog(l *fo.EventLog) {
 	}
 	e.obsMu.Lock()
 	e.liveLogs[l] = struct{}{}
+	e.rebuildLiveList()
 	e.obsMu.Unlock()
 }
 
@@ -334,24 +396,47 @@ func (e *Engine) retireLog(l *fo.EventLog) {
 	}
 	e.obsMu.Lock()
 	delete(e.liveLogs, l)
+	e.rebuildLiveList()
 	e.retired.Merge(l.Snapshot())
 	e.obsMu.Unlock()
 }
 
-// memErrors aggregates the retired instances' counters with a live scrape
-// of every current instance's log.
-func (e *Engine) memErrors() fo.LogSnapshot {
-	e.obsMu.Lock()
-	defer e.obsMu.Unlock()
-	agg := e.retired.Clone()
+// rebuildLiveList refreshes the flat scrape list from liveLogs; callers
+// hold obsMu. Turnover is rare (instance creation and retirement), scrapes
+// are hot — paying a rebuild here buys memErrors a slice walk instead of a
+// map iteration per scrape.
+func (e *Engine) rebuildLiveList() {
+	e.liveList = e.liveList[:0]
 	for l := range e.liveLogs {
-		agg.Merge(l.Snapshot())
+		e.liveList = append(e.liveList, l)
 	}
-	return agg
+}
+
+// memErrors aggregates the retired instances' counters with a live scrape
+// of every current instance's log. O(live pool): retired logs were folded
+// into the cached aggregate at retirement (retireLog), so a restart storm
+// does not grow the scrape. Read lock only — scrapers run concurrently
+// with each other and never block the serving path, whose hot counters
+// are lock-free (fo.EventLog).
+func (e *Engine) memErrors(agg *fo.LogSnapshot) {
+	e.obsMu.RLock()
+	defer e.obsMu.RUnlock()
+	agg.Merge(e.retired)
+	for _, l := range e.liveList {
+		l.AddTo(agg)
+	}
 }
 
 // Mode returns the pool's execution mode.
 func (e *Engine) Mode() fo.Mode { return e.mode }
+
+// Tripped reports whether the circuit breaker currently holds at least one
+// worker parked in its cooldown (or half-open, still failing to produce a
+// replacement instance). It is the engine's liveness signal for cluster
+// front ends: a Router temporarily routes a tripped shard's traffic to
+// healthy shards and restores it when Tripped turns false (the worker came
+// back with a fresh instance). Safe from any goroutine.
+func (e *Engine) Tripped() bool { return e.breakerOpen.Load() > 0 }
 
 // PoolSize returns the number of workers.
 func (e *Engine) PoolSize() int { return e.o.poolSize }
@@ -380,7 +465,7 @@ func (e *Engine) Recycle() {
 // is safe to call from any goroutine at any time, including while the pool
 // is serving.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Served:       e.served.Load(),
 		Crashes:      e.crashes.Load(),
 		Restarts:     e.restarts.Load(),
@@ -392,8 +477,10 @@ func (e *Engine) Stats() Stats {
 		BreakerTrips: e.trips.Load(),
 		ChaosKills:   e.chaosKills.Load(),
 		ChaosDelays:  e.chaosDelays.Load(),
-		MemErrors:    e.memErrors(),
+		Batches:      e.batches.Load(),
 	}
+	e.memErrors(&s.MemErrors)
+	return s
 }
 
 // Metrics returns the full observability snapshot: Stats plus the live
@@ -422,28 +509,48 @@ func (e *Engine) Submit(ctx context.Context, req servers.Request) (servers.Respo
 		ctx, cancel = context.WithTimeout(ctx, e.o.deadline)
 		defer cancel()
 	}
-	t := &task{ctx: ctx, req: req, resp: make(chan taskResult, 1), enq: time.Now()}
+	t := getTask(ctx, req)
+	if e.q != nil {
+		t.enq = time.Now() // sojourn basis for the shedding queue
+	}
+	if e.b != nil && e.b.admit(t) {
+		// Coalesced: the batcher owns admission now. A reply — the executed
+		// response, or the batch's admission error — arrives on t.resp.
+		return e.await(t)
+	}
 	if e.q != nil {
 		if err := e.q.push(t); err != nil {
 			if errors.Is(err, ErrQueueFull) {
 				e.rejected.Add(1)
 			}
+			putTask(t) // never enqueued: nothing can send on it
 			return servers.Response{}, err
 		}
 	} else {
 		select {
 		case e.tasks <- t:
 		case <-e.closing.Done():
+			putTask(t) // never enqueued: nothing can send on it
 			return servers.Response{}, ErrClosed
 		default:
 			e.rejected.Add(1)
+			putTask(t) // never enqueued: nothing can send on it
 			return servers.Response{}, ErrQueueFull
 		}
 	}
+	return e.await(t)
+}
+
+// await blocks on an admitted task's reply (or engine shutdown) and
+// recycles the task once its single reply has been received.
+func (e *Engine) await(t *task) (servers.Response, error) {
 	select {
 	case r := <-t.resp:
+		putTask(t) // the single send was received: channel drained
 		return r.resp, r.err
 	case <-e.closing.Done():
+		// Abandoned mid-flight: a worker may still send a late reply, so
+		// this task (and its channel) must not be recycled.
 		return servers.Response{}, ErrClosed
 	}
 }
@@ -500,87 +607,185 @@ func (e *Engine) worker(inst servers.Instance, instGen uint64) {
 		if !ok {
 			return
 		}
-		if err := t.ctx.Err(); err != nil {
-			// Expired while queued: answer without burning the
-			// instance on a request nobody is waiting for.
-			e.timeouts.Add(1)
-			t.resp <- taskResult{resp: servers.Response{Outcome: fo.OutcomeDeadline, Err: err}}
-			continue
+		if t.batch != nil {
+			inst = e.serveBatch(inst, &instGen, &consecutive, t)
+		} else {
+			inst = e.serveTask(inst, &instGen, &consecutive, t, nil)
 		}
-		var seq uint64
-		if e.o.chaos.enabled() {
-			seq = e.taskSeq.Add(1)
-			if c := e.o.chaos; c.LatencyEvery > 0 && seq%c.LatencyEvery == 0 {
-				e.chaosDelays.Add(1)
-				if !e.sleep(c.Latency) {
-					return // engine closed mid-delay
-				}
+		if inst == nil {
+			return // engine closed mid-task
+		}
+	}
+}
+
+// serveBatch dispatches a coalesced batch wrapper: one recycle check and —
+// under the rewind policy — one checkpoint epoch for the whole batch, then
+// each sub-request end to end with its own deadline check, outcome,
+// latency sample, and reply. A mid-batch crash retires the instance and the
+// remaining sub-requests continue on the replacement (serveTask re-arms the
+// epoch per sub-request, since a rewind or a replacement consumes it).
+// Returns the (possibly replaced) instance, or nil when the engine closed.
+func (e *Engine) serveBatch(inst servers.Instance, instGen *uint64, consecutive *int, bt *task) servers.Instance {
+	// Hot-swap recycle point, hoisted to batch granularity: between
+	// requests, and before execution, so the whole batch is served by the
+	// new program.
+	if inst = e.maybeRecycle(inst, instGen); inst == nil {
+		return nil
+	}
+	e.batches.Add(1)
+	// One cancellation bind for the whole batch: sub-requests without
+	// caller cancellation execute under the engine's closing context, and
+	// binding it here once makes each sub-request's own BindContext of the
+	// same context free — a context bind costs a watcher goroutine, the
+	// single biggest fixed per-request cost on the small-op path.
+	var release func()
+	bind := func(i servers.Instance) {
+		if bb, ok := i.(batchBinder); ok {
+			release = bb.BindBatch(e.closing)
+		}
+	}
+	unbind := func() {
+		if release != nil {
+			release()
+			release = nil
+		}
+	}
+	bind(inst)
+	// One shared clock for the whole batch: each sub-request's latency is
+	// measured boundary to boundary (N+1 clock reads instead of 2N — clock
+	// reads are a measurable slice of the small-op serving cost).
+	clock := time.Now()
+	for _, sub := range bt.batch {
+		prev := inst
+		if inst = e.serveTask(inst, instGen, consecutive, sub, &clock); inst == nil {
+			// Engine closed mid-batch; the unserved submitters unblock
+			// through the closing context. The watcher exits with it.
+			unbind()
+			return nil
+		}
+		if inst != prev {
+			// Crash mid-batch: the bind followed the retired instance's
+			// machine; release it and bind the replacement.
+			unbind()
+			bind(inst)
+		}
+	}
+	unbind()
+	if be, ok := inst.(batchEpocher); ok {
+		// Commit the epoch left open by the last sub-request (no-op if a
+		// rewind or crash already consumed it).
+		be.EndBatch()
+	}
+	return inst
+}
+
+// serveTask runs one request end to end on inst: queued-expiry check,
+// chaos injection, execution with accounting, the reply, and crash
+// supervision (retire + respawn with backoff/breaker). A non-nil clock
+// marks a sub-request of a coalesced batch: the per-request recycle point
+// is skipped (serveBatch checked once for the whole batch), the batch
+// checkpoint epoch is (re-)armed before execution, and latency is
+// measured against *clock — the previous sub-request's end boundary —
+// which serveTask advances. Returns the (possibly replaced) instance, or
+// nil when the engine closed.
+func (e *Engine) serveTask(inst servers.Instance, instGen *uint64, consecutive *int, t *task, clock *time.Time) servers.Instance {
+	if err := t.ctx.Err(); err != nil {
+		// Expired while queued: answer without burning the
+		// instance on a request nobody is waiting for.
+		e.timeouts.Add(1)
+		t.resp <- taskResult{resp: servers.Response{Outcome: fo.OutcomeDeadline, Err: err}}
+		return inst
+	}
+	var seq uint64
+	if e.o.chaos.enabled() {
+		seq = e.taskSeq.Add(1)
+		if c := e.o.chaos; c.LatencyEvery > 0 && seq%c.LatencyEvery == 0 {
+			e.chaosDelays.Add(1)
+			if !e.sleep(c.Latency) {
+				return nil // engine closed mid-delay
 			}
 		}
-		var resp servers.Response
-		if err := t.ctx.Err(); err != nil {
-			// Expired during the injected chaos delay: answer
-			// deterministically instead of racing the handler against
-			// the interpreter's cancellation poll (a short handler
-			// could finish before the first poll and mask the expiry).
-			// Control falls through to the chaos kill check below —
-			// overlapping kill and delay cadences must not mask each
-			// other.
-			e.timeouts.Add(1)
-			resp = servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
-		} else {
+	}
+	var resp servers.Response
+	if err := t.ctx.Err(); err != nil {
+		// Expired during the injected chaos delay: answer
+		// deterministically instead of racing the handler against
+		// the interpreter's cancellation poll (a short handler
+		// could finish before the first poll and mask the expiry).
+		// Control falls through to the chaos kill check below —
+		// overlapping kill and delay cadences must not mask each
+		// other.
+		e.timeouts.Add(1)
+		resp = servers.Response{Outcome: fo.OutcomeDeadline, Err: err}
+	} else {
+		if clock == nil {
 			// Hot-swap recycle point: between requests, so the retiring
 			// instance has no work in flight, and before execution, so
 			// this request is already served by the new program.
-			if inst = e.maybeRecycle(inst, &instGen); inst == nil {
-				return // engine closed while replacing the instance
+			if inst = e.maybeRecycle(inst, instGen); inst == nil {
+				return nil // engine closed while replacing the instance
 			}
-			t0 := time.Now()
-			resp = e.execute(inst, t)
-			d := time.Since(t0)
-			e.latency.record(d)
-			if e.q != nil {
-				e.q.observe(d)
-			}
-			e.served.Add(1)
-			switch resp.Outcome {
-			case fo.OutcomeDeadline:
-				e.timeouts.Add(1)
-			case fo.OutcomeRewound:
-				// Rewound requests release their slot and feed the
-				// latency/served accounting exactly like any executed
-				// request; the instance survives (Crashed() is false).
-				e.rewound.Add(1)
-			}
+		} else if be, ok := inst.(batchEpocher); ok {
+			// (Re-)arm the batch checkpoint epoch: idempotent while open,
+			// and restores it after a rewind consumed it or a crash
+			// replaced the instance mid-batch.
+			be.BeginBatch()
 		}
-		t.resp <- taskResult{resp: resp}
-		killed := false
-		if c := e.o.chaos; c.KillEvery > 0 && seq > 0 && seq%c.KillEvery == 0 {
-			if k, ok := inst.(interface{ Kill() }); ok {
-				k.Kill()
-				e.chaosKills.Add(1)
-				killed = true
-			}
+		var t0 time.Time
+		if clock != nil {
+			t0 = *clock
+		} else {
+			t0 = time.Now()
 		}
-		if resp.Crashed() || !inst.Alive() {
-			if resp.Crashed() || !killed {
-				// Organic crash: count it and grow the backoff. A
-				// chaos kill takes the same retire/respawn path but
-				// is accounted separately and respawns immediately.
-				e.crashes.Add(1)
-				consecutive++
-			}
-			e.retireLog(inst.Log())
-			releaseInstance(inst)
-			instGen = e.gen.Load()
-			inst = e.respawn(&consecutive)
-			if inst == nil {
-				return // engine closed while backing off
-			}
-		} else if resp.Outcome == fo.OutcomeOK {
-			consecutive = 0
+		resp = e.execute(inst, t)
+		now := time.Now()
+		if clock != nil {
+			*clock = now
+		}
+		d := now.Sub(t0)
+		e.latency.record(d)
+		if e.q != nil {
+			e.q.observe(d)
+		}
+		e.served.Add(1)
+		switch resp.Outcome {
+		case fo.OutcomeDeadline:
+			e.timeouts.Add(1)
+		case fo.OutcomeRewound:
+			// Rewound requests release their slot and feed the
+			// latency/served accounting exactly like any executed
+			// request; the instance survives (Crashed() is false).
+			e.rewound.Add(1)
 		}
 	}
+	t.resp <- taskResult{resp: resp}
+	killed := false
+	if c := e.o.chaos; c.KillEvery > 0 && seq > 0 && seq%c.KillEvery == 0 {
+		if k, ok := inst.(interface{ Kill() }); ok {
+			k.Kill()
+			e.chaosKills.Add(1)
+			killed = true
+		}
+	}
+	if resp.Crashed() || !inst.Alive() {
+		if resp.Crashed() || !killed {
+			// Organic crash: count it and grow the backoff. A
+			// chaos kill takes the same retire/respawn path but
+			// is accounted separately and respawns immediately.
+			e.crashes.Add(1)
+			*consecutive++
+		}
+		e.retireLog(inst.Log())
+		releaseInstance(inst)
+		*instGen = e.gen.Load()
+		inst = e.respawn(consecutive)
+		if inst == nil {
+			return nil // engine closed while backing off
+		}
+	} else if resp.Outcome == fo.OutcomeOK {
+		*consecutive = 0
+	}
+	return inst
 }
 
 // maybeRecycle replaces inst when a Recycle has bumped the engine's
@@ -622,6 +827,14 @@ func (e *Engine) maybeRecycle(inst servers.Instance, instGen *uint64) servers.In
 // the task's own deadline or by engine shutdown, so a stuck request never
 // pins a worker past Close.
 func (e *Engine) execute(inst servers.Instance, t *task) servers.Response {
+	if t.ctx.Done() == nil {
+		// The task context can never cancel (no caller cancellation, no
+		// deadline), so the composite "task or shutdown" context is the
+		// engine's own closing context — skip the per-request WithCancel +
+		// AfterFunc wiring, which costs two allocations and a cancellation
+		// subscription on the small-op hot path.
+		return inst.HandleContext(e.closing, t.req)
+	}
 	ctx, cancel := context.WithCancel(t.ctx)
 	defer cancel()
 	stop := context.AfterFunc(e.closing, cancel)
@@ -642,11 +855,28 @@ func (e *Engine) respawn(consecutive *int) servers.Instance {
 		e.adoptLog(inst.Log())
 		return inst
 	}
+	// The breaker-open gauge covers the whole park-to-replacement window:
+	// raised at the trip, held through half-open retries, dropped when this
+	// worker produces an instance (or the engine closes) — so Tripped()
+	// reads true for exactly as long as this worker cannot serve.
+	tripped := false
+	defer func() {
+		if tripped {
+			e.breakerOpen.Add(-1)
+		}
+	}()
 	for {
 		switch {
 		case e.o.breakerAfter > 0 && *consecutive >= e.o.breakerAfter:
 			// Restart storm: stop hot-restarting, park for the cooldown,
-			// then half-open — try one fresh instance.
+			// then half-open — try one fresh instance. The gauge is raised
+			// before the trip counter so an observer that sees the counter
+			// move (Stats) is guaranteed to see Tripped() — the router's
+			// rebalancer keys off exactly that ordering.
+			if !tripped {
+				tripped = true
+				e.breakerOpen.Add(1)
+			}
 			e.trips.Add(1)
 			if !e.sleep(e.o.breakerCool) {
 				return nil

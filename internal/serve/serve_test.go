@@ -595,3 +595,70 @@ func TestCloseUnblocksSubmitters(t *testing.T) {
 		t.Fatal("Close did not return")
 	}
 }
+
+// TestStatsScrapeUnderRestartStorm pins the O(live-pool) scrape: Stats()
+// folds retired instances' telemetry into a cached aggregate at retirement
+// time, so concurrent scrapers during a restart storm (every request
+// crashes its instance) see monotone, never-lost counters — and the scrape
+// cost stays flat no matter how many instances have been retired
+// (BenchmarkStatsScrape tracks the cost itself).
+func TestStatsScrapeUnderRestartStorm(t *testing.T) {
+	eng, err := serve.New(&stubServer{}, fo.Standard,
+		serve.WithPoolSize(2), serve.WithQueueDepth(8),
+		serve.WithBackoff(time.Millisecond, 2*time.Millisecond),
+		serve.WithBreaker(0, 0)) // no breaker: keep the storm raging
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			var prev serve.Stats
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.Stats()
+				if st.Crashes < prev.Crashes || st.Served < prev.Served {
+					t.Errorf("scrape went backwards: crashes %d→%d served %d→%d",
+						prev.Crashes, st.Crashes, prev.Served, st.Served)
+					return
+				}
+				prev = st
+				_ = st.MemErrors.Total()
+				_ = eng.Metrics().Latency.P99
+			}
+		}()
+	}
+
+	const storms = 40
+	for i := 0; i < storms; i++ {
+		resp, err := eng.Submit(nil, servers.Request{Op: "smash"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Crashed() {
+			t.Fatalf("smash %d outcome = %v, want a crash", i, resp.Outcome)
+		}
+	}
+	close(stop)
+	scrapers.Wait()
+
+	st := eng.Stats()
+	if st.Crashes != storms {
+		t.Errorf("crashes = %d, want %d", st.Crashes, storms)
+	}
+	if st.Served != storms {
+		t.Errorf("served = %d, want %d (every stormed request answered)", st.Served, storms)
+	}
+	if st.Restarts == 0 {
+		t.Error("restart storm recorded no restarts")
+	}
+}

@@ -88,15 +88,19 @@ func (q *shedQueue) unmeetable(t *task, now time.Time) bool {
 	return dl.Sub(now) < q.svcEWMA
 }
 
-// dropLocked removes items[i], answers its submitter with ErrShed, and
-// counts the shed. Callers hold q.mu.
+// dropLocked removes items[i], answers its submitter(s) with ErrShed, and
+// counts the shed — per request, so a dropped batch wrapper counts every
+// sub-request it carried. The count is read before answering: the answer
+// releases the task to its submitter, who may recycle it concurrently.
+// Callers hold q.mu.
 func (q *shedQueue) dropLocked(i int) {
 	t := q.items[i]
 	last := len(q.items) - 1
 	q.items = append(q.items[:i], q.items[i+1:]...)
 	q.items[:last+1][last] = nil // drop the stale tail reference
-	t.resp <- taskResult{err: ErrShed}
-	q.shed.Add(1)
+	n := taskCount(t)
+	answer(t, taskResult{err: ErrShed})
+	q.shed.Add(n)
 }
 
 // push admits t, shedding the oldest unmeetable request to make room when

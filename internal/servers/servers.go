@@ -186,6 +186,28 @@ func (b *Base) BindContext(ctx context.Context) (release func()) {
 	return b.M.BindContext(ctx)
 }
 
+// BeginBatch opens a batch-granularity checkpoint epoch on the instance's
+// machine (rewind mode only; no-op otherwise — see fo.Machine.
+// BeginBatchEpoch). A serving engine that coalesces several small requests
+// onto one dispatch brackets them with BeginBatch/EndBatch so the batch
+// pays for one checkpoint instead of one per request; a detected memory
+// error rewinds the whole epoch and consumes it, so the engine re-arms
+// with BeginBatch before each sub-request (idempotent while open). Owning
+// goroutine only, between requests.
+func (b *Base) BeginBatch() { b.M.BeginBatchEpoch() }
+
+// EndBatch commits the open batch epoch, if any. Owning goroutine only,
+// between requests.
+func (b *Base) EndBatch() { b.M.EndBatchEpoch() }
+
+// BindBatch binds ctx as the machine's cancellation source for a whole
+// batch of requests: the per-request BindContext of the same context
+// inside HandleContext then recognizes it and becomes free, amortizing
+// the watcher goroutine a context bind costs across the batch. The
+// returned release must be called on the owning goroutine between
+// requests.
+func (b *Base) BindBatch(ctx context.Context) (release func()) { return b.M.BindContext(ctx) }
+
 // Attribute implements the per-request attribution contract of
 // HandleContext: it takes a cursor over the instance's event log, runs
 // handle, and stamps the events recorded in between — the memory errors
